@@ -1,0 +1,35 @@
+//! Criterion wrappers for the ablation/extension experiments (E6–E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hera_bench::{ablate_jit, mixed_program, placement_comparison, run_workload, spe_config};
+use hera_workloads::Workload;
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    // E6: two block sizes bracketing the paper's 1 KiB choice.
+    for block in [128u32, 1024, 4096] {
+        g.bench_function(format!("block-{block}B-compress"), |b| {
+            b.iter(|| {
+                let mut cfg = spe_config(6);
+                cfg.array_block_bytes = block;
+                run_workload(Workload::Compress, 6, 0.1, cfg).stats.wall_cycles
+            })
+        });
+    }
+    // E7: JIT accounting.
+    g.bench_function("jit-on-demand-vs-eager", |b| b.iter(|| ablate_jit(0.1)));
+    // E9: placement policies.
+    g.bench_function("placement-policies", |b| {
+        b.iter(|| placement_comparison(0.1))
+    });
+    // Program construction itself (compiler front-end cost).
+    g.bench_function("mixed-program-build", |b| b.iter(|| mixed_program(0.1, true)));
+    g.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

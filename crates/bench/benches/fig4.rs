@@ -1,0 +1,34 @@
+//! Criterion wrapper for the Figure 4(a)/(b) experiments: each
+//! benchmark runs the full workload on the PPE, one SPE and six SPEs.
+//! The interesting output is the simulated cycle ratio (printed by the
+//! `figures` binary); Criterion tracks the host-side cost of
+//! regenerating it, guarding against simulator performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hera_bench::{ppe_config, run_workload, spe_config};
+use hera_workloads::Workload;
+
+const SCALE: f64 = 0.1;
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for w in Workload::ALL {
+        g.bench_function(format!("{}-ppe", w.name()), |b| {
+            b.iter(|| run_workload(w, 1, SCALE, ppe_config()).stats.wall_cycles)
+        });
+        g.bench_function(format!("{}-spe1", w.name()), |b| {
+            b.iter(|| run_workload(w, 1, SCALE, spe_config(1)).stats.wall_cycles)
+        });
+        g.bench_function(format!("{}-spe6", w.name()), |b| {
+            b.iter(|| run_workload(w, 6, SCALE, spe_config(6)).stats.wall_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion wrapper for the Figure 6 experiment (data-cache sweep).
+//! Benchmarks three representative sizes per workload rather than the
+//! full 14-point sweep (use the `figures` binary for the full curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hera_bench::{run_workload, spe_config};
+use hera_workloads::Workload;
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for w in Workload::ALL {
+        for kb in [8u32, 40, 104] {
+            g.bench_function(format!("{}-data{kb}k", w.name()), |b| {
+                b.iter(|| {
+                    let cfg = spe_config(6).with_cache_sizes(kb << 10, 88 << 10);
+                    run_workload(w, 6, 0.1, cfg).stats.wall_cycles
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the substrate pieces: DMA timing, the software
+//! caches, the JIT, and the verifier — per-component regression guards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hera_cell::{CellConfig, CellMachine, CoreId, CoreKind};
+use hera_isa::{ProgramBuilder, Ty};
+use hera_mem::{Heap, HeapConfig, ProgramLayout};
+use hera_softcache::{CodeCache, DataCache};
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+
+    g.bench_function("dma-1k", |b| {
+        let mut m = CellMachine::new(CellConfig::default());
+        b.iter(|| m.dma(CoreId::Spe(0), 1024))
+    });
+
+    g.bench_function("data-cache-hit", |b| {
+        let mut pb = ProgramBuilder::new();
+        let cl = pb.add_class("C", None);
+        pb.add_field(cl, "x", Ty::Int);
+        let p = pb.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        let mut heap = Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size);
+        let mut machine = CellMachine::new(CellConfig::default());
+        let r = heap.alloc_object(&layout, cl).unwrap();
+        let size = layout.object_size(cl);
+        let mut dc = DataCache::new(32 << 10);
+        dc.read(&mut heap, &mut machine, CoreId::Spe(0), r.0, size, 8, Ty::Int)
+            .unwrap();
+        b.iter(|| {
+            dc.read(&mut heap, &mut machine, CoreId::Spe(0), r.0, size, 8, Ty::Int)
+                .unwrap()
+        })
+    });
+
+    g.bench_function("code-cache-warm-lookup", |b| {
+        let mut machine = CellMachine::new(CellConfig::default());
+        let mut cc = CodeCache::new(64 << 10);
+        cc.lookup(&mut machine, CoreId::Spe(0), hera_isa::ClassId(0), 64, hera_isa::MethodId(0), 512);
+        b.iter(|| {
+            cc.lookup(
+                &mut machine,
+                CoreId::Spe(0),
+                hera_isa::ClassId(0),
+                64,
+                hera_isa::MethodId(0),
+                512,
+            )
+        })
+    });
+
+    g.bench_function("jit-compile-method", |b| {
+        let (program, _) = hera_workloads::Workload::Mandelbrot.build(1, 0.05);
+        let layout = ProgramLayout::compute(&program);
+        let m = program
+            .method_by_name("Mandelbrot", "pixel", 3)
+            .expect("pixel exists");
+        b.iter(|| hera_jit::compile_method(&program, &layout, m, CoreKind::Spe).unwrap())
+    });
+
+    g.bench_function("verify-workload-program", |b| {
+        let (program, _) = hera_workloads::Workload::Compress.build(2, 0.05);
+        b.iter(|| hera_isa::verify_program(&program).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

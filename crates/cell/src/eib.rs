@@ -1,0 +1,167 @@
+//! Element Interconnect Bus / memory-interface contention model.
+//!
+//! All MFC DMA traffic (and PPE cache-miss refills) ultimately shares
+//! one memory interface. Cores advance on loosely synchronised local
+//! clocks and the scheduler may simulate one core far ahead of another
+//! in *host* order, so the model must be robust to requests arriving out
+//! of virtual-time order. It therefore accounts bandwidth in fixed
+//! windows of virtual time: a transfer requested in window `w` queues
+//! behind the transfer cycles already claimed in that window, and its
+//! own cycles are claimed in `w` (spilling into following windows when a
+//! window saturates). Two SPEs streaming in the same epoch contend; a
+//! request in a quiet epoch sees no delay regardless of simulation
+//! order — which is what bounds DMA-heavy scaling (Figure 4(b)) without
+//! phantom queueing artifacts.
+
+use std::collections::HashMap;
+
+/// Virtual-time window size in cycles.
+const WINDOW: u64 = 2048;
+
+/// A granted bus transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EibGrant {
+    /// Cycles the requester waits before its transfer starts (queueing
+    /// behind traffic in the same virtual-time window).
+    pub queue_cycles: u64,
+    /// Cycles the transfer occupies the channel.
+    pub transfer_cycles: u64,
+}
+
+impl EibGrant {
+    /// Total delay visible to the requester, excluding fixed latency.
+    pub fn total(self) -> u64 {
+        self.queue_cycles + self.transfer_cycles
+    }
+}
+
+/// The shared memory-interface channel.
+#[derive(Clone, Debug, Default)]
+pub struct Eib {
+    /// Claimed transfer cycles per virtual-time window.
+    windows: HashMap<u64, u64>,
+    /// Total bytes moved (for bandwidth reporting).
+    pub bytes_transferred: u64,
+    /// Total transfers granted.
+    pub transfers: u64,
+    /// Total queueing cycles imposed on requesters.
+    pub queue_cycles_total: u64,
+}
+
+impl Eib {
+    /// A quiet bus.
+    pub fn new() -> Eib {
+        Eib::default()
+    }
+
+    /// Request a transfer of `transfer_cycles` duration at local time
+    /// `now`, moving `bytes` bytes.
+    pub fn request(&mut self, now: u64, transfer_cycles: u64, bytes: u64) -> EibGrant {
+        let w = now / WINDOW;
+        // Queue behind whatever the window already carries.
+        let queue = *self.windows.get(&w).unwrap_or(&0);
+
+        // Claim this transfer's cycles, spilling into later windows.
+        let mut window = w;
+        let mut remaining = transfer_cycles;
+        while remaining > 0 {
+            let used = self.windows.entry(window).or_insert(0);
+            let free = WINDOW.saturating_sub(*used);
+            let claim = remaining.min(free.max(1)); // always progress
+            *used += claim;
+            remaining -= claim;
+            window += 1;
+        }
+
+        self.bytes_transferred += bytes;
+        self.transfers += 1;
+        self.queue_cycles_total += queue;
+        EibGrant {
+            queue_cycles: queue,
+            transfer_cycles,
+        }
+    }
+
+    /// Mean queueing delay per transfer so far.
+    pub fn mean_queue_cycles(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.queue_cycles_total as f64 / self.transfers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_grants_immediately() {
+        let mut eib = Eib::new();
+        let g = eib.request(100, 64, 1024);
+        assert_eq!(g.queue_cycles, 0);
+        assert_eq!(g.transfer_cycles, 64);
+        assert_eq!(g.total(), 64);
+    }
+
+    #[test]
+    fn same_window_requests_queue() {
+        let mut eib = Eib::new();
+        eib.request(0, 100, 1600);
+        let g = eib.request(10, 50, 800);
+        assert_eq!(g.queue_cycles, 100);
+    }
+
+    #[test]
+    fn distant_windows_do_not_interfere() {
+        let mut eib = Eib::new();
+        // A core simulated far ahead in host order…
+        eib.request(1_000_000, 100, 1600);
+        // …must not delay a request that happens *earlier* in virtual
+        // time (this was the failure mode of a busy-until model).
+        let g = eib.request(100, 50, 800);
+        assert_eq!(g.queue_cycles, 0);
+    }
+
+    #[test]
+    fn saturated_windows_spill_forward() {
+        let mut eib = Eib::new();
+        // Fill window 0 completely.
+        eib.request(0, 2048, 32768);
+        // Spill lands in window 1: a request there queues behind it.
+        let g = eib.request(2048 + 10, 64, 1024);
+        assert_eq!(g.queue_cycles, 0); // window 1 had no *own* traffic yet? spill counts
+        // The spill from window 0 was zero (2048 fits exactly), so no
+        // queueing; now saturate window 1 and observe the spill.
+        let mut eib = Eib::new();
+        eib.request(0, 3000, 48000); // 2048 in w0, 952 spills to w1
+        let g = eib.request(2100, 64, 1024);
+        assert_eq!(g.queue_cycles, 952);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut eib = Eib::new();
+        eib.request(0, 100, 1000);
+        eib.request(0, 100, 1000);
+        assert_eq!(eib.transfers, 2);
+        assert_eq!(eib.bytes_transferred, 2000);
+        assert_eq!(eib.queue_cycles_total, 100);
+        assert_eq!(eib.mean_queue_cycles(), 50.0);
+    }
+
+    #[test]
+    fn contention_grows_with_parallel_requesters() {
+        // Six requesters in the same epoch see monotonically growing
+        // queue delays — the Figure 4(b) limiter.
+        let mut eib = Eib::new();
+        let mut last = 0;
+        for i in 0..6 {
+            let g = eib.request(0, 80, 1280);
+            assert!(g.queue_cycles >= last, "requester {i}");
+            last = g.queue_cycles;
+        }
+        assert_eq!(last, 5 * 80);
+    }
+}

@@ -1,0 +1,285 @@
+//! PPE hardware cache hierarchy model (L1D + L2, set-associative, LRU).
+//!
+//! The PPE, unlike the SPEs, has transparent hardware caches; that is
+//! precisely why the memory-bound *compress* benchmark prefers it
+//! (paper §4). The model is a conventional two-level write-allocate
+//! hierarchy with true-LRU sets, charging per-level hit latencies and a
+//! main-memory miss penalty.
+
+use crate::counters::OpClass;
+
+/// Parameters for one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelParams {
+    /// Total capacity in bytes.
+    pub capacity: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_cycles: u32,
+}
+
+/// Parameters for the PPE hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct HwCacheParams {
+    /// First-level data cache.
+    pub l1: LevelParams,
+    /// Unified second-level cache.
+    pub l2: LevelParams,
+    /// Main-memory access penalty (beyond L2) in cycles.
+    pub memory_cycles: u32,
+}
+
+impl Default for HwCacheParams {
+    fn default() -> Self {
+        // Cell PPE: 32 KB L1D, 512 KB L2, 128-byte lines.
+        HwCacheParams {
+            l1: LevelParams {
+                capacity: 32 << 10,
+                line: 128,
+                ways: 8,
+                hit_cycles: 2,
+            },
+            l2: LevelParams {
+                capacity: 512 << 10,
+                line: 128,
+                ways: 8,
+                hit_cycles: 30,
+            },
+            memory_cycles: 300,
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HitLevel {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Main memory.
+    Memory,
+}
+
+/// One set-associative level with true-LRU replacement.
+struct Level {
+    params: LevelParams,
+    sets: u32,
+    /// `tags[set * ways + way]` = line tag, `u64::MAX` when invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl Level {
+    fn new(params: LevelParams) -> Level {
+        let sets = (params.capacity / (params.line * params.ways)).max(1);
+        let slots = (sets * params.ways) as usize;
+        Level {
+            params,
+            sets,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            tick: 0,
+        }
+    }
+
+    /// Returns true on hit; on miss the line is installed (evicting LRU).
+    fn access(&mut self, addr: u32) -> bool {
+        self.tick += 1;
+        let line = (addr / self.params.line) as u64;
+        let set = (line % self.sets as u64) as u32;
+        let base = (set * self.params.ways) as usize;
+        let ways = self.params.ways as usize;
+        // Hit?
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.tick;
+                return true;
+            }
+        }
+        // Miss: install over LRU way.
+        let mut victim = 0;
+        for w in 1..ways {
+            if self.stamps[base + w] < self.stamps[base + victim] {
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+}
+
+/// Per-level access statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HwCacheStats {
+    /// Accesses presented to the hierarchy.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Misses to main memory.
+    pub memory_accesses: u64,
+}
+
+impl HwCacheStats {
+    /// L1 hit rate over all accesses.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The PPE's L1+L2 hierarchy.
+pub struct HwCache {
+    params: HwCacheParams,
+    l1: Level,
+    l2: Level,
+    /// Statistics.
+    pub stats: HwCacheStats,
+}
+
+impl HwCache {
+    /// Build a hierarchy from parameters.
+    pub fn new(params: HwCacheParams) -> HwCache {
+        HwCache {
+            params,
+            l1: Level::new(params.l1),
+            l2: Level::new(params.l2),
+            stats: HwCacheStats::default(),
+        }
+    }
+
+    /// Simulate an access touching `[addr, addr+len)`. Multi-line
+    /// accesses touch each line; the returned cost is the worst level
+    /// reached plus per-line hit costs, and the level is the deepest
+    /// one touched.
+    pub fn access(&mut self, addr: u32, len: u32) -> (u64, HitLevel) {
+        let line = self.params.l1.line;
+        let first = addr / line;
+        let last = (addr + len.max(1) - 1) / line;
+        let mut cycles = 0u64;
+        let mut worst = HitLevel::L1;
+        for l in first..=last {
+            let a = l * line;
+            self.stats.accesses += 1;
+            if self.l1.access(a) {
+                self.stats.l1_hits += 1;
+                cycles += self.params.l1.hit_cycles as u64;
+            } else if self.l2.access(a) {
+                self.stats.l2_hits += 1;
+                cycles += self.params.l2.hit_cycles as u64;
+                if worst == HitLevel::L1 {
+                    worst = HitLevel::L2;
+                }
+            } else {
+                self.stats.memory_accesses += 1;
+                cycles += self.params.memory_cycles as u64;
+                worst = HitLevel::Memory;
+            }
+        }
+        (cycles, worst)
+    }
+
+    /// The operation class an access at `level` is charged to: L1 hits
+    /// count as local memory, anything deeper as main memory.
+    pub fn class_for(level: HitLevel) -> OpClass {
+        match level {
+            HitLevel::L1 => OpClass::LocalMemory,
+            HitLevel::L2 | HitLevel::Memory => OpClass::MainMemory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> HwCache {
+        HwCache::new(HwCacheParams::default())
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = cache();
+        let (cost1, lvl1) = c.access(0x1000, 4);
+        assert_eq!(lvl1, HitLevel::Memory);
+        let (cost2, lvl2) = c.access(0x1000, 4);
+        assert_eq!(lvl2, HitLevel::L1);
+        assert!(cost2 < cost1);
+    }
+
+    #[test]
+    fn same_line_sharing() {
+        let mut c = cache();
+        c.access(0x2000, 4);
+        // 0x2040 is in the same 128-byte line.
+        let (_, lvl) = c.access(0x2040, 4);
+        assert_eq!(lvl, HitLevel::L1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut c = cache();
+        // Fill one L1 set (8 ways) + 1 extra line mapping to the same set.
+        // sets = 32768 / (128*8) = 32; stride between same-set lines = 32*128.
+        let stride = 32 * 128;
+        for i in 0..9u32 {
+            c.access(i * stride, 4);
+        }
+        // The first line was LRU-evicted from L1 but still lives in L2.
+        let (_, lvl) = c.access(0, 4);
+        assert_eq!(lvl, HitLevel::L2);
+    }
+
+    #[test]
+    fn working_set_larger_than_l2_misses_to_memory() {
+        let mut c = cache();
+        // Touch 2 MiB twice; second pass should still mostly miss.
+        for pass in 0..2 {
+            for a in (0..(2u32 << 20)).step_by(128) {
+                c.access(a, 4);
+            }
+            let _ = pass;
+        }
+        assert!(c.stats.memory_accesses > 16_000);
+    }
+
+    #[test]
+    fn small_working_set_mostly_l1() {
+        let mut c = cache();
+        for _ in 0..100 {
+            for a in (0..4096u32).step_by(64) {
+                c.access(a, 4);
+            }
+        }
+        assert!(c.stats.l1_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn multi_line_access_touches_each_line() {
+        let mut c = cache();
+        let before = c.stats.accesses;
+        c.access(0, 256); // 128-byte lines → 2 (aligned start)
+        assert_eq!(c.stats.accesses - before, 2);
+        let before = c.stats.accesses;
+        c.access(100, 256); // straddles 3 lines
+        assert_eq!(c.stats.accesses - before, 3);
+    }
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(HwCache::class_for(HitLevel::L1), OpClass::LocalMemory);
+        assert_eq!(HwCache::class_for(HitLevel::L2), OpClass::MainMemory);
+        assert_eq!(HwCache::class_for(HitLevel::Memory), OpClass::MainMemory);
+    }
+}

@@ -1,0 +1,349 @@
+//! The assembled machine: cores, clocks, bus, caches and accounting.
+
+use crate::cost::{exec_op_class, CostModel, ExecOp};
+use crate::counters::{CycleBreakdown, OpClass};
+use crate::eib::Eib;
+use crate::hwcache::{HwCache, HwCacheParams};
+use crate::spe::{LocalStore, StorePartition};
+
+/// The two core kinds on the Cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoreKind {
+    /// The general-purpose PowerPC core.
+    Ppe,
+    /// A Synergistic Processing Element.
+    Spe,
+}
+
+impl std::fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreKind::Ppe => write!(f, "PPE"),
+            CoreKind::Spe => write!(f, "SPE"),
+        }
+    }
+}
+
+/// A specific core.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoreId {
+    /// The single PPE.
+    Ppe,
+    /// SPE number `n` (0-based).
+    Spe(u8),
+}
+
+impl CoreId {
+    /// The kind of this core.
+    #[inline]
+    pub fn kind(self) -> CoreKind {
+        match self {
+            CoreId::Ppe => CoreKind::Ppe,
+            CoreId::Spe(_) => CoreKind::Spe,
+        }
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreId::Ppe => write!(f, "PPE"),
+            CoreId::Spe(n) => write!(f, "SPE{n}"),
+        }
+    }
+}
+
+/// Machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CellConfig {
+    /// Number of SPE cores (a PS3 exposes 6).
+    pub num_spes: u8,
+    /// Local store size per SPE.
+    pub local_store_bytes: u32,
+    /// Local store partition (resident / data cache / code cache).
+    pub partition: StorePartition,
+    /// Operation cost model.
+    pub cost: CostModel,
+    /// PPE hardware cache parameters.
+    pub hwcache: HwCacheParams,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig {
+            num_spes: 6,
+            local_store_bytes: LocalStore::SIZE,
+            partition: StorePartition::default(),
+            cost: CostModel::cell_defaults(),
+            hwcache: HwCacheParams::default(),
+        }
+    }
+}
+
+/// The machine: per-core virtual clocks, the shared bus, the PPE cache
+/// hierarchy, SPE local stores, and per-core cycle breakdowns.
+pub struct CellMachine {
+    config: CellConfig,
+    /// Per-core clocks; index 0 = PPE, 1.. = SPEs.
+    clocks: Vec<u64>,
+    /// Per-core cycle accounting.
+    breakdowns: Vec<CycleBreakdown>,
+    /// Shared memory-interface channel.
+    pub eib: Eib,
+    /// PPE L1/L2 model.
+    pub ppe_cache: HwCache,
+    local_stores: Vec<LocalStore>,
+}
+
+impl CellMachine {
+    /// Build a machine from configuration.
+    pub fn new(config: CellConfig) -> CellMachine {
+        let cores = 1 + config.num_spes as usize;
+        CellMachine {
+            clocks: vec![0; cores],
+            breakdowns: vec![CycleBreakdown::new(); cores],
+            eib: Eib::new(),
+            ppe_cache: HwCache::new(config.hwcache),
+            local_stores: (0..config.num_spes)
+                .map(|_| LocalStore::new(config.local_store_bytes, config.partition))
+                .collect(),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    fn idx(&self, core: CoreId) -> usize {
+        match core {
+            CoreId::Ppe => 0,
+            CoreId::Spe(n) => {
+                debug_assert!((n as usize) < self.local_stores.len(), "no such SPE {n}");
+                1 + n as usize
+            }
+        }
+    }
+
+    /// All cores on this machine, PPE first.
+    pub fn cores(&self) -> Vec<CoreId> {
+        let mut v = vec![CoreId::Ppe];
+        v.extend((0..self.config.num_spes).map(CoreId::Spe));
+        v
+    }
+
+    /// Current local time of a core.
+    #[inline]
+    pub fn now(&self, core: CoreId) -> u64 {
+        self.clocks[self.idx(core)]
+    }
+
+    /// Advance a core's clock, charging `class`.
+    #[inline]
+    pub fn advance(&mut self, core: CoreId, cycles: u64, class: OpClass) {
+        let i = self.idx(core);
+        self.clocks[i] += cycles;
+        self.breakdowns[i].charge(class, cycles);
+    }
+
+    /// Advance without counting a retired operation (stalls, waits).
+    #[inline]
+    pub fn stall(&mut self, core: CoreId, cycles: u64, class: OpClass) {
+        let i = self.idx(core);
+        self.clocks[i] += cycles;
+        self.breakdowns[i].charge_stall(class, cycles);
+    }
+
+    /// Move a core's clock forward to at least `time` without charging
+    /// anything (idle time between scheduled threads, not executed
+    /// cycles — keeping it out of the Figure 5 breakdown).
+    pub fn idle_until(&mut self, core: CoreId, time: u64) {
+        let i = self.idx(core);
+        if time > self.clocks[i] {
+            self.clocks[i] = time;
+        }
+    }
+
+    /// Move a core's clock forward to at least `time` (e.g. waiting for
+    /// another core); the waiting cycles are charged as a stall.
+    pub fn wait_until(&mut self, core: CoreId, time: u64, class: OpClass) {
+        let i = self.idx(core);
+        if time > self.clocks[i] {
+            let wait = time - self.clocks[i];
+            self.clocks[i] = time;
+            self.breakdowns[i].charge_stall(class, wait);
+        }
+    }
+
+    /// Execute one abstract operation on a core: charges the cost-model
+    /// cycles to the op's Figure 5 class.
+    #[inline]
+    pub fn exec(&mut self, core: CoreId, op: ExecOp) {
+        let cycles = self.config.cost.cost(core.kind(), op) as u64;
+        self.advance(core, cycles, exec_op_class(op));
+    }
+
+    /// Issue a DMA transfer of `bytes` from an SPE: pays MFC setup +
+    /// latency + (queueing + transfer) on the shared channel. All of it
+    /// is main-memory time. Returns the total cycles the SPE stalled.
+    pub fn dma(&mut self, core: CoreId, bytes: u32) -> u64 {
+        debug_assert_eq!(core.kind(), CoreKind::Spe, "DMA from non-SPE core");
+        let dma = self.config.cost.dma;
+        let now = self.now(core);
+        let transfer = dma.transfer_cycles(bytes);
+        let grant = self.eib.request(now + dma.setup_cycles as u64, transfer, bytes as u64);
+        let total = dma.setup_cycles as u64 + dma.latency_cycles as u64 + grant.total();
+        let i = self.idx(core);
+        self.clocks[i] += total;
+        self.breakdowns[i].charge(OpClass::MainMemory, total);
+        total
+    }
+
+    /// A PPE load/store touching main memory through the L1/L2 model.
+    /// Returns the cycles charged.
+    pub fn ppe_mem_access(&mut self, addr: u32, len: u32) -> u64 {
+        let (cycles, level) = self.ppe_cache.access(addr, len);
+        let class = HwCache::class_for(level);
+        let i = self.idx(CoreId::Ppe);
+        self.clocks[i] += cycles;
+        self.breakdowns[i].charge(class, cycles);
+        cycles
+    }
+
+    /// Borrow an SPE's local store.
+    pub fn local_store(&self, spe: u8) -> &LocalStore {
+        &self.local_stores[spe as usize]
+    }
+
+    /// Mutably borrow an SPE's local store.
+    pub fn local_store_mut(&mut self, spe: u8) -> &mut LocalStore {
+        &mut self.local_stores[spe as usize]
+    }
+
+    /// A core's cycle breakdown.
+    pub fn breakdown(&self, core: CoreId) -> &CycleBreakdown {
+        &self.breakdowns[self.idx(core)]
+    }
+
+    /// Merged breakdown over all SPE cores (the Figure 5 aggregation).
+    pub fn spe_breakdown(&self) -> CycleBreakdown {
+        let mut total = CycleBreakdown::new();
+        for n in 0..self.config.num_spes {
+            total += *self.breakdown(CoreId::Spe(n));
+        }
+        total
+    }
+
+    /// The maximum clock across a set of cores — the wall-clock finish
+    /// time of a parallel phase.
+    pub fn makespan(&self, cores: &[CoreId]) -> u64 {
+        cores.iter().map(|&c| self.now(c)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> CellMachine {
+        CellMachine::new(CellConfig::default())
+    }
+
+    #[test]
+    fn clocks_start_at_zero_and_advance_independently() {
+        let mut m = machine();
+        assert_eq!(m.now(CoreId::Ppe), 0);
+        m.advance(CoreId::Spe(0), 100, OpClass::Integer);
+        assert_eq!(m.now(CoreId::Spe(0)), 100);
+        assert_eq!(m.now(CoreId::Spe(1)), 0);
+        assert_eq!(m.now(CoreId::Ppe), 0);
+    }
+
+    #[test]
+    fn exec_charges_core_specific_costs() {
+        let mut m = machine();
+        m.exec(CoreId::Ppe, ExecOp::FloatMul);
+        m.exec(CoreId::Spe(0), ExecOp::FloatMul);
+        assert!(m.now(CoreId::Ppe) > m.now(CoreId::Spe(0)));
+        assert!(m.breakdown(CoreId::Ppe).cycles(OpClass::FloatingPoint) > 0);
+    }
+
+    #[test]
+    fn dma_stalls_and_charges_main_memory() {
+        let mut m = machine();
+        let stall = m.dma(CoreId::Spe(0), 1024);
+        // setup(50) + latency(100) + transfer(32) = 182 minimum
+        assert!(stall >= 182);
+        assert_eq!(m.now(CoreId::Spe(0)), stall);
+        assert_eq!(
+            m.breakdown(CoreId::Spe(0)).cycles(OpClass::MainMemory),
+            stall
+        );
+        assert_eq!(m.eib.transfers, 1);
+    }
+
+    #[test]
+    fn concurrent_dmas_contend() {
+        let mut m = machine();
+        // Two SPEs at the same local time issue large transfers.
+        let a = m.dma(CoreId::Spe(0), 16 << 10);
+        let b = m.dma(CoreId::Spe(1), 16 << 10);
+        assert!(b > a, "second requester must queue behind the first");
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let mut m = machine();
+        m.advance(CoreId::Spe(0), 500, OpClass::Integer);
+        m.wait_until(CoreId::Spe(0), 300, OpClass::MainMemory);
+        assert_eq!(m.now(CoreId::Spe(0)), 500);
+        m.wait_until(CoreId::Spe(0), 900, OpClass::MainMemory);
+        assert_eq!(m.now(CoreId::Spe(0)), 900);
+        assert_eq!(
+            m.breakdown(CoreId::Spe(0)).cycles(OpClass::MainMemory),
+            400
+        );
+    }
+
+    #[test]
+    fn ppe_mem_access_uses_hierarchy() {
+        let mut m = machine();
+        let miss = m.ppe_mem_access(0x8000, 4);
+        let hit = m.ppe_mem_access(0x8000, 4);
+        assert!(hit < miss);
+    }
+
+    #[test]
+    fn cores_enumeration() {
+        let m = machine();
+        let cores = m.cores();
+        assert_eq!(cores.len(), 7);
+        assert_eq!(cores[0], CoreId::Ppe);
+        assert_eq!(cores[6], CoreId::Spe(5));
+        assert_eq!(CoreId::Spe(3).kind(), CoreKind::Spe);
+    }
+
+    #[test]
+    fn spe_breakdown_merges() {
+        let mut m = machine();
+        m.advance(CoreId::Spe(0), 10, OpClass::Branch);
+        m.advance(CoreId::Spe(5), 7, OpClass::Branch);
+        m.advance(CoreId::Ppe, 99, OpClass::Branch);
+        assert_eq!(m.spe_breakdown().cycles(OpClass::Branch), 17);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let mut m = machine();
+        m.advance(CoreId::Spe(0), 10, OpClass::Integer);
+        m.advance(CoreId::Spe(1), 25, OpClass::Integer);
+        assert_eq!(m.makespan(&[CoreId::Spe(0), CoreId::Spe(1)]), 25);
+        assert_eq!(m.makespan(&[]), 0);
+    }
+}

@@ -1,0 +1,1184 @@
+//! The execution engine: runs core-specific compiled code, one quantum
+//! at a time, charging every retired op to the machine's cycle model.
+//!
+//! The same engine serves both core kinds; *which ops it encounters*
+//! differs, because `hera-jit` emitted direct heap accesses for PPE code
+//! and software-cache accesses for SPE code. Invocation is where all the
+//! interesting runtime behaviour lives: JIT-on-first-use per core type,
+//! SPE code-cache lookups (and re-lookups on return), annotation- and
+//! monitor-driven migration with stack markers, and the native bridges.
+
+use crate::native::StdNative;
+use crate::thread::{BlockReason, Frame, FrameKind, PendingCall, ThreadId};
+use crate::vm::VmError;
+use crate::world::{QuantumOutcome, World};
+use hera_cell::{CoreId, CoreKind, ExecOp, OpClass};
+use hera_isa::class::NativeKind;
+use hera_isa::{ClassId, MethodId, ObjRef, Trap, Ty, Value};
+use hera_jit::{BranchKind, MachineOp};
+use hera_mem::Heap;
+
+/// Control-flow outcome of one op.
+enum Flow {
+    /// Keep executing.
+    Continue,
+    /// The thread parked; the scheduler will resume it on wake.
+    Block,
+    /// The thread finished.
+    Finish,
+    /// The thread moved to another core's queue.
+    Migrate,
+    /// Voluntarily end the quantum (yield).
+    EndQuantum,
+}
+
+/// Extra PPE stall for a volatile access (sync instruction).
+const VOLATILE_SYNC_CYCLES: u64 = 20;
+
+// ---- tiny stack helpers (short borrows, index-based) ----
+
+#[inline]
+fn frame<'a>(w: &'a mut World<'_>, t: usize) -> &'a mut Frame {
+    w.threads[t].frames.last_mut().expect("thread has a frame")
+}
+
+#[inline]
+fn pop(w: &mut World<'_>, t: usize) -> Value {
+    frame(w, t).stack.pop().expect("verified stack is non-empty")
+}
+
+#[inline]
+fn push(w: &mut World<'_>, t: usize, v: Value) {
+    frame(w, t).stack.push(v);
+}
+
+#[inline]
+fn pop_ref_checked(w: &mut World<'_>, t: usize) -> Result<ObjRef, Trap> {
+    let r = pop(w, t).as_ref();
+    if r.is_null() {
+        Err(Trap::NullPointer)
+    } else {
+        Ok(r)
+    }
+}
+
+fn spe_of(core: CoreId) -> Option<usize> {
+    match core {
+        CoreId::Ppe => None,
+        CoreId::Spe(n) => Some(n as usize),
+    }
+}
+
+/// Run `tid` for up to `quantum_ops` machine operations.
+pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, VmError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+
+    // Deferred JMM acquire (monitor handed over while blocked).
+    if let Some(_obj) = w.threads[t].pending_acquire_barrier.take() {
+        w.machine.exec(core, ExecOp::MonitorOp);
+        if let Some(spe) = spe_of(core) {
+            if let Err(e) = data_cache_purge(w, spe, core) {
+                match e {
+                    StepError::Trap(trap) => {
+                        w.finish_thread(tid, Err(trap));
+                        return Ok(QuantumOutcome::Finished);
+                    }
+                    StepError::Vm(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Deferred code-cache re-lookup after a migrate-back onto an SPE.
+    if let Some(m) = w.threads[t].pending_relookup.take() {
+        if spe_of(core).is_some() {
+            code_cache_lookup(w, t, m)?;
+        }
+    }
+
+    // Deferred call (thread start or arrival after migration).
+    if let Some(call) = w.threads[t].pending_call.take() {
+        if let Some(origin) = call.marker_origin {
+            push_marker(w, t, origin);
+        }
+        push_frame(w, tid, call.method, call.args)?;
+        if w.threads[t].is_finished() {
+            return Ok(QuantumOutcome::Finished);
+        }
+    }
+
+    let quantum = w.config.quantum_ops;
+    for _ in 0..quantum {
+        if w.threads[t].frames.is_empty() {
+            // Defensive: a thread with no frames has finished.
+            return Ok(QuantumOutcome::Finished);
+        }
+        match step(w, tid) {
+            Ok(Flow::Continue) => {}
+            Ok(Flow::Block) => return Ok(QuantumOutcome::Blocked),
+            Ok(Flow::Finish) => return Ok(QuantumOutcome::Finished),
+            Ok(Flow::Migrate) => return Ok(QuantumOutcome::Migrated),
+            Ok(Flow::EndQuantum) => return Ok(QuantumOutcome::Ready),
+            Err(StepError::Trap(trap)) => {
+                w.finish_thread(tid, Err(trap));
+                return Ok(QuantumOutcome::Finished);
+            }
+            Err(StepError::Vm(e)) => return Err(e),
+        }
+    }
+    Ok(QuantumOutcome::Ready)
+}
+
+/// Step-level error: guest traps end the thread, VM errors end the run.
+enum StepError {
+    Trap(Trap),
+    Vm(VmError),
+}
+
+impl From<Trap> for StepError {
+    fn from(t: Trap) -> StepError {
+        StepError::Trap(t)
+    }
+}
+
+impl From<VmError> for StepError {
+    fn from(e: VmError) -> StepError {
+        StepError::Vm(e)
+    }
+}
+
+impl From<hera_mem::HeapError> for StepError {
+    fn from(e: hera_mem::HeapError) -> StepError {
+        StepError::Vm(VmError::Internal(format!("heap access: {e}")))
+    }
+}
+
+/// Execute exactly one machine op of thread `tid`.
+fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+
+    // Lazy rebind: a one-way (monitor-driven) migration can leave frames
+    // holding code compiled for the other core kind. The 1:1 lowering
+    // keeps op indices stable, so swapping in this core's compilation at
+    // the same pc is a sound on-stack replacement.
+    let needs_rebind = {
+        let f = frame(w, t);
+        f.code.core != core.kind()
+    };
+    if needs_rebind {
+        let method = frame(w, t).method;
+        let (code, jit) = w
+            .registry
+            .get_or_compile(w.program, &w.layout, method, core.kind())
+            .map_err(VmError::Compile)?;
+        if jit > 0 {
+            w.machine.advance(core, jit, OpClass::Integer);
+        }
+        frame(w, t).code = code;
+        if spe_of(core).is_some() {
+            code_cache_lookup(w, t, method)?;
+        }
+    }
+
+    // Fetch + advance pc.
+    let (op, _method) = {
+        let f = frame(w, t);
+        let op = f.code.ops[f.pc as usize];
+        f.pc += 1;
+        (op, f.method)
+    };
+
+    w.threads[t].window.total_ops += 1;
+
+    use MachineOp::*;
+    match op {
+        PushI32(v) => {
+            w.machine.exec(core, ExecOp::StackOp);
+            push(w, t, Value::I32(v));
+        }
+        PushI64(v) => {
+            w.machine.exec(core, ExecOp::StackOp);
+            push(w, t, Value::I64(v));
+        }
+        PushF32(v) => {
+            w.machine.exec(core, ExecOp::StackOp);
+            push(w, t, Value::F32(v));
+        }
+        PushF64(v) => {
+            w.machine.exec(core, ExecOp::StackOp);
+            push(w, t, Value::F64(v));
+        }
+        PushNull => {
+            w.machine.exec(core, ExecOp::StackOp);
+            push(w, t, Value::Ref(ObjRef::NULL));
+        }
+        Pop => {
+            w.machine.exec(core, ExecOp::StackOp);
+            pop(w, t);
+        }
+        Dup => {
+            w.machine.exec(core, ExecOp::StackOp);
+            let v = pop(w, t);
+            push(w, t, v);
+            push(w, t, v);
+        }
+        DupX1 => {
+            w.machine.exec(core, ExecOp::StackOp);
+            let a = pop(w, t);
+            let b = pop(w, t);
+            push(w, t, a);
+            push(w, t, b);
+            push(w, t, a);
+        }
+        Swap => {
+            w.machine.exec(core, ExecOp::StackOp);
+            let a = pop(w, t);
+            let b = pop(w, t);
+            push(w, t, a);
+            push(w, t, b);
+        }
+        LoadLocal(s) => {
+            w.machine.exec(core, ExecOp::LocalAccess);
+            let v = frame(w, t).locals[s as usize];
+            push(w, t, v);
+        }
+        StoreLocal(s) => {
+            w.machine.exec(core, ExecOp::LocalAccess);
+            let v = pop(w, t);
+            frame(w, t).locals[s as usize] = v;
+        }
+        IncLocal(s, d) => {
+            w.machine.exec(core, ExecOp::IntAlu);
+            let f = frame(w, t);
+            let old = f.locals[s as usize].as_i32();
+            f.locals[s as usize] = Value::I32(old.wrapping_add(d as i32));
+        }
+        Arith(a) => {
+            w.machine.exec(core, a.exec_op());
+            if matches!(
+                hera_cell::cost::exec_op_class(a.exec_op()),
+                OpClass::FloatingPoint
+            ) {
+                w.threads[t].window.fp_ops += 1;
+            }
+            if a.arity() == 1 {
+                let x = pop(w, t);
+                push(w, t, a.apply1(x));
+            } else {
+                let b = pop(w, t);
+                let x = pop(w, t);
+                let r = a.apply2(x, b)?;
+                push(w, t, r);
+            }
+        }
+        Branch(kind, target) => {
+            let taken = match kind {
+                BranchKind::Always => true,
+                BranchKind::IfI(c) => c.eval(pop(w, t).as_i32()),
+                BranchKind::IfICmp(c) => {
+                    let b = pop(w, t).as_i32();
+                    let a = pop(w, t).as_i32();
+                    c.eval2(a, b)
+                }
+                BranchKind::IfNull => pop(w, t).as_ref().is_null(),
+                BranchKind::IfNonNull => !pop(w, t).as_ref().is_null(),
+                BranchKind::IfACmpEq => {
+                    let b = pop(w, t).as_ref();
+                    let a = pop(w, t).as_ref();
+                    a == b
+                }
+                BranchKind::IfACmpNe => {
+                    let b = pop(w, t).as_ref();
+                    let a = pop(w, t).as_ref();
+                    a != b
+                }
+            };
+            if taken {
+                w.machine.exec(core, ExecOp::BranchTaken);
+                frame(w, t).pc = target;
+            } else {
+                w.machine.exec(core, ExecOp::Branch);
+            }
+        }
+        NewObject { class } => {
+            w.machine.exec(core, ExecOp::AllocOverhead);
+            let r = w.alloc_object(class, core)?;
+            if core == CoreId::Ppe {
+                w.machine.ppe_mem_access(r.0, 8);
+            }
+            push(w, t, Value::Ref(r));
+        }
+        NewArray { elem } => {
+            w.machine.exec(core, ExecOp::AllocOverhead);
+            let len = pop(w, t).as_i32();
+            let r = w.alloc_array(elem, len, core)?;
+            // Zeroing bandwidth.
+            let bytes = hera_mem::heap::array_byte_size(elem, len.max(0) as u32) as u64;
+            w.machine.stall(core, bytes / 64, OpClass::MainMemory);
+            push(w, t, Value::Ref(r));
+        }
+        InstanceOf { class } => {
+            w.machine.exec(core, ExecOp::Check);
+            let r = pop(w, t).as_ref();
+            let yes = if r.is_null() {
+                false
+            } else {
+                match w.heap.header(r).kind {
+                    hera_mem::HeapKind::Object(c) => w.program.is_subclass(c, class),
+                    hera_mem::HeapKind::Array(_, _) => false,
+                }
+            };
+            push(w, t, Value::I32(yes as i32));
+        }
+
+        // ---- PPE direct heap access ----
+        GetFieldDirect { offset, ty, volatile } => {
+            w.machine.exec(core, ExecOp::Check);
+            let r = pop_ref_checked(w, t)?;
+            let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
+            mem_monitor(w, t, cycles);
+            if volatile {
+                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+            }
+            let v = w.heap.read_typed(r.0 + offset, ty);
+            push(w, t, v);
+        }
+        PutFieldDirect { offset, ty, volatile } => {
+            w.machine.exec(core, ExecOp::Check);
+            let v = pop(w, t);
+            let r = pop_ref_checked(w, t)?;
+            let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
+            mem_monitor(w, t, cycles);
+            if volatile {
+                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+            }
+            w.heap.write_typed(r.0 + offset, ty, v);
+        }
+        GetStaticDirect { offset, ty, volatile } => {
+            let addr = Heap::STATICS_BASE + offset;
+            let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
+            mem_monitor(w, t, cycles);
+            if volatile {
+                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+            }
+            let v = w.heap.read_typed(addr, ty);
+            push(w, t, v);
+        }
+        PutStaticDirect { offset, ty, volatile } => {
+            let addr = Heap::STATICS_BASE + offset;
+            let v = pop(w, t);
+            let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
+            mem_monitor(w, t, cycles);
+            if volatile {
+                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+            }
+            w.heap.write_typed(addr, ty, v);
+        }
+        ArrLenDirect => {
+            w.machine.exec(core, ExecOp::Check);
+            let r = pop_ref_checked(w, t)?;
+            let cycles = w.machine.ppe_mem_access(r.0 + 4, 4);
+            mem_monitor(w, t, cycles);
+            let len = w.heap.array_length(r);
+            push(w, t, Value::I32(len as i32));
+        }
+        ArrLoadDirect { .. } => {
+            w.machine.exec(core, ExecOp::Check);
+            let idx = pop(w, t).as_i32();
+            let r = pop_ref_checked(w, t)?;
+            // Bounds check reads the length word through the caches too.
+            w.machine.ppe_mem_access(r.0 + 4, 4);
+            let (addr, elem) = w.heap.elem_addr(r, idx)?;
+            let cycles = w.machine.ppe_mem_access(addr, elem.size());
+            mem_monitor(w, t, cycles);
+            let v = w.heap.array_load(r, idx)?;
+            push(w, t, v);
+        }
+        ArrStoreDirect { .. } => {
+            w.machine.exec(core, ExecOp::Check);
+            let v = pop(w, t);
+            let idx = pop(w, t).as_i32();
+            let r = pop_ref_checked(w, t)?;
+            w.machine.ppe_mem_access(r.0 + 4, 4);
+            let (addr, elem) = w.heap.elem_addr(r, idx)?;
+            let cycles = w.machine.ppe_mem_access(addr, elem.size());
+            mem_monitor(w, t, cycles);
+            w.heap.array_store(r, idx, v)?;
+        }
+
+        // ---- SPE software-cached heap access ----
+        GetFieldCached { offset, ty, volatile } => {
+            w.machine.exec(core, ExecOp::Check);
+            let r = pop_ref_checked(w, t)?;
+            let spe = spe_of(core).expect("cached op on SPE");
+            if volatile {
+                // JMM acquire: purge before the read.
+                data_cache_purge(w, spe, core)?;
+            }
+            let size = w.heap.header(r).size;
+            let v = spe_read(w, t, spe, core, r.0, size, offset, ty)?;
+            push(w, t, v);
+        }
+        PutFieldCached { offset, ty, volatile } => {
+            w.machine.exec(core, ExecOp::Check);
+            let v = pop(w, t);
+            let r = pop_ref_checked(w, t)?;
+            let spe = spe_of(core).expect("cached op on SPE");
+            let size = w.heap.header(r).size;
+            spe_write(w, t, spe, core, r.0, size, offset, ty, v)?;
+            if volatile {
+                // JMM release: publish before anyone can acquire.
+                data_cache_flush(w, spe, core)?;
+            }
+        }
+        GetStaticCached { offset, ty, volatile } => {
+            let spe = spe_of(core).expect("cached op on SPE");
+            if volatile {
+                data_cache_purge(w, spe, core)?;
+            }
+            let unit = Heap::STATICS_BASE;
+            let len = w.layout.statics.size;
+            let v = spe_read(w, t, spe, core, unit, len, offset, ty)?;
+            push(w, t, v);
+        }
+        PutStaticCached { offset, ty, volatile } => {
+            let v = pop(w, t);
+            let spe = spe_of(core).expect("cached op on SPE");
+            let unit = Heap::STATICS_BASE;
+            let len = w.layout.statics.size;
+            spe_write(w, t, spe, core, unit, len, offset, ty, v)?;
+            if volatile {
+                data_cache_flush(w, spe, core)?;
+            }
+        }
+        ArrLenCached => {
+            w.machine.exec(core, ExecOp::Check);
+            let r = pop_ref_checked(w, t)?;
+            let spe = spe_of(core).expect("cached op on SPE");
+            let len = spe_array_len(w, t, spe, core, r)?;
+            push(w, t, Value::I32(len as i32));
+        }
+        ArrLoadCached { elem } => {
+            w.machine.exec(core, ExecOp::Check);
+            let idx = pop(w, t).as_i32();
+            let r = pop_ref_checked(w, t)?;
+            let spe = spe_of(core).expect("cached op on SPE");
+            let v = spe_array_access(w, t, spe, core, r, idx, elem, None)?;
+            push(w, t, v.expect("load returns a value"));
+        }
+        ArrStoreCached { elem } => {
+            w.machine.exec(core, ExecOp::Check);
+            let v = pop(w, t);
+            let idx = pop(w, t).as_i32();
+            let r = pop_ref_checked(w, t)?;
+            let spe = spe_of(core).expect("cached op on SPE");
+            spe_array_access(w, t, spe, core, r, idx, elem, Some(v))?;
+        }
+
+        // ---- calls ----
+        InvokeStatic { method } => {
+            return do_invoke(w, tid, method, None);
+        }
+        InvokeVirtual { slot, declared } => {
+            // Resolve the receiver's dynamic class by reading its header
+            // (charged: the dispatch really does load the TIB pointer).
+            let argc = w.program.method(declared).params.len();
+            let recv_depth = argc; // receiver sits below the arguments
+            let recv = {
+                let f = frame(w, t);
+                let s = &f.stack;
+                s[s.len() - 1 - recv_depth].as_ref()
+            };
+            if recv.is_null() {
+                return Err(Trap::NullPointer.into());
+            }
+            let class = match w.heap.header(recv).kind {
+                hera_mem::HeapKind::Object(c) => c,
+                hera_mem::HeapKind::Array(_, _) => {
+                    return Err(Trap::NativeError(
+                        "virtual call on array receiver".into(),
+                    )
+                    .into())
+                }
+            };
+            match spe_of(core) {
+                None => {
+                    let cycles = w.machine.ppe_mem_access(recv.0, 4);
+            mem_monitor(w, t, cycles);
+                }
+                Some(spe) => {
+                    // The header word comes through the data cache.
+                    let size = w.heap.header(recv).size;
+                    spe_read(w, t, spe, core, recv.0, size, 0, Ty::Int)?;
+                }
+            }
+            let target = w.program.class(class).vtable[slot as usize];
+            return do_invoke(w, tid, target, Some(class));
+        }
+        Return { has_value } => {
+            return do_return(w, tid, has_value);
+        }
+
+        // ---- synchronisation ----
+        MonitorEnter => {
+            // CellVM-comparison mode: the SPE cannot lock locally and
+            // must round-trip through the PPE for every monitor op.
+            if w.config.cellvm_style_sync {
+                if let Some(_spe) = spe_of(core) {
+                    let start = w.machine.now(CoreId::Ppe).max(w.machine.now(core));
+                    w.machine.idle_until(CoreId::Ppe, start);
+                    w.machine.stall(CoreId::Ppe, 200, OpClass::MainMemory);
+                    let done = w.machine.now(CoreId::Ppe);
+                    w.machine.wait_until(core, done, OpClass::MainMemory);
+                    w.machine.stall(
+                        core,
+                        w.machine.cost_model().syscall_signal_cycles as u64,
+                        OpClass::MainMemory,
+                    );
+                }
+            }
+            w.machine.exec(core, ExecOp::MonitorOp);
+            let r = pop_ref_checked(w, t)?;
+            let now = w.machine.now(core);
+            match w.monitors.acquire(r, tid, now) {
+                (crate::monitor::AcquireResult::Acquired, start) => {
+                    // Timed mutual exclusion: wait out a hold that ended
+                    // later in virtual time on another core.
+                    w.machine.wait_until(core, start, OpClass::MainMemory);
+                    w.threads[t].held_monitors += 1;
+                    if let Some(spe) = spe_of(core) {
+                        // JMM acquire.
+                        data_cache_purge(w, spe, core)?;
+                    }
+                }
+                (crate::monitor::AcquireResult::Blocked, _) => {
+                    w.threads[t].held_monitors += 1; // will own on wake
+                    w.block(tid, BlockReason::Monitor(r));
+                    // The acquire barrier runs when the thread resumes.
+                    w.threads[t].pending_acquire_barrier = Some(r);
+                    return Ok(Flow::Block);
+                }
+            }
+        }
+        MonitorExit => {
+            if w.config.cellvm_style_sync {
+                if let Some(_spe) = spe_of(core) {
+                    let start = w.machine.now(CoreId::Ppe).max(w.machine.now(core));
+                    w.machine.idle_until(CoreId::Ppe, start);
+                    w.machine.stall(CoreId::Ppe, 200, OpClass::MainMemory);
+                    let done = w.machine.now(CoreId::Ppe);
+                    w.machine.wait_until(core, done, OpClass::MainMemory);
+                    w.machine.stall(
+                        core,
+                        w.machine.cost_model().syscall_signal_cycles as u64,
+                        OpClass::MainMemory,
+                    );
+                }
+            }
+            w.machine.exec(core, ExecOp::MonitorOp);
+            let r = pop_ref_checked(w, t)?;
+            if let Some(spe) = spe_of(core) {
+                // JMM release: publish before the lock is visible free.
+                data_cache_flush(w, spe, core)?;
+            }
+            let now = w.machine.now(core);
+            let woken = w.monitors.release(r, tid, now)?;
+            w.threads[t].held_monitors = w.threads[t].held_monitors.saturating_sub(1);
+            if let Some(next) = woken {
+                let now = w.machine.now(core);
+                w.wake(next, now);
+            }
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+/// Record a PPE memory access in the behaviour window when it went past
+/// the L1 (the adaptive policy's "main memory" signal).
+fn mem_monitor(w: &mut World<'_>, t: usize, cycles: u64) {
+    if cycles > 8 {
+        w.threads[t].window.mem_ops += 1;
+    }
+}
+
+// ---- SPE data-cache plumbing ----
+
+fn data_cache_purge(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
+    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
+    let res = cache.purge(&mut w.heap, &mut w.machine, core);
+    w.data_caches[spe] = cache;
+    res.map_err(StepError::from)
+}
+
+fn data_cache_flush(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
+    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
+    let res = cache.write_back_dirty(&mut w.heap, &mut w.machine, core);
+    w.data_caches[spe] = cache;
+    res.map_err(StepError::from)
+}
+
+fn spe_read(
+    w: &mut World<'_>,
+    t: usize,
+    spe: usize,
+    core: CoreId,
+    unit: u32,
+    unit_len: u32,
+    off: u32,
+    ty: Ty,
+) -> Result<Value, StepError> {
+    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
+    let before = cache.stats.misses + cache.stats.bypasses;
+    let res = cache.read(&mut w.heap, &mut w.machine, core, unit, unit_len, off, ty);
+    if cache.stats.misses + cache.stats.bypasses > before {
+        w.threads[t].window.mem_ops += 1;
+    }
+    w.data_caches[spe] = cache;
+    res.map_err(StepError::from)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spe_write(
+    w: &mut World<'_>,
+    t: usize,
+    spe: usize,
+    core: CoreId,
+    unit: u32,
+    unit_len: u32,
+    off: u32,
+    ty: Ty,
+    v: Value,
+) -> Result<(), StepError> {
+    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
+    let before = cache.stats.misses + cache.stats.bypasses;
+    let res = cache.write(&mut w.heap, &mut w.machine, core, unit, unit_len, off, ty, v);
+    if cache.stats.misses + cache.stats.bypasses > before {
+        w.threads[t].window.mem_ops += 1;
+    }
+    w.data_caches[spe] = cache;
+    res.map_err(StepError::from)
+}
+
+/// Read an array's length through the SPE data cache (block 0 holds the
+/// header).
+fn spe_array_len(
+    w: &mut World<'_>,
+    t: usize,
+    spe: usize,
+    core: CoreId,
+    r: ObjRef,
+) -> Result<u32, StepError> {
+    let total = w.heap.header(r).size;
+    let bb = w.data_caches[spe].array_block_bytes();
+    let unit_len = total.min(bb);
+    let v = spe_read(w, t, spe, core, r.0, unit_len, 4, Ty::Int)?;
+    Ok(v.as_i32() as u32)
+}
+
+/// Bounds-checked SPE array element access through block-granular
+/// caching. `store` = `Some(v)` writes, `None` reads.
+#[allow(clippy::too_many_arguments)]
+fn spe_array_access(
+    w: &mut World<'_>,
+    t: usize,
+    spe: usize,
+    core: CoreId,
+    r: ObjRef,
+    idx: i32,
+    elem: hera_isa::ElemTy,
+    store: Option<Value>,
+) -> Result<Option<Value>, StepError> {
+    let hdr = w.heap.header(r);
+    let total = hdr.size;
+    let bb = w.data_caches[spe].array_block_bytes();
+
+    let esize = elem.size();
+    let rel = hera_mem::layout::HEADER_BYTES + idx.max(0) as u32 * esize;
+    let block = rel / bb;
+    let unit = r.0 + block * bb;
+    let unit_len = (total - block * bb).min(bb);
+
+    // Length check: in block 0 the same cached unit holds the header, so
+    // compiled code reads length and element with one lookup; otherwise
+    // the header block is consulted first.
+    let len = if block == 0 {
+        spe_read(w, t, spe, core, unit, unit_len, 4, Ty::Int)?.as_i32() as u32
+    } else {
+        spe_array_len(w, t, spe, core, r)?
+    };
+    w.machine.exec(core, ExecOp::Check);
+    if idx < 0 || idx as u32 >= len {
+        return Err(Trap::ArrayIndexOutOfBounds { index: idx, len }.into());
+    }
+
+    let off = rel - block * bb;
+    let ty = match elem {
+        hera_isa::ElemTy::Byte => Ty::Byte,
+        hera_isa::ElemTy::Short => Ty::Short,
+        hera_isa::ElemTy::Int => Ty::Int,
+        hera_isa::ElemTy::Long => Ty::Long,
+        hera_isa::ElemTy::Float => Ty::Float,
+        hera_isa::ElemTy::Double => Ty::Double,
+        hera_isa::ElemTy::Ref => Ty::Ref(ClassId(0)),
+    };
+    match store {
+        None => Ok(Some(spe_read(w, t, spe, core, unit, unit_len, off, ty)?)),
+        Some(v) => {
+            spe_write(w, t, spe, core, unit, unit_len, off, ty, v)?;
+            Ok(None)
+        }
+    }
+}
+
+// ---- code-cache plumbing ----
+
+/// Perform the TOC → TIB → method lookup for `method` on the SPE the
+/// thread currently occupies.
+fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<(), VmError> {
+    let core = w.threads[t].core;
+    let Some(spe) = spe_of(core) else { return Ok(()) };
+    let def = w.program.method(method);
+    if def.code().is_none() {
+        return Ok(()); // natives are not cached code
+    }
+    let class = def.class;
+    let tib_bytes = w.program.class(class).tib_bytes();
+    let (code, jit) = w
+        .registry
+        .get_or_compile(w.program, &w.layout, method, CoreKind::Spe)
+        .map_err(VmError::Compile)?;
+    if jit > 0 {
+        w.machine.advance(core, jit, OpClass::Integer);
+    }
+    let code_bytes = code.code_bytes;
+    let mut cc = std::mem::replace(&mut w.code_caches[spe], hera_softcache::CodeCache::new(0));
+    cc.lookup(&mut w.machine, core, class, tib_bytes, method, code_bytes);
+    w.code_caches[spe] = cc;
+    Ok(())
+}
+
+// ---- frames, invocation, migration, return ----
+
+fn push_marker(w: &mut World<'_>, t: usize, origin: CoreId) {
+    let filler = w.threads[t]
+        .frames
+        .last()
+        .map(|f| std::rc::Rc::clone(&f.code));
+    if let Some(code) = filler {
+        w.threads[t].frames.push(Frame {
+            method: MethodId(u32::MAX),
+            code,
+            pc: 0,
+            locals: Vec::new(),
+            stack: Vec::new(),
+            kind: FrameKind::MigrationMarker { origin },
+        });
+    } else {
+        // First activation of a thread: no marker needed.
+    }
+}
+
+/// Push an activation of `method` (bytecode) with `args` on the thread's
+/// current core, JIT-compiling and code-caching as needed.
+fn push_frame(
+    w: &mut World<'_>,
+    tid: ThreadId,
+    method: MethodId,
+    args: Vec<Value>,
+) -> Result<(), VmError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    if w.threads[t].frames.len() >= w.config.max_stack_depth {
+        // Kill the thread: drop its frames so every caller's
+        // `frames.is_empty()` check sees it is gone.
+        w.threads[t].frames.clear();
+        w.finish_thread(tid, Err(Trap::NativeError("stack overflow".into())));
+        return Ok(());
+    }
+    let kind = core.kind();
+    let (code, jit) = w
+        .registry
+        .get_or_compile(w.program, &w.layout, method, kind)
+        .map_err(VmError::Compile)?;
+    if jit > 0 {
+        w.machine.advance(core, jit, OpClass::Integer);
+    }
+    if spe_of(core).is_some() {
+        code_cache_lookup(w, t, method)?;
+    }
+    w.machine.exec(core, ExecOp::CallOverhead);
+
+    let def = w.program.method(method);
+    let nlocals = (def.max_locals as usize).max(args.len());
+    let mut locals = vec![Value::I32(0); nlocals];
+    locals[..args.len()].copy_from_slice(&args);
+    w.threads[t].frames.push(Frame {
+        method,
+        code,
+        pc: 0,
+        locals,
+        stack: Vec::new(),
+        kind: FrameKind::Normal,
+    });
+    Ok(())
+}
+
+/// Invoke `target` from the current frame: pops arguments (and receiver
+/// for instance methods), handles natives, migration and frame push.
+fn do_invoke(
+    w: &mut World<'_>,
+    tid: ThreadId,
+    target: MethodId,
+    _dynamic_class: Option<ClassId>,
+) -> Result<Flow, StepError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    let def = w.program.method(target);
+    let argc = def.params.len() + if def.is_static { 0 } else { 1 };
+
+    // Pop args (receiver first in the vector).
+    let mut args = vec![Value::I32(0); argc];
+    for i in (0..argc).rev() {
+        args[i] = pop(w, t);
+    }
+
+    // Native methods never create frames; they take a bridge.
+    if let hera_isa::MethodBody::Native(nid) = &def.body {
+        let nid = *nid;
+        let native_kind = def.native_kind.unwrap_or(NativeKind::FastSyscall);
+        return native_call(w, tid, nid, native_kind, args);
+    }
+
+    // Migration decisions (both happen at invoke safepoints, §3.1):
+    // * annotation-driven migration drops a marker so the thread
+    //   transparently returns to its origin core;
+    // * scheduler-selected (runtime-monitoring) migration is one-way:
+    //   the thread re-homes, and frames below rebind lazily.
+    let policy = w.policy();
+    let annotation_kind = policy.annotation_target(def, core.kind());
+    let monitored_kind = if annotation_kind.is_none() {
+        policy.monitored_target(&w.threads[t].window, core.kind())
+    } else {
+        None
+    };
+    if w.threads[t].window.total_ops > 1_000_000 {
+        // Keep windows bounded even without migrations.
+        w.threads[t].window.reset();
+    }
+
+    if let Some(kind) = annotation_kind {
+        if kind != core.kind() {
+            // Migrate: package parameters, drop a marker, move away.
+            // Program order follows the thread: its dirty cached writes
+            // are published on departure and its stale copies are
+            // dropped on arrival at an SPE.
+            let dest = w.pick_core(kind);
+            if let Some(spe) = spe_of(core) {
+                data_cache_flush(w, spe, core)?;
+            }
+            if matches!(dest, CoreId::Spe(_)) {
+                w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
+            }
+            w.machine.advance(
+                core,
+                w.config.migration_cycles as u64,
+                OpClass::Stack,
+            );
+            push_marker(w, t, core);
+            w.threads[t].pending_call = Some(PendingCall {
+                method: target,
+                args,
+                marker_origin: None,
+            });
+            w.threads[t].core = dest;
+            w.threads[t].available_at =
+                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].migrations += 1;
+            w.threads[t].window.reset();
+            return Ok(Flow::Migrate);
+        }
+    }
+    if let Some(kind) = monitored_kind {
+        if kind != core.kind() {
+            // One-way re-homing: no marker, the thread stays until the
+            // monitor says otherwise. Same departure-flush /
+            // arrival-purge rule as annotation migration.
+            let dest = w.pick_core(kind);
+            if let Some(spe) = spe_of(core) {
+                data_cache_flush(w, spe, core)?;
+            }
+            if matches!(dest, CoreId::Spe(_)) {
+                w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
+            }
+            w.machine.advance(
+                core,
+                w.config.migration_cycles as u64,
+                OpClass::Stack,
+            );
+            w.threads[t].pending_call = Some(PendingCall {
+                method: target,
+                args,
+                marker_origin: None,
+            });
+            w.threads[t].core = dest;
+            w.threads[t].available_at =
+                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].migrations += 1;
+            w.threads[t].window.reset();
+            return Ok(Flow::Migrate);
+        }
+    }
+
+    push_frame(w, tid, target, args)?;
+    if w.threads[t].frames.is_empty() {
+        // push_frame turned a stack overflow into thread death.
+        return Ok(Flow::Finish);
+    }
+    Ok(Flow::Continue)
+}
+
+/// Return from the current frame, handling migration markers and the
+/// SPE return-path code-cache re-lookup.
+fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, StepError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    w.machine.exec(core, ExecOp::ReturnOverhead);
+
+    let ret = if has_value { Some(pop(w, t)) } else { None };
+    w.threads[t].frames.pop();
+
+    // A migration marker directly below? Pop it and migrate back.
+    let marker_origin = match w.threads[t].frames.last() {
+        Some(f) => match f.kind {
+            FrameKind::MigrationMarker { origin } => {
+                w.threads[t].frames.pop();
+                Some(origin)
+            }
+            FrameKind::Normal => None,
+        },
+        None => None,
+    };
+
+    // Deliver the return value.
+    let caller_method = match w.threads[t].frames.last_mut() {
+        Some(f) => {
+            if let Some(v) = ret {
+                f.stack.push(v);
+            }
+            Some(f.method)
+        }
+        None => {
+            // JMM: a thread's termination happens-before any join on
+            // it -- publish its writes before joiners observe the
+            // finished state.
+            if let Some(spe) = spe_of(core) {
+                data_cache_flush(w, spe, core)?;
+            }
+            w.finish_thread(tid, Ok(ret));
+            return Ok(Flow::Finish);
+        }
+    };
+
+    match marker_origin {
+        Some(origin) => {
+            // Transparent migrate-back (paper §3.1: the thread "returns
+            // to the migration marker placed on the stack"). Publish
+            // this core's writes; refresh on arrival at an SPE.
+            if let Some(spe) = spe_of(core) {
+                data_cache_flush(w, spe, core)?;
+            }
+            if matches!(origin, CoreId::Spe(_)) {
+                w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
+            }
+            w.machine.advance(
+                core,
+                w.config.migration_cycles as u64,
+                OpClass::Stack,
+            );
+            w.threads[t].core = origin;
+            w.threads[t].available_at =
+                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].migrations += 1;
+            if spe_of(origin).is_some() {
+                w.threads[t].pending_relookup = caller_method;
+            }
+            Ok(Flow::Migrate)
+        }
+        None => {
+            // Same-core return: on an SPE the caller's code may have
+            // been purged while the callee ran — look it up again.
+            if spe_of(core).is_some() {
+                if let Some(m) = caller_method {
+                    code_cache_lookup(w, t, m)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+    }
+}
+
+// ---- native bridge ----
+
+/// Execute a native method. On an SPE the call is bridged to the PPE:
+/// JNI natives migrate the thread there for the duration; fast syscalls
+/// signal the dedicated PPE proxy thread and wait for the reply.
+fn native_call(
+    w: &mut World<'_>,
+    tid: ThreadId,
+    nid: hera_isa::NativeId,
+    kind: NativeKind,
+    args: Vec<Value>,
+) -> Result<Flow, StepError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    let native = StdNative::from_id(nid)
+        .ok_or_else(|| Trap::NativeError(format!("unknown native id {}", nid.0)))?;
+
+    // Per-call cost: body plus per-byte cost for buffer natives.
+    let extra = match native {
+        StdNative::PrintBytes | StdNative::WriteFile => {
+            let len_idx = if native == StdNative::WriteFile { 2 } else { 1 };
+            (args[len_idx].as_i32().max(0) as u64) / 4
+        }
+        _ => 0,
+    };
+    let body = native.base_cycles() + extra;
+
+    match spe_of(core) {
+        None => {
+            // Already on the PPE: just run it.
+            w.machine.stall(CoreId::Ppe, body, OpClass::MainMemory);
+        }
+        Some(spe) => {
+            // The PPE must see this thread's writes (JNI) — and either
+            // bridge serialises on the PPE.
+            if kind == NativeKind::Jni {
+                data_cache_flush(w, spe, core)?;
+            }
+            let overhead = match kind {
+                NativeKind::FastSyscall => {
+                    w.machine.cost_model().syscall_signal_cycles as u64
+                }
+                NativeKind::Jni => {
+                    w.threads[t].migrations += 2;
+                    2 * w.config.migration_cycles as u64
+                }
+            };
+            let start = w.machine.now(CoreId::Ppe).max(w.machine.now(core));
+            w.machine.idle_until(CoreId::Ppe, start);
+            w.machine.stall(CoreId::Ppe, body, OpClass::MainMemory);
+            let done = w.machine.now(CoreId::Ppe);
+            w.machine.wait_until(core, done, OpClass::MainMemory);
+            w.machine.stall(core, overhead, OpClass::MainMemory);
+            w.threads[t].window.mem_ops += 1;
+        }
+    }
+
+    // Semantics.
+    match native {
+        StdNative::PrintI32 => {
+            w.output.push(format!("{}", args[0].as_i32()));
+        }
+        StdNative::PrintI64 => {
+            w.output.push(format!("{}", args[0].as_i64()));
+        }
+        StdNative::PrintF64 => {
+            w.output.push(format!("{}", args[0].as_f64()));
+        }
+        StdNative::PrintBytes => {
+            let s = read_guest_bytes(w, args[0].as_ref(), args[1].as_i32())?;
+            w.output.push(String::from_utf8_lossy(&s).into_owned());
+        }
+        StdNative::TimeMillis => {
+            // 3.2 GHz virtual clock.
+            let ms = w.machine.now(w.threads[t].core) / 3_200_000;
+            push(w, t, Value::I64(ms as i64));
+        }
+        StdNative::SpawnThread => {
+            // JMM: everything before Thread.start() happens-before the
+            // new thread's first action -- publish this core's writes.
+            if let Some(spe) = spe_of(core) {
+                data_cache_flush(w, spe, core)?;
+            }
+            let obj = args[0].as_ref();
+            if obj.is_null() {
+                return Err(Trap::NullPointer.into());
+            }
+            let class = match w.heap.header(obj).kind {
+                hera_mem::HeapKind::Object(c) => c,
+                _ => return Err(Trap::NativeError("spawn of non-object".into()).into()),
+            };
+            let thread_class = w
+                .program
+                .class_by_name("Thread")
+                .ok_or_else(|| Trap::NativeError("no Thread class installed".into()))?;
+            if !w.program.is_subclass(class, thread_class) {
+                return Err(
+                    Trap::NativeError("spawn argument is not a Thread".into()).into()
+                );
+            }
+            let run = w.program.class(class).vtable[0];
+            let idx = w.threads.len() as u32;
+            let (kind, spe_hint) = w
+                .policy()
+                .initial_core_kind(idx, w.config.cell.num_spes);
+            let dest = match kind {
+                CoreKind::Ppe => CoreId::Ppe,
+                CoreKind::Spe => CoreId::Spe(spe_hint),
+            };
+            let at = w.machine.now(CoreId::Ppe);
+            let new_tid = w.spawn_thread(run, vec![Value::Ref(obj)], dest, at);
+            push(w, t, Value::I32(new_tid.0 as i32));
+        }
+        StdNative::JoinThread => {
+            let target = ThreadId(args[0].as_i32() as u32);
+            if target.0 as usize >= w.threads.len() {
+                return Err(Trap::NativeError(format!("join of unknown tid {}", target.0)).into());
+            }
+            if !w.threads[target.0 as usize].is_finished() {
+                w.block(tid, BlockReason::Join(target));
+                // The joined thread's effects must be visible on wake
+                // (happens-before edge) -- run the acquire barrier then.
+                w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
+                return Ok(Flow::Block);
+            }
+            // The joined thread's effects must be visible (happens-
+            // before edge): purge this SPE's stale cache.
+            if let Some(spe) = spe_of(core) {
+                data_cache_purge(w, spe, core)?;
+            }
+        }
+        StdNative::WriteFile => {
+            let fd = args[0].as_i32();
+            let bytes = read_guest_bytes(w, args[1].as_ref(), args[2].as_i32())?;
+            let len = bytes.len() as i32;
+            w.files.entry(fd).or_default().extend_from_slice(&bytes);
+            push(w, t, Value::I32(len));
+        }
+        StdNative::YieldThread => {
+            return Ok(Flow::EndQuantum);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+/// Read `len` bytes of a guest byte array (native, runs on the PPE with
+/// direct heap access).
+fn read_guest_bytes(w: &mut World<'_>, arr: ObjRef, len: i32) -> Result<Vec<u8>, StepError> {
+    if arr.is_null() {
+        return Err(Trap::NullPointer.into());
+    }
+    let alen = w.heap.array_length(arr);
+    let len = len.max(0) as u32;
+    if len > alen {
+        return Err(Trap::ArrayIndexOutOfBounds {
+            index: len as i32,
+            len: alen,
+        }
+        .into());
+    }
+    let base = arr.0 + hera_mem::layout::HEADER_BYTES;
+    Ok(w.heap.bytes(base, len)?.to_vec())
+}

@@ -1,0 +1,231 @@
+//! Object monitors: re-entrant locks with FIFO wait queues.
+//!
+//! Hera-JVM performs synchronisation on *both* core kinds (unlike
+//! CellVM, which "relies on the PPE core to perform thread
+//! synchronisation operations" — a scalability limitation the paper
+//! calls out). Acquisition/release on an SPE additionally drives the JMM
+//! cache actions; that coupling lives in the interpreter, this module is
+//! the pure lock state machine.
+
+use crate::thread::ThreadId;
+use hera_isa::{ObjRef, Trap};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Default)]
+struct MonitorState {
+    owner: Option<ThreadId>,
+    count: u32,
+    waiters: VecDeque<ThreadId>,
+    /// Virtual time at which the monitor was last released. Cores run on
+    /// loosely synchronised clocks, so mutual exclusion is also modelled
+    /// in *time*: an acquire at an earlier virtual time than the last
+    /// release stalls until it (the cross-core serialisation that bounds
+    /// lock-heavy scaling).
+    free_at: u64,
+}
+
+/// Result of an acquisition attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcquireResult {
+    /// The monitor is now held by the requester (count incremented).
+    Acquired,
+    /// Another thread holds it; the requester was queued.
+    Blocked,
+}
+
+/// All monitors, keyed by object (lazy: an object gets a monitor record
+/// on first contention-relevant use, like thin-lock inflation).
+#[derive(Debug, Default)]
+pub struct MonitorTable {
+    monitors: HashMap<ObjRef, MonitorState>,
+    /// Total acquisitions that blocked (contention metric).
+    pub contended_acquires: u64,
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+}
+
+impl MonitorTable {
+    /// An empty table.
+    pub fn new() -> MonitorTable {
+        MonitorTable::default()
+    }
+
+    /// Try to acquire `obj`'s monitor for `tid` (re-entrant) at virtual
+    /// time `now`. On success, the second element is the virtual time at
+    /// which the hold actually begins (>= `now` when the previous
+    /// release happened later in virtual time).
+    pub fn acquire(&mut self, obj: ObjRef, tid: ThreadId, now: u64) -> (AcquireResult, u64) {
+        let m = self.monitors.entry(obj).or_default();
+        match m.owner {
+            None => {
+                m.owner = Some(tid);
+                m.count = 1;
+                self.acquisitions += 1;
+                let start = m.free_at.max(now);
+                if m.free_at > now {
+                    self.contended_acquires += 1;
+                }
+                (AcquireResult::Acquired, start)
+            }
+            Some(owner) if owner == tid => {
+                m.count += 1;
+                self.acquisitions += 1;
+                (AcquireResult::Acquired, now)
+            }
+            Some(_) => {
+                if !m.waiters.contains(&tid) {
+                    m.waiters.push_back(tid);
+                }
+                self.contended_acquires += 1;
+                (AcquireResult::Blocked, now)
+            }
+        }
+    }
+
+    /// Release one level of `obj`'s monitor at virtual time `now`.
+    /// Returns the thread to wake (which now owns the monitor) when the
+    /// lock was fully released and a waiter existed.
+    pub fn release(
+        &mut self,
+        obj: ObjRef,
+        tid: ThreadId,
+        now: u64,
+    ) -> Result<Option<ThreadId>, Trap> {
+        let m = self
+            .monitors
+            .get_mut(&obj)
+            .ok_or(Trap::IllegalMonitorState)?;
+        if m.owner != Some(tid) {
+            return Err(Trap::IllegalMonitorState);
+        }
+        m.count -= 1;
+        m.free_at = m.free_at.max(now);
+        if m.count > 0 {
+            return Ok(None);
+        }
+        match m.waiters.pop_front() {
+            Some(next) => {
+                // Hand-off: the waiter owns the lock on wake, so it does
+                // not race with later arrivals.
+                m.owner = Some(next);
+                m.count = 1;
+                self.acquisitions += 1;
+                Ok(Some(next))
+            }
+            None => {
+                m.owner = None;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Current owner (test/diagnostic hook).
+    pub fn owner(&self, obj: ObjRef) -> Option<ThreadId> {
+        self.monitors.get(&obj).and_then(|m| m.owner)
+    }
+
+    /// Queued waiter count (test/diagnostic hook).
+    pub fn waiter_count(&self, obj: ObjRef) -> usize {
+        self.monitors.get(&obj).map_or(0, |m| m.waiters.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjRef = ObjRef(0x40);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+    const T3: ThreadId = ThreadId(3);
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let mut t = MonitorTable::new();
+        assert_eq!(t.acquire(OBJ, T1, 0), (AcquireResult::Acquired, 0));
+        assert_eq!(t.owner(OBJ), Some(T1));
+        assert_eq!(t.release(OBJ, T1, 10).unwrap(), None);
+        assert_eq!(t.owner(OBJ), None);
+    }
+
+    #[test]
+    fn reentrant_acquire_needs_matching_releases() {
+        let mut t = MonitorTable::new();
+        assert_eq!(t.acquire(OBJ, T1, 0).0, AcquireResult::Acquired);
+        assert_eq!(t.acquire(OBJ, T1, 1).0, AcquireResult::Acquired);
+        assert_eq!(t.release(OBJ, T1, 2).unwrap(), None);
+        assert_eq!(t.owner(OBJ), Some(T1)); // still held once
+        assert_eq!(t.release(OBJ, T1, 3).unwrap(), None);
+        assert_eq!(t.owner(OBJ), None);
+    }
+
+    #[test]
+    fn contention_blocks_and_hands_off_fifo() {
+        let mut t = MonitorTable::new();
+        t.acquire(OBJ, T1, 0);
+        assert_eq!(t.acquire(OBJ, T2, 1).0, AcquireResult::Blocked);
+        assert_eq!(t.acquire(OBJ, T3, 2).0, AcquireResult::Blocked);
+        assert_eq!(t.waiter_count(OBJ), 2);
+        // Release hands the lock to T2 directly.
+        assert_eq!(t.release(OBJ, T1, 5).unwrap(), Some(T2));
+        assert_eq!(t.owner(OBJ), Some(T2));
+        assert_eq!(t.release(OBJ, T2, 6).unwrap(), Some(T3));
+        assert_eq!(t.owner(OBJ), Some(T3));
+        assert_eq!(t.release(OBJ, T3, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn release_without_ownership_traps() {
+        let mut t = MonitorTable::new();
+        assert_eq!(t.release(OBJ, T1, 0), Err(Trap::IllegalMonitorState));
+        t.acquire(OBJ, T1, 0);
+        assert_eq!(t.release(OBJ, T2, 1), Err(Trap::IllegalMonitorState));
+    }
+
+    #[test]
+    fn duplicate_block_requests_queue_once() {
+        let mut t = MonitorTable::new();
+        t.acquire(OBJ, T1, 0);
+        t.acquire(OBJ, T2, 1);
+        t.acquire(OBJ, T2, 2);
+        assert_eq!(t.waiter_count(OBJ), 1);
+    }
+
+    #[test]
+    fn contention_stats() {
+        let mut t = MonitorTable::new();
+        t.acquire(OBJ, T1, 0);
+        t.acquire(OBJ, T2, 1);
+        assert_eq!(t.acquisitions, 1);
+        assert_eq!(t.contended_acquires, 1);
+        t.release(OBJ, T1, 2).unwrap();
+        assert_eq!(t.acquisitions, 2); // hand-off counts
+    }
+
+    #[test]
+    fn independent_objects_do_not_interfere() {
+        let mut t = MonitorTable::new();
+        let other = ObjRef(0x80);
+        t.acquire(OBJ, T1, 0);
+        assert_eq!(t.acquire(other, T2, 0).0, AcquireResult::Acquired);
+        assert_eq!(t.owner(OBJ), Some(T1));
+        assert_eq!(t.owner(other), Some(T2));
+    }
+
+    #[test]
+    fn timed_mutual_exclusion_delays_later_virtual_acquires() {
+        let mut t = MonitorTable::new();
+        t.acquire(OBJ, T1, 0);
+        t.release(OBJ, T1, 500).unwrap();
+        // T2 arrives "earlier" in virtual time on another core: its hold
+        // cannot begin before the prior release.
+        let (res, start) = t.acquire(OBJ, T2, 100);
+        assert_eq!(res, AcquireResult::Acquired);
+        assert_eq!(start, 500);
+        assert_eq!(t.contended_acquires, 1);
+        // A later acquire sees no delay.
+        t.release(OBJ, T2, 600).unwrap();
+        let (_, start) = t.acquire(OBJ, T3, 700);
+        assert_eq!(start, 700);
+    }
+}

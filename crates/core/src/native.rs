@@ -1,0 +1,266 @@
+//! The native-method surface (paper §3.2.3).
+//!
+//! SPE cores run no OS code, so a native method reached on an SPE takes
+//! one of two bridges:
+//!
+//! * **JNI path** — the thread migrates to the PPE for the duration of
+//!   the native method (used by Java-library natives such as file
+//!   writes);
+//! * **fast-syscall path** — the SPE signals a dedicated service thread
+//!   on the PPE, which performs the call on its behalf and signals the
+//!   result back (used by runtime-internal operations).
+//!
+//! Either way, native execution *serialises on the PPE*, which is one of
+//! the scalability limiters the multi-SPE experiments exercise.
+//!
+//! The set of natives is fixed (a standard library in miniature); guest
+//! programs reach them through the [`RuntimeApi`] methods installed by
+//! [`install_runtime`].
+
+use hera_isa::class::NativeKind;
+use hera_isa::{ClassId, ElemTy, MethodBody, MethodId, NativeId, ProgramBuilder, Ty};
+
+/// The built-in native methods.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StdNative {
+    /// Print an i32 line to the VM output.
+    PrintI32,
+    /// Print an i64 line.
+    PrintI64,
+    /// Print an f64 line.
+    PrintF64,
+    /// Print the first `len` bytes of a byte array as a line.
+    PrintBytes,
+    /// Virtual wall-clock milliseconds (derived from the core's cycle
+    /// count at 3.2 GHz).
+    TimeMillis,
+    /// Start a guest thread: the argument object's `run()` method (found
+    /// through its vtable) becomes the thread body. Returns the tid.
+    SpawnThread,
+    /// Block until the thread with the given tid finishes.
+    JoinThread,
+    /// Write `len` bytes of a byte array to the in-memory file with
+    /// descriptor `fd`; returns `len`.
+    WriteFile,
+    /// Politely give up the rest of the quantum.
+    YieldThread,
+}
+
+impl StdNative {
+    /// All natives.
+    pub const ALL: [StdNative; 9] = [
+        StdNative::PrintI32,
+        StdNative::PrintI64,
+        StdNative::PrintF64,
+        StdNative::PrintBytes,
+        StdNative::TimeMillis,
+        StdNative::SpawnThread,
+        StdNative::JoinThread,
+        StdNative::WriteFile,
+        StdNative::YieldThread,
+    ];
+
+    /// Stable native id.
+    pub fn id(self) -> NativeId {
+        NativeId(match self {
+            StdNative::PrintI32 => 0,
+            StdNative::PrintI64 => 1,
+            StdNative::PrintF64 => 2,
+            StdNative::PrintBytes => 3,
+            StdNative::TimeMillis => 4,
+            StdNative::SpawnThread => 5,
+            StdNative::JoinThread => 6,
+            StdNative::WriteFile => 7,
+            StdNative::YieldThread => 8,
+        })
+    }
+
+    /// Reverse lookup.
+    pub fn from_id(id: NativeId) -> Option<StdNative> {
+        StdNative::ALL.iter().copied().find(|n| n.id() == id)
+    }
+
+    /// Which bridge this native takes from an SPE.
+    pub fn kind(self) -> NativeKind {
+        match self {
+            // Java-library style natives: full JNI, thread migrates.
+            StdNative::PrintBytes | StdNative::WriteFile => NativeKind::Jni,
+            // Runtime-internal operations: fast syscall to the proxy.
+            _ => NativeKind::FastSyscall,
+        }
+    }
+
+    /// Estimated PPE cycles to execute the call itself (syscall body,
+    /// excluding bridge overhead). `extra` scales per-byte costs.
+    pub fn base_cycles(self) -> u64 {
+        match self {
+            StdNative::PrintI32 | StdNative::PrintI64 | StdNative::PrintF64 => 1_500,
+            StdNative::PrintBytes => 3_000,
+            StdNative::TimeMillis => 300,
+            StdNative::SpawnThread => 5_000,
+            StdNative::JoinThread => 500,
+            StdNative::WriteFile => 4_000,
+            StdNative::YieldThread => 200,
+        }
+    }
+}
+
+/// Handles to the installed runtime classes and native methods.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeApi {
+    /// The guest `Thread` base class; subclasses override `run()`.
+    pub thread_class: ClassId,
+    /// Vtable slot of `Thread.run()` (what `spawn` dispatches through).
+    pub run_slot: u16,
+    /// `Thread.run()` itself (the no-op base implementation).
+    pub run_method: MethodId,
+    /// `Runtime.printInt(int)`.
+    pub print_i32: MethodId,
+    /// `Runtime.printLong(long)`.
+    pub print_i64: MethodId,
+    /// `Runtime.printDouble(double)`.
+    pub print_f64: MethodId,
+    /// `Runtime.printBytes(byte[], int)`.
+    pub print_bytes: MethodId,
+    /// `Runtime.timeMillis() -> long`.
+    pub time_millis: MethodId,
+    /// `Runtime.spawn(Thread) -> int`.
+    pub spawn: MethodId,
+    /// `Runtime.join(int)`.
+    pub join: MethodId,
+    /// `Runtime.writeFile(int, byte[], int) -> int`.
+    pub write_file: MethodId,
+    /// `Runtime.yield()`.
+    pub yield_thread: MethodId,
+}
+
+/// Install the runtime classes (`Thread`, `Runtime`) into a program
+/// builder. Call this before declaring guest classes that subclass
+/// `Thread`.
+pub fn install_runtime(b: &mut ProgramBuilder) -> RuntimeApi {
+    let thread_class = b.add_class("Thread", None);
+    let run_method = b.add_virtual_method(
+        thread_class,
+        "run",
+        vec![],
+        None,
+        1,
+        MethodBody::Bytecode(vec![hera_isa::Instr::Return]),
+    );
+
+    let rt = b.add_class("Runtime", None);
+    let nat = |b: &mut ProgramBuilder, name: &str, params: Vec<Ty>, ret, n: StdNative| {
+        b.add_native_method(rt, name, params, ret, n.id(), n.kind())
+    };
+    let print_i32 = nat(b, "printInt", vec![Ty::Int], None, StdNative::PrintI32);
+    let print_i64 = nat(b, "printLong", vec![Ty::Long], None, StdNative::PrintI64);
+    let print_f64 = nat(
+        b,
+        "printDouble",
+        vec![Ty::Double],
+        None,
+        StdNative::PrintF64,
+    );
+    let print_bytes = nat(
+        b,
+        "printBytes",
+        vec![Ty::Array(ElemTy::Byte), Ty::Int],
+        None,
+        StdNative::PrintBytes,
+    );
+    let time_millis = nat(b, "timeMillis", vec![], Some(Ty::Long), StdNative::TimeMillis);
+    let spawn = nat(
+        b,
+        "spawn",
+        vec![Ty::Ref(thread_class)],
+        Some(Ty::Int),
+        StdNative::SpawnThread,
+    );
+    let join = nat(b, "join", vec![Ty::Int], None, StdNative::JoinThread);
+    let write_file = nat(
+        b,
+        "writeFile",
+        vec![Ty::Int, Ty::Array(ElemTy::Byte), Ty::Int],
+        Some(Ty::Int),
+        StdNative::WriteFile,
+    );
+    let yield_thread = nat(b, "yield", vec![], None, StdNative::YieldThread);
+
+    RuntimeApi {
+        thread_class,
+        run_slot: 0,
+        run_method,
+        print_i32,
+        print_i64,
+        print_f64,
+        print_bytes,
+        time_millis,
+        spawn,
+        join,
+        write_file,
+        yield_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for n in StdNative::ALL {
+            assert_eq!(StdNative::from_id(n.id()), Some(n));
+        }
+        assert_eq!(StdNative::from_id(NativeId(99)), None);
+    }
+
+    #[test]
+    fn bridge_kinds_follow_the_paper() {
+        assert_eq!(StdNative::WriteFile.kind(), NativeKind::Jni);
+        assert_eq!(StdNative::PrintBytes.kind(), NativeKind::Jni);
+        assert_eq!(StdNative::SpawnThread.kind(), NativeKind::FastSyscall);
+        assert_eq!(StdNative::TimeMillis.kind(), NativeKind::FastSyscall);
+    }
+
+    #[test]
+    fn install_creates_thread_and_runtime() {
+        let mut b = ProgramBuilder::new();
+        let api = install_runtime(&mut b);
+        let p = b.finish().unwrap();
+        assert_eq!(p.class_by_name("Thread"), Some(api.thread_class));
+        assert!(p.class_by_name("Runtime").is_some());
+        // run() occupies vtable slot 0 of Thread.
+        assert_eq!(p.method(api.run_method).vtable_slot, Some(api.run_slot));
+        assert_eq!(p.class(api.thread_class).vtable[0], api.run_method);
+        // Natives verify trivially and are marked with their kinds.
+        assert_eq!(
+            p.method(api.spawn).native_kind,
+            Some(NativeKind::FastSyscall)
+        );
+        assert_eq!(p.method(api.write_file).native_kind, Some(NativeKind::Jni));
+    }
+
+    #[test]
+    fn subclass_overrides_run_in_slot_zero() {
+        let mut b = ProgramBuilder::new();
+        let api = install_runtime(&mut b);
+        let worker = b.add_class("Worker", Some(api.thread_class));
+        let my_run = b.add_virtual_method(
+            worker,
+            "run",
+            vec![],
+            None,
+            1,
+            MethodBody::Bytecode(vec![hera_isa::Instr::Return]),
+        );
+        let p = b.finish().unwrap();
+        assert_eq!(p.class(worker).vtable[api.run_slot as usize], my_run);
+    }
+
+    #[test]
+    fn all_natives_have_positive_cost() {
+        for n in StdNative::ALL {
+            assert!(n.base_cycles() > 0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Thread placement and migration policies.
+//!
+//! The paper's thesis is that the runtime — not the developer — should
+//! map threads to core types, using behaviour *hints* (annotations) and
+//! *runtime monitoring*. This module hosts the decision logic:
+//!
+//! * the pinned policies exist for measurement (Figure 4 pins each
+//!   benchmark run to the PPE or to N SPEs);
+//! * [`PlacementPolicy::Annotation`] migrates a thread when it invokes a
+//!   method tagged `@FloatIntensive`/`@RunOnSpe` (→ SPE) or
+//!   `@MemoryIntensive`/`@RunOnPpe` (→ PPE);
+//! * [`PlacementPolicy::Adaptive`] watches each thread's windowed
+//!   op-class mix and migrates floating-point-heavy threads to an SPE
+//!   and main-memory-heavy threads back to the PPE — the §6 "future
+//!   versions" behaviour, implemented here as extension E9.
+
+use crate::thread::BehaviourWindow;
+use hera_cell::CoreKind;
+use hera_isa::{Annotation, MethodDef};
+
+/// Adaptive policy thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveParams {
+    /// Ops per monitoring window before a decision is considered.
+    pub window_ops: u64,
+    /// FP fraction above which a PPE thread migrates to an SPE.
+    pub fp_threshold: f64,
+    /// Main-memory fraction above which an SPE thread migrates back.
+    pub mem_threshold: f64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            window_ops: 20_000,
+            fp_threshold: 0.15,
+            mem_threshold: 0.04,
+        }
+    }
+}
+
+/// How threads are placed on cores.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum PlacementPolicy {
+    /// Every thread runs on the PPE (measurement baseline).
+    PinnedPpe,
+    /// Threads are distributed round-robin over the SPE cores and stay
+    /// there (the Figure 4 "N SPEs" configurations).
+    PinnedSpe,
+    /// Threads start on the PPE and migrate at calls to annotated
+    /// methods, returning at the migration marker.
+    #[default]
+    Annotation,
+    /// Annotation behaviour *plus* runtime monitoring with the given
+    /// parameters.
+    Adaptive(AdaptiveParams),
+}
+
+impl PlacementPolicy {
+    /// The adaptive policy with default thresholds.
+    pub fn adaptive() -> PlacementPolicy {
+        PlacementPolicy::Adaptive(AdaptiveParams::default())
+    }
+
+    /// Where the `n`-th spawned thread starts (`num_spes` available).
+    pub fn initial_core_kind(&self, thread_index: u32, num_spes: u8) -> (CoreKind, u8) {
+        match self {
+            PlacementPolicy::PinnedPpe => (CoreKind::Ppe, 0),
+            PlacementPolicy::PinnedSpe => {
+                (CoreKind::Spe, (thread_index % num_spes.max(1) as u32) as u8)
+            }
+            PlacementPolicy::Annotation | PlacementPolicy::Adaptive(_) => (CoreKind::Ppe, 0),
+        }
+    }
+
+    /// Whether invoking `method` should migrate the thread to another
+    /// core kind (annotation-driven migration, §3.1).
+    pub fn annotation_target(&self, method: &MethodDef, current: CoreKind) -> Option<CoreKind> {
+        match self {
+            PlacementPolicy::PinnedPpe | PlacementPolicy::PinnedSpe => None,
+            PlacementPolicy::Annotation | PlacementPolicy::Adaptive(_) => {
+                let wants_spe = method.has_annotation(Annotation::RunOnSpe)
+                    || method.has_annotation(Annotation::FloatIntensive);
+                let wants_ppe = method.has_annotation(Annotation::RunOnPpe)
+                    || method.has_annotation(Annotation::MemoryIntensive);
+                match (wants_spe, wants_ppe, current) {
+                    (true, false, CoreKind::Ppe) => Some(CoreKind::Spe),
+                    (false, true, CoreKind::Spe) => Some(CoreKind::Ppe),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Whether runtime monitoring suggests migrating a thread with the
+    /// given behaviour window away from `current`. Only the adaptive
+    /// policy ever answers.
+    pub fn monitored_target(
+        &self,
+        window: &BehaviourWindow,
+        current: CoreKind,
+    ) -> Option<CoreKind> {
+        let PlacementPolicy::Adaptive(p) = self else {
+            return None;
+        };
+        if window.total_ops < p.window_ops {
+            return None;
+        }
+        match current {
+            CoreKind::Ppe if window.fp_fraction() > p.fp_threshold
+                && window.mem_fraction() <= p.mem_threshold =>
+            {
+                Some(CoreKind::Spe)
+            }
+            CoreKind::Spe if window.mem_fraction() > p.mem_threshold => Some(CoreKind::Ppe),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_isa::{ClassId, MethodBody};
+
+    fn method_with(annotations: Vec<Annotation>) -> MethodDef {
+        MethodDef {
+            name: "m".into(),
+            class: ClassId(0),
+            params: vec![],
+            ret: None,
+            is_static: true,
+            max_locals: 0,
+            body: MethodBody::Bytecode(vec![hera_isa::Instr::Return]),
+            annotations,
+            vtable_slot: None,
+            native_kind: None,
+        }
+    }
+
+    #[test]
+    fn pinned_policies_never_migrate() {
+        let m = method_with(vec![Annotation::RunOnSpe]);
+        assert_eq!(
+            PlacementPolicy::PinnedPpe.annotation_target(&m, CoreKind::Ppe),
+            None
+        );
+        assert_eq!(
+            PlacementPolicy::PinnedSpe.annotation_target(&m, CoreKind::Spe),
+            None
+        );
+    }
+
+    #[test]
+    fn pinned_spe_round_robins_initial_placement() {
+        let p = PlacementPolicy::PinnedSpe;
+        assert_eq!(p.initial_core_kind(0, 6), (CoreKind::Spe, 0));
+        assert_eq!(p.initial_core_kind(1, 6), (CoreKind::Spe, 1));
+        assert_eq!(p.initial_core_kind(7, 6), (CoreKind::Spe, 1));
+        assert_eq!(
+            PlacementPolicy::PinnedPpe.initial_core_kind(3, 6),
+            (CoreKind::Ppe, 0)
+        );
+    }
+
+    #[test]
+    fn annotations_pull_toward_their_core_kind() {
+        let p = PlacementPolicy::Annotation;
+        let fp = method_with(vec![Annotation::FloatIntensive]);
+        assert_eq!(p.annotation_target(&fp, CoreKind::Ppe), Some(CoreKind::Spe));
+        assert_eq!(p.annotation_target(&fp, CoreKind::Spe), None);
+        let mem = method_with(vec![Annotation::MemoryIntensive]);
+        assert_eq!(
+            p.annotation_target(&mem, CoreKind::Spe),
+            Some(CoreKind::Ppe)
+        );
+        assert_eq!(p.annotation_target(&mem, CoreKind::Ppe), None);
+        let plain = method_with(vec![]);
+        assert_eq!(p.annotation_target(&plain, CoreKind::Ppe), None);
+    }
+
+    #[test]
+    fn conflicting_annotations_stay_put() {
+        let p = PlacementPolicy::Annotation;
+        let both = method_with(vec![Annotation::RunOnSpe, Annotation::RunOnPpe]);
+        assert_eq!(p.annotation_target(&both, CoreKind::Ppe), None);
+        assert_eq!(p.annotation_target(&both, CoreKind::Spe), None);
+    }
+
+    #[test]
+    fn adaptive_migrates_fp_heavy_threads_to_spe() {
+        let p = PlacementPolicy::adaptive();
+        let w = BehaviourWindow {
+            fp_ops: 40_000,
+            mem_ops: 100,
+            total_ops: 100_000,
+        };
+        assert_eq!(p.monitored_target(&w, CoreKind::Ppe), Some(CoreKind::Spe));
+        assert_eq!(p.monitored_target(&w, CoreKind::Spe), None);
+    }
+
+    #[test]
+    fn adaptive_migrates_memory_heavy_threads_to_ppe() {
+        let p = PlacementPolicy::adaptive();
+        let w = BehaviourWindow {
+            fp_ops: 0,
+            mem_ops: 30_000,
+            total_ops: 100_000,
+        };
+        assert_eq!(p.monitored_target(&w, CoreKind::Spe), Some(CoreKind::Ppe));
+        // Memory-heavy *and* FP-heavy on the PPE: memory wins (stay).
+        let mixed = BehaviourWindow {
+            fp_ops: 40_000,
+            mem_ops: 30_000,
+            total_ops: 100_000,
+        };
+        assert_eq!(p.monitored_target(&mixed, CoreKind::Ppe), None);
+    }
+
+    #[test]
+    fn adaptive_waits_for_a_full_window() {
+        let p = PlacementPolicy::adaptive();
+        let w = BehaviourWindow {
+            fp_ops: 500,
+            mem_ops: 0,
+            total_ops: 1000,
+        };
+        assert_eq!(p.monitored_target(&w, CoreKind::Ppe), None);
+    }
+
+    #[test]
+    fn non_adaptive_policies_ignore_monitoring() {
+        let w = BehaviourWindow {
+            fp_ops: 90_000,
+            mem_ops: 0,
+            total_ops: 100_000,
+        };
+        assert_eq!(
+            PlacementPolicy::Annotation.monitored_target(&w, CoreKind::Ppe),
+            None
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Aggregated run statistics: everything the experiments report.
+
+use hera_cell::{CycleBreakdown, OpClass};
+use hera_jit::RegistryStats;
+use hera_softcache::{CodeCacheStats, DataCacheStats};
+use std::fmt;
+
+/// GC summary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcSummary {
+    /// Collections performed.
+    pub collections: u64,
+    /// PPE cycles spent collecting.
+    pub ppe_cycles: u64,
+    /// Total objects reclaimed.
+    pub objects_freed: u64,
+    /// Total bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+/// Bus summary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BusSummary {
+    /// Bytes moved over the shared memory interface.
+    pub bytes_transferred: u64,
+    /// DMA transfers granted.
+    pub transfers: u64,
+    /// Mean queueing delay per transfer (contention indicator).
+    pub mean_queue_cycles: f64,
+}
+
+/// Everything measured during one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall-clock finish time: the maximum core clock (cycles).
+    pub wall_cycles: u64,
+    /// The PPE's cycle breakdown.
+    pub ppe: CycleBreakdown,
+    /// Merged breakdown over all SPEs (Figure 5's subject).
+    pub spe: CycleBreakdown,
+    /// Per-core total cycles, PPE first.
+    pub per_core_cycles: Vec<u64>,
+    /// Merged SPE data-cache statistics.
+    pub data_cache: DataCacheStats,
+    /// Merged SPE code-cache statistics.
+    pub code_cache: CodeCacheStats,
+    /// GC summary.
+    pub gc: GcSummary,
+    /// JIT registry summary (per-core compilation counts).
+    pub registry: RegistryStats,
+    /// Bus summary.
+    pub bus: BusSummary,
+    /// Total thread migrations (including JNI round trips).
+    pub migrations: u64,
+    /// Guest threads created.
+    pub threads: u32,
+    /// Contended monitor acquisitions.
+    pub contended_acquires: u64,
+    /// Context switches.
+    pub thread_switches: u64,
+}
+
+impl RunStats {
+    /// Wall-clock time in virtual milliseconds at 3.2 GHz.
+    pub fn wall_millis(&self) -> f64 {
+        self.wall_cycles as f64 / 3.2e6
+    }
+
+    /// Render a human-readable report.
+    pub fn report(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wall clock: {} cycles ({:.2} virtual ms)",
+            self.wall_cycles,
+            self.wall_millis()
+        )?;
+        writeln!(
+            f,
+            "threads: {} ({} migrations, {} contended lock acquires, {} switches)",
+            self.threads, self.migrations, self.contended_acquires, self.thread_switches
+        )?;
+        writeln!(
+            f,
+            "jit: {} PPE / {} SPE methods compiled ({} dual)",
+            self.registry.ppe_compilations,
+            self.registry.spe_compilations,
+            self.registry.dual_compiled
+        )?;
+        writeln!(
+            f,
+            "gc: {} collections, {} cycles on PPE, {} objects freed",
+            self.gc.collections, self.gc.ppe_cycles, self.gc.objects_freed
+        )?;
+        writeln!(
+            f,
+            "data cache: {:.1}% hit rate ({} hits / {} misses, {} purges)",
+            self.data_cache.hit_rate() * 100.0,
+            self.data_cache.hits,
+            self.data_cache.misses,
+            self.data_cache.purges
+        )?;
+        writeln!(
+            f,
+            "code cache: {:.1}% hit rate ({} hits / {} misses, {} purges)",
+            self.code_cache.method_hit_rate() * 100.0,
+            self.code_cache.method_hits,
+            self.code_cache.method_misses,
+            self.code_cache.purges
+        )?;
+        writeln!(
+            f,
+            "bus: {} transfers, {} bytes, mean queue {:.1} cycles",
+            self.bus.transfers, self.bus.bytes_transferred, self.bus.mean_queue_cycles
+        )?;
+        writeln!(f, "SPE cycle breakdown:")?;
+        write!(f, "{}", self.spe)?;
+        Ok(())
+    }
+}
+
+/// The Figure 5 percentage row for the SPE breakdown.
+pub fn figure5_row(stats: &RunStats) -> [(OpClass, f64); 6] {
+    let mut out = [(OpClass::FloatingPoint, 0.0); 6];
+    for (i, c) in OpClass::ALL.iter().enumerate() {
+        out[i] = (*c, stats.spe.fraction(*c) * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_millis_conversion() {
+        let s = RunStats {
+            wall_cycles: 3_200_000,
+            ..Default::default()
+        };
+        assert!((s.wall_millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_mentions_key_sections() {
+        let s = RunStats::default();
+        let r = s.report();
+        assert!(r.contains("wall clock"));
+        assert!(r.contains("data cache"));
+        assert!(r.contains("code cache"));
+        assert!(r.contains("SPE cycle breakdown"));
+    }
+
+    #[test]
+    fn figure5_row_covers_all_classes() {
+        let mut s = RunStats::default();
+        s.spe.charge(OpClass::FloatingPoint, 75);
+        s.spe.charge(OpClass::Integer, 25);
+        let row = figure5_row(&s);
+        assert_eq!(row.len(), 6);
+        assert!((row[0].1 - 75.0).abs() < 1e-9);
+        assert!((row[1].1 - 25.0).abs() < 1e-9);
+    }
+}

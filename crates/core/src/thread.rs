@@ -1,0 +1,291 @@
+//! Guest threads: frames, migration markers, run state and the
+//! behaviour monitor that feeds the adaptive placement policy.
+
+use hera_cell::CoreId;
+use hera_isa::{MethodId, ObjRef, Trap, Value};
+use hera_jit::CompiledMethod;
+use std::rc::Rc;
+
+/// Identifier of a guest thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ThreadId(pub u32);
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockReason {
+    /// Waiting for another thread to release this object's monitor.
+    Monitor(ObjRef),
+    /// Waiting for another thread to finish (`join`).
+    Join(ThreadId),
+}
+
+/// Thread life-cycle state.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ThreadState {
+    /// Eligible to run (possibly queued behind others on its core).
+    Ready,
+    /// Parked on a monitor or join.
+    Blocked(BlockReason),
+    /// Completed, either with a value (the entry method's return) or a
+    /// trap.
+    Finished(Result<Option<Value>, Trap>),
+}
+
+/// What kind of frame sits on the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameKind {
+    /// An ordinary method activation.
+    Normal,
+    /// A migration marker (paper §3.1): pushed when the thread migrated
+    /// to another core kind at an invoke; returning through it migrates
+    /// the thread back to `origin`.
+    MigrationMarker {
+        /// The core to return to.
+        origin: CoreId,
+    },
+}
+
+/// One method activation.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The executing method.
+    pub method: MethodId,
+    /// Its compiled (core-specific) code.
+    pub code: Rc<CompiledMethod>,
+    /// Next op index.
+    pub pc: u32,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Normal or migration marker.
+    pub kind: FrameKind,
+}
+
+/// A deferred method call, carried across a migration: the paper's
+/// "parameters of the method are packaged and a marker is placed on the
+/// stack".
+#[derive(Clone, Debug)]
+pub struct PendingCall {
+    /// The method to invoke on arrival.
+    pub method: MethodId,
+    /// Packaged arguments (receiver first for instance methods).
+    pub args: Vec<Value>,
+    /// Where the thread came from (origin of the migration marker), or
+    /// `None` when this is the thread's very first activation.
+    pub marker_origin: Option<CoreId>,
+}
+
+/// Windowed behaviour counters for runtime monitoring (paper §3: "these
+/// hints, alongside runtime monitoring, inform Hera-JVM's thread
+/// placement and migration decisions").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BehaviourWindow {
+    /// Floating-point ops retired in the current window.
+    pub fp_ops: u64,
+    /// Main-memory events (software-cache misses / PPE deep misses).
+    pub mem_ops: u64,
+    /// All ops retired in the window.
+    pub total_ops: u64,
+}
+
+impl BehaviourWindow {
+    /// Fraction of ops that were floating point.
+    pub fn fp_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.fp_ops as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Fraction of ops that touched main memory.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.mem_ops as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Reset for the next window.
+    pub fn reset(&mut self) {
+        *self = BehaviourWindow::default();
+    }
+}
+
+/// A guest thread.
+#[derive(Debug)]
+pub struct JavaThread {
+    /// This thread's id.
+    pub id: ThreadId,
+    /// Activation stack (bottom first).
+    pub frames: Vec<Frame>,
+    /// Run state.
+    pub state: ThreadState,
+    /// The core this thread is (or will next be) scheduled on.
+    pub core: CoreId,
+    /// Earliest machine time at which the thread may run on `core`
+    /// (set by migrations, wakes and spawns).
+    pub available_at: u64,
+    /// A call to perform when next scheduled (used by spawn and by
+    /// migration, where the callee's frame is created on the target
+    /// core).
+    pub pending_call: Option<PendingCall>,
+    /// On returning to an SPE through a migration marker, the caller
+    /// method whose code must be re-looked-up in the code cache.
+    pub pending_relookup: Option<MethodId>,
+    /// Set when this thread must run a JMM acquire barrier on resume:
+    /// either it was handed a monitor while blocked (the object is
+    /// recorded) or it was woken from a `join` (recorded as null).
+    pub pending_acquire_barrier: Option<ObjRef>,
+    /// Runtime-monitoring window.
+    pub window: BehaviourWindow,
+    /// Total migrations performed.
+    pub migrations: u64,
+    /// Monitors currently held (entry counts live in the monitor table);
+    /// used to detect illegal exits cheaply in diagnostics.
+    pub held_monitors: u32,
+}
+
+impl JavaThread {
+    /// Create a thread whose first activation will call `method(args)`.
+    pub fn new(id: ThreadId, core: CoreId, method: MethodId, args: Vec<Value>) -> JavaThread {
+        JavaThread {
+            id,
+            frames: Vec::new(),
+            state: ThreadState::Ready,
+            core,
+            available_at: 0,
+            pending_call: Some(PendingCall {
+                method,
+                args,
+                marker_origin: None,
+            }),
+            pending_relookup: None,
+            pending_acquire_barrier: None,
+            window: BehaviourWindow::default(),
+            migrations: 0,
+            held_monitors: 0,
+        }
+    }
+
+    /// Whether the thread has finished.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, ThreadState::Finished(_))
+    }
+
+    /// The current (innermost) frame.
+    pub fn top_frame(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// All references reachable from this thread's stack — exact GC
+    /// roots, since stacks are tagged host-side values.
+    pub fn roots(&self) -> Vec<ObjRef> {
+        let mut out = Vec::new();
+        for f in &self.frames {
+            for v in f.locals.iter().chain(&f.stack) {
+                if let Value::Ref(r) = v {
+                    if !r.is_null() {
+                        out.push(*r);
+                    }
+                }
+            }
+        }
+        if let Some(p) = &self.pending_call {
+            for v in &p.args {
+                if let Value::Ref(r) = v {
+                    if !r.is_null() {
+                        out.push(*r);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_cell::CoreKind;
+
+    fn dummy_thread() -> JavaThread {
+        JavaThread::new(
+            ThreadId(1),
+            CoreId::Ppe,
+            MethodId(0),
+            vec![Value::I32(1), Value::Ref(ObjRef(64))],
+        )
+    }
+
+    #[test]
+    fn new_thread_is_ready_with_pending_call() {
+        let t = dummy_thread();
+        assert_eq!(t.state, ThreadState::Ready);
+        assert!(t.pending_call.is_some());
+        assert!(!t.is_finished());
+        assert_eq!(t.core.kind(), CoreKind::Ppe);
+    }
+
+    #[test]
+    fn roots_include_pending_args_and_skip_null_and_prims() {
+        let t = dummy_thread();
+        assert_eq!(t.roots(), vec![ObjRef(64)]);
+    }
+
+    #[test]
+    fn roots_walk_all_frames() {
+        let mut t = dummy_thread();
+        t.pending_call = None;
+        let code = Rc::new(CompiledMethod {
+            method: MethodId(0),
+            core: hera_cell::CoreKind::Ppe,
+            ops: vec![],
+            code_bytes: 0,
+            compile_cycles: 0,
+        });
+        t.frames.push(Frame {
+            method: MethodId(0),
+            code: Rc::clone(&code),
+            pc: 0,
+            locals: vec![Value::Ref(ObjRef(8)), Value::I32(0)],
+            stack: vec![Value::Ref(ObjRef::NULL)],
+            kind: FrameKind::Normal,
+        });
+        t.frames.push(Frame {
+            method: MethodId(0),
+            code,
+            pc: 0,
+            locals: vec![],
+            stack: vec![Value::Ref(ObjRef(16))],
+            kind: FrameKind::MigrationMarker {
+                origin: CoreId::Spe(2),
+            },
+        });
+        assert_eq!(t.roots(), vec![ObjRef(8), ObjRef(16)]);
+    }
+
+    #[test]
+    fn behaviour_window_fractions() {
+        let mut w = BehaviourWindow::default();
+        assert_eq!(w.fp_fraction(), 0.0);
+        w.fp_ops = 30;
+        w.mem_ops = 10;
+        w.total_ops = 100;
+        assert!((w.fp_fraction() - 0.3).abs() < 1e-12);
+        assert!((w.mem_fraction() - 0.1).abs() < 1e-12);
+        w.reset();
+        assert_eq!(w.total_ops, 0);
+    }
+
+    #[test]
+    fn finished_state_is_terminal_flag() {
+        let mut t = dummy_thread();
+        t.state = ThreadState::Finished(Ok(Some(Value::I32(3))));
+        assert!(t.is_finished());
+        t.state = ThreadState::Blocked(BlockReason::Join(ThreadId(0)));
+        assert!(!t.is_finished());
+    }
+}

@@ -1,0 +1,257 @@
+//! The public VM façade: configuration, construction (with program
+//! verification), and `run()`.
+
+use crate::policy::PlacementPolicy;
+use crate::stats::{BusSummary, GcSummary, RunStats};
+use crate::thread::{ThreadId, ThreadState};
+use crate::world::World;
+use hera_cell::{CellConfig, CoreId, CoreKind};
+use hera_isa::{Program, Trap, Value, VerifyError};
+use hera_jit::CompileError;
+use hera_mem::HeapConfig;
+use hera_softcache::DataCache;
+use std::collections::HashMap;
+use std::fmt;
+
+/// VM construction / run errors (guest traps are *not* errors; they are
+/// reported per-thread in the [`RunOutcome`]).
+#[derive(Debug)]
+pub enum VmError {
+    /// The program has no entry point set.
+    NoEntryPoint,
+    /// Bytecode failed verification.
+    Verify(VerifyError),
+    /// The JIT rejected a method (indicates a malformed program).
+    Compile(CompileError),
+    /// All remaining threads are blocked.
+    Deadlock {
+        /// How many threads were stuck.
+        threads: usize,
+    },
+    /// Simulator invariant violation (a bug, not a guest error).
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoEntryPoint => write!(f, "program has no entry point"),
+            VmError::Verify(e) => write!(f, "verification failed: {e}"),
+            VmError::Compile(e) => write!(f, "compilation failed: {e}"),
+            VmError::Deadlock { threads } => {
+                write!(f, "deadlock: {threads} threads blocked forever")
+            }
+            VmError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Machine model configuration (SPE count, cache partition, costs).
+    pub cell: CellConfig,
+    /// Heap configuration.
+    pub heap: HeapConfig,
+    /// Thread placement policy.
+    pub policy: PlacementPolicy,
+    /// Machine ops per scheduling quantum.
+    pub quantum_ops: u32,
+    /// Cycles to package parameters and migrate a thread (§3.1).
+    pub migration_cycles: u32,
+    /// Cycles charged when a core switches between threads.
+    pub thread_switch_cycles: u32,
+    /// Maximum frame depth before a stack-overflow trap.
+    pub max_stack_depth: usize,
+    /// SPE data-cache array block transfer size (default 1 KB).
+    pub array_block_bytes: u32,
+    /// Verify all bytecode at construction (on by default; turning it
+    /// off is only sensible in benchmarks that construct many VMs over
+    /// the same already-verified program).
+    pub verify: bool,
+    /// CellVM-comparison mode (§5 related work): synchronisation
+    /// operations on SPEs are proxied through the PPE (as CellVM does)
+    /// instead of being performed locally with atomic DMA. The paper
+    /// argues this "presents scalability issues"; enabling the flag
+    /// makes that claim measurable (experiment E10).
+    pub cellvm_style_sync: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            cell: CellConfig::default(),
+            heap: HeapConfig::default(),
+            policy: PlacementPolicy::default(),
+            quantum_ops: 4096,
+            migration_cycles: 1200,
+            thread_switch_cycles: 300,
+            max_stack_depth: 1024,
+            array_block_bytes: DataCache::DEFAULT_ARRAY_BLOCK,
+            verify: true,
+            cellvm_style_sync: false,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Pin every thread to the PPE (the Figure 4 baseline).
+    pub fn pinned_ppe() -> VmConfig {
+        VmConfig {
+            policy: PlacementPolicy::PinnedPpe,
+            ..VmConfig::default()
+        }
+    }
+
+    /// Distribute threads over `n` SPE cores and pin them there.
+    pub fn pinned_spe(n: u8) -> VmConfig {
+        let mut cfg = VmConfig {
+            policy: PlacementPolicy::PinnedSpe,
+            ..VmConfig::default()
+        };
+        cfg.cell.num_spes = n;
+        cfg
+    }
+
+    /// Override the SPE cache partition (Figure 6/7 sweeps). Sizes are
+    /// in bytes; the resident runtime block keeps its default 64 KB.
+    pub fn with_cache_sizes(mut self, data_bytes: u32, code_bytes: u32) -> VmConfig {
+        self.cell.partition = hera_cell::StorePartition::with_caches(data_bytes, code_bytes);
+        self
+    }
+}
+
+/// The result of one complete run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The entry method's return value (if it returned one and did not
+    /// trap).
+    pub result: Option<Value>,
+    /// Guest console output, in emission order.
+    pub output: Vec<String>,
+    /// In-memory files written via the `writeFile` native.
+    pub files: HashMap<i32, Vec<u8>>,
+    /// Per-thread traps (empty on a clean run).
+    pub traps: Vec<(ThreadId, Trap)>,
+    /// Everything measured.
+    pub stats: RunStats,
+}
+
+impl RunOutcome {
+    /// Whether every thread finished without trapping.
+    pub fn is_clean(&self) -> bool {
+        self.traps.is_empty()
+    }
+}
+
+/// The Hera-JVM virtual machine.
+///
+/// Owns a verified program and a configuration; each [`HeraJvm::run`]
+/// builds a fresh world (heap, machine, caches, threads) and executes
+/// the entry point to completion, so runs are independent and
+/// deterministic.
+pub struct HeraJvm {
+    program: Program,
+    config: VmConfig,
+}
+
+impl HeraJvm {
+    /// Create a VM, verifying the program's bytecode (unless disabled).
+    pub fn new(program: Program, config: VmConfig) -> Result<HeraJvm, VmError> {
+        if program.entry.is_none() {
+            return Err(VmError::NoEntryPoint);
+        }
+        if config.verify {
+            hera_isa::verify_program(&program).map_err(VmError::Verify)?;
+        }
+        Ok(HeraJvm { program, config })
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Run the program to completion (all threads).
+    pub fn run(&self) -> Result<RunOutcome, VmError> {
+        let entry = self.program.entry.ok_or(VmError::NoEntryPoint)?;
+        let mut world = World::new(&self.program, self.config);
+
+        // Place the main thread per policy.
+        let (kind, spe_hint) = self
+            .config
+            .policy
+            .initial_core_kind(0, self.config.cell.num_spes);
+        let core = match kind {
+            CoreKind::Ppe => CoreId::Ppe,
+            CoreKind::Spe => CoreId::Spe(spe_hint),
+        };
+        world.spawn_thread(entry, Vec::new(), core, 0);
+        world.run_to_completion()?;
+
+        // Harvest results.
+        let mut result = None;
+        let mut traps = Vec::new();
+        for t in &world.threads {
+            match &t.state {
+                ThreadState::Finished(Ok(v)) => {
+                    if t.id == ThreadId(0) {
+                        result = *v;
+                    }
+                }
+                ThreadState::Finished(Err(trap)) => traps.push((t.id, trap.clone())),
+                other => {
+                    return Err(VmError::Internal(format!(
+                        "thread {:?} ended in state {:?}",
+                        t.id, other
+                    )))
+                }
+            }
+        }
+
+        let stats = Self::collect_stats(&world);
+        Ok(RunOutcome {
+            result,
+            output: world.output.clone(),
+            files: world.files.clone(),
+            traps,
+            stats,
+        })
+    }
+
+    fn collect_stats(world: &World<'_>) -> RunStats {
+        let machine = &world.machine;
+        let cores = machine.cores();
+        RunStats {
+            wall_cycles: machine.makespan(&cores),
+            ppe: *machine.breakdown(CoreId::Ppe),
+            spe: machine.spe_breakdown(),
+            per_core_cycles: cores.iter().map(|&c| machine.now(c)).collect(),
+            data_cache: world.data_cache_stats(),
+            code_cache: world.code_cache_stats(),
+            gc: GcSummary {
+                collections: world.gc.collections,
+                ppe_cycles: world.gc.ppe_cycles,
+                objects_freed: world.gc.objects_freed,
+                bytes_freed: world.gc.bytes_freed,
+            },
+            registry: world.registry.stats(),
+            bus: BusSummary {
+                bytes_transferred: machine.eib.bytes_transferred,
+                transfers: machine.eib.transfers,
+                mean_queue_cycles: machine.eib.mean_queue_cycles(),
+            },
+            migrations: world.total_migrations(),
+            threads: world.threads.len() as u32,
+            contended_acquires: world.monitors.contended_acquires,
+            thread_switches: world.thread_switches,
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The running world: machine + heap + threads + scheduler + GC driver.
+//!
+//! The simulation is deterministic and single-host-threaded. Each core
+//! has a virtual clock (in [`CellMachine`]) and a FIFO run queue; the
+//! scheduler repeatedly picks the runnable thread with the earliest
+//! possible start time (core clock vs. thread availability) and runs it
+//! for a bounded quantum of machine ops. Blocking (monitors, joins),
+//! migration and GC are all events that move threads between queues and
+//! advance clocks.
+
+use crate::monitor::MonitorTable;
+use crate::policy::PlacementPolicy;
+use crate::thread::{BlockReason, JavaThread, ThreadId, ThreadState};
+use crate::vm::{VmConfig, VmError};
+use hera_cell::{CellMachine, CoreId, CoreKind, OpClass};
+use hera_isa::{MethodId, ObjRef, Program, Trap, Value};
+use hera_jit::MethodRegistry;
+use hera_mem::{Collector, Heap, ProgramLayout};
+use hera_softcache::{CodeCache, DataCache};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of one scheduling quantum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuantumOutcome {
+    /// The thread used its quantum and remains runnable.
+    Ready,
+    /// The thread parked (monitor or join).
+    Blocked,
+    /// The thread finished (normally or by trap).
+    Finished,
+    /// The thread moved to another core's queue.
+    Migrated,
+}
+
+/// GC accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcDriverStats {
+    /// Collections performed.
+    pub collections: u64,
+    /// PPE cycles spent marking and sweeping.
+    pub ppe_cycles: u64,
+    /// Objects reclaimed in total.
+    pub objects_freed: u64,
+    /// Bytes reclaimed in total.
+    pub bytes_freed: u64,
+}
+
+/// The complete mutable state of one VM run.
+pub struct World<'p> {
+    /// The guest program.
+    pub program: &'p Program,
+    /// Field/statics layout.
+    pub layout: ProgramLayout,
+    /// Run configuration.
+    pub config: VmConfig,
+    /// Machine model (clocks, bus, caches, accounting).
+    pub machine: CellMachine,
+    /// Main memory.
+    pub heap: Heap,
+    /// Per-core-kind compiled code.
+    pub registry: MethodRegistry,
+    /// Per-SPE software data caches.
+    pub data_caches: Vec<DataCache>,
+    /// Per-SPE software code caches.
+    pub code_caches: Vec<CodeCache>,
+    /// All threads ever created; `ThreadId` indexes this vector.
+    pub threads: Vec<JavaThread>,
+    /// Per-core FIFO run queues, indexed like the machine's cores
+    /// (0 = PPE, 1+n = SPE n).
+    pub run_queues: Vec<VecDeque<ThreadId>>,
+    /// Object monitors.
+    pub monitors: MonitorTable,
+    collector: Collector,
+    /// Guest console output (one entry per print call).
+    pub output: Vec<String>,
+    /// In-memory files keyed by descriptor (the `writeFile` native).
+    pub files: HashMap<i32, Vec<u8>>,
+    /// Threads waiting in `join`, keyed by the joined thread.
+    pub join_waiters: HashMap<ThreadId, Vec<ThreadId>>,
+    /// GC statistics.
+    pub gc: GcDriverStats,
+    /// Last thread that ran on each core (for context-switch costs).
+    last_on_core: Vec<Option<ThreadId>>,
+    /// Context switches performed.
+    pub thread_switches: u64,
+}
+
+impl<'p> World<'p> {
+    /// Build a fresh world for one run.
+    pub fn new(program: &'p Program, config: VmConfig) -> World<'p> {
+        let layout = ProgramLayout::compute(program);
+        let machine = CellMachine::new(config.cell);
+        let heap = Heap::new(config.heap, layout.statics.size);
+        let num_spes = config.cell.num_spes as usize;
+        let cores = 1 + num_spes;
+        let dcap = config.cell.partition.data_cache_bytes;
+        let ccap = config.cell.partition.code_cache_bytes;
+        World {
+            program,
+            layout,
+            machine,
+            heap,
+            registry: MethodRegistry::new(),
+            data_caches: (0..num_spes)
+                .map(|_| DataCache::with_block_size(dcap, config.array_block_bytes))
+                .collect(),
+            code_caches: (0..num_spes).map(|_| CodeCache::new(ccap)).collect(),
+            threads: Vec::new(),
+            run_queues: vec![VecDeque::new(); cores],
+            monitors: MonitorTable::new(),
+            collector: Collector::new(),
+            output: Vec::new(),
+            files: HashMap::new(),
+            join_waiters: HashMap::new(),
+            gc: GcDriverStats::default(),
+            last_on_core: vec![None; cores],
+            thread_switches: 0,
+            config,
+        }
+    }
+
+    /// Map a core to its queue index.
+    pub fn core_index(core: CoreId) -> usize {
+        match core {
+            CoreId::Ppe => 0,
+            CoreId::Spe(n) => 1 + n as usize,
+        }
+    }
+
+    /// Inverse of [`World::core_index`].
+    pub fn index_core(idx: usize) -> CoreId {
+        if idx == 0 {
+            CoreId::Ppe
+        } else {
+            CoreId::Spe((idx - 1) as u8)
+        }
+    }
+
+    /// Pick a concrete core of `kind` for a thread: the one whose queue
+    /// is shortest (ties → lowest index).
+    pub fn pick_core(&self, kind: CoreKind) -> CoreId {
+        match kind {
+            CoreKind::Ppe => CoreId::Ppe,
+            CoreKind::Spe => {
+                let n = self.config.cell.num_spes;
+                (0..n)
+                    .map(CoreId::Spe)
+                    .min_by_key(|&c| {
+                        (
+                            self.run_queues[Self::core_index(c)].len(),
+                            self.machine.now(c),
+                        )
+                    })
+                    .unwrap_or(CoreId::Ppe)
+            }
+        }
+    }
+
+    /// Create and enqueue a thread that will run `method(args)`.
+    pub fn spawn_thread(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        core: CoreId,
+        available_at: u64,
+    ) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        let mut t = JavaThread::new(id, core, method, args);
+        t.available_at = available_at;
+        self.threads.push(t);
+        self.run_queues[Self::core_index(core)].push_back(id);
+        id
+    }
+
+    /// Wake a blocked thread at `time` (it re-enters its core's queue).
+    pub fn wake(&mut self, tid: ThreadId, time: u64) {
+        let t = &mut self.threads[tid.0 as usize];
+        debug_assert!(
+            matches!(t.state, ThreadState::Blocked(_)),
+            "waking a non-blocked thread"
+        );
+        t.state = ThreadState::Ready;
+        t.available_at = t.available_at.max(time);
+        let core = t.core;
+        self.run_queues[Self::core_index(core)].push_back(tid);
+    }
+
+    /// Mark a thread finished and wake its joiners.
+    pub fn finish_thread(&mut self, tid: ThreadId, result: Result<Option<Value>, Trap>) {
+        let now = self.machine.now(self.threads[tid.0 as usize].core);
+        self.threads[tid.0 as usize].state = ThreadState::Finished(result);
+        if let Some(waiters) = self.join_waiters.remove(&tid) {
+            for w in waiters {
+                self.wake(w, now);
+            }
+        }
+    }
+
+    /// Block the current thread on `reason`.
+    pub fn block(&mut self, tid: ThreadId, reason: BlockReason) {
+        let t = &mut self.threads[tid.0 as usize];
+        t.state = ThreadState::Blocked(reason);
+        // availability resumes from its core's current time when woken
+        t.available_at = self.machine.now(t.core);
+        if let BlockReason::Join(target) = reason {
+            self.join_waiters.entry(target).or_default().push(tid);
+        }
+    }
+
+    // ---- allocation with GC retry ----
+
+    /// Allocate an object, collecting once on exhaustion.
+    pub fn alloc_object(
+        &mut self,
+        class: hera_isa::ClassId,
+        requester: CoreId,
+    ) -> Result<ObjRef, Trap> {
+        if let Some(r) = self.heap.alloc_object(&self.layout, class) {
+            return Ok(r);
+        }
+        self.collect_garbage(requester);
+        self.heap
+            .alloc_object(&self.layout, class)
+            .ok_or(Trap::OutOfMemory)
+    }
+
+    /// Allocate an array, collecting once on exhaustion.
+    pub fn alloc_array(
+        &mut self,
+        elem: hera_isa::ElemTy,
+        len: i32,
+        requester: CoreId,
+    ) -> Result<ObjRef, Trap> {
+        if len < 0 {
+            return Err(Trap::NegativeArraySize(len));
+        }
+        if let Some(r) = self.heap.alloc_array(elem, len as u32) {
+            return Ok(r);
+        }
+        self.collect_garbage(requester);
+        self.heap
+            .alloc_array(elem, len as u32)
+            .ok_or(Trap::OutOfMemory)
+    }
+
+    /// Stop-the-world mark-and-sweep on the PPE (paper §4).
+    ///
+    /// Order matters: every SPE data cache is written back and purged
+    /// *first* — a reference living only in a dirty cached copy would
+    /// otherwise be invisible to the trace — then the PPE marks from
+    /// thread stacks and statics and sweeps. All cores stall until the
+    /// collection finishes.
+    pub fn collect_garbage(&mut self, requester: CoreId) {
+        // 1. Flush + purge SPE caches (each SPE pays its own DMA time).
+        for spe in 0..self.data_caches.len() {
+            let core = CoreId::Spe(spe as u8);
+            let mut cache = std::mem::replace(&mut self.data_caches[spe], DataCache::new(0));
+            cache
+                .purge(&mut self.heap, &mut self.machine, core)
+                .expect("cache write-back addresses are valid");
+            self.data_caches[spe] = cache;
+        }
+
+        // 2. Gather exact roots from every thread stack.
+        let mut roots: Vec<ObjRef> = Vec::new();
+        for t in &self.threads {
+            roots.extend(t.roots());
+        }
+
+        // 3. The PPE performs the collection, starting no earlier than
+        //    the requesting core's current time.
+        let start = self
+            .machine
+            .now(CoreId::Ppe)
+            .max(self.machine.now(requester));
+        self.machine.idle_until(CoreId::Ppe, start);
+        let outcome = self
+            .collector
+            .collect(&mut self.heap, &self.layout, &roots);
+        let cost = self.machine.cost_model().gc_mark_cycles_per_object as u64
+            * outcome.live_objects
+            + self.machine.cost_model().gc_sweep_cycles_per_object as u64
+                * (outcome.live_objects + outcome.freed_objects);
+        self.machine.advance(CoreId::Ppe, cost, OpClass::MainMemory);
+        let end = self.machine.now(CoreId::Ppe);
+
+        // 4. Everybody stalls until the world restarts.
+        for core in self.machine.cores() {
+            self.machine.wait_until(core, end, OpClass::MainMemory);
+        }
+
+        self.gc.collections += 1;
+        self.gc.ppe_cycles += cost;
+        self.gc.objects_freed += outcome.freed_objects;
+        self.gc.bytes_freed += outcome.freed_bytes;
+    }
+
+    // ---- the scheduler ----
+
+    /// Pick the next (core, thread) pair: the queued thread with the
+    /// earliest possible start time. Deterministic: ties break toward
+    /// the lowest core index.
+    fn pick_next(&self) -> Option<(CoreId, ThreadId)> {
+        let mut best: Option<(u64, usize, ThreadId)> = None;
+        for (idx, q) in self.run_queues.iter().enumerate() {
+            let Some(&tid) = q.front() else { continue };
+            let core = Self::index_core(idx);
+            let start = self
+                .machine
+                .now(core)
+                .max(self.threads[tid.0 as usize].available_at);
+            if best.map_or(true, |(bs, bi, _)| (start, idx) < (bs, bi)) {
+                best = Some((start, idx, tid));
+            }
+        }
+        best.map(|(_, idx, tid)| (Self::index_core(idx), tid))
+    }
+
+    /// Run every thread to completion. Returns the entry thread's
+    /// result.
+    pub fn run_to_completion(&mut self) -> Result<(), VmError> {
+        loop {
+            let Some((core, tid)) = self.pick_next() else {
+                // Nothing queued: either done, or deadlocked.
+                let unfinished = self
+                    .threads
+                    .iter()
+                    .filter(|t| !t.is_finished())
+                    .count();
+                if unfinished == 0 {
+                    return Ok(());
+                }
+                return Err(VmError::Deadlock { threads: unfinished });
+            };
+            let idx = Self::core_index(core);
+            self.run_queues[idx].pop_front();
+
+            // Context switch cost when the core changes threads.
+            if self.last_on_core[idx] != Some(tid) {
+                if self.last_on_core[idx].is_some() {
+                    self.machine.advance(
+                        core,
+                        self.config.thread_switch_cycles as u64,
+                        OpClass::Stack,
+                    );
+                    self.thread_switches += 1;
+                }
+                self.last_on_core[idx] = Some(tid);
+            }
+
+            // The core may have to wait for the thread to arrive
+            // (migration latency); that is idle time, not execution.
+            let avail = self.threads[tid.0 as usize].available_at;
+            self.machine.idle_until(core, avail);
+
+            match crate::interp::run_quantum(self, tid)? {
+                QuantumOutcome::Ready => {
+                    let core_now = self.threads[tid.0 as usize].core;
+                    self.run_queues[Self::core_index(core_now)].push_back(tid);
+                }
+                QuantumOutcome::Migrated => {
+                    let target = self.threads[tid.0 as usize].core;
+                    self.run_queues[Self::core_index(target)].push_back(tid);
+                }
+                QuantumOutcome::Blocked | QuantumOutcome::Finished => {}
+            }
+        }
+    }
+
+    /// Merged data-cache statistics over all SPEs.
+    pub fn data_cache_stats(&self) -> hera_softcache::DataCacheStats {
+        let mut total = hera_softcache::DataCacheStats::default();
+        for c in &self.data_caches {
+            let s = c.stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.purges += s.purges;
+            total.writebacks += s.writebacks;
+            total.bytes_fetched += s.bytes_fetched;
+            total.bytes_written_back += s.bytes_written_back;
+            total.bypasses += s.bypasses;
+        }
+        total
+    }
+
+    /// Merged code-cache statistics over all SPEs.
+    pub fn code_cache_stats(&self) -> hera_softcache::CodeCacheStats {
+        let mut total = hera_softcache::CodeCacheStats::default();
+        for c in &self.code_caches {
+            let s = c.stats;
+            total.method_hits += s.method_hits;
+            total.method_misses += s.method_misses;
+            total.tib_hits += s.tib_hits;
+            total.tib_misses += s.tib_misses;
+            total.purges += s.purges;
+            total.bytes_loaded += s.bytes_loaded;
+            total.toc_lookups += s.toc_lookups;
+            total.bypasses += s.bypasses;
+        }
+        total
+    }
+
+    /// Total migrations across all threads.
+    pub fn total_migrations(&self) -> u64 {
+        self.threads.iter().map(|t| t.migrations).sum()
+    }
+
+    /// The placement policy in effect.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.config.policy
+    }
+}

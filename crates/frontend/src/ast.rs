@@ -1,0 +1,286 @@
+//! The guest-language AST and its ergonomic constructors.
+
+use hera_isa::{ClassId, ElemTy, FieldId, MethodId, Ty};
+
+/// Binary numeric / bitwise operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Bitwise and (ints only).
+    And,
+    /// Bitwise or (ints only).
+    Or,
+    /// Bitwise xor (ints only).
+    Xor,
+    /// Shift left (ints only).
+    Shl,
+    /// Arithmetic shift right (ints only).
+    Shr,
+    /// Logical shift right (ints only).
+    UShr,
+}
+
+/// Comparison operators (produce an int 0/1, or fuse into branches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// i32 literal.
+    I32(i32),
+    /// i64 literal.
+    I64(i64),
+    /// f32 literal.
+    F32(f32),
+    /// f64 literal.
+    F64(f64),
+    /// Null literal.
+    Null,
+    /// Read a local variable (parameters included; `this` for slot 0 of
+    /// instance methods).
+    Local(String),
+    /// Binary arithmetic (operands must share a numeric type).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Square root intrinsic (f32/f64).
+    Sqrt(Box<Expr>),
+    /// Comparison producing 0/1 (fused into a branch when used as a
+    /// condition).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit and.
+    AndAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit or.
+    OrOr(Box<Expr>, Box<Expr>),
+    /// Logical not (int 0/1).
+    Not(Box<Expr>),
+    /// Numeric cast.
+    Cast(Ty, Box<Expr>),
+    /// Direct call (static methods and constructors).
+    Call(MethodId, Vec<Expr>),
+    /// Virtual call: receiver, statically resolved method, args.
+    CallVirtual(Box<Expr>, MethodId, Vec<Expr>),
+    /// Allocate an object.
+    New(ClassId),
+    /// Read an instance field.
+    Field(Box<Expr>, FieldId),
+    /// Read a static field.
+    Static(FieldId),
+    /// Allocate an array.
+    NewArray(ElemTy, Box<Expr>),
+    /// Array element read.
+    Index(Box<Expr>, Box<Expr>),
+    /// Array length.
+    Length(Box<Expr>),
+    /// `instanceof`.
+    InstanceOf(ClassId, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Declare a local and initialise it (type inferred).
+    Let(String, Expr),
+    /// Assign to an existing local.
+    Assign(String, Expr),
+    /// Store to an instance field: `obj.field = value`.
+    SetField(Expr, FieldId, Expr),
+    /// Store to a static field.
+    SetStatic(FieldId, Expr),
+    /// Store to an array element: `arr[idx] = value`.
+    SetIndex(Expr, Expr, Expr),
+    /// Two-armed conditional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// While loop.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body` sugar.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// Evaluate for effect (result, if any, is discarded).
+    Expr(Expr),
+    /// Return.
+    Return(Option<Expr>),
+    /// `synchronized (obj) { body }` — monitorenter/exit around the
+    /// body, driving the JMM cache actions on SPEs.
+    Sync(Expr, Vec<Stmt>),
+}
+
+impl Stmt {
+    /// `if (cond) return value;` — a common guard shape.
+    pub fn ret_if(cond: Expr, value: Expr) -> Stmt {
+        Stmt::If(cond, vec![Stmt::Return(Some(value))], vec![])
+    }
+}
+
+// ---- ergonomic constructors ----
+
+/// i32 literal.
+pub fn i32c(v: i32) -> Expr {
+    Expr::I32(v)
+}
+/// i64 literal.
+pub fn i64c(v: i64) -> Expr {
+    Expr::I64(v)
+}
+/// f32 literal.
+pub fn f32c(v: f32) -> Expr {
+    Expr::F32(v)
+}
+/// f64 literal.
+pub fn f64c(v: f64) -> Expr {
+    Expr::F64(v)
+}
+/// Local variable read.
+pub fn local(name: &str) -> Expr {
+    Expr::Local(name.to_string())
+}
+/// Addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+}
+/// Subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+}
+/// Multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+}
+/// Division.
+pub fn div(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+}
+/// Remainder.
+pub fn rem(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Rem, Box::new(a), Box::new(b))
+}
+/// Bitwise and.
+pub fn band(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::And, Box::new(a), Box::new(b))
+}
+/// Bitwise or.
+pub fn bor(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Or, Box::new(a), Box::new(b))
+}
+/// Bitwise xor.
+pub fn bxor(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Xor, Box::new(a), Box::new(b))
+}
+/// Shift left.
+pub fn shl(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Shl, Box::new(a), Box::new(b))
+}
+/// Arithmetic shift right.
+pub fn shr(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Shr, Box::new(a), Box::new(b))
+}
+/// Logical shift right.
+pub fn ushr(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::UShr, Box::new(a), Box::new(b))
+}
+/// Comparison: equal.
+pub fn cmp_eq(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Eq, Box::new(a), Box::new(b))
+}
+/// Comparison: not equal.
+pub fn cmp_ne(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Ne, Box::new(a), Box::new(b))
+}
+/// Comparison: less than.
+pub fn cmp_lt(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Lt, Box::new(a), Box::new(b))
+}
+/// Comparison: less or equal.
+pub fn cmp_le(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))
+}
+/// Comparison: greater than.
+pub fn cmp_gt(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Gt, Box::new(a), Box::new(b))
+}
+/// Comparison: greater or equal.
+pub fn cmp_ge(a: Expr, b: Expr) -> Expr {
+    Expr::Cmp(CmpOp::Ge, Box::new(a), Box::new(b))
+}
+/// Numeric cast.
+pub fn cast(ty: Ty, e: Expr) -> Expr {
+    Expr::Cast(ty, Box::new(e))
+}
+/// Direct call.
+pub fn call(m: MethodId, args: Vec<Expr>) -> Expr {
+    Expr::Call(m, args)
+}
+/// Virtual call.
+pub fn vcall(recv: Expr, m: MethodId, args: Vec<Expr>) -> Expr {
+    Expr::CallVirtual(Box::new(recv), m, args)
+}
+/// Instance field read.
+pub fn field(obj: Expr, f: FieldId) -> Expr {
+    Expr::Field(Box::new(obj), f)
+}
+/// Static field read.
+pub fn static_(f: FieldId) -> Expr {
+    Expr::Static(f)
+}
+/// Array allocation.
+pub fn new_array(e: ElemTy, len: Expr) -> Expr {
+    Expr::NewArray(e, Box::new(len))
+}
+/// Array element read.
+pub fn index(arr: Expr, i: Expr) -> Expr {
+    Expr::Index(Box::new(arr), Box::new(i))
+}
+/// Array length.
+pub fn length(arr: Expr) -> Expr {
+    Expr::Length(Box::new(arr))
+}
+/// Square root.
+pub fn sqrt(e: Expr) -> Expr {
+    Expr::Sqrt(Box::new(e))
+}
+/// Negation.
+pub fn neg(e: Expr) -> Expr {
+    Expr::Neg(Box::new(e))
+}
+/// Short-circuit and.
+pub fn andand(a: Expr, b: Expr) -> Expr {
+    Expr::AndAnd(Box::new(a), Box::new(b))
+}
+/// Short-circuit or.
+pub fn oror(a: Expr, b: Expr) -> Expr {
+    Expr::OrOr(Box::new(a), Box::new(b))
+}
+/// A `for i in start..end` loop with an int counter named `var`.
+pub fn for_range(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(
+        Box::new(Stmt::Let(var.to_string(), start)),
+        cmp_lt(local(var), end),
+        Box::new(Stmt::Assign(
+            var.to_string(),
+            add(local(var), i32c(1)),
+        )),
+        body,
+    )
+}

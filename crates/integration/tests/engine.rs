@@ -1,0 +1,439 @@
+//! End-to-end execution semantics: the same guest programs must compute
+//! identical results on the PPE (direct heap access) and on SPE cores
+//! (software-cached access) — the paper's core transparency claim.
+
+use hera_core::{HeraJvm, PlacementPolicy, VmConfig};
+use hera_frontend::*;
+use hera_integration::{run_both, run_program};
+use hera_isa::{ElemTy, ProgramBuilder, Trap, Ty, Value};
+
+/// A one-class program with a single static `main`.
+fn main_program(ret: Option<Ty>, body: Vec<Stmt>) -> hera_isa::Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let main = declare_static(&mut pb, c, "main", vec![], ret);
+    define(&mut pb, main, vec![], body).expect("main should compile");
+    pb.finish_with_entry("Main", "main").expect("program resolves")
+}
+
+#[test]
+fn arithmetic_loop_same_result_on_both_core_kinds() {
+    // sum of i*i for i in 0..100, mod 1e9
+    let body = vec![
+        Stmt::Let("sum".into(), i32c(0)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(100),
+            vec![Stmt::Assign(
+                "sum".into(),
+                add(local("sum"), mul(local("i"), local("i"))),
+            )],
+        ),
+        Stmt::Return(Some(local("sum"))),
+    ];
+    let (ppe, spe) = run_both(main_program(Some(Ty::Int), body), 1);
+    assert_eq!(ppe.result, Some(Value::I32(328350)));
+    assert_eq!(spe.result, Some(Value::I32(328350)));
+    assert!(ppe.is_clean() && spe.is_clean());
+}
+
+#[test]
+fn float_math_bit_identical_across_cores() {
+    // Newton iteration for sqrt(2) in f32.
+    let body = vec![
+        Stmt::Let("x".into(), f32c(1.0)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(20),
+            vec![Stmt::Assign(
+                "x".into(),
+                mul(f32c(0.5), add(local("x"), div(f32c(2.0), local("x")))),
+            )],
+        ),
+        Stmt::Return(Some(local("x"))),
+    ];
+    let (ppe, spe) = run_both(main_program(Some(Ty::Float), body), 1);
+    assert_eq!(ppe.result, spe.result);
+    let v = ppe.result.unwrap().as_f32();
+    assert!((v - 2f32.sqrt()).abs() < 1e-6);
+}
+
+#[test]
+fn objects_and_fields_roundtrip_on_spe() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let point = pb.add_class("Point", None);
+    let fx = pb.add_field(point, "x", Ty::Int);
+    let fy = pb.add_field(point, "y", Ty::Int);
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("p".into(), Expr::New(point)),
+            Stmt::SetField(local("p"), fx, i32c(30)),
+            Stmt::SetField(local("p"), fy, i32c(12)),
+            Stmt::Return(Some(add(field(local("p"), fx), field(local("p"), fy)))),
+        ],
+    )
+    .unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let (ppe, spe) = run_both(program, 1);
+    assert_eq!(ppe.result, Some(Value::I32(42)));
+    assert_eq!(spe.result, Some(Value::I32(42)));
+}
+
+#[test]
+fn arrays_across_block_boundaries_on_spe() {
+    // 4000-element int array spans several 1 KB cache blocks.
+    let body = vec![
+        Stmt::Let("a".into(), new_array(ElemTy::Int, i32c(4000))),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(4000),
+            vec![Stmt::SetIndex(local("a"), local("i"), local("i"))],
+        ),
+        Stmt::Let("sum".into(), i32c(0)),
+        for_range(
+            "i2",
+            i32c(0),
+            i32c(4000),
+            vec![Stmt::Assign(
+                "sum".into(),
+                add(local("sum"), index(local("a"), local("i2"))),
+            )],
+        ),
+        Stmt::Return(Some(local("sum"))),
+    ];
+    let (ppe, spe) = run_both(main_program(Some(Ty::Int), body), 1);
+    assert_eq!(ppe.result, Some(Value::I32(4000 * 3999 / 2)));
+    assert_eq!(spe.result, ppe.result);
+    // The SPE run must actually have used the data cache.
+    assert!(spe.stats.data_cache.hits > 0);
+    assert!(spe.stats.data_cache.misses > 0);
+}
+
+#[test]
+fn virtual_dispatch_chooses_the_override() {
+    let mut pb = ProgramBuilder::new();
+    let main_c = pb.add_class("Main", None);
+    let animal = pb.add_class("Animal", None);
+    let speak_a = declare_virtual(&mut pb, animal, "speak", vec![], Some(Ty::Int));
+    let dog = pb.add_class("Dog", Some(animal));
+    let speak_d = declare_virtual(&mut pb, dog, "speak", vec![], Some(Ty::Int));
+    define(&mut pb, speak_a, vec![("this", Ty::Ref(animal))], vec![Stmt::Return(Some(i32c(1)))])
+        .unwrap();
+    define(&mut pb, speak_d, vec![("this", Ty::Ref(dog))], vec![Stmt::Return(Some(i32c(2)))])
+        .unwrap();
+    let main = declare_static(&mut pb, main_c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("a".into(), Expr::New(animal)),
+            Stmt::Let("d".into(), Expr::New(dog)),
+            // dispatch through the Animal-declared method on both
+            Stmt::Return(Some(add(
+                vcall(local("a"), speak_a, vec![]),
+                mul(i32c(10), vcall(local("d"), speak_a, vec![])),
+            ))),
+        ],
+    )
+    .unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let (ppe, spe) = run_both(program, 1);
+    assert_eq!(ppe.result, Some(Value::I32(21)));
+    assert_eq!(spe.result, Some(Value::I32(21)));
+}
+
+#[test]
+fn recursion_and_calls_work_on_spe() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let fib = declare_static(&mut pb, c, "fib", vec![("n", Ty::Int)], Some(Ty::Int));
+    define(
+        &mut pb,
+        fib,
+        vec![("n", Ty::Int)],
+        vec![
+            Stmt::ret_if(cmp_lt(local("n"), i32c(2)), local("n")),
+            Stmt::Return(Some(add(
+                call(fib, vec![sub(local("n"), i32c(1))]),
+                call(fib, vec![sub(local("n"), i32c(2))]),
+            ))),
+        ],
+    )
+    .unwrap();
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(&mut pb, main, vec![], vec![Stmt::Return(Some(call(fib, vec![i32c(15)])))]).unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let (ppe, spe) = run_both(program, 1);
+    assert_eq!(ppe.result, Some(Value::I32(610)));
+    assert_eq!(spe.result, Some(Value::I32(610)));
+    // SPE run exercised the code cache.
+    assert!(spe.stats.code_cache.toc_lookups > 0);
+}
+
+#[test]
+fn traps_terminate_the_thread_and_are_reported() {
+    let body = vec![
+        Stmt::Let("a".into(), new_array(ElemTy::Int, i32c(4))),
+        Stmt::Return(Some(index(local("a"), i32c(9)))),
+    ];
+    let out = run_program(main_program(Some(Ty::Int), body), VmConfig::pinned_ppe());
+    assert_eq!(out.result, None);
+    assert_eq!(out.traps.len(), 1);
+    assert!(matches!(
+        out.traps[0].1,
+        Trap::ArrayIndexOutOfBounds { index: 9, len: 4 }
+    ));
+}
+
+#[test]
+fn division_by_zero_traps_on_spe_too() {
+    let body = vec![
+        Stmt::Let("z".into(), i32c(0)),
+        Stmt::Return(Some(div(i32c(1), local("z")))),
+    ];
+    let out = run_program(main_program(Some(Ty::Int), body), VmConfig::pinned_spe(1));
+    assert_eq!(out.traps.len(), 1);
+    assert!(matches!(out.traps[0].1, Trap::DivisionByZero));
+}
+
+#[test]
+fn null_dereference_traps() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let point = pb.add_class("Point", None);
+    let fx = pb.add_field(point, "x", Ty::Int);
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("p".into(), cast(Ty::Ref(point), Expr::Null)),
+            Stmt::Return(Some(field(local("p"), fx))),
+        ],
+    )
+    .unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let out = run_program(program, VmConfig::pinned_spe(1));
+    assert!(matches!(out.traps[0].1, Trap::NullPointer));
+}
+
+#[test]
+fn gc_collects_garbage_under_allocation_pressure() {
+    // Allocate 40k small arrays, keeping only the latest: must exceed a
+    // 4 MB heap many times over and survive via GC.
+    let body = vec![
+        Stmt::Let("keep".into(), new_array(ElemTy::Int, i32c(100))),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(40_000),
+            vec![
+                Stmt::Assign("keep".into(), new_array(ElemTy::Int, i32c(100))),
+                Stmt::SetIndex(local("keep"), i32c(0), local("i")),
+            ],
+        ),
+        Stmt::Return(Some(index(local("keep"), i32c(0)))),
+    ];
+    let mut cfg = VmConfig::pinned_ppe();
+    cfg.heap.size_bytes = 4 << 20;
+    let out = run_program(main_program(Some(Ty::Int), body), cfg);
+    assert!(out.is_clean(), "traps: {:?}", out.traps);
+    assert_eq!(out.result, Some(Value::I32(39_999)));
+    assert!(out.stats.gc.collections >= 3, "expected several GCs");
+    assert!(out.stats.gc.objects_freed > 30_000);
+}
+
+#[test]
+fn gc_with_dirty_spe_caches_loses_nothing() {
+    // On an SPE, objects are written through the software cache; GC must
+    // flush those dirty copies before tracing, or the linked structure
+    // would be corrupted / prematurely collected.
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let node = pb.add_class("Node", None);
+    let fnext = pb.add_field(node, "next", Ty::Ref(node));
+    let fval = pb.add_field(node, "val", Ty::Int);
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            // Build a 50-node list, then churn garbage to force GC.
+            Stmt::Let("head".into(), Expr::New(node)),
+            Stmt::SetField(local("head"), fval, i32c(0)),
+            for_range(
+                "i",
+                i32c(1),
+                i32c(50),
+                vec![
+                    Stmt::Let("n".into(), Expr::New(node)),
+                    Stmt::SetField(local("n"), fval, local("i")),
+                    Stmt::SetField(local("n"), fnext, local("head")),
+                    Stmt::Assign("head".into(), local("n")),
+                ],
+            ),
+            for_range(
+                "j",
+                i32c(0),
+                i32c(30_000),
+                vec![Stmt::Expr(new_array(ElemTy::Long, i32c(64)))],
+            ),
+            // Sum the list.
+            Stmt::Let("sum".into(), i32c(0)),
+            Stmt::Let("cur".into(), local("head")),
+            Stmt::While(
+                Expr::Not(Box::new(cmp_eq(local("cur"), Expr::Null))),
+                vec![
+                    Stmt::Assign("sum".into(), add(local("sum"), field(local("cur"), fval))),
+                    Stmt::Assign("cur".into(), field(local("cur"), fnext)),
+                ],
+            ),
+            Stmt::Return(Some(local("sum"))),
+        ],
+    )
+    .unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let mut cfg = VmConfig::pinned_spe(1);
+    cfg.heap.size_bytes = 4 << 20;
+    let out = run_program(program, cfg);
+    assert!(out.is_clean(), "traps: {:?}", out.traps);
+    assert_eq!(out.result, Some(Value::I32((0..50).sum())));
+    assert!(out.stats.gc.collections > 0, "GC never ran");
+}
+
+#[test]
+fn statics_are_shared_state() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let counter = pb.add_static_field(c, "counter", Ty::Int);
+    let bump = declare_static(&mut pb, c, "bump", vec![], None);
+    define(
+        &mut pb,
+        bump,
+        vec![],
+        vec![Stmt::SetStatic(counter, add(static_(counter), i32c(1)))],
+    )
+    .unwrap();
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            for_range("i", i32c(0), i32c(10), vec![Stmt::Expr(call(bump, vec![]))]),
+            Stmt::Return(Some(static_(counter))),
+        ],
+    )
+    .unwrap();
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    let (ppe, spe) = run_both(program, 1);
+    assert_eq!(ppe.result, Some(Value::I32(10)));
+    assert_eq!(spe.result, Some(Value::I32(10)));
+}
+
+#[test]
+fn long_arithmetic_and_casts() {
+    let body = vec![
+        Stmt::Let("x".into(), i64c(1)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(40),
+            vec![Stmt::Assign("x".into(), mul(local("x"), i64c(2)))],
+        ),
+        // x == 2^40; fold down to an int via xor of halves
+        Stmt::Let("lo".into(), cast(Ty::Int, local("x"))),
+        Stmt::Let("hi".into(), cast(Ty::Int, shr(local("x"), i32c(32)))),
+        Stmt::Return(Some(add(local("lo"), local("hi")))),
+    ];
+    let (ppe, spe) = run_both(main_program(Some(Ty::Int), body), 1);
+    assert_eq!(ppe.result, Some(Value::I32(256)));
+    assert_eq!(spe.result, ppe.result);
+}
+
+#[test]
+fn spe_run_compiles_methods_only_for_spe() {
+    let body = vec![Stmt::Return(Some(i32c(7)))];
+    let out = run_program(main_program(Some(Ty::Int), body), VmConfig::pinned_spe(1));
+    assert_eq!(out.stats.registry.spe_compilations, 1);
+    assert_eq!(out.stats.registry.ppe_compilations, 0);
+    assert_eq!(out.stats.registry.dual_compiled, 0);
+}
+
+#[test]
+fn adaptive_policy_runs_programs_to_completion() {
+    let body = vec![
+        Stmt::Let("x".into(), f32c(1.5)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(60_000),
+            vec![Stmt::Assign(
+                "x".into(),
+                add(mul(local("x"), f32c(0.9999)), f32c(0.001)),
+            )],
+        ),
+        Stmt::Return(Some(cast(Ty::Int, mul(local("x"), f32c(100.0))))),
+    ];
+    let program = main_program(Some(Ty::Int), body);
+    let mut cfg = VmConfig::default();
+    cfg.policy = PlacementPolicy::adaptive();
+    let out = run_program(program.clone(), cfg);
+    assert!(out.is_clean());
+    // Same numeric result as the pinned runs.
+    let pinned = run_program(program, VmConfig::pinned_ppe());
+    assert_eq!(out.result, pinned.result);
+}
+
+#[test]
+fn deterministic_replay() {
+    let body = vec![
+        Stmt::Let("acc".into(), i32c(1)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(5_000),
+            vec![Stmt::Assign(
+                "acc".into(),
+                bxor(mul(local("acc"), i32c(31)), local("i")),
+            )],
+        ),
+        Stmt::Return(Some(local("acc"))),
+    ];
+    let program = main_program(Some(Ty::Int), body);
+    let a = run_program(program.clone(), VmConfig::pinned_spe(2));
+    let b = run_program(program, VmConfig::pinned_spe(2));
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.stats.wall_cycles, b.stats.wall_cycles);
+    assert_eq!(a.stats.data_cache, b.stats.data_cache);
+}
+
+#[test]
+fn verification_failure_is_reported_at_construction() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    pb.add_static_method(
+        c,
+        "main",
+        vec![],
+        Some(Ty::Int),
+        0,
+        hera_isa::MethodBody::Bytecode(vec![hera_isa::Instr::Return]), // wrong: non-void
+    );
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+    assert!(matches!(
+        HeraJvm::new(program, VmConfig::default()),
+        Err(hera_core::VmError::Verify(_))
+    ));
+}

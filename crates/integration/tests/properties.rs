@@ -1,0 +1,320 @@
+//! Property-based tests over the core data structures and invariants.
+
+use hera_cell::{CellConfig, CellMachine, CoreId, Eib};
+use hera_isa::{
+    verify_method, ClassId, ElemTy, Instr, MethodBody, ObjRef, ProgramBuilder, Ty, Value,
+};
+use hera_jit::ArithOp;
+use hera_mem::heap::codec;
+use hera_mem::{Collector, Heap, HeapConfig, ProgramLayout};
+use hera_softcache::DataCache;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- codec
+
+proptest! {
+    /// Typed write-then-read through the byte codec is the identity
+    /// (after the type's own narrowing).
+    #[test]
+    fn codec_roundtrips(v in any::<i64>(), f in any::<f64>(), off in 0usize..32) {
+        let mut buf = vec![0u8; 64];
+        codec::write_value(&mut buf, off, Ty::Int, Value::I32(v as i32));
+        prop_assert_eq!(codec::read_value(&buf, off, Ty::Int), Value::I32(v as i32));
+        codec::write_value(&mut buf, off, Ty::Long, Value::I64(v));
+        prop_assert_eq!(codec::read_value(&buf, off, Ty::Long), Value::I64(v));
+        codec::write_value(&mut buf, off, Ty::Byte, Value::I32(v as i32));
+        prop_assert_eq!(
+            codec::read_value(&buf, off, Ty::Byte),
+            Value::I32(v as i32 as i8 as i32)
+        );
+        codec::write_value(&mut buf, off, Ty::Short, Value::I32(v as i32));
+        prop_assert_eq!(
+            codec::read_value(&buf, off, Ty::Short),
+            Value::I32(v as i32 as i16 as i32)
+        );
+        let fv = f as f32;
+        codec::write_value(&mut buf, off, Ty::Float, Value::F32(fv));
+        let got = codec::read_value(&buf, off, Ty::Float);
+        // Compare bit patterns so NaN payloads round-trip too.
+        prop_assert_eq!(got.as_f32().to_bits(), fv.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------- ALU
+
+proptest! {
+    /// The guest integer ALU matches Rust's wrapping semantics.
+    #[test]
+    fn alu_matches_wrapping_reference(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(
+            ArithOp::IAdd.apply2(Value::I32(a), Value::I32(b)).unwrap(),
+            Value::I32(a.wrapping_add(b))
+        );
+        prop_assert_eq!(
+            ArithOp::IMul.apply2(Value::I32(a), Value::I32(b)).unwrap(),
+            Value::I32(a.wrapping_mul(b))
+        );
+        prop_assert_eq!(
+            ArithOp::IShl.apply2(Value::I32(a), Value::I32(b)).unwrap(),
+            Value::I32(a.wrapping_shl(b as u32 & 31))
+        );
+        if b != 0 {
+            prop_assert_eq!(
+                ArithOp::IDiv.apply2(Value::I32(a), Value::I32(b)).unwrap(),
+                Value::I32(a.wrapping_div(b))
+            );
+        } else {
+            prop_assert!(ArithOp::IDiv.apply2(Value::I32(a), Value::I32(b)).is_err());
+        }
+    }
+
+    /// Saturating float→int conversions agree with Rust's `as` casts
+    /// (which are JVM-equivalent: saturating, NaN → 0).
+    #[test]
+    fn float_conversions_saturate(f in any::<f64>()) {
+        prop_assert_eq!(ArithOp::D2I.apply1(Value::F64(f)), Value::I32(f as i32));
+        prop_assert_eq!(ArithOp::D2L.apply1(Value::F64(f)), Value::I64(f as i64));
+        let g = f as f32;
+        prop_assert_eq!(ArithOp::F2I.apply1(Value::F32(g)), Value::I32(g as i32));
+    }
+}
+
+// ---------------------------------------------------------------- LZW
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LZW compress∘decompress is the identity on arbitrary inputs from
+    /// the guest alphabet (and on fully arbitrary bytes).
+    #[test]
+    fn lzw_roundtrip(input in proptest::collection::vec(any::<u8>(), 2..4000)) {
+        use hera_workloads::compress::{host_compress, host_decompress};
+        let codes = host_compress(&input);
+        let out = host_decompress(&codes, input.len());
+        prop_assert_eq!(out, input);
+    }
+
+    /// The generated corpus round-trips for arbitrary seeds and sizes.
+    #[test]
+    fn lzw_roundtrip_on_generated_corpus(seed in any::<i32>(), n in 100usize..6000) {
+        use hera_workloads::compress::{host_compress, host_decompress, host_generate};
+        let input = host_generate(seed, n);
+        let codes = host_compress(&input);
+        prop_assert_eq!(host_decompress(&codes, n), input);
+    }
+}
+
+// ---------------------------------------------------------------- verifier
+
+/// A small pool of instructions (some well-formed, some junk) for
+/// robustness fuzzing.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i32>().prop_map(Instr::ConstI32),
+        any::<i64>().prop_map(Instr::ConstI64),
+        Just(Instr::ConstNull),
+        Just(Instr::Pop),
+        Just(Instr::Dup),
+        Just(Instr::Swap),
+        (0u16..6).prop_map(Instr::Load),
+        (0u16..6).prop_map(Instr::Store),
+        Just(Instr::IAdd),
+        Just(Instr::IMul),
+        Just(Instr::IDiv),
+        Just(Instr::FAdd),
+        Just(Instr::LCmp),
+        Just(Instr::I2L),
+        Just(Instr::D2I),
+        (0u32..12).prop_map(Instr::Goto),
+        (0u32..12).prop_map(|t| Instr::IfI(hera_isa::Cond::Eq, t)),
+        Just(Instr::ArrayLength),
+        Just(Instr::ALoad(ElemTy::Int)),
+        Just(Instr::AStore(ElemTy::Byte)),
+        (0i32..8).prop_map(|_| Instr::NewArray(ElemTy::Int)),
+        Just(Instr::Return),
+        Just(Instr::ReturnValue),
+        Just(Instr::MonitorEnter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The verifier never panics and never loops on arbitrary
+    /// instruction sequences — it either accepts or rejects.
+    #[test]
+    fn verifier_total_on_arbitrary_code(code in proptest::collection::vec(arb_instr(), 1..12)) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("Fuzz", None);
+        let m = b.add_static_method(c, "m", vec![], None, 6, MethodBody::Bytecode(code));
+        let p = b.finish().unwrap();
+        let _ = verify_method(&p, m); // must merely terminate
+    }
+}
+
+// ---------------------------------------------------------------- heap + GC
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary alloc/retain schedules, collection never
+    /// disturbs a survivor's payload and reclaims exactly the garbage.
+    #[test]
+    fn gc_preserves_rooted_data(
+        plan in proptest::collection::vec((any::<bool>(), any::<i32>()), 1..60)
+    ) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("Cell", None);
+        let f = b.add_field(c, "v", Ty::Int);
+        let p = b.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        let mut heap = Heap::new(HeapConfig { size_bytes: 64 << 10 }, layout.statics.size);
+
+        let mut roots: Vec<(ObjRef, i32)> = Vec::new();
+        let mut garbage = 0u64;
+        for (keep, val) in plan {
+            let Some(r) = heap.alloc_object(&layout, c) else { break };
+            heap.put_field(&layout, r, f, Value::I32(val));
+            if keep {
+                roots.push((r, val));
+            } else {
+                garbage += 1;
+            }
+        }
+        let mut gc = Collector::new();
+        let root_refs: Vec<ObjRef> = roots.iter().map(|&(r, _)| r).collect();
+        let out = gc.collect(&mut heap, &layout, &root_refs);
+        prop_assert_eq!(out.live_objects, roots.len() as u64);
+        prop_assert_eq!(out.freed_objects, garbage);
+        for (r, val) in roots {
+            prop_assert_eq!(heap.get_field(&layout, r, f), Value::I32(val));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- data cache
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Read-your-writes always holds through the software data cache,
+    /// and a final write-back publishes exactly the written values —
+    /// under arbitrary interleavings of reads, writes and purges, and
+    /// even with a pathologically small cache.
+    #[test]
+    fn data_cache_read_your_writes(
+        ops in proptest::collection::vec((0usize..8, any::<i32>(), 0u8..3), 1..120),
+        cap_kb in 1u32..16,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("Slot", None);
+        let f = b.add_field(c, "v", Ty::Int);
+        let p = b.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        let mut heap = Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size);
+        let mut machine = CellMachine::new(CellConfig::default());
+        let spe = CoreId::Spe(0);
+
+        let objs: Vec<ObjRef> = (0..8)
+            .map(|_| heap.alloc_object(&layout, c).unwrap())
+            .collect();
+        let size = layout.object_size(c);
+        let off = layout.offset_of(f);
+        let mut shadow = vec![0i32; 8];
+        let mut cache = DataCache::new(cap_kb << 10);
+
+        for (i, val, kind) in ops {
+            let r = objs[i];
+            match kind {
+                0 => {
+                    // write
+                    cache
+                        .write(&mut heap, &mut machine, spe, r.0, size, off, Ty::Int, Value::I32(val))
+                        .unwrap();
+                    shadow[i] = val;
+                }
+                1 => {
+                    // read must observe this thread's program order
+                    let got = cache
+                        .read(&mut heap, &mut machine, spe, r.0, size, off, Ty::Int)
+                        .unwrap();
+                    prop_assert_eq!(got, Value::I32(shadow[i]));
+                }
+                _ => {
+                    // purge (acquire barrier) — publishes and refetches
+                    cache.purge(&mut heap, &mut machine, spe).unwrap();
+                }
+            }
+        }
+        cache.write_back_dirty(&mut heap, &mut machine, spe).unwrap();
+        for (i, &r) in objs.iter().enumerate() {
+            prop_assert_eq!(heap.get_field(&layout, r, f), Value::I32(shadow[i]));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- EIB
+
+proptest! {
+    /// Bus accounting is conservative: bytes and transfers sum exactly;
+    /// queue delays are finite and zero on an idle bus.
+    #[test]
+    fn eib_accounting(reqs in proptest::collection::vec((0u64..100_000, 1u64..256, 1u64..4096), 1..50)) {
+        let mut eib = Eib::new();
+        let mut bytes = 0u64;
+        for &(now, cycles, b) in &reqs {
+            let g = eib.request(now, cycles, b);
+            bytes += b;
+            prop_assert_eq!(g.transfer_cycles, cycles);
+            prop_assert!(g.queue_cycles < 1_000_000);
+        }
+        prop_assert_eq!(eib.bytes_transferred, bytes);
+        prop_assert_eq!(eib.transfers, reqs.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------- end-to-end
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any straight-line arithmetic the frontend can compile computes
+    /// the same i32 on the PPE and on an SPE as Rust computes natively.
+    #[test]
+    fn frontend_arith_matches_rust(a in any::<i32>(), b in 1i32..1000, c in any::<i32>()) {
+        use hera_frontend::*;
+        let expected = a
+            .wrapping_mul(31)
+            .wrapping_add(b)
+            .wrapping_div(b)
+            .wrapping_sub(c ^ (b << 3));
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.add_class("Main", None);
+        let main = declare_static(&mut pb, cls, "main", vec![], Some(Ty::Int));
+        define(
+            &mut pb,
+            main,
+            vec![],
+            vec![Stmt::Return(Some(sub(
+                div(add(mul(i32c(a), i32c(31)), i32c(b)), i32c(b)),
+                bxor(i32c(c), shl(i32c(b), i32c(3))),
+            )))],
+        )
+        .unwrap();
+        let program = pb.finish_with_entry("Main", "main").unwrap();
+        for cfg in [hera_core::VmConfig::pinned_ppe(), hera_core::VmConfig::pinned_spe(1)] {
+            let out = hera_core::HeraJvm::new(program.clone(), cfg).unwrap().run().unwrap();
+            prop_assert_eq!(out.result, Some(Value::I32(expected)));
+        }
+    }
+}
+
+// A non-proptest sanity anchor so the file always runs something fast.
+#[test]
+fn class_ids_are_stable() {
+    let mut b = ProgramBuilder::new();
+    let a = b.add_class("A", None);
+    let c = b.add_class("B", None);
+    assert_eq!(a, ClassId(0));
+    assert_eq!(c, ClassId(1));
+}

@@ -1,0 +1,446 @@
+//! The guest instruction set and runtime trap vocabulary.
+
+use crate::program::{ClassId, FieldId, MethodId};
+use crate::types::ElemTy;
+use std::fmt;
+
+/// Comparison conditions used by conditional branches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed).
+    Lt,
+    /// Greater or equal (signed).
+    Ge,
+    /// Greater than (signed).
+    Gt,
+    /// Less or equal (signed).
+    Le,
+}
+
+impl Cond {
+    /// Evaluate the condition on an `i32` (compared against zero for the
+    /// single-operand branch forms).
+    #[inline]
+    pub fn eval(self, v: i32) -> bool {
+        match self {
+            Cond::Eq => v == 0,
+            Cond::Ne => v != 0,
+            Cond::Lt => v < 0,
+            Cond::Ge => v >= 0,
+            Cond::Gt => v > 0,
+            Cond::Le => v <= 0,
+        }
+    }
+
+    /// Evaluate the condition on a pair of `i32`s.
+    #[inline]
+    pub fn eval2(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Le => a <= b,
+        }
+    }
+
+    /// The negated condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A portable guest instruction.
+///
+/// Branch targets are absolute instruction indices within the method
+/// (the [`crate::builder::MethodBuilder`] patches labels into indices).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Instr {
+    // ---- constants and stack manipulation ----
+    /// Push a 32-bit integer constant.
+    ConstI32(i32),
+    /// Push a 64-bit integer constant.
+    ConstI64(i64),
+    /// Push a 32-bit float constant.
+    ConstF32(f32),
+    /// Push a 64-bit float constant.
+    ConstF64(f64),
+    /// Push the null reference.
+    ConstNull,
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Duplicate the top of stack below the second value (`a b` → `b a b`).
+    DupX1,
+    /// Swap the top two stack values.
+    Swap,
+
+    // ---- locals ----
+    /// Push local variable `slot`.
+    Load(u16),
+    /// Pop into local variable `slot`.
+    Store(u16),
+    /// Add `delta` to the integer in local `slot` (like JVM `iinc`).
+    IInc(u16, i16),
+
+    // ---- i32 arithmetic ----
+    /// Integer add (wrapping).
+    IAdd,
+    /// Integer subtract (wrapping).
+    ISub,
+    /// Integer multiply (wrapping).
+    IMul,
+    /// Integer divide; traps on divide-by-zero.
+    IDiv,
+    /// Integer remainder; traps on divide-by-zero.
+    IRem,
+    /// Integer negate.
+    INeg,
+    /// Shift left (masked count, as the JVM does).
+    IShl,
+    /// Arithmetic shift right.
+    IShr,
+    /// Logical shift right.
+    IUShr,
+    /// Bitwise and.
+    IAnd,
+    /// Bitwise or.
+    IOr,
+    /// Bitwise xor.
+    IXor,
+
+    // ---- i64 arithmetic ----
+    /// Long add (wrapping).
+    LAdd,
+    /// Long subtract (wrapping).
+    LSub,
+    /// Long multiply (wrapping).
+    LMul,
+    /// Long divide; traps on divide-by-zero.
+    LDiv,
+    /// Long remainder; traps on divide-by-zero.
+    LRem,
+    /// Long negate.
+    LNeg,
+    /// Long shift left (count from an i32, masked).
+    LShl,
+    /// Long arithmetic shift right.
+    LShr,
+    /// Long logical shift right.
+    LUShr,
+    /// Long bitwise and.
+    LAnd,
+    /// Long bitwise or.
+    LOr,
+    /// Long bitwise xor.
+    LXor,
+
+    // ---- f32 arithmetic ----
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Float negate.
+    FNeg,
+    /// Float square root (intrinsic; see crate docs).
+    FSqrt,
+
+    // ---- f64 arithmetic ----
+    /// Double add.
+    DAdd,
+    /// Double subtract.
+    DSub,
+    /// Double multiply.
+    DMul,
+    /// Double divide.
+    DDiv,
+    /// Double negate.
+    DNeg,
+    /// Double square root (intrinsic; see crate docs).
+    DSqrt,
+
+    // ---- conversions ----
+    /// i32 → i64.
+    I2L,
+    /// i32 → f32.
+    I2F,
+    /// i32 → f64.
+    I2D,
+    /// i64 → i32 (truncating).
+    L2I,
+    /// i64 → f32.
+    L2F,
+    /// i64 → f64.
+    L2D,
+    /// f32 → i32 (saturating, JVM semantics).
+    F2I,
+    /// f32 → f64.
+    F2D,
+    /// f64 → i32 (saturating, JVM semantics).
+    D2I,
+    /// f64 → i64 (saturating, JVM semantics).
+    D2L,
+    /// f64 → f32.
+    D2F,
+    /// i32 → i8 sign-extended back to i32.
+    I2B,
+    /// i32 → i16 sign-extended back to i32.
+    I2S,
+
+    // ---- comparisons producing an i32 ----
+    /// Long compare: push -1/0/1.
+    LCmp,
+    /// Float compare, NaN → -1.
+    FCmpL,
+    /// Float compare, NaN → 1.
+    FCmpG,
+    /// Double compare, NaN → -1.
+    DCmpL,
+    /// Double compare, NaN → 1.
+    DCmpG,
+
+    // ---- control flow ----
+    /// Unconditional branch to instruction index.
+    Goto(u32),
+    /// Branch if the popped i32 satisfies `cond` against zero.
+    IfI(Cond, u32),
+    /// Branch if the two popped i32s (`a cond b`, `b` on top) satisfy `cond`.
+    IfICmp(Cond, u32),
+    /// Branch if the popped reference is null.
+    IfNull(u32),
+    /// Branch if the popped reference is non-null.
+    IfNonNull(u32),
+    /// Branch if the two popped references are equal.
+    IfACmpEq(u32),
+    /// Branch if the two popped references differ.
+    IfACmpNe(u32),
+
+    // ---- objects ----
+    /// Allocate a new instance of `ClassId`, push the reference.
+    New(ClassId),
+    /// Pop a reference, push the value of the instance field.
+    GetField(FieldId),
+    /// Pop a value and a reference, store into the instance field.
+    PutField(FieldId),
+    /// Push the value of a static field.
+    GetStatic(FieldId),
+    /// Pop a value into a static field.
+    PutStatic(FieldId),
+    /// Pop a reference, push 1 if it is an instance of the class (or a
+    /// subclass), else 0. Null yields 0.
+    InstanceOf(ClassId),
+
+    // ---- arrays ----
+    /// Pop a length, allocate an array of the element type, push the ref.
+    NewArray(ElemTy),
+    /// Pop an array reference, push its length.
+    ArrayLength,
+    /// Pop index and array reference, push the element.
+    ALoad(ElemTy),
+    /// Pop value, index and array reference, store the element.
+    AStore(ElemTy),
+
+    // ---- calls ----
+    /// Call a method directly (static methods and constructors).
+    InvokeStatic(MethodId),
+    /// Call through the receiver's vtable. The `MethodId` names the
+    /// statically resolved method, whose vtable slot is used.
+    InvokeVirtual(MethodId),
+    /// Return void from the current method.
+    Return,
+    /// Return the top-of-stack value from the current method.
+    ReturnValue,
+
+    // ---- synchronisation ----
+    /// Pop an object reference and acquire its monitor. On the SPE this
+    /// purges the software data cache after acquisition (JMM, §3.2.1).
+    MonitorEnter,
+    /// Pop an object reference and release its monitor. On the SPE this
+    /// writes back dirty cached data before release (JMM, §3.2.1).
+    MonitorExit,
+}
+
+impl Instr {
+    /// Branch target of this instruction, if it is a branch.
+    pub fn branch_target(self) -> Option<u32> {
+        match self {
+            Instr::Goto(t)
+            | Instr::IfI(_, t)
+            | Instr::IfICmp(_, t)
+            | Instr::IfNull(t)
+            | Instr::IfNonNull(t)
+            | Instr::IfACmpEq(t)
+            | Instr::IfACmpNe(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether control never falls through to the next instruction.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Instr::Goto(_) | Instr::Return | Instr::ReturnValue)
+    }
+
+    /// Rewrite the branch target (used by the builder's label patcher).
+    pub(crate) fn with_target(self, t: u32) -> Instr {
+        match self {
+            Instr::Goto(_) => Instr::Goto(t),
+            Instr::IfI(c, _) => Instr::IfI(c, t),
+            Instr::IfICmp(c, _) => Instr::IfICmp(c, t),
+            Instr::IfNull(_) => Instr::IfNull(t),
+            Instr::IfNonNull(_) => Instr::IfNonNull(t),
+            Instr::IfACmpEq(_) => Instr::IfACmpEq(t),
+            Instr::IfACmpNe(_) => Instr::IfACmpNe(t),
+            other => other,
+        }
+    }
+}
+
+/// Runtime faults. These terminate the faulting guest thread (the ISA has
+/// no catchable exceptions; see the crate-level divergence notes).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// Null reference dereferenced.
+    NullPointer,
+    /// Array index out of range `[0, len)`.
+    ArrayIndexOutOfBounds {
+        /// The offending index.
+        index: i32,
+        /// The array length.
+        len: u32,
+    },
+    /// Integer or long division / remainder by zero.
+    DivisionByZero,
+    /// Array allocation with a negative length.
+    NegativeArraySize(i32),
+    /// Heap exhausted even after garbage collection.
+    OutOfMemory,
+    /// Monitor released by a thread that does not own it.
+    IllegalMonitorState,
+    /// A native method reported an error.
+    NativeError(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NullPointer => write!(f, "null pointer dereference"),
+            Trap::ArrayIndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            Trap::DivisionByZero => write!(f, "division by zero"),
+            Trap::NegativeArraySize(n) => write!(f, "negative array size {n}"),
+            Trap::OutOfMemory => write!(f, "out of memory"),
+            Trap::IllegalMonitorState => write!(f, "illegal monitor state"),
+            Trap::NativeError(msg) => write!(f, "native error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_against_zero() {
+        assert!(Cond::Eq.eval(0));
+        assert!(!Cond::Eq.eval(3));
+        assert!(Cond::Ne.eval(-1));
+        assert!(Cond::Lt.eval(-1));
+        assert!(!Cond::Lt.eval(0));
+        assert!(Cond::Ge.eval(0));
+        assert!(Cond::Gt.eval(5));
+        assert!(Cond::Le.eval(0));
+        assert!(!Cond::Le.eval(1));
+    }
+
+    #[test]
+    fn cond_eval_pairs() {
+        assert!(Cond::Lt.eval2(1, 2));
+        assert!(!Cond::Lt.eval2(2, 2));
+        assert!(Cond::Ge.eval2(2, 2));
+        assert!(Cond::Eq.eval2(-4, -4));
+        assert!(Cond::Ne.eval2(1, 0));
+        assert!(Cond::Gt.eval2(3, 2));
+        assert!(Cond::Le.eval2(2, 2));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le] {
+            assert_eq!(c.negate().negate(), c);
+            // negation flips the outcome for every input
+            for v in [-2, -1, 0, 1, 2] {
+                assert_ne!(c.eval(v), c.negate().eval(v));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Instr::Goto(7).branch_target(), Some(7));
+        assert_eq!(Instr::IfI(Cond::Eq, 3).branch_target(), Some(3));
+        assert_eq!(Instr::IAdd.branch_target(), None);
+        assert_eq!(Instr::IfNull(9).branch_target(), Some(9));
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Goto(0).is_terminator());
+        assert!(Instr::Return.is_terminator());
+        assert!(Instr::ReturnValue.is_terminator());
+        assert!(!Instr::IfI(Cond::Eq, 0).is_terminator());
+        assert!(!Instr::IAdd.is_terminator());
+    }
+
+    #[test]
+    fn with_target_rewrites_branches_only() {
+        assert_eq!(Instr::Goto(1).with_target(5), Instr::Goto(5));
+        assert_eq!(
+            Instr::IfICmp(Cond::Lt, 1).with_target(5),
+            Instr::IfICmp(Cond::Lt, 5)
+        );
+        assert_eq!(Instr::IAdd.with_target(5), Instr::IAdd);
+    }
+
+    #[test]
+    fn trap_display() {
+        assert_eq!(
+            Trap::ArrayIndexOutOfBounds { index: 9, len: 4 }.to_string(),
+            "array index 9 out of bounds for length 4"
+        );
+        assert_eq!(Trap::DivisionByZero.to_string(), "division by zero");
+    }
+}

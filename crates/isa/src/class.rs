@@ -1,0 +1,204 @@
+//! Class, field and method metadata: the guest program's static shape.
+
+use crate::bytecode::Instr;
+use crate::program::{ClassId, FieldId, MethodId};
+use crate::types::Ty;
+
+/// Identifier of a native (host-implemented) method registered with the
+/// runtime's native bridge (paper §3.2.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NativeId(pub u32);
+
+/// Platform-neutral behavioural annotations (paper §3).
+///
+/// "Our approach is to provide the developer with a set of annotations
+/// that can enhance an application with platform-neutral hints of its
+/// expected behaviour." The runtime maps these hints to thread placement
+/// decisions; they never name a concrete architecture's details, only
+/// behaviour classes plus two explicit placement escapes used for
+/// benchmarking.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Annotation {
+    /// The method performs heavy floating-point computation.
+    FloatIntensive,
+    /// The method touches main memory with poor locality.
+    MemoryIntensive,
+    /// Explicitly request execution on an accelerator (SPE) core.
+    RunOnSpe,
+    /// Explicitly request execution on the general-purpose (PPE) core.
+    RunOnPpe,
+}
+
+/// How a method's behaviour is supplied.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MethodBody {
+    /// Portable bytecode, JIT-compiled per core type on first use there.
+    Bytecode(Vec<Instr>),
+    /// A host-implemented native method. On an SPE core this is executed
+    /// via the native bridge: JNI-style natives migrate the thread to the
+    /// PPE; fast syscalls are proxied by the PPE service thread (§3.2.3).
+    Native(NativeId),
+}
+
+/// Whether a native method uses the JNI path (thread migration to the
+/// PPE) or the fast-syscall path (message to the PPE proxy thread).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NativeKind {
+    /// Full JNI call: the thread migrates to the PPE for the duration.
+    Jni,
+    /// Runtime-internal fast syscall: proxied by the dedicated PPE
+    /// service thread while the SPE thread waits.
+    FastSyscall,
+}
+
+/// A field definition. Layout (offsets) is computed by `hera-mem` from
+/// the declaration order; the ISA records only declaration facts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FieldDef {
+    /// Field name (unique within its class, per kind).
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Declared type.
+    pub ty: Ty,
+    /// Whether this is a static (per-class) field.
+    pub is_static: bool,
+    /// Whether the field is volatile. Volatile accesses trigger the JMM
+    /// coherence actions on the SPE software cache (§3.2.1).
+    pub volatile: bool,
+}
+
+/// A method definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodDef {
+    /// Method name (with its arity it must be unique within the class).
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Parameter types. For instance methods, slot 0 is the receiver and
+    /// is *not* listed here.
+    pub params: Vec<Ty>,
+    /// Return type, or `None` for void.
+    pub ret: Option<Ty>,
+    /// Whether this is a static method (no receiver).
+    pub is_static: bool,
+    /// Number of local variable slots (including parameters/receiver).
+    pub max_locals: u16,
+    /// The method body.
+    pub body: MethodBody,
+    /// Behavioural annotations (placement hints).
+    pub annotations: Vec<Annotation>,
+    /// Vtable slot if this method is virtually dispatchable.
+    pub vtable_slot: Option<u16>,
+    /// For native methods: which bridge path they take.
+    pub native_kind: Option<NativeKind>,
+}
+
+impl MethodDef {
+    /// Number of local slots occupied by the receiver + parameters.
+    pub fn arg_slots(&self) -> u16 {
+        let recv = if self.is_static { 0 } else { 1 };
+        recv + self.params.len() as u16
+    }
+
+    /// Whether the method carries the given annotation.
+    pub fn has_annotation(&self, a: Annotation) -> bool {
+        self.annotations.contains(&a)
+    }
+
+    /// The bytecode body, if any.
+    pub fn code(&self) -> Option<&[Instr]> {
+        match &self.body {
+            MethodBody::Bytecode(code) => Some(code),
+            MethodBody::Native(_) => None,
+        }
+    }
+}
+
+/// A class definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClassDef {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Single-inheritance superclass.
+    pub super_class: Option<ClassId>,
+    /// Instance fields declared by this class (not inherited ones).
+    pub instance_fields: Vec<FieldId>,
+    /// Static fields declared by this class.
+    pub static_fields: Vec<FieldId>,
+    /// Methods declared by this class.
+    pub methods: Vec<MethodId>,
+    /// Virtual dispatch table: slot → implementing method, including
+    /// inherited and overridden entries. This is the model for the TIB
+    /// ("type information block") that the SPE code cache caches per
+    /// class (§3.2.2).
+    pub vtable: Vec<MethodId>,
+}
+
+impl ClassDef {
+    /// Estimated byte size of this class's TIB when cached in SPE local
+    /// memory: one 4-byte code pointer and one 4-byte length word per
+    /// vtable entry, plus a 16-byte header (paper Figure 3 shows
+    /// per-method pointer + length pairs).
+    pub fn tib_bytes(&self) -> u32 {
+        16 + 8 * self.vtable.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_method(is_static: bool, params: usize) -> MethodDef {
+        MethodDef {
+            name: "m".into(),
+            class: ClassId(0),
+            params: vec![Ty::Int; params],
+            ret: None,
+            is_static,
+            max_locals: 4,
+            body: MethodBody::Bytecode(vec![Instr::Return]),
+            annotations: vec![Annotation::FloatIntensive],
+            vtable_slot: None,
+            native_kind: None,
+        }
+    }
+
+    #[test]
+    fn arg_slots_counts_receiver() {
+        assert_eq!(sample_method(true, 2).arg_slots(), 2);
+        assert_eq!(sample_method(false, 2).arg_slots(), 3);
+        assert_eq!(sample_method(true, 0).arg_slots(), 0);
+    }
+
+    #[test]
+    fn annotations_query() {
+        let m = sample_method(true, 0);
+        assert!(m.has_annotation(Annotation::FloatIntensive));
+        assert!(!m.has_annotation(Annotation::RunOnPpe));
+    }
+
+    #[test]
+    fn code_accessor() {
+        let m = sample_method(true, 0);
+        assert_eq!(m.code(), Some(&[Instr::Return][..]));
+        let n = MethodDef {
+            body: MethodBody::Native(NativeId(3)),
+            ..sample_method(true, 0)
+        };
+        assert!(n.code().is_none());
+    }
+
+    #[test]
+    fn tib_size_scales_with_vtable() {
+        let c = ClassDef {
+            name: "C".into(),
+            super_class: None,
+            instance_fields: vec![],
+            static_fields: vec![],
+            methods: vec![],
+            vtable: vec![MethodId(0); 5],
+        };
+        assert_eq!(c.tib_bytes(), 16 + 40);
+    }
+}

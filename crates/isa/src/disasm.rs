@@ -1,0 +1,203 @@
+//! Human-readable disassembly of guest bytecode.
+
+use crate::bytecode::Instr;
+use crate::program::{MethodId, Program};
+use std::fmt::Write as _;
+
+/// Render one instruction, resolving names through the program.
+pub fn instr_to_string(program: &Program, instr: &Instr) -> String {
+    use Instr::*;
+    match instr {
+        ConstI32(v) => format!("const.i32 {v}"),
+        ConstI64(v) => format!("const.i64 {v}"),
+        ConstF32(v) => format!("const.f32 {v}"),
+        ConstF64(v) => format!("const.f64 {v}"),
+        ConstNull => "const.null".into(),
+        Pop => "pop".into(),
+        Dup => "dup".into(),
+        DupX1 => "dup_x1".into(),
+        Swap => "swap".into(),
+        Load(s) => format!("load {s}"),
+        Store(s) => format!("store {s}"),
+        IInc(s, d) => format!("iinc {s}, {d}"),
+        IAdd => "iadd".into(),
+        ISub => "isub".into(),
+        IMul => "imul".into(),
+        IDiv => "idiv".into(),
+        IRem => "irem".into(),
+        INeg => "ineg".into(),
+        IShl => "ishl".into(),
+        IShr => "ishr".into(),
+        IUShr => "iushr".into(),
+        IAnd => "iand".into(),
+        IOr => "ior".into(),
+        IXor => "ixor".into(),
+        LAdd => "ladd".into(),
+        LSub => "lsub".into(),
+        LMul => "lmul".into(),
+        LDiv => "ldiv".into(),
+        LRem => "lrem".into(),
+        LNeg => "lneg".into(),
+        LShl => "lshl".into(),
+        LShr => "lshr".into(),
+        LUShr => "lushr".into(),
+        LAnd => "land".into(),
+        LOr => "lor".into(),
+        LXor => "lxor".into(),
+        FAdd => "fadd".into(),
+        FSub => "fsub".into(),
+        FMul => "fmul".into(),
+        FDiv => "fdiv".into(),
+        FNeg => "fneg".into(),
+        FSqrt => "fsqrt".into(),
+        DAdd => "dadd".into(),
+        DSub => "dsub".into(),
+        DMul => "dmul".into(),
+        DDiv => "ddiv".into(),
+        DNeg => "dneg".into(),
+        DSqrt => "dsqrt".into(),
+        I2L => "i2l".into(),
+        I2F => "i2f".into(),
+        I2D => "i2d".into(),
+        L2I => "l2i".into(),
+        L2F => "l2f".into(),
+        L2D => "l2d".into(),
+        F2I => "f2i".into(),
+        F2D => "f2d".into(),
+        D2I => "d2i".into(),
+        D2L => "d2l".into(),
+        D2F => "d2f".into(),
+        I2B => "i2b".into(),
+        I2S => "i2s".into(),
+        LCmp => "lcmp".into(),
+        FCmpL => "fcmpl".into(),
+        FCmpG => "fcmpg".into(),
+        DCmpL => "dcmpl".into(),
+        DCmpG => "dcmpg".into(),
+        Goto(t) => format!("goto @{t}"),
+        IfI(c, t) => format!("if.{c} @{t}"),
+        IfICmp(c, t) => format!("if_icmp.{c} @{t}"),
+        IfNull(t) => format!("ifnull @{t}"),
+        IfNonNull(t) => format!("ifnonnull @{t}"),
+        IfACmpEq(t) => format!("if_acmpeq @{t}"),
+        IfACmpNe(t) => format!("if_acmpne @{t}"),
+        New(c) => format!("new {}", program.class(*c).name),
+        GetField(f) => format!("getfield {}", field_name(program, *f)),
+        PutField(f) => format!("putfield {}", field_name(program, *f)),
+        GetStatic(f) => format!("getstatic {}", field_name(program, *f)),
+        PutStatic(f) => format!("putstatic {}", field_name(program, *f)),
+        InstanceOf(c) => format!("instanceof {}", program.class(*c).name),
+        NewArray(e) => format!("newarray {e}"),
+        ArrayLength => "arraylength".into(),
+        ALoad(e) => format!("aload.{e}"),
+        AStore(e) => format!("astore.{e}"),
+        InvokeStatic(m) => format!("invokestatic {}", method_name(program, *m)),
+        InvokeVirtual(m) => format!("invokevirtual {}", method_name(program, *m)),
+        Return => "return".into(),
+        ReturnValue => "returnvalue".into(),
+        MonitorEnter => "monitorenter".into(),
+        MonitorExit => "monitorexit".into(),
+    }
+}
+
+fn field_name(program: &Program, f: crate::program::FieldId) -> String {
+    let fd = program.field(f);
+    format!("{}.{}", program.class(fd.class).name, fd.name)
+}
+
+fn method_name(program: &Program, m: MethodId) -> String {
+    let md = program.method(m);
+    format!(
+        "{}.{}/{}",
+        program.class(md.class).name,
+        md.name,
+        md.params.len()
+    )
+}
+
+/// Disassemble a whole method to a multi-line listing.
+pub fn disassemble_method(program: &Program, method: MethodId) -> String {
+    let def = program.method(method);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} (locals={}):",
+        method_name(program, method),
+        def.max_locals
+    );
+    match def.code() {
+        None => {
+            let _ = writeln!(out, "  <native>");
+        }
+        Some(code) => {
+            for (i, instr) in code.iter().enumerate() {
+                let _ = writeln!(out, "  {i:4}: {}", instr_to_string(program, instr));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::MethodBody;
+    use crate::program::ProgramBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn disassembles_named_references() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("Point", None);
+        let f = b.add_field(c, "x", Ty::Int);
+        let m = b.add_static_method(
+            c,
+            "zero",
+            vec![],
+            Some(Ty::Int),
+            1,
+            MethodBody::Bytecode(vec![
+                Instr::New(c),
+                Instr::GetField(f),
+                Instr::ReturnValue,
+            ]),
+        );
+        let p = b.finish().unwrap();
+        let text = disassemble_method(&p, m);
+        assert!(text.contains("new Point"));
+        assert!(text.contains("getfield Point.x"));
+        assert!(text.contains("returnvalue"));
+        assert!(text.contains("Point.zero/0"));
+    }
+
+    #[test]
+    fn native_disassembly() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let m = b.add_native_method(
+            c,
+            "nat",
+            vec![],
+            None,
+            crate::class::NativeId(1),
+            crate::class::NativeKind::Jni,
+        );
+        let p = b.finish().unwrap();
+        assert!(disassemble_method(&p, m).contains("<native>"));
+    }
+
+    #[test]
+    fn every_simple_opcode_renders() {
+        let p = ProgramBuilder::new().finish().unwrap();
+        for i in [
+            Instr::IAdd,
+            Instr::DSqrt,
+            Instr::LCmp,
+            Instr::ConstNull,
+            Instr::ALoad(crate::types::ElemTy::Short),
+            Instr::Goto(3),
+        ] {
+            assert!(!instr_to_string(&p, &i).is_empty());
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Guest value and type vocabulary shared by every crate in the
+//! workspace: runtime [`Value`]s, static [`Ty`]pes, array element types
+//! and verification [`Kind`]s.
+
+use crate::program::ClassId;
+use std::fmt;
+
+/// A reference into the guest heap.
+///
+/// `ObjRef(0)` is the null reference. Non-null values are byte offsets
+/// into the main-memory heap (see `hera-mem`), which makes DMA transfers
+/// of object byte ranges straightforward to model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    /// The null reference.
+    pub const NULL: ObjRef = ObjRef(0);
+
+    /// Whether this reference is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The heap address this reference designates.
+    #[inline]
+    pub fn addr(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "@{:#x}", self.0)
+        }
+    }
+}
+
+/// A tagged guest value, as held in operand stacks and local variables.
+///
+/// Thread stacks live in host memory (as in JikesRVM's threads, whose
+/// stacks the runtime itself manages), so values stay tagged and GC root
+/// scanning is exact without separate reference maps.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// 32-bit integer (also carries guest byte/short/boolean values).
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit IEEE float.
+    F32(f32),
+    /// 64-bit IEEE float.
+    F64(f64),
+    /// Heap reference (possibly null).
+    Ref(ObjRef),
+}
+
+impl Value {
+    /// The verification kind of this value.
+    pub fn kind(self) -> Kind {
+        match self {
+            Value::I32(_) => Kind::I,
+            Value::I64(_) => Kind::L,
+            Value::F32(_) => Kind::F,
+            Value::F64(_) => Kind::D,
+            Value::Ref(_) => Kind::R,
+        }
+    }
+
+    /// Extract an `i32`, panicking on kind mismatch.
+    ///
+    /// Verified bytecode guarantees the kinds match; the panic encodes a
+    /// verifier bug, not a guest-program bug.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("value kind mismatch: expected i32, got {other:?}"),
+        }
+    }
+
+    /// Extract an `i64`, panicking on kind mismatch.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("value kind mismatch: expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extract an `f32`, panicking on kind mismatch.
+    #[inline]
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            other => panic!("value kind mismatch: expected f32, got {other:?}"),
+        }
+    }
+
+    /// Extract an `f64`, panicking on kind mismatch.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("value kind mismatch: expected f64, got {other:?}"),
+        }
+    }
+
+    /// Extract a reference, panicking on kind mismatch.
+    #[inline]
+    pub fn as_ref(self) -> ObjRef {
+        match self {
+            Value::Ref(v) => v,
+            other => panic!("value kind mismatch: expected ref, got {other:?}"),
+        }
+    }
+
+    /// The default (zero) value for a static type.
+    pub fn default_for(ty: Ty) -> Value {
+        match ty {
+            Ty::Byte | Ty::Short | Ty::Int => Value::I32(0),
+            Ty::Long => Value::I64(0),
+            Ty::Float => Value::F32(0.0),
+            Ty::Double => Value::F64(0.0),
+            Ty::Ref(_) | Ty::Array(_) => Value::Ref(ObjRef::NULL),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}i32"),
+            Value::I64(v) => write!(f, "{v}i64"),
+            Value::F32(v) => write!(f, "{v}f32"),
+            Value::F64(v) => write!(f, "{v}f64"),
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A static guest type, as used in field and method signatures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// 8-bit signed integer (stored in 1 byte, widened to `I32` on load).
+    Byte,
+    /// 16-bit signed integer (stored in 2 bytes, widened to `I32`).
+    Short,
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    Long,
+    /// 32-bit IEEE float.
+    Float,
+    /// 64-bit IEEE float.
+    Double,
+    /// Reference to an instance of the named class (or a subclass).
+    Ref(ClassId),
+    /// Reference to an array with the given element type.
+    Array(ElemTy),
+}
+
+impl Ty {
+    /// Byte width of this type in object field layout.
+    pub fn field_size(self) -> u32 {
+        match self {
+            Ty::Byte => 1,
+            Ty::Short => 2,
+            Ty::Int | Ty::Float | Ty::Ref(_) | Ty::Array(_) => 4,
+            Ty::Long | Ty::Double => 8,
+        }
+    }
+
+    /// The verification kind of values of this type.
+    pub fn kind(self) -> Kind {
+        match self {
+            Ty::Byte | Ty::Short | Ty::Int => Kind::I,
+            Ty::Long => Kind::L,
+            Ty::Float => Kind::F,
+            Ty::Double => Kind::D,
+            Ty::Ref(_) | Ty::Array(_) => Kind::R,
+        }
+    }
+
+    /// Whether this type is a heap reference (object or array).
+    pub fn is_ref(self) -> bool {
+        matches!(self, Ty::Ref(_) | Ty::Array(_))
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Byte => write!(f, "byte"),
+            Ty::Short => write!(f, "short"),
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Float => write!(f, "float"),
+            Ty::Double => write!(f, "double"),
+            Ty::Ref(c) => write!(f, "ref#{}", c.0),
+            Ty::Array(e) => write!(f, "{e}[]"),
+        }
+    }
+}
+
+/// Array element types.
+///
+/// Nested arrays are arrays of [`ElemTy::Ref`]; the reference elements
+/// point at the inner array objects, mirroring how the JVM represents
+/// `int[][]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemTy {
+    /// 1-byte elements.
+    Byte,
+    /// 2-byte elements.
+    Short,
+    /// 4-byte integer elements.
+    Int,
+    /// 8-byte integer elements.
+    Long,
+    /// 4-byte float elements.
+    Float,
+    /// 8-byte float elements.
+    Double,
+    /// 4-byte reference elements.
+    Ref,
+}
+
+impl ElemTy {
+    /// Byte width of one element.
+    pub fn size(self) -> u32 {
+        match self {
+            ElemTy::Byte => 1,
+            ElemTy::Short => 2,
+            ElemTy::Int | ElemTy::Float | ElemTy::Ref => 4,
+            ElemTy::Long | ElemTy::Double => 8,
+        }
+    }
+
+    /// The verification kind of loaded elements.
+    pub fn kind(self) -> Kind {
+        match self {
+            ElemTy::Byte | ElemTy::Short | ElemTy::Int => Kind::I,
+            ElemTy::Long => Kind::L,
+            ElemTy::Float => Kind::F,
+            ElemTy::Double => Kind::D,
+            ElemTy::Ref => Kind::R,
+        }
+    }
+}
+
+impl fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemTy::Byte => write!(f, "byte"),
+            ElemTy::Short => write!(f, "short"),
+            ElemTy::Int => write!(f, "int"),
+            ElemTy::Long => write!(f, "long"),
+            ElemTy::Float => write!(f, "float"),
+            ElemTy::Double => write!(f, "double"),
+            ElemTy::Ref => write!(f, "ref"),
+        }
+    }
+}
+
+/// Verification kinds: the abstract stack-value categories the verifier
+/// tracks. Reference types are verified class-insensitively (all refs
+/// merge to `R`), which is sound for memory safety because the runtime's
+/// object model validates field offsets against the dynamic class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    /// 32-bit integer.
+    I,
+    /// 64-bit integer.
+    L,
+    /// 32-bit float.
+    F,
+    /// 64-bit float.
+    D,
+    /// Reference.
+    R,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Kind::I => 'I',
+            Kind::L => 'L',
+            Kind::F => 'F',
+            Kind::D => 'D',
+            Kind::R => 'R',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ref_properties() {
+        assert!(ObjRef::NULL.is_null());
+        assert!(!ObjRef(16).is_null());
+        assert_eq!(ObjRef(16).addr(), 16);
+        assert_eq!(format!("{}", ObjRef::NULL), "null");
+        assert_eq!(format!("{}", ObjRef(0x20)), "@0x20");
+    }
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(Value::I32(1).kind(), Kind::I);
+        assert_eq!(Value::I64(1).kind(), Kind::L);
+        assert_eq!(Value::F32(1.0).kind(), Kind::F);
+        assert_eq!(Value::F64(1.0).kind(), Kind::D);
+        assert_eq!(Value::Ref(ObjRef::NULL).kind(), Kind::R);
+    }
+
+    #[test]
+    fn value_accessors_roundtrip() {
+        assert_eq!(Value::I32(-7).as_i32(), -7);
+        assert_eq!(Value::I64(1 << 40).as_i64(), 1 << 40);
+        assert_eq!(Value::F32(2.5).as_f32(), 2.5);
+        assert_eq!(Value::F64(-0.125).as_f64(), -0.125);
+        assert_eq!(Value::Ref(ObjRef(8)).as_ref(), ObjRef(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "value kind mismatch")]
+    fn value_accessor_mismatch_panics() {
+        let _ = Value::I32(1).as_f64();
+    }
+
+    #[test]
+    fn default_values_are_zero() {
+        assert_eq!(Value::default_for(Ty::Int), Value::I32(0));
+        assert_eq!(Value::default_for(Ty::Byte), Value::I32(0));
+        assert_eq!(Value::default_for(Ty::Long), Value::I64(0));
+        assert_eq!(Value::default_for(Ty::Float), Value::F32(0.0));
+        assert_eq!(Value::default_for(Ty::Double), Value::F64(0.0));
+        assert_eq!(
+            Value::default_for(Ty::Array(ElemTy::Int)),
+            Value::Ref(ObjRef::NULL)
+        );
+    }
+
+    #[test]
+    fn field_sizes() {
+        assert_eq!(Ty::Byte.field_size(), 1);
+        assert_eq!(Ty::Short.field_size(), 2);
+        assert_eq!(Ty::Int.field_size(), 4);
+        assert_eq!(Ty::Float.field_size(), 4);
+        assert_eq!(Ty::Long.field_size(), 8);
+        assert_eq!(Ty::Double.field_size(), 8);
+        assert_eq!(Ty::Array(ElemTy::Double).field_size(), 4);
+    }
+
+    #[test]
+    fn elem_sizes_and_kinds() {
+        assert_eq!(ElemTy::Byte.size(), 1);
+        assert_eq!(ElemTy::Short.size(), 2);
+        assert_eq!(ElemTy::Long.size(), 8);
+        assert_eq!(ElemTy::Ref.size(), 4);
+        assert_eq!(ElemTy::Byte.kind(), Kind::I);
+        assert_eq!(ElemTy::Double.kind(), Kind::D);
+        assert_eq!(ElemTy::Ref.kind(), Kind::R);
+    }
+
+    #[test]
+    fn ty_is_ref() {
+        assert!(Ty::Ref(ClassId(0)).is_ref());
+        assert!(Ty::Array(ElemTy::Byte).is_ref());
+        assert!(!Ty::Int.is_ref());
+    }
+}

@@ -1,0 +1,790 @@
+//! Bytecode verification: abstract interpretation over value kinds.
+//!
+//! The verifier guarantees the properties the interpreter and the
+//! per-core compilers rely on without re-checking:
+//!
+//! * every pop finds a value of the expected [`Kind`];
+//! * local variable loads only read initialised slots;
+//! * branch targets are in range and stack shapes agree at merge points;
+//! * control cannot fall off the end of the method;
+//! * field/method references agree in staticness and kind with their
+//!   declarations;
+//! * `max_locals` bounds every local access.
+//!
+//! Reference types are verified class-insensitively (kind `R`); the
+//! runtime object model checks dynamic class/field agreement, so this is
+//! sound for memory safety (see `types` module docs).
+
+use crate::bytecode::Instr;
+use crate::class::MethodBody;
+use crate::program::{MethodId, Program};
+use crate::types::Kind;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A verification failure, with the method and instruction index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// The method that failed to verify.
+    pub method: MethodId,
+    /// Offending instruction index (or the method length for
+    /// fall-off-the-end errors).
+    pub at: u32,
+    /// What went wrong.
+    pub kind: VerifyErrorKind,
+}
+
+/// The specific verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyErrorKind {
+    /// Pop from an empty operand stack.
+    StackUnderflow,
+    /// Popped value kind differs from the instruction's expectation.
+    KindMismatch {
+        /// What the instruction needed.
+        expected: Kind,
+        /// What was on the stack.
+        found: Kind,
+    },
+    /// Branch target outside the method.
+    BadBranchTarget(u32),
+    /// Local slot index ≥ `max_locals`.
+    LocalOutOfRange(u16),
+    /// Load from a local slot that may be uninitialised (or has
+    /// conflicting kinds on different paths).
+    UninitialisedLocal(u16),
+    /// Stack shapes disagree at a control-flow merge point.
+    MergeConflict,
+    /// Execution can fall off the end of the method.
+    FallsOffEnd,
+    /// `Return` used in a non-void method or vice versa.
+    ReturnMismatch,
+    /// Static/instance mismatch on a field or method reference.
+    StaticnessMismatch,
+    /// Instruction references an out-of-range class/field/method id.
+    BadReference,
+    /// Stack is non-empty where it must be empty (not currently enforced
+    /// at branches; reserved for stricter modes).
+    StackNotEmpty,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "method #{} @{}: {:?}",
+            self.method.0, self.at, self.kind
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Per-method facts computed during verification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MethodInfo {
+    /// Maximum operand stack depth over all paths.
+    pub max_stack: u16,
+}
+
+/// Abstract local-slot state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Slot {
+    Uninit,
+    Known(Kind),
+    Conflict,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct State {
+    locals: Vec<Slot>,
+    stack: Vec<Kind>,
+}
+
+impl State {
+    fn merge(&mut self, other: &State) -> Result<bool, VerifyErrorKind> {
+        if self.stack.len() != other.stack.len() {
+            return Err(VerifyErrorKind::MergeConflict);
+        }
+        let mut changed = false;
+        for (a, b) in self.stack.iter().zip(&other.stack) {
+            if a != b {
+                return Err(VerifyErrorKind::MergeConflict);
+            }
+        }
+        for (a, &b) in self.locals.iter_mut().zip(&other.locals) {
+            let merged = match (*a, b) {
+                (x, y) if x == y => x,
+                (Slot::Uninit, _) | (_, Slot::Uninit) => Slot::Conflict,
+                (Slot::Conflict, _) | (_, Slot::Conflict) => Slot::Conflict,
+                (Slot::Known(_), Slot::Known(_)) => Slot::Conflict,
+            };
+            if merged != *a {
+                *a = merged;
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+struct Ctx<'p> {
+    method: MethodId,
+    code: &'p [Instr],
+    max_locals: u16,
+}
+
+impl<'p> Ctx<'p> {
+    fn err(&self, at: usize, kind: VerifyErrorKind) -> VerifyError {
+        VerifyError {
+            method: self.method,
+            at: at as u32,
+            kind,
+        }
+    }
+
+    fn pop(&self, st: &mut State, at: usize, expected: Kind) -> Result<(), VerifyError> {
+        match st.stack.pop() {
+            None => Err(self.err(at, VerifyErrorKind::StackUnderflow)),
+            Some(k) if k == expected => Ok(()),
+            Some(found) => Err(self.err(at, VerifyErrorKind::KindMismatch { expected, found })),
+        }
+    }
+
+    fn pop_any(&self, st: &mut State, at: usize) -> Result<Kind, VerifyError> {
+        st.stack
+            .pop()
+            .ok_or_else(|| self.err(at, VerifyErrorKind::StackUnderflow))
+    }
+
+    fn check_local(&self, at: usize, slot: u16) -> Result<(), VerifyError> {
+        if slot >= self.max_locals {
+            Err(self.err(at, VerifyErrorKind::LocalOutOfRange(slot)))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_target(&self, at: usize, t: u32) -> Result<(), VerifyError> {
+        if (t as usize) < self.code.len() {
+            Ok(())
+        } else {
+            Err(self.err(at, VerifyErrorKind::BadBranchTarget(t)))
+        }
+    }
+}
+
+/// Verify a single method's bytecode. Native methods verify trivially.
+pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, VerifyError> {
+    let def = program.method(method);
+    let code = match &def.body {
+        MethodBody::Native(_) => return Ok(MethodInfo { max_stack: 0 }),
+        MethodBody::Bytecode(code) => code.as_slice(),
+    };
+    let ctx = Ctx {
+        method,
+        code,
+        max_locals: def.max_locals,
+    };
+
+    if code.is_empty() {
+        return Err(ctx.err(0, VerifyErrorKind::FallsOffEnd));
+    }
+
+    // Entry state: receiver + parameters occupy the first slots.
+    let mut entry_locals = vec![Slot::Uninit; def.max_locals as usize];
+    let mut slot = 0usize;
+    if !def.is_static {
+        if slot >= entry_locals.len() {
+            return Err(ctx.err(0, VerifyErrorKind::LocalOutOfRange(0)));
+        }
+        entry_locals[slot] = Slot::Known(Kind::R);
+        slot += 1;
+    }
+    for &p in &def.params {
+        if slot >= entry_locals.len() {
+            return Err(ctx.err(0, VerifyErrorKind::LocalOutOfRange(slot as u16)));
+        }
+        entry_locals[slot] = Slot::Known(p.kind());
+        slot += 1;
+    }
+
+    let mut states: Vec<Option<State>> = vec![None; code.len()];
+    states[0] = Some(State {
+        locals: entry_locals,
+        stack: Vec::new(),
+    });
+    let mut work: VecDeque<usize> = VecDeque::from([0]);
+    let mut max_stack = 0u16;
+    let ret_kind = def.ret.map(|t| t.kind());
+
+    while let Some(pc) = work.pop_front() {
+        let mut st = states[pc].clone().expect("worklist entry has state");
+        let instr = code[pc];
+        let mut next: Vec<usize> = Vec::with_capacity(2);
+
+        use Instr::*;
+        match instr {
+            ConstI32(_) => st.stack.push(Kind::I),
+            ConstI64(_) => st.stack.push(Kind::L),
+            ConstF32(_) => st.stack.push(Kind::F),
+            ConstF64(_) => st.stack.push(Kind::D),
+            ConstNull => st.stack.push(Kind::R),
+            Pop => {
+                ctx.pop_any(&mut st, pc)?;
+            }
+            Dup => {
+                let k = ctx.pop_any(&mut st, pc)?;
+                st.stack.push(k);
+                st.stack.push(k);
+            }
+            DupX1 => {
+                let a = ctx.pop_any(&mut st, pc)?;
+                let b = ctx.pop_any(&mut st, pc)?;
+                st.stack.push(a);
+                st.stack.push(b);
+                st.stack.push(a);
+            }
+            Swap => {
+                let a = ctx.pop_any(&mut st, pc)?;
+                let b = ctx.pop_any(&mut st, pc)?;
+                st.stack.push(a);
+                st.stack.push(b);
+            }
+            Load(s) => {
+                ctx.check_local(pc, s)?;
+                match st.locals[s as usize] {
+                    Slot::Known(k) => st.stack.push(k),
+                    _ => return Err(ctx.err(pc, VerifyErrorKind::UninitialisedLocal(s))),
+                }
+            }
+            Store(s) => {
+                ctx.check_local(pc, s)?;
+                let k = ctx.pop_any(&mut st, pc)?;
+                st.locals[s as usize] = Slot::Known(k);
+            }
+            IInc(s, _) => {
+                ctx.check_local(pc, s)?;
+                match st.locals[s as usize] {
+                    Slot::Known(Kind::I) => {}
+                    Slot::Known(found) => {
+                        return Err(ctx.err(
+                            pc,
+                            VerifyErrorKind::KindMismatch {
+                                expected: Kind::I,
+                                found,
+                            },
+                        ))
+                    }
+                    _ => return Err(ctx.err(pc, VerifyErrorKind::UninitialisedLocal(s))),
+                }
+            }
+            IAdd | ISub | IMul | IDiv | IRem | IShl | IShr | IUShr | IAnd | IOr | IXor => {
+                ctx.pop(&mut st, pc, Kind::I)?;
+                ctx.pop(&mut st, pc, Kind::I)?;
+                st.stack.push(Kind::I);
+            }
+            INeg | I2B | I2S => {
+                ctx.pop(&mut st, pc, Kind::I)?;
+                st.stack.push(Kind::I);
+            }
+            LAdd | LSub | LMul | LDiv | LRem | LAnd | LOr | LXor => {
+                ctx.pop(&mut st, pc, Kind::L)?;
+                ctx.pop(&mut st, pc, Kind::L)?;
+                st.stack.push(Kind::L);
+            }
+            LShl | LShr | LUShr => {
+                ctx.pop(&mut st, pc, Kind::I)?;
+                ctx.pop(&mut st, pc, Kind::L)?;
+                st.stack.push(Kind::L);
+            }
+            LNeg => {
+                ctx.pop(&mut st, pc, Kind::L)?;
+                st.stack.push(Kind::L);
+            }
+            FAdd | FSub | FMul | FDiv => {
+                ctx.pop(&mut st, pc, Kind::F)?;
+                ctx.pop(&mut st, pc, Kind::F)?;
+                st.stack.push(Kind::F);
+            }
+            FNeg | FSqrt => {
+                ctx.pop(&mut st, pc, Kind::F)?;
+                st.stack.push(Kind::F);
+            }
+            DAdd | DSub | DMul | DDiv => {
+                ctx.pop(&mut st, pc, Kind::D)?;
+                ctx.pop(&mut st, pc, Kind::D)?;
+                st.stack.push(Kind::D);
+            }
+            DNeg | DSqrt => {
+                ctx.pop(&mut st, pc, Kind::D)?;
+                st.stack.push(Kind::D);
+            }
+            I2L => conv(&ctx, &mut st, pc, Kind::I, Kind::L)?,
+            I2F => conv(&ctx, &mut st, pc, Kind::I, Kind::F)?,
+            I2D => conv(&ctx, &mut st, pc, Kind::I, Kind::D)?,
+            L2I => conv(&ctx, &mut st, pc, Kind::L, Kind::I)?,
+            L2F => conv(&ctx, &mut st, pc, Kind::L, Kind::F)?,
+            L2D => conv(&ctx, &mut st, pc, Kind::L, Kind::D)?,
+            F2I => conv(&ctx, &mut st, pc, Kind::F, Kind::I)?,
+            F2D => conv(&ctx, &mut st, pc, Kind::F, Kind::D)?,
+            D2I => conv(&ctx, &mut st, pc, Kind::D, Kind::I)?,
+            D2L => conv(&ctx, &mut st, pc, Kind::D, Kind::L)?,
+            D2F => conv(&ctx, &mut st, pc, Kind::D, Kind::F)?,
+            LCmp => {
+                ctx.pop(&mut st, pc, Kind::L)?;
+                ctx.pop(&mut st, pc, Kind::L)?;
+                st.stack.push(Kind::I);
+            }
+            FCmpL | FCmpG => {
+                ctx.pop(&mut st, pc, Kind::F)?;
+                ctx.pop(&mut st, pc, Kind::F)?;
+                st.stack.push(Kind::I);
+            }
+            DCmpL | DCmpG => {
+                ctx.pop(&mut st, pc, Kind::D)?;
+                ctx.pop(&mut st, pc, Kind::D)?;
+                st.stack.push(Kind::I);
+            }
+            Goto(t) => {
+                ctx.check_target(pc, t)?;
+            }
+            IfI(_, t) => {
+                ctx.check_target(pc, t)?;
+                ctx.pop(&mut st, pc, Kind::I)?;
+            }
+            IfICmp(_, t) => {
+                ctx.check_target(pc, t)?;
+                ctx.pop(&mut st, pc, Kind::I)?;
+                ctx.pop(&mut st, pc, Kind::I)?;
+            }
+            IfNull(t) | IfNonNull(t) => {
+                ctx.check_target(pc, t)?;
+                ctx.pop(&mut st, pc, Kind::R)?;
+            }
+            IfACmpEq(t) | IfACmpNe(t) => {
+                ctx.check_target(pc, t)?;
+                ctx.pop(&mut st, pc, Kind::R)?;
+                ctx.pop(&mut st, pc, Kind::R)?;
+            }
+            New(c) => {
+                if c.0 as usize >= program.classes.len() {
+                    return Err(ctx.err(pc, VerifyErrorKind::BadReference));
+                }
+                st.stack.push(Kind::R);
+            }
+            InstanceOf(c) => {
+                if c.0 as usize >= program.classes.len() {
+                    return Err(ctx.err(pc, VerifyErrorKind::BadReference));
+                }
+                ctx.pop(&mut st, pc, Kind::R)?;
+                st.stack.push(Kind::I);
+            }
+            GetField(f) | PutField(f) | GetStatic(f) | PutStatic(f) => {
+                if f.0 as usize >= program.fields.len() {
+                    return Err(ctx.err(pc, VerifyErrorKind::BadReference));
+                }
+                let fd = program.field(f);
+                let is_static_op = matches!(instr, GetStatic(_) | PutStatic(_));
+                if fd.is_static != is_static_op {
+                    return Err(ctx.err(pc, VerifyErrorKind::StaticnessMismatch));
+                }
+                let k = fd.ty.kind();
+                match instr {
+                    GetField(_) => {
+                        ctx.pop(&mut st, pc, Kind::R)?;
+                        st.stack.push(k);
+                    }
+                    PutField(_) => {
+                        ctx.pop(&mut st, pc, k)?;
+                        ctx.pop(&mut st, pc, Kind::R)?;
+                    }
+                    GetStatic(_) => st.stack.push(k),
+                    PutStatic(_) => ctx.pop(&mut st, pc, k)?,
+                    _ => unreachable!(),
+                }
+            }
+            NewArray(_) => {
+                ctx.pop(&mut st, pc, Kind::I)?;
+                st.stack.push(Kind::R);
+            }
+            ArrayLength => {
+                ctx.pop(&mut st, pc, Kind::R)?;
+                st.stack.push(Kind::I);
+            }
+            ALoad(e) => {
+                ctx.pop(&mut st, pc, Kind::I)?;
+                ctx.pop(&mut st, pc, Kind::R)?;
+                st.stack.push(e.kind());
+            }
+            AStore(e) => {
+                ctx.pop(&mut st, pc, e.kind())?;
+                ctx.pop(&mut st, pc, Kind::I)?;
+                ctx.pop(&mut st, pc, Kind::R)?;
+            }
+            InvokeStatic(m) | InvokeVirtual(m) => {
+                if m.0 as usize >= program.methods.len() {
+                    return Err(ctx.err(pc, VerifyErrorKind::BadReference));
+                }
+                let callee = program.method(m);
+                let is_virtual = matches!(instr, InvokeVirtual(_));
+                if is_virtual == callee.is_static {
+                    return Err(ctx.err(pc, VerifyErrorKind::StaticnessMismatch));
+                }
+                for &p in callee.params.iter().rev() {
+                    ctx.pop(&mut st, pc, p.kind())?;
+                }
+                if !callee.is_static {
+                    ctx.pop(&mut st, pc, Kind::R)?;
+                }
+                if let Some(r) = callee.ret {
+                    st.stack.push(r.kind());
+                }
+            }
+            Return => {
+                if ret_kind.is_some() {
+                    return Err(ctx.err(pc, VerifyErrorKind::ReturnMismatch));
+                }
+            }
+            ReturnValue => match ret_kind {
+                None => return Err(ctx.err(pc, VerifyErrorKind::ReturnMismatch)),
+                Some(expected) => {
+                    let found = ctx.pop_any(&mut st, pc)?;
+                    if found != expected {
+                        return Err(
+                            ctx.err(pc, VerifyErrorKind::KindMismatch { expected, found })
+                        );
+                    }
+                }
+            },
+            MonitorEnter | MonitorExit => {
+                ctx.pop(&mut st, pc, Kind::R)?;
+            }
+        }
+
+        max_stack = max_stack.max(st.stack.len() as u16);
+
+        // Successors.
+        if let Some(t) = instr.branch_target() {
+            next.push(t as usize);
+        }
+        if !instr.is_terminator() {
+            if pc + 1 >= code.len() {
+                return Err(ctx.err(pc + 1, VerifyErrorKind::FallsOffEnd));
+            }
+            next.push(pc + 1);
+        }
+
+        for succ in next {
+            match &mut states[succ] {
+                None => {
+                    states[succ] = Some(st.clone());
+                    work.push_back(succ);
+                }
+                Some(existing) => {
+                    let changed = existing
+                        .merge(&st)
+                        .map_err(|k| ctx.err(succ, k))?;
+                    if changed {
+                        work.push_back(succ);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(MethodInfo { max_stack })
+}
+
+fn conv(
+    ctx: &Ctx<'_>,
+    st: &mut State,
+    pc: usize,
+    from: Kind,
+    to: Kind,
+) -> Result<(), VerifyError> {
+    ctx.pop(st, pc, from)?;
+    st.stack.push(to);
+    Ok(())
+}
+
+/// Verify every method in a program. Returns per-method info indexed by
+/// `MethodId`.
+pub fn verify_program(program: &Program) -> Result<Vec<MethodInfo>, VerifyError> {
+    (0..program.methods.len())
+        .map(|i| verify_method(program, MethodId(i as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MethodBuilder;
+    use crate::bytecode::Cond;
+    use crate::class::MethodBody;
+    use crate::program::ProgramBuilder;
+    use crate::types::{ElemTy, Ty};
+
+    fn single_method_program(
+        params: Vec<Ty>,
+        ret: Option<Ty>,
+        max_locals: u16,
+        code: Vec<Instr>,
+    ) -> (Program, MethodId) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let m = b.add_static_method(c, "m", params, ret, max_locals, MethodBody::Bytecode(code));
+        (b.finish().unwrap(), m)
+    }
+
+    #[test]
+    fn verifies_simple_arithmetic() {
+        let mut mb = MethodBuilder::new();
+        mb.const_i32(2).const_i32(3).iadd().return_value();
+        let (p, m) = single_method_program(vec![], Some(Ty::Int), 0, mb.finish());
+        let info = verify_method(&p, m).unwrap();
+        assert_eq!(info.max_stack, 2);
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let (p, m) = single_method_program(vec![], None, 0, vec![Instr::Pop, Instr::Return]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::StackUnderflow);
+    }
+
+    #[test]
+    fn rejects_kind_mismatch() {
+        let (p, m) = single_method_program(
+            vec![],
+            Some(Ty::Int),
+            0,
+            vec![Instr::ConstF32(1.0), Instr::ConstF32(2.0), Instr::IAdd, Instr::ReturnValue],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(matches!(err.kind, VerifyErrorKind::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_uninitialised_local() {
+        let (p, m) = single_method_program(
+            vec![],
+            Some(Ty::Int),
+            2,
+            vec![Instr::Load(1), Instr::ReturnValue],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UninitialisedLocal(1));
+    }
+
+    #[test]
+    fn params_initialise_locals() {
+        let (p, m) = single_method_program(
+            vec![Ty::Int, Ty::Double],
+            Some(Ty::Double),
+            2,
+            vec![Instr::Load(1), Instr::ReturnValue],
+        );
+        verify_method(&p, m).unwrap();
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let (p, m) = single_method_program(vec![], None, 0, vec![Instr::ConstI32(1), Instr::Pop]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::FallsOffEnd);
+    }
+
+    #[test]
+    fn rejects_empty_method() {
+        let (p, m) = single_method_program(vec![], None, 0, vec![]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::FallsOffEnd);
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let (p, m) =
+            single_method_program(vec![], None, 0, vec![Instr::Goto(99), Instr::Return]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::BadBranchTarget(99));
+    }
+
+    #[test]
+    fn rejects_return_mismatch() {
+        let (p, m) = single_method_program(vec![], Some(Ty::Int), 0, vec![Instr::Return]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::ReturnMismatch);
+
+        let (p, m) =
+            single_method_program(vec![], None, 0, vec![Instr::ConstI32(1), Instr::ReturnValue]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::ReturnMismatch);
+    }
+
+    #[test]
+    fn loop_with_merge_verifies() {
+        let mut mb = MethodBuilder::new();
+        // i = 10; while (i > 0) i -= 1; return i;
+        let top = mb.label();
+        mb.const_i32(10).store(0);
+        mb.place(top);
+        mb.load(0).const_i32(1).isub().store(0);
+        mb.load(0).if_i(Cond::Gt, top);
+        mb.load(0).return_value();
+        let (p, m) = single_method_program(vec![], Some(Ty::Int), 1, mb.finish());
+        verify_method(&p, m).unwrap();
+    }
+
+    #[test]
+    fn merge_with_different_stack_heights_rejected() {
+        let mut mb = MethodBuilder::new();
+        let join = mb.label();
+        let alt = mb.label();
+        mb.const_i32(0).if_i(Cond::Eq, alt);
+        mb.const_i32(1).goto(join); // stack height 1 at join
+        mb.place(alt);
+        mb.place(join); // fall-through from alt has height 0
+        mb.return_void();
+        let (p, m) = single_method_program(vec![], None, 0, mb.finish());
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::MergeConflict);
+    }
+
+    #[test]
+    fn conflicting_local_kinds_merge_to_conflict_then_fail_on_load() {
+        let mut mb = MethodBuilder::new();
+        let alt = mb.label();
+        let join = mb.label();
+        mb.const_i32(0).if_i(Cond::Eq, alt);
+        mb.const_i32(1).store(0);
+        mb.goto(join);
+        mb.place(alt);
+        mb.const_f32(1.0).store(0);
+        mb.place(join);
+        mb.load(0).pop().return_void();
+        let (p, m) = single_method_program(vec![], None, 1, mb.finish());
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::UninitialisedLocal(0));
+    }
+
+    #[test]
+    fn retyping_a_local_on_straight_line_is_allowed() {
+        let mut mb = MethodBuilder::new();
+        mb.const_i32(1).store(0);
+        mb.const_f64(2.0).store(0);
+        mb.load(0).pop().return_void();
+        let (p, m) = single_method_program(vec![], None, 1, mb.finish());
+        verify_method(&p, m).unwrap();
+    }
+
+    #[test]
+    fn field_staticness_checked() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let f = b.add_field(c, "x", Ty::Int);
+        let m = b.add_static_method(
+            c,
+            "m",
+            vec![],
+            Some(Ty::Int),
+            0,
+            MethodBody::Bytecode(vec![Instr::GetStatic(f), Instr::ReturnValue]),
+        );
+        let p = b.finish().unwrap();
+        let err = verify_method(&p, m).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::StaticnessMismatch);
+    }
+
+    #[test]
+    fn invoke_pops_args_and_pushes_ret() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let callee = b.add_static_method(
+            c,
+            "add",
+            vec![Ty::Int, Ty::Int],
+            Some(Ty::Int),
+            2,
+            MethodBody::Bytecode(vec![
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::IAdd,
+                Instr::ReturnValue,
+            ]),
+        );
+        let caller = b.add_static_method(
+            c,
+            "m",
+            vec![],
+            Some(Ty::Int),
+            0,
+            MethodBody::Bytecode(vec![
+                Instr::ConstI32(1),
+                Instr::ConstI32(2),
+                Instr::InvokeStatic(callee),
+                Instr::ReturnValue,
+            ]),
+        );
+        let p = b.finish().unwrap();
+        verify_method(&p, callee).unwrap();
+        verify_method(&p, caller).unwrap();
+        assert_eq!(verify_program(&p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn virtual_invoke_on_static_method_rejected() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let callee = b.add_static_method(
+            c,
+            "s",
+            vec![],
+            None,
+            0,
+            MethodBody::Bytecode(vec![Instr::Return]),
+        );
+        let caller = b.add_static_method(
+            c,
+            "m",
+            vec![],
+            None,
+            0,
+            MethodBody::Bytecode(vec![
+                Instr::ConstNull,
+                Instr::InvokeVirtual(callee),
+                Instr::Return,
+            ]),
+        );
+        let p = b.finish().unwrap();
+        let err = verify_method(&p, caller).unwrap_err();
+        assert_eq!(err.kind, VerifyErrorKind::StaticnessMismatch);
+    }
+
+    #[test]
+    fn array_ops_verify() {
+        let mut mb = MethodBuilder::new();
+        mb.const_i32(10).new_array(ElemTy::Float).store(0);
+        mb.load(0).const_i32(3).const_f32(1.5).astore(ElemTy::Float);
+        mb.load(0).const_i32(3).aload(ElemTy::Float).pop();
+        mb.load(0).array_length().return_value();
+        let (p, m) = single_method_program(vec![], Some(Ty::Int), 1, mb.finish());
+        verify_method(&p, m).unwrap();
+    }
+
+    #[test]
+    fn native_methods_verify_trivially() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None);
+        let m = b.add_native_method(
+            c,
+            "nat",
+            vec![Ty::Int],
+            None,
+            crate::class::NativeId(0),
+            crate::class::NativeKind::FastSyscall,
+        );
+        let p = b.finish().unwrap();
+        assert_eq!(verify_method(&p, m).unwrap().max_stack, 0);
+    }
+}

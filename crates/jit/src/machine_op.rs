@@ -1,0 +1,681 @@
+//! Resolved machine operations and the arithmetic unit.
+
+use hera_cell::ExecOp;
+use hera_isa::{ClassId, Cond, ElemTy, MethodId, Trap, Ty, Value};
+
+/// Arithmetic, conversion and comparison operations, with JVM-faithful
+/// semantics (wrapping integer arithmetic, masked shifts, saturating
+/// float→int conversions, NaN-biased comparisons).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArithOp {
+    /// i32 add.
+    IAdd,
+    /// i32 subtract.
+    ISub,
+    /// i32 multiply.
+    IMul,
+    /// i32 divide.
+    IDiv,
+    /// i32 remainder.
+    IRem,
+    /// i32 negate.
+    INeg,
+    /// i32 shift left.
+    IShl,
+    /// i32 arithmetic shift right.
+    IShr,
+    /// i32 logical shift right.
+    IUShr,
+    /// i32 and.
+    IAnd,
+    /// i32 or.
+    IOr,
+    /// i32 xor.
+    IXor,
+    /// i64 add.
+    LAdd,
+    /// i64 subtract.
+    LSub,
+    /// i64 multiply.
+    LMul,
+    /// i64 divide.
+    LDiv,
+    /// i64 remainder.
+    LRem,
+    /// i64 negate.
+    LNeg,
+    /// i64 shift left.
+    LShl,
+    /// i64 arithmetic shift right.
+    LShr,
+    /// i64 logical shift right.
+    LUShr,
+    /// i64 and.
+    LAnd,
+    /// i64 or.
+    LOr,
+    /// i64 xor.
+    LXor,
+    /// f32 add.
+    FAdd,
+    /// f32 subtract.
+    FSub,
+    /// f32 multiply.
+    FMul,
+    /// f32 divide.
+    FDiv,
+    /// f32 negate.
+    FNeg,
+    /// f32 square root.
+    FSqrt,
+    /// f64 add.
+    DAdd,
+    /// f64 subtract.
+    DSub,
+    /// f64 multiply.
+    DMul,
+    /// f64 divide.
+    DDiv,
+    /// f64 negate.
+    DNeg,
+    /// f64 square root.
+    DSqrt,
+    /// i32 → i64.
+    I2L,
+    /// i32 → f32.
+    I2F,
+    /// i32 → f64.
+    I2D,
+    /// i64 → i32.
+    L2I,
+    /// i64 → f32.
+    L2F,
+    /// i64 → f64.
+    L2D,
+    /// f32 → i32 (saturating).
+    F2I,
+    /// f32 → f64.
+    F2D,
+    /// f64 → i32 (saturating).
+    D2I,
+    /// f64 → i64 (saturating).
+    D2L,
+    /// f64 → f32.
+    D2F,
+    /// i32 → i8, sign-extended.
+    I2B,
+    /// i32 → i16, sign-extended.
+    I2S,
+    /// i64 three-way compare.
+    LCmp,
+    /// f32 compare, NaN → -1.
+    FCmpL,
+    /// f32 compare, NaN → +1.
+    FCmpG,
+    /// f64 compare, NaN → -1.
+    DCmpL,
+    /// f64 compare, NaN → +1.
+    DCmpG,
+}
+
+impl ArithOp {
+    /// Number of operands popped.
+    pub fn arity(self) -> usize {
+        use ArithOp::*;
+        match self {
+            INeg | LNeg | FNeg | DNeg | FSqrt | DSqrt | I2L | I2F | I2D | L2I | L2F | L2D
+            | F2I | F2D | D2I | D2L | D2F | I2B | I2S => 1,
+            _ => 2,
+        }
+    }
+
+    /// The abstract execution op this is charged as.
+    pub fn exec_op(self) -> ExecOp {
+        use ArithOp::*;
+        match self {
+            IAdd | ISub | INeg | IShl | IShr | IUShr | IAnd | IOr | IXor | LAdd | LSub | LNeg
+            | LShl | LShr | LUShr | LAnd | LOr | LXor => ExecOp::IntAlu,
+            IMul | LMul => ExecOp::IntMul,
+            IDiv | IRem | LDiv | LRem => ExecOp::IntDiv,
+            FAdd | FSub | FNeg => ExecOp::FloatAdd,
+            FMul => ExecOp::FloatMul,
+            FDiv => ExecOp::FloatDiv,
+            FSqrt => ExecOp::FloatSqrt,
+            DAdd | DSub | DNeg => ExecOp::DoubleAdd,
+            DMul => ExecOp::DoubleMul,
+            DDiv => ExecOp::DoubleDiv,
+            DSqrt => ExecOp::DoubleSqrt,
+            I2L | I2F | I2D | L2I | L2F | L2D | F2I | F2D | D2I | D2L | D2F | I2B | I2S => {
+                ExecOp::Convert
+            }
+            LCmp | FCmpL | FCmpG | DCmpL | DCmpG => ExecOp::Compare,
+        }
+    }
+
+    /// Apply a unary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a binary op or with a mismatched value kind
+    /// (verified code cannot do either).
+    pub fn apply1(self, a: Value) -> Value {
+        use ArithOp::*;
+        match self {
+            INeg => Value::I32(a.as_i32().wrapping_neg()),
+            LNeg => Value::I64(a.as_i64().wrapping_neg()),
+            FNeg => Value::F32(-a.as_f32()),
+            DNeg => Value::F64(-a.as_f64()),
+            FSqrt => Value::F32(a.as_f32().sqrt()),
+            DSqrt => Value::F64(a.as_f64().sqrt()),
+            I2L => Value::I64(a.as_i32() as i64),
+            I2F => Value::F32(a.as_i32() as f32),
+            I2D => Value::F64(a.as_i32() as f64),
+            L2I => Value::I32(a.as_i64() as i32),
+            L2F => Value::F32(a.as_i64() as f32),
+            L2D => Value::F64(a.as_i64() as f64),
+            F2I => Value::I32(f2i(a.as_f32() as f64, i32::MIN as i64, i32::MAX as i64) as i32),
+            F2D => Value::F64(a.as_f32() as f64),
+            D2I => Value::I32(f2i(a.as_f64(), i32::MIN as i64, i32::MAX as i64) as i32),
+            D2L => Value::I64(f2l(a.as_f64())),
+            D2F => Value::F32(a.as_f64() as f32),
+            I2B => Value::I32(a.as_i32() as i8 as i32),
+            I2S => Value::I32(a.as_i32() as i16 as i32),
+            other => panic!("apply1 on binary op {other:?}"),
+        }
+    }
+
+    /// Apply a binary operation (`a op b`, with `b` popped first).
+    ///
+    /// Division and remainder trap on a zero divisor.
+    pub fn apply2(self, a: Value, b: Value) -> Result<Value, Trap> {
+        use ArithOp::*;
+        Ok(match self {
+            IAdd => Value::I32(a.as_i32().wrapping_add(b.as_i32())),
+            ISub => Value::I32(a.as_i32().wrapping_sub(b.as_i32())),
+            IMul => Value::I32(a.as_i32().wrapping_mul(b.as_i32())),
+            IDiv => {
+                let d = b.as_i32();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Value::I32(a.as_i32().wrapping_div(d))
+            }
+            IRem => {
+                let d = b.as_i32();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Value::I32(a.as_i32().wrapping_rem(d))
+            }
+            IShl => Value::I32(a.as_i32().wrapping_shl(b.as_i32() as u32 & 31)),
+            IShr => Value::I32(a.as_i32().wrapping_shr(b.as_i32() as u32 & 31)),
+            IUShr => Value::I32(((a.as_i32() as u32) >> (b.as_i32() as u32 & 31)) as i32),
+            IAnd => Value::I32(a.as_i32() & b.as_i32()),
+            IOr => Value::I32(a.as_i32() | b.as_i32()),
+            IXor => Value::I32(a.as_i32() ^ b.as_i32()),
+            LAdd => Value::I64(a.as_i64().wrapping_add(b.as_i64())),
+            LSub => Value::I64(a.as_i64().wrapping_sub(b.as_i64())),
+            LMul => Value::I64(a.as_i64().wrapping_mul(b.as_i64())),
+            LDiv => {
+                let d = b.as_i64();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Value::I64(a.as_i64().wrapping_div(d))
+            }
+            LRem => {
+                let d = b.as_i64();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Value::I64(a.as_i64().wrapping_rem(d))
+            }
+            LShl => Value::I64(a.as_i64().wrapping_shl(b.as_i32() as u32 & 63)),
+            LShr => Value::I64(a.as_i64().wrapping_shr(b.as_i32() as u32 & 63)),
+            LUShr => Value::I64(((a.as_i64() as u64) >> (b.as_i32() as u32 & 63)) as i64),
+            LAnd => Value::I64(a.as_i64() & b.as_i64()),
+            LOr => Value::I64(a.as_i64() | b.as_i64()),
+            LXor => Value::I64(a.as_i64() ^ b.as_i64()),
+            FAdd => Value::F32(a.as_f32() + b.as_f32()),
+            FSub => Value::F32(a.as_f32() - b.as_f32()),
+            FMul => Value::F32(a.as_f32() * b.as_f32()),
+            FDiv => Value::F32(a.as_f32() / b.as_f32()),
+            DAdd => Value::F64(a.as_f64() + b.as_f64()),
+            DSub => Value::F64(a.as_f64() - b.as_f64()),
+            DMul => Value::F64(a.as_f64() * b.as_f64()),
+            DDiv => Value::F64(a.as_f64() / b.as_f64()),
+            LCmp => Value::I32(three_way(a.as_i64().cmp(&b.as_i64()))),
+            FCmpL => Value::I32(fcmp(a.as_f32() as f64, b.as_f32() as f64, -1)),
+            FCmpG => Value::I32(fcmp(a.as_f32() as f64, b.as_f32() as f64, 1)),
+            DCmpL => Value::I32(fcmp(a.as_f64(), b.as_f64(), -1)),
+            DCmpG => Value::I32(fcmp(a.as_f64(), b.as_f64(), 1)),
+            other => panic!("apply2 on unary op {other:?}"),
+        })
+    }
+}
+
+fn three_way(o: std::cmp::Ordering) -> i32 {
+    match o {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+fn fcmp(a: f64, b: f64, nan: i32) -> i32 {
+    if a.is_nan() || b.is_nan() {
+        nan
+    } else if a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+/// Saturating float→int per JVM semantics: NaN → 0, ±∞ → min/max.
+fn f2i(v: f64, min: i64, max: i64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v <= min as f64 {
+        min
+    } else if v >= max as f64 {
+        max
+    } else {
+        v as i64
+    }
+}
+
+fn f2l(v: f64) -> i64 {
+    if v.is_nan() {
+        0
+    } else if v <= i64::MIN as f64 {
+        i64::MIN
+    } else if v >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        v as i64
+    }
+}
+
+/// Branch shapes in compiled code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchKind {
+    /// Unconditional.
+    Always,
+    /// Popped i32 against zero.
+    IfI(Cond),
+    /// Two popped i32s.
+    IfICmp(Cond),
+    /// Popped reference is null.
+    IfNull,
+    /// Popped reference is non-null.
+    IfNonNull,
+    /// Two popped references equal.
+    IfACmpEq,
+    /// Two popped references differ.
+    IfACmpNe,
+}
+
+/// A resolved, core-specific machine operation.
+///
+/// Heap accesses come in two flavours: `*Direct` ops (PPE code — loads
+/// and stores that hit the hardware cache hierarchy) and `*Cached` ops
+/// (SPE code — calls into the software data cache). The compiler emits
+/// exactly one flavour per compilation target, so a compiled method is
+/// usable only on its target core kind.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MachineOp {
+    /// Push a constant.
+    PushI32(i32),
+    /// Push a constant.
+    PushI64(i64),
+    /// Push a constant.
+    PushF32(f32),
+    /// Push a constant.
+    PushF64(f64),
+    /// Push null.
+    PushNull,
+    /// Discard top of stack.
+    Pop,
+    /// Duplicate top of stack.
+    Dup,
+    /// Duplicate top under second.
+    DupX1,
+    /// Swap top two.
+    Swap,
+    /// Push local.
+    LoadLocal(u16),
+    /// Pop into local.
+    StoreLocal(u16),
+    /// In-place increment of an i32 local.
+    IncLocal(u16, i16),
+    /// Arithmetic / conversion / comparison.
+    Arith(ArithOp),
+    /// Branch to an op index.
+    Branch(BranchKind, u32),
+    /// Allocate an object of a class whose instance size was baked in.
+    NewObject {
+        /// Class to instantiate.
+        class: ClassId,
+    },
+    /// Allocate an array.
+    NewArray {
+        /// Element type.
+        elem: ElemTy,
+    },
+    /// `instanceof` test.
+    InstanceOf {
+        /// Class tested against.
+        class: ClassId,
+    },
+
+    // ---- PPE (direct) heap access ----
+    /// PPE: load an instance field through the hardware caches.
+    GetFieldDirect {
+        /// Byte offset from the object base.
+        offset: u32,
+        /// Field type (decides width and value kind).
+        ty: Ty,
+        /// Volatile flag (memory-ordering relevant on the SPE only, but
+        /// kept for symmetric accounting).
+        volatile: bool,
+    },
+    /// PPE: store an instance field.
+    PutFieldDirect {
+        /// Byte offset from the object base.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile flag.
+        volatile: bool,
+    },
+    /// PPE: load a static from the statics block.
+    GetStaticDirect {
+        /// Offset within the statics block.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile flag.
+        volatile: bool,
+    },
+    /// PPE: store a static.
+    PutStaticDirect {
+        /// Offset within the statics block.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile flag.
+        volatile: bool,
+    },
+    /// PPE: array element load.
+    ArrLoadDirect {
+        /// Element type.
+        elem: ElemTy,
+    },
+    /// PPE: array element store.
+    ArrStoreDirect {
+        /// Element type.
+        elem: ElemTy,
+    },
+    /// PPE: array length.
+    ArrLenDirect,
+
+    // ---- SPE (software-cached) heap access ----
+    /// SPE: load an instance field through the software data cache.
+    GetFieldCached {
+        /// Byte offset from the object base.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile: purge the data cache before the read (JMM).
+        volatile: bool,
+    },
+    /// SPE: store an instance field through the software data cache.
+    PutFieldCached {
+        /// Byte offset from the object base.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile: write back dirty data after the write (JMM).
+        volatile: bool,
+    },
+    /// SPE: load a static (the statics block is cached like an object).
+    GetStaticCached {
+        /// Offset within the statics block.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile flag.
+        volatile: bool,
+    },
+    /// SPE: store a static.
+    PutStaticCached {
+        /// Offset within the statics block.
+        offset: u32,
+        /// Field type.
+        ty: Ty,
+        /// Volatile flag.
+        volatile: bool,
+    },
+    /// SPE: array element load (block transfer on miss).
+    ArrLoadCached {
+        /// Element type.
+        elem: ElemTy,
+    },
+    /// SPE: array element store.
+    ArrStoreCached {
+        /// Element type.
+        elem: ElemTy,
+    },
+    /// SPE: array length (reads the cached header).
+    ArrLenCached,
+
+    // ---- calls ----
+    /// Direct call to a statically resolved method.
+    InvokeStatic {
+        /// Callee.
+        method: MethodId,
+    },
+    /// Vtable dispatch.
+    InvokeVirtual {
+        /// Vtable slot of the resolved method.
+        slot: u16,
+        /// Statically named method (for diagnostics and arg counts).
+        declared: MethodId,
+    },
+    /// Return (with or without a value).
+    Return {
+        /// Whether a value is carried back.
+        has_value: bool,
+    },
+
+    // ---- synchronisation ----
+    /// Acquire the popped object's monitor.
+    MonitorEnter,
+    /// Release the popped object's monitor.
+    MonitorExit,
+}
+
+impl MachineOp {
+    /// Whether this op is an SPE software-cache access.
+    pub fn is_cached_access(&self) -> bool {
+        matches!(
+            self,
+            MachineOp::GetFieldCached { .. }
+                | MachineOp::PutFieldCached { .. }
+                | MachineOp::GetStaticCached { .. }
+                | MachineOp::PutStaticCached { .. }
+                | MachineOp::ArrLoadCached { .. }
+                | MachineOp::ArrStoreCached { .. }
+                | MachineOp::ArrLenCached
+        )
+    }
+
+    /// Whether this op is a PPE direct heap access.
+    pub fn is_direct_access(&self) -> bool {
+        matches!(
+            self,
+            MachineOp::GetFieldDirect { .. }
+                | MachineOp::PutFieldDirect { .. }
+                | MachineOp::GetStaticDirect { .. }
+                | MachineOp::PutStaticDirect { .. }
+                | MachineOp::ArrLoadDirect { .. }
+                | MachineOp::ArrStoreDirect { .. }
+                | MachineOp::ArrLenDirect
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_integer_arithmetic() {
+        assert_eq!(
+            ArithOp::IAdd
+                .apply2(Value::I32(i32::MAX), Value::I32(1))
+                .unwrap(),
+            Value::I32(i32::MIN)
+        );
+        assert_eq!(
+            ArithOp::IMul
+                .apply2(Value::I32(1 << 20), Value::I32(1 << 20))
+                .unwrap(),
+            Value::I32((1i64 << 40) as i32)
+        );
+        assert_eq!(
+            ArithOp::IDiv
+                .apply2(Value::I32(i32::MIN), Value::I32(-1))
+                .unwrap(),
+            Value::I32(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert_eq!(
+            ArithOp::IDiv.apply2(Value::I32(1), Value::I32(0)),
+            Err(Trap::DivisionByZero)
+        );
+        assert_eq!(
+            ArithOp::LRem.apply2(Value::I64(1), Value::I64(0)),
+            Err(Trap::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn shifts_mask_their_counts() {
+        assert_eq!(
+            ArithOp::IShl.apply2(Value::I32(1), Value::I32(33)).unwrap(),
+            Value::I32(2)
+        );
+        assert_eq!(
+            ArithOp::LShl.apply2(Value::I64(1), Value::I32(65)).unwrap(),
+            Value::I64(2)
+        );
+        assert_eq!(
+            ArithOp::IUShr
+                .apply2(Value::I32(-1), Value::I32(28))
+                .unwrap(),
+            Value::I32(15)
+        );
+    }
+
+    #[test]
+    fn saturating_float_conversions() {
+        assert_eq!(ArithOp::F2I.apply1(Value::F32(f32::NAN)), Value::I32(0));
+        assert_eq!(
+            ArithOp::F2I.apply1(Value::F32(1e20)),
+            Value::I32(i32::MAX)
+        );
+        assert_eq!(
+            ArithOp::D2I.apply1(Value::F64(-1e20)),
+            Value::I32(i32::MIN)
+        );
+        assert_eq!(
+            ArithOp::D2L.apply1(Value::F64(1e30)),
+            Value::I64(i64::MAX)
+        );
+        assert_eq!(ArithOp::D2I.apply1(Value::F64(3.99)), Value::I32(3));
+    }
+
+    #[test]
+    fn nan_biased_comparisons() {
+        let nan = Value::F32(f32::NAN);
+        let one = Value::F32(1.0);
+        assert_eq!(ArithOp::FCmpL.apply2(nan, one).unwrap(), Value::I32(-1));
+        assert_eq!(ArithOp::FCmpG.apply2(nan, one).unwrap(), Value::I32(1));
+        assert_eq!(ArithOp::FCmpL.apply2(one, one).unwrap(), Value::I32(0));
+        assert_eq!(
+            ArithOp::DCmpL
+                .apply2(Value::F64(2.0), Value::F64(1.0))
+                .unwrap(),
+            Value::I32(1)
+        );
+    }
+
+    #[test]
+    fn narrowing_conversions_sign_extend() {
+        assert_eq!(ArithOp::I2B.apply1(Value::I32(0x181)), Value::I32(-127));
+        assert_eq!(ArithOp::I2S.apply1(Value::I32(0x18001)), Value::I32(-32767));
+        assert_eq!(ArithOp::L2I.apply1(Value::I64(0x1_0000_0002)), Value::I32(2));
+    }
+
+    #[test]
+    fn lcmp_three_way() {
+        assert_eq!(
+            ArithOp::LCmp
+                .apply2(Value::I64(5), Value::I64(9))
+                .unwrap(),
+            Value::I32(-1)
+        );
+        assert_eq!(
+            ArithOp::LCmp
+                .apply2(Value::I64(9), Value::I64(9))
+                .unwrap(),
+            Value::I32(0)
+        );
+    }
+
+    #[test]
+    fn sqrt_intrinsics() {
+        assert_eq!(ArithOp::FSqrt.apply1(Value::F32(9.0)), Value::F32(3.0));
+        assert_eq!(ArithOp::DSqrt.apply1(Value::F64(2.25)), Value::F64(1.5));
+    }
+
+    #[test]
+    fn arity_and_exec_ops_consistent() {
+        assert_eq!(ArithOp::IAdd.arity(), 2);
+        assert_eq!(ArithOp::FSqrt.arity(), 1);
+        assert_eq!(ArithOp::I2D.arity(), 1);
+        assert_eq!(ArithOp::FMul.exec_op(), ExecOp::FloatMul);
+        assert_eq!(ArithOp::DDiv.exec_op(), ExecOp::DoubleDiv);
+        assert_eq!(ArithOp::I2L.exec_op(), ExecOp::Convert);
+        assert_eq!(ArithOp::LCmp.exec_op(), ExecOp::Compare);
+    }
+
+    #[test]
+    fn access_flavour_predicates() {
+        let cached = MachineOp::GetFieldCached {
+            offset: 8,
+            ty: Ty::Int,
+            volatile: false,
+        };
+        let direct = MachineOp::GetFieldDirect {
+            offset: 8,
+            ty: Ty::Int,
+            volatile: false,
+        };
+        assert!(cached.is_cached_access() && !cached.is_direct_access());
+        assert!(direct.is_direct_access() && !direct.is_cached_access());
+        assert!(!MachineOp::Pop.is_cached_access());
+    }
+
+    #[test]
+    fn null_values_flow_through() {
+        assert!(Value::Ref(hera_isa::ObjRef::NULL).as_ref().is_null());
+    }
+}

@@ -1,0 +1,631 @@
+//! The guest heap: raw bytes, object/array headers, a first-fit
+//! free-list allocator, and typed field/element access.
+//!
+//! ## Header encoding (8 bytes)
+//!
+//! ```text
+//! word0 (u32 @ +0): bit31 = is_array, bit30 = GC mark,
+//!                   bits16..24 = element-type code (arrays),
+//!                   bits0..16  = class id (objects)
+//! word1 (u32 @ +4): objects: total byte size (incl. header)
+//!                   arrays:  element count
+//! ```
+//!
+//! Addresses `0..8` are reserved so `ObjRef(0)` is null; the statics
+//! block sits at [`Heap::STATICS_BASE`]; objects follow it.
+
+use crate::layout::{ProgramLayout, HEADER_BYTES};
+use hera_isa::{ClassId, ElemTy, ObjRef, Trap, Ty, Value};
+use std::collections::BTreeSet;
+
+/// Heap configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapConfig {
+    /// Total heap size in bytes (default 32 MiB — ample for the three
+    /// benchmarks while keeping simulation memory modest).
+    pub size_bytes: u32,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            size_bytes: 32 << 20,
+        }
+    }
+}
+
+/// Errors from raw heap operations (simulator-internal misuse; guest
+/// program faults surface as [`Trap`]s instead).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeapError {
+    /// Address/length outside the heap.
+    BadAddress(u32),
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::BadAddress(a) => write!(f, "bad heap address {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// What a header designates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeapKind {
+    /// An instance of the class.
+    Object(ClassId),
+    /// An array with the element type and length.
+    Array(ElemTy, u32),
+}
+
+/// Decoded object/array header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// Object or array, with identity.
+    pub kind: HeapKind,
+    /// Total byte size including the header (8-byte aligned).
+    pub size: u32,
+    /// GC mark bit.
+    pub marked: bool,
+}
+
+const ARRAY_BIT: u32 = 1 << 31;
+const MARK_BIT: u32 = 1 << 30;
+
+fn elem_code(e: ElemTy) -> u32 {
+    match e {
+        ElemTy::Byte => 0,
+        ElemTy::Short => 1,
+        ElemTy::Int => 2,
+        ElemTy::Long => 3,
+        ElemTy::Float => 4,
+        ElemTy::Double => 5,
+        ElemTy::Ref => 6,
+    }
+}
+
+fn code_elem(c: u32) -> ElemTy {
+    match c {
+        0 => ElemTy::Byte,
+        1 => ElemTy::Short,
+        2 => ElemTy::Int,
+        3 => ElemTy::Long,
+        4 => ElemTy::Float,
+        5 => ElemTy::Double,
+        6 => ElemTy::Ref,
+        other => panic!("corrupt header: element code {other}"),
+    }
+}
+
+fn align8(v: u32) -> u32 {
+    (v + 7) & !7
+}
+
+/// Byte size of an array with `len` elements of `elem`, header included.
+pub fn array_byte_size(elem: ElemTy, len: u32) -> u32 {
+    align8(HEADER_BYTES + len * elem.size())
+}
+
+/// Typed raw-byte codecs shared by the heap and the SPE local store
+/// (the software cache operates on byte copies, so both sides must agree
+/// on encodings).
+pub mod codec {
+    use super::*;
+
+    /// Read a typed value from a byte buffer at `off`.
+    pub fn read_value(buf: &[u8], off: usize, ty: Ty) -> Value {
+        match ty {
+            Ty::Byte => Value::I32(buf[off] as i8 as i32),
+            Ty::Short => {
+                Value::I32(i16::from_le_bytes([buf[off], buf[off + 1]]) as i32)
+            }
+            Ty::Int => Value::I32(i32::from_le_bytes(word4(buf, off))),
+            Ty::Float => Value::F32(f32::from_le_bytes(word4(buf, off))),
+            Ty::Long => Value::I64(i64::from_le_bytes(word8(buf, off))),
+            Ty::Double => Value::F64(f64::from_le_bytes(word8(buf, off))),
+            Ty::Ref(_) | Ty::Array(_) => {
+                Value::Ref(ObjRef(u32::from_le_bytes(word4(buf, off))))
+            }
+        }
+    }
+
+    /// Write a typed value into a byte buffer at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch between `ty` and `v` (verified bytecode
+    /// cannot produce one).
+    pub fn write_value(buf: &mut [u8], off: usize, ty: Ty, v: Value) {
+        match ty {
+            Ty::Byte => buf[off] = v.as_i32() as u8,
+            Ty::Short => {
+                buf[off..off + 2].copy_from_slice(&(v.as_i32() as i16).to_le_bytes())
+            }
+            Ty::Int => buf[off..off + 4].copy_from_slice(&v.as_i32().to_le_bytes()),
+            Ty::Float => buf[off..off + 4].copy_from_slice(&v.as_f32().to_le_bytes()),
+            Ty::Long => buf[off..off + 8].copy_from_slice(&v.as_i64().to_le_bytes()),
+            Ty::Double => buf[off..off + 8].copy_from_slice(&v.as_f64().to_le_bytes()),
+            Ty::Ref(_) | Ty::Array(_) => {
+                buf[off..off + 4].copy_from_slice(&v.as_ref().0.to_le_bytes())
+            }
+        }
+    }
+
+    /// Element-typed read (arrays).
+    pub fn read_elem(buf: &[u8], off: usize, e: ElemTy) -> Value {
+        read_value(buf, off, elem_as_ty(e))
+    }
+
+    /// Element-typed write (arrays).
+    pub fn write_elem(buf: &mut [u8], off: usize, e: ElemTy, v: Value) {
+        write_value(buf, off, elem_as_ty(e), v)
+    }
+
+    fn elem_as_ty(e: ElemTy) -> Ty {
+        match e {
+            ElemTy::Byte => Ty::Byte,
+            ElemTy::Short => Ty::Short,
+            ElemTy::Int => Ty::Int,
+            ElemTy::Long => Ty::Long,
+            ElemTy::Float => Ty::Float,
+            ElemTy::Double => Ty::Double,
+            ElemTy::Ref => Ty::Ref(ClassId(0)),
+        }
+    }
+
+    fn word4(buf: &[u8], off: usize) -> [u8; 4] {
+        [buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]
+    }
+
+    fn word8(buf: &[u8], off: usize) -> [u8; 8] {
+        [
+            buf[off],
+            buf[off + 1],
+            buf[off + 2],
+            buf[off + 3],
+            buf[off + 4],
+            buf[off + 5],
+            buf[off + 6],
+            buf[off + 7],
+        ]
+    }
+}
+
+/// Allocation statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllocStats {
+    /// Number of successful allocations.
+    pub allocations: u64,
+    /// Bytes handed out (including headers).
+    pub bytes_allocated: u64,
+}
+
+/// The guest heap.
+pub struct Heap {
+    data: Vec<u8>,
+    /// Start of the allocatable object region.
+    objects_base: u32,
+    /// One past the last allocatable byte.
+    limit: u32,
+    /// Free spans `(addr, size)`, sorted by address.
+    free: Vec<(u32, u32)>,
+    /// Addresses of all live (allocated) objects.
+    objects: BTreeSet<u32>,
+    /// Statics block size.
+    statics_size: u32,
+    /// Allocation statistics.
+    pub stats: AllocStats,
+}
+
+impl Heap {
+    /// Address of the statics block (fixed, just past the null page).
+    pub const STATICS_BASE: u32 = 8;
+
+    /// Create a heap sized per `config` with room for the program's
+    /// statics block.
+    pub fn new(config: HeapConfig, statics_size: u32) -> Heap {
+        let size = config.size_bytes.max(4096);
+        let objects_base = align8(Self::STATICS_BASE + statics_size);
+        Heap {
+            data: vec![0; size as usize],
+            objects_base,
+            limit: size,
+            free: vec![(objects_base, size - objects_base)],
+            objects: BTreeSet::new(),
+            statics_size,
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Size of the statics block.
+    pub fn statics_size(&self) -> u32 {
+        self.statics_size
+    }
+
+    /// Start of the object region (after statics).
+    pub fn objects_base(&self) -> u32 {
+        self.objects_base
+    }
+
+    /// Total free bytes currently on the free list.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, s)| s as u64).sum()
+    }
+
+    /// Number of live allocated objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Iterate over the addresses of all allocated objects.
+    pub fn objects(&self) -> impl Iterator<Item = ObjRef> + '_ {
+        self.objects.iter().map(|&a| ObjRef(a))
+    }
+
+    // ---- raw access ----
+
+    /// Borrow `len` bytes starting at `addr` (for DMA source copies).
+    pub fn bytes(&self, addr: u32, len: u32) -> Result<&[u8], HeapError> {
+        let (a, l) = (addr as usize, len as usize);
+        self.data
+            .get(a..a + l)
+            .ok_or(HeapError::BadAddress(addr))
+    }
+
+    /// Mutably borrow `len` bytes starting at `addr` (for DMA write-back).
+    pub fn bytes_mut(&mut self, addr: u32, len: u32) -> Result<&mut [u8], HeapError> {
+        let (a, l) = (addr as usize, len as usize);
+        self.data
+            .get_mut(a..a + l)
+            .ok_or(HeapError::BadAddress(addr))
+    }
+
+    /// Read a little-endian u32 (used for headers and ref slots).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ])
+    }
+
+    /// Write a little-endian u32.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let a = addr as usize;
+        self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Typed read at an absolute address.
+    #[inline]
+    pub fn read_typed(&self, addr: u32, ty: Ty) -> Value {
+        codec::read_value(&self.data, addr as usize, ty)
+    }
+
+    /// Typed write at an absolute address.
+    #[inline]
+    pub fn write_typed(&mut self, addr: u32, ty: Ty, v: Value) {
+        codec::write_value(&mut self.data, addr as usize, ty, v)
+    }
+
+    // ---- headers ----
+
+    /// Decode the header of the object at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a null or unallocated reference — callers (the
+    /// interpreter) null-check first, so this indicates a VM bug.
+    pub fn header(&self, r: ObjRef) -> Header {
+        debug_assert!(!r.is_null(), "header of null");
+        let w0 = self.read_u32(r.0);
+        let w1 = self.read_u32(r.0 + 4);
+        if w0 & ARRAY_BIT != 0 {
+            let e = code_elem((w0 >> 16) & 0xff);
+            Header {
+                kind: HeapKind::Array(e, w1),
+                size: array_byte_size(e, w1),
+                marked: w0 & MARK_BIT != 0,
+            }
+        } else {
+            Header {
+                kind: HeapKind::Object(ClassId((w0 & 0xffff) as u16)),
+                size: w1,
+                marked: w0 & MARK_BIT != 0,
+            }
+        }
+    }
+
+    /// Set or clear the GC mark bit. Returns the previous value.
+    pub fn set_marked(&mut self, r: ObjRef, marked: bool) -> bool {
+        let w0 = self.read_u32(r.0);
+        let was = w0 & MARK_BIT != 0;
+        let new = if marked { w0 | MARK_BIT } else { w0 & !MARK_BIT };
+        self.write_u32(r.0, new);
+        was
+    }
+
+    // ---- allocation ----
+
+    /// Allocate an instance of `class`. Returns `None` when no free span
+    /// fits (caller should collect and retry, then trap with OOM).
+    pub fn alloc_object(&mut self, layout: &ProgramLayout, class: ClassId) -> Option<ObjRef> {
+        let size = layout.object_size(class);
+        let addr = self.carve(size)?;
+        self.zero(addr, size);
+        self.write_u32(addr, class.0 as u32);
+        self.write_u32(addr + 4, size);
+        self.objects.insert(addr);
+        self.stats.allocations += 1;
+        self.stats.bytes_allocated += size as u64;
+        Some(ObjRef(addr))
+    }
+
+    /// Allocate an array. `len` must be non-negative (the interpreter
+    /// traps on negative sizes before calling).
+    pub fn alloc_array(&mut self, elem: ElemTy, len: u32) -> Option<ObjRef> {
+        let size = array_byte_size(elem, len);
+        let addr = self.carve(size)?;
+        self.zero(addr, size);
+        self.write_u32(addr, ARRAY_BIT | (elem_code(elem) << 16));
+        self.write_u32(addr + 4, len);
+        self.objects.insert(addr);
+        self.stats.allocations += 1;
+        self.stats.bytes_allocated += size as u64;
+        Some(ObjRef(addr))
+    }
+
+    fn carve(&mut self, size: u32) -> Option<u32> {
+        let size = align8(size);
+        let idx = self.free.iter().position(|&(_, s)| s >= size)?;
+        let (addr, span) = self.free[idx];
+        if span == size {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (addr + size, span - size);
+        }
+        Some(addr)
+    }
+
+    fn zero(&mut self, addr: u32, size: u32) {
+        let a = addr as usize;
+        self.data[a..a + size as usize].fill(0);
+    }
+
+    /// Rebuild the free list from the set of surviving objects (called by
+    /// the collector after unmarked objects have been dropped from the
+    /// registry). Gaps between surviving objects coalesce naturally.
+    pub(crate) fn rebuild_free_list(&mut self, survivors: BTreeSet<u32>) {
+        let mut free = Vec::new();
+        let mut cursor = self.objects_base;
+        for &addr in &survivors {
+            if addr > cursor {
+                free.push((cursor, addr - cursor));
+            }
+            let hdr = self.header(ObjRef(addr));
+            cursor = addr + align8(hdr.size);
+        }
+        if self.limit > cursor {
+            free.push((cursor, self.limit - cursor));
+        }
+        self.free = free;
+        self.objects = survivors;
+    }
+
+    /// The current set of allocated object addresses (for the collector).
+    pub(crate) fn object_set(&self) -> &BTreeSet<u32> {
+        &self.objects
+    }
+
+    // ---- typed field / element access ----
+
+    /// Read an instance field.
+    #[inline]
+    pub fn get_field(&self, layout: &ProgramLayout, r: ObjRef, field: hera_isa::FieldId) -> Value {
+        self.read_typed(r.0 + layout.offset_of(field), layout.ty_of(field))
+    }
+
+    /// Write an instance field.
+    #[inline]
+    pub fn put_field(
+        &mut self,
+        layout: &ProgramLayout,
+        r: ObjRef,
+        field: hera_isa::FieldId,
+        v: Value,
+    ) {
+        self.write_typed(r.0 + layout.offset_of(field), layout.ty_of(field), v)
+    }
+
+    /// Read a static field from the statics block.
+    #[inline]
+    pub fn get_static(&self, layout: &ProgramLayout, field: hera_isa::FieldId) -> Value {
+        self.read_typed(
+            Self::STATICS_BASE + layout.offset_of(field),
+            layout.ty_of(field),
+        )
+    }
+
+    /// Write a static field into the statics block.
+    #[inline]
+    pub fn put_static(&mut self, layout: &ProgramLayout, field: hera_isa::FieldId, v: Value) {
+        self.write_typed(
+            Self::STATICS_BASE + layout.offset_of(field),
+            layout.ty_of(field),
+            v,
+        )
+    }
+
+    /// Bounds-checked address of array element `idx`; the array's header
+    /// is consulted for the length and element size.
+    pub fn elem_addr(&self, r: ObjRef, idx: i32) -> Result<(u32, ElemTy), Trap> {
+        let hdr = self.header(r);
+        let (elem, len) = match hdr.kind {
+            HeapKind::Array(e, l) => (e, l),
+            HeapKind::Object(_) => panic!("elem_addr on non-array (verifier bug)"),
+        };
+        if idx < 0 || idx as u32 >= len {
+            return Err(Trap::ArrayIndexOutOfBounds { index: idx, len });
+        }
+        Ok((r.0 + HEADER_BYTES + idx as u32 * elem.size(), elem))
+    }
+
+    /// Bounds-checked array element load.
+    pub fn array_load(&self, r: ObjRef, idx: i32) -> Result<Value, Trap> {
+        let (addr, elem) = self.elem_addr(r, idx)?;
+        Ok(codec::read_elem(&self.data, addr as usize, elem))
+    }
+
+    /// Bounds-checked array element store.
+    pub fn array_store(&mut self, r: ObjRef, idx: i32, v: Value) -> Result<(), Trap> {
+        let (addr, elem) = self.elem_addr(r, idx)?;
+        codec::write_elem(&mut self.data, addr as usize, elem, v);
+        Ok(())
+    }
+
+    /// Array length from the header.
+    pub fn array_length(&self, r: ObjRef) -> u32 {
+        match self.header(r).kind {
+            HeapKind::Array(_, len) => len,
+            HeapKind::Object(_) => panic!("array_length on non-array (verifier bug)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_isa::ProgramBuilder;
+
+    fn small_heap() -> (Heap, ProgramLayout, ClassId, hera_isa::FieldId) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("C", None);
+        let f = b.add_field(c, "x", Ty::Int);
+        let p = b.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        let heap = Heap::new(
+            HeapConfig { size_bytes: 4096 },
+            layout.statics.size,
+        );
+        (heap, layout, c, f)
+    }
+
+    #[test]
+    fn alloc_and_field_roundtrip() {
+        let (mut heap, layout, c, f) = small_heap();
+        let r = heap.alloc_object(&layout, c).unwrap();
+        assert!(!r.is_null());
+        assert_eq!(heap.get_field(&layout, r, f), Value::I32(0));
+        heap.put_field(&layout, r, f, Value::I32(-99));
+        assert_eq!(heap.get_field(&layout, r, f), Value::I32(-99));
+        let hdr = heap.header(r);
+        assert_eq!(hdr.kind, HeapKind::Object(c));
+        assert_eq!(hdr.size, 16);
+        assert!(!hdr.marked);
+    }
+
+    #[test]
+    fn array_roundtrip_and_bounds() {
+        let (mut heap, _, _, _) = small_heap();
+        let r = heap.alloc_array(ElemTy::Short, 5).unwrap();
+        assert_eq!(heap.array_length(r), 5);
+        heap.array_store(r, 4, Value::I32(-2)).unwrap();
+        assert_eq!(heap.array_load(r, 4).unwrap(), Value::I32(-2));
+        assert_eq!(
+            heap.array_load(r, 5),
+            Err(Trap::ArrayIndexOutOfBounds { index: 5, len: 5 })
+        );
+        assert_eq!(
+            heap.array_store(r, -1, Value::I32(0)),
+            Err(Trap::ArrayIndexOutOfBounds { index: -1, len: 5 })
+        );
+    }
+
+    #[test]
+    fn array_header_decodes() {
+        let (mut heap, _, _, _) = small_heap();
+        let r = heap.alloc_array(ElemTy::Double, 3).unwrap();
+        let hdr = heap.header(r);
+        assert_eq!(hdr.kind, HeapKind::Array(ElemTy::Double, 3));
+        assert_eq!(hdr.size, 32);
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_zeroed() {
+        let (mut heap, layout, c, f) = small_heap();
+        let a = heap.alloc_object(&layout, c).unwrap();
+        heap.put_field(&layout, a, f, Value::I32(7));
+        let b2 = heap.alloc_object(&layout, c).unwrap();
+        assert_ne!(a, b2);
+        assert_eq!(heap.get_field(&layout, b2, f), Value::I32(0));
+        assert_eq!(heap.get_field(&layout, a, f), Value::I32(7));
+        assert_eq!(heap.object_count(), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let (mut heap, _, _, _) = small_heap();
+        let mut n = 0;
+        while heap.alloc_array(ElemTy::Byte, 100).is_some() {
+            n += 1;
+            assert!(n < 1000, "heap never filled");
+        }
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn statics_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("C", None);
+        let s = b.add_static_field(c, "counter", Ty::Long);
+        let p = b.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        let mut heap = Heap::new(HeapConfig { size_bytes: 4096 }, layout.statics.size);
+        assert_eq!(heap.get_static(&layout, s), Value::I64(0));
+        heap.put_static(&layout, s, Value::I64(1 << 40));
+        assert_eq!(heap.get_static(&layout, s), Value::I64(1 << 40));
+    }
+
+    #[test]
+    fn mark_bit_roundtrip() {
+        let (mut heap, layout, c, _) = small_heap();
+        let r = heap.alloc_object(&layout, c).unwrap();
+        assert!(!heap.set_marked(r, true));
+        assert!(heap.header(r).marked);
+        assert!(heap.set_marked(r, false));
+        assert!(!heap.header(r).marked);
+        // marking must not disturb the class id
+        assert_eq!(heap.header(r).kind, HeapKind::Object(c));
+    }
+
+    #[test]
+    fn codec_roundtrips_all_types() {
+        let mut buf = vec![0u8; 16];
+        let cases: Vec<(Ty, Value)> = vec![
+            (Ty::Byte, Value::I32(-5)),
+            (Ty::Short, Value::I32(-300)),
+            (Ty::Int, Value::I32(i32::MIN)),
+            (Ty::Long, Value::I64(i64::MAX)),
+            (Ty::Float, Value::F32(3.5)),
+            (Ty::Double, Value::F64(-2.25)),
+            (Ty::Ref(ClassId(0)), Value::Ref(ObjRef(0xdead))),
+        ];
+        for (ty, v) in cases {
+            codec::write_value(&mut buf, 4, ty, v);
+            assert_eq!(codec::read_value(&buf, 4, ty), v, "{ty:?}");
+        }
+    }
+
+    #[test]
+    fn bytes_out_of_range_is_error() {
+        let (heap, _, _, _) = small_heap();
+        assert!(heap.bytes(4090, 100).is_err());
+        assert!(heap.bytes(0, 8).is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! The SPE software code cache (paper §3.2.2, Figure 3).
+//!
+//! Methods must reside in local memory before execution, so they are
+//! cached *in their entirety*, bump-allocated, with a complete purge
+//! when the cache fills. Lookup avoids a hashtable (no collisions, and
+//! virtual invocation falls out naturally): a permanently resident 2 KB
+//! class table of contents (TOC) maps each resolved class to its Type
+//! Information Block (TIB); TIBs are themselves cached on demand
+//! (exploiting class locality) and hold a code pointer + length per
+//! method. Invocation therefore double-dereferences TOC → TIB → code —
+//! cheap on a hit, because both pointers live in 3–6-cycle local memory
+//! — and the lookup repeats on *return*, since the callee may have
+//! purged the caller in the meantime.
+
+use hera_cell::{CellMachine, CoreId, OpClass};
+use hera_isa::{ClassId, MethodId};
+use std::collections::HashMap;
+
+/// Cycles to follow a cached TIB entry (one local-memory indirection).
+const TIB_READ_CYCLES: u64 = 4;
+
+/// Statistics for one code cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Method lookups served from local memory.
+    pub method_hits: u64,
+    /// Method lookups that had to DMA the method body.
+    pub method_misses: u64,
+    /// TIB lookups served from local memory.
+    pub tib_hits: u64,
+    /// TIB lookups that had to DMA the TIB.
+    pub tib_misses: u64,
+    /// Complete purges.
+    pub purges: u64,
+    /// Bytes of code + TIBs DMAed in.
+    pub bytes_loaded: u64,
+    /// TOC consultations (every lookup does one).
+    pub toc_lookups: u64,
+    /// Lookups of methods too large to cache at the configured size.
+    pub bypasses: u64,
+}
+
+impl CodeCacheStats {
+    /// Method hit rate.
+    pub fn method_hit_rate(&self) -> f64 {
+        let total = self.method_hits + self.method_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.method_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The software code cache for one SPE.
+pub struct CodeCache {
+    capacity: u32,
+    bump: u32,
+    methods: HashMap<MethodId, u32>,
+    tibs: HashMap<ClassId, u32>,
+    /// Statistics.
+    pub stats: CodeCacheStats,
+}
+
+impl CodeCache {
+    /// Create a code cache over `capacity` bytes of local store.
+    pub fn new(capacity: u32) -> CodeCache {
+        CodeCache {
+            capacity,
+            bump: 0,
+            methods: HashMap::new(),
+            tibs: HashMap::new(),
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Whether a method's code is currently resident (test hook).
+    pub fn method_resident(&self, m: MethodId) -> bool {
+        self.methods.contains_key(&m)
+    }
+
+    /// Whether a class's TIB is currently resident (test hook).
+    pub fn tib_resident(&self, c: ClassId) -> bool {
+        self.tibs.contains_key(&c)
+    }
+
+    /// Bytes currently bump-allocated.
+    pub fn used(&self) -> u32 {
+        self.bump
+    }
+
+    /// Perform the full invoke-time lookup for `method` declared on
+    /// `class`: TOC → TIB (cache if needed) → method entry → method code
+    /// (cache if needed). Also used on *return* to re-establish the
+    /// caller (paper: "This process is repeated on returning from a
+    /// method, since the callee method may have been purged").
+    ///
+    /// Charges all cycles to `core` on `machine`.
+    pub fn lookup(
+        &mut self,
+        machine: &mut CellMachine,
+        core: CoreId,
+        class: ClassId,
+        tib_bytes: u32,
+        method: MethodId,
+        method_bytes: u32,
+    ) {
+        // TOC consultation — the 2 KB TOC is permanently resident.
+        let toc = machine.cost_model().toc_lookup_cycles as u64;
+        machine.advance(core, toc, OpClass::LocalMemory);
+        self.stats.toc_lookups += 1;
+
+        // TIB.
+        if self.tibs.contains_key(&class) {
+            self.stats.tib_hits += 1;
+            machine.advance(core, TIB_READ_CYCLES, OpClass::LocalMemory);
+        } else {
+            self.stats.tib_misses += 1;
+            self.install(machine, core, tib_bytes);
+            self.tibs.insert(class, tib_bytes);
+        }
+
+        // Method entry read from the (now resident) TIB.
+        machine.advance(core, TIB_READ_CYCLES, OpClass::LocalMemory);
+
+        // Method code.
+        if self.methods.contains_key(&method) {
+            self.stats.method_hits += 1;
+        } else {
+            self.stats.method_misses += 1;
+            if method_bytes > self.capacity {
+                // Cannot ever fit: stream it in each time, uncached.
+                self.stats.bypasses += 1;
+                machine.dma(core, method_bytes.max(1));
+                self.stats.bytes_loaded += method_bytes as u64;
+                return;
+            }
+            self.install(machine, core, method_bytes);
+            self.methods.insert(method, method_bytes);
+        }
+    }
+
+    /// Bump-allocate `bytes`, purging everything first if they do not
+    /// fit, then DMA them in.
+    fn install(&mut self, machine: &mut CellMachine, core: CoreId, bytes: u32) {
+        if bytes > self.capacity {
+            // Oversized TIB/method at tiny sweep sizes: stream, uncached.
+            self.stats.bypasses += 1;
+            machine.dma(core, bytes.max(1));
+            self.stats.bytes_loaded += bytes as u64;
+            return;
+        }
+        if self.bump + bytes > self.capacity {
+            self.purge();
+        }
+        machine.dma(core, bytes);
+        self.stats.bytes_loaded += bytes as u64;
+        self.bump += bytes;
+    }
+
+    /// Drop every cached method and TIB (code is read-only, so a purge
+    /// writes nothing back).
+    pub fn purge(&mut self) {
+        self.methods.clear();
+        self.tibs.clear();
+        self.bump = 0;
+        self.stats.purges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_cell::CellConfig;
+
+    const SPE: CoreId = CoreId::Spe(0);
+
+    fn machine() -> CellMachine {
+        CellMachine::new(CellConfig::default())
+    }
+
+    #[test]
+    fn cold_lookup_loads_tib_and_method() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(32 << 10);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        assert_eq!(cc.stats.tib_misses, 1);
+        assert_eq!(cc.stats.method_misses, 1);
+        assert_eq!(cc.stats.bytes_loaded, 576);
+        assert!(cc.method_resident(MethodId(0)));
+        assert!(cc.tib_resident(ClassId(0)));
+    }
+
+    #[test]
+    fn warm_lookup_is_all_hits_and_cheap() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(32 << 10);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        let t0 = m.now(SPE);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        let warm = m.now(SPE) - t0;
+        assert_eq!(cc.stats.tib_hits, 1);
+        assert_eq!(cc.stats.method_hits, 1);
+        // toc(6) + tib read(4) + entry read(4) = 14 cycles, all local.
+        assert_eq!(warm, 14);
+    }
+
+    #[test]
+    fn class_locality_shares_tibs() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(32 << 10);
+        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(10), 256);
+        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(11), 256);
+        assert_eq!(cc.stats.tib_misses, 1);
+        assert_eq!(cc.stats.tib_hits, 1);
+        assert_eq!(cc.stats.method_misses, 2);
+    }
+
+    #[test]
+    fn fill_purges_everything() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(2048);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900);
+        assert!(cc.method_resident(MethodId(0)));
+        // The third method does not fit: complete purge, then insert.
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900);
+        assert_eq!(cc.stats.purges, 1);
+        assert!(!cc.method_resident(MethodId(0)));
+        assert!(!cc.method_resident(MethodId(1)));
+        assert!(cc.method_resident(MethodId(2)));
+        // TIBs were purged too.
+        assert!(!cc.tib_resident(ClassId(0)));
+    }
+
+    #[test]
+    fn return_relookup_reloads_purged_caller() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(2048);
+        // Caller cached…
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
+        // …callee loads evict it…
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900);
+        assert!(!cc.method_resident(MethodId(0)));
+        // …so the return-path lookup must miss and reload.
+        let misses = cc.stats.method_misses;
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
+        assert_eq!(cc.stats.method_misses, misses + 1);
+    }
+
+    #[test]
+    fn oversized_method_streams_without_caching() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(1024);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096);
+        assert_eq!(cc.stats.method_misses, 2);
+        assert_eq!(cc.stats.bypasses, 2);
+        assert!(!cc.method_resident(MethodId(0)));
+    }
+
+    #[test]
+    fn misses_charge_main_memory_cycles() {
+        let mut m = machine();
+        let mut cc = CodeCache::new(32 << 10);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 2048);
+        assert!(m.breakdown(SPE).cycles(OpClass::MainMemory) > 0);
+        assert!(m.breakdown(SPE).cycles(OpClass::LocalMemory) > 0);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut s = CodeCacheStats::default();
+        assert_eq!(s.method_hit_rate(), 0.0);
+        s.method_hits = 9;
+        s.method_misses = 1;
+        assert!((s.method_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,593 @@
+//! The SPE software data cache (paper §3.2.1).
+//!
+//! Design decisions, all taken from the paper:
+//!
+//! * **Transfer big blocks.** DMA setup is expensive (≈40 cycles), so an
+//!   object is transferred *whole* on first touch (its size is known
+//!   from bytecode type information), and an array access pulls a block
+//!   of up to 1 KB of neighbouring elements.
+//! * **Bump-pointer allocation, flush when full.** Cached units are not
+//!   equally sized, so space is bump-allocated; when the region (or the
+//!   lookup table) fills, the whole cache is purged — after writing
+//!   dirty data back.
+//! * **Hashtable lookup.** A small local-memory-resident open-addressing
+//!   table maps main-memory addresses to local copies.
+//!
+//! Write-back granularity is the *dirty span* of a unit (the byte range
+//! actually written), which is how an MFC put of a modified region
+//! behaves; unsynchronised false sharing within a span can still clobber
+//! concurrent remote writes, exactly as on the real hardware.
+
+use hera_cell::{CellMachine, CoreId, OpClass};
+use hera_isa::{Ty, Value};
+use hera_mem::heap::codec;
+use hera_mem::{Heap, HeapError};
+
+/// Statistics for one data cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DataCacheStats {
+    /// Lookups that found their unit cached.
+    pub hits: u64,
+    /// Lookups that had to DMA.
+    pub misses: u64,
+    /// Whole-cache purges (fills, lock acquires, volatile reads, GC).
+    pub purges: u64,
+    /// Dirty units written back.
+    pub writebacks: u64,
+    /// Bytes DMAed in.
+    pub bytes_fetched: u64,
+    /// Bytes DMAed out (write-backs).
+    pub bytes_written_back: u64,
+    /// Accesses that bypassed the cache (unit larger than the region).
+    pub bypasses: u64,
+}
+
+impl DataCacheStats {
+    /// Hit rate over cacheable accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    main_addr: u32,
+    local_off: u32,
+    len: u32,
+    /// Dirty byte span within the unit, `dirty_lo < dirty_hi` iff dirty.
+    dirty_lo: u32,
+    dirty_hi: u32,
+}
+
+impl Entry {
+    fn is_dirty(&self) -> bool {
+        self.dirty_lo < self.dirty_hi
+    }
+}
+
+/// Cycles to install a unit into the table and bump the allocator
+/// (hash insert, bump arithmetic, and the MFC tag-group wait check).
+const INSERT_CYCLES: u64 = 40;
+
+/// The software data cache for one SPE.
+pub struct DataCache {
+    capacity: u32,
+    array_block_bytes: u32,
+    bump: u32,
+    local: Vec<u8>,
+    table: Vec<Option<Entry>>,
+    entries: usize,
+    max_entries: usize,
+    /// Statistics.
+    pub stats: DataCacheStats,
+}
+
+fn align8(v: u32) -> u32 {
+    (v + 7) & !7
+}
+
+impl DataCache {
+    /// Default array block transfer size (paper: "a block of up to 1KB
+    /// of neighbouring elements").
+    pub const DEFAULT_ARRAY_BLOCK: u32 = 1024;
+
+    /// Create a cache over `capacity` bytes of local store.
+    pub fn new(capacity: u32) -> DataCache {
+        Self::with_block_size(capacity, Self::DEFAULT_ARRAY_BLOCK)
+    }
+
+    /// Create a cache with a custom array block size (ablation E6).
+    pub fn with_block_size(capacity: u32, array_block_bytes: u32) -> DataCache {
+        let slots = (capacity / 128).next_power_of_two().clamp(64, 8192) as usize;
+        DataCache {
+            capacity,
+            array_block_bytes: array_block_bytes.max(16),
+            bump: 0,
+            local: vec![0; capacity as usize],
+            table: vec![None; slots],
+            entries: 0,
+            max_entries: slots * 3 / 4,
+            stats: DataCacheStats::default(),
+        }
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The configured array block transfer size.
+    pub fn array_block_bytes(&self) -> u32 {
+        self.array_block_bytes
+    }
+
+    /// Whether a unit at `main_addr` is currently cached (test hook).
+    pub fn contains(&self, main_addr: u32) -> bool {
+        self.probe(main_addr).is_some()
+    }
+
+    /// Whether the cached unit at `main_addr` has unwritten local
+    /// modifications (test hook).
+    pub fn is_dirty(&self, main_addr: u32) -> bool {
+        self.probe(main_addr)
+            .map(|slot| self.table[slot].as_ref().is_some_and(Entry::is_dirty))
+            .unwrap_or(false)
+    }
+
+    fn hash(&self, addr: u32) -> usize {
+        // Fibonacci hashing over the 8-byte-aligned address.
+        ((addr >> 3).wrapping_mul(0x9E37_79B9) as usize) & (self.table.len() - 1)
+    }
+
+    fn probe(&self, addr: u32) -> Option<usize> {
+        let mut i = self.hash(addr);
+        for _ in 0..self.table.len() {
+            match &self.table[i] {
+                Some(e) if e.main_addr == addr => return Some(i),
+                Some(_) => i = (i + 1) & (self.table.len() - 1),
+                None => return None,
+            }
+        }
+        None
+    }
+
+    fn free_slot(&self, addr: u32) -> Option<usize> {
+        let mut i = self.hash(addr);
+        for _ in 0..self.table.len() {
+            if self.table[i].is_none() {
+                return Some(i);
+            }
+            i = (i + 1) & (self.table.len() - 1);
+        }
+        None
+    }
+
+    /// Ensure `[main_addr, main_addr+len)` is cached; return the local
+    /// offset, or `None` when the unit cannot fit (bypass mode).
+    ///
+    /// Charges the probe (hit) cycles, and on a miss the DMA stall and
+    /// insertion overhead, to `core`.
+    fn ensure(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+        main_addr: u32,
+        len: u32,
+    ) -> Result<Option<u32>, HeapError> {
+        let hit_cycles = machine.cost_model().cache_hit_cycles as u64;
+        machine.advance(core, hit_cycles, OpClass::LocalMemory);
+
+        if let Some(slot) = self.probe(main_addr) {
+            self.stats.hits += 1;
+            return Ok(Some(self.table[slot].as_ref().expect("probed entry").local_off));
+        }
+        self.stats.misses += 1;
+
+        let alen = align8(len);
+        if alen > self.capacity {
+            self.stats.bypasses += 1;
+            return Ok(None);
+        }
+
+        // Make room: purge on region overflow or table saturation.
+        if self.bump + alen > self.capacity || self.entries >= self.max_entries {
+            self.purge(heap, machine, core)?;
+        }
+
+        // Fetch the unit.
+        machine.dma(core, len);
+        let src = heap.bytes(main_addr, len)?;
+        let dst = self.bump as usize;
+        self.local[dst..dst + len as usize].copy_from_slice(src);
+        self.stats.bytes_fetched += len as u64;
+
+        let slot = self
+            .free_slot(main_addr)
+            .expect("purge guarantees a free slot");
+        self.table[slot] = Some(Entry {
+            main_addr,
+            local_off: self.bump,
+            len,
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
+        });
+        self.entries += 1;
+        let off = self.bump;
+        self.bump += alen;
+        machine.advance(core, INSERT_CYCLES, OpClass::LocalMemory);
+        Ok(Some(off))
+    }
+
+    /// Read a typed value from offset `off` inside the unit
+    /// `[unit_addr, unit_addr+unit_len)`.
+    pub fn read(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+        unit_addr: u32,
+        unit_len: u32,
+        off: u32,
+        ty: Ty,
+    ) -> Result<Value, HeapError> {
+        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
+            Some(local_off) => Ok(codec::read_value(
+                &self.local,
+                (local_off + off) as usize,
+                ty,
+            )),
+            None => {
+                // Bypass: DMA just the touched line, read through.
+                machine.dma(core, ty.field_size());
+                Ok(heap.read_typed(unit_addr + off, ty))
+            }
+        }
+    }
+
+    /// Write a typed value at offset `off` inside the unit, marking the
+    /// dirty span.
+    pub fn write(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+        unit_addr: u32,
+        unit_len: u32,
+        off: u32,
+        ty: Ty,
+        v: Value,
+    ) -> Result<(), HeapError> {
+        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
+            Some(local_off) => {
+                codec::write_value(&mut self.local, (local_off + off) as usize, ty, v);
+                let slot = self.probe(unit_addr).expect("just ensured");
+                let e = self.table[slot].as_mut().expect("probed entry");
+                e.dirty_lo = e.dirty_lo.min(off);
+                e.dirty_hi = e.dirty_hi.max(off + ty.field_size());
+                Ok(())
+            }
+            None => {
+                machine.dma(core, ty.field_size());
+                heap.write_typed(unit_addr + off, ty, v);
+                Ok(())
+            }
+        }
+    }
+
+    /// Write all dirty spans back to main memory (release barrier /
+    /// pre-GC flush). Cached copies remain resident but clean.
+    pub fn write_back_dirty(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+    ) -> Result<(), HeapError> {
+        for slot in 0..self.table.len() {
+            let Some(e) = self.table[slot] else { continue };
+            if !e.is_dirty() {
+                continue;
+            }
+            debug_assert!(e.dirty_hi <= e.len, "dirty span exceeds unit");
+            let span = e.dirty_hi - e.dirty_lo;
+            machine.dma(core, span);
+            let src_lo = (e.local_off + e.dirty_lo) as usize;
+            let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
+            dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
+            self.stats.writebacks += 1;
+            self.stats.bytes_written_back += span as u64;
+            let e = self.table[slot].as_mut().expect("checked above");
+            e.dirty_lo = u32::MAX;
+            e.dirty_hi = 0;
+        }
+        Ok(())
+    }
+
+    /// Purge the cache: write dirty data back, then invalidate
+    /// everything (acquire barrier / volatile read / cache full / GC).
+    pub fn purge(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+    ) -> Result<(), HeapError> {
+        self.write_back_dirty(heap, machine, core)?;
+        self.table.iter_mut().for_each(|s| *s = None);
+        self.entries = 0;
+        self.bump = 0;
+        self.stats.purges += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hera_cell::CellConfig;
+    use hera_isa::{ElemTy, ObjRef, ProgramBuilder};
+    use hera_mem::{HeapConfig, ProgramLayout};
+
+    struct Fx {
+        heap: Heap,
+        machine: CellMachine,
+        layout: ProgramLayout,
+        class: hera_isa::ClassId,
+        field: hera_isa::FieldId,
+    }
+
+    fn fx() -> Fx {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("C", None);
+        let f = b.add_field(c, "x", Ty::Int);
+        b.add_field(c, "y", Ty::Int);
+        let p = b.finish().unwrap();
+        let layout = ProgramLayout::compute(&p);
+        Fx {
+            heap: Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size),
+            machine: CellMachine::new(CellConfig::default()),
+            layout,
+            class: c,
+            field: f,
+        }
+    }
+
+    const SPE: CoreId = CoreId::Spe(0);
+
+    #[test]
+    fn first_access_misses_subsequent_hit() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        let v = dc
+            .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        assert_eq!(v, Value::I32(0));
+        assert_eq!(dc.stats.misses, 1);
+        dc.read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        assert_eq!(dc.stats.hits, 1);
+        // Whole object was fetched, not just the field.
+        assert_eq!(dc.stats.bytes_fetched, size as u64);
+    }
+
+    #[test]
+    fn writes_are_local_until_written_back() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        dc.write(
+            &mut f.heap,
+            &mut f.machine,
+            SPE,
+            r.0,
+            size,
+            off,
+            Ty::Int,
+            Value::I32(77),
+        )
+        .unwrap();
+        // Main memory still sees the old value (stale is allowed).
+        assert_eq!(f.heap.get_field(&f.layout, r, f.field), Value::I32(0));
+        assert!(dc.is_dirty(r.0));
+        // Local copy sees the new value (read-your-writes).
+        let v = dc
+            .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        assert_eq!(v, Value::I32(77));
+        // Write-back publishes it.
+        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE).unwrap();
+        assert_eq!(f.heap.get_field(&f.layout, r, f.field), Value::I32(77));
+        assert!(!dc.is_dirty(r.0));
+        assert_eq!(dc.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn stale_reads_until_purge() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        dc.read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        // Another core updates main memory.
+        f.heap.put_field(&f.layout, r, f.field, Value::I32(5));
+        // The SPE still sees the stale cached value…
+        let v = dc
+            .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        assert_eq!(v, Value::I32(0));
+        // …until an acquire-style purge.
+        dc.purge(&mut f.heap, &mut f.machine, SPE).unwrap();
+        let v = dc
+            .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap();
+        assert_eq!(v, Value::I32(5));
+    }
+
+    #[test]
+    fn purge_writes_dirty_back_first() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        dc.write(
+            &mut f.heap,
+            &mut f.machine,
+            SPE,
+            r.0,
+            size,
+            off,
+            Ty::Int,
+            Value::I32(42),
+        )
+        .unwrap();
+        dc.purge(&mut f.heap, &mut f.machine, SPE).unwrap();
+        assert_eq!(f.heap.get_field(&f.layout, r, f.field), Value::I32(42));
+        assert!(!dc.contains(r.0));
+    }
+
+    #[test]
+    fn cache_fill_triggers_purge_and_continues() {
+        let mut f = fx();
+        // 4 KB cache, 1 KB array blocks: five block fetches must purge.
+        let arr = f.heap.alloc_array(ElemTy::Byte, 16 << 10).unwrap();
+        let mut dc = DataCache::new(4 << 10);
+        for block in 0..10u32 {
+            let unit = arr.0 + block * 1024;
+            dc.read(
+                &mut f.heap,
+                &mut f.machine,
+                SPE,
+                unit,
+                1024,
+                0,
+                Ty::Byte,
+            )
+            .unwrap();
+        }
+        assert!(dc.stats.purges >= 1);
+        assert_eq!(dc.stats.misses, 10);
+    }
+
+    #[test]
+    fn oversized_units_bypass() {
+        let mut f = fx();
+        let arr = f.heap.alloc_array(ElemTy::Byte, 1 << 10).unwrap();
+        f.heap.array_store(arr, 5, Value::I32(9)).unwrap();
+        let mut dc = DataCache::new(256); // smaller than the 1 KB unit
+        let v = dc
+            .read(
+                &mut f.heap,
+                &mut f.machine,
+                SPE,
+                arr.0,
+                1032,
+                8 + 5,
+                Ty::Byte,
+            )
+            .unwrap();
+        assert_eq!(v, Value::I32(9));
+        assert_eq!(dc.stats.bypasses, 1);
+        // Bypass writes go straight through.
+        dc.write(
+            &mut f.heap,
+            &mut f.machine,
+            SPE,
+            arr.0,
+            1032,
+            8 + 6,
+            Ty::Byte,
+            Value::I32(3),
+        )
+        .unwrap();
+        assert_eq!(f.heap.array_load(arr, 6).unwrap(), Value::I32(3));
+    }
+
+    #[test]
+    fn dirty_span_limits_writeback_bytes() {
+        let mut f = fx();
+        let arr = f.heap.alloc_array(ElemTy::Int, 200).unwrap();
+        let mut dc = DataCache::new(32 << 10);
+        // Touch one element in the middle of a 1 KB block.
+        dc.write(
+            &mut f.heap,
+            &mut f.machine,
+            SPE,
+            arr.0,
+            808,
+            8 + 4 * 50,
+            Ty::Int,
+            Value::I32(1),
+        )
+        .unwrap();
+        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE).unwrap();
+        assert_eq!(dc.stats.bytes_written_back, 4);
+    }
+
+    #[test]
+    fn miss_costs_more_cycles_than_hit() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let mut dc = DataCache::new(32 << 10);
+        let t0 = f.machine.now(SPE);
+        dc.read(&mut f.heap, &mut f.machine, SPE, r.0, size, 8, Ty::Int)
+            .unwrap();
+        let miss_cost = f.machine.now(SPE) - t0;
+        let t1 = f.machine.now(SPE);
+        dc.read(&mut f.heap, &mut f.machine, SPE, r.0, size, 8, Ty::Int)
+            .unwrap();
+        let hit_cost = f.machine.now(SPE) - t1;
+        assert!(miss_cost > 10 * hit_cost, "{miss_cost} vs {hit_cost}");
+        // Misses charge main-memory cycles; hits charge local memory.
+        assert!(f.machine.breakdown(SPE).cycles(OpClass::MainMemory) > 0);
+        assert!(f.machine.breakdown(SPE).cycles(OpClass::LocalMemory) > 0);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut s = DataCacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn many_objects_with_collisions_still_resolve() {
+        let mut f = fx();
+        let mut refs: Vec<ObjRef> = Vec::new();
+        for i in 0..200 {
+            let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+            f.heap.put_field(&f.layout, r, f.field, Value::I32(i));
+            refs.push(r);
+        }
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(64 << 10);
+        for (i, r) in refs.iter().enumerate() {
+            let v = dc
+                .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+                .unwrap();
+            assert_eq!(v, Value::I32(i as i32));
+        }
+        // Second pass: all hits (64 KB holds 200 × 16-byte objects).
+        let before = dc.stats.hits;
+        for r in &refs {
+            dc.read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+                .unwrap();
+        }
+        assert_eq!(dc.stats.hits - before, 200);
+    }
+}

@@ -1,0 +1,671 @@
+//! The compress benchmark: LZW compression + decompression.
+//!
+//! Stands in for SPECjvm-2008 *compress* (whose source is not
+//! redistributable). Like the original, each worker thread compresses
+//! and then decompresses an independent buffer, and the defining
+//! characteristic is *memory behaviour*: the LZW dictionary is probed by
+//! hash over tens of kilobytes of arrays with poor locality. On the PPE
+//! the hardware L1/L2 absorb the probes; on an SPE every miss is a DMA,
+//! which is why the paper finds compress "spends more of its execution
+//! accessing main memory than the other benchmarks" and runs slowest
+//! there (Figures 4–6).
+//!
+//! The corpus is generated in-guest by a deterministic LCG that mixes
+//! fresh literals with back-references (so the dictionary actually
+//! fills). The host-side [`reference_checksum`] replays the identical
+//! wrapping-i32 arithmetic, making the guest result bit-checkable.
+
+use hera_core::native::install_runtime;
+use hera_frontend::*;
+use hera_isa::{ElemTy, Program, ProgramBuilder, Ty};
+
+/// Compress parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Input bytes per worker thread.
+    pub bytes_per_thread: i32,
+    /// Worker thread count.
+    pub threads: u32,
+}
+
+/// Dictionary capacity (12-bit codes, as in classic `compress`).
+const DICT: i32 = 4096;
+/// Hash table slots (25% max load keeps probes short; the three 64 KiB
+/// side tables give compress its defining large, poorly-local working
+/// set, as in the SPEC original).
+const HASH: i32 = 16384;
+
+impl Params {
+    /// Simulation-friendly size: `scale` sets the *total* input
+    /// (`scale` ≈ 1.0 → 144 KiB), split evenly across threads so the
+    /// same experiment compares fairly at different core counts.
+    pub fn scaled(threads: u32, scale: f64) -> Params {
+        Params {
+            bytes_per_thread: ((147_456.0 * scale) as i32 / threads.max(1) as i32).max(1024),
+            threads,
+        }
+    }
+}
+
+/// The corpus generator, shared (conceptually) between guest and host:
+/// one LCG step per decision.
+///
+/// state' = state * 1103515245 + 12345 (wrapping i32)
+/// r = (state' >>> 16) & 0x7fff
+fn lcg_constants() -> (i32, i32) {
+    (1103515245, 12345)
+}
+
+/// Seed-mixing multiplier (shared by guest literal and host mirror).
+const SEED_MIX: i32 = 0x9E37_79B9_u32 as i32;
+
+/// Per-thread seed (must match between guest and host).
+pub fn seed_for(thread: i32) -> i32 {
+    0x1234_5678i32.wrapping_add(thread).wrapping_mul(SEED_MIX)
+}
+
+/// Build the guest program.
+pub fn build_program(p: &Params) -> Program {
+    let (lcg_a, lcg_c) = lcg_constants();
+    let mut pb = ProgramBuilder::new();
+    let api = install_runtime(&mut pb);
+
+    let worker = pb.add_class("CompressWorker", Some(api.thread_class));
+    let f_seed = pb.add_field(worker, "seed", Ty::Int);
+    let f_size = pb.add_field(worker, "size", Ty::Int);
+    let f_check = pb.add_field(worker, "check", Ty::Int);
+
+    let cls = pb.add_class("Compress", None);
+
+    // byte[] generate(int seed, int n)
+    let generate = declare_static(
+        &mut pb,
+        cls,
+        "generate",
+        vec![("seed", Ty::Int), ("n", Ty::Int)],
+        Some(Ty::Array(ElemTy::Byte)),
+    );
+    define(
+        &mut pb,
+        generate,
+        vec![("seed", Ty::Int), ("n", Ty::Int)],
+        vec![
+            Stmt::Let("buf".into(), new_array(ElemTy::Byte, local("n"))),
+            Stmt::Let("state".into(), local("seed")),
+            Stmt::Let("i".into(), i32c(0)),
+            Stmt::While(
+                cmp_lt(local("i"), local("n")),
+                vec![
+                    Stmt::Assign(
+                        "state".into(),
+                        add(mul(local("state"), i32c(lcg_a)), i32c(lcg_c)),
+                    ),
+                    Stmt::Let("r".into(), band(ushr(local("state"), i32c(16)), i32c(0x7fff))),
+                    Stmt::If(
+                        andand(
+                            cmp_lt(band(local("r"), i32c(7)), i32c(2)),
+                            cmp_gt(local("i"), i32c(64)),
+                        ),
+                        vec![
+                            // back-reference: copy 16 earlier bytes
+                            Stmt::Let("src".into(), rem(local("r"), sub(local("i"), i32c(16)))),
+                            Stmt::Let("j".into(), i32c(0)),
+                            Stmt::While(
+                                andand(
+                                    cmp_lt(local("j"), i32c(16)),
+                                    cmp_lt(local("i"), local("n")),
+                                ),
+                                vec![
+                                    Stmt::SetIndex(
+                                        local("buf"),
+                                        local("i"),
+                                        index(local("buf"), add(local("src"), local("j"))),
+                                    ),
+                                    Stmt::Assign("i".into(), add(local("i"), i32c(1))),
+                                    Stmt::Assign("j".into(), add(local("j"), i32c(1))),
+                                ],
+                            ),
+                        ],
+                        vec![
+                            // fresh literal from a 16-letter alphabet
+                            Stmt::SetIndex(
+                                local("buf"),
+                                local("i"),
+                                add(i32c(97), rem(local("r"), i32c(16))),
+                            ),
+                            Stmt::Assign("i".into(), add(local("i"), i32c(1))),
+                        ],
+                    ),
+                ],
+            ),
+            Stmt::Return(Some(local("buf"))),
+        ],
+    )
+    .expect("generate compiles");
+
+    // int compress(byte[] input, int n, int[] out) -> outLen
+    let compress_m = declare_static(
+        &mut pb,
+        cls,
+        "compress",
+        vec![
+            ("input", Ty::Array(ElemTy::Byte)),
+            ("n", Ty::Int),
+            ("out", Ty::Array(ElemTy::Int)),
+        ],
+        Some(Ty::Int),
+    );
+    define(
+        &mut pb,
+        compress_m,
+        vec![
+            ("input", Ty::Array(ElemTy::Byte)),
+            ("n", Ty::Int),
+            ("out", Ty::Array(ElemTy::Int)),
+        ],
+        vec![
+            Stmt::Let("hashCode".into(), new_array(ElemTy::Int, i32c(HASH))),
+            Stmt::Let("hashKey".into(), new_array(ElemTy::Int, i32c(HASH))),
+            for_range(
+                "z",
+                i32c(0),
+                i32c(HASH),
+                vec![Stmt::SetIndex(local("hashCode"), local("z"), i32c(-1))],
+            ),
+            Stmt::Let("nextCode".into(), i32c(256)),
+            Stmt::Let("prefix".into(), band(index(local("input"), i32c(0)), i32c(255))),
+            Stmt::Let("outLen".into(), i32c(0)),
+            for_range(
+                "i",
+                i32c(1),
+                local("n"),
+                vec![
+                    Stmt::Let("c".into(), band(index(local("input"), local("i")), i32c(255))),
+                    // probe the dictionary for (prefix, c)
+                    Stmt::Let("key".into(), bor(shl(local("prefix"), i32c(8)), local("c"))),
+                    Stmt::Let(
+                        "h".into(),
+                        band(
+                            bxor(shl(local("prefix"), i32c(4)), local("c")),
+                            i32c(HASH - 1),
+                        ),
+                    ),
+                    Stmt::Let("found".into(), i32c(-1)),
+                    Stmt::Let("probing".into(), i32c(1)),
+                    Stmt::While(
+                        cmp_ne(local("probing"), i32c(0)),
+                        vec![Stmt::If(
+                            cmp_eq(index(local("hashCode"), local("h")), i32c(-1)),
+                            vec![Stmt::Assign("probing".into(), i32c(0))],
+                            vec![Stmt::If(
+                                cmp_eq(index(local("hashKey"), local("h")), local("key")),
+                                vec![
+                                    Stmt::Assign(
+                                        "found".into(),
+                                        index(local("hashCode"), local("h")),
+                                    ),
+                                    Stmt::Assign("probing".into(), i32c(0)),
+                                ],
+                                vec![Stmt::Assign(
+                                    "h".into(),
+                                    band(add(local("h"), i32c(1)), i32c(HASH - 1)),
+                                )],
+                            )],
+                        )],
+                    ),
+                    Stmt::If(
+                        cmp_ne(local("found"), i32c(-1)),
+                        vec![Stmt::Assign("prefix".into(), local("found"))],
+                        vec![
+                            Stmt::SetIndex(local("out"), local("outLen"), local("prefix")),
+                            Stmt::Assign("outLen".into(), add(local("outLen"), i32c(1))),
+                            // frozen dictionary once full (no reset)
+                            Stmt::If(
+                                cmp_lt(local("nextCode"), i32c(DICT)),
+                                vec![
+                                    Stmt::SetIndex(
+                                        local("hashCode"),
+                                        local("h"),
+                                        local("nextCode"),
+                                    ),
+                                    Stmt::SetIndex(local("hashKey"), local("h"), local("key")),
+                                    Stmt::Assign(
+                                        "nextCode".into(),
+                                        add(local("nextCode"), i32c(1)),
+                                    ),
+                                ],
+                                vec![],
+                            ),
+                            Stmt::Assign("prefix".into(), local("c")),
+                        ],
+                    ),
+                ],
+            ),
+            Stmt::SetIndex(local("out"), local("outLen"), local("prefix")),
+            Stmt::Assign("outLen".into(), add(local("outLen"), i32c(1))),
+            Stmt::Return(Some(local("outLen"))),
+        ],
+    )
+    .expect("compress compiles");
+
+    // int decompress(int[] codes, int m, byte[] out) -> bytes written
+    let decompress_m = declare_static(
+        &mut pb,
+        cls,
+        "decompress",
+        vec![
+            ("codes", Ty::Array(ElemTy::Int)),
+            ("m", Ty::Int),
+            ("out", Ty::Array(ElemTy::Byte)),
+        ],
+        Some(Ty::Int),
+    );
+    define(
+        &mut pb,
+        decompress_m,
+        vec![
+            ("codes", Ty::Array(ElemTy::Int)),
+            ("m", Ty::Int),
+            ("out", Ty::Array(ElemTy::Byte)),
+        ],
+        vec![
+            Stmt::Let("prefixOf".into(), new_array(ElemTy::Int, i32c(DICT))),
+            Stmt::Let("charOf".into(), new_array(ElemTy::Int, i32c(DICT))),
+            Stmt::Let("stack".into(), new_array(ElemTy::Byte, i32c(DICT))),
+            Stmt::Let("next".into(), i32c(256)),
+            Stmt::Let("pos".into(), i32c(0)),
+            Stmt::Let("prev".into(), index(local("codes"), i32c(0))),
+            // first code is always a literal
+            Stmt::SetIndex(local("out"), local("pos"), local("prev")),
+            Stmt::Assign("pos".into(), add(local("pos"), i32c(1))),
+            Stmt::Let("firstChar".into(), local("prev")),
+            for_range(
+                "i",
+                i32c(1),
+                local("m"),
+                vec![
+                    Stmt::Let("code".into(), index(local("codes"), local("i"))),
+                    Stmt::Let("cur".into(), local("code")),
+                    // KwKwK: code not yet defined
+                    Stmt::If(
+                        cmp_ge(local("code"), local("next")),
+                        vec![
+                            Stmt::Assign("cur".into(), local("prev")),
+                        ],
+                        vec![],
+                    ),
+                    // unwind the phrase onto the stack
+                    Stmt::Let("sp".into(), i32c(0)),
+                    Stmt::While(
+                        cmp_ge(local("cur"), i32c(256)),
+                        vec![
+                            Stmt::SetIndex(
+                                local("stack"),
+                                local("sp"),
+                                index(local("charOf"), local("cur")),
+                            ),
+                            Stmt::Assign("sp".into(), add(local("sp"), i32c(1))),
+                            Stmt::Assign("cur".into(), index(local("prefixOf"), local("cur"))),
+                        ],
+                    ),
+                    Stmt::Assign("firstChar".into(), local("cur")),
+                    Stmt::SetIndex(local("out"), local("pos"), local("cur")),
+                    Stmt::Assign("pos".into(), add(local("pos"), i32c(1))),
+                    Stmt::While(
+                        cmp_gt(local("sp"), i32c(0)),
+                        vec![
+                            Stmt::Assign("sp".into(), sub(local("sp"), i32c(1))),
+                            Stmt::SetIndex(
+                                local("out"),
+                                local("pos"),
+                                index(local("stack"), local("sp")),
+                            ),
+                            Stmt::Assign("pos".into(), add(local("pos"), i32c(1))),
+                        ],
+                    ),
+                    // KwKwK tail character
+                    Stmt::If(
+                        cmp_ge(local("code"), local("next")),
+                        vec![
+                            Stmt::SetIndex(local("out"), local("pos"), local("firstChar")),
+                            Stmt::Assign("pos".into(), add(local("pos"), i32c(1))),
+                        ],
+                        vec![],
+                    ),
+                    // grow the dictionary (frozen at DICT, like the encoder)
+                    Stmt::If(
+                        cmp_lt(local("next"), i32c(DICT)),
+                        vec![
+                            Stmt::SetIndex(local("prefixOf"), local("next"), local("prev")),
+                            Stmt::SetIndex(local("charOf"), local("next"), local("firstChar")),
+                            Stmt::Assign("next".into(), add(local("next"), i32c(1))),
+                        ],
+                        vec![],
+                    ),
+                    Stmt::Assign("prev".into(), local("code")),
+                ],
+            ),
+            Stmt::Return(Some(local("pos"))),
+        ],
+    )
+    .expect("decompress compiles");
+
+    // Worker.run(): generate → compress → decompress → verify + checksum.
+    let run = declare_virtual(&mut pb, worker, "run", vec![], None);
+    define(
+        &mut pb,
+        run,
+        vec![("this", Ty::Ref(worker))],
+        vec![
+            Stmt::Let("n".into(), field(local("this"), f_size)),
+            Stmt::Let(
+                "input".into(),
+                call(generate, vec![field(local("this"), f_seed), local("n")]),
+            ),
+            Stmt::Let("codes".into(), new_array(ElemTy::Int, add(local("n"), i32c(1)))),
+            Stmt::Let(
+                "m".into(),
+                call(
+                    compress_m,
+                    vec![local("input"), local("n"), local("codes")],
+                ),
+            ),
+            Stmt::Let("decoded".into(), new_array(ElemTy::Byte, local("n"))),
+            Stmt::Let(
+                "dn".into(),
+                call(
+                    decompress_m,
+                    vec![local("codes"), local("m"), local("decoded")],
+                ),
+            ),
+            // verify round-trip
+            Stmt::Let("ok".into(), i32c(1)),
+            Stmt::If(
+                cmp_ne(local("dn"), local("n")),
+                vec![Stmt::Assign("ok".into(), i32c(0))],
+                vec![for_range(
+                    "v",
+                    i32c(0),
+                    local("n"),
+                    vec![Stmt::If(
+                        cmp_ne(
+                            index(local("input"), local("v")),
+                            index(local("decoded"), local("v")),
+                        ),
+                        vec![Stmt::Assign("ok".into(), i32c(0))],
+                        vec![],
+                    )],
+                )],
+            ),
+            // checksum: codes + ratio + roundtrip flag
+            Stmt::Let("sum".into(), i32c(0)),
+            for_range(
+                "k",
+                i32c(0),
+                local("m"),
+                vec![Stmt::Assign(
+                    "sum".into(),
+                    add(
+                        mul(local("sum"), i32c(31)),
+                        index(local("codes"), local("k")),
+                    ),
+                )],
+            ),
+            Stmt::SetField(
+                local("this"),
+                f_check,
+                bxor(
+                    bxor(local("sum"), shl(local("m"), i32c(4))),
+                    mul(local("ok"), i32c(0x5EED)),
+                ),
+            ),
+        ],
+    )
+    .expect("run compiles");
+
+    // Main: spawn, join, combine.
+    let seed_m = seed_method(&mut pb, cls);
+    let main = declare_static(&mut pb, cls, "main", vec![], Some(Ty::Int));
+    let threads = p.threads as i32;
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("workers".into(), new_array(ElemTy::Ref, i32c(threads))),
+            Stmt::Let("tids".into(), new_array(ElemTy::Int, i32c(threads))),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Let("w".into(), Expr::New(worker)),
+                    Stmt::SetField(local("w"), f_size, i32c(p.bytes_per_thread)),
+                    Stmt::SetField(
+                        local("w"),
+                        f_seed,
+                        call(seed_m, vec![local("i")]),
+                    ),
+                    Stmt::SetIndex(local("workers"), local("i"), local("w")),
+                    Stmt::SetIndex(
+                        local("tids"),
+                        local("i"),
+                        call(api.spawn, vec![local("w")]),
+                    ),
+                ],
+            ),
+            Stmt::Let("total".into(), i32c(0)),
+            for_range(
+                "j",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Expr(call(api.join, vec![index(local("tids"), local("j"))])),
+                    Stmt::Let(
+                        "wj".into(),
+                        cast(Ty::Ref(worker), index(local("workers"), local("j"))),
+                    ),
+                    Stmt::Assign(
+                        "total".into(),
+                        bxor(
+                            mul(local("total"), i32c(7)),
+                            field(local("wj"), f_check),
+                        ),
+                    ),
+                ],
+            ),
+            Stmt::Return(Some(local("total"))),
+        ],
+    )
+    .expect("main compiles");
+
+    pb.finish_with_entry("Compress", "main").expect("resolves")
+}
+
+/// `int seedFor(int thread)` — declared lazily on first use so `main`
+/// can reference it. Memoised by name lookup.
+fn seed_method(pb: &mut ProgramBuilder, cls: hera_isa::ClassId) -> hera_isa::MethodId {
+    // One declaration only: main() is built once per program.
+    let m = declare_static(pb, cls, "seedFor", vec![("t", Ty::Int)], Some(Ty::Int));
+    define(
+        pb,
+        m,
+        vec![("t", Ty::Int)],
+        vec![Stmt::Return(Some(mul(
+            add(i32c(0x1234_5678), local("t")),
+            i32c(SEED_MIX),
+        )))],
+    )
+    .expect("seedFor compiles");
+    m
+}
+
+// ---- host reference ----
+
+/// Host-side corpus generator (public for property tests).
+pub fn host_generate(seed: i32, n: usize) -> Vec<u8> {
+    let (a, c) = lcg_constants();
+    let mut buf = vec![0u8; n];
+    let mut state = seed;
+    let mut i = 0usize;
+    while i < n {
+        state = state.wrapping_mul(a).wrapping_add(c);
+        let r = ((state as u32) >> 16) as i32 & 0x7fff;
+        if (r & 7) < 2 && i > 64 {
+            let src = (r % (i as i32 - 16)) as usize;
+            let mut j = 0;
+            while j < 16 && i < n {
+                buf[i] = buf[src + j];
+                i += 1;
+                j += 1;
+            }
+        } else {
+            buf[i] = (97 + (r % 16)) as u8;
+            i += 1;
+        }
+    }
+    buf
+}
+
+/// Host-side LZW compressor (public for property tests).
+pub fn host_compress(input: &[u8]) -> Vec<i32> {
+    let mut hash_code = vec![-1i32; HASH as usize];
+    let mut hash_key = vec![0i32; HASH as usize];
+    let mut next_code = 256i32;
+    let mut prefix = input[0] as i32;
+    let mut out = Vec::new();
+    for &b in &input[1..] {
+        let c = b as i32;
+        let key = (prefix << 8) | c;
+        let mut h = ((prefix << 4) ^ c) & (HASH - 1);
+        let mut found = -1;
+        loop {
+            if hash_code[h as usize] == -1 {
+                break;
+            }
+            if hash_key[h as usize] == key {
+                found = hash_code[h as usize];
+                break;
+            }
+            h = (h + 1) & (HASH - 1);
+        }
+        if found != -1 {
+            prefix = found;
+        } else {
+            out.push(prefix);
+            if next_code < DICT {
+                hash_code[h as usize] = next_code;
+                hash_key[h as usize] = key;
+                next_code += 1;
+            }
+            prefix = c;
+        }
+    }
+    out.push(prefix);
+    out
+}
+
+/// Host-side LZW decompressor (public for property tests).
+pub fn host_decompress(codes: &[i32], expect_len: usize) -> Vec<u8> {
+    let mut prefix_of = vec![0i32; DICT as usize];
+    let mut char_of = vec![0i32; DICT as usize];
+    let mut next = 256i32;
+    let mut out = Vec::with_capacity(expect_len);
+    let mut prev = codes[0];
+    out.push(prev as u8);
+    for &code in &codes[1..] {
+        let mut cur = if code >= next { prev } else { code };
+        let mut stack = Vec::new();
+        while cur >= 256 {
+            stack.push(char_of[cur as usize] as u8);
+            cur = prefix_of[cur as usize];
+        }
+        let first_char = cur;
+        out.push(cur as u8);
+        while let Some(b) = stack.pop() {
+            out.push(b);
+        }
+        if code >= next {
+            out.push(first_char as u8);
+        }
+        if next < DICT {
+            prefix_of[next as usize] = prev;
+            char_of[next as usize] = first_char;
+            next += 1;
+        }
+        prev = code;
+    }
+    out
+}
+
+/// Host reference checksum replicating the guest bit-for-bit.
+pub fn reference_checksum(p: &Params) -> i32 {
+    let mut total: i32 = 0;
+    for t in 0..p.threads as i32 {
+        let seed = seed_for(t);
+        let input = host_generate(seed, p.bytes_per_thread as usize);
+        let codes = host_compress(&input);
+        let decoded = host_decompress(&codes, input.len());
+        let ok = i32::from(decoded == input);
+        let mut sum: i32 = 0;
+        for &c in &codes {
+            sum = sum.wrapping_mul(31).wrapping_add(c);
+        }
+        let m = codes.len() as i32;
+        let check = sum ^ (m << 4) ^ ok.wrapping_mul(0x5EED);
+        total = total.wrapping_mul(7) ^ check;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_roundtrip() {
+        let input = host_generate(seed_for(0), 8192);
+        let codes = host_compress(&input);
+        assert!(codes.len() < input.len(), "should actually compress");
+        let decoded = host_decompress(&codes, input.len());
+        assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn host_roundtrip_many_seeds() {
+        for t in 0..8 {
+            let input = host_generate(seed_for(t), 4000 + 97 * t as usize);
+            let decoded = host_decompress(&host_compress(&input), input.len());
+            assert_eq!(decoded, input, "seed {t}");
+        }
+    }
+
+    #[test]
+    fn generator_mixes_literals_and_backrefs() {
+        let input = host_generate(seed_for(0), 16384);
+        // Alphabet bytes only.
+        assert!(input.iter().all(|&b| (97..113).contains(&b)));
+        // Compressible: LZW should reach well under 70%.
+        let codes = host_compress(&input);
+        assert!((codes.len() as f64) < 0.7 * input.len() as f64);
+    }
+
+    #[test]
+    fn program_builds_and_verifies() {
+        let p = Params {
+            bytes_per_thread: 2048,
+            threads: 2,
+        };
+        let program = build_program(&p);
+        hera_isa::verify_program(&program).expect("verifies");
+    }
+
+    #[test]
+    fn reference_checksum_is_stable() {
+        let p = Params {
+            bytes_per_thread: 4096,
+            threads: 3,
+        };
+        assert_eq!(reference_checksum(&p), reference_checksum(&p));
+    }
+}

@@ -1,0 +1,309 @@
+//! The mandelbrot benchmark: escape-time iteration over an image.
+//!
+//! The paper's version renders 800×600. Per pixel the inner loop is
+//! almost pure single-precision arithmetic (two multiplies, an add, a
+//! compare per iteration) with a tiny working set: the SPE's strong
+//! suit, and the benchmark with the paper's best SPE speedup (9.4× on
+//! six SPEs). Workers compute disjoint row bands and write the
+//! iteration counts into a shared image array (disjoint regions), then
+//! publish a per-worker checksum.
+
+use hera_core::native::install_runtime;
+use hera_frontend::*;
+use hera_isa::{ElemTy, Program, ProgramBuilder, Ty};
+
+/// Mandelbrot parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Image width in pixels.
+    pub width: i32,
+    /// Image height in pixels.
+    pub height: i32,
+    /// Maximum escape iterations per pixel.
+    pub max_iter: i32,
+    /// Worker thread count.
+    pub threads: u32,
+}
+
+impl Params {
+    /// The paper's full size: 800×600.
+    pub fn paper(threads: u32) -> Params {
+        Params {
+            width: 800,
+            height: 600,
+            max_iter: 64,
+            threads,
+        }
+    }
+
+    /// Simulation-friendly size (`scale` ≈ 1.0 → 192×144).
+    pub fn scaled(threads: u32, scale: f64) -> Params {
+        let s = scale.max(0.05).sqrt();
+        Params {
+            width: ((192.0 * s) as i32).max(16),
+            height: ((144.0 * s) as i32).max(12),
+            max_iter: 64,
+            threads,
+        }
+    }
+}
+
+/// The viewport (fixed, matches the classic full-set view).
+const X0: f32 = -2.25;
+const X1: f32 = 0.75;
+const Y0: f32 = -1.25;
+const Y1: f32 = 1.25;
+
+/// Build the guest program.
+pub fn build_program(p: &Params) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let api = install_runtime(&mut pb);
+
+    let worker = pb.add_class("MandelWorker", Some(api.thread_class));
+    let f_y_from = pb.add_field(worker, "yFrom", Ty::Int);
+    let f_y_step = pb.add_field(worker, "yStep", Ty::Int);
+    let f_image = pb.add_field(worker, "image", Ty::Array(ElemTy::Int));
+    let f_sum = pb.add_field(worker, "sum", Ty::Int);
+
+    // int pixel(float cr, float ci, int maxIter) — the hot kernel.
+    let main_c = pb.add_class("Mandelbrot", None);
+    let pixel = declare_static(
+        &mut pb,
+        main_c,
+        "pixel",
+        vec![("cr", Ty::Float), ("ci", Ty::Float), ("maxIter", Ty::Int)],
+        Some(Ty::Int),
+    );
+    define(
+        &mut pb,
+        pixel,
+        vec![("cr", Ty::Float), ("ci", Ty::Float), ("maxIter", Ty::Int)],
+        vec![
+            Stmt::Let("zr".into(), f32c(0.0)),
+            Stmt::Let("zi".into(), f32c(0.0)),
+            Stmt::Let("iter".into(), i32c(0)),
+            Stmt::While(
+                andand(
+                    cmp_lt(local("iter"), local("maxIter")),
+                    cmp_le(
+                        add(
+                            mul(local("zr"), local("zr")),
+                            mul(local("zi"), local("zi")),
+                        ),
+                        f32c(4.0),
+                    ),
+                ),
+                vec![
+                    Stmt::Let(
+                        "t".into(),
+                        add(
+                            sub(
+                                mul(local("zr"), local("zr")),
+                                mul(local("zi"), local("zi")),
+                            ),
+                            local("cr"),
+                        ),
+                    ),
+                    Stmt::Assign(
+                        "zi".into(),
+                        add(
+                            mul(mul(f32c(2.0), local("zr")), local("zi")),
+                            local("ci"),
+                        ),
+                    ),
+                    Stmt::Assign("zr".into(), local("t")),
+                    Stmt::Assign("iter".into(), add(local("iter"), i32c(1))),
+                ],
+            ),
+            Stmt::Return(Some(local("iter"))),
+        ],
+    )
+    .expect("pixel compiles");
+
+    // Worker.run(): band of rows.
+    let run = declare_virtual(&mut pb, worker, "run", vec![], None);
+    define(
+        &mut pb,
+        run,
+        vec![("this", Ty::Ref(worker))],
+        vec![
+            Stmt::Let("img".into(), field(local("this"), f_image)),
+            Stmt::Let("sum".into(), i32c(0)),
+            Stmt::Let(
+                "dx".into(),
+                div(sub(f32c(X1), f32c(X0)), cast(Ty::Float, i32c(p.width))),
+            ),
+            Stmt::Let(
+                "dy".into(),
+                div(sub(f32c(Y1), f32c(Y0)), cast(Ty::Float, i32c(p.height))),
+            ),
+            // Striped rows (y, y+T, y+2T, …) so threads are load-balanced
+            // even though interior rows iterate far more than edge rows.
+            Stmt::For(
+                Box::new(Stmt::Let("y".into(), field(local("this"), f_y_from))),
+                cmp_lt(local("y"), i32c(p.height)),
+                Box::new(Stmt::Assign(
+                    "y".into(),
+                    add(local("y"), field(local("this"), f_y_step)),
+                )),
+                vec![
+                    Stmt::Let(
+                        "ci".into(),
+                        add(f32c(Y0), mul(cast(Ty::Float, local("y")), local("dy"))),
+                    ),
+                    for_range(
+                        "x",
+                        i32c(0),
+                        i32c(p.width),
+                        vec![
+                            Stmt::Let(
+                                "cr".into(),
+                                add(
+                                    f32c(X0),
+                                    mul(cast(Ty::Float, local("x")), local("dx")),
+                                ),
+                            ),
+                            Stmt::Let(
+                                "it".into(),
+                                call(
+                                    pixel,
+                                    vec![local("cr"), local("ci"), i32c(p.max_iter)],
+                                ),
+                            ),
+                            Stmt::SetIndex(
+                                local("img"),
+                                add(mul(local("y"), i32c(p.width)), local("x")),
+                                local("it"),
+                            ),
+                            Stmt::Assign("sum".into(), add(local("sum"), local("it"))),
+                        ],
+                    ),
+                ],
+            ),
+            Stmt::SetField(local("this"), f_sum, local("sum")),
+        ],
+    )
+    .expect("run compiles");
+
+    // Main: spawn workers over row bands, join, combine.
+    let main = declare_static(&mut pb, main_c, "main", vec![], Some(Ty::Int));
+    let threads = p.threads as i32;
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let(
+                "img".into(),
+                new_array(ElemTy::Int, i32c(p.width * p.height)),
+            ),
+            Stmt::Let("workers".into(), new_array(ElemTy::Ref, i32c(threads))),
+            Stmt::Let("tids".into(), new_array(ElemTy::Int, i32c(threads))),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Let("w".into(), Expr::New(worker)),
+                    Stmt::SetField(local("w"), f_y_from, local("i")),
+                    Stmt::SetField(local("w"), f_y_step, i32c(threads)),
+                    Stmt::SetField(local("w"), f_image, local("img")),
+                    Stmt::SetIndex(local("workers"), local("i"), local("w")),
+                    Stmt::SetIndex(
+                        local("tids"),
+                        local("i"),
+                        call(api.spawn, vec![local("w")]),
+                    ),
+                ],
+            ),
+            Stmt::Let("total".into(), i32c(0)),
+            for_range(
+                "j",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Expr(call(api.join, vec![index(local("tids"), local("j"))])),
+                    Stmt::Let(
+                        format!("w{}", "j"),
+                        cast(
+                            Ty::Ref(worker),
+                            index(local("workers"), local("j")),
+                        ),
+                    ),
+                    Stmt::Assign(
+                        "total".into(),
+                        add(local("total"), field(local("wj"), f_sum)),
+                    ),
+                ],
+            ),
+            Stmt::Return(Some(local("total"))),
+        ],
+    )
+    .expect("main compiles");
+
+    pb.finish_with_entry("Mandelbrot", "main")
+        .expect("program resolves")
+}
+
+/// Host reference: identical f32 arithmetic, identical iteration order.
+pub fn reference_checksum(p: &Params) -> i32 {
+    let dx = (X1 - X0) / p.width as f32;
+    let dy = (Y1 - Y0) / p.height as f32;
+    let mut total: i32 = 0;
+    for y in 0..p.height {
+        let ci = Y0 + y as f32 * dy;
+        for x in 0..p.width {
+            let cr = X0 + x as f32 * dx;
+            let (mut zr, mut zi) = (0f32, 0f32);
+            let mut iter = 0;
+            while iter < p.max_iter && zr * zr + zi * zi <= 4.0 {
+                let t = zr * zr - zi * zi + cr;
+                zi = 2.0 * zr * zi + ci;
+                zr = t;
+                iter += 1;
+            }
+            total = total.wrapping_add(iter);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builds_and_verifies() {
+        let p = Params {
+            width: 24,
+            height: 16,
+            max_iter: 16,
+            threads: 2,
+        };
+        let program = build_program(&p);
+        hera_isa::verify_program(&program).expect("verifies");
+    }
+
+    #[test]
+    fn reference_is_deterministic_and_nontrivial() {
+        let p = Params {
+            width: 32,
+            height: 24,
+            max_iter: 32,
+            threads: 1,
+        };
+        let a = reference_checksum(&p);
+        let b = reference_checksum(&p);
+        assert_eq!(a, b);
+        assert!(a > 32 * 24, "some pixels must iterate: {a}");
+    }
+
+    #[test]
+    fn scaled_params_grow_with_scale() {
+        let small = Params::scaled(1, 0.25);
+        let big = Params::scaled(1, 4.0);
+        assert!(big.width > small.width);
+        assert!(big.height > small.height);
+        assert_eq!(Params::paper(6).width, 800);
+    }
+}

@@ -1,0 +1,638 @@
+//! The mpegaudio benchmark: a polyphase synthesis filterbank decoder.
+//!
+//! Stands in for SPECjvm-2008 *mpegaudio*. The computational heart of an
+//! MPEG audio layer I/II decoder is reproduced faithfully in shape:
+//! per frame, 32 quantised subband samples are dequantised
+//! (scale-factor table lookups), matrixed through a 64×32 cosine bank
+//! into a 1024-entry sliding FIFO, and windowed with a 512-tap window to
+//! produce PCM — all single-precision multiply-accumulate. The hot
+//! methods are loop-unrolled (as real decoders are), giving the large
+//! *code* footprint that makes this the paper's code-cache-sensitive
+//! benchmark (Figure 7), while the data footprint (≈12 KB of read-only
+//! tables + 4 KB FIFO per thread) sits comfortably in the data cache
+//! (Figure 6's flat curve).
+//!
+//! The cosine/window/scale-factor tables are built *in-guest* by f32
+//! rotation recurrences whose seed constants are embedded as literals;
+//! the host reference replays the identical f32 arithmetic, so the
+//! checksum is bit-exact.
+
+use hera_core::native::install_runtime;
+use hera_frontend::*;
+use hera_isa::{ElemTy, Program, ProgramBuilder, Ty};
+use std::f64::consts::PI;
+
+/// MpegAudio parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Frames decoded per worker thread.
+    pub frames_per_thread: i32,
+    /// Worker thread count.
+    pub threads: u32,
+}
+
+impl Params {
+    /// Simulation-friendly size: `scale` sets the *total* frame count
+    /// (`scale` ≈ 1.0 → 360 frames), split evenly across threads.
+    pub fn scaled(threads: u32, scale: f64) -> Params {
+        Params {
+            frames_per_thread: ((360.0 * scale) as i32 / threads.max(1) as i32).max(2),
+            threads,
+        }
+    }
+}
+
+const LCG_A: i32 = 1103515245;
+const LCG_C: i32 = 12345;
+
+fn seed_for(thread: i32) -> i32 {
+    0x00C0_FFEE_u32
+        .wrapping_add(thread as u32)
+        .wrapping_mul(0x9E37_79B9) as i32
+}
+
+/// Per-row rotation constants for the cosine bank: row `i` covers
+/// angles (16+i)(2k+1)π/64 for k = 0..32.
+fn cos_row_constants(i: usize) -> (f32, f32, f32, f32) {
+    let start = (16 + i) as f64 * PI / 64.0;
+    let step = (16 + i) as f64 * PI / 32.0;
+    (
+        start.cos() as f32,
+        start.sin() as f32,
+        step.cos() as f32,
+        step.sin() as f32,
+    )
+}
+
+/// Window recurrence constants: sin(πj/512) rotation.
+fn win_constants() -> (f32, f32) {
+    let step = PI / 512.0;
+    (step.cos() as f32, step.sin() as f32)
+}
+
+/// Scale-factor growth constant: 2^(1/4).
+fn sf_step() -> f32 {
+    2f64.powf(0.25) as f32
+}
+
+/// Build the guest program.
+pub fn build_program(p: &Params) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let api = install_runtime(&mut pb);
+
+    // Shared read-only tables (static fields, built once by main).
+    let tables = pb.add_class("Tables", None);
+    let st_cos = pb.add_static_field(tables, "COS", Ty::Array(ElemTy::Float));
+    let st_win = pb.add_static_field(tables, "WIN", Ty::Array(ElemTy::Float));
+    let st_sf = pb.add_static_field(tables, "SF", Ty::Array(ElemTy::Float));
+
+    // void buildTables()
+    let build_tables = declare_static(&mut pb, tables, "buildTables", vec![], None);
+    {
+        let mut body: Vec<Stmt> = vec![
+            Stmt::Let("cos".into(), new_array(ElemTy::Float, i32c(64 * 32))),
+            Stmt::Let("win".into(), new_array(ElemTy::Float, i32c(512))),
+            Stmt::Let("sf".into(), new_array(ElemTy::Float, i32c(64))),
+            Stmt::Let("c".into(), f32c(0.0)),
+            Stmt::Let("s".into(), f32c(0.0)),
+            Stmt::Let("t".into(), f32c(0.0)),
+            Stmt::Let("k".into(), i32c(0)),
+        ];
+        // Cosine bank rows, each with its own embedded seed constants.
+        for i in 0..64usize {
+            let (c0, s0, cs, sn) = cos_row_constants(i);
+            body.push(Stmt::Assign("c".into(), f32c(c0)));
+            body.push(Stmt::Assign("s".into(), f32c(s0)));
+            body.push(Stmt::Assign("k".into(), i32c(0)));
+            body.push(Stmt::While(
+                cmp_lt(local("k"), i32c(32)),
+                vec![
+                    Stmt::SetIndex(
+                        local("cos"),
+                        add(i32c((i * 32) as i32), local("k")),
+                        local("c"),
+                    ),
+                    Stmt::Assign(
+                        "t".into(),
+                        sub(mul(local("c"), f32c(cs)), mul(local("s"), f32c(sn))),
+                    ),
+                    Stmt::Assign(
+                        "s".into(),
+                        add(mul(local("s"), f32c(cs)), mul(local("c"), f32c(sn))),
+                    ),
+                    Stmt::Assign("c".into(), local("t")),
+                    Stmt::Assign("k".into(), add(local("k"), i32c(1))),
+                ],
+            ));
+        }
+        // Window: D[j] = sin²(πj/512) / 128.
+        let (wc, ws) = win_constants();
+        body.push(Stmt::Assign("c".into(), f32c(1.0)));
+        body.push(Stmt::Assign("s".into(), f32c(0.0)));
+        body.push(Stmt::Assign("k".into(), i32c(0)));
+        body.push(Stmt::While(
+            cmp_lt(local("k"), i32c(512)),
+            vec![
+                Stmt::SetIndex(
+                    local("win"),
+                    local("k"),
+                    mul(mul(local("s"), local("s")), f32c(1.0 / 128.0)),
+                ),
+                Stmt::Assign(
+                    "t".into(),
+                    sub(mul(local("c"), f32c(wc)), mul(local("s"), f32c(ws))),
+                ),
+                Stmt::Assign(
+                    "s".into(),
+                    add(mul(local("s"), f32c(wc)), mul(local("c"), f32c(ws))),
+                ),
+                Stmt::Assign("c".into(), local("t")),
+                Stmt::Assign("k".into(), add(local("k"), i32c(1))),
+            ],
+        ));
+        // Scale factors: sf[j] = 2^(j/4) / 2^8, clamped growth.
+        body.push(Stmt::Let("acc".into(), f32c(1.0 / 256.0)));
+        body.push(Stmt::Assign("k".into(), i32c(0)));
+        body.push(Stmt::While(
+            cmp_lt(local("k"), i32c(64)),
+            vec![
+                Stmt::SetIndex(local("sf"), local("k"), local("acc")),
+                Stmt::Assign("acc".into(), mul(local("acc"), f32c(sf_step()))),
+                Stmt::Assign("k".into(), add(local("k"), i32c(1))),
+            ],
+        ));
+        body.push(Stmt::SetStatic(st_cos, local("cos")));
+        body.push(Stmt::SetStatic(st_win, local("win")));
+        body.push(Stmt::SetStatic(st_sf, local("sf")));
+        define(&mut pb, build_tables, vec![], body).expect("buildTables compiles");
+    }
+
+    let audio = pb.add_class("Audio", None);
+
+    // int dequant(int state, float[] samples) — one LCG draw per
+    // subband, scale-factor lookup, returns the advanced state.
+    let dequant = declare_static(
+        &mut pb,
+        audio,
+        "dequant",
+        vec![("state", Ty::Int), ("samples", Ty::Array(ElemTy::Float))],
+        Some(Ty::Int),
+    );
+    define(
+        &mut pb,
+        dequant,
+        vec![("state", Ty::Int), ("samples", Ty::Array(ElemTy::Float))],
+        vec![
+            Stmt::Let("sf".into(), static_(st_sf)),
+            Stmt::Let("sb".into(), i32c(0)),
+            Stmt::While(
+                cmp_lt(local("sb"), i32c(32)),
+                vec![
+                    Stmt::Assign(
+                        "state".into(),
+                        add(mul(local("state"), i32c(LCG_A)), i32c(LCG_C)),
+                    ),
+                    Stmt::Let(
+                        "q".into(),
+                        sub(
+                            band(ushr(local("state"), i32c(16)), i32c(0x7fff)),
+                            i32c(16384),
+                        ),
+                    ),
+                    Stmt::Let(
+                        "scale".into(),
+                        index(local("sf"), band(ushr(local("state"), i32c(8)), i32c(63))),
+                    ),
+                    Stmt::SetIndex(
+                        local("samples"),
+                        local("sb"),
+                        mul(
+                            mul(cast(Ty::Float, local("q")), f32c(1.0 / 16384.0)),
+                            local("scale"),
+                        ),
+                    ),
+                    Stmt::Assign("sb".into(), add(local("sb"), i32c(1))),
+                ],
+            ),
+            Stmt::Return(Some(local("state"))),
+        ],
+    )
+    .expect("dequant compiles");
+
+    // The matrixing MACs live in four *specialised helper methods*
+    // (dot0..dot3, identical unrolled 32-tap bodies), selected per
+    // output — mirroring how real decoders specialise hot kernels.
+    // The per-output call through the code cache is what makes
+    // mpegaudio the code-cache-sensitive benchmark: with 64 helper
+    // calls per frame cycling through ~40 KiB of unrolled code, a small
+    // code cache thrashes on every invoke/return (Figure 7).
+    let mut dots = Vec::new();
+    for v in 0..4 {
+        let name = format!("dot{v}");
+        let dot = declare_static(
+            &mut pb,
+            audio,
+            &name,
+            vec![("samples", Ty::Array(ElemTy::Float)), ("base", Ty::Int)],
+            Some(Ty::Float),
+        );
+        let mut body = vec![
+            Stmt::Let("cos".into(), static_(st_cos)),
+            Stmt::Let("acc".into(), f32c(0.0)),
+        ];
+        for k in 0..32 {
+            body.push(Stmt::Assign(
+                "acc".into(),
+                add(
+                    local("acc"),
+                    mul(
+                        index(local("cos"), add(local("base"), i32c(k))),
+                        index(local("samples"), i32c(k)),
+                    ),
+                ),
+            ));
+        }
+        body.push(Stmt::Return(Some(local("acc"))));
+        define(
+            &mut pb,
+            dot,
+            vec![("samples", Ty::Array(ElemTy::Float)), ("base", Ty::Int)],
+            body,
+        )
+        .expect("dot helper compiles");
+        dots.push(dot);
+    }
+
+    // void matrix(float[] samples, float[] fifo, int vpos) — drives the
+    // 64 outputs through the dot helpers.
+    let matrix = declare_static(
+        &mut pb,
+        audio,
+        "matrix",
+        vec![
+            ("samples", Ty::Array(ElemTy::Float)),
+            ("fifo", Ty::Array(ElemTy::Float)),
+            ("vpos", Ty::Int),
+        ],
+        None,
+    );
+    {
+        let pick = |d: usize| call(dots[d], vec![local("samples"), local("base")]);
+        let body = vec![
+            Stmt::Let("i".into(), i32c(0)),
+            Stmt::Let("base".into(), i32c(0)),
+            Stmt::Let("acc".into(), f32c(0.0)),
+            Stmt::While(
+                cmp_lt(local("i"), i32c(64)),
+                vec![
+                    Stmt::Assign("base".into(), mul(local("i"), i32c(32))),
+                    Stmt::If(
+                        cmp_eq(band(local("i"), i32c(3)), i32c(0)),
+                        vec![Stmt::Assign("acc".into(), pick(0))],
+                        vec![Stmt::If(
+                            cmp_eq(band(local("i"), i32c(3)), i32c(1)),
+                            vec![Stmt::Assign("acc".into(), pick(1))],
+                            vec![Stmt::If(
+                                cmp_eq(band(local("i"), i32c(3)), i32c(2)),
+                                vec![Stmt::Assign("acc".into(), pick(2))],
+                                vec![Stmt::Assign("acc".into(), pick(3))],
+                            )],
+                        )],
+                    ),
+                    Stmt::SetIndex(
+                        local("fifo"),
+                        band(add(local("vpos"), local("i")), i32c(1023)),
+                        local("acc"),
+                    ),
+                    Stmt::Assign("i".into(), add(local("i"), i32c(1))),
+                ],
+            ),
+        ];
+        define(
+            &mut pb,
+            matrix,
+            vec![
+                ("samples", Ty::Array(ElemTy::Float)),
+                ("fifo", Ty::Array(ElemTy::Float)),
+                ("vpos", Ty::Int),
+            ],
+            body,
+        )
+        .expect("matrix compiles");
+    }
+
+    // Two specialised windowing helpers (tap0/tap1), unrolled 16 taps.
+    let mut taps = Vec::new();
+    for v in 0..2 {
+        let name = format!("tap{v}");
+        let tap = declare_static(
+            &mut pb,
+            audio,
+            &name,
+            vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int), ("j", Ty::Int)],
+            Some(Ty::Float),
+        );
+        let mut body = vec![
+            Stmt::Let("win".into(), static_(st_win)),
+            Stmt::Let("acc".into(), f32c(0.0)),
+        ];
+        for m in 0..16 {
+            body.push(Stmt::Assign(
+                "acc".into(),
+                add(
+                    local("acc"),
+                    mul(
+                        index(
+                            local("fifo"),
+                            band(
+                                add(add(local("vpos"), local("j")), i32c(64 * m)),
+                                i32c(1023),
+                            ),
+                        ),
+                        index(local("win"), add(local("j"), i32c(32 * m))),
+                    ),
+                ),
+            ));
+        }
+        body.push(Stmt::Return(Some(local("acc"))));
+        define(
+            &mut pb,
+            tap,
+            vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int), ("j", Ty::Int)],
+            body,
+        )
+        .expect("tap helper compiles");
+        taps.push(tap);
+    }
+
+    // float window(float[] fifo, int vpos) — 32 PCM outputs via the tap
+    // helpers; returns the frame's PCM sum.
+    let window = declare_static(
+        &mut pb,
+        audio,
+        "window",
+        vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int)],
+        Some(Ty::Float),
+    );
+    {
+        let body = vec![
+            Stmt::Let("sum".into(), f32c(0.0)),
+            Stmt::Let("j".into(), i32c(0)),
+            Stmt::Let("acc".into(), f32c(0.0)),
+            Stmt::While(
+                cmp_lt(local("j"), i32c(32)),
+                vec![
+                    Stmt::If(
+                        cmp_eq(band(local("j"), i32c(1)), i32c(0)),
+                        vec![Stmt::Assign(
+                            "acc".into(),
+                            call(taps[0], vec![local("fifo"), local("vpos"), local("j")]),
+                        )],
+                        vec![Stmt::Assign(
+                            "acc".into(),
+                            call(taps[1], vec![local("fifo"), local("vpos"), local("j")]),
+                        )],
+                    ),
+                    Stmt::Assign("sum".into(), add(local("sum"), local("acc"))),
+                    Stmt::Assign("j".into(), add(local("j"), i32c(1))),
+                ],
+            ),
+            Stmt::Return(Some(local("sum"))),
+        ];
+        define(
+            &mut pb,
+            window,
+            vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int)],
+            body,
+        )
+        .expect("window compiles");
+    }
+
+    // Worker.
+    let worker = pb.add_class("AudioWorker", Some(api.thread_class));
+    let f_seed = pb.add_field(worker, "seed", Ty::Int);
+    let f_frames = pb.add_field(worker, "frames", Ty::Int);
+    let f_check = pb.add_field(worker, "check", Ty::Int);
+    let run = declare_virtual(&mut pb, worker, "run", vec![], None);
+    define(
+        &mut pb,
+        run,
+        vec![("this", Ty::Ref(worker))],
+        vec![
+            Stmt::Let("fifo".into(), new_array(ElemTy::Float, i32c(1024))),
+            Stmt::Let("samples".into(), new_array(ElemTy::Float, i32c(32))),
+            Stmt::Let("state".into(), field(local("this"), f_seed)),
+            Stmt::Let("vpos".into(), i32c(0)),
+            Stmt::Let("check".into(), i32c(0)),
+            for_range(
+                "fr",
+                i32c(0),
+                field(local("this"), f_frames),
+                vec![
+                    Stmt::Assign(
+                        "state".into(),
+                        call(dequant, vec![local("state"), local("samples")]),
+                    ),
+                    Stmt::Assign("vpos".into(), band(sub(local("vpos"), i32c(64)), i32c(1023))),
+                    Stmt::Expr(call(
+                        matrix,
+                        vec![local("samples"), local("fifo"), local("vpos")],
+                    )),
+                    Stmt::Let(
+                        "pcm".into(),
+                        call(window, vec![local("fifo"), local("vpos")]),
+                    ),
+                    Stmt::Assign(
+                        "check".into(),
+                        add(
+                            mul(local("check"), i32c(31)),
+                            cast(Ty::Int, mul(local("pcm"), f32c(256.0))),
+                        ),
+                    ),
+                ],
+            ),
+            Stmt::SetField(local("this"), f_check, local("check")),
+        ],
+    )
+    .expect("run compiles");
+
+    // Main.
+    let main = declare_static(&mut pb, audio, "main", vec![], Some(Ty::Int));
+    let threads = p.threads as i32;
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Expr(call(build_tables, vec![])),
+            Stmt::Let("workers".into(), new_array(ElemTy::Ref, i32c(threads))),
+            Stmt::Let("tids".into(), new_array(ElemTy::Int, i32c(threads))),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Let("w".into(), Expr::New(worker)),
+                    Stmt::SetField(local("w"), f_frames, i32c(p.frames_per_thread)),
+                    Stmt::SetField(
+                        local("w"),
+                        f_seed,
+                        mul(
+                            add(i32c(0x00C0_FFEE), local("i")),
+                            i32c(0x9E37_79B9_u32 as i32),
+                        ),
+                    ),
+                    Stmt::SetIndex(local("workers"), local("i"), local("w")),
+                    Stmt::SetIndex(
+                        local("tids"),
+                        local("i"),
+                        call(api.spawn, vec![local("w")]),
+                    ),
+                ],
+            ),
+            Stmt::Let("total".into(), i32c(0)),
+            for_range(
+                "j",
+                i32c(0),
+                i32c(threads),
+                vec![
+                    Stmt::Expr(call(api.join, vec![index(local("tids"), local("j"))])),
+                    Stmt::Let(
+                        "wj".into(),
+                        cast(Ty::Ref(worker), index(local("workers"), local("j"))),
+                    ),
+                    Stmt::Assign(
+                        "total".into(),
+                        bxor(
+                            mul(local("total"), i32c(7)),
+                            field(local("wj"), f_check),
+                        ),
+                    ),
+                ],
+            ),
+            Stmt::Return(Some(local("total"))),
+        ],
+    )
+    .expect("main compiles");
+
+    pb.finish_with_entry("Audio", "main").expect("resolves")
+}
+
+// ---- host reference (identical f32 arithmetic, identical order) ----
+
+fn host_tables() -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut cos = vec![0f32; 64 * 32];
+    for i in 0..64 {
+        let (mut c, mut s, cs, sn) = cos_row_constants(i);
+        for k in 0..32 {
+            cos[i * 32 + k] = c;
+            let t = c * cs - s * sn;
+            s = s * cs + c * sn;
+            c = t;
+        }
+    }
+    let mut win = vec![0f32; 512];
+    let (wc, ws) = win_constants();
+    let (mut c, mut s) = (1f32, 0f32);
+    for slot in win.iter_mut() {
+        *slot = s * s * (1.0 / 128.0);
+        let t = c * wc - s * ws;
+        s = s * wc + c * ws;
+        c = t;
+    }
+    let mut sf = vec![0f32; 64];
+    let mut acc = 1f32 / 256.0;
+    for slot in sf.iter_mut() {
+        *slot = acc;
+        acc *= sf_step();
+    }
+    (cos, win, sf)
+}
+
+/// Host reference checksum replicating the guest bit-for-bit.
+pub fn reference_checksum(p: &Params) -> i32 {
+    let (cos, win, sf) = host_tables();
+    let mut total: i32 = 0;
+    for t in 0..p.threads as i32 {
+        let mut state = seed_for(t);
+        let mut fifo = vec![0f32; 1024];
+        let mut samples = [0f32; 32];
+        let mut vpos: i32 = 0;
+        let mut check: i32 = 0;
+        for _ in 0..p.frames_per_thread {
+            // dequant
+            for slot in samples.iter_mut() {
+                state = state.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+                let q = (((state as u32) >> 16) as i32 & 0x7fff) - 16384;
+                let scale = sf[(((state as u32) >> 8) & 63) as usize];
+                *slot = q as f32 * (1.0 / 16384.0) * scale;
+            }
+            vpos = (vpos - 64) & 1023;
+            // matrix
+            for i in 0..64 {
+                let base = i * 32;
+                let mut acc = 0f32;
+                for (k, &smp) in samples.iter().enumerate() {
+                    acc += cos[base + k] * smp;
+                }
+                fifo[((vpos + i as i32) & 1023) as usize] = acc;
+            }
+            // window
+            let mut sum = 0f32;
+            for j in 0..32i32 {
+                let mut acc = 0f32;
+                for m in 0..16i32 {
+                    acc += fifo[((vpos + j + 64 * m) & 1023) as usize]
+                        * win[(j + 32 * m) as usize];
+                }
+                sum += acc;
+            }
+            check = check.wrapping_mul(31).wrapping_add((sum * 256.0) as i32);
+        }
+        total = total.wrapping_mul(7) ^ check;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builds_and_verifies() {
+        let p = Params {
+            frames_per_thread: 2,
+            threads: 2,
+        };
+        let program = build_program(&p);
+        hera_isa::verify_program(&program).expect("verifies");
+    }
+
+    #[test]
+    fn host_tables_look_sane() {
+        let (cos, win, sf) = host_tables();
+        // Cosine bank entries stay in [-1, 1] (allowing f32 drift).
+        assert!(cos.iter().all(|&v| v.abs() <= 1.0001));
+        // First row, first entry: cos(16π/64) = cos(π/4).
+        assert!((cos[0] - (PI / 4.0).cos() as f32).abs() < 1e-5);
+        // Window is nonnegative, peaks mid-table.
+        assert!(win.iter().all(|&v| v >= 0.0));
+        assert!(win[256] > win[10]);
+        // Scale factors grow by 2^(1/4).
+        assert!((sf[4] / sf[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reference_checksum_is_stable_and_thread_dependent() {
+        let p1 = Params {
+            frames_per_thread: 8,
+            threads: 2,
+        };
+        assert_eq!(reference_checksum(&p1), reference_checksum(&p1));
+        let p2 = Params {
+            frames_per_thread: 8,
+            threads: 3,
+        };
+        assert_ne!(reference_checksum(&p1), reference_checksum(&p2));
+    }
+}
