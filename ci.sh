@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# The full local gate, identical to .github/workflows/ci.yml.
+# Runs entirely offline: the workspace has no external dependencies
+# (proptest/criterion extras are feature-gated off; see Cargo.toml).
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace

@@ -1,9 +1,9 @@
 //! Criterion wrappers for the ablation/extension experiments (E6–E9).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hera_bench::{ablate_jit, mixed_program, placement_comparison, run_workload, spe_config};
 use hera_workloads::Workload;
+use std::time::Duration;
 
 fn ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
@@ -16,7 +16,9 @@ fn ablations(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = spe_config(6);
                 cfg.array_block_bytes = block;
-                run_workload(Workload::Compress, 6, 0.1, cfg).stats.wall_cycles
+                run_workload(Workload::Compress, 6, 0.1, cfg)
+                    .stats
+                    .wall_cycles
             })
         });
     }
@@ -27,7 +29,9 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| placement_comparison(0.1))
     });
     // Program construction itself (compiler front-end cost).
-    g.bench_function("mixed-program-build", |b| b.iter(|| mixed_program(0.1, true)));
+    g.bench_function("mixed-program-build", |b| {
+        b.iter(|| mixed_program(0.1, true))
+    });
     g.finish();
 }
 

@@ -5,9 +5,9 @@
 //! regenerating it, guarding against simulator performance regressions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hera_bench::{ppe_config, run_workload, spe_config};
 use hera_workloads::Workload;
+use std::time::Duration;
 
 const SCALE: f64 = 0.1;
 

@@ -2,17 +2,15 @@
 //! by operation class).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hera_bench::figure5;
+use std::time::Duration;
 
 fn fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(2));
-    g.bench_function("breakdown-all-benchmarks", |b| {
-        b.iter(|| figure5(0.1))
-    });
+    g.bench_function("breakdown-all-benchmarks", |b| b.iter(|| figure5(0.1)));
     g.finish();
 }
 

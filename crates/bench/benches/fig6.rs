@@ -3,9 +3,9 @@
 //! full 14-point sweep (use the `figures` binary for the full curve).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hera_bench::{run_workload, spe_config};
 use hera_workloads::Workload;
+use std::time::Duration;
 
 fn fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");

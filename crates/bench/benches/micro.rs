@@ -2,11 +2,11 @@
 //! caches, the JIT, and the verifier — per-component regression guards.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hera_cell::{CellConfig, CellMachine, CoreId, CoreKind};
 use hera_isa::{ProgramBuilder, Ty};
 use hera_mem::{Heap, HeapConfig, ProgramLayout};
 use hera_softcache::{CodeCache, DataCache};
+use std::time::Duration;
 
 fn micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro");
@@ -24,23 +24,51 @@ fn micro(c: &mut Criterion) {
         pb.add_field(cl, "x", Ty::Int);
         let p = pb.finish().unwrap();
         let layout = ProgramLayout::compute(&p);
-        let mut heap = Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size);
+        let mut heap = Heap::new(
+            HeapConfig {
+                size_bytes: 1 << 20,
+            },
+            layout.statics.size,
+        );
         let mut machine = CellMachine::new(CellConfig::default());
         let r = heap.alloc_object(&layout, cl).unwrap();
         let size = layout.object_size(cl);
         let mut dc = DataCache::new(32 << 10);
-        dc.read(&mut heap, &mut machine, CoreId::Spe(0), r.0, size, 8, Ty::Int)
-            .unwrap();
+        dc.read(
+            &mut heap,
+            &mut machine,
+            CoreId::Spe(0),
+            r.0,
+            size,
+            8,
+            Ty::Int,
+        )
+        .unwrap();
         b.iter(|| {
-            dc.read(&mut heap, &mut machine, CoreId::Spe(0), r.0, size, 8, Ty::Int)
-                .unwrap()
+            dc.read(
+                &mut heap,
+                &mut machine,
+                CoreId::Spe(0),
+                r.0,
+                size,
+                8,
+                Ty::Int,
+            )
+            .unwrap()
         })
     });
 
     g.bench_function("code-cache-warm-lookup", |b| {
         let mut machine = CellMachine::new(CellConfig::default());
         let mut cc = CodeCache::new(64 << 10);
-        cc.lookup(&mut machine, CoreId::Spe(0), hera_isa::ClassId(0), 64, hera_isa::MethodId(0), 512);
+        cc.lookup(
+            &mut machine,
+            CoreId::Spe(0),
+            hera_isa::ClassId(0),
+            64,
+            hera_isa::MethodId(0),
+            512,
+        );
         b.iter(|| {
             cc.lookup(
                 &mut machine,
@@ -50,6 +78,33 @@ fn micro(c: &mut Criterion) {
                 hera_isa::MethodId(0),
                 512,
             )
+        })
+    });
+
+    // The tracing hooks must be free when disabled: the only cost on
+    // this path is one predicted branch per hook, so `dma-1k` (above,
+    // trace off) and these two must agree to well under 1%.
+    g.bench_function("dma-1k-trace-off-explicit", |b| {
+        let mut m = CellMachine::new(CellConfig {
+            trace: false,
+            ..CellConfig::default()
+        });
+        b.iter(|| m.dma(CoreId::Spe(0), 1024))
+    });
+    g.bench_function("run-mandelbrot-trace-off", |b| {
+        let (program, _) = hera_workloads::Workload::Mandelbrot.build(1, 0.02);
+        let cfg = hera_core::VmConfig::pinned_spe(1);
+        b.iter(|| {
+            let vm = hera_core::HeraJvm::new(program.clone(), cfg).unwrap();
+            vm.run().unwrap().stats.wall_cycles
+        })
+    });
+    g.bench_function("run-mandelbrot-trace-on", |b| {
+        let (program, _) = hera_workloads::Workload::Mandelbrot.build(1, 0.02);
+        let cfg = hera_core::VmConfig::pinned_spe(1).with_tracing();
+        b.iter(|| {
+            let vm = hera_core::HeraJvm::new(program.clone(), cfg).unwrap();
+            vm.run().unwrap().stats.wall_cycles
         })
     });
 

@@ -7,6 +7,7 @@
 //! EXPERIMENT: all | fig4a | fig4b | fig5 | fig6 | fig7
 //!           | ablate-data | ablate-jit | adaptive-cache | placement
 //!           | cellvm-sync
+//!           | trace [WORKLOAD]   (emit a Chrome/Perfetto trace + summary)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -18,6 +19,7 @@ use hera_bench as xb;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
+    let mut workload = "mandelbrot".to_string();
     let mut scale = xb::DEFAULT_SCALE;
     let mut i = 0;
     while i < args.len() {
@@ -29,9 +31,20 @@ fn main() {
                     .unwrap_or(scale);
                 i += 1;
             }
-            other => which = other.to_string(),
+            other => {
+                if which == "trace" {
+                    workload = other.to_string();
+                } else {
+                    which = other.to_string();
+                }
+            }
         }
         i += 1;
+    }
+
+    if which == "trace" {
+        trace_workload(&workload, scale);
+        return;
     }
 
     let all = which == "all";
@@ -70,6 +83,36 @@ fn main() {
 fn header(title: &str) {
     println!();
     println!("== {title} ==");
+}
+
+fn trace_workload(name: &str, scale: f64) {
+    let Some(w) = hera_workloads::Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.name() == name)
+    else {
+        eprintln!("unknown workload '{name}' (expected: compress | mpegaudio | mandelbrot)");
+        std::process::exit(2);
+    };
+    header(&format!(
+        "hera-trace: {} on 6 pinned SPEs (virtual-time event trace)",
+        w.name()
+    ));
+    let (out, names) = xb::trace_workload(w, 6, scale, xb::spe_config(6));
+    let json = hera_trace::chrome_trace_json_with(&out.trace, &|m| {
+        names
+            .get(m as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("m{m}"))
+    });
+    let path = format!("trace_{}.json", w.name());
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    print!("{}", hera_trace::text_summary(&out.trace));
+    println!();
+    println!(
+        "wrote {path} ({} bytes) — open in chrome://tracing or https://ui.perfetto.dev",
+        json.len()
+    );
 }
 
 fn fig4a(scale: f64) {

@@ -11,7 +11,7 @@ pub const DEFAULT_SCALE: f64 = 1.0;
 /// Threads per configuration follow the SPEC harness convention: one
 /// worker per core in use, with the *total* work held fixed (the
 /// workloads split `scale`-determined totals across their threads).
-
+///
 /// Run one workload under one configuration, asserting the checksum
 /// against the host reference (every measurement is also a correctness
 /// test).
@@ -27,6 +27,29 @@ pub fn run_workload(w: Workload, threads: u32, scale: f64, cfg: VmConfig) -> Run
         w.name()
     );
     out
+}
+
+/// Run one workload with the hera-trace sink enabled (on top of `cfg`),
+/// returning the outcome — whose `trace` field holds the per-core event
+/// lanes — plus a method-id → name table for symbolising exports.
+pub fn trace_workload(
+    w: Workload,
+    threads: u32,
+    scale: f64,
+    cfg: VmConfig,
+) -> (RunOutcome, Vec<String>) {
+    let (program, expected) = w.build(threads, scale);
+    let names: Vec<String> = program.methods.iter().map(|m| m.name.clone()).collect();
+    let vm = HeraJvm::new(program, cfg.with_tracing()).expect("program constructs");
+    let out = vm.run().expect("run succeeds");
+    assert!(out.is_clean(), "{}: traps {:?}", w.name(), out.traps);
+    assert_eq!(
+        out.result,
+        Some(Value::I32(expected)),
+        "{} checksum mismatch",
+        w.name()
+    );
+    (out, names)
 }
 
 fn base_config() -> VmConfig {
@@ -131,7 +154,10 @@ pub fn figure4b(scale: f64) -> Vec<Fig4bSeries> {
                     base as f64 / c as f64
                 })
                 .collect();
-            Fig4bSeries { workload: w, speedup }
+            Fig4bSeries {
+                workload: w,
+                speedup,
+            }
         })
         .collect()
 }
@@ -228,7 +254,10 @@ fn cache_sweep(scale: f64, sizes: &[u32], sweep_data: bool) -> Vec<SweepSeries> 
             for p in &mut points {
                 p.perf_rel = base / p.cycles as f64;
             }
-            SweepSeries { workload: w, points }
+            SweepSeries {
+                workload: w,
+                points,
+            }
         })
         .collect()
 }
@@ -312,24 +341,25 @@ pub fn ablate_jit(scale: f64) -> JitAblation {
 
 // ---------------------------------------------------------------- E8
 
+/// One E8 row: the workload, `(data_kb, cycles)` per split, and the
+/// fixed-default cycles.
+pub type CacheSplitRow = (Workload, Vec<(u32, u64)>, u64);
+
 /// E8 extension: sweep the 192 KiB cache budget split between data and
 /// code (the paper's "adaptive sizing of the code and data caches would
 /// likely benefit many applications"). Returns `(data_kb, cycles)`
 /// per split per workload, plus the fixed-default cycles.
-pub fn adaptive_cache_split(scale: f64) -> Vec<(Workload, Vec<(u32, u64)>, u64)> {
+pub fn adaptive_cache_split(scale: f64) -> Vec<CacheSplitRow> {
     let budget_kb = 104 + 88;
     Workload::ALL
         .iter()
         .map(|&w| {
-            let fixed = run_workload(w, 6, scale, spe_config(6))
-                .stats
-                .wall_cycles;
+            let fixed = run_workload(w, 6, scale, spe_config(6)).stats.wall_cycles;
             let splits: Vec<(u32, u64)> = (1..budget_kb / 8)
                 .map(|i| {
                     let data_kb = i * 8;
                     let code_kb = budget_kb - data_kb;
-                    let cfg =
-                        spe_config(6).with_cache_sizes(data_kb << 10, code_kb << 10);
+                    let cfg = spe_config(6).with_cache_sizes(data_kb << 10, code_kb << 10);
                     let cycles = run_workload(w, 6, scale, cfg).stats.wall_cycles;
                     (data_kb, cycles)
                 })
@@ -431,14 +461,17 @@ pub fn mixed_program(scale: f64, annotated: bool) -> (hera_isa::Program, i32) {
         vec![],
         vec![
             // FP phase.
-            Stmt::Let("x".into(), f32c(0.6180339887)),
+            Stmt::Let("x".into(), f32c(0.618_034)),
             for_range(
                 "c",
                 i32c(0),
                 i32c(fp_chunks),
                 vec![Stmt::Assign("x".into(), call(fp_chunk, vec![local("x")]))],
             ),
-            Stmt::Let("fpRes".into(), cast(Ty::Int, mul(local("x"), f32c(65536.0)))),
+            Stmt::Let(
+                "fpRes".into(),
+                cast(Ty::Int, mul(local("x"), f32c(65536.0))),
+            ),
             // Memory phase: permutation walk.
             Stmt::Let("a".into(), new_array(ElemTy::Int, i32c(mem_n))),
             // a[i] = 40503·(i+1) mod n, built with a running sum so the
@@ -450,10 +483,7 @@ pub fn mixed_program(scale: f64, annotated: bool) -> (hera_isa::Program, i32) {
                 i32c(0),
                 i32c(mem_n),
                 vec![
-                    Stmt::Assign(
-                        "v".into(),
-                        rem(add(local("v"), i32c(40503)), i32c(mem_n)),
-                    ),
+                    Stmt::Assign("v".into(), rem(add(local("v"), i32c(40503)), i32c(mem_n))),
                     Stmt::SetIndex(local("a"), local("i"), local("v")),
                 ],
             ),
@@ -474,7 +504,7 @@ pub fn mixed_program(scale: f64, annotated: bool) -> (hera_isa::Program, i32) {
     let program = pb.finish_with_entry("Mixed", "main").expect("resolves");
 
     // Host reference (identical arithmetic and iteration order).
-    let mut x = 0.6180339887f32;
+    let mut x = 0.618_034_f32;
     for _ in 0..fp_chunks * CHUNK {
         x = 3.58 * x * (1.0 - x);
     }
@@ -574,11 +604,7 @@ pub fn sync_program(threads: i32, reps: i32) -> (hera_isa::Program, i32) {
                 vec![
                     Stmt::Let("w".into(), Expr::New(worker)),
                     Stmt::SetField(local("w"), fshared, local("s")),
-                    Stmt::SetIndex(
-                        local("tids"),
-                        local("i"),
-                        call(api.spawn, vec![local("w")]),
-                    ),
+                    Stmt::SetIndex(local("tids"), local("i"), call(api.spawn, vec![local("w")])),
                 ],
             ),
             for_range(

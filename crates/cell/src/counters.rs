@@ -137,6 +137,24 @@ impl CycleBreakdown {
         }
         out
     }
+
+    /// Snapshot this breakdown into a metrics registry under
+    /// `<prefix>.cycles.<class>` / `<prefix>.ops.<class>` counters, the
+    /// shared counting substrate the trace exporters render.
+    pub fn fill_metrics(&self, prefix: &str, reg: &mut hera_trace::MetricsRegistry) {
+        for c in OpClass::ALL {
+            let slug = match c {
+                OpClass::FloatingPoint => "fp",
+                OpClass::Integer => "int",
+                OpClass::Branch => "branch",
+                OpClass::Stack => "stack",
+                OpClass::LocalMemory => "local_mem",
+                OpClass::MainMemory => "main_mem",
+            };
+            reg.set(&format!("{prefix}.cycles.{slug}"), self.cycles(c));
+            reg.set(&format!("{prefix}.ops.{slug}"), self.ops(c));
+        }
+    }
 }
 
 impl Add for CycleBreakdown {

@@ -132,8 +132,8 @@ mod tests {
         // Spill lands in window 1: a request there queues behind it.
         let g = eib.request(2048 + 10, 64, 1024);
         assert_eq!(g.queue_cycles, 0); // window 1 had no *own* traffic yet? spill counts
-        // The spill from window 0 was zero (2048 fits exactly), so no
-        // queueing; now saturate window 1 and observe the spill.
+                                       // The spill from window 0 was zero (2048 fits exactly), so no
+                                       // queueing; now saturate window 1 and observe the spill.
         let mut eib = Eib::new();
         eib.request(0, 3000, 48000); // 2048 in w0, 952 spills to w1
         let g = eib.request(2100, 64, 1024);

@@ -5,6 +5,7 @@ use crate::counters::{CycleBreakdown, OpClass};
 use crate::eib::Eib;
 use crate::hwcache::{HwCache, HwCacheParams};
 use crate::spe::{LocalStore, StorePartition};
+use hera_trace::{DmaTag, TraceEvent, TraceSink};
 
 /// The two core kinds on the Cell.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -66,6 +67,10 @@ pub struct CellConfig {
     pub cost: CostModel,
     /// PPE hardware cache parameters.
     pub hwcache: HwCacheParams,
+    /// Record a virtual-time event trace (hera-trace). Off by default;
+    /// tracing observes but never charges virtual cycles, so enabling it
+    /// cannot change simulated time.
+    pub trace: bool,
 }
 
 impl Default for CellConfig {
@@ -76,6 +81,7 @@ impl Default for CellConfig {
             partition: StorePartition::default(),
             cost: CostModel::cell_defaults(),
             hwcache: HwCacheParams::default(),
+            trace: false,
         }
     }
 }
@@ -93,12 +99,23 @@ pub struct CellMachine {
     /// PPE L1/L2 model.
     pub ppe_cache: HwCache,
     local_stores: Vec<LocalStore>,
+    /// Virtual-time event lanes (lane 0 = PPE, 1+n = SPE n). Disabled (and
+    /// empty) unless `CellConfig::trace` was set.
+    pub trace: TraceSink,
 }
 
 impl CellMachine {
     /// Build a machine from configuration.
     pub fn new(config: CellConfig) -> CellMachine {
         let cores = 1 + config.num_spes as usize;
+        let trace = if config.trace {
+            TraceSink::with_lanes(
+                std::iter::once(String::from("PPE"))
+                    .chain((0..config.num_spes).map(|n| format!("SPE{n}"))),
+            )
+        } else {
+            TraceSink::disabled()
+        };
         CellMachine {
             clocks: vec![0; cores],
             breakdowns: vec![CycleBreakdown::new(); cores],
@@ -107,6 +124,7 @@ impl CellMachine {
             local_stores: (0..config.num_spes)
                 .map(|_| LocalStore::new(config.local_store_bytes, config.partition))
                 .collect(),
+            trace,
             config,
         }
     }
@@ -128,6 +146,23 @@ impl CellMachine {
                 debug_assert!((n as usize) < self.local_stores.len(), "no such SPE {n}");
                 1 + n as usize
             }
+        }
+    }
+
+    /// Trace-lane index of a core (0 = PPE, 1+n = SPE n).
+    #[inline]
+    pub fn lane(&self, core: CoreId) -> usize {
+        self.idx(core)
+    }
+
+    /// Record a trace event on `core`'s lane, stamped with that core's
+    /// current virtual clock. One branch when tracing is off; never charges
+    /// cycles.
+    #[inline]
+    pub fn emit(&mut self, core: CoreId, event: TraceEvent) {
+        if self.trace.is_enabled() {
+            let i = self.idx(core);
+            self.trace.emit(i, self.clocks[i], event);
         }
     }
 
@@ -193,13 +228,50 @@ impl CellMachine {
     /// latency + (queueing + transfer) on the shared channel. All of it
     /// is main-memory time. Returns the total cycles the SPE stalled.
     pub fn dma(&mut self, core: CoreId, bytes: u32) -> u64 {
+        self.dma_tagged(core, bytes, DmaTag::Other)
+    }
+
+    /// [`CellMachine::dma`] with a trace tag saying why the transfer was
+    /// issued (cache fill, write-back, code load, bypass).
+    pub fn dma_tagged(&mut self, core: CoreId, bytes: u32, tag: DmaTag) -> u64 {
         debug_assert_eq!(core.kind(), CoreKind::Spe, "DMA from non-SPE core");
         let dma = self.config.cost.dma;
         let now = self.now(core);
         let transfer = dma.transfer_cycles(bytes);
-        let grant = self.eib.request(now + dma.setup_cycles as u64, transfer, bytes as u64);
+        let grant = self
+            .eib
+            .request(now + dma.setup_cycles as u64, transfer, bytes as u64);
         let total = dma.setup_cycles as u64 + dma.latency_cycles as u64 + grant.total();
         let i = self.idx(core);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                i,
+                now,
+                TraceEvent::Dma {
+                    tag,
+                    bytes,
+                    queue_cycles: grant.queue_cycles,
+                    transfer_cycles: grant.transfer_cycles,
+                },
+            );
+            if grant.queue_cycles > 0 {
+                self.trace.emit(
+                    i,
+                    now,
+                    TraceEvent::EibStall {
+                        cycles: grant.queue_cycles,
+                    },
+                );
+            }
+            self.trace.metrics.add("dma.transfers", 1);
+            self.trace
+                .metrics
+                .add(&format!("dma.bytes.{}", tag.label()), bytes as u64);
+            self.trace.metrics.record("dma.bytes", bytes as u64);
+            self.trace
+                .metrics
+                .record("dma.queue_cycles", grant.queue_cycles);
+        }
         self.clocks[i] += total;
         self.breakdowns[i].charge(OpClass::MainMemory, total);
         total
@@ -305,10 +377,7 @@ mod tests {
         assert_eq!(m.now(CoreId::Spe(0)), 500);
         m.wait_until(CoreId::Spe(0), 900, OpClass::MainMemory);
         assert_eq!(m.now(CoreId::Spe(0)), 900);
-        assert_eq!(
-            m.breakdown(CoreId::Spe(0)).cycles(OpClass::MainMemory),
-            400
-        );
+        assert_eq!(m.breakdown(CoreId::Spe(0)).cycles(OpClass::MainMemory), 400);
     }
 
     #[test]

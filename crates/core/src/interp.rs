@@ -17,6 +17,7 @@ use hera_isa::class::NativeKind;
 use hera_isa::{ClassId, MethodId, ObjRef, Trap, Ty, Value};
 use hera_jit::{BranchKind, MachineOp};
 use hera_mem::Heap;
+use hera_trace::{MigrationKind, TraceEvent};
 
 /// Control-flow outcome of one op.
 enum Flow {
@@ -44,7 +45,10 @@ fn frame<'a>(w: &'a mut World<'_>, t: usize) -> &'a mut Frame {
 
 #[inline]
 fn pop(w: &mut World<'_>, t: usize) -> Value {
-    frame(w, t).stack.pop().expect("verified stack is non-empty")
+    frame(w, t)
+        .stack
+        .pop()
+        .expect("verified stack is non-empty")
 }
 
 #[inline]
@@ -73,6 +77,21 @@ fn spe_of(core: CoreId) -> Option<usize> {
 pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, VmError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
+
+    // Deferred migration-arrival trace event: emitted here, after the
+    // scheduler has advanced this core past the thread's availability
+    // time, so the arrival carries the target core's own clock.
+    if let Some((from, kind)) = w.threads[t].pending_migrate_in.take() {
+        let from_lane = w.machine.lane(from) as u32;
+        w.machine.emit(
+            core,
+            TraceEvent::MigrateIn {
+                kind,
+                from_lane,
+                thread: tid.0,
+            },
+        );
+    }
 
     // Deferred JMM acquire (monitor handed over while blocked).
     if let Some(_obj) = w.threads[t].pending_acquire_barrier.take() {
@@ -334,45 +353,65 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
         }
 
         // ---- PPE direct heap access ----
-        GetFieldDirect { offset, ty, volatile } => {
+        GetFieldDirect {
+            offset,
+            ty,
+            volatile,
+        } => {
             w.machine.exec(core, ExecOp::Check);
             let r = pop_ref_checked(w, t)?;
             let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
             mem_monitor(w, t, cycles);
             if volatile {
-                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                w.machine
+                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
             }
             let v = w.heap.read_typed(r.0 + offset, ty);
             push(w, t, v);
         }
-        PutFieldDirect { offset, ty, volatile } => {
+        PutFieldDirect {
+            offset,
+            ty,
+            volatile,
+        } => {
             w.machine.exec(core, ExecOp::Check);
             let v = pop(w, t);
             let r = pop_ref_checked(w, t)?;
             let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
             mem_monitor(w, t, cycles);
             if volatile {
-                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                w.machine
+                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
             }
             w.heap.write_typed(r.0 + offset, ty, v);
         }
-        GetStaticDirect { offset, ty, volatile } => {
+        GetStaticDirect {
+            offset,
+            ty,
+            volatile,
+        } => {
             let addr = Heap::STATICS_BASE + offset;
             let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
             mem_monitor(w, t, cycles);
             if volatile {
-                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                w.machine
+                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
             }
             let v = w.heap.read_typed(addr, ty);
             push(w, t, v);
         }
-        PutStaticDirect { offset, ty, volatile } => {
+        PutStaticDirect {
+            offset,
+            ty,
+            volatile,
+        } => {
             let addr = Heap::STATICS_BASE + offset;
             let v = pop(w, t);
             let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
             mem_monitor(w, t, cycles);
             if volatile {
-                w.machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                w.machine
+                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
             }
             w.heap.write_typed(addr, ty, v);
         }
@@ -409,7 +448,11 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
         }
 
         // ---- SPE software-cached heap access ----
-        GetFieldCached { offset, ty, volatile } => {
+        GetFieldCached {
+            offset,
+            ty,
+            volatile,
+        } => {
             w.machine.exec(core, ExecOp::Check);
             let r = pop_ref_checked(w, t)?;
             let spe = spe_of(core).expect("cached op on SPE");
@@ -421,7 +464,11 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
             let v = spe_read(w, t, spe, core, r.0, size, offset, ty)?;
             push(w, t, v);
         }
-        PutFieldCached { offset, ty, volatile } => {
+        PutFieldCached {
+            offset,
+            ty,
+            volatile,
+        } => {
             w.machine.exec(core, ExecOp::Check);
             let v = pop(w, t);
             let r = pop_ref_checked(w, t)?;
@@ -433,7 +480,11 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                 data_cache_flush(w, spe, core)?;
             }
         }
-        GetStaticCached { offset, ty, volatile } => {
+        GetStaticCached {
+            offset,
+            ty,
+            volatile,
+        } => {
             let spe = spe_of(core).expect("cached op on SPE");
             if volatile {
                 data_cache_purge(w, spe, core)?;
@@ -443,7 +494,11 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
             let v = spe_read(w, t, spe, core, unit, len, offset, ty)?;
             push(w, t, v);
         }
-        PutStaticCached { offset, ty, volatile } => {
+        PutStaticCached {
+            offset,
+            ty,
+            volatile,
+        } => {
             let v = pop(w, t);
             let spe = spe_of(core).expect("cached op on SPE");
             let unit = Heap::STATICS_BASE;
@@ -497,16 +552,13 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
             let class = match w.heap.header(recv).kind {
                 hera_mem::HeapKind::Object(c) => c,
                 hera_mem::HeapKind::Array(_, _) => {
-                    return Err(Trap::NativeError(
-                        "virtual call on array receiver".into(),
-                    )
-                    .into())
+                    return Err(Trap::NativeError("virtual call on array receiver".into()).into())
                 }
             };
             match spe_of(core) {
                 None => {
                     let cycles = w.machine.ppe_mem_access(recv.0, 4);
-            mem_monitor(w, t, cycles);
+                    mem_monitor(w, t, cycles);
                 }
                 Some(spe) => {
                     // The header word comes through the data cache.
@@ -547,6 +599,8 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                     // Timed mutual exclusion: wait out a hold that ended
                     // later in virtual time on another core.
                     w.machine.wait_until(core, start, OpClass::MainMemory);
+                    w.machine
+                        .emit(core, TraceEvent::MonitorAcquire { obj: r.0 });
                     w.threads[t].held_monitors += 1;
                     if let Some(spe) = spe_of(core) {
                         // JMM acquire.
@@ -554,6 +608,8 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                     }
                 }
                 (crate::monitor::AcquireResult::Blocked, _) => {
+                    w.machine
+                        .emit(core, TraceEvent::MonitorContended { obj: r.0 });
                     w.threads[t].held_monitors += 1; // will own on wake
                     w.block(tid, BlockReason::Monitor(r));
                     // The acquire barrier runs when the thread resumes.
@@ -585,6 +641,8 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
             }
             let now = w.machine.now(core);
             let woken = w.monitors.release(r, tid, now)?;
+            w.machine
+                .emit(core, TraceEvent::MonitorRelease { obj: r.0 });
             w.threads[t].held_monitors = w.threads[t].held_monitors.saturating_sub(1);
             if let Some(next) = woken {
                 let now = w.machine.now(core);
@@ -607,18 +665,19 @@ fn mem_monitor(w: &mut World<'_>, t: usize, cycles: u64) {
 
 fn data_cache_purge(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
     let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
-    let res = cache.purge(&mut w.heap, &mut w.machine, core);
+    let res = hera_softcache::jmm::acquire_barrier(&mut cache, &mut w.heap, &mut w.machine, core);
     w.data_caches[spe] = cache;
     res.map_err(StepError::from)
 }
 
 fn data_cache_flush(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
     let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
-    let res = cache.write_back_dirty(&mut w.heap, &mut w.machine, core);
+    let res = hera_softcache::jmm::release_barrier(&mut cache, &mut w.heap, &mut w.machine, core);
     w.data_caches[spe] = cache;
     res.map_err(StepError::from)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spe_read(
     w: &mut World<'_>,
     t: usize,
@@ -653,7 +712,16 @@ fn spe_write(
 ) -> Result<(), StepError> {
     let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
     let before = cache.stats.misses + cache.stats.bypasses;
-    let res = cache.write(&mut w.heap, &mut w.machine, core, unit, unit_len, off, ty, v);
+    let res = cache.write(
+        &mut w.heap,
+        &mut w.machine,
+        core,
+        unit,
+        unit_len,
+        off,
+        ty,
+        v,
+    );
     if cache.stats.misses + cache.stats.bypasses > before {
         w.threads[t].window.mem_ops += 1;
     }
@@ -738,7 +806,9 @@ fn spe_array_access(
 /// thread currently occupies.
 fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<(), VmError> {
     let core = w.threads[t].core;
-    let Some(spe) = spe_of(core) else { return Ok(()) };
+    let Some(spe) = spe_of(core) else {
+        return Ok(());
+    };
     let def = w.program.method(method);
     if def.code().is_none() {
         return Ok(()); // natives are not cached code
@@ -760,6 +830,35 @@ fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<()
 }
 
 // ---- frames, invocation, migration, return ----
+
+/// Trace a migration departure (`from` → `dest`) and arm the lazy
+/// arrival event, which fires with the target core's clock when the
+/// thread is next dispatched. One branch when tracing is off.
+fn trace_migration_out(
+    w: &mut World<'_>,
+    t: usize,
+    from: CoreId,
+    dest: CoreId,
+    kind: MigrationKind,
+) {
+    if w.machine.trace.is_enabled() {
+        let to_lane = w.machine.lane(dest) as u32;
+        let thread = w.threads[t].id.0;
+        w.machine.emit(
+            from,
+            TraceEvent::MigrateOut {
+                kind,
+                to_lane,
+                thread,
+            },
+        );
+        w.machine
+            .trace
+            .metrics
+            .add(&format!("migrations.{}", kind.label()), 1);
+        w.threads[t].pending_migrate_in = Some((from, kind));
+    }
+}
 
 fn push_marker(w: &mut World<'_>, t: usize, origin: CoreId) {
     let filler = w.threads[t]
@@ -822,6 +921,8 @@ fn push_frame(
         stack: Vec::new(),
         kind: FrameKind::Normal,
     });
+    w.machine
+        .emit(core, TraceEvent::MethodInvoke { method: method.0 });
     Ok(())
 }
 
@@ -881,11 +982,8 @@ fn do_invoke(
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
-            w.machine.advance(
-                core,
-                w.config.migration_cycles as u64,
-                OpClass::Stack,
-            );
+            w.machine
+                .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             push_marker(w, t, core);
             w.threads[t].pending_call = Some(PendingCall {
                 method: target,
@@ -893,10 +991,10 @@ fn do_invoke(
                 marker_origin: None,
             });
             w.threads[t].core = dest;
-            w.threads[t].available_at =
-                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].available_at = w.machine.now(core) + w.config.migration_cycles as u64;
             w.threads[t].migrations += 1;
             w.threads[t].window.reset();
+            trace_migration_out(w, t, core, dest, MigrationKind::Annotation);
             return Ok(Flow::Migrate);
         }
     }
@@ -912,21 +1010,18 @@ fn do_invoke(
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
-            w.machine.advance(
-                core,
-                w.config.migration_cycles as u64,
-                OpClass::Stack,
-            );
+            w.machine
+                .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             w.threads[t].pending_call = Some(PendingCall {
                 method: target,
                 args,
                 marker_origin: None,
             });
             w.threads[t].core = dest;
-            w.threads[t].available_at =
-                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].available_at = w.machine.now(core) + w.config.migration_cycles as u64;
             w.threads[t].migrations += 1;
             w.threads[t].window.reset();
+            trace_migration_out(w, t, core, dest, MigrationKind::Monitored);
             return Ok(Flow::Migrate);
         }
     }
@@ -947,6 +1042,10 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
     w.machine.exec(core, ExecOp::ReturnOverhead);
 
     let ret = if has_value { Some(pop(w, t)) } else { None };
+    if let Some(f) = w.threads[t].frames.last() {
+        let m = f.method.0;
+        w.machine.emit(core, TraceEvent::MethodReturn { method: m });
+    }
     w.threads[t].frames.pop();
 
     // A migration marker directly below? Pop it and migrate back.
@@ -992,18 +1091,15 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
             if matches!(origin, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
-            w.machine.advance(
-                core,
-                w.config.migration_cycles as u64,
-                OpClass::Stack,
-            );
+            w.machine
+                .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             w.threads[t].core = origin;
-            w.threads[t].available_at =
-                w.machine.now(core) + w.config.migration_cycles as u64;
+            w.threads[t].available_at = w.machine.now(core) + w.config.migration_cycles as u64;
             w.threads[t].migrations += 1;
             if spe_of(origin).is_some() {
                 w.threads[t].pending_relookup = caller_method;
             }
+            trace_migration_out(w, t, core, origin, MigrationKind::MarkerReturn);
             Ok(Flow::Migrate)
         }
         None => {
@@ -1059,9 +1155,13 @@ fn native_call(
             }
             let overhead = match kind {
                 NativeKind::FastSyscall => {
+                    w.machine
+                        .emit(core, TraceEvent::SyscallProxy { native: nid.0 });
                     w.machine.cost_model().syscall_signal_cycles as u64
                 }
                 NativeKind::Jni => {
+                    w.machine
+                        .emit(core, TraceEvent::JniBridge { native: nid.0 });
                     w.threads[t].migrations += 2;
                     2 * w.config.migration_cycles as u64
                 }
@@ -1115,15 +1215,11 @@ fn native_call(
                 .class_by_name("Thread")
                 .ok_or_else(|| Trap::NativeError("no Thread class installed".into()))?;
             if !w.program.is_subclass(class, thread_class) {
-                return Err(
-                    Trap::NativeError("spawn argument is not a Thread".into()).into()
-                );
+                return Err(Trap::NativeError("spawn argument is not a Thread".into()).into());
             }
             let run = w.program.class(class).vtable[0];
             let idx = w.threads.len() as u32;
-            let (kind, spe_hint) = w
-                .policy()
-                .initial_core_kind(idx, w.config.cell.num_spes);
+            let (kind, spe_hint) = w.policy().initial_core_kind(idx, w.config.cell.num_spes);
             let dest = match kind {
                 CoreKind::Ppe => CoreId::Ppe,
                 CoreKind::Spe => CoreId::Spe(spe_hint),

@@ -168,7 +168,13 @@ pub fn install_runtime(b: &mut ProgramBuilder) -> RuntimeApi {
         None,
         StdNative::PrintBytes,
     );
-    let time_millis = nat(b, "timeMillis", vec![], Some(Ty::Long), StdNative::TimeMillis);
+    let time_millis = nat(
+        b,
+        "timeMillis",
+        vec![],
+        Some(Ty::Long),
+        StdNative::TimeMillis,
+    );
     let spawn = nat(
         b,
         "spawn",

@@ -107,8 +107,9 @@ impl PlacementPolicy {
             return None;
         }
         match current {
-            CoreKind::Ppe if window.fp_fraction() > p.fp_threshold
-                && window.mem_fraction() <= p.mem_threshold =>
+            CoreKind::Ppe
+                if window.fp_fraction() > p.fp_threshold
+                    && window.mem_fraction() <= p.mem_threshold =>
             {
                 Some(CoreKind::Spe)
             }

@@ -3,6 +3,7 @@
 use hera_cell::{CycleBreakdown, OpClass};
 use hera_jit::RegistryStats;
 use hera_softcache::{CodeCacheStats, DataCacheStats};
+use hera_trace::MetricsRegistry;
 use std::fmt;
 
 /// GC summary.
@@ -69,6 +70,32 @@ impl RunStats {
     /// Render a human-readable report.
     pub fn report(&self) -> String {
         format!("{self}")
+    }
+
+    /// Snapshot every aggregate onto the shared [`MetricsRegistry`]
+    /// substrate — the same names the trace exporters render, so ad-hoc
+    /// counters and trace metrics read as one namespace.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::default();
+        reg.set("run.wall_cycles", self.wall_cycles);
+        reg.set("run.threads", self.threads as u64);
+        reg.set("run.migrations", self.migrations);
+        reg.set("run.thread_switches", self.thread_switches);
+        reg.set("monitor.contended_acquires", self.contended_acquires);
+        self.ppe.fill_metrics("ppe", &mut reg);
+        self.spe.fill_metrics("spe", &mut reg);
+        self.data_cache.fill_metrics(&mut reg);
+        self.code_cache.fill_metrics(&mut reg);
+        reg.set("gc.collections", self.gc.collections);
+        reg.set("gc.ppe_cycles", self.gc.ppe_cycles);
+        reg.set("gc.objects_freed", self.gc.objects_freed);
+        reg.set("gc.bytes_freed", self.gc.bytes_freed);
+        reg.set("jit.ppe_compilations", self.registry.ppe_compilations);
+        reg.set("jit.spe_compilations", self.registry.spe_compilations);
+        reg.set("jit.dual_compiled", self.registry.dual_compiled);
+        reg.set("bus.bytes_transferred", self.bus.bytes_transferred);
+        reg.set("bus.transfers", self.bus.transfers);
+        reg
     }
 }
 

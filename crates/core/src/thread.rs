@@ -4,6 +4,7 @@
 use hera_cell::CoreId;
 use hera_isa::{MethodId, ObjRef, Trap, Value};
 use hera_jit::CompiledMethod;
+use hera_trace::MigrationKind;
 use std::rc::Rc;
 
 /// Identifier of a guest thread.
@@ -139,6 +140,11 @@ pub struct JavaThread {
     /// either it was handed a monitor while blocked (the object is
     /// recorded) or it was woken from a `join` (recorded as null).
     pub pending_acquire_barrier: Option<ObjRef>,
+    /// Trace bookkeeping: a migration happened and the arrival event has
+    /// not been emitted yet (origin core, path kind). Only ever set while
+    /// tracing is enabled; emitted lazily when the thread is next
+    /// dispatched, so the arrival timestamp is on the target core's clock.
+    pub pending_migrate_in: Option<(CoreId, MigrationKind)>,
     /// Runtime-monitoring window.
     pub window: BehaviourWindow,
     /// Total migrations performed.
@@ -164,6 +170,7 @@ impl JavaThread {
             }),
             pending_relookup: None,
             pending_acquire_barrier: None,
+            pending_migrate_in: None,
             window: BehaviourWindow::default(),
             migrations: 0,
             held_monitors: 0,

@@ -121,6 +121,14 @@ impl VmConfig {
         self.cell.partition = hera_cell::StorePartition::with_caches(data_bytes, code_bytes);
         self
     }
+
+    /// Enable the hera-trace event sink for this run. Tracing observes —
+    /// it never charges virtual cycles — so cycle counts are identical
+    /// with or without it.
+    pub fn with_tracing(mut self) -> VmConfig {
+        self.cell.trace = true;
+        self
+    }
 }
 
 /// The result of one complete run.
@@ -137,6 +145,9 @@ pub struct RunOutcome {
     pub traps: Vec<(ThreadId, Trap)>,
     /// Everything measured.
     pub stats: RunStats,
+    /// The virtual-time event trace (empty and disabled unless the run
+    /// used [`VmConfig::with_tracing`]).
+    pub trace: hera_trace::TraceSink,
 }
 
 impl RunOutcome {
@@ -217,12 +228,23 @@ impl HeraJvm {
         }
 
         let stats = Self::collect_stats(&world);
+        let mut trace = std::mem::take(&mut world.machine.trace);
+        if trace.is_enabled() {
+            // Overlay the end-of-run aggregates (authoritative values, so
+            // `set` rather than `merge` — some names, e.g. gc.collections,
+            // are also accumulated event-side).
+            let snapshot = stats.metrics();
+            for (name, v) in snapshot.counters() {
+                trace.metrics.set(name, v);
+            }
+        }
         Ok(RunOutcome {
             result,
             output: world.output.clone(),
             files: world.files.clone(),
             traps,
             stats,
+            trace,
         })
     }
 

@@ -274,15 +274,34 @@ impl<'p> World<'p> {
             .now(CoreId::Ppe)
             .max(self.machine.now(requester));
         self.machine.idle_until(CoreId::Ppe, start);
-        let outcome = self
-            .collector
-            .collect(&mut self.heap, &self.layout, &roots);
+        self.machine.emit(
+            CoreId::Ppe,
+            hera_trace::TraceEvent::GcBegin {
+                requester_lane: self.machine.lane(requester) as u32,
+            },
+        );
+        let ppe_lane = self.machine.lane(CoreId::Ppe);
+        let outcome = self.collector.collect_traced(
+            &mut self.heap,
+            &self.layout,
+            &roots,
+            &mut self.machine.trace,
+            ppe_lane,
+            start,
+        );
         let cost = self.machine.cost_model().gc_mark_cycles_per_object as u64
             * outcome.live_objects
             + self.machine.cost_model().gc_sweep_cycles_per_object as u64
                 * (outcome.live_objects + outcome.freed_objects);
         self.machine.advance(CoreId::Ppe, cost, OpClass::MainMemory);
         let end = self.machine.now(CoreId::Ppe);
+        self.machine.emit(
+            CoreId::Ppe,
+            hera_trace::TraceEvent::GcEnd {
+                freed_objects: outcome.freed_objects,
+                freed_bytes: outcome.freed_bytes,
+            },
+        );
 
         // 4. Everybody stalls until the world restarts.
         for core in self.machine.cores() {
@@ -309,7 +328,7 @@ impl<'p> World<'p> {
                 .machine
                 .now(core)
                 .max(self.threads[tid.0 as usize].available_at);
-            if best.map_or(true, |(bs, bi, _)| (start, idx) < (bs, bi)) {
+            if best.is_none_or(|(bs, bi, _)| (start, idx) < (bs, bi)) {
                 best = Some((start, idx, tid));
             }
         }
@@ -322,15 +341,13 @@ impl<'p> World<'p> {
         loop {
             let Some((core, tid)) = self.pick_next() else {
                 // Nothing queued: either done, or deadlocked.
-                let unfinished = self
-                    .threads
-                    .iter()
-                    .filter(|t| !t.is_finished())
-                    .count();
+                let unfinished = self.threads.iter().filter(|t| !t.is_finished()).count();
                 if unfinished == 0 {
                     return Ok(());
                 }
-                return Err(VmError::Deadlock { threads: unfinished });
+                return Err(VmError::Deadlock {
+                    threads: unfinished,
+                });
             };
             let idx = Self::core_index(core);
             self.run_queues[idx].pop_front();
@@ -344,6 +361,8 @@ impl<'p> World<'p> {
                         OpClass::Stack,
                     );
                     self.thread_switches += 1;
+                    self.machine
+                        .emit(core, hera_trace::TraceEvent::ThreadSwitch { thread: tid.0 });
                 }
                 self.last_on_core[idx] = Some(tid);
             }

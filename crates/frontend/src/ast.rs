@@ -277,10 +277,7 @@ pub fn for_range(var: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::For(
         Box::new(Stmt::Let(var.to_string(), start)),
         cmp_lt(local(var), end),
-        Box::new(Stmt::Assign(
-            var.to_string(),
-            add(local(var), i32c(1)),
-        )),
+        Box::new(Stmt::Assign(var.to_string(), add(local(var), i32c(1)))),
         body,
     )
 }

@@ -53,7 +53,10 @@ impl fmt::Display for CompileError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             CompileError::VoidValue => write!(f, "void call used as a value"),
             CompileError::BadArity {
                 method,
@@ -84,7 +87,14 @@ pub fn declare_static(
     ret: Option<Ty>,
 ) -> MethodId {
     let tys = params.iter().map(|(_, t)| *t).collect();
-    pb.add_static_method(class, name, tys, ret, 0, MethodBody::Bytecode(vec![Instr::Return]))
+    pb.add_static_method(
+        class,
+        name,
+        tys,
+        ret,
+        0,
+        MethodBody::Bytecode(vec![Instr::Return]),
+    )
 }
 
 /// Declare a virtual method with a placeholder body. Slot 0 is the
@@ -97,7 +107,14 @@ pub fn declare_virtual(
     ret: Option<Ty>,
 ) -> MethodId {
     let tys = params.iter().map(|(_, t)| *t).collect();
-    pb.add_virtual_method(class, name, tys, ret, 0, MethodBody::Bytecode(vec![Instr::Return]))
+    pb.add_virtual_method(
+        class,
+        name,
+        tys,
+        ret,
+        0,
+        MethodBody::Bytecode(vec![Instr::Return]),
+    )
 }
 
 /// Compile `body` and attach it to a previously declared method.
@@ -1032,7 +1049,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let code = p.method(p.method_by_name("T", "f", 0).unwrap()).code().unwrap();
+        let code = p
+            .method(p.method_by_name("T", "f", 0).unwrap())
+            .code()
+            .unwrap();
         let incs: Vec<_> = code
             .iter()
             .filter(|i| matches!(i, Instr::IInc(_, _)))
@@ -1070,7 +1090,10 @@ mod tests {
         .unwrap();
         verify_program(&p).unwrap();
         // Float < uses fcmpg (NaN must not satisfy <).
-        let code = p.method(p.method_by_name("T", "f", 1).unwrap()).code().unwrap();
+        let code = p
+            .method(p.method_by_name("T", "f", 1).unwrap())
+            .code()
+            .unwrap();
         assert!(code.iter().any(|i| matches!(i, Instr::FCmpG)));
     }
 
@@ -1089,9 +1112,18 @@ mod tests {
         .unwrap();
         let p = pb.finish().unwrap();
         verify_program(&p).unwrap();
-        let code = p.method(p.method_by_name("T", "f", 1).unwrap()).code().unwrap();
-        let enters = code.iter().filter(|i| matches!(i, Instr::MonitorEnter)).count();
-        let exits = code.iter().filter(|i| matches!(i, Instr::MonitorExit)).count();
+        let code = p
+            .method(p.method_by_name("T", "f", 1).unwrap())
+            .code()
+            .unwrap();
+        let enters = code
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorEnter))
+            .count();
+        let exits = code
+            .iter()
+            .filter(|i| matches!(i, Instr::MonitorExit))
+            .count();
         assert_eq!((enters, exits), (1, 1));
     }
 

@@ -13,7 +13,8 @@ fn main_program(ret: Option<Ty>, body: Vec<Stmt>) -> hera_isa::Program {
     let c = pb.add_class("Main", None);
     let main = declare_static(&mut pb, c, "main", vec![], ret);
     define(&mut pb, main, vec![], body).expect("main should compile");
-    pb.finish_with_entry("Main", "main").expect("program resolves")
+    pb.finish_with_entry("Main", "main")
+        .expect("program resolves")
 }
 
 #[test]
@@ -125,10 +126,20 @@ fn virtual_dispatch_chooses_the_override() {
     let speak_a = declare_virtual(&mut pb, animal, "speak", vec![], Some(Ty::Int));
     let dog = pb.add_class("Dog", Some(animal));
     let speak_d = declare_virtual(&mut pb, dog, "speak", vec![], Some(Ty::Int));
-    define(&mut pb, speak_a, vec![("this", Ty::Ref(animal))], vec![Stmt::Return(Some(i32c(1)))])
-        .unwrap();
-    define(&mut pb, speak_d, vec![("this", Ty::Ref(dog))], vec![Stmt::Return(Some(i32c(2)))])
-        .unwrap();
+    define(
+        &mut pb,
+        speak_a,
+        vec![("this", Ty::Ref(animal))],
+        vec![Stmt::Return(Some(i32c(1)))],
+    )
+    .unwrap();
+    define(
+        &mut pb,
+        speak_d,
+        vec![("this", Ty::Ref(dog))],
+        vec![Stmt::Return(Some(i32c(2)))],
+    )
+    .unwrap();
     let main = declare_static(&mut pb, main_c, "main", vec![], Some(Ty::Int));
     define(
         &mut pb,
@@ -170,7 +181,13 @@ fn recursion_and_calls_work_on_spe() {
     )
     .unwrap();
     let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
-    define(&mut pb, main, vec![], vec![Stmt::Return(Some(call(fib, vec![i32c(15)])))]).unwrap();
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![Stmt::Return(Some(call(fib, vec![i32c(15)])))],
+    )
+    .unwrap();
     let program = pb.finish_with_entry("Main", "main").unwrap();
     let (ppe, spe) = run_both(program, 1);
     assert_eq!(ppe.result, Some(Value::I32(610)));
@@ -387,8 +404,10 @@ fn adaptive_policy_runs_programs_to_completion() {
         Stmt::Return(Some(cast(Ty::Int, mul(local("x"), f32c(100.0))))),
     ];
     let program = main_program(Some(Ty::Int), body);
-    let mut cfg = VmConfig::default();
-    cfg.policy = PlacementPolicy::adaptive();
+    let cfg = VmConfig {
+        policy: PlacementPolicy::adaptive(),
+        ..VmConfig::default()
+    };
     let out = run_program(program.clone(), cfg);
     assert!(out.is_clean());
     // Same numeric result as the pinned runs.

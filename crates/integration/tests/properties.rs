@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! These need the external `proptest` crate, which the offline build
+//! cannot resolve; the whole file is compiled only under the `proptest`
+//! feature (see this crate's Cargo.toml for how to enable it).
+#![cfg(feature = "proptest")]
 
 use hera_cell::{CellConfig, CellMachine, CoreId, Eib};
 use hera_isa::{

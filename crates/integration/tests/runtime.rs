@@ -84,7 +84,13 @@ fn runaway_recursion_traps_as_stack_overflow() {
     )
     .unwrap();
     let main = declare_static(&mut pb, cls, "main", vec![], Some(Ty::Int));
-    define(&mut pb, main, vec![], vec![Stmt::Return(Some(call(f, vec![i32c(0)])))]).unwrap();
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![Stmt::Return(Some(call(f, vec![i32c(0)])))],
+    )
+    .unwrap();
     let program = pb.finish_with_entry("Main", "main").unwrap();
     let out = run_program(program, VmConfig::pinned_ppe());
     assert_eq!(out.traps.len(), 1);
@@ -156,10 +162,7 @@ fn yield_native_is_harmless_and_time_is_monotone() {
             ),
             Stmt::Let("t1".into(), call(api.time_millis, vec![])),
             Stmt::If(
-                cmp_gt(
-                    cast(Ty::Int, local("t1")),
-                    cast(Ty::Int, local("t0")),
-                ),
+                cmp_gt(cast(Ty::Int, local("t1")), cast(Ty::Int, local("t0"))),
                 vec![Stmt::Return(Some(i32c(1)))],
                 vec![Stmt::Return(Some(i32c(0)))],
             ),

@@ -49,7 +49,10 @@ fn fig4a_single_spe_ordering() {
     );
     assert!(c < 0.8, "compress must lose on one SPE, got {c:.2}x");
     assert!(m > 1.1, "mandelbrot must win on one SPE, got {m:.2}x");
-    assert!(c < a && a < m, "paper ordering violated: {c:.2} {a:.2} {m:.2}");
+    assert!(
+        c < a && a < m,
+        "paper ordering violated: {c:.2} {a:.2} {m:.2}"
+    );
 }
 
 /// Figure 4(a), right bars: with six SPEs every benchmark beats the
@@ -60,7 +63,11 @@ fn fig4a_six_spes_all_win() {
         let ppe = cycles(w, 1, VmConfig::pinned_ppe());
         let spe6 = cycles(w, 6, spe_cfg(6));
         let rel = ppe as f64 / spe6 as f64;
-        assert!(rel > 1.3, "{} must beat the PPE on 6 SPEs, got {rel:.2}x", w.name());
+        assert!(
+            rel > 1.3,
+            "{} must beat the PPE on 6 SPEs, got {rel:.2}x",
+            w.name()
+        );
         if w == Workload::Mandelbrot {
             assert!(rel > 5.0, "mandelbrot should dominate, got {rel:.2}x");
         }
@@ -92,7 +99,11 @@ fn fig4b_monotone_scaling() {
         .expect("present")
         .1;
     for &(w, s) in &at6 {
-        assert!(s <= mandel + 0.3, "{} out-scaled mandelbrot: {s:.2}", w.name());
+        assert!(
+            s <= mandel + 0.3,
+            "{} out-scaled mandelbrot: {s:.2}",
+            w.name()
+        );
     }
 }
 

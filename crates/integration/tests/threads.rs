@@ -59,11 +59,7 @@ fn locked_counter_program(workers: i32, reps: i32) -> hera_isa::Program {
                 vec![
                     Stmt::Let("w".into(), Expr::New(worker)),
                     Stmt::SetField(local("w"), fshared, local("s")),
-                    Stmt::SetIndex(
-                        local("tids"),
-                        local("i"),
-                        call(api.spawn, vec![local("w")]),
-                    ),
+                    Stmt::SetIndex(local("tids"), local("i"), call(api.spawn, vec![local("w")])),
                 ],
             ),
             for_range(
@@ -240,7 +236,11 @@ fn volatile_flag_publishes_across_spe_cores() {
     let program = pb.finish_with_entry("Main", "main").unwrap();
     let out = run_program(program, VmConfig::pinned_spe(2));
     assert!(out.is_clean(), "traps: {:?}", out.traps);
-    assert_eq!(out.result, Some(Value::I32(41)), "volatile publication failed");
+    assert_eq!(
+        out.result,
+        Some(Value::I32(41)),
+        "volatile publication failed"
+    );
 }
 
 #[test]
@@ -280,10 +280,10 @@ fn write_file_native_collects_bytes() {
         vec![],
         vec![
             Stmt::Let("buf".into(), new_array(ElemTy::Byte, i32c(4))),
-            Stmt::SetIndex(local("buf"), i32c(0), i32c(72)),  // 'H'
+            Stmt::SetIndex(local("buf"), i32c(0), i32c(72)), // 'H'
             Stmt::SetIndex(local("buf"), i32c(1), i32c(105)), // 'i'
-            Stmt::SetIndex(local("buf"), i32c(2), i32c(33)),  // '!'
-            Stmt::SetIndex(local("buf"), i32c(3), i32c(10)),  // newline
+            Stmt::SetIndex(local("buf"), i32c(2), i32c(33)), // '!'
+            Stmt::SetIndex(local("buf"), i32c(3), i32c(10)), // newline
             Stmt::Return(Some(call(
                 api.write_file,
                 vec![i32c(1), local("buf"), i32c(4)],
@@ -305,7 +305,13 @@ fn write_file_native_collects_bytes() {
 fn annotation_migrates_and_returns_at_marker() {
     let mut pb = ProgramBuilder::new();
     let main_c = pb.add_class("Main", None);
-    let hot = declare_static(&mut pb, main_c, "hot", vec![("n", Ty::Int)], Some(Ty::Float));
+    let hot = declare_static(
+        &mut pb,
+        main_c,
+        "hot",
+        vec![("n", Ty::Int)],
+        Some(Ty::Float),
+    );
     pb.annotate(hot, Annotation::FloatIntensive);
     define(
         &mut pb,
@@ -337,10 +343,7 @@ fn annotation_migrates_and_returns_at_marker() {
             Stmt::Let("a".into(), call(hot, vec![i32c(2_000)])),
             Stmt::Let("b".into(), call(hot, vec![i32c(2_000)])),
             Stmt::If(
-                cmp_eq(
-                    cast(Ty::Int, local("a")),
-                    cast(Ty::Int, local("b")),
-                ),
+                cmp_eq(cast(Ty::Int, local("a")), cast(Ty::Int, local("b"))),
                 vec![Stmt::Return(Some(i32c(1)))],
                 vec![Stmt::Return(Some(i32c(0)))],
             ),
@@ -348,8 +351,10 @@ fn annotation_migrates_and_returns_at_marker() {
     )
     .unwrap();
     let program = pb.finish_with_entry("Main", "main").unwrap();
-    let mut cfg = VmConfig::default();
-    cfg.policy = PlacementPolicy::Annotation;
+    let cfg = VmConfig {
+        policy: PlacementPolicy::Annotation,
+        ..VmConfig::default()
+    };
     let out = run_program(program.clone(), cfg);
     assert!(out.is_clean());
     assert_eq!(out.result, Some(Value::I32(1)));

@@ -156,11 +156,7 @@ mod tests {
             vec![],
             Some(Ty::Int),
             1,
-            MethodBody::Bytecode(vec![
-                Instr::New(c),
-                Instr::GetField(f),
-                Instr::ReturnValue,
-            ]),
+            MethodBody::Bytecode(vec![Instr::New(c), Instr::GetField(f), Instr::ReturnValue]),
         );
         let p = b.finish().unwrap();
         let text = disassemble_method(&p, m);

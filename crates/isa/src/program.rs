@@ -433,10 +433,7 @@ impl ProgramBuilder {
             let mut seen_methods = HashMap::new();
             for &mid in &class.methods {
                 let m = &methods[mid.0 as usize];
-                if seen_methods
-                    .insert((&m.name, m.params.len()), ())
-                    .is_some()
-                {
+                if seen_methods.insert((&m.name, m.params.len()), ()).is_some() {
                     return Err(ResolveError::DuplicateMethod(format!(
                         "{}.{}/{}",
                         class.name,

@@ -70,11 +70,7 @@ pub enum VerifyErrorKind {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "method #{} @{}: {:?}",
-            self.method.0, self.at, self.kind
-        )
+        write!(f, "method #{} @{}: {:?}", self.method.0, self.at, self.kind)
     }
 }
 
@@ -451,9 +447,7 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
                 Some(expected) => {
                     let found = ctx.pop_any(&mut st, pc)?;
                     if found != expected {
-                        return Err(
-                            ctx.err(pc, VerifyErrorKind::KindMismatch { expected, found })
-                        );
+                        return Err(ctx.err(pc, VerifyErrorKind::KindMismatch { expected, found }));
                     }
                 }
             },
@@ -482,9 +476,7 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
                     work.push_back(succ);
                 }
                 Some(existing) => {
-                    let changed = existing
-                        .merge(&st)
-                        .map_err(|k| ctx.err(succ, k))?;
+                    let changed = existing.merge(&st).map_err(|k| ctx.err(succ, k))?;
                     if changed {
                         work.push_back(succ);
                     }
@@ -496,13 +488,7 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
     Ok(MethodInfo { max_stack })
 }
 
-fn conv(
-    ctx: &Ctx<'_>,
-    st: &mut State,
-    pc: usize,
-    from: Kind,
-    to: Kind,
-) -> Result<(), VerifyError> {
+fn conv(ctx: &Ctx<'_>, st: &mut State, pc: usize, from: Kind, to: Kind) -> Result<(), VerifyError> {
     ctx.pop(st, pc, from)?;
     st.stack.push(to);
     Ok(())
@@ -559,7 +545,12 @@ mod tests {
             vec![],
             Some(Ty::Int),
             0,
-            vec![Instr::ConstF32(1.0), Instr::ConstF32(2.0), Instr::IAdd, Instr::ReturnValue],
+            vec![
+                Instr::ConstF32(1.0),
+                Instr::ConstF32(2.0),
+                Instr::IAdd,
+                Instr::ReturnValue,
+            ],
         );
         let err = verify_method(&p, m).unwrap_err();
         assert!(matches!(err.kind, VerifyErrorKind::KindMismatch { .. }));
@@ -604,8 +595,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_branch_target() {
-        let (p, m) =
-            single_method_program(vec![], None, 0, vec![Instr::Goto(99), Instr::Return]);
+        let (p, m) = single_method_program(vec![], None, 0, vec![Instr::Goto(99), Instr::Return]);
         let err = verify_method(&p, m).unwrap_err();
         assert_eq!(err.kind, VerifyErrorKind::BadBranchTarget(99));
     }
@@ -616,8 +606,12 @@ mod tests {
         let err = verify_method(&p, m).unwrap_err();
         assert_eq!(err.kind, VerifyErrorKind::ReturnMismatch);
 
-        let (p, m) =
-            single_method_program(vec![], None, 0, vec![Instr::ConstI32(1), Instr::ReturnValue]);
+        let (p, m) = single_method_program(
+            vec![],
+            None,
+            0,
+            vec![Instr::ConstI32(1), Instr::ReturnValue],
+        );
         let err = verify_method(&p, m).unwrap_err();
         assert_eq!(err.kind, VerifyErrorKind::ReturnMismatch);
     }

@@ -46,8 +46,11 @@ impl std::error::Error for CompileError {}
 fn op_code_bytes(op: &MachineOp, core: CoreKind) -> u32 {
     let unit = 4; // both ISAs use 4-byte instructions
     let instrs = match op {
-        MachineOp::PushI32(_) | MachineOp::PushI64(_) | MachineOp::PushF32(_)
-        | MachineOp::PushF64(_) | MachineOp::PushNull => 3,
+        MachineOp::PushI32(_)
+        | MachineOp::PushI64(_)
+        | MachineOp::PushF32(_)
+        | MachineOp::PushF64(_)
+        | MachineOp::PushNull => 3,
         MachineOp::Pop | MachineOp::Dup | MachineOp::DupX1 | MachineOp::Swap => 2,
         MachineOp::LoadLocal(_) | MachineOp::StoreLocal(_) => 3,
         MachineOp::IncLocal(_, _) => 4,
@@ -386,10 +389,7 @@ mod tests {
         let l = ProgramLayout::compute(&p);
         let comp = compile_method(&p, &l, m, CoreKind::Spe).unwrap();
         assert_eq!(comp.ops.len(), 7);
-        assert_eq!(
-            comp.ops[5],
-            MachineOp::Branch(BranchKind::Always, 2)
-        );
+        assert_eq!(comp.ops[5], MachineOp::Branch(BranchKind::Always, 2));
     }
 
     #[test]

@@ -123,8 +123,8 @@ impl ArithOp {
     pub fn arity(self) -> usize {
         use ArithOp::*;
         match self {
-            INeg | LNeg | FNeg | DNeg | FSqrt | DSqrt | I2L | I2F | I2D | L2I | L2F | L2D
-            | F2I | F2D | D2I | D2L | D2F | I2B | I2S => 1,
+            INeg | LNeg | FNeg | DNeg | FSqrt | DSqrt | I2L | I2F | I2D | L2I | L2F | L2D | F2I
+            | F2D | D2I | D2L | D2F | I2B | I2S => 1,
             _ => 2,
         }
     }
@@ -587,18 +587,9 @@ mod tests {
     #[test]
     fn saturating_float_conversions() {
         assert_eq!(ArithOp::F2I.apply1(Value::F32(f32::NAN)), Value::I32(0));
-        assert_eq!(
-            ArithOp::F2I.apply1(Value::F32(1e20)),
-            Value::I32(i32::MAX)
-        );
-        assert_eq!(
-            ArithOp::D2I.apply1(Value::F64(-1e20)),
-            Value::I32(i32::MIN)
-        );
-        assert_eq!(
-            ArithOp::D2L.apply1(Value::F64(1e30)),
-            Value::I64(i64::MAX)
-        );
+        assert_eq!(ArithOp::F2I.apply1(Value::F32(1e20)), Value::I32(i32::MAX));
+        assert_eq!(ArithOp::D2I.apply1(Value::F64(-1e20)), Value::I32(i32::MIN));
+        assert_eq!(ArithOp::D2L.apply1(Value::F64(1e30)), Value::I64(i64::MAX));
         assert_eq!(ArithOp::D2I.apply1(Value::F64(3.99)), Value::I32(3));
     }
 
@@ -621,21 +612,20 @@ mod tests {
     fn narrowing_conversions_sign_extend() {
         assert_eq!(ArithOp::I2B.apply1(Value::I32(0x181)), Value::I32(-127));
         assert_eq!(ArithOp::I2S.apply1(Value::I32(0x18001)), Value::I32(-32767));
-        assert_eq!(ArithOp::L2I.apply1(Value::I64(0x1_0000_0002)), Value::I32(2));
+        assert_eq!(
+            ArithOp::L2I.apply1(Value::I64(0x1_0000_0002)),
+            Value::I32(2)
+        );
     }
 
     #[test]
     fn lcmp_three_way() {
         assert_eq!(
-            ArithOp::LCmp
-                .apply2(Value::I64(5), Value::I64(9))
-                .unwrap(),
+            ArithOp::LCmp.apply2(Value::I64(5), Value::I64(9)).unwrap(),
             Value::I32(-1)
         );
         assert_eq!(
-            ArithOp::LCmp
-                .apply2(Value::I64(9), Value::I64(9))
-                .unwrap(),
+            ArithOp::LCmp.apply2(Value::I64(9), Value::I64(9)).unwrap(),
             Value::I32(0)
         );
     }

@@ -167,13 +167,9 @@ mod tests {
     fn first_compile_charges_cycles_then_hits_are_free() {
         let (p, l, m1, _) = fixture();
         let mut reg = MethodRegistry::new();
-        let (_, cycles1) = reg
-            .get_or_compile(&p, &l, m1, CoreKind::Spe)
-            .unwrap();
+        let (_, cycles1) = reg.get_or_compile(&p, &l, m1, CoreKind::Spe).unwrap();
         assert!(cycles1 > 0);
-        let (_, cycles2) = reg
-            .get_or_compile(&p, &l, m1, CoreKind::Spe)
-            .unwrap();
+        let (_, cycles2) = reg.get_or_compile(&p, &l, m1, CoreKind::Spe).unwrap();
         assert_eq!(cycles2, 0);
         assert_eq!(reg.stats().spe_compilations, 1);
     }

@@ -11,6 +11,7 @@
 use crate::heap::{Heap, HeapKind};
 use crate::layout::{ProgramLayout, HEADER_BYTES};
 use hera_isa::{ElemTy, ObjRef};
+use hera_trace::{GcPhase, TraceEvent, TraceSink};
 use std::collections::BTreeSet;
 
 /// Result of one collection.
@@ -87,6 +88,46 @@ impl Collector {
             }
         }
         heap.rebuild_free_list(survivors);
+        outcome
+    }
+
+    /// [`Collector::collect`], recording the two collector phases into a
+    /// trace sink (lane `lane`, virtual time `at` — the driver charges the
+    /// collection's cycles, so both phase summaries carry its timestamp).
+    pub fn collect_traced(
+        &mut self,
+        heap: &mut Heap,
+        layout: &ProgramLayout,
+        roots: &[ObjRef],
+        sink: &mut TraceSink,
+        lane: usize,
+        at: u64,
+    ) -> GcOutcome {
+        let outcome = self.collect(heap, layout, roots);
+        if sink.is_enabled() {
+            sink.emit(
+                lane,
+                at,
+                TraceEvent::GcPhaseEnd {
+                    phase: GcPhase::Mark,
+                    items: outcome.live_objects,
+                    bytes: outcome.live_bytes,
+                },
+            );
+            sink.emit(
+                lane,
+                at,
+                TraceEvent::GcPhaseEnd {
+                    phase: GcPhase::Sweep,
+                    items: outcome.freed_objects,
+                    bytes: outcome.freed_bytes,
+                },
+            );
+            sink.metrics.add("gc.collections", 1);
+            sink.metrics.add("gc.freed_objects", outcome.freed_objects);
+            sink.metrics.add("gc.freed_bytes", outcome.freed_bytes);
+            sink.metrics.record("gc.live_bytes", outcome.live_bytes);
+        }
         outcome
     }
 

@@ -119,16 +119,12 @@ pub mod codec {
     pub fn read_value(buf: &[u8], off: usize, ty: Ty) -> Value {
         match ty {
             Ty::Byte => Value::I32(buf[off] as i8 as i32),
-            Ty::Short => {
-                Value::I32(i16::from_le_bytes([buf[off], buf[off + 1]]) as i32)
-            }
+            Ty::Short => Value::I32(i16::from_le_bytes([buf[off], buf[off + 1]]) as i32),
             Ty::Int => Value::I32(i32::from_le_bytes(word4(buf, off))),
             Ty::Float => Value::F32(f32::from_le_bytes(word4(buf, off))),
             Ty::Long => Value::I64(i64::from_le_bytes(word8(buf, off))),
             Ty::Double => Value::F64(f64::from_le_bytes(word8(buf, off))),
-            Ty::Ref(_) | Ty::Array(_) => {
-                Value::Ref(ObjRef(u32::from_le_bytes(word4(buf, off))))
-            }
+            Ty::Ref(_) | Ty::Array(_) => Value::Ref(ObjRef(u32::from_le_bytes(word4(buf, off)))),
         }
     }
 
@@ -141,9 +137,7 @@ pub mod codec {
     pub fn write_value(buf: &mut [u8], off: usize, ty: Ty, v: Value) {
         match ty {
             Ty::Byte => buf[off] = v.as_i32() as u8,
-            Ty::Short => {
-                buf[off..off + 2].copy_from_slice(&(v.as_i32() as i16).to_le_bytes())
-            }
+            Ty::Short => buf[off..off + 2].copy_from_slice(&(v.as_i32() as i16).to_le_bytes()),
             Ty::Int => buf[off..off + 4].copy_from_slice(&v.as_i32().to_le_bytes()),
             Ty::Float => buf[off..off + 4].copy_from_slice(&v.as_f32().to_le_bytes()),
             Ty::Long => buf[off..off + 8].copy_from_slice(&v.as_i64().to_le_bytes()),
@@ -270,9 +264,7 @@ impl Heap {
     /// Borrow `len` bytes starting at `addr` (for DMA source copies).
     pub fn bytes(&self, addr: u32, len: u32) -> Result<&[u8], HeapError> {
         let (a, l) = (addr as usize, len as usize);
-        self.data
-            .get(a..a + l)
-            .ok_or(HeapError::BadAddress(addr))
+        self.data.get(a..a + l).ok_or(HeapError::BadAddress(addr))
     }
 
     /// Mutably borrow `len` bytes starting at `addr` (for DMA write-back).
@@ -346,7 +338,11 @@ impl Heap {
     pub fn set_marked(&mut self, r: ObjRef, marked: bool) -> bool {
         let w0 = self.read_u32(r.0);
         let was = w0 & MARK_BIT != 0;
-        let new = if marked { w0 | MARK_BIT } else { w0 & !MARK_BIT };
+        let new = if marked {
+            w0 | MARK_BIT
+        } else {
+            w0 & !MARK_BIT
+        };
         self.write_u32(r.0, new);
         was
     }
@@ -509,10 +505,7 @@ mod tests {
         let f = b.add_field(c, "x", Ty::Int);
         let p = b.finish().unwrap();
         let layout = ProgramLayout::compute(&p);
-        let heap = Heap::new(
-            HeapConfig { size_bytes: 4096 },
-            layout.statics.size,
-        );
+        let heap = Heap::new(HeapConfig { size_bytes: 4096 }, layout.statics.size);
         (heap, layout, c, f)
     }
 

@@ -14,6 +14,7 @@
 
 use hera_cell::{CellMachine, CoreId, OpClass};
 use hera_isa::{ClassId, MethodId};
+use hera_trace::{DmaTag, TraceEvent};
 use std::collections::HashMap;
 
 /// Cycles to follow a cached TIB entry (one local-memory indirection).
@@ -49,6 +50,19 @@ impl CodeCacheStats {
         } else {
             self.method_hits as f64 / total as f64
         }
+    }
+
+    /// Snapshot these counters into a metrics registry under
+    /// `ccache.*` names (the shared counting substrate).
+    pub fn fill_metrics(&self, reg: &mut hera_trace::MetricsRegistry) {
+        reg.set("ccache.method_hits", self.method_hits);
+        reg.set("ccache.method_misses", self.method_misses);
+        reg.set("ccache.tib_hits", self.tib_hits);
+        reg.set("ccache.tib_misses", self.tib_misses);
+        reg.set("ccache.purges", self.purges);
+        reg.set("ccache.bytes_loaded", self.bytes_loaded);
+        reg.set("ccache.toc_lookups", self.toc_lookups);
+        reg.set("ccache.bypasses", self.bypasses);
     }
 }
 
@@ -118,9 +132,22 @@ impl CodeCache {
         // TIB.
         if self.tibs.contains_key(&class) {
             self.stats.tib_hits += 1;
+            machine.emit(
+                core,
+                TraceEvent::CodeCacheTibHit {
+                    class: class.0 as u32,
+                },
+            );
             machine.advance(core, TIB_READ_CYCLES, OpClass::LocalMemory);
         } else {
             self.stats.tib_misses += 1;
+            machine.emit(
+                core,
+                TraceEvent::CodeCacheTibMiss {
+                    class: class.0 as u32,
+                    bytes: tib_bytes,
+                },
+            );
             self.install(machine, core, tib_bytes);
             self.tibs.insert(class, tib_bytes);
         }
@@ -131,12 +158,20 @@ impl CodeCache {
         // Method code.
         if self.methods.contains_key(&method) {
             self.stats.method_hits += 1;
+            machine.emit(core, TraceEvent::CodeCacheHit { method: method.0 });
         } else {
             self.stats.method_misses += 1;
+            machine.emit(
+                core,
+                TraceEvent::CodeCacheMiss {
+                    method: method.0,
+                    bytes: method_bytes,
+                },
+            );
             if method_bytes > self.capacity {
                 // Cannot ever fit: stream it in each time, uncached.
                 self.stats.bypasses += 1;
-                machine.dma(core, method_bytes.max(1));
+                machine.dma_tagged(core, method_bytes.max(1), DmaTag::CodeCacheLoad);
                 self.stats.bytes_loaded += method_bytes as u64;
                 return;
             }
@@ -151,14 +186,20 @@ impl CodeCache {
         if bytes > self.capacity {
             // Oversized TIB/method at tiny sweep sizes: stream, uncached.
             self.stats.bypasses += 1;
-            machine.dma(core, bytes.max(1));
+            machine.dma_tagged(core, bytes.max(1), DmaTag::CodeCacheLoad);
             self.stats.bytes_loaded += bytes as u64;
             return;
         }
         if self.bump + bytes > self.capacity {
+            machine.emit(
+                core,
+                TraceEvent::CodeCachePurge {
+                    bytes_in_use: self.bump,
+                },
+            );
             self.purge();
         }
-        machine.dma(core, bytes);
+        machine.dma_tagged(core, bytes, DmaTag::CodeCacheLoad);
         self.stats.bytes_loaded += bytes as u64;
         self.bump += bytes;
     }

@@ -22,6 +22,7 @@ use hera_cell::{CellMachine, CoreId, OpClass};
 use hera_isa::{Ty, Value};
 use hera_mem::heap::codec;
 use hera_mem::{Heap, HeapError};
+use hera_trace::{DmaTag, TraceEvent};
 
 /// Statistics for one data cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,6 +52,18 @@ impl DataCacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Snapshot these counters into a metrics registry under
+    /// `dcache.*` names (the shared counting substrate).
+    pub fn fill_metrics(&self, reg: &mut hera_trace::MetricsRegistry) {
+        reg.set("dcache.hits", self.hits);
+        reg.set("dcache.misses", self.misses);
+        reg.set("dcache.purges", self.purges);
+        reg.set("dcache.writebacks", self.writebacks);
+        reg.set("dcache.bytes_fetched", self.bytes_fetched);
+        reg.set("dcache.bytes_written_back", self.bytes_written_back);
+        reg.set("dcache.bypasses", self.bypasses);
     }
 }
 
@@ -185,13 +198,30 @@ impl DataCache {
 
         if let Some(slot) = self.probe(main_addr) {
             self.stats.hits += 1;
-            return Ok(Some(self.table[slot].as_ref().expect("probed entry").local_off));
+            machine.emit(core, TraceEvent::DataCacheHit { addr: main_addr });
+            return Ok(Some(
+                self.table[slot].as_ref().expect("probed entry").local_off,
+            ));
         }
         self.stats.misses += 1;
+        machine.emit(
+            core,
+            TraceEvent::DataCacheMiss {
+                addr: main_addr,
+                bytes: len,
+            },
+        );
 
         let alen = align8(len);
         if alen > self.capacity {
             self.stats.bypasses += 1;
+            machine.emit(
+                core,
+                TraceEvent::DataCacheBypass {
+                    addr: main_addr,
+                    bytes: len,
+                },
+            );
             return Ok(None);
         }
 
@@ -201,7 +231,7 @@ impl DataCache {
         }
 
         // Fetch the unit.
-        machine.dma(core, len);
+        machine.dma_tagged(core, len, DmaTag::DataCacheFill);
         let src = heap.bytes(main_addr, len)?;
         let dst = self.bump as usize;
         self.local[dst..dst + len as usize].copy_from_slice(src);
@@ -226,6 +256,7 @@ impl DataCache {
 
     /// Read a typed value from offset `off` inside the unit
     /// `[unit_addr, unit_addr+unit_len)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn read(
         &mut self,
         heap: &mut Heap,
@@ -244,7 +275,7 @@ impl DataCache {
             )),
             None => {
                 // Bypass: DMA just the touched line, read through.
-                machine.dma(core, ty.field_size());
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
                 Ok(heap.read_typed(unit_addr + off, ty))
             }
         }
@@ -252,6 +283,7 @@ impl DataCache {
 
     /// Write a typed value at offset `off` inside the unit, marking the
     /// dirty span.
+    #[allow(clippy::too_many_arguments)]
     pub fn write(
         &mut self,
         heap: &mut Heap,
@@ -273,7 +305,7 @@ impl DataCache {
                 Ok(())
             }
             None => {
-                machine.dma(core, ty.field_size());
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
                 heap.write_typed(unit_addr + off, ty, v);
                 Ok(())
             }
@@ -295,7 +327,14 @@ impl DataCache {
             }
             debug_assert!(e.dirty_hi <= e.len, "dirty span exceeds unit");
             let span = e.dirty_hi - e.dirty_lo;
-            machine.dma(core, span);
+            machine.emit(
+                core,
+                TraceEvent::DataCacheWriteBack {
+                    addr: e.main_addr + e.dirty_lo,
+                    bytes: span,
+                },
+            );
+            machine.dma_tagged(core, span, DmaTag::DataCacheWriteBack);
             let src_lo = (e.local_off + e.dirty_lo) as usize;
             let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
             dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
@@ -317,6 +356,12 @@ impl DataCache {
         core: CoreId,
     ) -> Result<(), HeapError> {
         self.write_back_dirty(heap, machine, core)?;
+        machine.emit(
+            core,
+            TraceEvent::DataCachePurge {
+                resident_units: self.entries as u32,
+            },
+        );
         self.table.iter_mut().for_each(|s| *s = None);
         self.entries = 0;
         self.bump = 0;
@@ -348,7 +393,12 @@ mod tests {
         let p = b.finish().unwrap();
         let layout = ProgramLayout::compute(&p);
         Fx {
-            heap: Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size),
+            heap: Heap::new(
+                HeapConfig {
+                    size_bytes: 1 << 20,
+                },
+                layout.statics.size,
+            ),
             machine: CellMachine::new(CellConfig::default()),
             layout,
             class: c,
@@ -404,7 +454,8 @@ mod tests {
             .unwrap();
         assert_eq!(v, Value::I32(77));
         // Write-back publishes it.
-        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE).unwrap();
+        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE)
+            .unwrap();
         assert_eq!(f.heap.get_field(&f.layout, r, f.field), Value::I32(77));
         assert!(!dc.is_dirty(r.0));
         assert_eq!(dc.stats.writebacks, 1);
@@ -465,16 +516,8 @@ mod tests {
         let mut dc = DataCache::new(4 << 10);
         for block in 0..10u32 {
             let unit = arr.0 + block * 1024;
-            dc.read(
-                &mut f.heap,
-                &mut f.machine,
-                SPE,
-                unit,
-                1024,
-                0,
-                Ty::Byte,
-            )
-            .unwrap();
+            dc.read(&mut f.heap, &mut f.machine, SPE, unit, 1024, 0, Ty::Byte)
+                .unwrap();
         }
         assert!(dc.stats.purges >= 1);
         assert_eq!(dc.stats.misses, 10);
@@ -531,7 +574,8 @@ mod tests {
             Value::I32(1),
         )
         .unwrap();
-        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE).unwrap();
+        dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE)
+            .unwrap();
         assert_eq!(dc.stats.bytes_written_back, 4);
     }
 

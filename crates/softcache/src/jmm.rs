@@ -18,6 +18,7 @@
 use crate::data_cache::DataCache;
 use hera_cell::{CellMachine, CoreId};
 use hera_mem::{Heap, HeapError};
+use hera_trace::{BarrierKind, TraceEvent};
 
 /// Apply the acquire-side action: purge (write dirty back, invalidate).
 ///
@@ -28,6 +29,12 @@ pub fn acquire_barrier(
     machine: &mut CellMachine,
     core: CoreId,
 ) -> Result<(), HeapError> {
+    machine.emit(
+        core,
+        TraceEvent::JmmBarrier {
+            kind: BarrierKind::Acquire,
+        },
+    );
     cache.purge(heap, machine, core)
 }
 
@@ -42,6 +49,12 @@ pub fn release_barrier(
     machine: &mut CellMachine,
     core: CoreId,
 ) -> Result<(), HeapError> {
+    machine.emit(
+        core,
+        TraceEvent::JmmBarrier {
+            kind: BarrierKind::Release,
+        },
+    );
     cache.write_back_dirty(heap, machine, core)
 }
 
@@ -64,7 +77,12 @@ mod tests {
         let f = b.add_field(c, "v", Ty::Int);
         let p = b.finish().unwrap();
         let layout = ProgramLayout::compute(&p);
-        let mut heap = Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size);
+        let mut heap = Heap::new(
+            HeapConfig {
+                size_bytes: 1 << 20,
+            },
+            layout.statics.size,
+        );
         let mut machine = CellMachine::new(CellConfig::default());
         let r = heap.alloc_object(&layout, c).unwrap();
         let size = layout.object_size(c);
@@ -118,7 +136,12 @@ mod tests {
         let fb = b.add_field(c, "b", Ty::Int);
         let p = b.finish().unwrap();
         let layout = ProgramLayout::compute(&p);
-        let mut heap = Heap::new(HeapConfig { size_bytes: 1 << 20 }, layout.statics.size);
+        let mut heap = Heap::new(
+            HeapConfig {
+                size_bytes: 1 << 20,
+            },
+            layout.statics.size,
+        );
         let mut machine = CellMachine::new(CellConfig::default());
         let r = heap.alloc_object(&layout, c).unwrap();
         let size = layout.object_size(c);

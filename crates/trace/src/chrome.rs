@@ -1,0 +1,219 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the "JSON object format" understood by Perfetto and
+//! chrome://tracing: a `traceEvents` array of `B`/`E` duration events (method
+//! frames, GC), `i` instants (everything else) and `M` metadata records
+//! naming one track per core lane.  Timestamps are the simulator's virtual
+//! cycles, written as microseconds — the absolute unit is meaningless for a
+//! simulator, only relative spacing matters.
+//!
+//! JSON is hand-rolled (the crate has zero dependencies); only the lane
+//! names and resolver-produced method names need escaping.
+
+use crate::event::{TraceEvent, TraceKindArgs};
+use crate::sink::TraceSink;
+use std::fmt::Write as _;
+
+/// Export `sink` with methods named `m<id>`.
+pub fn chrome_trace_json(sink: &TraceSink) -> String {
+    chrome_trace_json_with(sink, &|m| format!("m{m}"))
+}
+
+/// Export `sink`, mapping method ids to display names via `method_name`.
+pub fn chrome_trace_json_with(sink: &TraceSink, method_name: &dyn Fn(u32) -> String) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(ev);
+    };
+
+    // One named track per lane.  pid 1 groups everything under one process.
+    for (tid, lane) in sink.lanes().iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                tid,
+                json_string(&lane.name)
+            ),
+        );
+    }
+
+    for (tid, lane) in sink.lanes().iter().enumerate() {
+        // Per-lane stack of open B events so the exported stream is always
+        // balanced: a return with no matching open frame (the method was
+        // entered before tracing looked, or on another lane after a
+        // migration) degrades to an instant, and frames still open at the
+        // end of the lane are closed at the lane's last timestamp.
+        let mut open: Vec<String> = Vec::new();
+        let mut last_ts = 0u64;
+        for te in &lane.events {
+            last_ts = te.at;
+            match te.event {
+                TraceEvent::MethodInvoke { method } => {
+                    let name = json_string(&method_name(method));
+                    push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":{name},\"cat\":\"method\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+                            te.at
+                        ),
+                    );
+                    open.push(name);
+                }
+                TraceEvent::MethodReturn { method } => {
+                    if open.pop().is_some() {
+                        push(
+                            &mut out,
+                            &mut first,
+                            &format!("{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}", te.at),
+                        );
+                    } else {
+                        let name = json_string(&format!("return {}", method_name(method)));
+                        push(
+                            &mut out,
+                            &mut first,
+                            &format!(
+                                "{{\"name\":{name},\"cat\":\"method\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+                                te.at
+                            ),
+                        );
+                    }
+                }
+                TraceEvent::GcBegin { requester_lane } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"GC\",\"cat\":\"gc\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"args\":{{\"requester_lane\":{requester_lane}}}}}",
+                            te.at
+                        ),
+                    );
+                    open.push(String::from("\"GC\""));
+                }
+                TraceEvent::GcEnd {
+                    freed_objects,
+                    freed_bytes,
+                } => {
+                    if open.pop().is_some() {
+                        push(
+                            &mut out,
+                            &mut first,
+                            &format!(
+                                "{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"args\":{{\"freed_objects\":{freed_objects},\"freed_bytes\":{freed_bytes}}}}}",
+                                te.at
+                            ),
+                        );
+                    } else {
+                        push(
+                            &mut out,
+                            &mut first,
+                            &format!(
+                                "{{\"name\":\"gc.end\",\"cat\":\"gc\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+                                te.at
+                            ),
+                        );
+                    }
+                }
+                ref ev => {
+                    let TraceKindArgs { cat, args } = ev.kind_args();
+                    push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}{}}}",
+                            ev.kind_name(),
+                            te.at,
+                            if args.is_empty() {
+                                String::new()
+                            } else {
+                                format!(",\"args\":{{{args}}}")
+                            }
+                        ),
+                    );
+                }
+            }
+        }
+        // Close any frames still open so Perfetto sees a balanced stream.
+        while open.pop().is_some() {
+            push(
+                &mut out,
+                &mut first,
+                &format!("{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{last_ts}}}"),
+            );
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Escape `s` as a JSON string literal (including the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_sink_exports_valid_shell() {
+        let s = TraceSink::disabled();
+        let j = chrome_trace_json(&s);
+        assert_eq!(j, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn unbalanced_frames_are_repaired() {
+        let mut s = TraceSink::with_lanes(["ppe"]);
+        // Return with no open frame, then an invoke never returned.
+        s.emit(0, 5, TraceEvent::MethodReturn { method: 1 });
+        s.emit(0, 9, TraceEvent::MethodInvoke { method: 2 });
+        let j = chrome_trace_json(&s);
+        let b = j.matches("\"ph\":\"B\"").count();
+        let e = j.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e, "B/E must balance: {j}");
+        assert!(j.contains("\"ph\":\"i\""), "orphan return becomes instant");
+    }
+
+    #[test]
+    fn one_metadata_record_per_lane() {
+        let mut s = TraceSink::with_lanes(["ppe", "spe0", "spe1"]);
+        s.emit(2, 3, TraceEvent::EibStall { cycles: 7 });
+        let j = chrome_trace_json(&s);
+        assert_eq!(j.matches("\"ph\":\"M\"").count(), 3);
+        assert!(j.contains("\"name\":\"eib.stall\""));
+        assert!(j.contains("\"cycles\":7"));
+    }
+}

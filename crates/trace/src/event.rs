@@ -1,0 +1,315 @@
+//! Typed trace events.
+//!
+//! Every event is `Copy` and carries only plain integers: the simulator maps
+//! its own ids (method indices, object handles, native ids, core indices)
+//! onto `u32` lanes/ids before emitting.  Exporters that want symbolic names
+//! accept a resolver closure (see [`crate::chrome_trace_json_with`]).
+
+/// Which of the paper's three migration paths moved a thread between cores.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MigrationKind {
+    /// `@RunOnSpe`/`@RunOnPpe`-style annotation migration: a marker frame is
+    /// pushed and the thread returns to its origin core when it pops.
+    Annotation,
+    /// Monitor-driven one-way migration (the thread stays on the target
+    /// core after the monitor section; no marker frame).
+    Monitored,
+    /// Return over a migration marker frame: the thread travels back to the
+    /// core recorded in the marker.
+    MarkerReturn,
+}
+
+impl MigrationKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationKind::Annotation => "annotation",
+            MigrationKind::Monitored => "monitored",
+            MigrationKind::MarkerReturn => "marker-return",
+        }
+    }
+}
+
+/// JMM barrier flavour (acquire = purge cached lines, release = write back
+/// dirty lines).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BarrierKind {
+    Acquire,
+    Release,
+}
+
+impl BarrierKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            BarrierKind::Acquire => "acquire",
+            BarrierKind::Release => "release",
+        }
+    }
+}
+
+/// Why a DMA transfer crossed the EIB.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DmaTag {
+    /// Software data-cache miss fill.
+    DataCacheFill,
+    /// Software data-cache dirty-span write-back.
+    DataCacheWriteBack,
+    /// Code-cache TIB/method/bypass load.
+    CodeCacheLoad,
+    /// Uncached (bypass) field access straight to main memory.
+    Bypass,
+    /// Anything else (untagged legacy call sites).
+    Other,
+}
+
+impl DmaTag {
+    pub fn label(self) -> &'static str {
+        match self {
+            DmaTag::DataCacheFill => "dcache-fill",
+            DmaTag::DataCacheWriteBack => "dcache-writeback",
+            DmaTag::CodeCacheLoad => "ccache-load",
+            DmaTag::Bypass => "bypass",
+            DmaTag::Other => "other",
+        }
+    }
+}
+
+/// Stop-the-world collector phase.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GcPhase {
+    Mark,
+    Sweep,
+}
+
+impl GcPhase {
+    pub fn label(self) -> &'static str {
+        match self {
+            GcPhase::Mark => "mark",
+            GcPhase::Sweep => "sweep",
+        }
+    }
+}
+
+/// One timestamped observation from the simulator.
+///
+/// Variants mirror the instrumentation points named in the design doc:
+/// interpreter frames, the three migration paths, MFC DMA and EIB stalls,
+/// software data/code-cache traffic, JMM barriers, monitors, native-call
+/// bridging, GC phases and scheduler context switches.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TraceEvent {
+    /// A new interpreter frame was pushed for `method`.
+    MethodInvoke { method: u32 },
+    /// The frame for `method` returned.
+    MethodReturn { method: u32 },
+    /// Thread `thread` leaves this lane for `to_lane`.
+    MigrateOut {
+        kind: MigrationKind,
+        to_lane: u32,
+        thread: u32,
+    },
+    /// Thread `thread` arrives on this lane from `from_lane`.
+    MigrateIn {
+        kind: MigrationKind,
+        from_lane: u32,
+        thread: u32,
+    },
+    /// An MFC DMA transfer of `bytes` issued from this lane.
+    Dma {
+        tag: DmaTag,
+        bytes: u32,
+        queue_cycles: u64,
+        transfer_cycles: u64,
+    },
+    /// The EIB arbitration queued this lane's transfer for `cycles`.
+    EibStall { cycles: u64 },
+    /// Software data-cache hit at `addr`.
+    DataCacheHit { addr: u32 },
+    /// Software data-cache miss at `addr`; `bytes` fetched from main memory.
+    DataCacheMiss { addr: u32, bytes: u32 },
+    /// Dirty span of `bytes` written back from the software data cache.
+    DataCacheWriteBack { addr: u32, bytes: u32 },
+    /// The software data cache was invalidated (`resident_units` entries).
+    DataCachePurge { resident_units: u32 },
+    /// Uncached access of `bytes` at `addr` that bypassed the data cache.
+    DataCacheBypass { addr: u32, bytes: u32 },
+    /// Code cache already held the compiled body for `method`.
+    CodeCacheHit { method: u32 },
+    /// Code cache loaded `bytes` of code for `method`.
+    CodeCacheMiss { method: u32, bytes: u32 },
+    /// TIB for `class` was already cached.
+    CodeCacheTibHit { class: u32 },
+    /// TIB for `class` loaded (`bytes`).
+    CodeCacheTibMiss { class: u32, bytes: u32 },
+    /// Code cache evicted everything (`bytes_in_use` before the purge).
+    CodeCachePurge { bytes_in_use: u32 },
+    /// A Java-memory-model barrier ran on this lane.
+    JmmBarrier { kind: BarrierKind },
+    /// Monitor on `obj` acquired without contention.
+    MonitorAcquire { obj: u32 },
+    /// Monitor on `obj` was contended (acquire blocked or queued).
+    MonitorContended { obj: u32 },
+    /// Monitor on `obj` released.
+    MonitorRelease { obj: u32 },
+    /// SPE proxied fast syscall `native` to the PPE (thread stays put).
+    SyscallProxy { native: u32 },
+    /// SPE bridged JNI-kind native `native` via a round-trip migration.
+    JniBridge { native: u32 },
+    /// Stop-the-world collection begins; requested from `requester_lane`.
+    GcBegin { requester_lane: u32 },
+    /// A collector phase finished, having visited `items` objects /
+    /// `bytes` bytes.
+    GcPhaseEnd {
+        phase: GcPhase,
+        items: u64,
+        bytes: u64,
+    },
+    /// Stop-the-world collection ends.
+    GcEnd {
+        freed_objects: u64,
+        freed_bytes: u64,
+    },
+    /// The scheduler switched this lane to run `thread`.
+    ThreadSwitch { thread: u32 },
+}
+
+/// Export metadata for an event: its category plus the body of a JSON
+/// `args` object (no braces), e.g. `"bytes":128,"tag":"dcache-fill"`.
+pub struct TraceKindArgs {
+    pub cat: &'static str,
+    pub args: String,
+}
+
+impl TraceEvent {
+    /// Stable short name for summaries and export `name` fields.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::MethodInvoke { .. } => "method.invoke",
+            TraceEvent::MethodReturn { .. } => "method.return",
+            TraceEvent::MigrateOut { .. } => "migrate.out",
+            TraceEvent::MigrateIn { .. } => "migrate.in",
+            TraceEvent::Dma { .. } => "dma",
+            TraceEvent::EibStall { .. } => "eib.stall",
+            TraceEvent::DataCacheHit { .. } => "dcache.hit",
+            TraceEvent::DataCacheMiss { .. } => "dcache.miss",
+            TraceEvent::DataCacheWriteBack { .. } => "dcache.writeback",
+            TraceEvent::DataCachePurge { .. } => "dcache.purge",
+            TraceEvent::DataCacheBypass { .. } => "dcache.bypass",
+            TraceEvent::CodeCacheHit { .. } => "ccache.hit",
+            TraceEvent::CodeCacheMiss { .. } => "ccache.miss",
+            TraceEvent::CodeCacheTibHit { .. } => "ccache.tib_hit",
+            TraceEvent::CodeCacheTibMiss { .. } => "ccache.tib_miss",
+            TraceEvent::CodeCachePurge { .. } => "ccache.purge",
+            TraceEvent::JmmBarrier { .. } => "jmm.barrier",
+            TraceEvent::MonitorAcquire { .. } => "monitor.acquire",
+            TraceEvent::MonitorContended { .. } => "monitor.contended",
+            TraceEvent::MonitorRelease { .. } => "monitor.release",
+            TraceEvent::SyscallProxy { .. } => "native.syscall_proxy",
+            TraceEvent::JniBridge { .. } => "native.jni_bridge",
+            TraceEvent::GcBegin { .. } => "gc.begin",
+            TraceEvent::GcPhaseEnd { .. } => "gc.phase_end",
+            TraceEvent::GcEnd { .. } => "gc.end",
+            TraceEvent::ThreadSwitch { .. } => "thread.switch",
+        }
+    }
+
+    /// Category and JSON `args` body used by the Chrome exporter for instant
+    /// events.  Duration events (method frames, GC) are handled separately.
+    pub fn kind_args(&self) -> TraceKindArgs {
+        let (cat, args) = match *self {
+            TraceEvent::MethodInvoke { method } | TraceEvent::MethodReturn { method } => {
+                ("method", format!("\"method\":{method}"))
+            }
+            TraceEvent::MigrateOut {
+                kind,
+                to_lane,
+                thread,
+            } => (
+                "migration",
+                format!(
+                    "\"kind\":\"{}\",\"to_lane\":{to_lane},\"thread\":{thread}",
+                    kind.label()
+                ),
+            ),
+            TraceEvent::MigrateIn {
+                kind,
+                from_lane,
+                thread,
+            } => (
+                "migration",
+                format!(
+                    "\"kind\":\"{}\",\"from_lane\":{from_lane},\"thread\":{thread}",
+                    kind.label()
+                ),
+            ),
+            TraceEvent::Dma {
+                tag,
+                bytes,
+                queue_cycles,
+                transfer_cycles,
+            } => (
+                "dma",
+                format!(
+                    "\"tag\":\"{}\",\"bytes\":{bytes},\"queue_cycles\":{queue_cycles},\"transfer_cycles\":{transfer_cycles}",
+                    tag.label()
+                ),
+            ),
+            TraceEvent::EibStall { cycles } => ("dma", format!("\"cycles\":{cycles}")),
+            TraceEvent::DataCacheHit { addr } => ("dcache", format!("\"addr\":{addr}")),
+            TraceEvent::DataCacheMiss { addr, bytes } => {
+                ("dcache", format!("\"addr\":{addr},\"bytes\":{bytes}"))
+            }
+            TraceEvent::DataCacheWriteBack { addr, bytes } => {
+                ("dcache", format!("\"addr\":{addr},\"bytes\":{bytes}"))
+            }
+            TraceEvent::DataCachePurge { resident_units } => {
+                ("dcache", format!("\"resident_units\":{resident_units}"))
+            }
+            TraceEvent::DataCacheBypass { addr, bytes } => {
+                ("dcache", format!("\"addr\":{addr},\"bytes\":{bytes}"))
+            }
+            TraceEvent::CodeCacheHit { method } => ("ccache", format!("\"method\":{method}")),
+            TraceEvent::CodeCacheMiss { method, bytes } => {
+                ("ccache", format!("\"method\":{method},\"bytes\":{bytes}"))
+            }
+            TraceEvent::CodeCacheTibHit { class } => ("ccache", format!("\"class\":{class}")),
+            TraceEvent::CodeCacheTibMiss { class, bytes } => {
+                ("ccache", format!("\"class\":{class},\"bytes\":{bytes}"))
+            }
+            TraceEvent::CodeCachePurge { bytes_in_use } => {
+                ("ccache", format!("\"bytes_in_use\":{bytes_in_use}"))
+            }
+            TraceEvent::JmmBarrier { kind } => {
+                ("jmm", format!("\"kind\":\"{}\"", kind.label()))
+            }
+            TraceEvent::MonitorAcquire { obj }
+            | TraceEvent::MonitorContended { obj }
+            | TraceEvent::MonitorRelease { obj } => ("monitor", format!("\"obj\":{obj}")),
+            TraceEvent::SyscallProxy { native } | TraceEvent::JniBridge { native } => {
+                ("native", format!("\"native\":{native}"))
+            }
+            TraceEvent::GcBegin { requester_lane } => {
+                ("gc", format!("\"requester_lane\":{requester_lane}"))
+            }
+            TraceEvent::GcPhaseEnd {
+                phase,
+                items,
+                bytes,
+            } => (
+                "gc",
+                format!(
+                    "\"phase\":\"{}\",\"items\":{items},\"bytes\":{bytes}",
+                    phase.label()
+                ),
+            ),
+            TraceEvent::GcEnd {
+                freed_objects,
+                freed_bytes,
+            } => (
+                "gc",
+                format!("\"freed_objects\":{freed_objects},\"freed_bytes\":{freed_bytes}"),
+            ),
+            TraceEvent::ThreadSwitch { thread } => ("sched", format!("\"thread\":{thread}")),
+        };
+        TraceKindArgs { cat, args }
+    }
+}

@@ -1,0 +1,33 @@
+//! hera-trace: virtual-time tracing and metrics substrate for the Hera-JVM
+//! simulator.
+//!
+//! The simulator advances a deterministic *virtual* clock per core (PPE plus
+//! one lane per SPE).  This crate records typed [`TraceEvent`]s into per-core
+//! lanes stamped with that clock, so two identical runs produce byte-identical
+//! traces.  It knows nothing about the simulator's types — lanes are plain
+//! indices, methods/objects/classes are plain ids — which keeps the crate at
+//! the bottom of the dependency graph with zero external dependencies.
+//!
+//! Three consumers ship with the crate:
+//! - [`MetricsRegistry`]: named counters and log2-bucketed histograms that
+//!   subsume the simulator's ad-hoc statistic structs;
+//! - [`chrome_trace_json`]: Chrome trace-event JSON (Perfetto /
+//!   chrome://tracing loadable, one track per core lane);
+//! - [`text_summary`]: a plain-text per-core digest.
+//!
+//! Tracing is zero-cost when disabled: every hook in the simulator is a
+//! single `if sink.is_enabled()` branch, and no virtual cycles are ever
+//! charged for observation, so enabling tracing cannot perturb simulated
+//! time.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+
+pub use chrome::{chrome_trace_json, chrome_trace_json_with};
+pub use event::{BarrierKind, DmaTag, GcPhase, MigrationKind, TraceEvent, TraceKindArgs};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{Lane, TimedEvent, TraceSink};
+pub use summary::text_summary;

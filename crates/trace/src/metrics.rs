@@ -1,0 +1,212 @@
+//! Named counters and histograms.
+//!
+//! `BTreeMap` keys keep iteration (and therefore rendering and equality)
+//! deterministic, which the trace determinism test relies on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` counts samples with `bit_length(v) == i`, i.e. bucket 0
+    /// holds v == 0, bucket i holds 2^(i-1) <= v < 2^i.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Deterministic registry of named counters and histograms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Add `delta` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set counter `name` to `value` (for one-shot aggregate snapshots).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one sample into the histogram `name`.
+    pub fn record(&mut self, name: &str, v: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::default();
+                h.record(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one (counters add, histogram samples
+    /// merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            if dst.count == 0 {
+                *dst = h.clone();
+            } else if h.count > 0 {
+                dst.count += h.count;
+                dst.sum += h.sum;
+                dst.min = dst.min.min(h.min);
+                dst.max = dst.max.max(h.max);
+                for (d, s) in dst.buckets.iter_mut().zip(h.buckets.iter()) {
+                    *d += s;
+                }
+            }
+        }
+    }
+
+    /// Human-readable sorted dump.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<40} {v:>14}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{:<40} n={} sum={} min={} mean={:.1} max={}",
+                name,
+                h.count,
+                h.sum,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::default();
+        m.add("a", 2);
+        m.add("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(8);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 16);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 8);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[3], 1); // 7 -> [4,8)
+        assert_eq!(h.buckets[4], 1); // 8 -> [8,16)
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::default();
+        a.add("c", 1);
+        a.record("h", 4);
+        let mut b = MetricsRegistry::default();
+        b.add("c", 2);
+        b.record("h", 16);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 16);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::default();
+        m.add("zz", 1);
+        m.add("aa", 2);
+        let r = m.render();
+        let za = r.find("zz").unwrap();
+        let aa = r.find("aa").unwrap();
+        assert!(aa < za);
+        assert_eq!(r, m.render());
+    }
+}

@@ -1,0 +1,58 @@
+//! Plain-text per-core trace digest.
+
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a per-lane summary: event counts by kind, first/last virtual
+/// timestamps, followed by the metrics registry.
+pub fn text_summary(sink: &TraceSink) -> String {
+    let mut out = String::new();
+    if !sink.is_enabled() {
+        out.push_str("trace: disabled (no events recorded)\n");
+    }
+    for lane in sink.lanes() {
+        let _ = writeln!(out, "lane {:<8} {:>8} events", lane.name, lane.events.len());
+        if lane.events.is_empty() {
+            continue;
+        }
+        let first = lane.events.first().unwrap().at;
+        let last = lane.events.last().unwrap().at;
+        let _ = writeln!(out, "  span: {first} .. {last} virtual cycles");
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for te in &lane.events {
+            *by_kind.entry(te.event.kind_name()).or_insert(0) += 1;
+        }
+        for (kind, n) in by_kind {
+            let _ = writeln!(out, "  {kind:<24} {n:>10}");
+        }
+    }
+    if !sink.metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for line in sink.metrics.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn summary_counts_by_kind() {
+        let mut s = TraceSink::with_lanes(["ppe", "spe0"]);
+        s.emit(0, 1, TraceEvent::MethodInvoke { method: 1 });
+        s.emit(0, 2, TraceEvent::MethodInvoke { method: 2 });
+        s.emit(0, 9, TraceEvent::MethodReturn { method: 2 });
+        s.metrics.add("dma.transfers", 3);
+        let t = text_summary(&s);
+        assert!(t.contains("lane ppe"));
+        assert!(t.contains("method.invoke"));
+        assert!(t.contains("2"));
+        assert!(t.contains("span: 1 .. 9"));
+        assert!(t.contains("dma.transfers"));
+    }
+}

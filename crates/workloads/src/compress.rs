@@ -100,7 +100,10 @@ pub fn build_program(p: &Params) -> Program {
                         "state".into(),
                         add(mul(local("state"), i32c(lcg_a)), i32c(lcg_c)),
                     ),
-                    Stmt::Let("r".into(), band(ushr(local("state"), i32c(16)), i32c(0x7fff))),
+                    Stmt::Let(
+                        "r".into(),
+                        band(ushr(local("state"), i32c(16)), i32c(0x7fff)),
+                    ),
                     Stmt::If(
                         andand(
                             cmp_lt(band(local("r"), i32c(7)), i32c(2)),
@@ -173,14 +176,20 @@ pub fn build_program(p: &Params) -> Program {
                 vec![Stmt::SetIndex(local("hashCode"), local("z"), i32c(-1))],
             ),
             Stmt::Let("nextCode".into(), i32c(256)),
-            Stmt::Let("prefix".into(), band(index(local("input"), i32c(0)), i32c(255))),
+            Stmt::Let(
+                "prefix".into(),
+                band(index(local("input"), i32c(0)), i32c(255)),
+            ),
             Stmt::Let("outLen".into(), i32c(0)),
             for_range(
                 "i",
                 i32c(1),
                 local("n"),
                 vec![
-                    Stmt::Let("c".into(), band(index(local("input"), local("i")), i32c(255))),
+                    Stmt::Let(
+                        "c".into(),
+                        band(index(local("input"), local("i")), i32c(255)),
+                    ),
                     // probe the dictionary for (prefix, c)
                     Stmt::Let("key".into(), bor(shl(local("prefix"), i32c(8)), local("c"))),
                     Stmt::Let(
@@ -289,9 +298,7 @@ pub fn build_program(p: &Params) -> Program {
                     // KwKwK: code not yet defined
                     Stmt::If(
                         cmp_ge(local("code"), local("next")),
-                        vec![
-                            Stmt::Assign("cur".into(), local("prev")),
-                        ],
+                        vec![Stmt::Assign("cur".into(), local("prev"))],
                         vec![],
                     ),
                     // unwind the phrase onto the stack
@@ -362,13 +369,13 @@ pub fn build_program(p: &Params) -> Program {
                 "input".into(),
                 call(generate, vec![field(local("this"), f_seed), local("n")]),
             ),
-            Stmt::Let("codes".into(), new_array(ElemTy::Int, add(local("n"), i32c(1)))),
+            Stmt::Let(
+                "codes".into(),
+                new_array(ElemTy::Int, add(local("n"), i32c(1))),
+            ),
             Stmt::Let(
                 "m".into(),
-                call(
-                    compress_m,
-                    vec![local("input"), local("n"), local("codes")],
-                ),
+                call(compress_m, vec![local("input"), local("n"), local("codes")]),
             ),
             Stmt::Let("decoded".into(), new_array(ElemTy::Byte, local("n"))),
             Stmt::Let(
@@ -441,17 +448,9 @@ pub fn build_program(p: &Params) -> Program {
                 vec![
                     Stmt::Let("w".into(), Expr::New(worker)),
                     Stmt::SetField(local("w"), f_size, i32c(p.bytes_per_thread)),
-                    Stmt::SetField(
-                        local("w"),
-                        f_seed,
-                        call(seed_m, vec![local("i")]),
-                    ),
+                    Stmt::SetField(local("w"), f_seed, call(seed_m, vec![local("i")])),
                     Stmt::SetIndex(local("workers"), local("i"), local("w")),
-                    Stmt::SetIndex(
-                        local("tids"),
-                        local("i"),
-                        call(api.spawn, vec![local("w")]),
-                    ),
+                    Stmt::SetIndex(local("tids"), local("i"), call(api.spawn, vec![local("w")])),
                 ],
             ),
             Stmt::Let("total".into(), i32c(0)),
@@ -467,10 +466,7 @@ pub fn build_program(p: &Params) -> Program {
                     ),
                     Stmt::Assign(
                         "total".into(),
-                        bxor(
-                            mul(local("total"), i32c(7)),
-                            field(local("wj"), f_check),
-                        ),
+                        bxor(mul(local("total"), i32c(7)), field(local("wj"), f_check)),
                     ),
                 ],
             ),

@@ -66,7 +66,10 @@ impl Workload {
         match self {
             Workload::Compress => {
                 let p = compress::Params::scaled(threads, scale);
-                (compress::build_program(&p), compress::reference_checksum(&p))
+                (
+                    compress::build_program(&p),
+                    compress::reference_checksum(&p),
+                )
             }
             Workload::MpegAudio => {
                 let p = mpegaudio::Params::scaled(threads, scale);

@@ -86,10 +86,7 @@ pub fn build_program(p: &Params) -> Program {
                 andand(
                     cmp_lt(local("iter"), local("maxIter")),
                     cmp_le(
-                        add(
-                            mul(local("zr"), local("zr")),
-                            mul(local("zi"), local("zi")),
-                        ),
+                        add(mul(local("zr"), local("zr")), mul(local("zi"), local("zi"))),
                         f32c(4.0),
                     ),
                 ),
@@ -97,19 +94,13 @@ pub fn build_program(p: &Params) -> Program {
                     Stmt::Let(
                         "t".into(),
                         add(
-                            sub(
-                                mul(local("zr"), local("zr")),
-                                mul(local("zi"), local("zi")),
-                            ),
+                            sub(mul(local("zr"), local("zr")), mul(local("zi"), local("zi"))),
                             local("cr"),
                         ),
                     ),
                     Stmt::Assign(
                         "zi".into(),
-                        add(
-                            mul(mul(f32c(2.0), local("zr")), local("zi")),
-                            local("ci"),
-                        ),
+                        add(mul(mul(f32c(2.0), local("zr")), local("zi")), local("ci")),
                     ),
                     Stmt::Assign("zr".into(), local("t")),
                     Stmt::Assign("iter".into(), add(local("iter"), i32c(1))),
@@ -158,17 +149,11 @@ pub fn build_program(p: &Params) -> Program {
                         vec![
                             Stmt::Let(
                                 "cr".into(),
-                                add(
-                                    f32c(X0),
-                                    mul(cast(Ty::Float, local("x")), local("dx")),
-                                ),
+                                add(f32c(X0), mul(cast(Ty::Float, local("x")), local("dx"))),
                             ),
                             Stmt::Let(
                                 "it".into(),
-                                call(
-                                    pixel,
-                                    vec![local("cr"), local("ci"), i32c(p.max_iter)],
-                                ),
+                                call(pixel, vec![local("cr"), local("ci"), i32c(p.max_iter)]),
                             ),
                             Stmt::SetIndex(
                                 local("img"),
@@ -209,11 +194,7 @@ pub fn build_program(p: &Params) -> Program {
                     Stmt::SetField(local("w"), f_y_step, i32c(threads)),
                     Stmt::SetField(local("w"), f_image, local("img")),
                     Stmt::SetIndex(local("workers"), local("i"), local("w")),
-                    Stmt::SetIndex(
-                        local("tids"),
-                        local("i"),
-                        call(api.spawn, vec![local("w")]),
-                    ),
+                    Stmt::SetIndex(local("tids"), local("i"), call(api.spawn, vec![local("w")])),
                 ],
             ),
             Stmt::Let("total".into(), i32c(0)),
@@ -225,10 +206,7 @@ pub fn build_program(p: &Params) -> Program {
                     Stmt::Expr(call(api.join, vec![index(local("tids"), local("j"))])),
                     Stmt::Let(
                         format!("w{}", "j"),
-                        cast(
-                            Ty::Ref(worker),
-                            index(local("workers"), local("j")),
-                        ),
+                        cast(Ty::Ref(worker), index(local("workers"), local("j"))),
                     ),
                     Stmt::Assign(
                         "total".into(),

@@ -329,7 +329,11 @@ pub fn build_program(p: &Params) -> Program {
             &mut pb,
             audio,
             &name,
-            vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int), ("j", Ty::Int)],
+            vec![
+                ("fifo", Ty::Array(ElemTy::Float)),
+                ("vpos", Ty::Int),
+                ("j", Ty::Int),
+            ],
             Some(Ty::Float),
         );
         let mut body = vec![
@@ -358,7 +362,11 @@ pub fn build_program(p: &Params) -> Program {
         define(
             &mut pb,
             tap,
-            vec![("fifo", Ty::Array(ElemTy::Float)), ("vpos", Ty::Int), ("j", Ty::Int)],
+            vec![
+                ("fifo", Ty::Array(ElemTy::Float)),
+                ("vpos", Ty::Int),
+                ("j", Ty::Int),
+            ],
             body,
         )
         .expect("tap helper compiles");
@@ -433,7 +441,10 @@ pub fn build_program(p: &Params) -> Program {
                         "state".into(),
                         call(dequant, vec![local("state"), local("samples")]),
                     ),
-                    Stmt::Assign("vpos".into(), band(sub(local("vpos"), i32c(64)), i32c(1023))),
+                    Stmt::Assign(
+                        "vpos".into(),
+                        band(sub(local("vpos"), i32c(64)), i32c(1023)),
+                    ),
                     Stmt::Expr(call(
                         matrix,
                         vec![local("samples"), local("fifo"), local("vpos")],
@@ -483,11 +494,7 @@ pub fn build_program(p: &Params) -> Program {
                         ),
                     ),
                     Stmt::SetIndex(local("workers"), local("i"), local("w")),
-                    Stmt::SetIndex(
-                        local("tids"),
-                        local("i"),
-                        call(api.spawn, vec![local("w")]),
-                    ),
+                    Stmt::SetIndex(local("tids"), local("i"), call(api.spawn, vec![local("w")])),
                 ],
             ),
             Stmt::Let("total".into(), i32c(0)),
@@ -503,10 +510,7 @@ pub fn build_program(p: &Params) -> Program {
                     ),
                     Stmt::Assign(
                         "total".into(),
-                        bxor(
-                            mul(local("total"), i32c(7)),
-                            field(local("wj"), f_check),
-                        ),
+                        bxor(mul(local("total"), i32c(7)), field(local("wj"), f_check)),
                     ),
                 ],
             ),
@@ -582,8 +586,7 @@ pub fn reference_checksum(p: &Params) -> i32 {
             for j in 0..32i32 {
                 let mut acc = 0f32;
                 for m in 0..16i32 {
-                    acc += fifo[((vpos + j + 64 * m) & 1023) as usize]
-                        * win[(j + 32 * m) as usize];
+                    acc += fifo[((vpos + j + 64 * m) & 1023) as usize] * win[(j + 32 * m) as usize];
                 }
                 sum += acc;
             }

@@ -21,7 +21,13 @@ fn program(annotated: bool) -> (hera_isa::Program, i32) {
     let mut pb = ProgramBuilder::new();
     let cls = pb.add_class("TwoPhase", None);
 
-    let fp_chunk = declare_static(&mut pb, cls, "fpChunk", vec![("x", Ty::Float)], Some(Ty::Float));
+    let fp_chunk = declare_static(
+        &mut pb,
+        cls,
+        "fpChunk",
+        vec![("x", Ty::Float)],
+        Some(Ty::Float),
+    );
     if annotated {
         pb.annotate(fp_chunk, Annotation::FloatIntensive);
     }
@@ -96,10 +102,7 @@ fn program(annotated: bool) -> (hera_isa::Program, i32) {
                 i32c(0),
                 i32c(MEM_N),
                 vec![
-                    Stmt::Assign(
-                        "v".into(),
-                        rem(add(local("v"), i32c(40503)), i32c(MEM_N)),
-                    ),
+                    Stmt::Assign("v".into(), rem(add(local("v"), i32c(40503)), i32c(MEM_N))),
                     Stmt::SetIndex(local("a"), local("i"), local("v")),
                 ],
             ),
@@ -146,15 +149,26 @@ fn main() {
     for (name, policy, annotated) in [
         ("pinned-PPE  (no hints)", PlacementPolicy::PinnedPpe, false),
         ("pinned-SPE  (no hints)", PlacementPolicy::PinnedSpe, false),
-        ("annotation  (@FloatIntensive / @MemoryIntensive)", PlacementPolicy::Annotation, true),
-        ("adaptive    (runtime monitoring only)", PlacementPolicy::adaptive(), false),
+        (
+            "annotation  (@FloatIntensive / @MemoryIntensive)",
+            PlacementPolicy::Annotation,
+            true,
+        ),
+        (
+            "adaptive    (runtime monitoring only)",
+            PlacementPolicy::adaptive(),
+            false,
+        ),
     ] {
         let (prog, expected) = program(annotated);
         let cfg = VmConfig {
             policy,
             ..VmConfig::default()
         };
-        let out = HeraJvm::new(prog, cfg).expect("constructs").run().expect("runs");
+        let out = HeraJvm::new(prog, cfg)
+            .expect("constructs")
+            .run()
+            .expect("runs");
         assert_eq!(out.result, Some(Value::I32(expected)), "{name}");
         println!(
             "{name:<50} {:>12} cycles, {:>3} migrations",

@@ -64,10 +64,7 @@ fn main() {
     }
 
     println!();
-    println!(
-        "PPE (1 thread):   {:>12} cycles",
-        ppe.stats.wall_cycles
-    );
+    println!("PPE (1 thread):   {:>12} cycles", ppe.stats.wall_cycles);
     println!(
         "6 SPEs (6 threads): {:>10} cycles  → {:.1}x speedup (paper: ~9.4x at 800x600)",
         out.stats.wall_cycles,
