@@ -8,3 +8,8 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+# Bench targets must keep compiling (criterion-gated ones are skipped
+# offline) and the perf harness must run end to end; one rep at a small
+# scale keeps this a smoke test, not a measurement.
+cargo bench --workspace --no-run
+cargo run --release -p hera-bench --bin figures -- perf --reps 1 --scale 0.1

@@ -1,0 +1,38 @@
+//! Capture the golden execution fingerprints the differential
+//! representation test in `crates/integration/tests/engine.rs` asserts
+//! against.
+//!
+//! Run `cargo run --release -p hera-bench --example golden_capture` and
+//! paste the output over the `GOLDEN` table in that test. The values
+//! must only ever be regenerated from an engine whose virtual-time
+//! behaviour is known-good (they were first captured from the tagged
+//! `Value`-frame interpreter the slot engine replaced).
+
+use hera_bench::{ppe_config, run_workload, spe_config, DEFAULT_SCALE};
+use hera_workloads::Workload;
+
+fn main() {
+    println!("// (workload, config, threads, result, migrations, per_core_cycles)");
+    for w in Workload::ALL {
+        for (cfg_name, threads, cfg) in [
+            ("ppe", 1, ppe_config()),
+            ("spe1", 1, spe_config(1)),
+            ("spe6", 6, spe_config(6)),
+        ] {
+            let out = run_workload(w, threads, DEFAULT_SCALE, cfg);
+            let result = match out.result {
+                Some(hera_isa::Value::I32(v)) => v,
+                other => panic!("unexpected result {other:?}"),
+            };
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, &{:?}),",
+                w.name(),
+                cfg_name,
+                threads,
+                result,
+                out.stats.migrations,
+                out.stats.per_core_cycles,
+            );
+        }
+    }
+}

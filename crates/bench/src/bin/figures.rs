@@ -8,6 +8,7 @@
 //!           | ablate-data | ablate-jit | adaptive-cache | placement
 //!           | cellvm-sync
 //!           | trace [WORKLOAD]   (emit a Chrome/Perfetto trace + summary)
+//!           | perf [--reps N]    (host wall-clock bench; write BENCH_interp.json)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -21,6 +22,7 @@ fn main() {
     let mut which = "all".to_string();
     let mut workload = "mandelbrot".to_string();
     let mut scale = xb::DEFAULT_SCALE;
+    let mut reps = 3u32;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,6 +31,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(scale);
+                i += 1;
+            }
+            "--reps" => {
+                reps = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(reps);
                 i += 1;
             }
             other => {
@@ -44,6 +50,10 @@ fn main() {
 
     if which == "trace" {
         trace_workload(&workload, scale);
+        return;
+    }
+    if which == "perf" {
+        perf(scale, reps);
         return;
     }
 
@@ -113,6 +123,49 @@ fn trace_workload(name: &str, scale: f64) {
         "wrote {path} ({} bytes) — open in chrome://tracing or https://ui.perfetto.dev",
         json.len()
     );
+}
+
+fn perf(scale: f64, reps: u32) {
+    header(&format!(
+        "engine host performance (best of {reps}; virtual cycles must not move)"
+    ));
+    println!(
+        "{:<11} {:<5} {:>14} {:>14} {:>12} {:>9} {:>9}",
+        "benchmark", "cfg", "host ns", "virt cycles", "guest ops", "ns/op", "speedup"
+    );
+    let rows = xb::perf_interp(scale, reps);
+    for r in &rows {
+        // The recorded baselines are full-scale numbers; comparing a
+        // reduced-scale run against them would be meaningless.
+        let speedup = if scale == xb::DEFAULT_SCALE {
+            xb::perf_baseline_ns(r.workload.name(), r.config)
+                .map(|base| format!("{:.2}x", base as f64 / r.host_ns as f64))
+                .unwrap_or_else(|| "-".into())
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<11} {:<5} {:>14} {:>14} {:>12} {:>9.3} {:>9}",
+            r.workload.name(),
+            r.config,
+            r.host_ns,
+            r.wall_cycles,
+            r.guest_ops,
+            r.ns_per_op,
+            speedup
+        );
+    }
+    if scale == xb::DEFAULT_SCALE {
+        let json = xb::perf_json(&rows);
+        std::fs::write("BENCH_interp.json", &json)
+            .unwrap_or_else(|e| panic!("write BENCH_interp.json: {e}"));
+        println!("(speedup is vs the tagged Value-frame engine; wrote BENCH_interp.json)");
+    } else {
+        println!(
+            "(speedup is vs the tagged Value-frame engine at full scale; \
+             snapshot not written at scale {scale})"
+        );
+    }
 }
 
 fn fig4a(scale: f64) {

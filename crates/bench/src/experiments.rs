@@ -647,3 +647,112 @@ pub fn sync_scalability(reps: i32) -> Vec<(u8, u64, u64)> {
         })
         .collect()
 }
+
+// ------------------------------------------------------------- perf bench
+
+/// One row of the interpreter host-performance benchmark.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Workload under measurement.
+    pub workload: Workload,
+    /// Configuration label (`ppe`, `spe1`, `spe6`).
+    pub config: &'static str,
+    /// Guest threads.
+    pub threads: u32,
+    /// Best-of-N host wall-clock for the whole run (nanoseconds).
+    pub host_ns: u64,
+    /// Virtual wall-clock of the run (simulated cycles) — must not move
+    /// when the engine is optimised; only `host_ns` may.
+    pub wall_cycles: u64,
+    /// Machine operations retired across all cores.
+    pub guest_ops: u64,
+    /// Host nanoseconds per retired guest operation.
+    pub ns_per_op: f64,
+}
+
+/// Host wall-clock of the tagged `Value`-frame engine this slot engine
+/// replaced, best of 3 on the reference machine (same workload/config
+/// grid as [`perf_interp`]). Kept as the denominator for the speedup
+/// column so regressions against the rewrite's baseline are visible.
+pub const PERF_BASELINE_NS: [(&str, &str, u64); 9] = [
+    ("compress", "ppe", 264_718_404),
+    ("compress", "spe1", 519_884_304),
+    ("compress", "spe6", 553_526_167),
+    ("mpegaudio", "ppe", 229_151_364),
+    ("mpegaudio", "spe1", 471_754_582),
+    ("mpegaudio", "spe6", 477_487_980),
+    ("mandelbrot", "ppe", 211_165_321),
+    ("mandelbrot", "spe1", 221_549_425),
+    ("mandelbrot", "spe6", 216_655_875),
+];
+
+/// Baseline host time for one workload/config cell, if recorded.
+pub fn perf_baseline_ns(workload: &str, config: &str) -> Option<u64> {
+    PERF_BASELINE_NS
+        .iter()
+        .find(|(w, c, _)| *w == workload && *c == config)
+        .map(|&(_, _, ns)| ns)
+}
+
+/// Measure host wall-clock per workload/config cell, best of `reps`
+/// runs. Every run still asserts the workload checksum, so this doubles
+/// as a correctness sweep.
+pub fn perf_interp(scale: f64, reps: u32) -> Vec<PerfRow> {
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        for (config, threads) in [("ppe", 1u32), ("spe1", 1), ("spe6", 6)] {
+            let mut best_ns = u64::MAX;
+            let mut wall_cycles = 0;
+            let mut guest_ops = 0;
+            for _ in 0..reps.max(1) {
+                let cfg = match config {
+                    "ppe" => ppe_config(),
+                    "spe1" => spe_config(1),
+                    _ => spe_config(6),
+                };
+                let t0 = std::time::Instant::now();
+                let out = run_workload(w, threads, scale, cfg);
+                let dt = t0.elapsed().as_nanos() as u64;
+                best_ns = best_ns.min(dt);
+                wall_cycles = out.stats.wall_cycles;
+                guest_ops = out.stats.ppe.total_ops() + out.stats.spe.total_ops();
+            }
+            rows.push(PerfRow {
+                workload: w,
+                config,
+                threads,
+                host_ns: best_ns,
+                wall_cycles,
+                guest_ops,
+                ns_per_op: best_ns as f64 / guest_ops.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Render [`perf_interp`] rows as the `BENCH_interp.json` snapshot.
+pub fn perf_json(rows: &[PerfRow]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"interp\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = perf_baseline_ns(r.workload.name(), r.config)
+            .map(|base| format!("{:.2}", base as f64 / r.host_ns as f64))
+            .unwrap_or_else(|| "null".into());
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
+             \"host_ns\": {}, \"wall_cycles\": {}, \"guest_ops\": {}, \
+             \"ns_per_op\": {:.3}, \"speedup_vs_tagged\": {}}}{}\n",
+            r.workload.name(),
+            r.config,
+            r.threads,
+            r.host_ns,
+            r.wall_cycles,
+            r.guest_ops,
+            r.ns_per_op,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -7,17 +7,40 @@
 //! interesting runtime behaviour lives: JIT-on-first-use per core type,
 //! SPE code-cache lookups (and re-lookups on return), annotation- and
 //! monitor-driven migration with stack markers, and the native bridges.
+//!
+//! ## Execution structure
+//!
+//! Frames are untagged [`Slot`] windows into the thread's arena (see
+//! `thread.rs`). The dispatch loop is split in two tiers:
+//!
+//! * [`exec_block`] — the hot tier. It borrows the current frame, the
+//!   arena and the machine *once*, then retires straight-line ops
+//!   (stack, locals, arithmetic, branches, and both the PPE-direct and
+//!   SPE-cached heap accesses) until the quantum drains or a
+//!   frame-changing op appears. No per-op re-borrowing, no tag
+//!   dispatch, no `Vec` push/pop.
+//! * [`step_slow`] — the cold tier, taking `&mut World`: allocation
+//!   (may GC), invokes, returns, monitors. These are exactly the ops
+//!   where frames change or cross-subsystem state is touched.
+//!
+//! The split is behaviour-preserving: every virtual-cycle charge, trap
+//! and trace event is issued in the same order as the tagged engine it
+//! replaced (the differential tests in `hera-integration` pin this).
 
 use crate::native::StdNative;
-use crate::thread::{BlockReason, Frame, FrameKind, PendingCall, ThreadId};
+use crate::thread::{
+    BehaviourWindow, BlockReason, Frame, FrameKind, JavaThread, PendingCall, ThreadId,
+};
 use crate::vm::VmError;
 use crate::world::{QuantumOutcome, World};
-use hera_cell::{CoreId, CoreKind, ExecOp, OpClass};
+use hera_cell::{CellMachine, CoreId, CoreKind, ExecOp, OpClass};
 use hera_isa::class::NativeKind;
-use hera_isa::{ClassId, MethodId, ObjRef, Trap, Ty, Value};
+use hera_isa::{Kind, MethodDef, MethodId, ObjRef, Slot, Trap, Ty, Value};
 use hera_jit::{BranchKind, MachineOp};
-use hera_mem::Heap;
+use hera_mem::{Heap, HeapKind};
+use hera_softcache::DataCache;
 use hera_trace::{MigrationKind, TraceEvent};
+use std::rc::Rc;
 
 /// Control-flow outcome of one op.
 enum Flow {
@@ -33,36 +56,60 @@ enum Flow {
     EndQuantum,
 }
 
+/// Why the hot tier handed control back.
+enum BlockExit {
+    /// The quantum budget drained; the thread remains runnable.
+    Budget,
+    /// A frame-changing op was fetched (and counted); it still has to
+    /// run, with the whole world in scope.
+    Slow(MachineOp),
+}
+
 /// Extra PPE stall for a volatile access (sync instruction).
 const VOLATILE_SYNC_CYCLES: u64 = 20;
 
-// ---- tiny stack helpers (short borrows, index-based) ----
+// ---- unchecked-in-release arena accessors ----
+//
+// Every index is derived from verifier facts (`max_stack`, `max_locals`)
+// and the frame-push bounds check, so out-of-range indices are VM bugs,
+// not guest-reachable states. Debug builds keep the assertion.
 
-#[inline]
-fn frame<'a>(w: &'a mut World<'_>, t: usize) -> &'a mut Frame {
-    w.threads[t].frames.last_mut().expect("thread has a frame")
+#[inline(always)]
+fn sget(arena: &[Slot], i: usize) -> Slot {
+    debug_assert!(i < arena.len(), "slot index {i} outside arena");
+    #[cfg(debug_assertions)]
+    {
+        arena[i]
+    }
+    #[cfg(not(debug_assertions))]
+    unsafe {
+        *arena.get_unchecked(i)
+    }
 }
 
-#[inline]
-fn pop(w: &mut World<'_>, t: usize) -> Value {
-    frame(w, t)
-        .stack
-        .pop()
-        .expect("verified stack is non-empty")
+#[inline(always)]
+fn sset(arena: &mut [Slot], i: usize, v: Slot) {
+    debug_assert!(i < arena.len(), "slot index {i} outside arena");
+    #[cfg(debug_assertions)]
+    {
+        arena[i] = v;
+    }
+    #[cfg(not(debug_assertions))]
+    unsafe {
+        *arena.get_unchecked_mut(i) = v;
+    }
 }
 
-#[inline]
-fn push(w: &mut World<'_>, t: usize, v: Value) {
-    frame(w, t).stack.push(v);
-}
-
-#[inline]
-fn pop_ref_checked(w: &mut World<'_>, t: usize) -> Result<ObjRef, Trap> {
-    let r = pop(w, t).as_ref();
-    if r.is_null() {
-        Err(Trap::NullPointer)
-    } else {
-        Ok(r)
+#[inline(always)]
+fn op_at(ops: &[MachineOp], pc: u32) -> MachineOp {
+    debug_assert!((pc as usize) < ops.len(), "pc {pc} outside op stream");
+    #[cfg(debug_assertions)]
+    {
+        ops[pc as usize]
+    }
+    #[cfg(not(debug_assertions))]
+    unsafe {
+        *ops.get_unchecked(pc as usize)
     }
 }
 
@@ -70,6 +117,41 @@ fn spe_of(core: CoreId) -> Option<usize> {
     match core {
         CoreId::Ppe => None,
         CoreId::Spe(n) => Some(n as usize),
+    }
+}
+
+// ---- slow-tier stack helpers (cold paths only) ----
+
+#[inline]
+fn pop_slot(w: &mut World<'_>, t: usize) -> Slot {
+    let th = &mut w.threads[t];
+    let i = {
+        let f = th.frames.last_mut().expect("thread has a frame");
+        f.sp -= 1;
+        f.sp as usize
+    };
+    sget(&th.arena, i)
+}
+
+#[inline]
+fn push_slot(w: &mut World<'_>, t: usize, v: Slot) {
+    let th = &mut w.threads[t];
+    let i = {
+        let f = th.frames.last_mut().expect("thread has a frame");
+        let i = f.sp as usize;
+        f.sp += 1;
+        i
+    };
+    sset(&mut th.arena, i, v);
+}
+
+#[inline]
+fn pop_ref_slot(w: &mut World<'_>, t: usize) -> Result<ObjRef, Trap> {
+    let r = pop_slot(w, t).obj();
+    if r.is_null() {
+        Err(Trap::NullPointer)
+    } else {
+        Ok(r)
     }
 }
 
@@ -97,14 +179,8 @@ pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, V
     if let Some(_obj) = w.threads[t].pending_acquire_barrier.take() {
         w.machine.exec(core, ExecOp::MonitorOp);
         if let Some(spe) = spe_of(core) {
-            if let Err(e) = data_cache_purge(w, spe, core) {
-                match e {
-                    StepError::Trap(trap) => {
-                        w.finish_thread(tid, Err(trap));
-                        return Ok(QuantumOutcome::Finished);
-                    }
-                    StepError::Vm(e) => return Err(e),
-                }
+            if let Err(e) = world_cache_purge(w, spe, core) {
+                return trap_or_vm(w, tid, e);
             }
         }
     }
@@ -127,26 +203,62 @@ pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, V
         }
     }
 
-    let quantum = w.config.quantum_ops;
-    for _ in 0..quantum {
+    let mut budget = w.config.quantum_ops;
+    loop {
         if w.threads[t].frames.is_empty() {
             // Defensive: a thread with no frames has finished.
             return Ok(QuantumOutcome::Finished);
         }
-        match step(w, tid) {
-            Ok(Flow::Continue) => {}
-            Ok(Flow::Block) => return Ok(QuantumOutcome::Blocked),
-            Ok(Flow::Finish) => return Ok(QuantumOutcome::Finished),
-            Ok(Flow::Migrate) => return Ok(QuantumOutcome::Migrated),
-            Ok(Flow::EndQuantum) => return Ok(QuantumOutcome::Ready),
-            Err(StepError::Trap(trap)) => {
-                w.finish_thread(tid, Err(trap));
-                return Ok(QuantumOutcome::Finished);
+        if budget == 0 {
+            return Ok(QuantumOutcome::Ready);
+        }
+
+        // Lazy rebind: a one-way (monitor-driven) migration can leave
+        // frames holding code compiled for the other core kind. The 1:1
+        // lowering keeps op indices stable, so swapping in this core's
+        // compilation at the same pc is a sound on-stack replacement.
+        // The current frame only changes at slow-tier ops, so checking
+        // once per block matches the per-op check it replaced.
+        let needs_rebind = {
+            let f = w.threads[t].frames.last().expect("checked non-empty");
+            f.code.core != core.kind()
+        };
+        if needs_rebind {
+            let method = w.threads[t]
+                .frames
+                .last()
+                .expect("checked non-empty")
+                .method;
+            let (code, jit) = w
+                .registry
+                .get_or_compile(w.program, &w.layout, method, core.kind())
+                .map_err(VmError::Compile)?;
+            if jit > 0 {
+                w.machine.advance(core, jit, OpClass::Integer);
             }
-            Err(StepError::Vm(e)) => return Err(e),
+            w.threads[t]
+                .frames
+                .last_mut()
+                .expect("checked non-empty")
+                .code = code;
+            if spe_of(core).is_some() {
+                code_cache_lookup(w, t, method)?;
+            }
+        }
+
+        match exec_block(w, t, core, &mut budget) {
+            Ok(BlockExit::Budget) => return Ok(QuantumOutcome::Ready),
+            Ok(BlockExit::Slow(op)) => match step_slow(w, tid, op) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Block) => return Ok(QuantumOutcome::Blocked),
+                Ok(Flow::Finish) => return Ok(QuantumOutcome::Finished),
+                Ok(Flow::Migrate) => return Ok(QuantumOutcome::Migrated),
+                Ok(Flow::EndQuantum) => return Ok(QuantumOutcome::Ready),
+                Err(e) => return trap_or_vm(w, tid, e),
+            },
+            Err(e) => return trap_or_vm(w, tid, e),
         }
     }
-    Ok(QuantumOutcome::Ready)
 }
 
 /// Step-level error: guest traps end the thread, VM errors end the run.
@@ -173,401 +285,462 @@ impl From<hera_mem::HeapError> for StepError {
     }
 }
 
-/// Execute exactly one machine op of thread `tid`.
-fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
+fn trap_or_vm(w: &mut World<'_>, tid: ThreadId, e: StepError) -> Result<QuantumOutcome, VmError> {
+    match e {
+        StepError::Trap(trap) => {
+            w.finish_thread(tid, Err(trap));
+            Ok(QuantumOutcome::Finished)
+        }
+        StepError::Vm(e) => Err(e),
+    }
+}
+
+/// The hot tier: retire straight-line ops of the current frame until
+/// the budget drains or a frame-changing op appears.
+///
+/// The frame cursor (`pc`, `sp`) is mutated in place, so the thread is
+/// always in a consistent, GC-scannable state — including at the early
+/// returns a trap takes.
+fn exec_block(
+    w: &mut World<'_>,
+    t: usize,
+    core: CoreId,
+    budget: &mut u32,
+) -> Result<BlockExit, StepError> {
+    let World {
+        program,
+        layout,
+        machine,
+        heap,
+        data_caches,
+        threads,
+        ..
+    } = w;
+    let program: &hera_isa::Program = program;
+    let th: &mut JavaThread = &mut threads[t];
+    let JavaThread {
+        frames,
+        arena,
+        window,
+        ..
+    } = th;
+    let f: &mut Frame = frames.last_mut().expect("thread has a frame");
+    let code = Rc::clone(&f.code);
+    let ops = code.ops.as_slice();
+    let base = f.base as usize;
+    let spe = spe_of(core);
+
+    macro_rules! pop {
+        () => {{
+            f.sp -= 1;
+            sget(arena, f.sp as usize)
+        }};
+    }
+    macro_rules! push {
+        ($v:expr) => {{
+            let v = $v;
+            sset(arena, f.sp as usize, v);
+            f.sp += 1;
+        }};
+    }
+    macro_rules! pop_ref {
+        () => {{
+            let r = pop!().obj();
+            if r.is_null() {
+                return Err(Trap::NullPointer.into());
+            }
+            r
+        }};
+    }
+
+    use MachineOp::*;
+    loop {
+        if *budget == 0 {
+            return Ok(BlockExit::Budget);
+        }
+        let op = op_at(ops, f.pc);
+        f.pc += 1;
+        *budget -= 1;
+        window.total_ops += 1;
+
+        match op {
+            PushI32(v) => {
+                machine.exec(core, ExecOp::StackOp);
+                push!(Slot::from_i32(v));
+            }
+            PushI64(v) => {
+                machine.exec(core, ExecOp::StackOp);
+                push!(Slot::from_i64(v));
+            }
+            PushF32(v) => {
+                machine.exec(core, ExecOp::StackOp);
+                push!(Slot::from_f32(v));
+            }
+            PushF64(v) => {
+                machine.exec(core, ExecOp::StackOp);
+                push!(Slot::from_f64(v));
+            }
+            PushNull => {
+                machine.exec(core, ExecOp::StackOp);
+                push!(Slot::from_ref(ObjRef::NULL));
+            }
+            Pop => {
+                machine.exec(core, ExecOp::StackOp);
+                f.sp -= 1;
+            }
+            Dup => {
+                machine.exec(core, ExecOp::StackOp);
+                let v = sget(arena, f.sp as usize - 1);
+                push!(v);
+            }
+            DupX1 => {
+                machine.exec(core, ExecOp::StackOp);
+                let a = pop!();
+                let b = pop!();
+                push!(a);
+                push!(b);
+                push!(a);
+            }
+            Swap => {
+                machine.exec(core, ExecOp::StackOp);
+                let a = pop!();
+                let b = pop!();
+                push!(a);
+                push!(b);
+            }
+            LoadLocal(s) => {
+                machine.exec(core, ExecOp::LocalAccess);
+                push!(sget(arena, base + s as usize));
+            }
+            StoreLocal(s) => {
+                machine.exec(core, ExecOp::LocalAccess);
+                let v = pop!();
+                sset(arena, base + s as usize, v);
+            }
+            IncLocal(s, d) => {
+                machine.exec(core, ExecOp::IntAlu);
+                let i = base + s as usize;
+                let old = sget(arena, i).i32();
+                sset(arena, i, Slot::from_i32(old.wrapping_add(d as i32)));
+            }
+            Arith(a) => {
+                machine.exec(core, a.exec_op());
+                if matches!(
+                    hera_cell::cost::exec_op_class(a.exec_op()),
+                    OpClass::FloatingPoint
+                ) {
+                    window.fp_ops += 1;
+                }
+                if a.arity() == 1 {
+                    let x = pop!();
+                    push!(a.apply1_slot(x));
+                } else {
+                    let b = pop!();
+                    let x = pop!();
+                    let r = a.apply2_slot(x, b)?;
+                    push!(r);
+                }
+            }
+            Branch(kind, target) => {
+                let taken = match kind {
+                    BranchKind::Always => true,
+                    BranchKind::IfI(c) => c.eval(pop!().i32()),
+                    BranchKind::IfICmp(c) => {
+                        let b = pop!().i32();
+                        let a = pop!().i32();
+                        c.eval2(a, b)
+                    }
+                    BranchKind::IfNull => pop!().obj().is_null(),
+                    BranchKind::IfNonNull => !pop!().obj().is_null(),
+                    BranchKind::IfACmpEq => {
+                        let b = pop!().obj();
+                        let a = pop!().obj();
+                        a == b
+                    }
+                    BranchKind::IfACmpNe => {
+                        let b = pop!().obj();
+                        let a = pop!().obj();
+                        a != b
+                    }
+                };
+                if taken {
+                    machine.exec(core, ExecOp::BranchTaken);
+                    f.pc = target;
+                } else {
+                    machine.exec(core, ExecOp::Branch);
+                }
+            }
+            InstanceOf { class } => {
+                machine.exec(core, ExecOp::Check);
+                let r = pop!().obj();
+                let yes = if r.is_null() {
+                    false
+                } else {
+                    match heap.header(r).kind {
+                        HeapKind::Object(c) => program.is_subclass(c, class),
+                        HeapKind::Array(_, _) => false,
+                    }
+                };
+                push!(Slot::from_i32(yes as i32));
+            }
+
+            // ---- PPE direct heap access ----
+            GetFieldDirect {
+                offset,
+                ty,
+                volatile,
+            } => {
+                machine.exec(core, ExecOp::Check);
+                let r = pop_ref!();
+                let cycles = machine.ppe_mem_access(r.0 + offset, ty.field_size());
+                mem_monitor(window, cycles);
+                if volatile {
+                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                }
+                push!(heap.read_typed_slot(r.0 + offset, ty));
+            }
+            PutFieldDirect {
+                offset,
+                ty,
+                volatile,
+            } => {
+                machine.exec(core, ExecOp::Check);
+                let v = pop!();
+                let r = pop_ref!();
+                let cycles = machine.ppe_mem_access(r.0 + offset, ty.field_size());
+                mem_monitor(window, cycles);
+                if volatile {
+                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                }
+                heap.write_typed_slot(r.0 + offset, ty, v);
+            }
+            GetStaticDirect {
+                offset,
+                ty,
+                volatile,
+            } => {
+                let addr = Heap::STATICS_BASE + offset;
+                let cycles = machine.ppe_mem_access(addr, ty.field_size());
+                mem_monitor(window, cycles);
+                if volatile {
+                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                }
+                push!(heap.read_typed_slot(addr, ty));
+            }
+            PutStaticDirect {
+                offset,
+                ty,
+                volatile,
+            } => {
+                let addr = Heap::STATICS_BASE + offset;
+                let v = pop!();
+                let cycles = machine.ppe_mem_access(addr, ty.field_size());
+                mem_monitor(window, cycles);
+                if volatile {
+                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                }
+                heap.write_typed_slot(addr, ty, v);
+            }
+            ArrLenDirect => {
+                machine.exec(core, ExecOp::Check);
+                let r = pop_ref!();
+                let cycles = machine.ppe_mem_access(r.0 + 4, 4);
+                mem_monitor(window, cycles);
+                let len = heap.array_length(r);
+                push!(Slot::from_i32(len as i32));
+            }
+            ArrLoadDirect { .. } => {
+                machine.exec(core, ExecOp::Check);
+                let idx = pop!().i32();
+                let r = pop_ref!();
+                // Bounds check reads the length word through the caches too.
+                machine.ppe_mem_access(r.0 + 4, 4);
+                let (addr, elem) = heap.elem_addr(r, idx)?;
+                let cycles = machine.ppe_mem_access(addr, elem.size());
+                mem_monitor(window, cycles);
+                push!(heap.array_load_slot(r, idx)?);
+            }
+            ArrStoreDirect { .. } => {
+                machine.exec(core, ExecOp::Check);
+                let v = pop!();
+                let idx = pop!().i32();
+                let r = pop_ref!();
+                machine.ppe_mem_access(r.0 + 4, 4);
+                let (addr, elem) = heap.elem_addr(r, idx)?;
+                let cycles = machine.ppe_mem_access(addr, elem.size());
+                mem_monitor(window, cycles);
+                heap.array_store_slot(r, idx, v)?;
+            }
+
+            // ---- SPE software-cached heap access ----
+            GetFieldCached {
+                offset,
+                ty,
+                volatile,
+            } => {
+                machine.exec(core, ExecOp::Check);
+                let r = pop_ref!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                if volatile {
+                    // JMM acquire: purge before the read.
+                    cache_purge(cache, heap, machine, core)?;
+                }
+                let size = heap.header(r).size;
+                let v = cache_read(cache, heap, machine, window, core, r.0, size, offset, ty)?;
+                push!(v);
+            }
+            PutFieldCached {
+                offset,
+                ty,
+                volatile,
+            } => {
+                machine.exec(core, ExecOp::Check);
+                let v = pop!();
+                let r = pop_ref!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                let size = heap.header(r).size;
+                cache_write(cache, heap, machine, window, core, r.0, size, offset, ty, v)?;
+                if volatile {
+                    // JMM release: publish before anyone can acquire.
+                    cache_flush(cache, heap, machine, core)?;
+                }
+            }
+            GetStaticCached {
+                offset,
+                ty,
+                volatile,
+            } => {
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                if volatile {
+                    cache_purge(cache, heap, machine, core)?;
+                }
+                let unit = Heap::STATICS_BASE;
+                let len = layout.statics.size;
+                let v = cache_read(cache, heap, machine, window, core, unit, len, offset, ty)?;
+                push!(v);
+            }
+            PutStaticCached {
+                offset,
+                ty,
+                volatile,
+            } => {
+                let v = pop!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                let unit = Heap::STATICS_BASE;
+                let len = layout.statics.size;
+                cache_write(cache, heap, machine, window, core, unit, len, offset, ty, v)?;
+                if volatile {
+                    cache_flush(cache, heap, machine, core)?;
+                }
+            }
+            ArrLenCached => {
+                machine.exec(core, ExecOp::Check);
+                let r = pop_ref!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                let len = spe_array_len(cache, heap, machine, window, core, r)?;
+                push!(Slot::from_i32(len as i32));
+            }
+            ArrLoadCached { elem } => {
+                machine.exec(core, ExecOp::Check);
+                let idx = pop!().i32();
+                let r = pop_ref!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                let v = spe_array_access(cache, heap, machine, window, core, r, idx, elem, None)?;
+                push!(v.expect("load returns a value"));
+            }
+            ArrStoreCached { elem } => {
+                machine.exec(core, ExecOp::Check);
+                let v = pop!();
+                let idx = pop!().i32();
+                let r = pop_ref!();
+                let cache = &mut data_caches[spe.expect("cached op on SPE")];
+                spe_array_access(cache, heap, machine, window, core, r, idx, elem, Some(v))?;
+            }
+
+            // ---- frame-changing ops: the slow tier runs these ----
+            op @ (NewObject { .. }
+            | NewArray { .. }
+            | InvokeStatic { .. }
+            | InvokeVirtual { .. }
+            | Return { .. }
+            | MonitorEnter
+            | MonitorExit) => return Ok(BlockExit::Slow(op)),
+        }
+    }
+}
+
+/// The cold tier: one already-fetched frame-changing op, with the whole
+/// world in scope.
+fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, StepError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
 
-    // Lazy rebind: a one-way (monitor-driven) migration can leave frames
-    // holding code compiled for the other core kind. The 1:1 lowering
-    // keeps op indices stable, so swapping in this core's compilation at
-    // the same pc is a sound on-stack replacement.
-    let needs_rebind = {
-        let f = frame(w, t);
-        f.code.core != core.kind()
-    };
-    if needs_rebind {
-        let method = frame(w, t).method;
-        let (code, jit) = w
-            .registry
-            .get_or_compile(w.program, &w.layout, method, core.kind())
-            .map_err(VmError::Compile)?;
-        if jit > 0 {
-            w.machine.advance(core, jit, OpClass::Integer);
-        }
-        frame(w, t).code = code;
-        if spe_of(core).is_some() {
-            code_cache_lookup(w, t, method)?;
-        }
-    }
-
-    // Fetch + advance pc.
-    let (op, _method) = {
-        let f = frame(w, t);
-        let op = f.code.ops[f.pc as usize];
-        f.pc += 1;
-        (op, f.method)
-    };
-
-    w.threads[t].window.total_ops += 1;
-
     use MachineOp::*;
     match op {
-        PushI32(v) => {
-            w.machine.exec(core, ExecOp::StackOp);
-            push(w, t, Value::I32(v));
-        }
-        PushI64(v) => {
-            w.machine.exec(core, ExecOp::StackOp);
-            push(w, t, Value::I64(v));
-        }
-        PushF32(v) => {
-            w.machine.exec(core, ExecOp::StackOp);
-            push(w, t, Value::F32(v));
-        }
-        PushF64(v) => {
-            w.machine.exec(core, ExecOp::StackOp);
-            push(w, t, Value::F64(v));
-        }
-        PushNull => {
-            w.machine.exec(core, ExecOp::StackOp);
-            push(w, t, Value::Ref(ObjRef::NULL));
-        }
-        Pop => {
-            w.machine.exec(core, ExecOp::StackOp);
-            pop(w, t);
-        }
-        Dup => {
-            w.machine.exec(core, ExecOp::StackOp);
-            let v = pop(w, t);
-            push(w, t, v);
-            push(w, t, v);
-        }
-        DupX1 => {
-            w.machine.exec(core, ExecOp::StackOp);
-            let a = pop(w, t);
-            let b = pop(w, t);
-            push(w, t, a);
-            push(w, t, b);
-            push(w, t, a);
-        }
-        Swap => {
-            w.machine.exec(core, ExecOp::StackOp);
-            let a = pop(w, t);
-            let b = pop(w, t);
-            push(w, t, a);
-            push(w, t, b);
-        }
-        LoadLocal(s) => {
-            w.machine.exec(core, ExecOp::LocalAccess);
-            let v = frame(w, t).locals[s as usize];
-            push(w, t, v);
-        }
-        StoreLocal(s) => {
-            w.machine.exec(core, ExecOp::LocalAccess);
-            let v = pop(w, t);
-            frame(w, t).locals[s as usize] = v;
-        }
-        IncLocal(s, d) => {
-            w.machine.exec(core, ExecOp::IntAlu);
-            let f = frame(w, t);
-            let old = f.locals[s as usize].as_i32();
-            f.locals[s as usize] = Value::I32(old.wrapping_add(d as i32));
-        }
-        Arith(a) => {
-            w.machine.exec(core, a.exec_op());
-            if matches!(
-                hera_cell::cost::exec_op_class(a.exec_op()),
-                OpClass::FloatingPoint
-            ) {
-                w.threads[t].window.fp_ops += 1;
-            }
-            if a.arity() == 1 {
-                let x = pop(w, t);
-                push(w, t, a.apply1(x));
-            } else {
-                let b = pop(w, t);
-                let x = pop(w, t);
-                let r = a.apply2(x, b)?;
-                push(w, t, r);
-            }
-        }
-        Branch(kind, target) => {
-            let taken = match kind {
-                BranchKind::Always => true,
-                BranchKind::IfI(c) => c.eval(pop(w, t).as_i32()),
-                BranchKind::IfICmp(c) => {
-                    let b = pop(w, t).as_i32();
-                    let a = pop(w, t).as_i32();
-                    c.eval2(a, b)
-                }
-                BranchKind::IfNull => pop(w, t).as_ref().is_null(),
-                BranchKind::IfNonNull => !pop(w, t).as_ref().is_null(),
-                BranchKind::IfACmpEq => {
-                    let b = pop(w, t).as_ref();
-                    let a = pop(w, t).as_ref();
-                    a == b
-                }
-                BranchKind::IfACmpNe => {
-                    let b = pop(w, t).as_ref();
-                    let a = pop(w, t).as_ref();
-                    a != b
-                }
-            };
-            if taken {
-                w.machine.exec(core, ExecOp::BranchTaken);
-                frame(w, t).pc = target;
-            } else {
-                w.machine.exec(core, ExecOp::Branch);
-            }
-        }
         NewObject { class } => {
             w.machine.exec(core, ExecOp::AllocOverhead);
             let r = w.alloc_object(class, core)?;
             if core == CoreId::Ppe {
                 w.machine.ppe_mem_access(r.0, 8);
             }
-            push(w, t, Value::Ref(r));
+            push_slot(w, t, Slot::from_ref(r));
         }
         NewArray { elem } => {
             w.machine.exec(core, ExecOp::AllocOverhead);
-            let len = pop(w, t).as_i32();
+            let len = pop_slot(w, t).i32();
             let r = w.alloc_array(elem, len, core)?;
             // Zeroing bandwidth.
             let bytes = hera_mem::heap::array_byte_size(elem, len.max(0) as u32) as u64;
             w.machine.stall(core, bytes / 64, OpClass::MainMemory);
-            push(w, t, Value::Ref(r));
-        }
-        InstanceOf { class } => {
-            w.machine.exec(core, ExecOp::Check);
-            let r = pop(w, t).as_ref();
-            let yes = if r.is_null() {
-                false
-            } else {
-                match w.heap.header(r).kind {
-                    hera_mem::HeapKind::Object(c) => w.program.is_subclass(c, class),
-                    hera_mem::HeapKind::Array(_, _) => false,
-                }
-            };
-            push(w, t, Value::I32(yes as i32));
-        }
-
-        // ---- PPE direct heap access ----
-        GetFieldDirect {
-            offset,
-            ty,
-            volatile,
-        } => {
-            w.machine.exec(core, ExecOp::Check);
-            let r = pop_ref_checked(w, t)?;
-            let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
-            mem_monitor(w, t, cycles);
-            if volatile {
-                w.machine
-                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
-            }
-            let v = w.heap.read_typed(r.0 + offset, ty);
-            push(w, t, v);
-        }
-        PutFieldDirect {
-            offset,
-            ty,
-            volatile,
-        } => {
-            w.machine.exec(core, ExecOp::Check);
-            let v = pop(w, t);
-            let r = pop_ref_checked(w, t)?;
-            let cycles = w.machine.ppe_mem_access(r.0 + offset, ty.field_size());
-            mem_monitor(w, t, cycles);
-            if volatile {
-                w.machine
-                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
-            }
-            w.heap.write_typed(r.0 + offset, ty, v);
-        }
-        GetStaticDirect {
-            offset,
-            ty,
-            volatile,
-        } => {
-            let addr = Heap::STATICS_BASE + offset;
-            let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
-            mem_monitor(w, t, cycles);
-            if volatile {
-                w.machine
-                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
-            }
-            let v = w.heap.read_typed(addr, ty);
-            push(w, t, v);
-        }
-        PutStaticDirect {
-            offset,
-            ty,
-            volatile,
-        } => {
-            let addr = Heap::STATICS_BASE + offset;
-            let v = pop(w, t);
-            let cycles = w.machine.ppe_mem_access(addr, ty.field_size());
-            mem_monitor(w, t, cycles);
-            if volatile {
-                w.machine
-                    .stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
-            }
-            w.heap.write_typed(addr, ty, v);
-        }
-        ArrLenDirect => {
-            w.machine.exec(core, ExecOp::Check);
-            let r = pop_ref_checked(w, t)?;
-            let cycles = w.machine.ppe_mem_access(r.0 + 4, 4);
-            mem_monitor(w, t, cycles);
-            let len = w.heap.array_length(r);
-            push(w, t, Value::I32(len as i32));
-        }
-        ArrLoadDirect { .. } => {
-            w.machine.exec(core, ExecOp::Check);
-            let idx = pop(w, t).as_i32();
-            let r = pop_ref_checked(w, t)?;
-            // Bounds check reads the length word through the caches too.
-            w.machine.ppe_mem_access(r.0 + 4, 4);
-            let (addr, elem) = w.heap.elem_addr(r, idx)?;
-            let cycles = w.machine.ppe_mem_access(addr, elem.size());
-            mem_monitor(w, t, cycles);
-            let v = w.heap.array_load(r, idx)?;
-            push(w, t, v);
-        }
-        ArrStoreDirect { .. } => {
-            w.machine.exec(core, ExecOp::Check);
-            let v = pop(w, t);
-            let idx = pop(w, t).as_i32();
-            let r = pop_ref_checked(w, t)?;
-            w.machine.ppe_mem_access(r.0 + 4, 4);
-            let (addr, elem) = w.heap.elem_addr(r, idx)?;
-            let cycles = w.machine.ppe_mem_access(addr, elem.size());
-            mem_monitor(w, t, cycles);
-            w.heap.array_store(r, idx, v)?;
-        }
-
-        // ---- SPE software-cached heap access ----
-        GetFieldCached {
-            offset,
-            ty,
-            volatile,
-        } => {
-            w.machine.exec(core, ExecOp::Check);
-            let r = pop_ref_checked(w, t)?;
-            let spe = spe_of(core).expect("cached op on SPE");
-            if volatile {
-                // JMM acquire: purge before the read.
-                data_cache_purge(w, spe, core)?;
-            }
-            let size = w.heap.header(r).size;
-            let v = spe_read(w, t, spe, core, r.0, size, offset, ty)?;
-            push(w, t, v);
-        }
-        PutFieldCached {
-            offset,
-            ty,
-            volatile,
-        } => {
-            w.machine.exec(core, ExecOp::Check);
-            let v = pop(w, t);
-            let r = pop_ref_checked(w, t)?;
-            let spe = spe_of(core).expect("cached op on SPE");
-            let size = w.heap.header(r).size;
-            spe_write(w, t, spe, core, r.0, size, offset, ty, v)?;
-            if volatile {
-                // JMM release: publish before anyone can acquire.
-                data_cache_flush(w, spe, core)?;
-            }
-        }
-        GetStaticCached {
-            offset,
-            ty,
-            volatile,
-        } => {
-            let spe = spe_of(core).expect("cached op on SPE");
-            if volatile {
-                data_cache_purge(w, spe, core)?;
-            }
-            let unit = Heap::STATICS_BASE;
-            let len = w.layout.statics.size;
-            let v = spe_read(w, t, spe, core, unit, len, offset, ty)?;
-            push(w, t, v);
-        }
-        PutStaticCached {
-            offset,
-            ty,
-            volatile,
-        } => {
-            let v = pop(w, t);
-            let spe = spe_of(core).expect("cached op on SPE");
-            let unit = Heap::STATICS_BASE;
-            let len = w.layout.statics.size;
-            spe_write(w, t, spe, core, unit, len, offset, ty, v)?;
-            if volatile {
-                data_cache_flush(w, spe, core)?;
-            }
-        }
-        ArrLenCached => {
-            w.machine.exec(core, ExecOp::Check);
-            let r = pop_ref_checked(w, t)?;
-            let spe = spe_of(core).expect("cached op on SPE");
-            let len = spe_array_len(w, t, spe, core, r)?;
-            push(w, t, Value::I32(len as i32));
-        }
-        ArrLoadCached { elem } => {
-            w.machine.exec(core, ExecOp::Check);
-            let idx = pop(w, t).as_i32();
-            let r = pop_ref_checked(w, t)?;
-            let spe = spe_of(core).expect("cached op on SPE");
-            let v = spe_array_access(w, t, spe, core, r, idx, elem, None)?;
-            push(w, t, v.expect("load returns a value"));
-        }
-        ArrStoreCached { elem } => {
-            w.machine.exec(core, ExecOp::Check);
-            let v = pop(w, t);
-            let idx = pop(w, t).as_i32();
-            let r = pop_ref_checked(w, t)?;
-            let spe = spe_of(core).expect("cached op on SPE");
-            spe_array_access(w, t, spe, core, r, idx, elem, Some(v))?;
+            push_slot(w, t, Slot::from_ref(r));
         }
 
         // ---- calls ----
         InvokeStatic { method } => {
-            return do_invoke(w, tid, method, None);
+            return do_invoke(w, tid, method);
         }
         InvokeVirtual { slot, declared } => {
             // Resolve the receiver's dynamic class by reading its header
             // (charged: the dispatch really does load the TIB pointer).
             let argc = w.program.method(declared).params.len();
-            let recv_depth = argc; // receiver sits below the arguments
             let recv = {
-                let f = frame(w, t);
-                let s = &f.stack;
-                s[s.len() - 1 - recv_depth].as_ref()
+                let th = &w.threads[t];
+                let f = th.frames.last().expect("thread has a frame");
+                // The receiver sits below the arguments.
+                sget(&th.arena, f.sp as usize - 1 - argc).obj()
             };
             if recv.is_null() {
                 return Err(Trap::NullPointer.into());
             }
             let class = match w.heap.header(recv).kind {
-                hera_mem::HeapKind::Object(c) => c,
-                hera_mem::HeapKind::Array(_, _) => {
+                HeapKind::Object(c) => c,
+                HeapKind::Array(_, _) => {
                     return Err(Trap::NativeError("virtual call on array receiver".into()).into())
                 }
             };
             match spe_of(core) {
                 None => {
                     let cycles = w.machine.ppe_mem_access(recv.0, 4);
-                    mem_monitor(w, t, cycles);
+                    mem_monitor(&mut w.threads[t].window, cycles);
                 }
                 Some(spe) => {
                     // The header word comes through the data cache.
                     let size = w.heap.header(recv).size;
-                    spe_read(w, t, spe, core, recv.0, size, 0, Ty::Int)?;
+                    cache_read(
+                        &mut w.data_caches[spe],
+                        &mut w.heap,
+                        &mut w.machine,
+                        &mut w.threads[t].window,
+                        core,
+                        recv.0,
+                        size,
+                        0,
+                        Ty::Int,
+                    )?;
                 }
             }
             let target = w.program.class(class).vtable[slot as usize];
-            return do_invoke(w, tid, target, Some(class));
+            return do_invoke(w, tid, target);
         }
         Return { has_value } => {
             return do_return(w, tid, has_value);
@@ -592,7 +765,7 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                 }
             }
             w.machine.exec(core, ExecOp::MonitorOp);
-            let r = pop_ref_checked(w, t)?;
+            let r = pop_ref_slot(w, t)?;
             let now = w.machine.now(core);
             match w.monitors.acquire(r, tid, now) {
                 (crate::monitor::AcquireResult::Acquired, start) => {
@@ -604,7 +777,7 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                     w.threads[t].held_monitors += 1;
                     if let Some(spe) = spe_of(core) {
                         // JMM acquire.
-                        data_cache_purge(w, spe, core)?;
+                        world_cache_purge(w, spe, core)?;
                     }
                 }
                 (crate::monitor::AcquireResult::Blocked, _) => {
@@ -634,10 +807,10 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                 }
             }
             w.machine.exec(core, ExecOp::MonitorOp);
-            let r = pop_ref_checked(w, t)?;
+            let r = pop_ref_slot(w, t)?;
             if let Some(spe) = spe_of(core) {
                 // JMM release: publish before the lock is visible free.
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             let now = w.machine.now(core);
             let woken = w.monitors.release(r, tid, now)?;
@@ -649,118 +822,138 @@ fn step(w: &mut World<'_>, tid: ThreadId) -> Result<Flow, StepError> {
                 w.wake(next, now);
             }
         }
+
+        _ => unreachable!("hot-tier op reached the slow tier"),
     }
     Ok(Flow::Continue)
 }
 
-/// Record a PPE memory access in the behaviour window when it went past
-/// the L1 (the adaptive policy's "main memory" signal).
-fn mem_monitor(w: &mut World<'_>, t: usize, cycles: u64) {
+/// Record a memory access in the behaviour window when it went past the
+/// fast tier (the adaptive policy's "main memory" signal).
+#[inline]
+fn mem_monitor(window: &mut BehaviourWindow, cycles: u64) {
     if cycles > 8 {
-        w.threads[t].window.mem_ops += 1;
+        window.mem_ops += 1;
     }
 }
 
 // ---- SPE data-cache plumbing ----
+//
+// The cache, heap, machine and behaviour window are disjoint `World`
+// fields, so both tiers pass them straight through — no take/replace
+// dance, no per-access allocation.
 
-fn data_cache_purge(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
-    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
-    let res = hera_softcache::jmm::acquire_barrier(&mut cache, &mut w.heap, &mut w.machine, core);
-    w.data_caches[spe] = cache;
-    res.map_err(StepError::from)
-}
-
-fn data_cache_flush(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
-    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
-    let res = hera_softcache::jmm::release_barrier(&mut cache, &mut w.heap, &mut w.machine, core);
-    w.data_caches[spe] = cache;
-    res.map_err(StepError::from)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spe_read(
-    w: &mut World<'_>,
-    t: usize,
-    spe: usize,
+fn cache_purge(
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
     core: CoreId,
-    unit: u32,
-    unit_len: u32,
-    off: u32,
-    ty: Ty,
-) -> Result<Value, StepError> {
-    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
-    let before = cache.stats.misses + cache.stats.bypasses;
-    let res = cache.read(&mut w.heap, &mut w.machine, core, unit, unit_len, off, ty);
-    if cache.stats.misses + cache.stats.bypasses > before {
-        w.threads[t].window.mem_ops += 1;
-    }
-    w.data_caches[spe] = cache;
-    res.map_err(StepError::from)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spe_write(
-    w: &mut World<'_>,
-    t: usize,
-    spe: usize,
-    core: CoreId,
-    unit: u32,
-    unit_len: u32,
-    off: u32,
-    ty: Ty,
-    v: Value,
 ) -> Result<(), StepError> {
-    let mut cache = std::mem::replace(&mut w.data_caches[spe], hera_softcache::DataCache::new(0));
+    hera_softcache::jmm::acquire_barrier(cache, heap, machine, core).map_err(StepError::from)
+}
+
+fn cache_flush(
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
+    core: CoreId,
+) -> Result<(), StepError> {
+    hera_softcache::jmm::release_barrier(cache, heap, machine, core).map_err(StepError::from)
+}
+
+fn world_cache_purge(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
+    cache_purge(&mut w.data_caches[spe], &mut w.heap, &mut w.machine, core)
+}
+
+fn world_cache_flush(w: &mut World<'_>, spe: usize, core: CoreId) -> Result<(), StepError> {
+    cache_flush(&mut w.data_caches[spe], &mut w.heap, &mut w.machine, core)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cache_read(
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
+    window: &mut BehaviourWindow,
+    core: CoreId,
+    unit: u32,
+    unit_len: u32,
+    off: u32,
+    ty: Ty,
+) -> Result<Slot, StepError> {
     let before = cache.stats.misses + cache.stats.bypasses;
-    let res = cache.write(
-        &mut w.heap,
-        &mut w.machine,
-        core,
-        unit,
-        unit_len,
-        off,
-        ty,
-        v,
-    );
+    let res = cache.read_slot(heap, machine, core, unit, unit_len, off, ty);
     if cache.stats.misses + cache.stats.bypasses > before {
-        w.threads[t].window.mem_ops += 1;
+        window.mem_ops += 1;
     }
-    w.data_caches[spe] = cache;
+    res.map_err(StepError::from)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cache_write(
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
+    window: &mut BehaviourWindow,
+    core: CoreId,
+    unit: u32,
+    unit_len: u32,
+    off: u32,
+    ty: Ty,
+    v: Slot,
+) -> Result<(), StepError> {
+    let before = cache.stats.misses + cache.stats.bypasses;
+    let res = cache.write_slot(heap, machine, core, unit, unit_len, off, ty, v);
+    if cache.stats.misses + cache.stats.bypasses > before {
+        window.mem_ops += 1;
+    }
     res.map_err(StepError::from)
 }
 
 /// Read an array's length through the SPE data cache (block 0 holds the
 /// header).
 fn spe_array_len(
-    w: &mut World<'_>,
-    t: usize,
-    spe: usize,
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
+    window: &mut BehaviourWindow,
     core: CoreId,
     r: ObjRef,
 ) -> Result<u32, StepError> {
-    let total = w.heap.header(r).size;
-    let bb = w.data_caches[spe].array_block_bytes();
+    let total = heap.header(r).size;
+    let bb = cache.array_block_bytes();
     let unit_len = total.min(bb);
-    let v = spe_read(w, t, spe, core, r.0, unit_len, 4, Ty::Int)?;
-    Ok(v.as_i32() as u32)
+    let v = cache_read(
+        cache,
+        heap,
+        machine,
+        window,
+        core,
+        r.0,
+        unit_len,
+        4,
+        Ty::Int,
+    )?;
+    Ok(v.i32() as u32)
 }
 
 /// Bounds-checked SPE array element access through block-granular
 /// caching. `store` = `Some(v)` writes, `None` reads.
 #[allow(clippy::too_many_arguments)]
 fn spe_array_access(
-    w: &mut World<'_>,
-    t: usize,
-    spe: usize,
+    cache: &mut DataCache,
+    heap: &mut Heap,
+    machine: &mut CellMachine,
+    window: &mut BehaviourWindow,
     core: CoreId,
     r: ObjRef,
     idx: i32,
     elem: hera_isa::ElemTy,
-    store: Option<Value>,
-) -> Result<Option<Value>, StepError> {
-    let hdr = w.heap.header(r);
+    store: Option<Slot>,
+) -> Result<Option<Slot>, StepError> {
+    let hdr = heap.header(r);
     let total = hdr.size;
-    let bb = w.data_caches[spe].array_block_bytes();
+    let bb = cache.array_block_bytes();
 
     let esize = elem.size();
     let rel = hera_mem::layout::HEADER_BYTES + idx.max(0) as u32 * esize;
@@ -772,11 +965,22 @@ fn spe_array_access(
     // compiled code reads length and element with one lookup; otherwise
     // the header block is consulted first.
     let len = if block == 0 {
-        spe_read(w, t, spe, core, unit, unit_len, 4, Ty::Int)?.as_i32() as u32
+        cache_read(
+            cache,
+            heap,
+            machine,
+            window,
+            core,
+            unit,
+            unit_len,
+            4,
+            Ty::Int,
+        )?
+        .i32() as u32
     } else {
-        spe_array_len(w, t, spe, core, r)?
+        spe_array_len(cache, heap, machine, window, core, r)?
     };
-    w.machine.exec(core, ExecOp::Check);
+    machine.exec(core, ExecOp::Check);
     if idx < 0 || idx as u32 >= len {
         return Err(Trap::ArrayIndexOutOfBounds { index: idx, len }.into());
     }
@@ -789,12 +993,16 @@ fn spe_array_access(
         hera_isa::ElemTy::Long => Ty::Long,
         hera_isa::ElemTy::Float => Ty::Float,
         hera_isa::ElemTy::Double => Ty::Double,
-        hera_isa::ElemTy::Ref => Ty::Ref(ClassId(0)),
+        hera_isa::ElemTy::Ref => Ty::Ref(hera_isa::ClassId(0)),
     };
     match store {
-        None => Ok(Some(spe_read(w, t, spe, core, unit, unit_len, off, ty)?)),
+        None => Ok(Some(cache_read(
+            cache, heap, machine, window, core, unit, unit_len, off, ty,
+        )?)),
         Some(v) => {
-            spe_write(w, t, spe, core, unit, unit_len, off, ty, v)?;
+            cache_write(
+                cache, heap, machine, window, core, unit, unit_len, off, ty, v,
+            )?;
             Ok(None)
         }
     }
@@ -823,9 +1031,7 @@ fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<()
         w.machine.advance(core, jit, OpClass::Integer);
     }
     let code_bytes = code.code_bytes;
-    let mut cc = std::mem::replace(&mut w.code_caches[spe], hera_softcache::CodeCache::new(0));
-    cc.lookup(&mut w.machine, core, class, tib_bytes, method, code_bytes);
-    w.code_caches[spe] = cc;
+    w.code_caches[spe].lookup(&mut w.machine, core, class, tib_bytes, method, code_bytes);
     Ok(())
 }
 
@@ -861,45 +1067,68 @@ fn trace_migration_out(
 }
 
 fn push_marker(w: &mut World<'_>, t: usize, origin: CoreId) {
-    let filler = w.threads[t]
-        .frames
-        .last()
-        .map(|f| std::rc::Rc::clone(&f.code));
-    if let Some(code) = filler {
-        w.threads[t].frames.push(Frame {
-            method: MethodId(u32::MAX),
-            code,
-            pc: 0,
-            locals: Vec::new(),
-            stack: Vec::new(),
-            kind: FrameKind::MigrationMarker { origin },
-        });
-    } else {
+    let th = &mut w.threads[t];
+    let Some(top) = th.frames.last() else {
         // First activation of a thread: no marker needed.
-    }
+        return;
+    };
+    let code = Rc::clone(&top.code);
+    let base = top.sp;
+    th.frames.push(Frame {
+        method: MethodId(u32::MAX),
+        code,
+        pc: 0,
+        base,
+        nlocals: 0,
+        sp: base,
+        kind: FrameKind::MigrationMarker { origin },
+    });
 }
 
-/// Push an activation of `method` (bytecode) with `args` on the thread's
-/// current core, JIT-compiling and code-caching as needed.
-fn push_frame(
+/// Pop `argc` untagged argument slots off the current frame and retag
+/// them from the callee's signature — the `Value` boundary crossed by
+/// migration packaging and the native bridge.
+fn pop_args_values(w: &mut World<'_>, t: usize, def: &MethodDef, argc: usize) -> Vec<Value> {
+    let th = &mut w.threads[t];
+    let start = {
+        let f = th.frames.last_mut().expect("thread has a frame");
+        f.sp -= argc as u32;
+        f.sp as usize
+    };
+    let mut kinds = def.params.iter().map(|ty| ty.kind());
+    let mut args = Vec::with_capacity(argc);
+    for i in 0..argc {
+        let k = if !def.is_static && i == 0 {
+            Kind::R
+        } else {
+            kinds.next().expect("argument count matches the signature")
+        };
+        args.push(sget(&th.arena, start + i).to_value(k));
+    }
+    args
+}
+
+/// Shared tail of both frame-push paths: depth check, JIT, code-cache
+/// lookup and call-overhead charge. Returns the compiled code, or `None`
+/// when the depth check killed the thread.
+fn prepare_activation(
     w: &mut World<'_>,
     tid: ThreadId,
     method: MethodId,
-    args: Vec<Value>,
-) -> Result<(), VmError> {
+) -> Result<Option<Rc<hera_jit::CompiledMethod>>, VmError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
     if w.threads[t].frames.len() >= w.config.max_stack_depth {
-        // Kill the thread: drop its frames so every caller's
-        // `frames.is_empty()` check sees it is gone.
+        // Kill the thread: drop its frames (and the arena they index)
+        // so every caller's `frames.is_empty()` check sees it is gone.
         w.threads[t].frames.clear();
+        w.threads[t].arena.clear();
         w.finish_thread(tid, Err(Trap::NativeError("stack overflow".into())));
-        return Ok(());
+        return Ok(None);
     }
-    let kind = core.kind();
     let (code, jit) = w
         .registry
-        .get_or_compile(w.program, &w.layout, method, kind)
+        .get_or_compile(w.program, &w.layout, method, core.kind())
         .map_err(VmError::Compile)?;
     if jit > 0 {
         w.machine.advance(core, jit, OpClass::Integer);
@@ -908,17 +1137,42 @@ fn push_frame(
         code_cache_lookup(w, t, method)?;
     }
     w.machine.exec(core, ExecOp::CallOverhead);
+    Ok(Some(code))
+}
 
-    let def = w.program.method(method);
-    let nlocals = (def.max_locals as usize).max(args.len());
-    let mut locals = vec![Value::I32(0); nlocals];
-    locals[..args.len()].copy_from_slice(&args);
-    w.threads[t].frames.push(Frame {
+/// Push an activation of `method` with tagged `args` (thread start and
+/// migration arrival — the packaged-parameters boundary).
+fn push_frame(
+    w: &mut World<'_>,
+    tid: ThreadId,
+    method: MethodId,
+    args: Vec<Value>,
+) -> Result<(), VmError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    let Some(code) = prepare_activation(w, tid, method)? else {
+        return Ok(());
+    };
+    let th = &mut w.threads[t];
+    let base = th.frames.last().map(|f| f.sp).unwrap_or(0) as usize;
+    let nlocals = (code.max_locals as usize).max(args.len());
+    let top = base + nlocals + code.max_stack as usize;
+    if th.arena.len() < top {
+        th.arena.resize(top, Slot::ZERO);
+    }
+    for (i, v) in args.iter().enumerate() {
+        th.arena[base + i] = Slot::from_value(*v);
+    }
+    for i in args.len()..nlocals {
+        th.arena[base + i] = Slot::ZERO;
+    }
+    th.frames.push(Frame {
         method,
         code,
         pc: 0,
-        locals,
-        stack: Vec::new(),
+        base: base as u32,
+        nlocals: nlocals as u32,
+        sp: (base + nlocals) as u32,
         kind: FrameKind::Normal,
     });
     w.machine
@@ -926,29 +1180,70 @@ fn push_frame(
     Ok(())
 }
 
-/// Invoke `target` from the current frame: pops arguments (and receiver
-/// for instance methods), handles natives, migration and frame push.
-fn do_invoke(
+/// Push an activation whose `argc` arguments already sit on the caller's
+/// operand stack: the callee's frame base is placed exactly where the
+/// arguments are, so they become its first locals *in place* — the
+/// same-core invoke path never copies or retags an argument.
+fn push_frame_from_stack(
     w: &mut World<'_>,
     tid: ThreadId,
-    target: MethodId,
-    _dynamic_class: Option<ClassId>,
-) -> Result<Flow, StepError> {
+    method: MethodId,
+    argc: usize,
+) -> Result<(), VmError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
-    let def = w.program.method(target);
+    {
+        let f = w.threads[t]
+            .frames
+            .last_mut()
+            .expect("slot-path invoke has a caller");
+        f.sp -= argc as u32;
+    }
+    let Some(code) = prepare_activation(w, tid, method)? else {
+        return Ok(());
+    };
+    let th = &mut w.threads[t];
+    let base = th.frames.last().expect("caller survives").sp as usize;
+    let nlocals = (code.max_locals as usize).max(argc);
+    let top = base + nlocals + code.max_stack as usize;
+    if th.arena.len() < top {
+        th.arena.resize(top, Slot::ZERO);
+    }
+    // Arguments are already locals 0..argc; zero the rest (the verifier
+    // treats them as uninitialised, and the all-zero slot is the default
+    // of every kind).
+    for i in argc..nlocals {
+        th.arena[base + i] = Slot::ZERO;
+    }
+    th.frames.push(Frame {
+        method,
+        code,
+        pc: 0,
+        base: base as u32,
+        nlocals: nlocals as u32,
+        sp: (base + nlocals) as u32,
+        kind: FrameKind::Normal,
+    });
+    w.machine
+        .emit(core, TraceEvent::MethodInvoke { method: method.0 });
+    Ok(())
+}
+
+/// Invoke `target` from the current frame: handles natives, migration
+/// packaging and the in-place frame push.
+fn do_invoke(w: &mut World<'_>, tid: ThreadId, target: MethodId) -> Result<Flow, StepError> {
+    let t = tid.0 as usize;
+    let core = w.threads[t].core;
+    let program = w.program;
+    let def = program.method(target);
     let argc = def.params.len() + if def.is_static { 0 } else { 1 };
 
-    // Pop args (receiver first in the vector).
-    let mut args = vec![Value::I32(0); argc];
-    for i in (0..argc).rev() {
-        args[i] = pop(w, t);
-    }
-
-    // Native methods never create frames; they take a bridge.
+    // Native methods never create frames; they take a bridge (and cross
+    // the tagged-value boundary).
     if let hera_isa::MethodBody::Native(nid) = &def.body {
         let nid = *nid;
         let native_kind = def.native_kind.unwrap_or(NativeKind::FastSyscall);
+        let args = pop_args_values(w, t, def, argc);
         return native_call(w, tid, nid, native_kind, args);
     }
 
@@ -975,9 +1270,10 @@ fn do_invoke(
             // Program order follows the thread: its dirty cached writes
             // are published on departure and its stale copies are
             // dropped on arrival at an SPE.
+            let args = pop_args_values(w, t, def, argc);
             let dest = w.pick_core(kind);
             if let Some(spe) = spe_of(core) {
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
@@ -1003,9 +1299,10 @@ fn do_invoke(
             // One-way re-homing: no marker, the thread stays until the
             // monitor says otherwise. Same departure-flush /
             // arrival-purge rule as annotation migration.
+            let args = pop_args_values(w, t, def, argc);
             let dest = w.pick_core(kind);
             if let Some(spe) = spe_of(core) {
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
@@ -1026,27 +1323,32 @@ fn do_invoke(
         }
     }
 
-    push_frame(w, tid, target, args)?;
+    push_frame_from_stack(w, tid, target, argc)?;
     if w.threads[t].frames.is_empty() {
-        // push_frame turned a stack overflow into thread death.
+        // The frame push turned a stack overflow into thread death.
         return Ok(Flow::Finish);
     }
     Ok(Flow::Continue)
 }
 
 /// Return from the current frame, handling migration markers and the
-/// SPE return-path code-cache re-lookup.
+/// SPE return-path code-cache re-lookup. The return value crosses
+/// frames as a raw slot; it is only retagged at the thread boundary.
 fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, StepError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
     w.machine.exec(core, ExecOp::ReturnOverhead);
 
-    let ret = if has_value { Some(pop(w, t)) } else { None };
+    let ret = if has_value {
+        Some(pop_slot(w, t))
+    } else {
+        None
+    };
     if let Some(f) = w.threads[t].frames.last() {
         let m = f.method.0;
         w.machine.emit(core, TraceEvent::MethodReturn { method: m });
     }
-    w.threads[t].frames.pop();
+    let returning = w.threads[t].frames.pop();
 
     // A migration marker directly below? Pop it and migrate back.
     let marker_origin = match w.threads[t].frames.last() {
@@ -1061,24 +1363,30 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
     };
 
     // Deliver the return value.
-    let caller_method = match w.threads[t].frames.last_mut() {
-        Some(f) => {
-            if let Some(v) = ret {
-                f.stack.push(v);
-            }
-            Some(f.method)
+    if w.threads[t].frames.is_empty() {
+        // JMM: a thread's termination happens-before any join on
+        // it -- publish its writes before joiners observe the
+        // finished state.
+        if let Some(spe) = spe_of(core) {
+            world_cache_flush(w, spe, core)?;
         }
-        None => {
-            // JMM: a thread's termination happens-before any join on
-            // it -- publish its writes before joiners observe the
-            // finished state.
-            if let Some(spe) = spe_of(core) {
-                data_cache_flush(w, spe, core)?;
-            }
-            w.finish_thread(tid, Ok(ret));
-            return Ok(Flow::Finish);
-        }
-    };
+        // Thread boundary: retag the result from the entry method's
+        // signature.
+        let result = match (ret, &returning) {
+            (Some(s), Some(f)) => w
+                .program
+                .method(f.method)
+                .ret
+                .map(|ty| s.to_value(ty.kind())),
+            _ => None,
+        };
+        w.finish_thread(tid, Ok(result));
+        return Ok(Flow::Finish);
+    }
+    if let Some(v) = ret {
+        push_slot(w, t, v);
+    }
+    let caller_method = w.threads[t].frames.last().map(|f| f.method);
 
     match marker_origin {
         Some(origin) => {
@@ -1086,7 +1394,7 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
             // to the migration marker placed on the stack"). Publish
             // this core's writes; refresh on arrival at an SPE.
             if let Some(spe) = spe_of(core) {
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             if matches!(origin, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
@@ -1151,7 +1459,7 @@ fn native_call(
             // The PPE must see this thread's writes (JNI) — and either
             // bridge serialises on the PPE.
             if kind == NativeKind::Jni {
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             let overhead = match kind {
                 NativeKind::FastSyscall => {
@@ -1194,20 +1502,20 @@ fn native_call(
         StdNative::TimeMillis => {
             // 3.2 GHz virtual clock.
             let ms = w.machine.now(w.threads[t].core) / 3_200_000;
-            push(w, t, Value::I64(ms as i64));
+            push_slot(w, t, Slot::from_i64(ms as i64));
         }
         StdNative::SpawnThread => {
             // JMM: everything before Thread.start() happens-before the
             // new thread's first action -- publish this core's writes.
             if let Some(spe) = spe_of(core) {
-                data_cache_flush(w, spe, core)?;
+                world_cache_flush(w, spe, core)?;
             }
             let obj = args[0].as_ref();
             if obj.is_null() {
                 return Err(Trap::NullPointer.into());
             }
             let class = match w.heap.header(obj).kind {
-                hera_mem::HeapKind::Object(c) => c,
+                HeapKind::Object(c) => c,
                 _ => return Err(Trap::NativeError("spawn of non-object".into()).into()),
             };
             let thread_class = w
@@ -1226,7 +1534,7 @@ fn native_call(
             };
             let at = w.machine.now(CoreId::Ppe);
             let new_tid = w.spawn_thread(run, vec![Value::Ref(obj)], dest, at);
-            push(w, t, Value::I32(new_tid.0 as i32));
+            push_slot(w, t, Slot::from_i32(new_tid.0 as i32));
         }
         StdNative::JoinThread => {
             let target = ThreadId(args[0].as_i32() as u32);
@@ -1243,7 +1551,7 @@ fn native_call(
             // The joined thread's effects must be visible (happens-
             // before edge): purge this SPE's stale cache.
             if let Some(spe) = spe_of(core) {
-                data_cache_purge(w, spe, core)?;
+                world_cache_purge(w, spe, core)?;
             }
         }
         StdNative::WriteFile => {
@@ -1251,7 +1559,7 @@ fn native_call(
             let bytes = read_guest_bytes(w, args[1].as_ref(), args[2].as_i32())?;
             let len = bytes.len() as i32;
             w.files.entry(fd).or_default().extend_from_slice(&bytes);
-            push(w, t, Value::I32(len));
+            push_slot(w, t, Slot::from_i32(len));
         }
         StdNative::YieldThread => {
             return Ok(Flow::EndQuantum);
@@ -1261,12 +1569,16 @@ fn native_call(
 }
 
 /// Read `len` bytes of a guest byte array (native, runs on the PPE with
-/// direct heap access).
+/// direct heap access). Buffer natives take arbitrary verified refs, so
+/// a non-array argument is a trap here, not a VM panic.
 fn read_guest_bytes(w: &mut World<'_>, arr: ObjRef, len: i32) -> Result<Vec<u8>, StepError> {
     if arr.is_null() {
         return Err(Trap::NullPointer.into());
     }
-    let alen = w.heap.array_length(arr);
+    let alen = w
+        .heap
+        .try_array_length(arr)
+        .ok_or_else(|| Trap::NativeError("buffer argument is not an array".into()))?;
     let len = len.max(0) as u32;
     if len > alen {
         return Err(Trap::ArrayIndexOutOfBounds {

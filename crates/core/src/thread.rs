@@ -1,8 +1,16 @@
-//! Guest threads: frames, migration markers, run state and the
-//! behaviour monitor that feeds the adaptive placement policy.
+//! Guest threads: the per-thread slot arena, frame cursors, migration
+//! markers, run state and the behaviour monitor that feeds the adaptive
+//! placement policy.
+//!
+//! Frames are *untagged*: locals and operand stack live in one
+//! contiguous per-thread [`Slot`] arena, and a [`Frame`] is just a
+//! cursor (base / sp) into it. Because the verifier proved every stack
+//! cell and local has a single kind at every pc, no runtime tags are
+//! needed; GC exactness is recovered from the per-pc reference maps the
+//! JIT carries on each [`CompiledMethod`].
 
 use hera_cell::CoreId;
-use hera_isa::{MethodId, ObjRef, Trap, Value};
+use hera_isa::{MethodId, ObjRef, Slot, Trap, Value};
 use hera_jit::CompiledMethod;
 use hera_trace::MigrationKind;
 use std::rc::Rc;
@@ -39,14 +47,21 @@ pub enum FrameKind {
     Normal,
     /// A migration marker (paper §3.1): pushed when the thread migrated
     /// to another core kind at an invoke; returning through it migrates
-    /// the thread back to `origin`.
+    /// the thread back to `origin`. Markers occupy zero arena slots.
     MigrationMarker {
         /// The core to return to.
         origin: CoreId,
     },
 }
 
-/// One method activation.
+/// One method activation: a fixed-size window into the thread's slot
+/// arena.
+///
+/// Layout: locals occupy `[base, base + nlocals)`, the operand stack
+/// grows upward through `[base + nlocals, base + nlocals + max_stack)`,
+/// and `sp` is the *absolute* arena index one past the stack top. A
+/// callee's `base` coincides with the arena position of its arguments on
+/// the caller's stack, so invocation passes arguments without copying.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// The executing method.
@@ -55,17 +70,35 @@ pub struct Frame {
     pub code: Rc<CompiledMethod>,
     /// Next op index.
     pub pc: u32,
-    /// Local variable slots.
-    pub locals: Vec<Value>,
-    /// Operand stack.
-    pub stack: Vec<Value>,
+    /// Arena index of local slot 0.
+    pub base: u32,
+    /// Local slot count (`code.max_locals`, or the argument count for
+    /// entry activations when that is larger).
+    pub nlocals: u32,
+    /// Arena index one past the operand-stack top.
+    pub sp: u32,
     /// Normal or migration marker.
     pub kind: FrameKind,
 }
 
+impl Frame {
+    /// Arena index of operand-stack slot 0.
+    #[inline(always)]
+    pub fn stack_base(&self) -> u32 {
+        self.base + self.nlocals
+    }
+
+    /// Current operand-stack depth.
+    #[inline(always)]
+    pub fn stack_depth(&self) -> u32 {
+        self.sp - self.stack_base()
+    }
+}
+
 /// A deferred method call, carried across a migration: the paper's
 /// "parameters of the method are packaged and a marker is placed on the
-/// stack".
+/// stack". Arguments are *tagged* here — migration repackaging is one of
+/// the few API boundaries where `Value` survives.
 #[derive(Clone, Debug)]
 pub struct PendingCall {
     /// The method to invoke on arrival.
@@ -120,8 +153,12 @@ impl BehaviourWindow {
 pub struct JavaThread {
     /// This thread's id.
     pub id: ThreadId,
-    /// Activation stack (bottom first).
+    /// Activation stack (bottom first); cursors into `arena`.
     pub frames: Vec<Frame>,
+    /// The contiguous untagged slot arena all frames are carved from.
+    /// Grows monotonically (deep recursion resizes it once) and is never
+    /// shrunk; slots above the live watermark are simply dead.
+    pub arena: Vec<Slot>,
     /// Run state.
     pub state: ThreadState,
     /// The core this thread is (or will next be) scheduled on.
@@ -160,6 +197,7 @@ impl JavaThread {
         JavaThread {
             id,
             frames: Vec::new(),
+            arena: Vec::new(),
             state: ThreadState::Ready,
             core,
             available_at: 0,
@@ -188,14 +226,38 @@ impl JavaThread {
     }
 
     /// All references reachable from this thread's stack — exact GC
-    /// roots, since stacks are tagged host-side values.
+    /// roots. Slots carry no tags, so each frame is scanned under the
+    /// verifier's reference map for its current pc: a suspended frame's
+    /// pc names the *next* op, whose entry state describes exactly the
+    /// live locals and operand-stack prefix.
     pub fn roots(&self) -> Vec<ObjRef> {
         let mut out = Vec::new();
         for f in &self.frames {
-            for v in f.locals.iter().chain(&f.stack) {
-                if let Value::Ref(r) = v {
+            if matches!(f.kind, FrameKind::MigrationMarker { .. }) {
+                continue; // markers occupy no slots
+            }
+            let Some(map) = f.code.ref_maps.get(f.pc as usize) else {
+                continue;
+            };
+            let base = f.base as usize;
+            for i in 0..f.nlocals as usize {
+                if map.local_is_ref(i) {
+                    let r = self.arena[base + i].obj();
                     if !r.is_null() {
-                        out.push(*r);
+                        out.push(r);
+                    }
+                }
+            }
+            // Mid-op (allocation) scans can be up to one slot short of
+            // the map's depth — the not-yet-pushed result. The common
+            // prefix is exact, so scan the shallower of the two.
+            let sbase = base + f.nlocals as usize;
+            let depth = (f.sp as usize - sbase).min(map.stack_depth as usize);
+            for i in 0..depth {
+                if map.stack_is_ref(i) {
+                    let r = self.arena[sbase + i].obj();
+                    if !r.is_null() {
+                        out.push(r);
                     }
                 }
             }
@@ -217,6 +279,7 @@ impl JavaThread {
 mod tests {
     use super::*;
     use hera_cell::CoreKind;
+    use hera_isa::{Instr, MethodBody, ProgramBuilder, Ty};
 
     fn dummy_thread() -> JavaThread {
         JavaThread::new(
@@ -225,6 +288,27 @@ mod tests {
             MethodId(0),
             vec![Value::I32(1), Value::Ref(ObjRef(64))],
         )
+    }
+
+    /// Compile a real method whose ref maps mark local 0 and (at pc 1,
+    /// after the load) stack slot 0 as references.
+    fn ref_code() -> Rc<CompiledMethod> {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("C", None);
+        let obj = Ty::Ref(c);
+        let m = b.add_static_method(
+            c,
+            "id",
+            vec![obj, Ty::Int],
+            Some(obj),
+            2,
+            MethodBody::Bytecode(vec![Instr::Load(0), Instr::ReturnValue]),
+        );
+        let p = b.finish().unwrap();
+        let layout = hera_mem::ProgramLayout::compute(&p);
+        let mut reg = hera_jit::MethodRegistry::new();
+        let (code, _) = reg.get_or_compile(&p, &layout, m, CoreKind::Ppe).unwrap();
+        code
     }
 
     #[test]
@@ -243,35 +327,70 @@ mod tests {
     }
 
     #[test]
-    fn roots_walk_all_frames() {
+    fn roots_walk_all_frames_under_ref_maps() {
         let mut t = dummy_thread();
         t.pending_call = None;
-        let code = Rc::new(CompiledMethod {
-            method: MethodId(0),
-            core: hera_cell::CoreKind::Ppe,
-            ops: vec![],
-            code_bytes: 0,
-            compile_cycles: 0,
-        });
+        let code = ref_code();
+        // Frame 0 at pc 0: local 0 is a ref (an argument), local 1 an int.
+        t.arena = vec![Slot::from_ref(ObjRef(8)), Slot::from_i32(7)];
         t.frames.push(Frame {
             method: MethodId(0),
             code: Rc::clone(&code),
             pc: 0,
-            locals: vec![Value::Ref(ObjRef(8)), Value::I32(0)],
-            stack: vec![Value::Ref(ObjRef::NULL)],
+            base: 0,
+            nlocals: 2,
+            sp: 2,
             kind: FrameKind::Normal,
         });
+        // A migration marker contributes nothing.
         t.frames.push(Frame {
-            method: MethodId(0),
-            code,
+            method: MethodId(u32::MAX),
+            code: Rc::clone(&code),
             pc: 0,
-            locals: vec![],
-            stack: vec![Value::Ref(ObjRef(16))],
+            base: 2,
+            nlocals: 0,
+            sp: 2,
             kind: FrameKind::MigrationMarker {
                 origin: CoreId::Spe(2),
             },
         });
-        assert_eq!(t.roots(), vec![ObjRef(8), ObjRef(16)]);
+        // Frame 1 at pc 1 (after Load 0): locals {ref, int}, stack {ref}.
+        t.arena.extend([
+            Slot::from_ref(ObjRef(16)),
+            Slot::from_i32(3),
+            Slot::from_ref(ObjRef(24)),
+        ]);
+        t.frames.push(Frame {
+            method: MethodId(0),
+            code,
+            pc: 1,
+            base: 2,
+            nlocals: 2,
+            sp: 5,
+            kind: FrameKind::Normal,
+        });
+        assert_eq!(t.roots(), vec![ObjRef(8), ObjRef(16), ObjRef(24)]);
+    }
+
+    #[test]
+    fn null_refs_and_untagged_ints_are_not_roots() {
+        let mut t = dummy_thread();
+        t.pending_call = None;
+        let code = ref_code();
+        // Local 0 (a ref slot per the map) is null; local 1 is an int
+        // whose bit pattern would look like a valid address if the map
+        // were ignored.
+        t.arena = vec![Slot::from_ref(ObjRef::NULL), Slot::from_i32(64)];
+        t.frames.push(Frame {
+            method: MethodId(0),
+            code,
+            pc: 0,
+            base: 0,
+            nlocals: 2,
+            sp: 2,
+            kind: FrameKind::Normal,
+        });
+        assert!(t.roots().is_empty());
     }
 
     #[test]

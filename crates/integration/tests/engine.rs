@@ -456,3 +456,110 @@ fn verification_failure_is_reported_at_construction() {
         Err(hera_core::VmError::Verify(_))
     ));
 }
+
+// ---------------------------------------------------------------------
+// Differential golden test for the slot-based execution engine.
+//
+// The untagged-frame rewrite must be *invisible* in virtual time: same
+// results, same traps (none), same migration counts, same per-core
+// cycle totals, on every workload × core configuration. These
+// fingerprints were captured from the tagged `Value`-frame engine it
+// replaced; regenerate them only from a known-good engine with
+// `cargo run --release -p hera-bench --example golden_capture`.
+
+#[test]
+fn slot_engine_matches_tagged_engine_goldens() {
+    use hera_bench::{ppe_config, run_workload, spe_config, DEFAULT_SCALE};
+
+    type Golden = (&'static str, &'static str, u32, i32, u64, &'static [u64]);
+    const GOLDEN: &[Golden] = &[
+        // (workload, config, threads, result, migrations, per_core_cycles)
+        (
+            "compress",
+            "ppe",
+            1,
+            590799304,
+            0,
+            &[51218448, 0, 0, 0, 0, 0, 0],
+        ),
+        ("compress", "spe1", 1, 590799304, 0, &[18672, 104157613]),
+        (
+            "compress",
+            "spe6",
+            6,
+            1085071945,
+            0,
+            &[
+                21526636, 21694664, 21498146, 21196598, 21462498, 21328984, 21283606,
+            ],
+        ),
+        (
+            "mpegaudio",
+            "ppe",
+            1,
+            -2145204504,
+            0,
+            &[52467546, 0, 0, 0, 0, 0, 0],
+        ),
+        ("mpegaudio", "spe1", 1, -2145204504, 0, &[537743, 63664857]),
+        (
+            "mpegaudio",
+            "spe6",
+            6,
+            -984574879,
+            0,
+            &[
+                11237821, 11238908, 11229337, 11104007, 11034988, 11041190, 11047094,
+            ],
+        ),
+        (
+            "mandelbrot",
+            "ppe",
+            1,
+            477948,
+            0,
+            &[75873340, 0, 0, 0, 0, 0, 0],
+        ),
+        ("mandelbrot", "spe1", 1, 477948, 0, &[18362, 49489220]),
+        (
+            "mandelbrot",
+            "spe6",
+            6,
+            477948,
+            0,
+            &[
+                8441221, 8442299, 8432587, 8258264, 8266429, 8211451, 8280260,
+            ],
+        ),
+    ];
+
+    for &(name, cfg_name, threads, result, migrations, cycles) in GOLDEN {
+        let w = hera_workloads::Workload::ALL
+            .iter()
+            .copied()
+            .find(|w| w.name() == name)
+            .expect("golden names a workload");
+        let cfg = match cfg_name {
+            "ppe" => ppe_config(),
+            "spe1" => spe_config(1),
+            "spe6" => spe_config(6),
+            other => panic!("unknown config {other}"),
+        };
+        // `run_workload` already asserts a clean (trap-free) run and the
+        // host-computed checksum; the golden pins the numeric result too.
+        let out = run_workload(w, threads, DEFAULT_SCALE, cfg);
+        assert_eq!(
+            out.result,
+            Some(Value::I32(result)),
+            "{name}/{cfg_name}: result drifted"
+        );
+        assert_eq!(
+            out.stats.migrations, migrations,
+            "{name}/{cfg_name}: migration count drifted"
+        );
+        assert_eq!(
+            out.stats.per_core_cycles, cycles,
+            "{name}/{cfg_name}: per-core virtual cycles drifted"
+        );
+    }
+}

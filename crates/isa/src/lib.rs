@@ -34,5 +34,5 @@ pub use builder::MethodBuilder;
 pub use bytecode::{Cond, Instr, Trap};
 pub use class::{Annotation, ClassDef, FieldDef, MethodBody, MethodDef, NativeId};
 pub use program::{ClassId, FieldId, MethodId, Program, ProgramBuilder, ResolveError};
-pub use types::{ElemTy, Kind, ObjRef, Ty, Value};
-pub use verifier::{verify_method, verify_program, VerifyError};
+pub use types::{ElemTy, Kind, ObjRef, Slot, Ty, Value};
+pub use verifier::{verify_method, verify_program, MethodInfo, RefMap, VerifyError};

@@ -143,6 +143,142 @@ impl fmt::Display for Value {
     }
 }
 
+/// An untagged 64-bit execution cell: the representation locals and
+/// operand-stack entries take inside interpreter frames.
+///
+/// A `Slot` carries no runtime tag. The verifier proves a static kind
+/// for every local and stack position at every instruction, and the
+/// per-core compilers emit fully width-resolved [`MachineOp`]s, so the
+/// interpreter always knows which accessor is correct — exactly the
+/// discipline a baseline JIT's spill slots rely on. [`Value`] survives
+/// only at API boundaries (entry arguments, return values, migration
+/// repackaging, the native bridge, trace events); everything on the hot
+/// path moves `Slot`s.
+///
+/// Bit conventions: `i32` is kept sign-extended, floats are stored as
+/// their IEEE bit patterns, references as the zero-extended heap
+/// address. The all-zero slot is therefore the correct default for
+/// *every* kind (`0`, `0i64`, `+0.0f32`, `+0.0f64`, null).
+///
+/// [`MachineOp`]: ../hera_jit/enum.MachineOp.html
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Slot(u64);
+
+impl Slot {
+    /// The all-zero slot: default value for every kind.
+    pub const ZERO: Slot = Slot(0);
+
+    /// Wrap a raw 64-bit cell (for codec paths that already hold bits).
+    #[inline(always)]
+    pub fn from_raw(bits: u64) -> Slot {
+        Slot(bits)
+    }
+
+    /// The raw 64-bit cell.
+    #[inline(always)]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Store an `i32` (sign-extended).
+    #[inline(always)]
+    pub fn from_i32(v: i32) -> Slot {
+        Slot(v as i64 as u64)
+    }
+
+    /// Read back an `i32` (truncating).
+    #[inline(always)]
+    pub fn i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Store an `i64`.
+    #[inline(always)]
+    pub fn from_i64(v: i64) -> Slot {
+        Slot(v as u64)
+    }
+
+    /// Read back an `i64`.
+    #[inline(always)]
+    pub fn i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Store an `f32` as its IEEE bit pattern.
+    #[inline(always)]
+    pub fn from_f32(v: f32) -> Slot {
+        Slot(v.to_bits() as u64)
+    }
+
+    /// Read back an `f32` from its IEEE bit pattern.
+    #[inline(always)]
+    pub fn f32(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+
+    /// Store an `f64` as its IEEE bit pattern.
+    #[inline(always)]
+    pub fn from_f64(v: f64) -> Slot {
+        Slot(v.to_bits())
+    }
+
+    /// Read back an `f64` from its IEEE bit pattern.
+    #[inline(always)]
+    pub fn f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Store a heap reference (zero-extended address).
+    #[inline(always)]
+    pub fn from_ref(r: ObjRef) -> Slot {
+        Slot(r.0 as u64)
+    }
+
+    /// Read back a heap reference.
+    #[inline(always)]
+    pub fn obj(self) -> ObjRef {
+        ObjRef(self.0 as u32)
+    }
+
+    /// Lower a tagged value at an API boundary.
+    #[inline]
+    pub fn from_value(v: Value) -> Slot {
+        match v {
+            Value::I32(v) => Slot::from_i32(v),
+            Value::I64(v) => Slot::from_i64(v),
+            Value::F32(v) => Slot::from_f32(v),
+            Value::F64(v) => Slot::from_f64(v),
+            Value::Ref(r) => Slot::from_ref(r),
+        }
+    }
+
+    /// Re-tag at an API boundary; the kind comes from a signature or a
+    /// verifier map, never from the bits themselves.
+    #[inline]
+    pub fn to_value(self, kind: Kind) -> Value {
+        match kind {
+            Kind::I => Value::I32(self.i32()),
+            Kind::L => Value::I64(self.i64()),
+            Kind::F => Value::F32(self.f32()),
+            Kind::D => Value::F64(self.f64()),
+            Kind::R => Value::Ref(self.obj()),
+        }
+    }
+}
+
+impl From<Value> for Slot {
+    #[inline]
+    fn from(v: Value) -> Slot {
+        Slot::from_value(v)
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Slot({:#018x})", self.0)
+    }
+}
+
 /// A static guest type, as used in field and method signatures.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Ty {
@@ -368,6 +504,48 @@ mod tests {
         assert_eq!(ElemTy::Byte.kind(), Kind::I);
         assert_eq!(ElemTy::Double.kind(), Kind::D);
         assert_eq!(ElemTy::Ref.kind(), Kind::R);
+    }
+
+    #[test]
+    fn slot_roundtrips_every_kind() {
+        assert_eq!(Slot::from_i32(-7).i32(), -7);
+        assert_eq!(Slot::from_i32(i32::MIN).i32(), i32::MIN);
+        assert_eq!(Slot::from_i64(-(1i64 << 40)).i64(), -(1i64 << 40));
+        assert_eq!(Slot::from_f32(2.5).f32(), 2.5);
+        assert!(Slot::from_f32(f32::NAN).f32().is_nan());
+        assert_eq!(Slot::from_f64(-0.125).f64(), -0.125);
+        assert_eq!(Slot::from_ref(ObjRef(8)).obj(), ObjRef(8));
+        assert_eq!(Slot::ZERO.obj(), ObjRef::NULL);
+    }
+
+    #[test]
+    fn slot_value_boundary_conversions() {
+        for (v, k) in [
+            (Value::I32(-3), Kind::I),
+            (Value::I64(1 << 40), Kind::L),
+            (Value::F32(1.5), Kind::F),
+            (Value::F64(-2.25), Kind::D),
+            (Value::Ref(ObjRef(16)), Kind::R),
+        ] {
+            assert_eq!(Slot::from_value(v).to_value(k), v);
+        }
+    }
+
+    #[test]
+    fn zero_slot_is_default_for_every_type() {
+        for ty in [
+            Ty::Int,
+            Ty::Long,
+            Ty::Float,
+            Ty::Double,
+            Ty::Array(ElemTy::Int),
+        ] {
+            assert_eq!(
+                Slot::ZERO.to_value(ty.kind()),
+                Value::default_for(ty),
+                "{ty}"
+            );
+        }
     }
 
     #[test]

@@ -77,15 +77,92 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 /// Per-method facts computed during verification.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MethodInfo {
     /// Maximum operand stack depth over all paths.
     pub max_stack: u16,
+    /// Local-variable slot count (copied from the method definition, so
+    /// frame sizing needs only this struct).
+    pub max_locals: u16,
+    /// One [`RefMap`] per instruction: the frame shape on *entry* to
+    /// that pc. Untagged frames make GC root scanning depend on these.
+    pub ref_maps: Vec<RefMap>,
+}
+
+/// Which frame slots provably hold heap references on entry to one
+/// instruction, plus the operand-stack depth there.
+///
+/// This is the verifier fact that makes untagged [`Slot`] frames safe to
+/// collect exactly: a suspended frame's `pc` always names the *next*
+/// instruction, whose entry state describes precisely the live locals
+/// and stack of that frame. Locals the dataflow could not prove to be
+/// references on every path (`Conflict`/`Uninit`) are unscannable and
+/// therefore never carry a live reference across a GC point — the
+/// verifier rejects loads from them, so treating them as non-refs is
+/// exact, not conservative.
+///
+/// [`Slot`]: crate::types::Slot
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RefMap {
+    /// Operand-stack depth on entry (0 for unreachable instructions).
+    pub stack_depth: u16,
+    /// Bitset over locals: bit `i` ⇒ local `i` holds a reference.
+    local_words: Box<[u64]>,
+    /// Bitset over stack positions, bottom of stack = bit 0.
+    stack_words: Box<[u64]>,
+}
+
+fn to_words(bits: impl Iterator<Item = bool>) -> Box<[u64]> {
+    let mut words: Vec<u64> = Vec::new();
+    for (i, b) in bits.enumerate() {
+        if b {
+            let w = i / 64;
+            if w >= words.len() {
+                words.resize(w + 1, 0);
+            }
+            words[w] |= 1u64 << (i % 64);
+        }
+    }
+    words.into_boxed_slice()
+}
+
+#[inline]
+fn word_bit(words: &[u64], i: usize) -> bool {
+    words
+        .get(i / 64)
+        .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+}
+
+impl RefMap {
+    /// Whether local slot `i` holds a reference at this pc.
+    #[inline]
+    pub fn local_is_ref(&self, i: usize) -> bool {
+        word_bit(&self.local_words, i)
+    }
+
+    /// Whether operand-stack position `i` (bottom = 0) holds a
+    /// reference at this pc.
+    #[inline]
+    pub fn stack_is_ref(&self, i: usize) -> bool {
+        word_bit(&self.stack_words, i)
+    }
+
+    fn from_state(st: &State) -> RefMap {
+        RefMap {
+            stack_depth: st.stack.len() as u16,
+            local_words: to_words(
+                st.locals
+                    .iter()
+                    .map(|l| matches!(l, AbsLocal::Known(Kind::R))),
+            ),
+            stack_words: to_words(st.stack.iter().map(|&k| k == Kind::R)),
+        }
+    }
 }
 
 /// Abstract local-slot state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Slot {
+enum AbsLocal {
     Uninit,
     Known(Kind),
     Conflict,
@@ -93,7 +170,7 @@ enum Slot {
 
 #[derive(Clone, PartialEq, Eq, Debug)]
 struct State {
-    locals: Vec<Slot>,
+    locals: Vec<AbsLocal>,
     stack: Vec<Kind>,
 }
 
@@ -111,9 +188,9 @@ impl State {
         for (a, &b) in self.locals.iter_mut().zip(&other.locals) {
             let merged = match (*a, b) {
                 (x, y) if x == y => x,
-                (Slot::Uninit, _) | (_, Slot::Uninit) => Slot::Conflict,
-                (Slot::Conflict, _) | (_, Slot::Conflict) => Slot::Conflict,
-                (Slot::Known(_), Slot::Known(_)) => Slot::Conflict,
+                (AbsLocal::Uninit, _) | (_, AbsLocal::Uninit) => AbsLocal::Conflict,
+                (AbsLocal::Conflict, _) | (_, AbsLocal::Conflict) => AbsLocal::Conflict,
+                (AbsLocal::Known(_), AbsLocal::Known(_)) => AbsLocal::Conflict,
             };
             if merged != *a {
                 *a = merged;
@@ -174,7 +251,13 @@ impl<'p> Ctx<'p> {
 pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, VerifyError> {
     let def = program.method(method);
     let code = match &def.body {
-        MethodBody::Native(_) => return Ok(MethodInfo { max_stack: 0 }),
+        MethodBody::Native(_) => {
+            return Ok(MethodInfo {
+                max_stack: 0,
+                max_locals: def.max_locals,
+                ref_maps: Vec::new(),
+            })
+        }
         MethodBody::Bytecode(code) => code.as_slice(),
     };
     let ctx = Ctx {
@@ -188,20 +271,20 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
     }
 
     // Entry state: receiver + parameters occupy the first slots.
-    let mut entry_locals = vec![Slot::Uninit; def.max_locals as usize];
+    let mut entry_locals = vec![AbsLocal::Uninit; def.max_locals as usize];
     let mut slot = 0usize;
     if !def.is_static {
         if slot >= entry_locals.len() {
             return Err(ctx.err(0, VerifyErrorKind::LocalOutOfRange(0)));
         }
-        entry_locals[slot] = Slot::Known(Kind::R);
+        entry_locals[slot] = AbsLocal::Known(Kind::R);
         slot += 1;
     }
     for &p in &def.params {
         if slot >= entry_locals.len() {
             return Err(ctx.err(0, VerifyErrorKind::LocalOutOfRange(slot as u16)));
         }
-        entry_locals[slot] = Slot::Known(p.kind());
+        entry_locals[slot] = AbsLocal::Known(p.kind());
         slot += 1;
     }
 
@@ -250,20 +333,20 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
             Load(s) => {
                 ctx.check_local(pc, s)?;
                 match st.locals[s as usize] {
-                    Slot::Known(k) => st.stack.push(k),
+                    AbsLocal::Known(k) => st.stack.push(k),
                     _ => return Err(ctx.err(pc, VerifyErrorKind::UninitialisedLocal(s))),
                 }
             }
             Store(s) => {
                 ctx.check_local(pc, s)?;
                 let k = ctx.pop_any(&mut st, pc)?;
-                st.locals[s as usize] = Slot::Known(k);
+                st.locals[s as usize] = AbsLocal::Known(k);
             }
             IInc(s, _) => {
                 ctx.check_local(pc, s)?;
                 match st.locals[s as usize] {
-                    Slot::Known(Kind::I) => {}
-                    Slot::Known(found) => {
+                    AbsLocal::Known(Kind::I) => {}
+                    AbsLocal::Known(found) => {
                         return Err(ctx.err(
                             pc,
                             VerifyErrorKind::KindMismatch {
@@ -485,7 +568,15 @@ pub fn verify_method(program: &Program, method: MethodId) -> Result<MethodInfo, 
         }
     }
 
-    Ok(MethodInfo { max_stack })
+    let ref_maps = states
+        .iter()
+        .map(|st| st.as_ref().map(RefMap::from_state).unwrap_or_default())
+        .collect();
+    Ok(MethodInfo {
+        max_stack,
+        max_locals: def.max_locals,
+        ref_maps,
+    })
 }
 
 fn conv(ctx: &Ctx<'_>, st: &mut State, pc: usize, from: Kind, to: Kind) -> Result<(), VerifyError> {
@@ -530,6 +621,36 @@ mod tests {
         let (p, m) = single_method_program(vec![], Some(Ty::Int), 0, mb.finish());
         let info = verify_method(&p, m).unwrap();
         assert_eq!(info.max_stack, 2);
+    }
+
+    #[test]
+    fn ref_maps_track_locals_and_stack() {
+        // m(ref a, int b): push null, push a, store into local 2, return.
+        let mut mb = MethodBuilder::new();
+        mb.const_null().load(0).store(2).pop().return_void();
+        let (p, m) =
+            single_method_program(vec![Ty::Array(ElemTy::Int), Ty::Int], None, 3, mb.finish());
+        let info = verify_method(&p, m).unwrap();
+        assert_eq!(info.max_locals, 3);
+        assert_eq!(info.ref_maps.len(), 5);
+
+        // Entry: local 0 is the ref param, local 1 the int, 2 uninit.
+        let at0 = &info.ref_maps[0];
+        assert_eq!(at0.stack_depth, 0);
+        assert!(at0.local_is_ref(0));
+        assert!(!at0.local_is_ref(1));
+        assert!(!at0.local_is_ref(2));
+
+        // After ConstNull + Load(0): two refs on the stack at pc 2.
+        let at2 = &info.ref_maps[2];
+        assert_eq!(at2.stack_depth, 2);
+        assert!(at2.stack_is_ref(0) && at2.stack_is_ref(1));
+
+        // After Store(2): local 2 is now a ref, stack holds the null.
+        let at3 = &info.ref_maps[3];
+        assert_eq!(at3.stack_depth, 1);
+        assert!(at3.local_is_ref(2));
+        assert!(at3.stack_is_ref(0));
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum CompileError {
     /// A virtual call target has no vtable slot (i.e. it is not a
     /// virtually dispatchable method).
     NoVtableSlot(MethodId),
+    /// The method failed verification. The baseline compiler derives
+    /// frame sizes and GC maps from the verifier, so unverifiable code
+    /// cannot be compiled even when whole-program verification was
+    /// disabled in the VM configuration.
+    Unverifiable(hera_isa::VerifyError),
 }
 
 impl fmt::Display for CompileError {
@@ -31,6 +36,7 @@ impl fmt::Display for CompileError {
             CompileError::NoVtableSlot(m) => {
                 write!(f, "method #{} has no vtable slot", m.0)
             }
+            CompileError::Unverifiable(e) => write!(f, "unverifiable method: {e}"),
         }
     }
 }
@@ -101,6 +107,10 @@ pub fn compile_method(
     let def = program.method(method);
     let code = def.code().ok_or(CompileError::NativeMethod(method))?;
 
+    // Frame sizing and GC maps come from the verifier's dataflow; the
+    // 1:1 lowering below keeps its per-pc facts valid for the op stream.
+    let info = hera_isa::verify_method(program, method).map_err(CompileError::Unverifiable)?;
+
     let mut ops = Vec::with_capacity(code.len());
     for &instr in code {
         ops.push(lower(program, layout, instr, core)?);
@@ -115,6 +125,9 @@ pub fn compile_method(
         ops,
         code_bytes,
         compile_cycles,
+        max_stack: info.max_stack,
+        max_locals: info.max_locals,
+        ref_maps: info.ref_maps,
     })
 }
 

@@ -1,7 +1,7 @@
 //! Resolved machine operations and the arithmetic unit.
 
 use hera_cell::ExecOp;
-use hera_isa::{ClassId, Cond, ElemTy, MethodId, Trap, Ty, Value};
+use hera_isa::{ClassId, Cond, ElemTy, Kind, MethodId, Slot, Trap, Ty, Value};
 
 /// Arithmetic, conversion and comparison operations, with JVM-faithful
 /// semantics (wrapping integer arithmetic, masked shifts, saturating
@@ -152,105 +152,140 @@ impl ArithOp {
         }
     }
 
-    /// Apply a unary operation.
+    /// The verification kind of this op's result.
+    pub fn result_kind(self) -> Kind {
+        use ArithOp::*;
+        match self {
+            IAdd | ISub | IMul | IDiv | IRem | INeg | IShl | IShr | IUShr | IAnd | IOr | IXor
+            | L2I | F2I | D2I | I2B | I2S | LCmp | FCmpL | FCmpG | DCmpL | DCmpG => Kind::I,
+            LAdd | LSub | LMul | LDiv | LRem | LNeg | LShl | LShr | LUShr | LAnd | LOr | LXor
+            | I2L | D2L => Kind::L,
+            FAdd | FSub | FMul | FDiv | FNeg | FSqrt | I2F | L2F | D2F => Kind::F,
+            DAdd | DSub | DMul | DDiv | DNeg | DSqrt | I2D | L2D | F2D => Kind::D,
+        }
+    }
+
+    /// Apply a unary operation to an untagged slot.
+    ///
+    /// The verifier proved the operand kind, so the slot is read with
+    /// the op's own width — no runtime tag exists to check.
     ///
     /// # Panics
     ///
-    /// Panics if called on a binary op or with a mismatched value kind
-    /// (verified code cannot do either).
-    pub fn apply1(self, a: Value) -> Value {
+    /// Panics if called on a binary op (verified code cannot).
+    #[inline]
+    pub fn apply1_slot(self, a: Slot) -> Slot {
         use ArithOp::*;
         match self {
-            INeg => Value::I32(a.as_i32().wrapping_neg()),
-            LNeg => Value::I64(a.as_i64().wrapping_neg()),
-            FNeg => Value::F32(-a.as_f32()),
-            DNeg => Value::F64(-a.as_f64()),
-            FSqrt => Value::F32(a.as_f32().sqrt()),
-            DSqrt => Value::F64(a.as_f64().sqrt()),
-            I2L => Value::I64(a.as_i32() as i64),
-            I2F => Value::F32(a.as_i32() as f32),
-            I2D => Value::F64(a.as_i32() as f64),
-            L2I => Value::I32(a.as_i64() as i32),
-            L2F => Value::F32(a.as_i64() as f32),
-            L2D => Value::F64(a.as_i64() as f64),
-            F2I => Value::I32(f2i(a.as_f32() as f64, i32::MIN as i64, i32::MAX as i64) as i32),
-            F2D => Value::F64(a.as_f32() as f64),
-            D2I => Value::I32(f2i(a.as_f64(), i32::MIN as i64, i32::MAX as i64) as i32),
-            D2L => Value::I64(f2l(a.as_f64())),
-            D2F => Value::F32(a.as_f64() as f32),
-            I2B => Value::I32(a.as_i32() as i8 as i32),
-            I2S => Value::I32(a.as_i32() as i16 as i32),
+            INeg => Slot::from_i32(a.i32().wrapping_neg()),
+            LNeg => Slot::from_i64(a.i64().wrapping_neg()),
+            FNeg => Slot::from_f32(-a.f32()),
+            DNeg => Slot::from_f64(-a.f64()),
+            FSqrt => Slot::from_f32(a.f32().sqrt()),
+            DSqrt => Slot::from_f64(a.f64().sqrt()),
+            I2L => Slot::from_i64(a.i32() as i64),
+            I2F => Slot::from_f32(a.i32() as f32),
+            I2D => Slot::from_f64(a.i32() as f64),
+            L2I => Slot::from_i32(a.i64() as i32),
+            L2F => Slot::from_f32(a.i64() as f32),
+            L2D => Slot::from_f64(a.i64() as f64),
+            F2I => Slot::from_i32(f2i(a.f32() as f64, i32::MIN as i64, i32::MAX as i64) as i32),
+            F2D => Slot::from_f64(a.f32() as f64),
+            D2I => Slot::from_i32(f2i(a.f64(), i32::MIN as i64, i32::MAX as i64) as i32),
+            D2L => Slot::from_i64(f2l(a.f64())),
+            D2F => Slot::from_f32(a.f64() as f32),
+            I2B => Slot::from_i32(a.i32() as i8 as i32),
+            I2S => Slot::from_i32(a.i32() as i16 as i32),
             other => panic!("apply1 on binary op {other:?}"),
         }
     }
 
-    /// Apply a binary operation (`a op b`, with `b` popped first).
+    /// Apply a binary operation to untagged slots (`a op b`, with `b`
+    /// popped first). Division and remainder trap on a zero divisor.
+    #[inline]
+    pub fn apply2_slot(self, a: Slot, b: Slot) -> Result<Slot, Trap> {
+        use ArithOp::*;
+        Ok(match self {
+            IAdd => Slot::from_i32(a.i32().wrapping_add(b.i32())),
+            ISub => Slot::from_i32(a.i32().wrapping_sub(b.i32())),
+            IMul => Slot::from_i32(a.i32().wrapping_mul(b.i32())),
+            IDiv => {
+                let d = b.i32();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Slot::from_i32(a.i32().wrapping_div(d))
+            }
+            IRem => {
+                let d = b.i32();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Slot::from_i32(a.i32().wrapping_rem(d))
+            }
+            IShl => Slot::from_i32(a.i32().wrapping_shl(b.i32() as u32 & 31)),
+            IShr => Slot::from_i32(a.i32().wrapping_shr(b.i32() as u32 & 31)),
+            IUShr => Slot::from_i32(((a.i32() as u32) >> (b.i32() as u32 & 31)) as i32),
+            IAnd => Slot::from_i32(a.i32() & b.i32()),
+            IOr => Slot::from_i32(a.i32() | b.i32()),
+            IXor => Slot::from_i32(a.i32() ^ b.i32()),
+            LAdd => Slot::from_i64(a.i64().wrapping_add(b.i64())),
+            LSub => Slot::from_i64(a.i64().wrapping_sub(b.i64())),
+            LMul => Slot::from_i64(a.i64().wrapping_mul(b.i64())),
+            LDiv => {
+                let d = b.i64();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Slot::from_i64(a.i64().wrapping_div(d))
+            }
+            LRem => {
+                let d = b.i64();
+                if d == 0 {
+                    return Err(Trap::DivisionByZero);
+                }
+                Slot::from_i64(a.i64().wrapping_rem(d))
+            }
+            LShl => Slot::from_i64(a.i64().wrapping_shl(b.i32() as u32 & 63)),
+            LShr => Slot::from_i64(a.i64().wrapping_shr(b.i32() as u32 & 63)),
+            LUShr => Slot::from_i64(((a.i64() as u64) >> (b.i32() as u32 & 63)) as i64),
+            LAnd => Slot::from_i64(a.i64() & b.i64()),
+            LOr => Slot::from_i64(a.i64() | b.i64()),
+            LXor => Slot::from_i64(a.i64() ^ b.i64()),
+            FAdd => Slot::from_f32(a.f32() + b.f32()),
+            FSub => Slot::from_f32(a.f32() - b.f32()),
+            FMul => Slot::from_f32(a.f32() * b.f32()),
+            FDiv => Slot::from_f32(a.f32() / b.f32()),
+            DAdd => Slot::from_f64(a.f64() + b.f64()),
+            DSub => Slot::from_f64(a.f64() - b.f64()),
+            DMul => Slot::from_f64(a.f64() * b.f64()),
+            DDiv => Slot::from_f64(a.f64() / b.f64()),
+            LCmp => Slot::from_i32(three_way(a.i64().cmp(&b.i64()))),
+            FCmpL => Slot::from_i32(fcmp(a.f32() as f64, b.f32() as f64, -1)),
+            FCmpG => Slot::from_i32(fcmp(a.f32() as f64, b.f32() as f64, 1)),
+            DCmpL => Slot::from_i32(fcmp(a.f64(), b.f64(), -1)),
+            DCmpG => Slot::from_i32(fcmp(a.f64(), b.f64(), 1)),
+            other => panic!("apply2 on unary op {other:?}"),
+        })
+    }
+
+    /// Apply a unary operation at a tagged-value boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a binary op (verified code cannot).
+    pub fn apply1(self, a: Value) -> Value {
+        self.apply1_slot(Slot::from_value(a))
+            .to_value(self.result_kind())
+    }
+
+    /// Apply a binary operation at a tagged-value boundary (`a op b`,
+    /// with `b` popped first).
     ///
     /// Division and remainder trap on a zero divisor.
     pub fn apply2(self, a: Value, b: Value) -> Result<Value, Trap> {
-        use ArithOp::*;
-        Ok(match self {
-            IAdd => Value::I32(a.as_i32().wrapping_add(b.as_i32())),
-            ISub => Value::I32(a.as_i32().wrapping_sub(b.as_i32())),
-            IMul => Value::I32(a.as_i32().wrapping_mul(b.as_i32())),
-            IDiv => {
-                let d = b.as_i32();
-                if d == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                Value::I32(a.as_i32().wrapping_div(d))
-            }
-            IRem => {
-                let d = b.as_i32();
-                if d == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                Value::I32(a.as_i32().wrapping_rem(d))
-            }
-            IShl => Value::I32(a.as_i32().wrapping_shl(b.as_i32() as u32 & 31)),
-            IShr => Value::I32(a.as_i32().wrapping_shr(b.as_i32() as u32 & 31)),
-            IUShr => Value::I32(((a.as_i32() as u32) >> (b.as_i32() as u32 & 31)) as i32),
-            IAnd => Value::I32(a.as_i32() & b.as_i32()),
-            IOr => Value::I32(a.as_i32() | b.as_i32()),
-            IXor => Value::I32(a.as_i32() ^ b.as_i32()),
-            LAdd => Value::I64(a.as_i64().wrapping_add(b.as_i64())),
-            LSub => Value::I64(a.as_i64().wrapping_sub(b.as_i64())),
-            LMul => Value::I64(a.as_i64().wrapping_mul(b.as_i64())),
-            LDiv => {
-                let d = b.as_i64();
-                if d == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                Value::I64(a.as_i64().wrapping_div(d))
-            }
-            LRem => {
-                let d = b.as_i64();
-                if d == 0 {
-                    return Err(Trap::DivisionByZero);
-                }
-                Value::I64(a.as_i64().wrapping_rem(d))
-            }
-            LShl => Value::I64(a.as_i64().wrapping_shl(b.as_i32() as u32 & 63)),
-            LShr => Value::I64(a.as_i64().wrapping_shr(b.as_i32() as u32 & 63)),
-            LUShr => Value::I64(((a.as_i64() as u64) >> (b.as_i32() as u32 & 63)) as i64),
-            LAnd => Value::I64(a.as_i64() & b.as_i64()),
-            LOr => Value::I64(a.as_i64() | b.as_i64()),
-            LXor => Value::I64(a.as_i64() ^ b.as_i64()),
-            FAdd => Value::F32(a.as_f32() + b.as_f32()),
-            FSub => Value::F32(a.as_f32() - b.as_f32()),
-            FMul => Value::F32(a.as_f32() * b.as_f32()),
-            FDiv => Value::F32(a.as_f32() / b.as_f32()),
-            DAdd => Value::F64(a.as_f64() + b.as_f64()),
-            DSub => Value::F64(a.as_f64() - b.as_f64()),
-            DMul => Value::F64(a.as_f64() * b.as_f64()),
-            DDiv => Value::F64(a.as_f64() / b.as_f64()),
-            LCmp => Value::I32(three_way(a.as_i64().cmp(&b.as_i64()))),
-            FCmpL => Value::I32(fcmp(a.as_f32() as f64, b.as_f32() as f64, -1)),
-            FCmpG => Value::I32(fcmp(a.as_f32() as f64, b.as_f32() as f64, 1)),
-            DCmpL => Value::I32(fcmp(a.as_f64(), b.as_f64(), -1)),
-            DCmpG => Value::I32(fcmp(a.as_f64(), b.as_f64(), 1)),
-            other => panic!("apply2 on unary op {other:?}"),
-        })
+        self.apply2_slot(Slot::from_value(a), Slot::from_value(b))
+            .map(|s| s.to_value(self.result_kind()))
     }
 }
 

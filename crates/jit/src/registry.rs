@@ -17,6 +17,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A method compiled for one core kind.
+///
+/// Carries the verifier's frame facts (`max_stack`, `max_locals`,
+/// per-op [`RefMap`]s) so the runtime can carve fixed-size untagged
+/// frames out of a thread's slot arena and still scan GC roots exactly.
+/// The lowering is 1:1, so op indices coincide with bytecode pcs and
+/// the maps transfer unchanged to compiled code on both core kinds.
+///
+/// [`RefMap`]: hera_isa::RefMap
 #[derive(Clone, PartialEq, Debug)]
 pub struct CompiledMethod {
     /// The source method.
@@ -29,6 +37,20 @@ pub struct CompiledMethod {
     pub code_bytes: u32,
     /// Cycles the baseline compiler spent producing this code.
     pub compile_cycles: u64,
+    /// Operand-stack capacity of every frame (verifier's `max_stack`).
+    pub max_stack: u16,
+    /// Local-variable slot count of every frame.
+    pub max_locals: u16,
+    /// GC reference map per op, indexed by pc (entry state of that op).
+    pub ref_maps: Vec<hera_isa::RefMap>,
+}
+
+impl CompiledMethod {
+    /// Total slots one frame of this method occupies in the arena.
+    #[inline]
+    pub fn frame_slots(&self) -> usize {
+        self.max_locals as usize + self.max_stack as usize
+    }
 }
 
 /// Aggregate registry statistics.

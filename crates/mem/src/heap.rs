@@ -15,7 +15,7 @@
 //! block sits at [`Heap::STATICS_BASE`]; objects follow it.
 
 use crate::layout::{ProgramLayout, HEADER_BYTES};
-use hera_isa::{ClassId, ElemTy, ObjRef, Trap, Ty, Value};
+use hera_isa::{ClassId, ElemTy, ObjRef, Slot, Trap, Ty, Value};
 use std::collections::BTreeSet;
 
 /// Heap configuration.
@@ -115,17 +115,43 @@ pub fn array_byte_size(elem: ElemTy, len: u32) -> u32 {
 pub mod codec {
     use super::*;
 
+    /// Read an untagged slot from a byte buffer at `off`. `ty` selects
+    /// the width and the sign/zero extension; no tag is materialised.
+    #[inline]
+    pub fn read_slot(buf: &[u8], off: usize, ty: Ty) -> Slot {
+        match ty {
+            Ty::Byte => Slot::from_i32(buf[off] as i8 as i32),
+            Ty::Short => Slot::from_i32(i16::from_le_bytes([buf[off], buf[off + 1]]) as i32),
+            Ty::Int => Slot::from_i32(i32::from_le_bytes(word4(buf, off))),
+            Ty::Float => Slot::from_f32(f32::from_le_bytes(word4(buf, off))),
+            Ty::Long => Slot::from_i64(i64::from_le_bytes(word8(buf, off))),
+            Ty::Double => Slot::from_f64(f64::from_le_bytes(word8(buf, off))),
+            Ty::Ref(_) | Ty::Array(_) => {
+                Slot::from_ref(ObjRef(u32::from_le_bytes(word4(buf, off))))
+            }
+        }
+    }
+
+    /// Write an untagged slot into a byte buffer at `off`, truncating to
+    /// `ty`'s field width.
+    #[inline]
+    pub fn write_slot(buf: &mut [u8], off: usize, ty: Ty, s: Slot) {
+        match ty {
+            Ty::Byte => buf[off] = s.i32() as u8,
+            Ty::Short => buf[off..off + 2].copy_from_slice(&(s.i32() as i16).to_le_bytes()),
+            Ty::Int => buf[off..off + 4].copy_from_slice(&s.i32().to_le_bytes()),
+            Ty::Float => buf[off..off + 4].copy_from_slice(&s.f32().to_le_bytes()),
+            Ty::Long => buf[off..off + 8].copy_from_slice(&s.i64().to_le_bytes()),
+            Ty::Double => buf[off..off + 8].copy_from_slice(&s.f64().to_le_bytes()),
+            Ty::Ref(_) | Ty::Array(_) => {
+                buf[off..off + 4].copy_from_slice(&s.obj().0.to_le_bytes())
+            }
+        }
+    }
+
     /// Read a typed value from a byte buffer at `off`.
     pub fn read_value(buf: &[u8], off: usize, ty: Ty) -> Value {
-        match ty {
-            Ty::Byte => Value::I32(buf[off] as i8 as i32),
-            Ty::Short => Value::I32(i16::from_le_bytes([buf[off], buf[off + 1]]) as i32),
-            Ty::Int => Value::I32(i32::from_le_bytes(word4(buf, off))),
-            Ty::Float => Value::F32(f32::from_le_bytes(word4(buf, off))),
-            Ty::Long => Value::I64(i64::from_le_bytes(word8(buf, off))),
-            Ty::Double => Value::F64(f64::from_le_bytes(word8(buf, off))),
-            Ty::Ref(_) | Ty::Array(_) => Value::Ref(ObjRef(u32::from_le_bytes(word4(buf, off)))),
-        }
+        read_slot(buf, off, ty).to_value(ty.kind())
     }
 
     /// Write a typed value into a byte buffer at `off`.
@@ -156,6 +182,18 @@ pub mod codec {
     /// Element-typed write (arrays).
     pub fn write_elem(buf: &mut [u8], off: usize, e: ElemTy, v: Value) {
         write_value(buf, off, elem_as_ty(e), v)
+    }
+
+    /// Element-typed untagged read (arrays).
+    #[inline]
+    pub fn read_elem_slot(buf: &[u8], off: usize, e: ElemTy) -> Slot {
+        read_slot(buf, off, elem_as_ty(e))
+    }
+
+    /// Element-typed untagged write (arrays).
+    #[inline]
+    pub fn write_elem_slot(buf: &mut [u8], off: usize, e: ElemTy, s: Slot) {
+        write_slot(buf, off, elem_as_ty(e), s)
     }
 
     fn elem_as_ty(e: ElemTy) -> Ty {
@@ -304,6 +342,18 @@ impl Heap {
     #[inline]
     pub fn write_typed(&mut self, addr: u32, ty: Ty, v: Value) {
         codec::write_value(&mut self.data, addr as usize, ty, v)
+    }
+
+    /// Untagged read at an absolute address; `ty` selects width only.
+    #[inline]
+    pub fn read_typed_slot(&self, addr: u32, ty: Ty) -> Slot {
+        codec::read_slot(&self.data, addr as usize, ty)
+    }
+
+    /// Untagged write at an absolute address; `ty` selects width only.
+    #[inline]
+    pub fn write_typed_slot(&mut self, addr: u32, ty: Ty, s: Slot) {
+        codec::write_slot(&mut self.data, addr as usize, ty, s)
     }
 
     // ---- headers ----
@@ -485,11 +535,35 @@ impl Heap {
         Ok(())
     }
 
+    /// Bounds-checked untagged array element load.
+    #[inline]
+    pub fn array_load_slot(&self, r: ObjRef, idx: i32) -> Result<Slot, Trap> {
+        let (addr, elem) = self.elem_addr(r, idx)?;
+        Ok(codec::read_elem_slot(&self.data, addr as usize, elem))
+    }
+
+    /// Bounds-checked untagged array element store.
+    #[inline]
+    pub fn array_store_slot(&mut self, r: ObjRef, idx: i32, s: Slot) -> Result<(), Trap> {
+        let (addr, elem) = self.elem_addr(r, idx)?;
+        codec::write_elem_slot(&mut self.data, addr as usize, elem, s);
+        Ok(())
+    }
+
     /// Array length from the header.
     pub fn array_length(&self, r: ObjRef) -> u32 {
         match self.header(r).kind {
             HeapKind::Array(_, len) => len,
             HeapKind::Object(_) => panic!("array_length on non-array (verifier bug)"),
+        }
+    }
+
+    /// Array length, `None` when `r` is not an array (natives receive
+    /// arbitrary verified refs, so this path must not panic).
+    pub fn try_array_length(&self, r: ObjRef) -> Option<u32> {
+        match self.header(r).kind {
+            HeapKind::Array(_, len) => Some(len),
+            HeapKind::Object(_) => None,
         }
     }
 }

@@ -19,7 +19,7 @@
 //! concurrent remote writes, exactly as on the real hardware.
 
 use hera_cell::{CellMachine, CoreId, OpClass};
-use hera_isa::{Ty, Value};
+use hera_isa::{Slot, Ty, Value};
 use hera_mem::heap::codec;
 use hera_mem::{Heap, HeapError};
 use hera_trace::{DmaTag, TraceEvent};
@@ -254,8 +254,68 @@ impl DataCache {
         Ok(Some(off))
     }
 
-    /// Read a typed value from offset `off` inside the unit
-    /// `[unit_addr, unit_addr+unit_len)`.
+    /// Read an untagged slot from offset `off` inside the unit
+    /// `[unit_addr, unit_addr+unit_len)`. This is the interpreter's hot
+    /// path; `ty` selects the transfer width only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_slot(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+        unit_addr: u32,
+        unit_len: u32,
+        off: u32,
+        ty: Ty,
+    ) -> Result<Slot, HeapError> {
+        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
+            Some(local_off) => Ok(codec::read_slot(
+                &self.local,
+                (local_off + off) as usize,
+                ty,
+            )),
+            None => {
+                // Bypass: DMA just the touched line, read through.
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
+                Ok(heap.read_typed_slot(unit_addr + off, ty))
+            }
+        }
+    }
+
+    /// Write an untagged slot at offset `off` inside the unit, marking
+    /// the dirty span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_slot(
+        &mut self,
+        heap: &mut Heap,
+        machine: &mut CellMachine,
+        core: CoreId,
+        unit_addr: u32,
+        unit_len: u32,
+        off: u32,
+        ty: Ty,
+        s: Slot,
+    ) -> Result<(), HeapError> {
+        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
+            Some(local_off) => {
+                codec::write_slot(&mut self.local, (local_off + off) as usize, ty, s);
+                let slot = self.probe(unit_addr).expect("just ensured");
+                let e = self.table[slot].as_mut().expect("probed entry");
+                e.dirty_lo = e.dirty_lo.min(off);
+                e.dirty_hi = e.dirty_hi.max(off + ty.field_size());
+                Ok(())
+            }
+            None => {
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
+                heap.write_typed_slot(unit_addr + off, ty, s);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read a tagged value (API-boundary convenience over [`read_slot`]).
+    ///
+    /// [`read_slot`]: DataCache::read_slot
     #[allow(clippy::too_many_arguments)]
     pub fn read(
         &mut self,
@@ -267,22 +327,14 @@ impl DataCache {
         off: u32,
         ty: Ty,
     ) -> Result<Value, HeapError> {
-        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
-            Some(local_off) => Ok(codec::read_value(
-                &self.local,
-                (local_off + off) as usize,
-                ty,
-            )),
-            None => {
-                // Bypass: DMA just the touched line, read through.
-                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
-                Ok(heap.read_typed(unit_addr + off, ty))
-            }
-        }
+        self.read_slot(heap, machine, core, unit_addr, unit_len, off, ty)
+            .map(|s| s.to_value(ty.kind()))
     }
 
-    /// Write a typed value at offset `off` inside the unit, marking the
-    /// dirty span.
+    /// Write a tagged value (API-boundary convenience over
+    /// [`write_slot`]).
+    ///
+    /// [`write_slot`]: DataCache::write_slot
     #[allow(clippy::too_many_arguments)]
     pub fn write(
         &mut self,
@@ -295,21 +347,16 @@ impl DataCache {
         ty: Ty,
         v: Value,
     ) -> Result<(), HeapError> {
-        match self.ensure(heap, machine, core, unit_addr, unit_len)? {
-            Some(local_off) => {
-                codec::write_value(&mut self.local, (local_off + off) as usize, ty, v);
-                let slot = self.probe(unit_addr).expect("just ensured");
-                let e = self.table[slot].as_mut().expect("probed entry");
-                e.dirty_lo = e.dirty_lo.min(off);
-                e.dirty_hi = e.dirty_hi.max(off + ty.field_size());
-                Ok(())
-            }
-            None => {
-                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
-                heap.write_typed(unit_addr + off, ty, v);
-                Ok(())
-            }
-        }
+        self.write_slot(
+            heap,
+            machine,
+            core,
+            unit_addr,
+            unit_len,
+            off,
+            ty,
+            Slot::from_value(v),
+        )
     }
 
     /// Write all dirty spans back to main memory (release barrier /
