@@ -13,3 +13,6 @@ cargo test -q --workspace
 # scale keeps this a smoke test, not a measurement.
 cargo bench --workspace --no-run
 cargo run --release -p hera-bench --bin figures -- perf --reps 1 --scale 0.1
+# Chaos smoke: fixed seed, one workload, SPE-death schedule; the run
+# must recover (the harness asserts the checksum) and print the report.
+cargo run --release -p hera-bench --bin figures -- chaos mandelbrot --scale 0.25

@@ -15,7 +15,7 @@ fn micro(c: &mut Criterion) {
 
     g.bench_function("dma-1k", |b| {
         let mut m = CellMachine::new(CellConfig::default());
-        b.iter(|| m.dma(CoreId::Spe(0), 1024))
+        b.iter(|| m.dma(CoreId::Spe(0), 1024).unwrap())
     });
 
     g.bench_function("data-cache-hit", |b| {
@@ -68,7 +68,8 @@ fn micro(c: &mut Criterion) {
             64,
             hera_isa::MethodId(0),
             512,
-        );
+        )
+        .unwrap();
         b.iter(|| {
             cc.lookup(
                 &mut machine,
@@ -78,6 +79,7 @@ fn micro(c: &mut Criterion) {
                 hera_isa::MethodId(0),
                 512,
             )
+            .unwrap()
         })
     });
 
@@ -89,7 +91,7 @@ fn micro(c: &mut Criterion) {
             trace: false,
             ..CellConfig::default()
         });
-        b.iter(|| m.dma(CoreId::Spe(0), 1024))
+        b.iter(|| m.dma(CoreId::Spe(0), 1024).unwrap())
     });
     g.bench_function("run-mandelbrot-trace-off", |b| {
         let (program, _) = hera_workloads::Workload::Mandelbrot.build(1, 0.02);

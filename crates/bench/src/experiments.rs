@@ -648,6 +648,45 @@ pub fn sync_scalability(reps: i32) -> Vec<(u8, u64, u64)> {
         .collect()
 }
 
+// ------------------------------------------------------------- chaos
+
+/// The standard chaos-run fault plan: transient MFC faults at rates
+/// high enough that retries visibly show up in one run, watchdog
+/// timeouts on the syscall-proxy and migration waits, and one hard SPE
+/// death mid-run. Everything is derived from `seed`, so the same seed
+/// reproduces the same faults cycle-for-cycle.
+pub fn chaos_plan(seed: u64, death_spe: u8, death_at: u64) -> hera_cell::FaultPlan {
+    hera_cell::FaultPlan::seeded(seed)
+        .with_mfc_faults(400, 250, 150)
+        .with_proxy_faults(500)
+        .with_migration_faults(500)
+        .with_spe_death(death_spe, death_at)
+}
+
+/// A death deadline that lands mid-run for every workload at `scale`
+/// (the shortest 6-SPE run is ~8.4M cycles at scale 1.0).
+pub fn chaos_death_cycle(scale: f64) -> u64 {
+    ((1_500_000.0 * scale) as u64).max(50_000)
+}
+
+/// Run one workload on 6 SPEs under `plan` with tracing enabled. The
+/// checksum is still asserted: losing a core mid-run must not lose
+/// work, only move it.
+pub fn chaos_workload(w: Workload, scale: f64, plan: hera_cell::FaultPlan) -> RunOutcome {
+    let (program, expected) = w.build(6, scale);
+    let cfg = spe_config(6).with_tracing().with_faults(plan);
+    let vm = HeraJvm::new(program, cfg).expect("program constructs");
+    let out = vm.run().expect("run survives injected faults");
+    assert!(out.is_clean(), "{}: traps {:?}", w.name(), out.traps);
+    assert_eq!(
+        out.result,
+        Some(Value::I32(expected)),
+        "{} checksum mismatch under fault injection",
+        w.name()
+    );
+    out
+}
+
 // ------------------------------------------------------------- perf bench
 
 /// One row of the interpreter host-performance benchmark.

@@ -40,6 +40,8 @@ impl EibGrant {
 pub struct Eib {
     /// Claimed transfer cycles per virtual-time window.
     windows: HashMap<u64, u64>,
+    /// Windows strictly below this index have been retired (pruned).
+    retired_below: u64,
     /// Total bytes moved (for bandwidth reporting).
     pub bytes_transferred: u64,
     /// Total transfers granted.
@@ -80,6 +82,28 @@ impl Eib {
             queue_cycles: queue,
             transfer_cycles,
         }
+    }
+
+    /// Retire accounting for windows that can no longer be referenced.
+    ///
+    /// `before_cycle` must be a lower bound on every future `request`'s
+    /// `now` (the minimum over the clocks of all cores that issue DMA).
+    /// Requests only read and claim windows at or after `now / WINDOW`,
+    /// and spills only move forward, so pruning strictly older windows
+    /// cannot change any future grant — it only bounds the map, which
+    /// otherwise grows by one entry per 2048-cycle window forever.
+    pub fn retire(&mut self, before_cycle: u64) {
+        let before = before_cycle / WINDOW;
+        if before <= self.retired_below {
+            return;
+        }
+        self.windows.retain(|&w, _| w >= before);
+        self.retired_below = before;
+    }
+
+    /// Number of live window entries (bounded-memory test hook).
+    pub fn windows_len(&self) -> usize {
+        self.windows.len()
     }
 
     /// Mean queueing delay per transfer so far.
@@ -149,6 +173,46 @@ mod tests {
         assert_eq!(eib.bytes_transferred, 2000);
         assert_eq!(eib.queue_cycles_total, 100);
         assert_eq!(eib.mean_queue_cycles(), 50.0);
+    }
+
+    #[test]
+    fn retire_bounds_the_window_map() {
+        let mut eib = Eib::new();
+        for i in 0..100_000u64 {
+            let now = i * 100;
+            eib.request(now, 50, 800);
+            eib.retire(now);
+        }
+        // Without retirement this map would hold ~4883 windows.
+        assert!(eib.windows_len() <= 4, "map grew to {}", eib.windows_len());
+        assert_eq!(eib.transfers, 100_000);
+    }
+
+    #[test]
+    fn retire_does_not_change_future_grants() {
+        let mut a = Eib::new();
+        let mut b = Eib::new();
+        a.request(0, 3000, 48000);
+        b.request(0, 3000, 48000);
+        // Retiring below the next requester's clock must be invisible.
+        b.retire(2100);
+        let ga = a.request(2100, 64, 1024);
+        let gb = b.request(2100, 64, 1024);
+        assert_eq!(ga, gb);
+        assert_eq!(gb.queue_cycles, 952);
+    }
+
+    #[test]
+    fn retire_is_monotonic_and_idempotent() {
+        let mut eib = Eib::new();
+        eib.request(10_000, 100, 1600);
+        eib.retire(50_000);
+        let len = eib.windows_len();
+        // Going backwards is a no-op.
+        eib.retire(1_000);
+        assert_eq!(eib.windows_len(), len);
+        eib.retire(50_000);
+        assert_eq!(eib.windows_len(), len);
     }
 
     #[test]

@@ -33,12 +33,12 @@ use crate::thread::{
 };
 use crate::vm::VmError;
 use crate::world::{QuantumOutcome, World};
-use hera_cell::{CellMachine, CoreId, CoreKind, ExecOp, OpClass};
+use hera_cell::{CellMachine, CoreId, CoreKind, ExecOp, FaultSite, OpClass};
 use hera_isa::class::NativeKind;
 use hera_isa::{Kind, MethodDef, MethodId, ObjRef, Slot, Trap, Ty, Value};
 use hera_jit::{BranchKind, MachineOp};
 use hera_mem::{Heap, HeapKind};
-use hera_softcache::DataCache;
+use hera_softcache::{CacheFault, DataCache};
 use hera_trace::{MigrationKind, TraceEvent};
 use std::rc::Rc;
 
@@ -188,7 +188,9 @@ pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, V
     // Deferred code-cache re-lookup after a migrate-back onto an SPE.
     if let Some(m) = w.threads[t].pending_relookup.take() {
         if spe_of(core).is_some() {
-            code_cache_lookup(w, t, m)?;
+            if let Err(e) = code_cache_lookup(w, t, m) {
+                return trap_or_vm(w, tid, e);
+            }
         }
     }
 
@@ -197,7 +199,9 @@ pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, V
         if let Some(origin) = call.marker_origin {
             push_marker(w, t, origin);
         }
-        push_frame(w, tid, call.method, call.args)?;
+        if let Err(e) = push_frame(w, tid, call.method, call.args) {
+            return trap_or_vm(w, tid, e);
+        }
         if w.threads[t].is_finished() {
             return Ok(QuantumOutcome::Finished);
         }
@@ -242,7 +246,9 @@ pub fn run_quantum(w: &mut World<'_>, tid: ThreadId) -> Result<QuantumOutcome, V
                 .expect("checked non-empty")
                 .code = code;
             if spe_of(core).is_some() {
-                code_cache_lookup(w, t, method)?;
+                if let Err(e) = code_cache_lookup(w, t, method) {
+                    return trap_or_vm(w, tid, e);
+                }
             }
         }
 
@@ -282,6 +288,20 @@ impl From<VmError> for StepError {
 impl From<hera_mem::HeapError> for StepError {
     fn from(e: hera_mem::HeapError) -> StepError {
         StepError::Vm(VmError::Internal(format!("heap access: {e}")))
+    }
+}
+
+impl From<CacheFault> for StepError {
+    fn from(e: CacheFault) -> StepError {
+        match e {
+            // A bad cached address is a VM bug, same as a direct one.
+            CacheFault::Heap(h) => StepError::Vm(VmError::Internal(format!("heap access: {h}"))),
+            // An exhausted MFC transfer is a machine-level fault the
+            // guest observes as an (asynchronous) machine check: the
+            // thread dies, the run survives.
+            CacheFault::Mfc(m) => StepError::Trap(Trap::MachineCheck(m.to_string())),
+            CacheFault::Internal(msg) => StepError::Vm(VmError::Internal(msg.to_string())),
+        }
     }
 }
 
@@ -1012,7 +1032,7 @@ fn spe_array_access(
 
 /// Perform the TOC → TIB → method lookup for `method` on the SPE the
 /// thread currently occupies.
-fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<(), VmError> {
+fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<(), StepError> {
     let core = w.threads[t].core;
     let Some(spe) = spe_of(core) else {
         return Ok(());
@@ -1031,7 +1051,7 @@ fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<()
         w.machine.advance(core, jit, OpClass::Integer);
     }
     let code_bytes = code.code_bytes;
-    w.code_caches[spe].lookup(&mut w.machine, core, class, tib_bytes, method, code_bytes);
+    w.code_caches[spe].lookup(&mut w.machine, core, class, tib_bytes, method, code_bytes)?;
     Ok(())
 }
 
@@ -1040,7 +1060,10 @@ fn code_cache_lookup(w: &mut World<'_>, t: usize, method: MethodId) -> Result<()
 /// Trace a migration departure (`from` → `dest`) and arm the lazy
 /// arrival event, which fires with the target core's clock when the
 /// thread is next dispatched. One branch when tracing is off.
-fn trace_migration_out(
+///
+/// `pub(crate)` because fail-over draining (world.rs) re-homes threads
+/// through exactly this path.
+pub(crate) fn trace_migration_out(
     w: &mut World<'_>,
     t: usize,
     from: CoreId,
@@ -1115,7 +1138,7 @@ fn prepare_activation(
     w: &mut World<'_>,
     tid: ThreadId,
     method: MethodId,
-) -> Result<Option<Rc<hera_jit::CompiledMethod>>, VmError> {
+) -> Result<Option<Rc<hera_jit::CompiledMethod>>, StepError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
     if w.threads[t].frames.len() >= w.config.max_stack_depth {
@@ -1147,7 +1170,7 @@ fn push_frame(
     tid: ThreadId,
     method: MethodId,
     args: Vec<Value>,
-) -> Result<(), VmError> {
+) -> Result<(), StepError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
     let Some(code) = prepare_activation(w, tid, method)? else {
@@ -1189,7 +1212,7 @@ fn push_frame_from_stack(
     tid: ThreadId,
     method: MethodId,
     argc: usize,
-) -> Result<(), VmError> {
+) -> Result<(), StepError> {
     let t = tid.0 as usize;
     let core = w.threads[t].core;
     {
@@ -1278,6 +1301,7 @@ fn do_invoke(w: &mut World<'_>, tid: ThreadId, target: MethodId) -> Result<Flow,
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             push_marker(w, t, core);
@@ -1307,6 +1331,7 @@ fn do_invoke(w: &mut World<'_>, tid: ThreadId, target: MethodId) -> Result<Flow,
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             w.threads[t].pending_call = Some(PendingCall {
@@ -1399,6 +1424,7 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
             if matches!(origin, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
             w.threads[t].core = origin;
@@ -1465,6 +1491,9 @@ fn native_call(
                 NativeKind::FastSyscall => {
                     w.machine
                         .emit(core, TraceEvent::SyscallProxy { native: nid.0 });
+                    // The proxy wait is a watchdog-guarded rendezvous:
+                    // an injected lost signal costs a timeout + retry.
+                    w.machine.watchdog_wait(core, FaultSite::SyscallProxy);
                     w.machine.cost_model().syscall_signal_cycles as u64
                 }
                 NativeKind::Jni => {
@@ -1530,7 +1559,8 @@ fn native_call(
             let (kind, spe_hint) = w.policy().initial_core_kind(idx, w.config.cell.num_spes);
             let dest = match kind {
                 CoreKind::Ppe => CoreId::Ppe,
-                CoreKind::Spe => CoreId::Spe(spe_hint),
+                // A blacklisted SPE never receives new threads.
+                CoreKind::Spe => w.remap_failed(CoreId::Spe(spe_hint)),
             };
             let at = w.machine.now(CoreId::Ppe);
             let new_tid = w.spawn_thread(run, vec![Value::Ref(obj)], dest, at);

@@ -1,6 +1,6 @@
 //! Aggregated run statistics: everything the experiments report.
 
-use hera_cell::{CycleBreakdown, OpClass};
+use hera_cell::{CycleBreakdown, FaultStats, OpClass};
 use hera_jit::RegistryStats;
 use hera_softcache::{CodeCacheStats, DataCacheStats};
 use hera_trace::MetricsRegistry;
@@ -59,6 +59,9 @@ pub struct RunStats {
     pub contended_acquires: u64,
     /// Context switches.
     pub thread_switches: u64,
+    /// Fault-injection and recovery accounting (all-zero on a quiet
+    /// run).
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -95,6 +98,18 @@ impl RunStats {
         reg.set("jit.dual_compiled", self.registry.dual_compiled);
         reg.set("bus.bytes_transferred", self.bus.bytes_transferred);
         reg.set("bus.transfers", self.bus.transfers);
+        // Fault aggregates only appear when something fired, so a quiet
+        // run's metric namespace is untouched by the subsystem.
+        if self.faults.any() {
+            reg.set("faults.injected_total", self.faults.total_injected());
+            reg.set("faults.mfc_retries", self.faults.mfc_retries);
+            reg.set("faults.backoff_cycles", self.faults.backoff_cycles);
+            reg.set("faults.watchdog_cycles", self.faults.watchdog_cycles);
+            reg.set("faults.unrecoverable", self.faults.unrecoverable);
+            reg.set("faults.spe_deaths", self.faults.deaths.len() as u64);
+            reg.set("faults.drained_threads", self.faults.drained_threads);
+            reg.set("faults.salvaged_bytes", self.faults.salvaged_bytes);
+        }
         reg
     }
 }
@@ -145,6 +160,20 @@ impl fmt::Display for RunStats {
             "bus: {} transfers, {} bytes, mean queue {:.1} cycles",
             self.bus.transfers, self.bus.bytes_transferred, self.bus.mean_queue_cycles
         )?;
+        if self.faults.any() {
+            writeln!(
+                f,
+                "faults: {} injected, {} MFC retries ({} backoff cycles), \
+                 {} unrecoverable, {} SPE deaths, {} threads drained, {} bytes salvaged",
+                self.faults.total_injected(),
+                self.faults.mfc_retries,
+                self.faults.backoff_cycles,
+                self.faults.unrecoverable,
+                self.faults.deaths.len(),
+                self.faults.drained_threads,
+                self.faults.salvaged_bytes
+            )?;
+        }
         writeln!(f, "SPE cycle breakdown:")?;
         write!(f, "{}", self.spe)?;
         Ok(())

@@ -129,6 +129,14 @@ impl VmConfig {
         self.cell.trace = true;
         self
     }
+
+    /// Install a deterministic fault plan (chaos testing). A plan with
+    /// no rates and no scheduled deaths leaves virtual time
+    /// bit-identical to a run without one.
+    pub fn with_faults(mut self, plan: hera_cell::FaultPlan) -> VmConfig {
+        self.cell.faults = plan;
+        self
+    }
 }
 
 /// The result of one complete run.
@@ -274,6 +282,7 @@ impl HeraJvm {
             threads: world.threads.len() as u32,
             contended_acquires: world.monitors.contended_acquires,
             thread_switches: world.thread_switches,
+            faults: machine.fault_stats.clone(),
         }
     }
 }

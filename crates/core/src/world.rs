@@ -10,7 +10,7 @@
 
 use crate::monitor::MonitorTable;
 use crate::policy::PlacementPolicy;
-use crate::thread::{BlockReason, JavaThread, ThreadId, ThreadState};
+use crate::thread::{BlockReason, FrameKind, JavaThread, ThreadId, ThreadState};
 use crate::vm::{VmConfig, VmError};
 use hera_cell::{CellMachine, CoreId, CoreKind, OpClass};
 use hera_isa::{MethodId, ObjRef, Program, Trap, Value};
@@ -145,14 +145,26 @@ impl<'p> World<'p> {
                 let n = self.config.cell.num_spes;
                 (0..n)
                     .map(CoreId::Spe)
+                    .filter(|&c| !self.machine.core_failed(c))
                     .min_by_key(|&c| {
                         (
                             self.run_queues[Self::core_index(c)].len(),
                             self.machine.now(c),
                         )
                     })
+                    // All SPEs dead (or none configured): fall back to
+                    // the PPE, which cannot fail.
                     .unwrap_or(CoreId::Ppe)
             }
+        }
+    }
+
+    /// Re-route a placement decision away from a blacklisted core.
+    pub fn remap_failed(&self, core: CoreId) -> CoreId {
+        if self.machine.core_failed(core) {
+            self.pick_core(CoreKind::Spe)
+        } else {
+            core
         }
     }
 
@@ -218,7 +230,7 @@ impl<'p> World<'p> {
         if let Some(r) = self.heap.alloc_object(&self.layout, class) {
             return Ok(r);
         }
-        self.collect_garbage(requester);
+        self.collect_garbage(requester)?;
         self.heap
             .alloc_object(&self.layout, class)
             .ok_or(Trap::OutOfMemory)
@@ -237,7 +249,7 @@ impl<'p> World<'p> {
         if let Some(r) = self.heap.alloc_array(elem, len as u32) {
             return Ok(r);
         }
-        self.collect_garbage(requester);
+        self.collect_garbage(requester)?;
         self.heap
             .alloc_array(elem, len as u32)
             .ok_or(Trap::OutOfMemory)
@@ -250,15 +262,19 @@ impl<'p> World<'p> {
     /// otherwise be invisible to the trace — then the PPE marks from
     /// thread stacks and statics and sweeps. All cores stall until the
     /// collection finishes.
-    pub fn collect_garbage(&mut self, requester: CoreId) {
+    pub fn collect_garbage(&mut self, requester: CoreId) -> Result<(), Trap> {
         // 1. Flush + purge SPE caches (each SPE pays its own DMA time).
+        //    Failed cores are skipped: their caches were salvaged and
+        //    replaced at death, and their clocks must never advance.
         for spe in 0..self.data_caches.len() {
             let core = CoreId::Spe(spe as u8);
+            if self.machine.core_failed(core) {
+                continue;
+            }
             let mut cache = std::mem::replace(&mut self.data_caches[spe], DataCache::new(0));
-            cache
-                .purge(&mut self.heap, &mut self.machine, core)
-                .expect("cache write-back addresses are valid");
+            let res = cache.purge(&mut self.heap, &mut self.machine, core);
             self.data_caches[spe] = cache;
+            res.map_err(|e| Trap::MachineCheck(format!("gc write-back on SPE {spe}: {e}")))?;
         }
 
         // 2. Gather exact roots from every thread stack.
@@ -303,8 +319,11 @@ impl<'p> World<'p> {
             },
         );
 
-        // 4. Everybody stalls until the world restarts.
+        // 4. Everybody (still alive) stalls until the world restarts.
         for core in self.machine.cores() {
+            if self.machine.core_failed(core) {
+                continue;
+            }
             self.machine.wait_until(core, end, OpClass::MainMemory);
         }
 
@@ -312,6 +331,110 @@ impl<'p> World<'p> {
         self.gc.ppe_cycles += cost;
         self.gc.objects_freed += outcome.freed_objects;
         self.gc.bytes_freed += outcome.freed_bytes;
+        Ok(())
+    }
+
+    // ---- fail-over ----
+
+    /// Trigger any scheduled SPE deaths whose virtual deadline has
+    /// passed. Checked between quanta, so a core dies at a safepoint:
+    /// no thread is mid-op, every frame is scannable.
+    fn check_spe_deaths(&mut self) -> Result<(), VmError> {
+        if !self.machine.faults_active() {
+            return Ok(());
+        }
+        for spe in 0..self.config.cell.num_spes {
+            let core = CoreId::Spe(spe);
+            if self.machine.core_failed(core) {
+                continue;
+            }
+            if let Some(at) = self.machine.death_for(spe) {
+                if self.machine.now(core) >= at {
+                    self.fail_spe(spe)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Hard SPE death: blacklist the core and drain it.
+    ///
+    /// Recovery reuses the migration machinery (paper §3.1): every
+    /// resident thread is repackaged to the PPE exactly as a one-way
+    /// migration would move it, and every migration *marker* pointing
+    /// back at the dead core is rewritten so transparent migrate-backs
+    /// land on the PPE instead. Dirty cached data is salvaged straight
+    /// to main memory — the local store outlives the core model-side —
+    /// with the rescue DMA charged to the PPE, not the frozen corpse.
+    fn fail_spe(&mut self, spe: u8) -> Result<(), VmError> {
+        let core = CoreId::Spe(spe);
+        let si = spe as usize;
+        self.machine.mark_core_failed(core);
+
+        // 1. Salvage dirty cache state into main memory and replace the
+        //    caches wholesale (the old local store is gone).
+        let salvaged = self.data_caches[si]
+            .salvage(&mut self.heap)
+            .map_err(|e| VmError::Internal(format!("salvage after SPE {spe} death: {e}")))?;
+        let dcap = self.config.cell.partition.data_cache_bytes;
+        let ccap = self.config.cell.partition.code_cache_bytes;
+        self.data_caches[si] = DataCache::with_block_size(dcap, self.config.array_block_bytes);
+        self.code_caches[si] = CodeCache::new(ccap);
+        self.machine.fault_stats.salvaged_bytes += salvaged;
+        // The PPE drives the rescue: a fixed setup plus per-line copy.
+        self.machine
+            .stall(CoreId::Ppe, 200 + salvaged / 16, OpClass::MainMemory);
+
+        // 2. Rewrite migration markers that would return a thread to
+        //    the dead core.
+        for t in &mut self.threads {
+            for f in &mut t.frames {
+                if let FrameKind::MigrationMarker { origin } = &mut f.kind {
+                    if *origin == core {
+                        *origin = CoreId::Ppe;
+                    }
+                }
+            }
+        }
+
+        // 3. Drain resident threads to the PPE (running, ready or
+        //    blocked — blocked threads re-home too, so their eventual
+        //    wake enqueues them on a live core).
+        let ppe_now = self.machine.now(CoreId::Ppe);
+        let migration = self.config.migration_cycles as u64;
+        let mut drained = 0u32;
+        for i in 0..self.threads.len() {
+            let t = &mut self.threads[i];
+            if t.is_finished() || t.core != core {
+                continue;
+            }
+            t.core = CoreId::Ppe;
+            t.available_at = t.available_at.max(ppe_now) + migration;
+            t.migrations += 1;
+            drained += 1;
+            crate::interp::trace_migration_out(
+                self,
+                i,
+                core,
+                CoreId::Ppe,
+                hera_trace::MigrationKind::Failover,
+            );
+        }
+
+        // 4. Move the dead core's queue onto the PPE's, preserving
+        //    dispatch order.
+        let idx = Self::core_index(core);
+        while let Some(tid) = self.run_queues[idx].pop_front() {
+            self.run_queues[0].push_back(tid);
+        }
+        self.last_on_core[idx] = None;
+
+        self.machine.emit(
+            core,
+            hera_trace::TraceEvent::SpeDrained { threads: drained },
+        );
+        self.machine.fault_stats.drained_threads += drained as u64;
+        Ok(())
     }
 
     // ---- the scheduler ----
@@ -339,6 +462,7 @@ impl<'p> World<'p> {
     /// result.
     pub fn run_to_completion(&mut self) -> Result<(), VmError> {
         loop {
+            self.check_spe_deaths()?;
             let Some((core, tid)) = self.pick_next() else {
                 // Nothing queued: either done, or deadlocked.
                 let unfinished = self.threads.iter().filter(|t| !t.is_finished()).count();

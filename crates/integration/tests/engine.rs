@@ -563,3 +563,21 @@ fn slot_engine_matches_tagged_engine_goldens() {
         );
     }
 }
+
+/// An installed-but-inert fault plan (seeded, zero rates, no scheduled
+/// deaths) must leave virtual time bit-identical to the committed
+/// goldens above: the injection hooks are provably free when quiet.
+#[test]
+fn inert_fault_plan_matches_committed_goldens() {
+    use hera_bench::{run_workload, spe_config, DEFAULT_SCALE};
+
+    let cfg = spe_config(6).with_faults(hera_cell::FaultPlan::seeded(0xFEED_FACE));
+    let out = run_workload(hera_workloads::Workload::Compress, 6, DEFAULT_SCALE, cfg);
+    assert_eq!(out.result, Some(Value::I32(1085071945)));
+    assert_eq!(
+        out.stats.per_core_cycles,
+        vec![21526636, 21694664, 21498146, 21196598, 21462498, 21328984, 21283606],
+        "a quiet fault plan perturbed virtual time"
+    );
+    assert!(!out.stats.faults.any());
+}

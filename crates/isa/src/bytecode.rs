@@ -349,6 +349,9 @@ pub enum Trap {
     IllegalMonitorState,
     /// A native method reported an error.
     NativeError(String),
+    /// The simulated machine lost the thread's data: an MFC transfer
+    /// failed past its retry budget (injected fault, unrecoverable).
+    MachineCheck(String),
 }
 
 impl fmt::Display for Trap {
@@ -363,6 +366,7 @@ impl fmt::Display for Trap {
             Trap::OutOfMemory => write!(f, "out of memory"),
             Trap::IllegalMonitorState => write!(f, "illegal monitor state"),
             Trap::NativeError(msg) => write!(f, "native error: {msg}"),
+            Trap::MachineCheck(msg) => write!(f, "machine check: {msg}"),
         }
     }
 }

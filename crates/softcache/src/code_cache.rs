@@ -12,6 +12,7 @@
 //! — and the lookup repeats on *return*, since the callee may have
 //! purged the caller in the meantime.
 
+use crate::CacheFault;
 use hera_cell::{CellMachine, CoreId, OpClass};
 use hera_isa::{ClassId, MethodId};
 use hera_trace::{DmaTag, TraceEvent};
@@ -114,7 +115,8 @@ impl CodeCache {
     /// caller (paper: "This process is repeated on returning from a
     /// method, since the callee method may have been purged").
     ///
-    /// Charges all cycles to `core` on `machine`.
+    /// Charges all cycles to `core` on `machine`. Fails only when an
+    /// injected MFC fault exhausts the DMA retry budget.
     pub fn lookup(
         &mut self,
         machine: &mut CellMachine,
@@ -123,7 +125,7 @@ impl CodeCache {
         tib_bytes: u32,
         method: MethodId,
         method_bytes: u32,
-    ) {
+    ) -> Result<(), CacheFault> {
         // TOC consultation — the 2 KB TOC is permanently resident.
         let toc = machine.cost_model().toc_lookup_cycles as u64;
         machine.advance(core, toc, OpClass::LocalMemory);
@@ -148,7 +150,7 @@ impl CodeCache {
                     bytes: tib_bytes,
                 },
             );
-            self.install(machine, core, tib_bytes);
+            self.install(machine, core, tib_bytes)?;
             self.tibs.insert(class, tib_bytes);
         }
 
@@ -171,24 +173,30 @@ impl CodeCache {
             if method_bytes > self.capacity {
                 // Cannot ever fit: stream it in each time, uncached.
                 self.stats.bypasses += 1;
-                machine.dma_tagged(core, method_bytes.max(1), DmaTag::CodeCacheLoad);
+                machine.dma_tagged(core, method_bytes.max(1), DmaTag::CodeCacheLoad)?;
                 self.stats.bytes_loaded += method_bytes as u64;
-                return;
+                return Ok(());
             }
-            self.install(machine, core, method_bytes);
+            self.install(machine, core, method_bytes)?;
             self.methods.insert(method, method_bytes);
         }
+        Ok(())
     }
 
     /// Bump-allocate `bytes`, purging everything first if they do not
     /// fit, then DMA them in.
-    fn install(&mut self, machine: &mut CellMachine, core: CoreId, bytes: u32) {
+    fn install(
+        &mut self,
+        machine: &mut CellMachine,
+        core: CoreId,
+        bytes: u32,
+    ) -> Result<(), CacheFault> {
         if bytes > self.capacity {
             // Oversized TIB/method at tiny sweep sizes: stream, uncached.
             self.stats.bypasses += 1;
-            machine.dma_tagged(core, bytes.max(1), DmaTag::CodeCacheLoad);
+            machine.dma_tagged(core, bytes.max(1), DmaTag::CodeCacheLoad)?;
             self.stats.bytes_loaded += bytes as u64;
-            return;
+            return Ok(());
         }
         if self.bump + bytes > self.capacity {
             machine.emit(
@@ -199,9 +207,10 @@ impl CodeCache {
             );
             self.purge();
         }
-        machine.dma_tagged(core, bytes, DmaTag::CodeCacheLoad);
+        machine.dma_tagged(core, bytes, DmaTag::CodeCacheLoad)?;
         self.stats.bytes_loaded += bytes as u64;
         self.bump += bytes;
+        Ok(())
     }
 
     /// Drop every cached method and TIB (code is read-only, so a purge
@@ -229,7 +238,8 @@ mod tests {
     fn cold_lookup_loads_tib_and_method() {
         let mut m = machine();
         let mut cc = CodeCache::new(32 << 10);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512)
+            .unwrap();
         assert_eq!(cc.stats.tib_misses, 1);
         assert_eq!(cc.stats.method_misses, 1);
         assert_eq!(cc.stats.bytes_loaded, 576);
@@ -241,9 +251,11 @@ mod tests {
     fn warm_lookup_is_all_hits_and_cheap() {
         let mut m = machine();
         let mut cc = CodeCache::new(32 << 10);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512)
+            .unwrap();
         let t0 = m.now(SPE);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 512)
+            .unwrap();
         let warm = m.now(SPE) - t0;
         assert_eq!(cc.stats.tib_hits, 1);
         assert_eq!(cc.stats.method_hits, 1);
@@ -255,8 +267,10 @@ mod tests {
     fn class_locality_shares_tibs() {
         let mut m = machine();
         let mut cc = CodeCache::new(32 << 10);
-        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(10), 256);
-        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(11), 256);
+        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(10), 256)
+            .unwrap();
+        cc.lookup(&mut m, SPE, ClassId(3), 96, MethodId(11), 256)
+            .unwrap();
         assert_eq!(cc.stats.tib_misses, 1);
         assert_eq!(cc.stats.tib_hits, 1);
         assert_eq!(cc.stats.method_misses, 2);
@@ -266,11 +280,14 @@ mod tests {
     fn fill_purges_everything() {
         let mut m = machine();
         let mut cc = CodeCache::new(2048);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900)
+            .unwrap();
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900)
+            .unwrap();
         assert!(cc.method_resident(MethodId(0)));
         // The third method does not fit: complete purge, then insert.
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900)
+            .unwrap();
         assert_eq!(cc.stats.purges, 1);
         assert!(!cc.method_resident(MethodId(0)));
         assert!(!cc.method_resident(MethodId(1)));
@@ -284,14 +301,18 @@ mod tests {
         let mut m = machine();
         let mut cc = CodeCache::new(2048);
         // Caller cached…
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900)
+            .unwrap();
         // …callee loads evict it…
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(1), 900)
+            .unwrap();
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(2), 900)
+            .unwrap();
         assert!(!cc.method_resident(MethodId(0)));
         // …so the return-path lookup must miss and reload.
         let misses = cc.stats.method_misses;
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 900)
+            .unwrap();
         assert_eq!(cc.stats.method_misses, misses + 1);
     }
 
@@ -299,8 +320,10 @@ mod tests {
     fn oversized_method_streams_without_caching() {
         let mut m = machine();
         let mut cc = CodeCache::new(1024);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096)
+            .unwrap();
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 4096)
+            .unwrap();
         assert_eq!(cc.stats.method_misses, 2);
         assert_eq!(cc.stats.bypasses, 2);
         assert!(!cc.method_resident(MethodId(0)));
@@ -310,7 +333,8 @@ mod tests {
     fn misses_charge_main_memory_cycles() {
         let mut m = machine();
         let mut cc = CodeCache::new(32 << 10);
-        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 2048);
+        cc.lookup(&mut m, SPE, ClassId(0), 64, MethodId(0), 2048)
+            .unwrap();
         assert!(m.breakdown(SPE).cycles(OpClass::MainMemory) > 0);
         assert!(m.breakdown(SPE).cycles(OpClass::LocalMemory) > 0);
     }

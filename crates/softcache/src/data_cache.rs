@@ -18,10 +18,11 @@
 //! behaves; unsynchronised false sharing within a span can still clobber
 //! concurrent remote writes, exactly as on the real hardware.
 
+use crate::CacheFault;
 use hera_cell::{CellMachine, CoreId, OpClass};
 use hera_isa::{Slot, Ty, Value};
 use hera_mem::heap::codec;
-use hera_mem::{Heap, HeapError};
+use hera_mem::Heap;
 use hera_trace::{DmaTag, TraceEvent};
 
 /// Statistics for one data cache.
@@ -192,16 +193,18 @@ impl DataCache {
         core: CoreId,
         main_addr: u32,
         len: u32,
-    ) -> Result<Option<u32>, HeapError> {
+    ) -> Result<Option<u32>, CacheFault> {
         let hit_cycles = machine.cost_model().cache_hit_cycles as u64;
         machine.advance(core, hit_cycles, OpClass::LocalMemory);
 
         if let Some(slot) = self.probe(main_addr) {
             self.stats.hits += 1;
             machine.emit(core, TraceEvent::DataCacheHit { addr: main_addr });
-            return Ok(Some(
-                self.table[slot].as_ref().expect("probed entry").local_off,
-            ));
+            let Some(e) = self.table[slot].as_ref() else {
+                debug_assert!(false, "probed slot {slot} has no entry");
+                return Err(CacheFault::Internal("probed slot has no entry"));
+            };
+            return Ok(Some(e.local_off));
         }
         self.stats.misses += 1;
         machine.emit(
@@ -230,16 +233,18 @@ impl DataCache {
             self.purge(heap, machine, core)?;
         }
 
-        // Fetch the unit.
-        machine.dma_tagged(core, len, DmaTag::DataCacheFill);
+        // Fetch the unit. A fault-exhausted transfer surfaces as a typed
+        // `CacheFault` before any cache state is mutated.
+        machine.dma_tagged(core, len, DmaTag::DataCacheFill)?;
         let src = heap.bytes(main_addr, len)?;
         let dst = self.bump as usize;
         self.local[dst..dst + len as usize].copy_from_slice(src);
         self.stats.bytes_fetched += len as u64;
 
-        let slot = self
-            .free_slot(main_addr)
-            .expect("purge guarantees a free slot");
+        let Some(slot) = self.free_slot(main_addr) else {
+            debug_assert!(false, "purge guarantees a free slot");
+            return Err(CacheFault::Internal("no free slot after purge"));
+        };
         self.table[slot] = Some(Entry {
             main_addr,
             local_off: self.bump,
@@ -267,7 +272,7 @@ impl DataCache {
         unit_len: u32,
         off: u32,
         ty: Ty,
-    ) -> Result<Slot, HeapError> {
+    ) -> Result<Slot, CacheFault> {
         match self.ensure(heap, machine, core, unit_addr, unit_len)? {
             Some(local_off) => Ok(codec::read_slot(
                 &self.local,
@@ -276,7 +281,7 @@ impl DataCache {
             )),
             None => {
                 // Bypass: DMA just the touched line, read through.
-                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass)?;
                 Ok(heap.read_typed_slot(unit_addr + off, ty))
             }
         }
@@ -295,18 +300,20 @@ impl DataCache {
         off: u32,
         ty: Ty,
         s: Slot,
-    ) -> Result<(), HeapError> {
+    ) -> Result<(), CacheFault> {
         match self.ensure(heap, machine, core, unit_addr, unit_len)? {
             Some(local_off) => {
                 codec::write_slot(&mut self.local, (local_off + off) as usize, ty, s);
-                let slot = self.probe(unit_addr).expect("just ensured");
-                let e = self.table[slot].as_mut().expect("probed entry");
+                let Some(e) = self.probe(unit_addr).and_then(|i| self.table[i].as_mut()) else {
+                    debug_assert!(false, "unit vanished right after ensure");
+                    return Err(CacheFault::Internal("unit vanished after ensure"));
+                };
                 e.dirty_lo = e.dirty_lo.min(off);
                 e.dirty_hi = e.dirty_hi.max(off + ty.field_size());
                 Ok(())
             }
             None => {
-                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass);
+                machine.dma_tagged(core, ty.field_size(), DmaTag::Bypass)?;
                 heap.write_typed_slot(unit_addr + off, ty, s);
                 Ok(())
             }
@@ -326,7 +333,7 @@ impl DataCache {
         unit_len: u32,
         off: u32,
         ty: Ty,
-    ) -> Result<Value, HeapError> {
+    ) -> Result<Value, CacheFault> {
         self.read_slot(heap, machine, core, unit_addr, unit_len, off, ty)
             .map(|s| s.to_value(ty.kind()))
     }
@@ -346,7 +353,7 @@ impl DataCache {
         off: u32,
         ty: Ty,
         v: Value,
-    ) -> Result<(), HeapError> {
+    ) -> Result<(), CacheFault> {
         self.write_slot(
             heap,
             machine,
@@ -366,7 +373,7 @@ impl DataCache {
         heap: &mut Heap,
         machine: &mut CellMachine,
         core: CoreId,
-    ) -> Result<(), HeapError> {
+    ) -> Result<(), CacheFault> {
         for slot in 0..self.table.len() {
             let Some(e) = self.table[slot] else { continue };
             if !e.is_dirty() {
@@ -381,17 +388,50 @@ impl DataCache {
                     bytes: span,
                 },
             );
-            machine.dma_tagged(core, span, DmaTag::DataCacheWriteBack);
+            machine.dma_tagged(core, span, DmaTag::DataCacheWriteBack)?;
             let src_lo = (e.local_off + e.dirty_lo) as usize;
             let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
             dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
             self.stats.writebacks += 1;
             self.stats.bytes_written_back += span as u64;
-            let e = self.table[slot].as_mut().expect("checked above");
+            let Some(e) = self.table[slot].as_mut() else {
+                debug_assert!(false, "entry vanished during write-back");
+                return Err(CacheFault::Internal("entry vanished during write-back"));
+            };
             e.dirty_lo = u32::MAX;
             e.dirty_hi = 0;
         }
         Ok(())
+    }
+
+    /// Fail-over salvage: copy every dirty span straight into main memory
+    /// and invalidate the cache, charging *no* virtual cycles to any core.
+    ///
+    /// Used when this cache's SPE died: the dead core cannot execute the
+    /// write-back DMA itself (its clock is frozen), so the recovery path
+    /// rescues the bytes out-of-band and the caller charges the supervisor
+    /// core whatever recovery cost it models. Returns the bytes salvaged.
+    pub fn salvage(&mut self, heap: &mut Heap) -> Result<u64, CacheFault> {
+        let mut salvaged = 0u64;
+        for slot in 0..self.table.len() {
+            let Some(e) = self.table[slot] else { continue };
+            if !e.is_dirty() {
+                continue;
+            }
+            debug_assert!(e.dirty_hi <= e.len, "dirty span exceeds unit");
+            let span = e.dirty_hi - e.dirty_lo;
+            let src_lo = (e.local_off + e.dirty_lo) as usize;
+            let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
+            dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
+            salvaged += span as u64;
+            self.stats.writebacks += 1;
+            self.stats.bytes_written_back += span as u64;
+        }
+        self.table.iter_mut().for_each(|s| *s = None);
+        self.entries = 0;
+        self.bump = 0;
+        self.stats.purges += 1;
+        Ok(salvaged)
     }
 
     /// Purge the cache: write dirty data back, then invalidate
@@ -401,7 +441,7 @@ impl DataCache {
         heap: &mut Heap,
         machine: &mut CellMachine,
         core: CoreId,
-    ) -> Result<(), HeapError> {
+    ) -> Result<(), CacheFault> {
         self.write_back_dirty(heap, machine, core)?;
         machine.emit(
             core,
@@ -624,6 +664,51 @@ mod tests {
         dc.write_back_dirty(&mut f.heap, &mut f.machine, SPE)
             .unwrap();
         assert_eq!(dc.stats.bytes_written_back, 4);
+    }
+
+    #[test]
+    fn salvage_rescues_dirty_bytes_without_charging_cycles() {
+        let mut f = fx();
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        dc.write(
+            &mut f.heap,
+            &mut f.machine,
+            SPE,
+            r.0,
+            size,
+            off,
+            Ty::Int,
+            Value::I32(42),
+        )
+        .unwrap();
+        let t0 = f.machine.now(SPE);
+        let salvaged = dc.salvage(&mut f.heap).unwrap();
+        assert_eq!(salvaged, 4);
+        // The dead core's clock must not move: salvage is out-of-band.
+        assert_eq!(f.machine.now(SPE), t0);
+        assert_eq!(f.heap.get_field(&f.layout, r, f.field), Value::I32(42));
+        assert!(!dc.contains(r.0));
+    }
+
+    #[test]
+    fn exhausted_dma_surfaces_cache_fault_not_panic() {
+        let mut f = fx();
+        f.machine = CellMachine::new(CellConfig {
+            faults: hera_cell::FaultPlan::seeded(1).with_mfc_faults(1_000_000, 0, 0),
+            ..CellConfig::default()
+        });
+        let r = f.heap.alloc_object(&f.layout, f.class).unwrap();
+        let size = f.layout.object_size(f.class);
+        let off = f.layout.offset_of(f.field);
+        let mut dc = DataCache::new(32 << 10);
+        let err = dc
+            .read(&mut f.heap, &mut f.machine, SPE, r.0, size, off, Ty::Int)
+            .unwrap_err();
+        assert!(matches!(err, crate::CacheFault::Mfc(_)), "got {err:?}");
+        assert_eq!(dc.stats.bytes_fetched, 0, "failed fill must not install");
     }
 
     #[test]

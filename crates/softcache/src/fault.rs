@@ -1,0 +1,45 @@
+//! Typed failures for the software caches.
+//!
+//! The caches used to panic on anything unexpected; with fault injection
+//! in the machine (hera-faults) the DMA layer is genuinely fallible, and a
+//! guest-reachable cache fill or write-back must surface a value the
+//! interpreter can turn into a `Trap` rather than tearing down the host.
+
+use hera_cell::MfcFault;
+use hera_mem::HeapError;
+
+/// Why a cache operation could not complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheFault {
+    /// The backing heap rejected an address (simulator-internal misuse).
+    Heap(HeapError),
+    /// The MFC gave up on a DMA transfer after its retry budget.
+    Mfc(MfcFault),
+    /// A cache invariant did not hold at runtime. Debug builds assert
+    /// first; release builds degrade to this typed error.
+    Internal(&'static str),
+}
+
+impl From<HeapError> for CacheFault {
+    fn from(e: HeapError) -> Self {
+        CacheFault::Heap(e)
+    }
+}
+
+impl From<MfcFault> for CacheFault {
+    fn from(e: MfcFault) -> Self {
+        CacheFault::Mfc(e)
+    }
+}
+
+impl std::fmt::Display for CacheFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFault::Heap(e) => write!(f, "cache heap access: {e}"),
+            CacheFault::Mfc(e) => write!(f, "cache transfer: {e}"),
+            CacheFault::Internal(msg) => write!(f, "cache invariant: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheFault {}

@@ -16,8 +16,9 @@
 //! application will run correctly under Hera-JVM".
 
 use crate::data_cache::DataCache;
+use crate::CacheFault;
 use hera_cell::{CellMachine, CoreId};
-use hera_mem::{Heap, HeapError};
+use hera_mem::Heap;
 use hera_trace::{BarrierKind, TraceEvent};
 
 /// Apply the acquire-side action: purge (write dirty back, invalidate).
@@ -28,7 +29,7 @@ pub fn acquire_barrier(
     heap: &mut Heap,
     machine: &mut CellMachine,
     core: CoreId,
-) -> Result<(), HeapError> {
+) -> Result<(), CacheFault> {
     machine.emit(
         core,
         TraceEvent::JmmBarrier {
@@ -48,7 +49,7 @@ pub fn release_barrier(
     heap: &mut Heap,
     machine: &mut CellMachine,
     core: CoreId,
-) -> Result<(), HeapError> {
+) -> Result<(), CacheFault> {
     machine.emit(
         core,
         TraceEvent::JmmBarrier {

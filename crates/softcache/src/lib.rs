@@ -25,7 +25,9 @@
 
 pub mod code_cache;
 pub mod data_cache;
+pub mod fault;
 pub mod jmm;
 
 pub use code_cache::{CodeCache, CodeCacheStats};
 pub use data_cache::{DataCache, DataCacheStats};
+pub use fault::CacheFault;

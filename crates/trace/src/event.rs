@@ -17,6 +17,9 @@ pub enum MigrationKind {
     /// Return over a migration marker frame: the thread travels back to the
     /// core recorded in the marker.
     MarkerReturn,
+    /// Fail-over drain: the scheduler repackaged the thread off a dead core
+    /// by reusing the migration machinery (frames rehomed to the PPE).
+    Failover,
 }
 
 impl MigrationKind {
@@ -25,6 +28,37 @@ impl MigrationKind {
             MigrationKind::Annotation => "annotation",
             MigrationKind::Monitored => "monitored",
             MigrationKind::MarkerReturn => "marker-return",
+            MigrationKind::Failover => "failover",
+        }
+    }
+}
+
+/// Which injected fault a fault/retry/watchdog event refers to.
+///
+/// Mirrors the fault kinds of the `hera-faults` crate without depending on
+/// it (the trace crate stays dependency-free and simulator-agnostic).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum InjectedFault {
+    /// Transient MFC transfer failure.
+    MfcTransfer,
+    /// EIB grant timeout.
+    EibGrantTimeout,
+    /// Local-store corruption detected at DMA-in (checksum mismatch).
+    LsCorruption,
+    /// Syscall-proxy watchdog deadline missed.
+    ProxyTimeout,
+    /// Migration watchdog deadline missed.
+    MigrationTimeout,
+}
+
+impl InjectedFault {
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectedFault::MfcTransfer => "mfc-transfer",
+            InjectedFault::EibGrantTimeout => "eib-grant-timeout",
+            InjectedFault::LsCorruption => "ls-corruption",
+            InjectedFault::ProxyTimeout => "proxy-timeout",
+            InjectedFault::MigrationTimeout => "migration-timeout",
         }
     }
 }
@@ -170,6 +204,18 @@ pub enum TraceEvent {
     },
     /// The scheduler switched this lane to run `thread`.
     ThreadSwitch { thread: u32 },
+    /// An injected fault fired on this lane (DMA attempt `attempt`).
+    MfcFault { kind: InjectedFault, attempt: u32 },
+    /// The MFC re-queued a failed transfer after `backoff_cycles` of
+    /// exponential backoff (retry number `attempt`, 1-based).
+    MfcRetry { attempt: u32, backoff_cycles: u64 },
+    /// A proxy/migration watchdog deadline expired; `cycles` were burned
+    /// waiting before the operation was retried.
+    WatchdogTimeout { kind: InjectedFault, cycles: u64 },
+    /// This SPE lane died at its current virtual cycle and is blacklisted.
+    SpeFailed { spe: u32 },
+    /// Fail-over drained `threads` resident threads off this dead lane.
+    SpeDrained { threads: u32 },
 }
 
 /// Export metadata for an event: its category plus the body of a JSON
@@ -209,6 +255,11 @@ impl TraceEvent {
             TraceEvent::GcPhaseEnd { .. } => "gc.phase_end",
             TraceEvent::GcEnd { .. } => "gc.end",
             TraceEvent::ThreadSwitch { .. } => "thread.switch",
+            TraceEvent::MfcFault { .. } => "fault.mfc",
+            TraceEvent::MfcRetry { .. } => "fault.retry",
+            TraceEvent::WatchdogTimeout { .. } => "fault.watchdog",
+            TraceEvent::SpeFailed { .. } => "fault.spe_failed",
+            TraceEvent::SpeDrained { .. } => "fault.spe_drained",
         }
     }
 
@@ -309,6 +360,23 @@ impl TraceEvent {
                 format!("\"freed_objects\":{freed_objects},\"freed_bytes\":{freed_bytes}"),
             ),
             TraceEvent::ThreadSwitch { thread } => ("sched", format!("\"thread\":{thread}")),
+            TraceEvent::MfcFault { kind, attempt } => (
+                "fault",
+                format!("\"kind\":\"{}\",\"attempt\":{attempt}", kind.label()),
+            ),
+            TraceEvent::MfcRetry {
+                attempt,
+                backoff_cycles,
+            } => (
+                "fault",
+                format!("\"attempt\":{attempt},\"backoff_cycles\":{backoff_cycles}"),
+            ),
+            TraceEvent::WatchdogTimeout { kind, cycles } => (
+                "fault",
+                format!("\"kind\":\"{}\",\"cycles\":{cycles}", kind.label()),
+            ),
+            TraceEvent::SpeFailed { spe } => ("fault", format!("\"spe\":{spe}")),
+            TraceEvent::SpeDrained { threads } => ("fault", format!("\"threads\":{threads}")),
         };
         TraceKindArgs { cat, args }
     }

@@ -27,7 +27,9 @@ pub mod sink;
 pub mod summary;
 
 pub use chrome::{chrome_trace_json, chrome_trace_json_with};
-pub use event::{BarrierKind, DmaTag, GcPhase, MigrationKind, TraceEvent, TraceKindArgs};
+pub use event::{
+    BarrierKind, DmaTag, GcPhase, InjectedFault, MigrationKind, TraceEvent, TraceKindArgs,
+};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{Lane, TimedEvent, TraceSink};
 pub use summary::text_summary;
