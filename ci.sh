@@ -13,6 +13,14 @@ cargo test -q --workspace
 # scale keeps this a smoke test, not a measurement.
 cargo bench --workspace --no-run
 cargo run --release -p hera-bench --bin figures -- perf --reps 1 --scale 0.1
+# Perf regression gate: the full-scale grid must reproduce the virtual
+# metrics (wall_cycles, guest_ops) committed in BENCH_interp.json
+# exactly; host wall-clock drift is advisory only, so this cannot flake.
+cargo run --release -p hera-bench --bin figures -- perf-gate --reps 1
+# Profiler smoke: per-method attribution must reconcile with RunStats
+# (the command prints and checks the invariant) and write the folded
+# flamegraph output.
+cargo run --release -p hera-bench --bin figures -- profile mandelbrot --scale 0.25
 # Chaos smoke: fixed seed, one workload, SPE-death schedule; the run
 # must recover (the harness asserts the checksum) and print the report.
 cargo run --release -p hera-bench --bin figures -- chaos mandelbrot --scale 0.25

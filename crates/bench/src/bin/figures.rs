@@ -10,6 +10,10 @@
 //!           | trace [WORKLOAD]   (emit a Chrome/Perfetto trace + summary)
 //!           | chaos [WORKLOAD]   (fault-injection run + recovery report)
 //!           | perf [--reps N]    (host wall-clock bench; write BENCH_interp.json)
+//!           | perf-gate [--reps N]  (compare a fresh perf run to the committed
+//!                                   BENCH_interp.json; exit 1 if virtual metrics moved)
+//!           | profile [WORKLOAD]       (per-method cost profile + collapsed stacks)
+//!           | profile-diff [WORKLOAD]  (diff the PPE profile against 6 SPEs)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -39,7 +43,10 @@ fn main() {
                 i += 1;
             }
             other => {
-                if which == "trace" || which == "chaos" {
+                if matches!(
+                    which.as_str(),
+                    "trace" | "chaos" | "profile" | "profile-diff"
+                ) {
                     workload = other.to_string();
                 } else {
                     which = other.to_string();
@@ -59,6 +66,18 @@ fn main() {
     }
     if which == "perf" {
         perf(scale, reps);
+        return;
+    }
+    if which == "perf-gate" {
+        perf_gate(scale, reps);
+        return;
+    }
+    if which == "profile" {
+        profile(&workload, scale);
+        return;
+    }
+    if which == "profile-diff" {
+        profile_diff(&workload, scale);
         return;
     }
 
@@ -100,15 +119,19 @@ fn header(title: &str) {
     println!("== {title} ==");
 }
 
-fn trace_workload(name: &str, scale: f64) {
-    let Some(w) = hera_workloads::Workload::ALL
+fn find_workload(name: &str) -> hera_workloads::Workload {
+    hera_workloads::Workload::ALL
         .iter()
         .copied()
         .find(|w| w.name() == name)
-    else {
-        eprintln!("unknown workload '{name}' (expected: compress | mpegaudio | mandelbrot)");
-        std::process::exit(2);
-    };
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}' (expected: compress | mpegaudio | mandelbrot)");
+            std::process::exit(2);
+        })
+}
+
+fn trace_workload(name: &str, scale: f64) {
+    let w = find_workload(name);
     header(&format!(
         "hera-trace: {} on 6 pinned SPEs (virtual-time event trace)",
         w.name()
@@ -131,14 +154,7 @@ fn trace_workload(name: &str, scale: f64) {
 }
 
 fn chaos(name: &str, scale: f64) {
-    let Some(w) = hera_workloads::Workload::ALL
-        .iter()
-        .copied()
-        .find(|w| w.name() == name)
-    else {
-        eprintln!("unknown workload '{name}' (expected: compress | mpegaudio | mandelbrot)");
-        std::process::exit(2);
-    };
+    let w = find_workload(name);
     const SEED: u64 = 0xC0FFEE;
     const DEATH_SPE: u8 = 2;
     let death_at = xb::chaos_death_cycle(scale);
@@ -229,6 +245,97 @@ fn perf(scale: f64, reps: u32) {
             "(speedup is vs the tagged Value-frame engine at full scale; \
              snapshot not written at scale {scale})"
         );
+    }
+}
+
+fn profile(name: &str, scale: f64) {
+    let w = find_workload(name);
+    header(&format!(
+        "hera-prof: {} on 6 pinned SPEs (per-method virtual-cycle profile)",
+        w.name()
+    ));
+    let (out, names) = xb::profile_workload(w, 6, scale, xb::spe_config(6));
+    let prof = out.profile.expect("profiling was enabled");
+    let resolve = |m| hera_prof::method_name(&names, m);
+    print!("{}", prof.top_table(15, &resolve));
+    let attributed: u64 = prof.totals().iter().map(|c| c.total()).sum();
+    let charged = out.stats.ppe.total_cycles() + out.stats.spe.total_cycles();
+    if attributed != charged {
+        println!(
+            "reconciliation: attributed {attributed} cycles, RunStats charged {charged} \
+             — MISMATCH (simulator bug)"
+        );
+        std::process::exit(1);
+    }
+    println!("reconciliation: attributed {attributed} cycles, RunStats charged {charged} (exact)");
+    let folded = prof.collapsed(&resolve);
+    let path = format!("profile_{}.folded", w.name());
+    std::fs::write(&path, &folded).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "wrote {path} ({} stacks) — collapsed format, feed to inferno or flamegraph.pl",
+        folded.lines().count()
+    );
+}
+
+fn profile_diff(name: &str, scale: f64) {
+    let w = find_workload(name);
+    header(&format!(
+        "hera-prof diff: {} on the PPE (1 thread) vs 6 SPEs (6 threads)",
+        w.name()
+    ));
+    let (ppe, names) = xb::profile_workload(w, 1, scale, xb::ppe_config());
+    let (spe6, _) = xb::profile_workload(w, 6, scale, xb::spe_config(6));
+    let before = ppe.profile.expect("profiling was enabled");
+    let after = spe6.profile.expect("profiling was enabled");
+    let resolve = |m| hera_prof::method_name(&names, m);
+    print!(
+        "{}",
+        before.diff_table(&after, ("ppe", "spe6"), 20, &resolve)
+    );
+    println!("(positive delta: the method costs more cycles in the 6-SPE configuration)");
+}
+
+fn perf_gate(scale: f64, reps: u32) {
+    if scale != xb::DEFAULT_SCALE {
+        eprintln!(
+            "perf-gate compares against the committed full-scale BENCH_interp.json; \
+             refusing to gate at scale {scale}"
+        );
+        std::process::exit(2);
+    }
+    header(&format!(
+        "perf regression gate (best of {reps} vs committed BENCH_interp.json)"
+    ));
+    let committed = std::fs::read_to_string("BENCH_interp.json").unwrap_or_else(|e| {
+        eprintln!("read BENCH_interp.json: {e} (run `figures -- perf` to create it)");
+        std::process::exit(2);
+    });
+    let baseline = xb::parse_bench_json(&committed);
+    if baseline.is_empty() {
+        eprintln!("BENCH_interp.json parsed to zero rows — regenerate with `figures -- perf`");
+        std::process::exit(2);
+    }
+    let rows = xb::perf_interp(scale, reps);
+    let report = xb::perf_gate(&baseline, &rows, 0.25);
+    println!(
+        "checked {} cells: wall_cycles and guest_ops exact, host_ns ±25% advisory",
+        report.checked
+    );
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    for f in &report.failures {
+        println!("FAIL: {f}");
+    }
+    if report.passed() {
+        println!("perf gate passed — virtual metrics identical to the committed snapshot");
+    } else {
+        println!(
+            "perf gate FAILED ({} mismatches) — if the change is intentional, \
+             regenerate the snapshot with `figures -- perf`",
+            report.failures.len()
+        );
+        std::process::exit(1);
     }
 }
 

@@ -52,6 +52,30 @@ pub fn trace_workload(
     (out, names)
 }
 
+/// Run one workload with the hera-prof profiler enabled (on top of
+/// `cfg`), returning the outcome — whose `profile` field holds the
+/// cost-attributed call trie — plus a method-id → name table for
+/// symbolising reports.
+pub fn profile_workload(
+    w: Workload,
+    threads: u32,
+    scale: f64,
+    cfg: VmConfig,
+) -> (RunOutcome, Vec<String>) {
+    let (program, expected) = w.build(threads, scale);
+    let names: Vec<String> = program.methods.iter().map(|m| m.name.clone()).collect();
+    let vm = HeraJvm::new(program, cfg.with_profiling()).expect("program constructs");
+    let out = vm.run().expect("run succeeds");
+    assert!(out.is_clean(), "{}: traps {:?}", w.name(), out.traps);
+    assert_eq!(
+        out.result,
+        Some(Value::I32(expected)),
+        "{} checksum mismatch",
+        w.name()
+    );
+    (out, names)
+}
+
 fn base_config() -> VmConfig {
     VmConfig::default()
 }
@@ -768,6 +792,114 @@ pub fn perf_interp(scale: f64, reps: u32) -> Vec<PerfRow> {
         }
     }
     rows
+}
+
+/// One row parsed back out of a committed `BENCH_interp.json` snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineRow {
+    pub workload: String,
+    pub config: String,
+    pub host_ns: u64,
+    pub wall_cycles: u64,
+    pub guest_ops: u64,
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let s = line.find(&pat)? + pat.len();
+    let e = line[s..].find('"')?;
+    Some(line[s..s + e].to_string())
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let s = line.find(&pat)? + pat.len();
+    let rest = &line[s..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse a committed snapshot written by [`perf_json`] (one row object
+/// per line — the reader is matched to that writer, not to general
+/// JSON).
+pub fn parse_bench_json(json: &str) -> Vec<BaselineRow> {
+    json.lines()
+        .filter_map(|line| {
+            Some(BaselineRow {
+                workload: json_str_field(line, "workload")?,
+                config: json_str_field(line, "config")?,
+                host_ns: json_u64_field(line, "host_ns")?,
+                wall_cycles: json_u64_field(line, "wall_cycles")?,
+                guest_ops: json_u64_field(line, "guest_ops")?,
+            })
+        })
+        .collect()
+}
+
+/// The verdict of comparing a fresh perf run against the committed
+/// snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Hard failures: a virtual metric (wall cycles, guest ops) moved,
+    /// or a measured cell has no committed baseline. Deterministic —
+    /// any entry here means the engine's simulated behaviour changed.
+    pub failures: Vec<String>,
+    /// Advisory host wall-clock drift beyond the tolerance band. Host
+    /// timing is machine-dependent, so these never fail the gate.
+    pub warnings: Vec<String>,
+    /// Cells compared.
+    pub checked: usize,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare fresh [`perf_interp`] rows against the committed baseline.
+/// Virtual-cycle metrics must match *exactly* (the simulator is
+/// deterministic); host wall-clock outside `±host_tolerance` (e.g.
+/// `0.25` for ±25%) is only a warning.
+pub fn perf_gate(baseline: &[BaselineRow], rows: &[PerfRow], host_tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    for r in rows {
+        let cell = format!("{}/{}", r.workload.name(), r.config);
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.workload == r.workload.name() && b.config == r.config)
+        else {
+            report
+                .failures
+                .push(format!("{cell}: no committed baseline row"));
+            continue;
+        };
+        report.checked += 1;
+        if r.wall_cycles != b.wall_cycles {
+            report.failures.push(format!(
+                "{cell}: wall_cycles {} != committed {} (virtual time moved)",
+                r.wall_cycles, b.wall_cycles
+            ));
+        }
+        if r.guest_ops != b.guest_ops {
+            report.failures.push(format!(
+                "{cell}: guest_ops {} != committed {} (retired op count moved)",
+                r.guest_ops, b.guest_ops
+            ));
+        }
+        let ratio = r.host_ns as f64 / b.host_ns.max(1) as f64;
+        if ratio > 1.0 + host_tolerance || ratio < 1.0 - host_tolerance {
+            report.warnings.push(format!(
+                "{cell}: host_ns {} vs committed {} ({:+.1}%) — advisory only",
+                r.host_ns,
+                b.host_ns,
+                100.0 * (ratio - 1.0)
+            ));
+        }
+    }
+    report
 }
 
 /// Render [`perf_interp`] rows as the `BENCH_interp.json` snapshot.

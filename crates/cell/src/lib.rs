@@ -33,7 +33,9 @@ pub use cost::{CostModel, DmaParams, ExecOp, OpCosts};
 pub use counters::{CycleBreakdown, OpClass};
 pub use eib::Eib;
 pub use hwcache::{HwCache, HwCacheParams};
-pub use machine::{CellConfig, CellMachine, CoreId, CoreKind, FaultStats, MfcFault};
+pub use machine::{
+    CellConfig, CellMachine, CoreId, CoreKind, FaultStats, MfcFault, ProfScope, ProfScopeAll,
+};
 pub use spe::{LocalStore, StorePartition};
 
 // Fault-plan types ride inside `CellConfig`; re-export them so consumers

@@ -6,7 +6,7 @@ use crate::eib::Eib;
 use crate::hwcache::{HwCache, HwCacheParams};
 use crate::spe::{LocalStore, StorePartition};
 use hera_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
-use hera_trace::{DmaTag, InjectedFault, TraceEvent, TraceSink};
+use hera_trace::{CostClass, CostVec, DmaTag, InjectedFault, TraceEvent, TraceSink};
 
 /// The two core kinds on the Cell.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -76,6 +76,11 @@ pub struct CellConfig {
     /// an empty plan every fault path is bypassed and virtual time is
     /// bit-identical to a machine built without fault support.
     pub faults: FaultPlan,
+    /// Mirror every cycle charge into per-core profiler pending vectors
+    /// (hera-prof). Off by default; like tracing, profiling observes but
+    /// never charges virtual cycles, so enabling it cannot change
+    /// simulated time.
+    pub profiling: bool,
 }
 
 impl Default for CellConfig {
@@ -88,6 +93,7 @@ impl Default for CellConfig {
             hwcache: HwCacheParams::default(),
             trace: false,
             faults: FaultPlan::default(),
+            profiling: false,
         }
     }
 }
@@ -186,6 +192,18 @@ fn trace_kind(kind: FaultKind) -> InjectedFault {
     }
 }
 
+/// Token restoring one core's previous profiler scope
+/// ([`CellMachine::prof_scope_begin`]).
+#[must_use]
+#[derive(Clone, Copy, Debug)]
+pub struct ProfScope(CostClass);
+
+/// Token restoring every core's previous profiler scope
+/// ([`CellMachine::prof_scope_begin_all`]).
+#[must_use]
+#[derive(Clone, Debug)]
+pub struct ProfScopeAll(Vec<CostClass>);
+
 /// The machine: per-core virtual clocks, the shared bus, the PPE cache
 /// hierarchy, SPE local stores, and per-core cycle breakdowns.
 pub struct CellMachine {
@@ -209,6 +227,13 @@ pub struct CellMachine {
     failed: Vec<bool>,
     /// Always-on fault/recovery accounting.
     pub fault_stats: FaultStats,
+    /// Profiler cost-class scope per core (outermost-non-compute wins);
+    /// only consulted when `config.profiling` is set.
+    prof_scope: Vec<CostClass>,
+    /// Cycles charged since the runtime last drained this lane, by cost
+    /// class. The profiler bills these to the active frame at each
+    /// frame/quantum boundary.
+    prof_pending: Vec<CostVec>,
 }
 
 impl CellMachine {
@@ -235,6 +260,8 @@ impl CellMachine {
             injector: FaultInjector::new(config.faults, cores),
             failed: vec![false; cores],
             fault_stats: FaultStats::default(),
+            prof_scope: vec![CostClass::Compute; cores],
+            prof_pending: vec![CostVec::ZERO; cores],
             config,
         }
     }
@@ -319,6 +346,7 @@ impl CellMachine {
             }
             self.clocks[i] += cost;
             self.breakdowns[i].charge_stall(OpClass::MainMemory, cost);
+            self.prof_note_class(i, CostClass::FaultRetry, cost);
             extra += cost;
             attempt += 1;
         }
@@ -351,6 +379,109 @@ impl CellMachine {
         self.idx(core)
     }
 
+    /// Whether profiler cost attribution is live on this machine.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.config.profiling
+    }
+
+    /// Number of profiler lanes (one per core, PPE first) — same indexing
+    /// as [`CellMachine::lane`].
+    #[inline]
+    pub fn prof_lanes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Take (and zero) the cycles charged on `lane` since the last drain.
+    /// `None` when profiling is off or nothing accrued.
+    #[inline]
+    pub fn prof_take(&mut self, lane: usize) -> Option<CostVec> {
+        if !self.config.profiling {
+            return None;
+        }
+        let v = self.prof_pending[lane];
+        if v.is_zero() {
+            None
+        } else {
+            self.prof_pending[lane] = CostVec::ZERO;
+            Some(v)
+        }
+    }
+
+    /// Open a cost-class scope on one core. The outermost non-compute
+    /// scope wins: if a scope is already open the inner request is a
+    /// no-op. Pass the returned token to [`CellMachine::prof_scope_end`].
+    /// Scopes only label cycles; they never charge any.
+    #[inline]
+    pub fn prof_scope_begin(&mut self, core: CoreId, class: CostClass) -> ProfScope {
+        let i = self.idx(core);
+        let prev = self.prof_scope[i];
+        if self.config.profiling && prev == CostClass::Compute {
+            self.prof_scope[i] = class;
+        }
+        ProfScope(prev)
+    }
+
+    /// Close a scope opened with [`CellMachine::prof_scope_begin`].
+    #[inline]
+    pub fn prof_scope_end(&mut self, core: CoreId, scope: ProfScope) {
+        let i = self.idx(core);
+        self.prof_scope[i] = scope.0;
+    }
+
+    /// Open `class` on every core at once (stop-the-world phases such as
+    /// GC, where the requester's pause propagates to every lane).
+    pub fn prof_scope_begin_all(&mut self, class: CostClass) -> ProfScopeAll {
+        if !self.config.profiling {
+            return ProfScopeAll(Vec::new());
+        }
+        let saved = self.prof_scope.clone();
+        for s in self.prof_scope.iter_mut() {
+            if *s == CostClass::Compute {
+                *s = class;
+            }
+        }
+        ProfScopeAll(saved)
+    }
+
+    /// Close a scope opened with [`CellMachine::prof_scope_begin_all`].
+    pub fn prof_scope_end_all(&mut self, scope: ProfScopeAll) {
+        if scope.0.len() == self.prof_scope.len() {
+            self.prof_scope = scope.0;
+        }
+    }
+
+    /// Mirror `cycles` just charged on lane `i` into the profiler pending
+    /// vector under the lane's current scope class.
+    #[inline]
+    fn prof_note(&mut self, i: usize, cycles: u64) {
+        if self.config.profiling {
+            self.prof_pending[i].add(self.prof_scope[i], cycles);
+        }
+    }
+
+    /// Mirror `cycles` under an explicit class, bypassing the scope (fault
+    /// retry/backoff time must never hide inside another class).
+    #[inline]
+    fn prof_note_class(&mut self, i: usize, class: CostClass, cycles: u64) {
+        if self.config.profiling {
+            self.prof_pending[i].add(class, cycles);
+        }
+    }
+
+    /// The cost class a DMA transfer resolves to when no scope claims it.
+    fn prof_dma_class(&self, i: usize, tag: DmaTag) -> CostClass {
+        match self.prof_scope[i] {
+            CostClass::Compute => match tag {
+                DmaTag::DataCacheFill => CostClass::DataCacheFill,
+                DmaTag::DataCacheWriteBack => CostClass::DataCacheWriteBack,
+                DmaTag::CodeCacheLoad => CostClass::CodeCacheFill,
+                DmaTag::Bypass | DmaTag::Other => CostClass::DmaStall,
+            },
+            open => open,
+        }
+    }
+
     /// Record a trace event on `core`'s lane, stamped with that core's
     /// current virtual clock. One branch when tracing is off; never charges
     /// cycles.
@@ -381,6 +512,7 @@ impl CellMachine {
         let i = self.idx(core);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge(class, cycles);
+        self.prof_note(i, cycles);
     }
 
     /// Advance without counting a retired operation (stalls, waits).
@@ -389,6 +521,7 @@ impl CellMachine {
         let i = self.idx(core);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge_stall(class, cycles);
+        self.prof_note(i, cycles);
     }
 
     /// Move a core's clock forward to at least `time` without charging
@@ -409,6 +542,7 @@ impl CellMachine {
             let wait = time - self.clocks[i];
             self.clocks[i] = time;
             self.breakdowns[i].charge_stall(class, wait);
+            self.prof_note(i, wait);
         }
     }
 
@@ -503,6 +637,8 @@ impl CellMachine {
         }
         self.clocks[i] += total;
         self.breakdowns[i].charge(OpClass::MainMemory, total);
+        let class = self.prof_dma_class(i, tag);
+        self.prof_note_class(i, class, total);
         total
     }
 
@@ -570,6 +706,7 @@ impl CellMachine {
             }
             self.clocks[i] += wasted;
             self.breakdowns[i].charge_stall(OpClass::MainMemory, wasted);
+            self.prof_note_class(i, CostClass::FaultRetry, wasted);
             total += wasted;
             if attempt >= max_retries {
                 self.fault_stats.unrecoverable += 1;
@@ -600,6 +737,7 @@ impl CellMachine {
             }
             self.clocks[i] += backoff;
             self.breakdowns[i].charge_stall(OpClass::MainMemory, backoff);
+            self.prof_note_class(i, CostClass::FaultRetry, backoff);
             total += backoff;
         }
     }
@@ -612,6 +750,7 @@ impl CellMachine {
         let i = self.idx(CoreId::Ppe);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge(class, cycles);
+        self.prof_note(i, cycles);
         cycles
     }
 
@@ -871,5 +1010,127 @@ mod tests {
         m.advance(CoreId::Spe(1), 25, OpClass::Integer);
         assert_eq!(m.makespan(&[CoreId::Spe(0), CoreId::Spe(1)]), 25);
         assert_eq!(m.makespan(&[]), 0);
+    }
+
+    fn prof_machine() -> CellMachine {
+        CellMachine::new(CellConfig {
+            profiling: true,
+            ..CellConfig::default()
+        })
+    }
+
+    #[test]
+    fn profiling_off_records_nothing() {
+        let mut m = machine();
+        m.advance(CoreId::Spe(0), 100, OpClass::Integer);
+        for lane in 0..m.prof_lanes() {
+            assert!(m.prof_take(lane).is_none());
+        }
+    }
+
+    #[test]
+    fn profiling_mirrors_every_charge_exactly() {
+        let mut m = prof_machine();
+        m.advance(CoreId::Spe(0), 100, OpClass::Integer);
+        m.stall(CoreId::Spe(0), 50, OpClass::MainMemory);
+        m.wait_until(CoreId::Spe(0), 10, OpClass::MainMemory); // no-op, past
+        m.wait_until(CoreId::Spe(0), 200, OpClass::MainMemory); // +50
+        m.dma_tagged(CoreId::Spe(0), 1024, DmaTag::Bypass).unwrap();
+        m.ppe_mem_access(0x8000, 4);
+        m.idle_until(CoreId::Spe(0), 10_000); // idle must NOT be attributed
+        let spe = m.prof_take(m.lane(CoreId::Spe(0))).unwrap();
+        let ppe = m.prof_take(m.lane(CoreId::Ppe)).unwrap();
+        assert_eq!(spe.total(), m.breakdown(CoreId::Spe(0)).total_cycles());
+        assert_eq!(ppe.total(), m.breakdown(CoreId::Ppe).total_cycles());
+        // 200 compute/stall cycles under the default scope, DMA classed by
+        // its tag.
+        assert_eq!(spe.get(CostClass::Compute), 200);
+        assert!(spe.get(CostClass::DmaStall) > 0);
+        // Drained means drained.
+        assert!(m.prof_take(m.lane(CoreId::Spe(0))).is_none());
+    }
+
+    #[test]
+    fn dma_tags_map_to_cache_cost_classes() {
+        let mut m = prof_machine();
+        m.dma_tagged(CoreId::Spe(0), 128, DmaTag::DataCacheFill)
+            .unwrap();
+        m.dma_tagged(CoreId::Spe(0), 128, DmaTag::DataCacheWriteBack)
+            .unwrap();
+        m.dma_tagged(CoreId::Spe(0), 128, DmaTag::CodeCacheLoad)
+            .unwrap();
+        let v = m.prof_take(m.lane(CoreId::Spe(0))).unwrap();
+        assert!(v.get(CostClass::DataCacheFill) > 0);
+        assert!(v.get(CostClass::DataCacheWriteBack) > 0);
+        assert!(v.get(CostClass::CodeCacheFill) > 0);
+        assert_eq!(v.get(CostClass::Compute), 0);
+        assert_eq!(v.total(), m.breakdown(CoreId::Spe(0)).total_cycles());
+    }
+
+    #[test]
+    fn outermost_non_compute_scope_wins() {
+        let mut m = prof_machine();
+        let outer = m.prof_scope_begin(CoreId::Spe(0), CostClass::GcPause);
+        let inner = m.prof_scope_begin(CoreId::Spe(0), CostClass::JmmBarrier);
+        m.advance(CoreId::Spe(0), 10, OpClass::Integer);
+        // A DMA under an open scope is billed to the scope, not the tag.
+        m.dma_tagged(CoreId::Spe(0), 128, DmaTag::DataCacheFill)
+            .unwrap();
+        m.prof_scope_end(CoreId::Spe(0), inner);
+        m.advance(CoreId::Spe(0), 7, OpClass::Integer);
+        m.prof_scope_end(CoreId::Spe(0), outer);
+        m.advance(CoreId::Spe(0), 3, OpClass::Integer);
+        let v = m.prof_take(m.lane(CoreId::Spe(0))).unwrap();
+        assert_eq!(v.get(CostClass::JmmBarrier), 0);
+        assert_eq!(v.get(CostClass::Compute), 3);
+        assert_eq!(v.get(CostClass::GcPause), v.total() - 3);
+    }
+
+    #[test]
+    fn scope_all_covers_every_lane_and_restores() {
+        let mut m = prof_machine();
+        let tok = m.prof_scope_begin_all(CostClass::GcPause);
+        m.advance(CoreId::Ppe, 5, OpClass::MainMemory);
+        m.advance(CoreId::Spe(3), 9, OpClass::Integer);
+        m.prof_scope_end_all(tok);
+        m.advance(CoreId::Spe(3), 2, OpClass::Integer);
+        let ppe = m.prof_take(m.lane(CoreId::Ppe)).unwrap();
+        let spe = m.prof_take(m.lane(CoreId::Spe(3))).unwrap();
+        assert_eq!(ppe.get(CostClass::GcPause), 5);
+        assert_eq!(spe.get(CostClass::GcPause), 9);
+        assert_eq!(spe.get(CostClass::Compute), 2);
+    }
+
+    #[test]
+    fn fault_retry_cycles_bypass_open_scopes() {
+        let mut m = CellMachine::new(CellConfig {
+            profiling: true,
+            faults: FaultPlan::seeded(7).with_mfc_faults(1_000_000, 0, 0),
+            ..CellConfig::default()
+        });
+        let tok = m.prof_scope_begin(CoreId::Spe(0), CostClass::Migration);
+        // At ppm=1e6 every draw faults; the transfer exhausts its budget,
+        // but all wasted/backoff cycles must land in FaultRetry.
+        let _ = m.dma_tagged(CoreId::Spe(0), 4096, DmaTag::DataCacheFill);
+        m.prof_scope_end(CoreId::Spe(0), tok);
+        let v = m.prof_take(m.lane(CoreId::Spe(0))).unwrap();
+        assert!(v.get(CostClass::FaultRetry) > 0);
+        assert_eq!(v.total(), m.breakdown(CoreId::Spe(0)).total_cycles());
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_virtual_time() {
+        let mut quiet = machine();
+        let mut prof = prof_machine();
+        for m in [&mut quiet, &mut prof] {
+            m.exec(CoreId::Spe(2), ExecOp::FloatMul);
+            m.dma_tagged(CoreId::Spe(2), 2048, DmaTag::DataCacheFill)
+                .unwrap();
+            m.ppe_mem_access(0x100, 8);
+            m.wait_until(CoreId::Ppe, m.now(CoreId::Spe(2)), OpClass::MainMemory);
+        }
+        for core in quiet.cores() {
+            assert_eq!(quiet.now(core), prof.now(core));
+        }
     }
 }

@@ -39,7 +39,7 @@ use hera_isa::{Kind, MethodDef, MethodId, ObjRef, Slot, Trap, Ty, Value};
 use hera_jit::{BranchKind, MachineOp};
 use hera_mem::{Heap, HeapKind};
 use hera_softcache::{CacheFault, DataCache};
-use hera_trace::{MigrationKind, TraceEvent};
+use hera_trace::{CostClass, MigrationKind, TraceEvent};
 use std::rc::Rc;
 
 /// Control-flow outcome of one op.
@@ -67,6 +67,16 @@ enum BlockExit {
 
 /// Extra PPE stall for a volatile access (sync instruction).
 const VOLATILE_SYNC_CYCLES: u64 = 20;
+
+/// Charge the volatile sync stall, classed as JMM-barrier time for the
+/// profiler (it is the memory-model fence the PPE pays in place of a
+/// cache purge/flush).
+#[inline]
+fn volatile_sync(machine: &mut CellMachine, core: CoreId) {
+    let scope = machine.prof_scope_begin(core, CostClass::JmmBarrier);
+    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+    machine.prof_scope_end(core, scope);
+}
 
 // ---- unchecked-in-release arena accessors ----
 //
@@ -515,7 +525,7 @@ fn exec_block(
                 let cycles = machine.ppe_mem_access(r.0 + offset, ty.field_size());
                 mem_monitor(window, cycles);
                 if volatile {
-                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                    volatile_sync(machine, core);
                 }
                 push!(heap.read_typed_slot(r.0 + offset, ty));
             }
@@ -530,7 +540,7 @@ fn exec_block(
                 let cycles = machine.ppe_mem_access(r.0 + offset, ty.field_size());
                 mem_monitor(window, cycles);
                 if volatile {
-                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                    volatile_sync(machine, core);
                 }
                 heap.write_typed_slot(r.0 + offset, ty, v);
             }
@@ -543,7 +553,7 @@ fn exec_block(
                 let cycles = machine.ppe_mem_access(addr, ty.field_size());
                 mem_monitor(window, cycles);
                 if volatile {
-                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                    volatile_sync(machine, core);
                 }
                 push!(heap.read_typed_slot(addr, ty));
             }
@@ -557,7 +567,7 @@ fn exec_block(
                 let cycles = machine.ppe_mem_access(addr, ty.field_size());
                 mem_monitor(window, cycles);
                 if volatile {
-                    machine.stall(core, VOLATILE_SYNC_CYCLES, OpClass::MainMemory);
+                    volatile_sync(machine, core);
                 }
                 heap.write_typed_slot(addr, ty, v);
             }
@@ -772,6 +782,12 @@ fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, St
             // must round-trip through the PPE for every monitor op.
             if w.config.cellvm_style_sync {
                 if let Some(_spe) = spe_of(core) {
+                    let mc = w
+                        .machine
+                        .prof_scope_begin(core, CostClass::MonitorContention);
+                    let mp = w
+                        .machine
+                        .prof_scope_begin(CoreId::Ppe, CostClass::MonitorContention);
                     let start = w.machine.now(CoreId::Ppe).max(w.machine.now(core));
                     w.machine.idle_until(CoreId::Ppe, start);
                     w.machine.stall(CoreId::Ppe, 200, OpClass::MainMemory);
@@ -782,6 +798,8 @@ fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, St
                         w.machine.cost_model().syscall_signal_cycles as u64,
                         OpClass::MainMemory,
                     );
+                    w.machine.prof_scope_end(core, mc);
+                    w.machine.prof_scope_end(CoreId::Ppe, mp);
                 }
             }
             w.machine.exec(core, ExecOp::MonitorOp);
@@ -791,7 +809,11 @@ fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, St
                 (crate::monitor::AcquireResult::Acquired, start) => {
                     // Timed mutual exclusion: wait out a hold that ended
                     // later in virtual time on another core.
+                    let mc = w
+                        .machine
+                        .prof_scope_begin(core, CostClass::MonitorContention);
                     w.machine.wait_until(core, start, OpClass::MainMemory);
+                    w.machine.prof_scope_end(core, mc);
                     w.machine
                         .emit(core, TraceEvent::MonitorAcquire { obj: r.0 });
                     w.threads[t].held_monitors += 1;
@@ -814,6 +836,12 @@ fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, St
         MonitorExit => {
             if w.config.cellvm_style_sync {
                 if let Some(_spe) = spe_of(core) {
+                    let mc = w
+                        .machine
+                        .prof_scope_begin(core, CostClass::MonitorContention);
+                    let mp = w
+                        .machine
+                        .prof_scope_begin(CoreId::Ppe, CostClass::MonitorContention);
                     let start = w.machine.now(CoreId::Ppe).max(w.machine.now(core));
                     w.machine.idle_until(CoreId::Ppe, start);
                     w.machine.stall(CoreId::Ppe, 200, OpClass::MainMemory);
@@ -824,6 +852,8 @@ fn step_slow(w: &mut World<'_>, tid: ThreadId, op: MachineOp) -> Result<Flow, St
                         w.machine.cost_model().syscall_signal_cycles as u64,
                         OpClass::MainMemory,
                     );
+                    w.machine.prof_scope_end(core, mc);
+                    w.machine.prof_scope_end(CoreId::Ppe, mp);
                 }
             }
             w.machine.exec(core, ExecOp::MonitorOp);
@@ -1200,6 +1230,7 @@ fn push_frame(
     });
     w.machine
         .emit(core, TraceEvent::MethodInvoke { method: method.0 });
+    w.prof_enter(tid, method);
     Ok(())
 }
 
@@ -1249,6 +1280,7 @@ fn push_frame_from_stack(
     });
     w.machine
         .emit(core, TraceEvent::MethodInvoke { method: method.0 });
+    w.prof_enter(tid, method);
     Ok(())
 }
 
@@ -1301,9 +1333,11 @@ fn do_invoke(w: &mut World<'_>, tid: ThreadId, target: MethodId) -> Result<Flow,
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            let ms = w.machine.prof_scope_begin(core, CostClass::Migration);
             w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
+            w.machine.prof_scope_end(core, ms);
             push_marker(w, t, core);
             w.threads[t].pending_call = Some(PendingCall {
                 method: target,
@@ -1331,9 +1365,11 @@ fn do_invoke(w: &mut World<'_>, tid: ThreadId, target: MethodId) -> Result<Flow,
             if matches!(dest, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            let ms = w.machine.prof_scope_begin(core, CostClass::Migration);
             w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
+            w.machine.prof_scope_end(core, ms);
             w.threads[t].pending_call = Some(PendingCall {
                 method: target,
                 args,
@@ -1372,6 +1408,9 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
     if let Some(f) = w.threads[t].frames.last() {
         let m = f.method.0;
         w.machine.emit(core, TraceEvent::MethodReturn { method: m });
+        // Return overhead bills to the returning method; everything from
+        // here on (flushes, marker migrate-back, re-lookups) to the caller.
+        w.prof_leave(tid);
     }
     let returning = w.threads[t].frames.pop();
 
@@ -1424,9 +1463,11 @@ fn do_return(w: &mut World<'_>, tid: ThreadId, has_value: bool) -> Result<Flow, 
             if matches!(origin, CoreId::Spe(_)) {
                 w.threads[t].pending_acquire_barrier = Some(ObjRef::NULL);
             }
+            let ms = w.machine.prof_scope_begin(core, CostClass::Migration);
             w.machine.watchdog_wait(core, FaultSite::Migration);
             w.machine
                 .advance(core, w.config.migration_cycles as u64, OpClass::Stack);
+            w.machine.prof_scope_end(core, ms);
             w.threads[t].core = origin;
             w.threads[t].available_at = w.machine.now(core) + w.config.migration_cycles as u64;
             w.threads[t].migrations += 1;
@@ -1479,7 +1520,9 @@ fn native_call(
     match spe_of(core) {
         None => {
             // Already on the PPE: just run it.
+            let sp = w.machine.prof_scope_begin(CoreId::Ppe, CostClass::Syscall);
             w.machine.stall(CoreId::Ppe, body, OpClass::MainMemory);
+            w.machine.prof_scope_end(CoreId::Ppe, sp);
         }
         Some(spe) => {
             // The PPE must see this thread's writes (JNI) — and either
@@ -1487,6 +1530,8 @@ fn native_call(
             if kind == NativeKind::Jni {
                 world_cache_flush(w, spe, core)?;
             }
+            let sc = w.machine.prof_scope_begin(core, CostClass::Syscall);
+            let sp = w.machine.prof_scope_begin(CoreId::Ppe, CostClass::Syscall);
             let overhead = match kind {
                 NativeKind::FastSyscall => {
                     w.machine
@@ -1509,6 +1554,8 @@ fn native_call(
             let done = w.machine.now(CoreId::Ppe);
             w.machine.wait_until(core, done, OpClass::MainMemory);
             w.machine.stall(core, overhead, OpClass::MainMemory);
+            w.machine.prof_scope_end(core, sc);
+            w.machine.prof_scope_end(CoreId::Ppe, sp);
             w.threads[t].window.mem_ops += 1;
         }
     }

@@ -137,6 +137,14 @@ impl VmConfig {
         self.cell.faults = plan;
         self
     }
+
+    /// Enable the hera-prof per-method profiler for this run. Like
+    /// tracing, profiling observes — it never charges virtual cycles —
+    /// so virtual time is bit-identical with or without it.
+    pub fn with_profiling(mut self) -> VmConfig {
+        self.cell.profiling = true;
+        self
+    }
 }
 
 /// The result of one complete run.
@@ -156,6 +164,9 @@ pub struct RunOutcome {
     /// The virtual-time event trace (empty and disabled unless the run
     /// used [`VmConfig::with_tracing`]).
     pub trace: hera_trace::TraceSink,
+    /// The per-method cost profile (`None` unless the run used
+    /// [`VmConfig::with_profiling`]).
+    pub profile: Option<hera_prof::Profile>,
 }
 
 impl RunOutcome {
@@ -215,6 +226,11 @@ impl HeraJvm {
         world.spawn_thread(entry, Vec::new(), core, 0);
         world.run_to_completion()?;
 
+        // Sweep any cycles charged after the last quantum (final GC,
+        // shutdown work) to the runtime root, then close the profile.
+        world.prof_flush_to_runtime();
+        let profile = world.profiler.take().map(|p| p.finish());
+
         // Harvest results.
         let mut result = None;
         let mut traps = Vec::new();
@@ -253,6 +269,7 @@ impl HeraJvm {
             traps,
             stats,
             trace,
+            profile,
         })
     }
 

@@ -83,6 +83,11 @@ pub struct World<'p> {
     last_on_core: Vec<Option<ThreadId>>,
     /// Context switches performed.
     pub thread_switches: u64,
+    /// Per-method cost attribution (hera-prof), present when
+    /// `VmConfig::with_profiling` was set. The machine accumulates charged
+    /// cycles per core; the hooks below drain them to the active shadow
+    /// frame at every frame/quantum boundary.
+    pub profiler: Option<hera_prof::Profiler>,
 }
 
 impl<'p> World<'p> {
@@ -115,7 +120,77 @@ impl<'p> World<'p> {
             gc: GcDriverStats::default(),
             last_on_core: vec![None; cores],
             thread_switches: 0,
+            profiler: config.cell.profiling.then(hera_prof::Profiler::new),
             config,
+        }
+    }
+
+    // ---- profiler hooks ----
+    //
+    // Each hook drains the machine's per-core pending cycles and bills
+    // them to whoever was innermost while they accrued; the shadow stack
+    // then mirrors the engine's MethodInvoke/MethodReturn points exactly.
+    // All hooks are a single `is_none` branch when profiling is off and
+    // never charge virtual cycles.
+
+    /// Bill everything charged since the last drain to `tid`'s innermost
+    /// shadow frame, per core kind.
+    pub(crate) fn prof_flush_to_thread(&mut self, tid: ThreadId) {
+        let Some(p) = self.profiler.as_mut() else {
+            return;
+        };
+        for lane in 0..self.machine.prof_lanes() {
+            if let Some(v) = self.machine.prof_take(lane) {
+                p.bill(tid.0, hera_prof::KindLane::from_machine_lane(lane), &v);
+            }
+        }
+    }
+
+    /// Bill everything charged since the last drain to the synthetic
+    /// `(runtime)` root (scheduler work, fail-over salvage, post-run).
+    pub(crate) fn prof_flush_to_runtime(&mut self) {
+        let Some(p) = self.profiler.as_mut() else {
+            return;
+        };
+        for lane in 0..self.machine.prof_lanes() {
+            if let Some(v) = self.machine.prof_take(lane) {
+                p.bill_runtime(hera_prof::KindLane::from_machine_lane(lane), &v);
+            }
+        }
+    }
+
+    /// Mirror a method invocation (the engine's MethodInvoke point):
+    /// everything accrued so far belongs to the caller; subsequent cycles
+    /// belong to the callee.
+    pub(crate) fn prof_enter(&mut self, tid: ThreadId, method: MethodId) {
+        if self.profiler.is_some() {
+            self.prof_flush_to_thread(tid);
+            if let Some(p) = self.profiler.as_mut() {
+                p.enter(tid.0, method.0);
+            }
+        }
+    }
+
+    /// Mirror a method return (the engine's MethodReturn point): the
+    /// return overhead bills to the returning method, then the shadow
+    /// stack pops.
+    pub(crate) fn prof_leave(&mut self, tid: ThreadId) {
+        if self.profiler.is_some() {
+            self.prof_flush_to_thread(tid);
+            if let Some(p) = self.profiler.as_mut() {
+                p.leave(tid.0);
+            }
+        }
+    }
+
+    /// A thread is done (normal completion, trap, or stack overflow):
+    /// bill residue to its innermost frame and unwind the shadow stack.
+    fn prof_thread_done(&mut self, tid: ThreadId) {
+        if self.profiler.is_some() {
+            self.prof_flush_to_thread(tid);
+            if let Some(p) = self.profiler.as_mut() {
+                p.reset(tid.0);
+            }
         }
     }
 
@@ -199,6 +274,7 @@ impl<'p> World<'p> {
 
     /// Mark a thread finished and wake its joiners.
     pub fn finish_thread(&mut self, tid: ThreadId, result: Result<Option<Value>, Trap>) {
+        self.prof_thread_done(tid);
         let now = self.machine.now(self.threads[tid.0 as usize].core);
         self.threads[tid.0 as usize].state = ThreadState::Finished(result);
         if let Some(waiters) = self.join_waiters.remove(&tid) {
@@ -263,6 +339,17 @@ impl<'p> World<'p> {
     /// thread stacks and statics and sweeps. All cores stall until the
     /// collection finishes.
     pub fn collect_garbage(&mut self, requester: CoreId) -> Result<(), Trap> {
+        // The whole collection — cache write-backs, mark/sweep, and the
+        // global restart barrier — is GC-pause time on every lane.
+        let scope = self
+            .machine
+            .prof_scope_begin_all(hera_trace::CostClass::GcPause);
+        let res = self.collect_garbage_inner(requester);
+        self.machine.prof_scope_end_all(scope);
+        res
+    }
+
+    fn collect_garbage_inner(&mut self, requester: CoreId) -> Result<(), Trap> {
         // 1. Flush + purge SPE caches (each SPE pays its own DMA time).
         //    Failed cores are skipped: their caches were salvaged and
         //    replaced at death, and their clocks must never advance.
@@ -382,8 +469,15 @@ impl<'p> World<'p> {
         self.code_caches[si] = CodeCache::new(ccap);
         self.machine.fault_stats.salvaged_bytes += salvaged;
         // The PPE drives the rescue: a fixed setup plus per-line copy.
+        // Fail-over reuses the migration machinery, so its cost is
+        // migration time in the profile (billed to `(runtime)` — the
+        // drain happens between quanta, outside any guest frame).
+        let scope = self
+            .machine
+            .prof_scope_begin(CoreId::Ppe, hera_trace::CostClass::Migration);
         self.machine
             .stall(CoreId::Ppe, 200 + salvaged / 16, OpClass::MainMemory);
+        self.machine.prof_scope_end(CoreId::Ppe, scope);
 
         // 2. Rewrite migration markers that would return a thread to
         //    the dead core.
@@ -496,7 +590,14 @@ impl<'p> World<'p> {
             let avail = self.threads[tid.0 as usize].available_at;
             self.machine.idle_until(core, avail);
 
-            match crate::interp::run_quantum(self, tid)? {
+            // Scheduler overhead so far (context switch, fail-over
+            // salvage) is runtime cost; everything charged from here to
+            // the next drain belongs to `tid`.
+            self.prof_flush_to_runtime();
+
+            let outcome = crate::interp::run_quantum(self, tid)?;
+            self.prof_flush_to_thread(tid);
+            match outcome {
                 QuantumOutcome::Ready => {
                     let core_now = self.threads[tid.0 as usize].core;
                     self.run_queues[Self::core_index(core_now)].push_back(tid);

@@ -1,0 +1,310 @@
+//! Chrome-trace exporter coverage: JSON escaping of hostile method
+//! names, empty-trace validity, and a serde-free round-trip parse of a
+//! real exported trace. The validator below is a minimal
+//! recursive-descent JSON parser written for these tests — the
+//! workspace deliberately has zero external dependencies, so nothing
+//! else checks that the hand-rolled writer emits well-formed JSON.
+
+use hera_trace::{chrome_trace_json, chrome_trace_json_with, TraceEvent, TraceSink};
+
+// ------------------------------------------------------- mini JSON parser
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// What the validator counts while walking a document.
+#[derive(Default, Debug)]
+struct JsonStats {
+    objects: usize,
+    strings: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(s: &'a str) -> Json<'a> {
+        Json {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self, stats: &mut JsonStats) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(stats),
+            Some(b'[') => self.array(stats),
+            Some(b'"') => self.string(stats).map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self, stats: &mut JsonStats) -> Result<(), String> {
+        self.expect(b'{')?;
+        stats.objects += 1;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string(stats)?;
+            self.expect(b':')?;
+            self.value(stats)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self, stats: &mut JsonStats) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(stats)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    /// Parse a string literal, returning its *decoded* value.
+    fn string(&mut self, stats: &mut JsonStats) -> Result<String, String> {
+        self.expect(b'"')?;
+        stats.strings += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unescaped; consume
+                    // whole characters, not bytes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(format!("unescaped control char {:?}", c));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>().map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parse a complete document, failing on trailing garbage.
+fn parse(s: &str) -> Result<JsonStats, String> {
+    let mut p = Json::new(s);
+    let mut stats = JsonStats::default();
+    p.value(&mut stats)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(stats)
+}
+
+// ------------------------------------------------------------------ tests
+
+#[test]
+fn mini_parser_rejects_malformed_documents() {
+    assert!(parse("{\"a\": 1}").is_ok());
+    assert!(parse("{\"a\": }").is_err());
+    assert!(parse("{\"a\": 1} x").is_err());
+    assert!(parse("[1, 2,]").is_err());
+    assert!(parse("\"unterminated").is_err());
+    assert!(parse("{\"a\": \"\u{1}\"}").is_err(), "raw control char");
+}
+
+#[test]
+fn empty_trace_exports_a_valid_document() {
+    let sink = TraceSink::disabled();
+    let json = chrome_trace_json(&sink);
+    let stats = parse(&json).expect("empty export must be valid JSON");
+    assert_eq!(stats.objects, 1, "just the top-level shell");
+
+    // Lanes with no events still get their metadata records.
+    let named = TraceSink::with_lanes(["ppe", "spe0"]);
+    let json = chrome_trace_json(&named);
+    let stats = parse(&json).expect("lane-only export must be valid JSON");
+    assert!(json.contains("\"thread_name\""));
+    assert!(stats.objects > 2, "metadata records present");
+}
+
+#[test]
+fn hostile_method_names_are_escaped_and_round_trip() {
+    let mut sink = TraceSink::with_lanes(["ppe \"quoted\"\\lane"]);
+    sink.emit(0, 10, TraceEvent::MethodInvoke { method: 0 });
+    sink.emit(0, 20, TraceEvent::MethodInvoke { method: 1 });
+    sink.emit(0, 25, TraceEvent::MethodInvoke { method: 2 });
+    sink.emit(0, 28, TraceEvent::MethodReturn { method: 2 });
+    sink.emit(0, 30, TraceEvent::MethodReturn { method: 1 });
+    sink.emit(0, 40, TraceEvent::MethodReturn { method: 0 });
+    let names = [
+        "evil\"quote",
+        "back\\slash\ttab\nnewline",
+        "unicode-méthode-λ·メソッド",
+    ];
+    let json = chrome_trace_json_with(&sink, &|m| names[m as usize].to_string());
+    parse(&json).expect("hostile names must still produce valid JSON");
+    // The decoded strings survive the writer's escaping intact.
+    let mut p = Json::new(&json);
+    let mut found_evil = false;
+    let mut found_slash = false;
+    let mut found_unicode = false;
+    // Re-walk the document collecting every string value.
+    fn collect(p: &mut Json<'_>, out: &mut Vec<String>) {
+        // Cheap scan: repeatedly parse strings wherever quotes appear.
+        while let Some(b) = p.peek() {
+            if b == b'"' {
+                let mut stats = JsonStats::default();
+                match p.string(&mut stats) {
+                    Ok(s) => out.push(s),
+                    Err(_) => p.pos += 1,
+                }
+            } else {
+                p.pos += 1;
+            }
+        }
+    }
+    let mut strings = Vec::new();
+    collect(&mut p, &mut strings);
+    for s in &strings {
+        found_evil |= s == names[0];
+        found_slash |= s == names[1];
+        found_unicode |= s == names[2];
+    }
+    assert!(found_evil, "quoted name did not round-trip: {strings:?}");
+    assert!(found_slash, "backslash name did not round-trip");
+    assert!(found_unicode, "non-ASCII name did not round-trip");
+    assert!(
+        json.contains("\\\"") && json.contains("\\\\") && json.contains("\\n"),
+        "expected escape sequences in the raw output"
+    );
+}
+
+#[test]
+fn real_workload_trace_round_trips() {
+    use hera_bench::{spe_config, trace_workload};
+    let (out, names) = trace_workload(hera_workloads::Workload::Mandelbrot, 6, 0.1, spe_config(6));
+    assert!(out.trace.event_count() > 0);
+    let json = hera_trace::chrome_trace_json_with(&out.trace, &|m| {
+        names
+            .get(m as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("m{m}"))
+    });
+    let stats = parse(&json).expect("workload export must be valid JSON");
+    // Shell + one metadata record per lane + at least one record per event
+    // is a loose lower bound (B/E pairs mean some events emit two).
+    assert!(
+        stats.objects > out.trace.lanes().len(),
+        "suspiciously few records: {stats:?}"
+    );
+    // Balanced duration events.
+    assert_eq!(
+        json.matches("\"ph\":\"B\"").count(),
+        json.matches("\"ph\":\"E\"").count(),
+        "unbalanced B/E stream"
+    );
+}

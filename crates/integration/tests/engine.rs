@@ -564,6 +564,39 @@ fn slot_engine_matches_tagged_engine_goldens() {
     }
 }
 
+/// Profiling observes the charge stream; it must never join it. A
+/// profiled run has to hit the committed per-core goldens above
+/// cycle-for-cycle, and the event trace must be byte-identical with
+/// and without the profiler attached.
+#[test]
+fn profiling_leaves_virtual_time_and_traces_bit_identical() {
+    use hera_bench::{profile_workload, spe_config, trace_workload, DEFAULT_SCALE};
+
+    let (out, _) = profile_workload(
+        hera_workloads::Workload::Compress,
+        6,
+        DEFAULT_SCALE,
+        spe_config(6),
+    );
+    assert_eq!(out.result, Some(Value::I32(1085071945)));
+    assert_eq!(
+        out.stats.per_core_cycles,
+        vec![21526636, 21694664, 21498146, 21196598, 21462498, 21328984, 21283606],
+        "profiling perturbed virtual time"
+    );
+    assert!(out.profile.is_some(), "profile missing from a profiled run");
+
+    // Trace comparison at reduced scale: same events, same timestamps.
+    let w = hera_workloads::Workload::Mandelbrot;
+    let (plain, _) = trace_workload(w, 6, 0.2, spe_config(6));
+    let (profiled, _) = profile_workload(w, 6, 0.2, spe_config(6).with_tracing());
+    assert!(plain.trace.event_count() > 0);
+    assert_eq!(
+        plain.trace, profiled.trace,
+        "profiling changed the emitted event trace"
+    );
+}
+
 /// An installed-but-inert fault plan (seeded, zero rates, no scheduled
 /// deaths) must leave virtual time bit-identical to the committed
 /// goldens above: the injection hooks are provably free when quiet.

@@ -1,0 +1,346 @@
+//! Report generation: per-method aggregation, top-N tables, and the
+//! differential mode.
+//!
+//! Everything here is deterministic: aggregation walks the trie in node
+//! order (itself deterministic), and every sort breaks ties on method id.
+
+use crate::{KindLane, Profile};
+use hera_trace::{CostClass, CostVec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-method aggregate over every call path the method appears in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodRow {
+    pub method: u32,
+    /// Self cost per core kind (cycles charged while this method was
+    /// innermost), split by cost class.
+    pub self_cost: [CostVec; KindLane::COUNT],
+    /// Inclusive cycles (self + callees, both kinds); recursive frames are
+    /// counted once.
+    pub inclusive: u64,
+}
+
+impl MethodRow {
+    /// Self cycles summed over both kinds and all classes.
+    pub fn self_total(&self) -> u64 {
+        self.self_cost.iter().map(|c| c.total()).sum()
+    }
+
+    /// Self cycles of one class, summed over both kinds.
+    pub fn class_total(&self, class: CostClass) -> u64 {
+        self.self_cost.iter().map(|c| c.get(class)).sum()
+    }
+}
+
+/// One line of a differential report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRow {
+    pub method: u32,
+    /// Self cycles (both kinds, all classes) in the baseline profile.
+    pub before: u64,
+    /// Self cycles in the comparison profile.
+    pub after: u64,
+}
+
+impl DiffRow {
+    pub fn delta(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+}
+
+impl Profile {
+    /// Aggregate the trie per method: self cost by kind/class plus
+    /// recursion-safe inclusive cycles. Sorted by self cycles descending,
+    /// ties broken by method id.
+    pub fn method_rows(&self) -> Vec<MethodRow> {
+        let mut rows: BTreeMap<u32, MethodRow> = BTreeMap::new();
+        // Self costs: straight sum over nodes sharing a method.
+        for n in &self.nodes {
+            let row = rows.entry(n.method).or_insert_with(|| MethodRow {
+                method: n.method,
+                self_cost: [CostVec::ZERO; KindLane::COUNT],
+                inclusive: 0,
+            });
+            for k in 0..KindLane::COUNT {
+                row.self_cost[k].merge(&n.cost[k]);
+            }
+        }
+        // Subtree totals per node, children before parents. Children are
+        // always created after their parent, so a reverse index walk sees
+        // every child before its parent.
+        let mut subtree: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|n| n.cost.iter().map(|c| c.total()).sum())
+            .collect();
+        for i in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[i].parent as usize;
+            subtree[parent] += subtree[i];
+        }
+        // Inclusive: sum subtree totals of each method's *outermost*
+        // occurrences only, so recursion doesn't double-count. DFS with an
+        // on-path occurrence count per method.
+        let mut on_path: BTreeMap<u32, u32> = BTreeMap::new();
+        self.walk_inclusive(0, &mut on_path, &subtree, &mut rows);
+        let mut out: Vec<MethodRow> = rows.into_values().collect();
+        out.sort_by(|a, b| {
+            b.self_total()
+                .cmp(&a.self_total())
+                .then(a.method.cmp(&b.method))
+        });
+        out
+    }
+
+    fn walk_inclusive(
+        &self,
+        idx: usize,
+        on_path: &mut BTreeMap<u32, u32>,
+        subtree: &[u64],
+        rows: &mut BTreeMap<u32, MethodRow>,
+    ) {
+        let method = self.nodes[idx].method;
+        let depth = on_path.entry(method).or_insert(0);
+        if *depth == 0 {
+            if let Some(row) = rows.get_mut(&method) {
+                row.inclusive += subtree[idx];
+            }
+        }
+        *depth += 1;
+        for &child in self.nodes[idx].children.values() {
+            self.walk_inclusive(child as usize, on_path, subtree, rows);
+        }
+        if let Some(d) = on_path.get_mut(&method) {
+            *d -= 1;
+        }
+    }
+
+    /// Render the top-`n` self/inclusive table. Every row lists self
+    /// cycles split by core kind and its dominant cost classes.
+    pub fn top_table(&self, n: usize, name_of: &dyn Fn(u32) -> String) -> String {
+        let totals = self.totals();
+        let grand: u64 = totals.iter().map(|c| c.total()).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "total attributed cycles: {grand} (ppe {}, spe {})",
+            totals[KindLane::Ppe as usize].total(),
+            totals[KindLane::Spe as usize].total()
+        );
+        let _ = writeln!(out, "cycles by cost class:");
+        for class in CostClass::ALL {
+            let c: u64 = totals.iter().map(|t| t.get(class)).sum();
+            if c > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>14}  ({:.1}%)",
+                    class.label(),
+                    c,
+                    100.0 * c as f64 / grand.max(1) as f64
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>14} {:>14}  top classes",
+            "method", "self", "self-ppe", "self-spe", "inclusive"
+        );
+        for row in self.method_rows().into_iter().take(n) {
+            if row.self_total() == 0 && row.inclusive == 0 {
+                continue;
+            }
+            let mut classes: Vec<(CostClass, u64)> = CostClass::ALL
+                .iter()
+                .map(|&c| (c, row.class_total(c)))
+                .filter(|&(_, v)| v > 0)
+                .collect();
+            classes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+            let summary = classes
+                .iter()
+                .take(3)
+                .map(|(c, v)| format!("{}={v}", c.label()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>14} {:>14}  {}",
+                name_of(row.method),
+                row.self_total(),
+                row.self_cost[KindLane::Ppe as usize].total(),
+                row.self_cost[KindLane::Spe as usize].total(),
+                row.inclusive,
+                summary
+            );
+        }
+        out
+    }
+
+    /// Differential mode: per-method self-cycle deltas `other - self`,
+    /// sorted by |delta| descending (ties by method id). Methods present
+    /// in either profile appear.
+    pub fn diff_rows(&self, other: &Profile) -> Vec<DiffRow> {
+        let mut map: BTreeMap<u32, DiffRow> = BTreeMap::new();
+        for row in self.method_rows() {
+            map.insert(
+                row.method,
+                DiffRow {
+                    method: row.method,
+                    before: row.self_total(),
+                    after: 0,
+                },
+            );
+        }
+        for row in other.method_rows() {
+            map.entry(row.method)
+                .or_insert(DiffRow {
+                    method: row.method,
+                    before: 0,
+                    after: 0,
+                })
+                .after = row.self_total();
+        }
+        let mut out: Vec<DiffRow> = map.into_values().collect();
+        out.sort_by(|a, b| {
+            b.delta()
+                .unsigned_abs()
+                .cmp(&a.delta().unsigned_abs())
+                .then(a.method.cmp(&b.method))
+        });
+        out
+    }
+
+    /// Render a differential report (`before` = self, `after` = other).
+    pub fn diff_table(
+        &self,
+        other: &Profile,
+        labels: (&str, &str),
+        n: usize,
+        name_of: &dyn Fn(u32) -> String,
+    ) -> String {
+        let before_total: u64 = self.totals().iter().map(|c| c.total()).sum();
+        let after_total: u64 = other.totals().iter().map(|c| c.total()).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile diff: {} ({} cycles) -> {} ({} cycles), delta {:+}",
+            labels.0,
+            before_total,
+            labels.1,
+            after_total,
+            after_total as i64 - before_total as i64
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>15}",
+            "method", labels.0, labels.1, "delta"
+        );
+        for row in self.diff_rows(other).into_iter().take(n) {
+            if row.before == 0 && row.after == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} {:>14} {:>+15}",
+                name_of(row.method),
+                row.before,
+                row.after,
+                row.delta()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{method_name, Profiler, RUNTIME_METHOD};
+
+    fn v(class: CostClass, cycles: u64) -> CostVec {
+        let mut c = CostVec::ZERO;
+        c.add(class, cycles);
+        c
+    }
+
+    /// main -> a -> b, and main -> b: b appears on two paths.
+    fn sample() -> Profile {
+        let mut p = Profiler::new();
+        p.enter(0, 0); // main
+        p.bill(0, KindLane::Ppe, &v(CostClass::Compute, 100));
+        p.enter(0, 1); // a
+        p.bill(0, KindLane::Ppe, &v(CostClass::Compute, 40));
+        p.enter(0, 2); // b
+        p.bill(0, KindLane::Ppe, &v(CostClass::DataCacheFill, 10));
+        p.leave(0);
+        p.leave(0);
+        p.enter(0, 2); // b again, different path
+        p.bill(0, KindLane::Spe, &v(CostClass::Compute, 5));
+        p.leave(0);
+        p.finish()
+    }
+
+    #[test]
+    fn method_rows_aggregate_paths_and_rank_by_self() {
+        let rows = sample().method_rows();
+        // Order: main(100) > a(40) > b(15) > (runtime)(0).
+        let ids: Vec<u32> = rows.iter().map(|r| r.method).collect();
+        assert_eq!(ids, vec![0, 1, 2, RUNTIME_METHOD]);
+        let b = &rows[2];
+        assert_eq!(b.self_total(), 15);
+        assert_eq!(b.self_cost[KindLane::Ppe as usize].total(), 10);
+        assert_eq!(b.self_cost[KindLane::Spe as usize].total(), 5);
+        // Inclusive: main covers everything, a covers itself + one b.
+        assert_eq!(rows[0].inclusive, 155);
+        assert_eq!(rows[1].inclusive, 50);
+        assert_eq!(b.inclusive, 15);
+    }
+
+    #[test]
+    fn recursion_counts_inclusive_once() {
+        let mut p = Profiler::new();
+        p.enter(0, 7);
+        p.bill(0, KindLane::Ppe, &v(CostClass::Compute, 10));
+        p.enter(0, 7); // recursive call
+        p.bill(0, KindLane::Ppe, &v(CostClass::Compute, 5));
+        p.leave(0);
+        p.leave(0);
+        let rows = p.finish().method_rows();
+        let m7 = rows.iter().find(|r| r.method == 7).unwrap();
+        assert_eq!(m7.self_total(), 15);
+        assert_eq!(m7.inclusive, 15); // not 20: inner frame counted once
+    }
+
+    #[test]
+    fn diff_reports_per_method_deltas_largest_first() {
+        let a = sample();
+        let mut p = Profiler::new();
+        p.enter(0, 0);
+        p.bill(0, KindLane::Spe, &v(CostClass::Compute, 30)); // main shrank by 70
+        p.enter(0, 3); // new method appears
+        p.bill(0, KindLane::Spe, &v(CostClass::Migration, 8));
+        let b = p.finish();
+        let rows = a.diff_rows(&b);
+        assert_eq!(rows[0].method, 0);
+        assert_eq!(rows[0].delta(), -70);
+        let gone = rows.iter().find(|r| r.method == 1).unwrap();
+        assert_eq!((gone.before, gone.after), (40, 0));
+        let new = rows.iter().find(|r| r.method == 3).unwrap();
+        assert_eq!((new.before, new.after), (0, 8));
+        // Self-diff is all zeros.
+        assert!(a.diff_rows(&a).iter().all(|r| r.delta() == 0));
+    }
+
+    #[test]
+    fn rendered_tables_are_deterministic() {
+        let prof = sample();
+        let names: Vec<String> = ["main", "a", "b"].iter().map(|s| s.to_string()).collect();
+        let resolve = |m| method_name(&names, m);
+        assert_eq!(prof.top_table(10, &resolve), prof.top_table(10, &resolve));
+        let t = prof.top_table(10, &resolve);
+        assert!(t.contains("main"));
+        assert!(t.contains("dcache-fill"));
+        let d = prof.diff_table(&prof, ("quiet", "quiet"), 10, &resolve);
+        assert!(d.contains("delta"));
+        assert_eq!(d, prof.diff_table(&prof, ("quiet", "quiet"), 10, &resolve));
+    }
+}

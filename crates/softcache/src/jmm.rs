@@ -19,7 +19,7 @@ use crate::data_cache::DataCache;
 use crate::CacheFault;
 use hera_cell::{CellMachine, CoreId};
 use hera_mem::Heap;
-use hera_trace::{BarrierKind, TraceEvent};
+use hera_trace::{BarrierKind, CostClass, TraceEvent};
 
 /// Apply the acquire-side action: purge (write dirty back, invalidate).
 ///
@@ -36,7 +36,10 @@ pub fn acquire_barrier(
             kind: BarrierKind::Acquire,
         },
     );
-    cache.purge(heap, machine, core)
+    let tok = machine.prof_scope_begin(core, CostClass::JmmBarrier);
+    let res = cache.purge(heap, machine, core);
+    machine.prof_scope_end(core, tok);
+    res
 }
 
 /// Apply the release-side action: write dirty data back (copies remain
@@ -56,7 +59,10 @@ pub fn release_barrier(
             kind: BarrierKind::Release,
         },
     );
-    cache.write_back_dirty(heap, machine, core)
+    let tok = machine.prof_scope_begin(core, CostClass::JmmBarrier);
+    let res = cache.write_back_dirty(heap, machine, core);
+    machine.prof_scope_end(core, tok);
+    res
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! The shared cost-class vocabulary used by the profiler (`hera-prof`).
+//!
+//! Every virtual cycle the simulator charges is attributed to exactly one
+//! [`CostClass`].  The vocabulary lives here — at the bottom of the
+//! dependency graph, next to the [`TraceEvent`](crate::TraceEvent)
+//! vocabulary — so that `hera-cell` (which charges cycles), `hera-core`
+//! (which scopes them) and `hera-prof` (which reports them) agree on the
+//! same set of classes without depending on each other.
+//!
+//! Attribution follows an *outermost-non-compute-wins* scope discipline:
+//! cycles default to [`CostClass::Compute`], and the runtime opens a scope
+//! (JMM barrier, GC pause, migration, …) around the code that charges them.
+//! The one exception is fault retry/backoff time, which is billed directly
+//! to [`CostClass::FaultRetry`] regardless of any enclosing scope, so chaos
+//! overhead never hides inside another class.
+
+/// Why a batch of virtual cycles was spent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(usize)]
+pub enum CostClass {
+    /// Plain guest execution: interpreter/JIT ops, call/return overhead,
+    /// thread-switch cost, and anything not claimed by another class.
+    Compute = 0,
+    /// DMA transfer time not attributable to a specific cache (bypass
+    /// transfers, raw MFC traffic).
+    DmaStall,
+    /// Software data-cache line fills (DMA in).
+    DataCacheFill,
+    /// Software data-cache write-backs (DMA out).
+    DataCacheWriteBack,
+    /// Code-cache loads (method bodies DMA'd into the local store).
+    CodeCacheFill,
+    /// Java-memory-model acquire/release barrier work: purges, dirty-line
+    /// flushes, and volatile sync stalls.
+    JmmBarrier,
+    /// Waiting for a contended monitor (PPE round-trips and timed waits).
+    MonitorContention,
+    /// Thread migration between core types: state packaging/transfer and
+    /// fail-over draining.
+    Migration,
+    /// Stop-the-world garbage-collection pauses.
+    GcPause,
+    /// MFC fault retries, exponential backoff, and watchdog expiries.
+    FaultRetry,
+    /// Syscall proxying and JNI bridging to the PPE.
+    Syscall,
+}
+
+impl CostClass {
+    /// Number of classes (the length of [`CostVec`]).
+    pub const COUNT: usize = 11;
+
+    /// Every class, in index order.
+    pub const ALL: [CostClass; CostClass::COUNT] = [
+        CostClass::Compute,
+        CostClass::DmaStall,
+        CostClass::DataCacheFill,
+        CostClass::DataCacheWriteBack,
+        CostClass::CodeCacheFill,
+        CostClass::JmmBarrier,
+        CostClass::MonitorContention,
+        CostClass::Migration,
+        CostClass::GcPause,
+        CostClass::FaultRetry,
+        CostClass::Syscall,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable short label used in reports and collapsed-stack annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostClass::Compute => "compute",
+            CostClass::DmaStall => "dma-stall",
+            CostClass::DataCacheFill => "dcache-fill",
+            CostClass::DataCacheWriteBack => "dcache-writeback",
+            CostClass::CodeCacheFill => "ccache-fill",
+            CostClass::JmmBarrier => "jmm-barrier",
+            CostClass::MonitorContention => "monitor",
+            CostClass::Migration => "migration",
+            CostClass::GcPause => "gc-pause",
+            CostClass::FaultRetry => "fault-retry",
+            CostClass::Syscall => "syscall",
+        }
+    }
+}
+
+/// A fixed-size vector of cycles, one slot per [`CostClass`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CostVec(pub [u64; CostClass::COUNT]);
+
+impl CostVec {
+    pub const ZERO: CostVec = CostVec([0; CostClass::COUNT]);
+
+    pub fn add(&mut self, class: CostClass, cycles: u64) {
+        self.0[class.index()] += cycles;
+    }
+
+    pub fn get(&self, class: CostClass) -> u64 {
+        self.0[class.index()]
+    }
+
+    /// Sum across all classes.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Element-wise add.
+    pub fn merge(&mut self, other: &CostVec) {
+        for (d, s) in self.0.iter_mut().zip(other.0.iter()) {
+            *d += s;
+        }
+    }
+
+    /// `(class, cycles)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CostClass, u64)> + '_ {
+        CostClass::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_index_in_order() {
+        for (i, c) in CostClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(CostClass::ALL.len(), CostClass::COUNT);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        for a in CostClass::ALL {
+            for b in CostClass::ALL {
+                if a != b {
+                    assert_ne!(a.label(), b.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn costvec_arithmetic() {
+        let mut v = CostVec::ZERO;
+        assert!(v.is_zero());
+        v.add(CostClass::Compute, 10);
+        v.add(CostClass::GcPause, 5);
+        assert_eq!(v.get(CostClass::Compute), 10);
+        assert_eq!(v.total(), 15);
+        let mut w = CostVec::ZERO;
+        w.add(CostClass::Compute, 1);
+        w.merge(&v);
+        assert_eq!(w.get(CostClass::Compute), 11);
+        assert_eq!(w.total(), 16);
+        assert_eq!(w.iter().map(|(_, c)| c).sum::<u64>(), 16);
+    }
+}

@@ -21,12 +21,14 @@
 //! time.
 
 pub mod chrome;
+pub mod cost;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod summary;
 
 pub use chrome::{chrome_trace_json, chrome_trace_json_with};
+pub use cost::{CostClass, CostVec};
 pub use event::{
     BarrierKind, DmaTag, GcPhase, InjectedFault, MigrationKind, TraceEvent, TraceKindArgs,
 };

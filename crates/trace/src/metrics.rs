@@ -51,6 +51,56 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) from the log2 buckets.
+    ///
+    /// The estimator finds the bucket holding the sample of rank
+    /// `ceil(q * count)` and places the estimate at the midpoint of that
+    /// sample's equal sub-range of the bucket, clamped to the observed
+    /// `[min, max]`.  Integer arithmetic throughout, so the estimate is
+    /// deterministic across platforms; the error is bounded by the bucket
+    /// width (a factor of two).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i holds [2^(i-1), 2^i) (bucket 0 holds only 0).
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                // Midpoint of the (rank - seen)-th of n equal sub-ranges.
+                let pos = rank - seen; // 1..=n
+                let est = lo + (hi - lo) / n * (pos - 1) + (hi - lo) / (2 * n);
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
 }
 
 /// Deterministic registry of named counters and histograms.
@@ -139,12 +189,15 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{:<40} n={} sum={} min={} mean={:.1} max={}",
+                "{:<40} n={} sum={} min={} mean={:.1} p50={} p95={} p99={} max={}",
                 name,
                 h.count,
                 h.sum,
                 h.min,
                 h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 h.max
             );
         }
@@ -196,6 +249,55 @@ mod tests {
         assert_eq!(h.count, 2);
         assert_eq!(h.min, 4);
         assert_eq!(h.max, 16);
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_of_a_constant_stream_are_that_constant() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        // All samples in one bucket, clamped to [min, max] = [42, 42].
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p95(), 42);
+        assert_eq!(h.p99(), 42);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_accurate() {
+        let mut h = Histogram::default();
+        // 90 small samples, 9 mid, 1 huge: p50 must sit in the small
+        // bucket, p95/p99 in the mid bucket, the 100th percentile at max.
+        for _ in 0..90 {
+            h.record(10); // bucket [8, 16)
+        }
+        for _ in 0..9 {
+            h.record(1000); // bucket [512, 1024)
+        }
+        h.record(1_000_000); // bucket [2^19, 2^20)
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((8..16).contains(&p50), "p50={p50}");
+        assert!((512..1024).contains(&p95), "p95={p95}");
+        assert!((512..1024).contains(&p99), "p99={p99}");
+        // Rank 100 lands in the tail bucket, within a factor of two of max.
+        let p100 = h.percentile(1.0);
+        assert!((524_288..=1_000_000).contains(&p100), "p100={p100}");
+    }
+
+    #[test]
+    fn render_includes_percentiles() {
+        let mut m = MetricsRegistry::default();
+        m.record("lat", 8);
+        assert!(m.render().contains("p50="));
+        assert!(m.render().contains("p99="));
     }
 
     #[test]
