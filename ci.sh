@@ -22,5 +22,12 @@ cargo run --release -p hera-bench --bin figures -- perf-gate --reps 1
 # flamegraph output.
 cargo run --release -p hera-bench --bin figures -- profile mandelbrot --scale 0.25
 # Chaos smoke: fixed seed, one workload, SPE-death schedule; the run
-# must recover (the harness asserts the checksum) and print the report.
+# must recover (the harness asserts the checksum), replay byte-identically
+# under the same seed, and print the report — exit 1 on any divergence.
 cargo run --release -p hera-bench --bin figures -- chaos mandelbrot --scale 0.25
+# Snapshot round-trip smoke: crash the whole machine mid-run, restore
+# from the latest on-disk checkpoint, finish the workload, and verify
+# the recovered run is bit-identical to the uninterrupted one (the
+# format-version golden in tests/snap.rs separately pins the on-disk
+# encoding against silent drift).
+cargo run --release -p hera-bench --bin figures -- chaos-crash mandelbrot --scale 0.25

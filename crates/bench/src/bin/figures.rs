@@ -9,6 +9,9 @@
 //!           | cellvm-sync
 //!           | trace [WORKLOAD]   (emit a Chrome/Perfetto trace + summary)
 //!           | chaos [WORKLOAD]   (fault-injection run + recovery report)
+//!           | chaos-crash [WORKLOAD]  (kill the whole machine mid-run, restore
+//!                                     from the latest checkpoint, report the
+//!                                     recovery cost in virtual cycles)
 //!           | perf [--reps N]    (host wall-clock bench; write BENCH_interp.json)
 //!           | perf-gate [--reps N]  (compare a fresh perf run to the committed
 //!                                   BENCH_interp.json; exit 1 if virtual metrics moved)
@@ -45,7 +48,7 @@ fn main() {
             other => {
                 if matches!(
                     which.as_str(),
-                    "trace" | "chaos" | "profile" | "profile-diff"
+                    "trace" | "chaos" | "chaos-crash" | "profile" | "profile-diff"
                 ) {
                     workload = other.to_string();
                 } else {
@@ -62,6 +65,10 @@ fn main() {
     }
     if which == "chaos" {
         chaos(&workload, scale);
+        return;
+    }
+    if which == "chaos-crash" {
+        chaos_crash(&workload, scale);
         return;
     }
     if which == "perf" {
@@ -203,6 +210,78 @@ fn chaos(name: &str, scale: f64) {
         out.trace.event_count(),
         out.trace.lanes().len()
     );
+
+    // The claims above are load-bearing for CI: prove them, don't just
+    // print them. Recovery must leave the machine computing the same
+    // answer as the quiet run (the heap *layout* legitimately differs
+    // once threads drain to the PPE), and the same seed must replay the
+    // whole run — final heap digest and every trace lane — to the bit.
+    if out.result != quiet.result {
+        eprintln!(
+            "chaos: recovered run diverged from the uninterrupted run \
+             (result {:?} vs {:?})",
+            out.result, quiet.result
+        );
+        std::process::exit(1);
+    }
+    let rerun = xb::chaos_workload(w, scale, xb::chaos_plan(SEED, DEATH_SPE, death_at));
+    if rerun.heap_digest != out.heap_digest || rerun.trace != out.trace {
+        eprintln!("chaos: rerun with the same seed diverged — determinism broken");
+        std::process::exit(1);
+    }
+    println!("verified: recovery matches the quiet result; same-seed rerun is byte-identical");
+}
+
+fn chaos_crash(name: &str, scale: f64) {
+    let w = find_workload(name);
+    const SEED: u64 = 0xC0FFEE;
+    // Transient faults stay armed throughout: crash recovery has to
+    // compose with the rest of the chaos machinery, not replace it.
+    let plan = hera_cell::FaultPlan::seeded(SEED)
+        .with_mfc_faults(400, 250, 150)
+        .with_proxy_faults(500);
+
+    // Probe for the wall clock so the crash lands at a deterministic
+    // fraction of the run regardless of workload and scale.
+    let probe = xb::run_workload(w, 6, scale, xb::spe_config(6).with_faults(plan));
+    let wall = probe.stats.wall_cycles;
+    let every = (wall / 4).max(10_000);
+    let crash_at = wall * 2 / 3;
+    header(&format!(
+        "chaos-crash: {} on 6 SPEs, seed {SEED:#x}, checkpoint every {every} cycles, \
+         machine dies at cycle {crash_at}",
+        w.name()
+    ));
+
+    let dir = std::path::PathBuf::from(format!("target/chaos-ckpt-{}", std::process::id()));
+    match xb::crash_and_recover(w, scale, plan, every, crash_at, &dir) {
+        Ok(r) => {
+            println!("crash: whole machine died at cycle {}", r.crash_cycle);
+            println!(
+                "checkpoints: {} on disk; restored from seq {} taken at cycle {}",
+                r.checkpoints_on_disk, r.restored_seq, r.restored_cycle
+            );
+            println!(
+                "recovery cost: {} re-executed cycles (restore point → crash) \
+                 + {} checkpoint-write cycles charged as PPE stall \
+                 = {} virtual cycles ({:.2}% of the {}-cycle uninterrupted run)",
+                r.reexecuted_cycles(),
+                r.checkpoint_write_cycles(),
+                r.recovery_cost_cycles(),
+                100.0 * r.recovery_cost_cycles() as f64 / r.reference.stats.wall_cycles as f64,
+                r.reference.stats.wall_cycles
+            );
+            println!(
+                "verified: recovered run bit-identical to the uninterrupted run \
+                 from the restore point on (result, heap, stats, metrics, trace)"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        Err(e) => {
+            eprintln!("chaos-crash FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn perf(scale: f64, reps: u32) {

@@ -711,6 +711,178 @@ pub fn chaos_workload(w: Workload, scale: f64, plan: hera_cell::FaultPlan) -> Ru
     out
 }
 
+// ----------------------------------------------------- crash & recover
+
+/// Everything one crash-and-recover chaos exercise measured.
+pub struct CrashRecoveryReport {
+    /// The uninterrupted reference run (same config, crash removed).
+    pub reference: RunOutcome,
+    /// The run that finished the workload after restoring.
+    pub recovered: RunOutcome,
+    /// Virtual cycle at which the whole machine died.
+    pub crash_cycle: u64,
+    /// Snapshots found on disk after the crash.
+    pub checkpoints_on_disk: usize,
+    /// Sequence number of the snapshot recovery restored from.
+    pub restored_seq: u32,
+    /// Virtual wall-clock of that snapshot.
+    pub restored_cycle: u64,
+}
+
+impl CrashRecoveryReport {
+    /// Work lost to the crash: cycles between the restored checkpoint
+    /// and the crash, which the recovered run had to execute again.
+    pub fn reexecuted_cycles(&self) -> u64 {
+        self.crash_cycle.saturating_sub(self.restored_cycle)
+    }
+
+    /// Total checkpoint write cost along the recovery path, charged as
+    /// PPE stall in virtual cycles (pre-crash writes carried in the
+    /// snapshot's own counters, plus re-taken later checkpoints).
+    pub fn checkpoint_write_cycles(&self) -> u64 {
+        self.recovered.trace.metrics.counter("snap.write_cycles")
+    }
+
+    /// The headline number: cycles the crash cost on top of the
+    /// uninterrupted run.
+    pub fn recovery_cost_cycles(&self) -> u64 {
+        self.reexecuted_cycles() + self.checkpoint_write_cycles()
+    }
+}
+
+/// Verify a recovered run is bit-identical to the uninterrupted
+/// reference from the restore point onward: result, final heap image,
+/// RunStats, metrics, and the per-lane trace suffix.
+pub fn verify_recovery(reference: &RunOutcome, recovered: &RunOutcome) -> Result<(), String> {
+    if recovered.result != reference.result {
+        return Err(format!(
+            "result diverged: {:?} vs reference {:?}",
+            recovered.result, reference.result
+        ));
+    }
+    if !recovered.traps.is_empty() {
+        return Err(format!("recovered run trapped: {:?}", recovered.traps));
+    }
+    if recovered.heap_digest != reference.heap_digest {
+        return Err(format!(
+            "final heap digest diverged: {:#018x} vs reference {:#018x}",
+            recovered.heap_digest, reference.heap_digest
+        ));
+    }
+    let stats = format!("{:?}", recovered.stats);
+    let ref_stats = format!("{:?}", reference.stats);
+    if stats != ref_stats {
+        return Err(format!(
+            "RunStats diverged:\n  {stats}\n  vs\n  {ref_stats}"
+        ));
+    }
+    if recovered.trace.metrics != reference.trace.metrics {
+        return Err("final metrics registry diverged".into());
+    }
+    for (i, (rl, fl)) in recovered
+        .trace
+        .lanes()
+        .iter()
+        .zip(reference.trace.lanes())
+        .enumerate()
+    {
+        // The recovered run leads its PPE lane with the Restore marker.
+        let events = match rl.events.split_first() {
+            Some((first, rest))
+                if i == 0 && matches!(first.event, hera_trace::TraceEvent::Restore { .. }) =>
+            {
+                rest
+            }
+            _ if i == 0 => return Err("PPE lane missing the Restore marker".into()),
+            _ => &rl.events[..],
+        };
+        if events.len() > fl.events.len() {
+            return Err(format!("lane {i}: recovered run emitted extra events"));
+        }
+        let tail = &fl.events[fl.events.len() - events.len()..];
+        if events != tail {
+            return Err(format!("lane {i}: trace suffix not identical"));
+        }
+    }
+    Ok(())
+}
+
+/// Kill the whole machine at `crash_at`, restore from the latest
+/// on-disk checkpoint under `dir`, finish the workload, and verify the
+/// recovered run against an uninterrupted reference. The transient
+/// `plan` (MFC faults etc.) stays active throughout — crash recovery
+/// composes with fault injection.
+pub fn crash_and_recover(
+    w: Workload,
+    scale: f64,
+    plan: hera_cell::FaultPlan,
+    checkpoint_every: u64,
+    crash_at: u64,
+    dir: &std::path::Path,
+) -> Result<CrashRecoveryReport, String> {
+    let (program, expected) = w.build(6, scale);
+    let base_cfg = spe_config(6)
+        .with_tracing()
+        .with_checkpoint_every(checkpoint_every);
+
+    // Uninterrupted reference with the same checkpoint cadence.
+    let reference_vm = HeraJvm::new(program.clone(), base_cfg.with_faults(plan))
+        .map_err(|e| format!("reference VM: {e}"))?;
+    let reference = reference_vm
+        .run()
+        .map_err(|e| format!("reference run: {e}"))?;
+    if reference.result != Some(Value::I32(expected)) {
+        return Err(format!(
+            "reference checksum mismatch: {:?}",
+            reference.result
+        ));
+    }
+
+    // The doomed run: same machine, scheduled whole-machine crash,
+    // snapshots streamed to disk.
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir:?}: {e}"))?;
+    let crash_vm = HeraJvm::new(
+        program,
+        base_cfg.with_faults(plan.with_machine_crash(crash_at)),
+    )
+    .map_err(|e| format!("crash VM: {e}"))?
+    .with_checkpoint_dir(dir);
+    let crash_cycle = match crash_vm.run() {
+        Err(hera_core::VmError::MachineCrash { at_cycle }) => at_cycle,
+        Ok(_) => return Err(format!("machine failed to crash by cycle {crash_at}")),
+        Err(e) => return Err(format!("crashing run failed differently: {e}")),
+    };
+
+    // Pick up the newest snapshot the dead machine left behind.
+    let mut snaps: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("readdir {dir:?}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "hsnap"))
+        .collect();
+    snaps.sort();
+    let latest = snaps
+        .last()
+        .ok_or("machine crashed before the first checkpoint — nothing to restore")?;
+    let bytes = std::fs::read(latest).map_err(|e| format!("read {latest:?}: {e}"))?;
+    let info = hera_core::snapshot::inspect(&bytes).map_err(|e| format!("inspect: {e}"))?;
+
+    // Recover on a crash-free machine (the config digest deliberately
+    // ignores the crash schedule) and finish the workload.
+    let recovered = reference_vm
+        .restore_bytes(&bytes)
+        .map_err(|e| format!("restore from {latest:?}: {e}"))?;
+    verify_recovery(&reference, &recovered)?;
+
+    Ok(CrashRecoveryReport {
+        reference,
+        recovered,
+        crash_cycle,
+        checkpoints_on_disk: snaps.len(),
+        restored_seq: info.seq,
+        restored_cycle: info.wall_cycles,
+    })
+}
+
 // ------------------------------------------------------------- perf bench
 
 /// One row of the interpreter host-performance benchmark.

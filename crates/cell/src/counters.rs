@@ -138,6 +138,18 @@ impl CycleBreakdown {
         out
     }
 
+    /// Raw per-class arrays (cycles, ops) in [`OpClass::index`] order.
+    /// Snapshot support: pairs with [`CycleBreakdown::from_raw`].
+    pub fn to_raw(self) -> ([u64; 6], [u64; 6]) {
+        (self.cycles, self.ops)
+    }
+
+    /// Rebuild a breakdown from the arrays captured by
+    /// [`CycleBreakdown::to_raw`].
+    pub fn from_raw(cycles: [u64; 6], ops: [u64; 6]) -> CycleBreakdown {
+        CycleBreakdown { cycles, ops }
+    }
+
     /// Snapshot this breakdown into a metrics registry under
     /// `<prefix>.cycles.<class>` / `<prefix>.ops.<class>` counters, the
     /// shared counting substrate the trace exporters render.

@@ -106,6 +106,21 @@ impl Eib {
         self.windows.len()
     }
 
+    /// The live window ledger, sorted by window index, plus the retirement
+    /// watermark. Snapshot support: pairs with [`Eib::import_state`].
+    pub fn export_state(&self) -> (Vec<(u64, u64)>, u64) {
+        let mut windows: Vec<(u64, u64)> = self.windows.iter().map(|(&w, &c)| (w, c)).collect();
+        windows.sort_unstable();
+        (windows, self.retired_below)
+    }
+
+    /// Restore the window ledger captured by [`Eib::export_state`]. The
+    /// public byte/transfer counters are set directly by the caller.
+    pub fn import_state(&mut self, windows: Vec<(u64, u64)>, retired_below: u64) {
+        self.windows = windows.into_iter().collect();
+        self.retired_below = retired_below;
+    }
+
     /// Mean queueing delay per transfer so far.
     pub fn mean_queue_cycles(&self) -> f64 {
         if self.transfers == 0 {

@@ -190,6 +190,35 @@ impl HwCache {
         (cycles, worst)
     }
 
+    /// Raw replacement state of both levels, L1 first: `(tags, stamps,
+    /// tick)` per level. Snapshot support: pairs with
+    /// [`HwCache::import_state`].
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(&self) -> ((&[u64], &[u64], u64), (&[u64], &[u64], u64)) {
+        (
+            (&self.l1.tags, &self.l1.stamps, self.l1.tick),
+            (&self.l2.tags, &self.l2.stamps, self.l2.tick),
+        )
+    }
+
+    /// Restore the replacement state captured by [`HwCache::export_state`].
+    /// Fails if the slot counts do not match this cache's geometry.
+    pub fn import_state(
+        &mut self,
+        l1: (Vec<u64>, Vec<u64>, u64),
+        l2: (Vec<u64>, Vec<u64>, u64),
+    ) -> Result<(), &'static str> {
+        for (level, (tags, stamps, tick)) in [(&mut self.l1, l1), (&mut self.l2, l2)] {
+            if tags.len() != level.tags.len() || stamps.len() != level.stamps.len() {
+                return Err("hardware-cache geometry mismatch");
+            }
+            level.tags = tags;
+            level.stamps = stamps;
+            level.tick = tick;
+        }
+        Ok(())
+    }
+
     /// The operation class an access at `level` is charged to: L1 hits
     /// count as local memory, anything deeper as main memory.
     pub fn class_for(level: HitLevel) -> OpClass {

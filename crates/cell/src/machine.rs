@@ -5,7 +5,7 @@ use crate::counters::{CycleBreakdown, OpClass};
 use crate::eib::Eib;
 use crate::hwcache::{HwCache, HwCacheParams};
 use crate::spe::{LocalStore, StorePartition};
-use hera_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite};
+use hera_faults::{FaultInjector, FaultKind, FaultPlan, FaultSite, NUM_SITES};
 use hera_trace::{CostClass, CostVec, DmaTag, InjectedFault, TraceEvent, TraceSink};
 
 /// The two core kinds on the Cell.
@@ -782,6 +782,66 @@ impl CellMachine {
     /// time of a parallel phase.
     pub fn makespan(&self, cores: &[CoreId]) -> u64 {
         cores.iter().map(|&c| self.now(c)).max().unwrap_or(0)
+    }
+
+    // ---- snapshot support -------------------------------------------------
+    //
+    // The accessors below exist solely so `hera-core::snapshot` can capture
+    // and restore the machine exactly. Restores bypass every side effect
+    // (no trace events, no fault accounting): the snapshot already holds
+    // the state those side effects produced.
+
+    /// Per-core clocks, PPE first.
+    pub fn clocks(&self) -> &[u64] {
+        &self.clocks
+    }
+
+    /// Restore per-core clocks. Fails on core-count mismatch.
+    pub fn set_clocks(&mut self, clocks: &[u64]) -> Result<(), &'static str> {
+        if clocks.len() != self.clocks.len() {
+            return Err("core count mismatch (clocks)");
+        }
+        self.clocks.copy_from_slice(clocks);
+        Ok(())
+    }
+
+    /// Per-core cycle breakdowns, PPE first.
+    pub fn breakdowns(&self) -> &[CycleBreakdown] {
+        &self.breakdowns
+    }
+
+    /// Restore per-core cycle breakdowns. Fails on core-count mismatch.
+    pub fn set_breakdowns(&mut self, breakdowns: &[CycleBreakdown]) -> Result<(), &'static str> {
+        if breakdowns.len() != self.breakdowns.len() {
+            return Err("core count mismatch (breakdowns)");
+        }
+        self.breakdowns.copy_from_slice(breakdowns);
+        Ok(())
+    }
+
+    /// Per-core blacklist flags, PPE first.
+    pub fn failed_flags(&self) -> &[bool] {
+        &self.failed
+    }
+
+    /// Restore the blacklist without re-emitting death events or touching
+    /// `fault_stats` (the snapshot carries both already).
+    pub fn set_failed_flags(&mut self, flags: &[bool]) -> Result<(), &'static str> {
+        if flags.len() != self.failed.len() {
+            return Err("core count mismatch (failed flags)");
+        }
+        self.failed.copy_from_slice(flags);
+        Ok(())
+    }
+
+    /// The fault injector's per-`(core, site)` draw counters.
+    pub fn injector_counts(&self) -> &[[u64; NUM_SITES]] {
+        self.injector.counts()
+    }
+
+    /// Restore the fault injector's draw counters.
+    pub fn set_injector_counts(&mut self, counts: &[[u64; NUM_SITES]]) -> Result<(), &'static str> {
+        self.injector.set_counts(counts)
     }
 }
 

@@ -101,6 +101,21 @@ impl LocalStore {
     pub fn size(&self) -> u32 {
         self.bytes.len() as u32
     }
+
+    /// The full raw store contents (snapshot support).
+    pub fn raw(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Overwrite the full store contents from a snapshot. Fails if the
+    /// buffer size does not match this store.
+    pub fn restore_raw(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.len() != self.bytes.len() {
+            return Err("local-store size mismatch");
+        }
+        self.bytes.copy_from_slice(bytes);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub mod interp;
 pub mod monitor;
 pub mod native;
 pub mod policy;
+pub mod snapshot;
 pub mod stats;
 pub mod thread;
 pub mod vm;
@@ -50,6 +51,7 @@ pub mod world;
 
 pub use native::StdNative;
 pub use policy::PlacementPolicy;
+pub use snapshot::{CheckpointBlob, SnapshotInfo};
 pub use stats::RunStats;
 pub use thread::{ThreadId, ThreadState};
 pub use vm::{HeraJvm, RunOutcome, VmConfig, VmError};

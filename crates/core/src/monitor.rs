@@ -11,6 +11,10 @@ use crate::thread::ThreadId;
 use hera_isa::{ObjRef, Trap};
 use std::collections::{HashMap, VecDeque};
 
+/// One monitor record in snapshot form: `(object, owner, recursion
+/// count, waiters in queue order, free_at)`.
+pub type MonitorRow = (ObjRef, Option<ThreadId>, u32, Vec<ThreadId>, u64);
+
 #[derive(Debug, Default)]
 struct MonitorState {
     owner: Option<ThreadId>,
@@ -117,6 +121,47 @@ impl MonitorTable {
                 Ok(None)
             }
         }
+    }
+
+    /// Full monitor state for a snapshot, sorted by object so the
+    /// encoding is deterministic: `(obj, owner, count, waiters, free_at)`.
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(&self) -> Vec<MonitorRow> {
+        let mut rows: Vec<_> = self
+            .monitors
+            .iter()
+            .map(|(&obj, m)| {
+                (
+                    obj,
+                    m.owner,
+                    m.count,
+                    m.waiters.iter().copied().collect(),
+                    m.free_at,
+                )
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0 .0);
+        rows
+    }
+
+    /// Replace the monitor records with state captured by
+    /// [`MonitorTable::export_state`] (counters are restored separately
+    /// by the caller since they are plain pub fields).
+    pub fn import_state(&mut self, rows: Vec<MonitorRow>) {
+        self.monitors = rows
+            .into_iter()
+            .map(|(obj, owner, count, waiters, free_at)| {
+                (
+                    obj,
+                    MonitorState {
+                        owner,
+                        count,
+                        waiters: waiters.into(),
+                        free_at,
+                    },
+                )
+            })
+            .collect();
     }
 
     /// Current owner (test/diagnostic hook).

@@ -2,6 +2,7 @@
 //! verification), and `run()`.
 
 use crate::policy::PlacementPolicy;
+use crate::snapshot::CheckpointBlob;
 use crate::stats::{BusSummary, GcSummary, RunStats};
 use crate::thread::{ThreadId, ThreadState};
 use crate::world::World;
@@ -9,9 +10,11 @@ use hera_cell::{CellConfig, CoreId, CoreKind};
 use hera_isa::{Program, Trap, Value, VerifyError};
 use hera_jit::CompileError;
 use hera_mem::HeapConfig;
+use hera_snap::SnapError;
 use hera_softcache::DataCache;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// VM construction / run errors (guest traps are *not* errors; they are
 /// reported per-thread in the [`RunOutcome`]).
@@ -28,6 +31,16 @@ pub enum VmError {
         /// How many threads were stuck.
         threads: usize,
     },
+    /// A snapshot failed to decode (corrupt, truncated, wrong version,
+    /// or taken under a different program/configuration).
+    Snap(SnapError),
+    /// A scheduled whole-machine crash fired
+    /// ([`hera_cell::FaultPlan::with_machine_crash`]): the run is over,
+    /// recover by restoring the latest on-disk checkpoint.
+    MachineCrash {
+        /// Virtual wall-clock at which the machine died.
+        at_cycle: u64,
+    },
     /// Simulator invariant violation (a bug, not a guest error).
     Internal(String),
 }
@@ -40,6 +53,10 @@ impl fmt::Display for VmError {
             VmError::Compile(e) => write!(f, "compilation failed: {e}"),
             VmError::Deadlock { threads } => {
                 write!(f, "deadlock: {threads} threads blocked forever")
+            }
+            VmError::Snap(e) => write!(f, "snapshot error: {e}"),
+            VmError::MachineCrash { at_cycle } => {
+                write!(f, "whole-machine crash at cycle {at_cycle}")
             }
             VmError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -77,6 +94,12 @@ pub struct VmConfig {
     /// argues this "presents scalability issues"; enabling the flag
     /// makes that claim measurable (experiment E10).
     pub cellvm_style_sync: bool,
+    /// Take a whole-VM checkpoint at the first scheduler safepoint at or
+    /// after every multiple of this many virtual cycles (`None` = never).
+    /// Checkpoint writes charge real virtual cycles to the PPE, so runs
+    /// with and without checkpointing have different timings — but a
+    /// restored run is bit-identical to the checkpointed run it came from.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for VmConfig {
@@ -92,6 +115,7 @@ impl Default for VmConfig {
             array_block_bytes: DataCache::DEFAULT_ARRAY_BLOCK,
             verify: true,
             cellvm_style_sync: false,
+            checkpoint_every: None,
         }
     }
 }
@@ -145,6 +169,14 @@ impl VmConfig {
         self.cell.profiling = true;
         self
     }
+
+    /// Checkpoint the whole VM roughly every `cycles` virtual cycles
+    /// (at the first scheduler safepoint past each deadline). See
+    /// [`VmConfig::checkpoint_every`].
+    pub fn with_checkpoint_every(mut self, cycles: u64) -> VmConfig {
+        self.checkpoint_every = Some(cycles.max(1));
+        self
+    }
 }
 
 /// The result of one complete run.
@@ -167,6 +199,12 @@ pub struct RunOutcome {
     /// The per-method cost profile (`None` unless the run used
     /// [`VmConfig::with_profiling`]).
     pub profile: Option<hera_prof::Profile>,
+    /// Digest of the final heap image — a cheap end-state equality check
+    /// for restore/differential tests.
+    pub heap_digest: u64,
+    /// Every checkpoint taken during the run (empty unless the run used
+    /// [`VmConfig::with_checkpoint_every`]).
+    pub checkpoints: Vec<CheckpointBlob>,
 }
 
 impl RunOutcome {
@@ -185,6 +223,7 @@ impl RunOutcome {
 pub struct HeraJvm {
     program: Program,
     config: VmConfig,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl HeraJvm {
@@ -196,7 +235,20 @@ impl HeraJvm {
         if config.verify {
             hera_isa::verify_program(&program).map_err(VmError::Verify)?;
         }
-        Ok(HeraJvm { program, config })
+        Ok(HeraJvm {
+            program,
+            config,
+            checkpoint_dir: None,
+        })
+    }
+
+    /// Also write each checkpoint to `<dir>/snap-<seq>.hsnap`, so
+    /// checkpoints survive a whole-machine crash that aborts the run
+    /// (and with it the in-memory [`RunOutcome::checkpoints`]). The
+    /// directory must already exist.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> HeraJvm {
+        self.checkpoint_dir = Some(dir.into());
+        self
     }
 
     /// The program under execution.
@@ -211,19 +263,53 @@ impl HeraJvm {
 
     /// Run the program to completion (all threads).
     pub fn run(&self) -> Result<RunOutcome, VmError> {
+        self.run_with(None)
+    }
+
+    /// Resume from a snapshot file written by a previous checkpointed
+    /// run of the *same* program under the *same* configuration.
+    pub fn restore(&self, path: &Path) -> Result<RunOutcome, VmError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| VmError::Snap(SnapError::Io(format!("{}: {e}", path.display()))))?;
+        self.run_with(Some(&bytes))
+    }
+
+    /// Resume from in-memory snapshot bytes (see [`HeraJvm::restore`]).
+    pub fn restore_bytes(&self, snapshot: &[u8]) -> Result<RunOutcome, VmError> {
+        self.run_with(Some(snapshot))
+    }
+
+    /// Run to completion, either from scratch (`None`) or resuming from
+    /// a snapshot. A resumed run's subsequent trace events and per-core
+    /// cycle counts are bit-identical to the uninterrupted run's.
+    pub fn run_with(&self, snapshot: Option<&[u8]>) -> Result<RunOutcome, VmError> {
         let entry = self.program.entry.ok_or(VmError::NoEntryPoint)?;
         let mut world = World::new(&self.program, self.config);
+        world.checkpoint_dir = self.checkpoint_dir.clone();
 
-        // Place the main thread per policy.
-        let (kind, spe_hint) = self
-            .config
-            .policy
-            .initial_core_kind(0, self.config.cell.num_spes);
-        let core = match kind {
-            CoreKind::Ppe => CoreId::Ppe,
-            CoreKind::Spe => CoreId::Spe(spe_hint),
-        };
-        world.spawn_thread(entry, Vec::new(), core, 0);
+        match snapshot {
+            None => {
+                // Place the main thread per policy.
+                let (kind, spe_hint) = self
+                    .config
+                    .policy
+                    .initial_core_kind(0, self.config.cell.num_spes);
+                let core = match kind {
+                    CoreKind::Ppe => CoreId::Ppe,
+                    CoreKind::Spe => CoreId::Spe(spe_hint),
+                };
+                world.spawn_thread(entry, Vec::new(), core, 0);
+            }
+            Some(bytes) => {
+                let seq =
+                    crate::snapshot::restore_into(&mut world, bytes).map_err(VmError::Snap)?;
+                // Observability only: mark the resumption point in the
+                // trace. Restore charges no virtual cycles.
+                world
+                    .machine
+                    .emit(CoreId::Ppe, hera_trace::TraceEvent::Restore { seq });
+            }
+        }
         world.run_to_completion()?;
 
         // Sweep any cycles charged after the last quantum (final GC,
@@ -262,6 +348,7 @@ impl HeraJvm {
                 trace.metrics.set(name, v);
             }
         }
+        let heap_digest = hera_snap::digest64(world.heap.raw());
         Ok(RunOutcome {
             result,
             output: world.output.clone(),
@@ -270,6 +357,8 @@ impl HeraJvm {
             stats,
             trace,
             profile,
+            heap_digest,
+            checkpoints: std::mem::take(&mut world.checkpoints),
         })
     }
 

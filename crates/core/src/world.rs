@@ -10,6 +10,7 @@
 
 use crate::monitor::MonitorTable;
 use crate::policy::PlacementPolicy;
+use crate::snapshot::CheckpointBlob;
 use crate::thread::{BlockReason, FrameKind, JavaThread, ThreadId, ThreadState};
 use crate::vm::{VmConfig, VmError};
 use hera_cell::{CellMachine, CoreId, CoreKind, OpClass};
@@ -18,6 +19,15 @@ use hera_jit::MethodRegistry;
 use hera_mem::{Collector, Heap, ProgramLayout};
 use hera_softcache::{CodeCache, DataCache};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+
+/// Fixed virtual cycles charged to the PPE for initiating a checkpoint
+/// write (quiescing the machine, writing the header).
+const CHECKPOINT_BASE_CYCLES: u64 = 2_000;
+/// Checkpoint payload streaming rate: one PPE cycle per this many bytes.
+/// Only the CORE section counts — observability payload is free, so
+/// enabling tracing/profiling never perturbs virtual time.
+const CHECKPOINT_BYTES_PER_CYCLE: u64 = 16;
 
 /// Result of one scheduling quantum.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -80,9 +90,20 @@ pub struct World<'p> {
     /// GC statistics.
     pub gc: GcDriverStats,
     /// Last thread that ran on each core (for context-switch costs).
-    last_on_core: Vec<Option<ThreadId>>,
+    pub(crate) last_on_core: Vec<Option<ThreadId>>,
     /// Context switches performed.
     pub thread_switches: u64,
+    /// Virtual time of the next scheduled checkpoint, when
+    /// `VmConfig::with_checkpoint_every` is set.
+    pub(crate) next_checkpoint_at: Option<u64>,
+    /// Sequence number of the last checkpoint taken (0 = none yet).
+    pub(crate) checkpoint_seq: u32,
+    /// Every checkpoint taken during this run, in order.
+    pub checkpoints: Vec<CheckpointBlob>,
+    /// When set, each checkpoint is also written to
+    /// `<dir>/snap-<seq>.hsnap` (so checkpoints survive a machine crash
+    /// that aborts the run and drops the in-memory world).
+    pub checkpoint_dir: Option<PathBuf>,
     /// Per-method cost attribution (hera-prof), present when
     /// `VmConfig::with_profiling` was set. The machine accumulates charged
     /// cycles per core; the hooks below drain them to the active shadow
@@ -120,6 +141,10 @@ impl<'p> World<'p> {
             gc: GcDriverStats::default(),
             last_on_core: vec![None; cores],
             thread_switches: 0,
+            next_checkpoint_at: config.checkpoint_every.map(|e| e.max(1)),
+            checkpoint_seq: 0,
+            checkpoints: Vec::new(),
+            checkpoint_dir: None,
             profiler: config.cell.profiling.then(hera_prof::Profiler::new),
             config,
         }
@@ -531,6 +556,101 @@ impl<'p> World<'p> {
         Ok(())
     }
 
+    // ---- checkpoints & machine crash ----
+
+    /// Scheduler-safepoint services, run at the top of every scheduling
+    /// iteration (before quantum dispatch): no thread is mid-op, all
+    /// profiler pending cycles are drained, every frame is scannable —
+    /// exactly the state a snapshot can capture and a restore can rebuild.
+    ///
+    /// Order matters: the checkpoint fires *before* the machine-crash
+    /// check, so a run crashing at cycle N still has every checkpoint due
+    /// at or before N on disk to recover from.
+    fn safepoint_services(&mut self) -> Result<(), VmError> {
+        let crash = self.config.cell.faults.machine_crash_at;
+        if self.next_checkpoint_at.is_none() && crash.is_none() {
+            return Ok(());
+        }
+        let now = self.machine.makespan(&self.machine.cores());
+        if let Some(at) = self.next_checkpoint_at {
+            if now >= at {
+                self.take_checkpoint(now)?;
+            }
+        }
+        if let Some(at) = crash {
+            // A whole-machine crash is a hard stop: no cost is charged and
+            // no state is mutated, so the crashed run's history is a strict
+            // prefix of the uninterrupted run's.
+            let now = self.machine.makespan(&self.machine.cores());
+            if now >= at {
+                return Err(VmError::MachineCrash { at_cycle: now });
+            }
+        }
+        Ok(())
+    }
+
+    /// Take one scheduled checkpoint at virtual time `now`.
+    ///
+    /// The write cost is derived from the *pre-stall* CORE encoding
+    /// length and charged to the PPE as main-memory stall; the snapshot
+    /// is then re-encoded post-stall so it captures the charged clocks.
+    /// All integers are fixed-width, so both encodings have identical
+    /// lengths and the cost is well-defined (no circularity). The
+    /// schedule is advanced *before* encoding so a restored run never
+    /// re-takes (or re-charges) the checkpoint it was restored from.
+    fn take_checkpoint(&mut self, now: u64) -> Result<(), VmError> {
+        self.checkpoint_seq += 1;
+        let seq = self.checkpoint_seq;
+        if let (Some(next), Some(every)) = (self.next_checkpoint_at, self.config.checkpoint_every) {
+            let every = every.max(1);
+            let mut next = next;
+            while next <= now {
+                next += every;
+            }
+            self.next_checkpoint_at = Some(next);
+        }
+        let core_len = crate::snapshot::encode_core(self).len() as u64;
+        let cost = CHECKPOINT_BASE_CYCLES + core_len / CHECKPOINT_BYTES_PER_CYCLE;
+        self.machine.stall(CoreId::Ppe, cost, OpClass::MainMemory);
+        // Checkpoint writing is runtime work; drain it to the `(runtime)`
+        // profile root now so the snapshot sees no pending cycles.
+        self.prof_flush_to_runtime();
+        self.machine.emit(
+            CoreId::Ppe,
+            hera_trace::TraceEvent::Checkpoint {
+                seq,
+                bytes: core_len as u32,
+            },
+        );
+        if self.machine.trace.is_enabled() {
+            self.machine.trace.metrics.add("snap.checkpoints", 1);
+            self.machine
+                .trace
+                .metrics
+                .add("snap.bytes_written", core_len);
+            self.machine.trace.metrics.add("snap.write_cycles", cost);
+        }
+        let bytes = crate::snapshot::encode(self);
+        if let Some(dir) = &self.checkpoint_dir {
+            let path = dir.join(format!("snap-{seq:04}.hsnap"));
+            std::fs::write(&path, &bytes)
+                .map_err(|e| VmError::Internal(format!("write checkpoint {path:?}: {e}")))?;
+        }
+        self.checkpoints.push(CheckpointBlob {
+            seq,
+            at_cycle: now,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Encode a snapshot of the current state *without* charging any
+    /// virtual cycles, advancing the checkpoint schedule, or emitting
+    /// events (test/diagnostic hook; also the format-golden fixture).
+    pub fn checkpoint_now(&self) -> Vec<u8> {
+        crate::snapshot::encode(self)
+    }
+
     // ---- the scheduler ----
 
     /// Pick the next (core, thread) pair: the queued thread with the
@@ -556,6 +676,7 @@ impl<'p> World<'p> {
     /// result.
     pub fn run_to_completion(&mut self) -> Result<(), VmError> {
         loop {
+            self.safepoint_services()?;
             self.check_spe_deaths()?;
             let Some((core, tid)) = self.pick_next() else {
                 // Nothing queued: either done, or deadlocked.

@@ -143,6 +143,12 @@ pub struct FaultPlan {
     pub watchdog_cycles: u32,
     /// Scheduled hard SPE deaths (fixed-size to stay `Copy`).
     pub spe_deaths: [Option<SpeDeath>; MAX_DEATHS],
+    /// Scheduled whole-machine crash: the run aborts at the first scheduler
+    /// safepoint whose makespan reaches this virtual cycle. Unlike the per
+    /// SPE deaths, this is an engine-level kill switch for checkpoint
+    /// recovery drills — it injects no cost and perturbs nothing before the
+    /// crash point, so a crashed run is a prefix of the uninterrupted run.
+    pub machine_crash_at: Option<u64>,
 }
 
 impl FaultPlan {
@@ -196,6 +202,13 @@ impl FaultPlan {
             .find(|s| s.is_none())
             .expect("FaultPlan supports at most MAX_DEATHS scheduled deaths");
         *slot = Some(SpeDeath { spe, at_cycle });
+        self
+    }
+
+    /// Schedule a whole-machine crash at the first safepoint whose makespan
+    /// reaches `at_cycle`.
+    pub fn with_machine_crash(mut self, at_cycle: u64) -> Self {
+        self.machine_crash_at = Some(at_cycle);
         self
     }
 
@@ -312,6 +325,22 @@ impl FaultInjector {
     /// cycles, capped at 16 doublings to avoid shift overflow.
     pub fn backoff_cycles(&self, attempt: u32) -> u64 {
         (self.plan.backoff_base_cycles as u64) << attempt.min(16)
+    }
+
+    /// The per-`(core, site)` draw counters, PPE first. Snapshot support:
+    /// restoring these puts every fault stream back at its exact position.
+    pub fn counts(&self) -> &[[u64; NUM_SITES]] {
+        &self.counts
+    }
+
+    /// Restore the draw counters captured by [`FaultInjector::counts`].
+    /// Fails if the core count does not match this machine.
+    pub fn set_counts(&mut self, counts: &[[u64; NUM_SITES]]) -> Result<(), &'static str> {
+        if counts.len() != self.counts.len() {
+            return Err("fault-injector counter stream count mismatch");
+        }
+        self.counts.copy_from_slice(counts);
+        Ok(())
     }
 
     /// The scheduled death cycle for SPE `spe`, if any (earliest wins).

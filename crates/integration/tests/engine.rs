@@ -614,3 +614,234 @@ fn inert_fault_plan_matches_committed_goldens() {
     );
     assert!(!out.stats.faults.any());
 }
+
+// ---------------------------------------------------------------------
+// Differential restore grid for hera-snap.
+//
+// Resuming from a checkpoint must be *invisible*: the restored run's
+// trace suffix, per-core cycle counts, RunStats, result, output, and
+// final heap image must all be bit-identical to the same stretch of the
+// uninterrupted run — for every workload, every core configuration, and
+// with an actively-firing fault plan.
+
+/// Scale for the restore grid: large enough for several checkpoints,
+/// small enough to keep the 18-cell grid affordable.
+const RESTORE_SCALE: f64 = 0.2;
+
+/// Run one grid cell: probe for the wall clock, re-run traced with
+/// checkpoints at ~1/3 intervals, then restore from *every* checkpoint
+/// and require bit-identity with the uninterrupted run's suffix.
+fn check_restore_cell(
+    w: hera_workloads::Workload,
+    label: &str,
+    threads: u32,
+    cfg: VmConfig,
+    plan: Option<hera_cell::FaultPlan>,
+) {
+    use hera_trace::{TimedEvent, TraceEvent};
+
+    let apply = |c: VmConfig| match plan {
+        Some(p) => c.with_faults(p),
+        None => c,
+    };
+    let (program, expected) = w.build(threads, RESTORE_SCALE);
+
+    // Probe: wall clock of the (possibly faulted) run, unobserved.
+    let probe = HeraJvm::new(program.clone(), apply(cfg))
+        .expect("probe constructs")
+        .run()
+        .expect("probe runs");
+    assert_eq!(
+        probe.result,
+        Some(Value::I32(expected)),
+        "{label}: probe checksum"
+    );
+    let every = (probe.stats.wall_cycles / 3).max(10_000);
+
+    let vm = HeraJvm::new(
+        program,
+        apply(cfg).with_tracing().with_checkpoint_every(every),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    assert_eq!(full.result, Some(Value::I32(expected)), "{label}: checksum");
+    assert!(
+        !full.checkpoints.is_empty(),
+        "{label}: no checkpoints taken"
+    );
+
+    for (k, blob) in full.checkpoints.iter().enumerate() {
+        let tag = format!("{label} seq {}", blob.seq);
+        let restored = vm
+            .restore_bytes(&blob.bytes)
+            .unwrap_or_else(|e| panic!("{tag}: restore failed: {e}"));
+
+        assert_eq!(full.result, restored.result, "{tag}: result diverged");
+        assert_eq!(full.traps, restored.traps, "{tag}: traps diverged");
+        assert_eq!(full.output, restored.output, "{tag}: output diverged");
+        assert_eq!(
+            full.heap_digest, restored.heap_digest,
+            "{tag}: final heap image diverged"
+        );
+        assert_eq!(
+            full.stats.per_core_cycles, restored.stats.per_core_cycles,
+            "{tag}: per-core cycle counts diverged"
+        );
+        assert_eq!(
+            format!("{:?}", full.stats),
+            format!("{:?}", restored.stats),
+            "{tag}: RunStats diverged"
+        );
+        assert_eq!(
+            full.trace.metrics, restored.trace.metrics,
+            "{tag}: final metrics diverged"
+        );
+
+        // Trace suffix equality, lane by lane. The restored run emits
+        // one extra `Restore` marker at the head of the PPE lane.
+        for (i, (fl, rl)) in full
+            .trace
+            .lanes()
+            .iter()
+            .zip(restored.trace.lanes())
+            .enumerate()
+        {
+            let r_events: &[TimedEvent] = if i == 0 {
+                assert!(
+                    matches!(
+                        rl.events.first(),
+                        Some(TimedEvent {
+                            event: TraceEvent::Restore { .. },
+                            ..
+                        })
+                    ),
+                    "{tag}: PPE lane must lead with the Restore marker"
+                );
+                &rl.events[1..]
+            } else {
+                &rl.events
+            };
+            assert!(
+                r_events.len() <= fl.events.len(),
+                "{tag} lane {i}: restored run emitted extra events"
+            );
+            let tail = &fl.events[fl.events.len() - r_events.len()..];
+            assert_eq!(
+                r_events, tail,
+                "{tag} lane {i}: trace suffix not byte-identical"
+            );
+        }
+
+        // Every later checkpoint must be re-taken byte-identically.
+        assert_eq!(
+            restored.checkpoints.len(),
+            full.checkpoints.len() - 1 - k,
+            "{tag}: resumed run re-took a different number of checkpoints"
+        );
+        for (f, r) in full.checkpoints[k + 1..].iter().zip(&restored.checkpoints) {
+            assert_eq!(
+                f.bytes, r.bytes,
+                "{tag}: later checkpoint {} not byte-identical",
+                f.seq
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_is_bit_identical_for_every_workload_and_core_config() {
+    use hera_bench::{ppe_config, spe_config};
+    for w in hera_workloads::Workload::ALL {
+        for (name, threads, cfg) in [
+            ("ppe", 1, ppe_config()),
+            ("spe1", 1, spe_config(1)),
+            ("spe6", 6, spe_config(6)),
+        ] {
+            check_restore_cell(w, &format!("{}/{name}", w.name()), threads, cfg, None);
+        }
+    }
+}
+
+/// The same grid with a hot fault plan: MFC transfer faults, proxy and
+/// migration watchdog timeouts, and (on 6 SPEs) a scheduled core death
+/// placed mid-run so some checkpoints precede it and some follow it.
+/// The injector's per-site counter streams are part of the snapshot, so
+/// a restored run must replay the *same* faults at the same points.
+#[test]
+fn restore_is_bit_identical_under_active_fault_plans() {
+    use hera_bench::{ppe_config, spe_config};
+    let base_plan = hera_cell::FaultPlan::seeded(0xFEED_FACE)
+        .with_mfc_faults(400, 250, 150)
+        .with_proxy_faults(500)
+        .with_migration_faults(500);
+    for w in hera_workloads::Workload::ALL {
+        for (name, threads, cfg) in [
+            ("ppe", 1, ppe_config()),
+            ("spe1", 1, spe_config(1)),
+            ("spe6", 6, spe_config(6)),
+        ] {
+            let plan = if name == "spe6" {
+                // Kill SPE 2 roughly mid-run (clock from a quick probe
+                // of the death-free faulted run).
+                let (program, _) = w.build(threads, RESTORE_SCALE);
+                let wall = HeraJvm::new(program, cfg.with_faults(base_plan))
+                    .expect("constructs")
+                    .run()
+                    .expect("runs")
+                    .stats
+                    .wall_cycles;
+                base_plan.with_spe_death(2, wall / 2)
+            } else {
+                base_plan
+            };
+            check_restore_cell(
+                w,
+                &format!("{}/{name}+faults", w.name()),
+                threads,
+                cfg,
+                Some(plan),
+            );
+        }
+    }
+}
+
+/// Profiling across a restore: the shadow stacks are part of the
+/// snapshot, so a resumed profiled run must produce the exact profile
+/// of the uninterrupted run.
+#[test]
+fn restore_preserves_profiles_bit_identically() {
+    use hera_bench::spe_config;
+    let w = hera_workloads::Workload::Compress;
+    let (program, expected) = w.build(6, RESTORE_SCALE);
+    let probe = HeraJvm::new(program.clone(), spe_config(6))
+        .expect("constructs")
+        .run()
+        .expect("runs");
+    let every = (probe.stats.wall_cycles / 2).max(10_000);
+    let vm = HeraJvm::new(
+        program,
+        spe_config(6).with_profiling().with_checkpoint_every(every),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    assert_eq!(full.result, Some(Value::I32(expected)));
+    let full_prof = full.profile.as_ref().expect("profiled run");
+    assert!(!full.checkpoints.is_empty());
+    let resolve = |m: u32| format!("m{m}");
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        let prof = restored.profile.as_ref().expect("profile survives restore");
+        assert_eq!(
+            full_prof.collapsed(&resolve),
+            prof.collapsed(&resolve),
+            "seq {}: collapsed profile diverged across restore",
+            blob.seq
+        );
+        assert_eq!(
+            format!("{:?}", full.stats),
+            format!("{:?}", restored.stats),
+            "seq {}: RunStats diverged",
+            blob.seq
+        );
+    }
+}

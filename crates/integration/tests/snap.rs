@@ -1,0 +1,703 @@
+//! hera-snap end-to-end: whole-VM checkpoint/restore determinism,
+//! corrupted-snapshot hardening, and the allocation edge cases the
+//! snapshot must carry faithfully (cache bypasses, OOM traps).
+
+use hera_core::{HeraJvm, RunOutcome, VmConfig, VmError};
+use hera_frontend::*;
+use hera_isa::{ElemTy, ProgramBuilder, Trap, Ty, Value};
+use hera_snap::SnapError;
+
+/// A one-class program with a single static `main`.
+fn main_program(ret: Option<Ty>, body: Vec<Stmt>) -> hera_isa::Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let main = declare_static(&mut pb, c, "main", vec![], ret);
+    define(&mut pb, main, vec![], body).expect("main should compile");
+    pb.finish_with_entry("Main", "main")
+        .expect("program resolves")
+}
+
+/// A loop long enough to cross several checkpoint intervals: a mixing
+/// hash over an array, so the heap content is non-trivial too.
+fn mixing_program(iters: i32) -> hera_isa::Program {
+    main_program(
+        Some(Ty::Int),
+        vec![
+            Stmt::Let("a".into(), new_array(ElemTy::Int, i32c(256))),
+            Stmt::Let("acc".into(), i32c(1)),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(iters),
+                vec![
+                    Stmt::Assign("acc".into(), bxor(mul(local("acc"), i32c(31)), local("i"))),
+                    Stmt::SetIndex(local("a"), rem(local("i"), i32c(256)), local("acc")),
+                ],
+            ),
+            Stmt::Return(Some(add(local("acc"), index(local("a"), i32c(7))))),
+        ],
+    )
+}
+
+/// A small-footprint config so snapshots stay a few KiB: tiny heap and
+/// caches, one SPE.
+fn tiny_spe_config() -> VmConfig {
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(8 << 10, 8 << 10);
+    cfg.heap.size_bytes = 128 << 10;
+    cfg
+}
+
+/// Assert two outcomes are observationally identical (everything the
+/// paper's determinism claim covers: result, traps, output, stats,
+/// final heap image).
+fn assert_same_outcome(full: &RunOutcome, restored: &RunOutcome, what: &str) {
+    assert_eq!(full.result, restored.result, "{what}: result diverged");
+    assert_eq!(full.traps, restored.traps, "{what}: traps diverged");
+    assert_eq!(full.output, restored.output, "{what}: output diverged");
+    assert_eq!(
+        full.heap_digest, restored.heap_digest,
+        "{what}: final heap image diverged"
+    );
+    assert_eq!(
+        format!("{:?}", full.stats),
+        format!("{:?}", restored.stats),
+        "{what}: RunStats diverged"
+    );
+}
+
+#[test]
+fn checkpoint_restore_round_trip_on_spe() {
+    let vm = HeraJvm::new(
+        mixing_program(60_000),
+        tiny_spe_config().with_checkpoint_every(400_000),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.is_clean(), "traps: {:?}", full.traps);
+    assert!(
+        full.checkpoints.len() >= 2,
+        "expected several checkpoints, got {}",
+        full.checkpoints.len()
+    );
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, &format!("restore from seq {}", blob.seq));
+    }
+}
+
+#[test]
+fn checkpoint_restore_round_trip_on_ppe() {
+    let mut cfg = VmConfig::pinned_ppe().with_checkpoint_every(300_000);
+    cfg.heap.size_bytes = 128 << 10;
+    let vm = HeraJvm::new(mixing_program(40_000), cfg).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(!full.checkpoints.is_empty());
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, &format!("restore from seq {}", blob.seq));
+    }
+}
+
+/// A resumed run must re-take exactly the checkpoints the full run took
+/// after the restore point — byte-identical blobs, so a chain of
+/// crash/restore cycles can always be stitched back together.
+#[test]
+fn resumed_runs_take_byte_identical_later_checkpoints() {
+    let vm = HeraJvm::new(
+        mixing_program(60_000),
+        tiny_spe_config().with_checkpoint_every(400_000),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.checkpoints.len() >= 2);
+    let first = &full.checkpoints[0];
+    let restored = vm.restore_bytes(&first.bytes).expect("restore succeeds");
+    assert_eq!(
+        restored.checkpoints.len(),
+        full.checkpoints.len() - 1,
+        "resumed run should re-take every later checkpoint"
+    );
+    for (f, r) in full.checkpoints[1..].iter().zip(&restored.checkpoints) {
+        assert_eq!(f.seq, r.seq);
+        assert_eq!(f.at_cycle, r.at_cycle);
+        assert_eq!(
+            f.bytes, r.bytes,
+            "checkpoint {} of the resumed run is not byte-identical",
+            f.seq
+        );
+    }
+}
+
+#[test]
+fn snapshot_header_inspection() {
+    let vm = HeraJvm::new(
+        mixing_program(30_000),
+        tiny_spe_config().with_checkpoint_every(400_000),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    let blob = &full.checkpoints[0];
+    let info = hera_core::snapshot::inspect(&blob.bytes).expect("inspects");
+    assert_eq!(info.seq, blob.seq);
+    assert!(info.wall_cycles >= blob.at_cycle);
+    assert!(info.core_len > 0 && info.payload_len > info.core_len as usize);
+}
+
+// ------------------------------------------------------------ disk I/O
+
+#[test]
+fn checkpoints_write_to_disk_and_restore_from_path() {
+    let dir = std::path::PathBuf::from(format!("target/snap-test-{}-disk", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let vm = HeraJvm::new(
+        mixing_program(60_000),
+        tiny_spe_config().with_checkpoint_every(400_000),
+    )
+    .expect("constructs")
+    .with_checkpoint_dir(&dir);
+    let full = vm.run().expect("runs");
+    assert!(full.checkpoints.len() >= 2);
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("readdir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    files.sort();
+    assert_eq!(
+        files.len(),
+        full.checkpoints.len(),
+        "one .hsnap file per checkpoint"
+    );
+    for (path, blob) in files.iter().zip(&full.checkpoints) {
+        assert_eq!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("hsnap"),
+            "unexpected file {path:?}"
+        );
+        let on_disk = std::fs::read(path).expect("read snapshot");
+        assert_eq!(on_disk, blob.bytes, "disk blob differs from in-memory blob");
+    }
+    let restored = vm.restore(&files[0]).expect("restore from path");
+    assert_same_outcome(&full, &restored, "restore from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- whole-machine crash
+
+/// A scheduled whole-machine crash aborts the run with a typed error —
+/// and because checkpoints hit the disk *before* the crash check fires,
+/// the latest on-disk snapshot always allows recovery to the exact
+/// uninterrupted outcome.
+#[test]
+fn machine_crash_then_recover_from_latest_disk_checkpoint() {
+    let dir = std::path::PathBuf::from(format!("target/snap-test-{}-crash", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Uninterrupted reference (same checkpointing config, no crash).
+    let program = mixing_program(60_000);
+    let cfg = tiny_spe_config().with_checkpoint_every(300_000);
+    let vm = HeraJvm::new(program.clone(), cfg).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.checkpoints.len() >= 2);
+    let crash_at = full.checkpoints[1].at_cycle + 10_000;
+
+    // Crashing run: dies mid-flight, leaving snapshots on disk.
+    let crash_cfg = tiny_spe_config()
+        .with_checkpoint_every(300_000)
+        .with_faults(hera_cell::FaultPlan::default().with_machine_crash(crash_at));
+    let crash_vm = HeraJvm::new(program, crash_cfg)
+        .expect("constructs")
+        .with_checkpoint_dir(&dir);
+    match crash_vm.run() {
+        Err(VmError::MachineCrash { at_cycle }) => assert!(at_cycle >= crash_at),
+        other => panic!("expected a machine crash, got {other:?}"),
+    }
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("readdir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 2,
+        "checkpoints before the crash must be on disk"
+    );
+
+    // Restoring with the crash still scheduled faithfully re-crashes —
+    // the crash is machine state, not snapshot state.
+    assert!(matches!(
+        crash_vm.restore(files.last().expect("non-empty")),
+        Err(VmError::MachineCrash { .. })
+    ));
+
+    // Recover with the same VM config minus the crash (the config
+    // digest deliberately ignores the crash plan so this is legal).
+    let recovered = vm
+        .restore(files.last().expect("non-empty"))
+        .expect("recovery restore succeeds");
+    assert_same_outcome(&full, &recovered, "crash recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- corruption hardening
+
+fn small_snapshot() -> (HeraJvm, Vec<u8>) {
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(4 << 10, 4 << 10);
+    cfg.heap.size_bytes = 32 << 10;
+    let vm = HeraJvm::new(mixing_program(8_000), cfg.with_checkpoint_every(200_000))
+        .expect("constructs");
+    let full = vm.run().expect("runs");
+    let blob = full.checkpoints.first().expect("at least one checkpoint");
+    (vm, blob.bytes.clone())
+}
+
+/// Every single-bit flip anywhere in a snapshot must be rejected with a
+/// typed error — never a panic, never a silently wrong resume. Header
+/// flips hit the explicit magic/version/flags/length checks; payload
+/// flips are guaranteed caught by CRC-32 (which detects all single-bit
+/// errors).
+#[test]
+fn single_bit_flip_sweep_rejects_every_corruption() {
+    let (vm, bytes) = small_snapshot();
+    assert!(
+        bytes.len() < 64 << 10,
+        "sweep blob unexpectedly large ({} bytes) — test would crawl",
+        bytes.len()
+    );
+    let mut rejected = 0u64;
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            match vm.restore_bytes(&corrupt) {
+                Err(VmError::Snap(_)) => rejected += 1,
+                Err(other) => panic!("bit {bit} of byte {byte}: wrong error kind {other:?}"),
+                Ok(_) => panic!("bit {bit} of byte {byte}: corrupted snapshot restored!"),
+            }
+        }
+    }
+    assert_eq!(rejected, (bytes.len() * 8) as u64);
+}
+
+#[test]
+fn truncated_snapshots_are_rejected() {
+    let (vm, bytes) = small_snapshot();
+    // Every interesting prefix: empty, partial header, exact header,
+    // partial payload, all-but-one byte.
+    let cuts = [0, 1, 7, 8, 12, 16, 27, 28, bytes.len() / 2, bytes.len() - 1];
+    for &cut in &cuts {
+        match vm.restore_bytes(&bytes[..cut]) {
+            Err(VmError::Snap(e)) => {
+                assert!(
+                    matches!(
+                        e,
+                        SnapError::Truncated { .. } | SnapError::LengthMismatch { .. }
+                    ),
+                    "cut at {cut}: unexpected variant {e:?}"
+                );
+            }
+            other => panic!("cut at {cut}: expected typed rejection, got {other:?}"),
+        }
+    }
+    // Trailing garbage is equally fatal: the header's declared payload
+    // length no longer matches.
+    let mut padded = bytes.clone();
+    padded.push(0xAB);
+    assert!(matches!(
+        vm.restore_bytes(&padded),
+        Err(VmError::Snap(SnapError::LengthMismatch { .. }))
+    ));
+}
+
+#[test]
+fn bad_magic_version_and_flags_are_typed_errors() {
+    let (vm, bytes) = small_snapshot();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        vm.restore_bytes(&bad_magic),
+        Err(VmError::Snap(SnapError::BadMagic))
+    ));
+
+    let mut bad_version = bytes.clone();
+    bad_version[8] = 0xFF; // version u32 LE at offset 8
+    match vm.restore_bytes(&bad_version) {
+        Err(VmError::Snap(SnapError::BadVersion { found, expected })) => {
+            assert_eq!(expected, hera_snap::FORMAT_VERSION);
+            assert_ne!(found, expected);
+        }
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+
+    let mut bad_flags = bytes.clone();
+    bad_flags[12] = 0x01; // flags u32 LE at offset 12
+    assert!(matches!(
+        vm.restore_bytes(&bad_flags),
+        Err(VmError::Snap(SnapError::BadFlags(1)))
+    ));
+}
+
+/// A structurally valid snapshot from a *different* machine or program
+/// must be refused up front (digest check), not half-applied.
+#[test]
+fn restore_rejects_config_or_program_mismatch() {
+    let (_, bytes) = small_snapshot();
+
+    // Same program, different machine shape.
+    let mut other_cfg = VmConfig::pinned_spe(2).with_cache_sizes(4 << 10, 4 << 10);
+    other_cfg.heap.size_bytes = 32 << 10;
+    let other_vm = HeraJvm::new(
+        mixing_program(8_000),
+        other_cfg.with_checkpoint_every(200_000),
+    )
+    .expect("constructs");
+    assert!(
+        matches!(
+            other_vm.restore_bytes(&bytes),
+            Err(VmError::Snap(SnapError::Corrupt(_)))
+        ),
+        "config mismatch must be refused"
+    );
+
+    // Same machine shape, different program.
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(4 << 10, 4 << 10);
+    cfg.heap.size_bytes = 32 << 10;
+    let other_prog_vm = HeraJvm::new(mixing_program(8_001), cfg.with_checkpoint_every(200_000))
+        .expect("constructs");
+    assert!(
+        matches!(
+            other_prog_vm.restore_bytes(&bytes),
+            Err(VmError::Snap(SnapError::Corrupt(_)))
+        ),
+        "program mismatch must be refused"
+    );
+}
+
+// ------------------------------------------------- format-version golden
+
+/// The on-disk format is versioned: any byte-level change to the
+/// encoding must bump `FORMAT_VERSION` (old snapshots are then refused
+/// by the version check instead of misparsed). This golden pins the
+/// byte stream of a fixed run; if it fails without a version bump, the
+/// format changed silently.
+#[test]
+fn format_version_golden() {
+    const GOLDEN_VERSION: u32 = 1;
+    const GOLDEN_DIGEST: u64 = 0xff25_dd19_d629_ace4;
+    assert_eq!(
+        hera_snap::FORMAT_VERSION,
+        GOLDEN_VERSION,
+        "FORMAT_VERSION changed — re-pin GOLDEN_DIGEST from the printout below"
+    );
+    let (_, bytes) = small_snapshot();
+    let digest = hera_snap::digest64(&bytes);
+    assert_eq!(
+        digest,
+        GOLDEN_DIGEST,
+        "snapshot byte stream changed without a FORMAT_VERSION bump \
+         (actual digest: {digest:#018x}, {} bytes)",
+        bytes.len()
+    );
+}
+
+// ----------------------------------- cache-bypass paths under snapshot
+
+/// A method bigger than the whole code cache can never be resident; the
+/// cache serves it in bypass mode. The bypass path must behave
+/// identically live and across a restore.
+#[test]
+fn oversized_method_bypasses_code_cache_live_and_across_restore() {
+    // A straight-line method large enough to out-size a 2 KiB code
+    // cache once compiled.
+    let mut body = vec![Stmt::Let("acc".into(), i32c(1))];
+    for k in 0..400 {
+        body.push(Stmt::Assign(
+            "acc".into(),
+            bxor(mul(local("acc"), i32c(31)), i32c(k)),
+        ));
+    }
+    body.push(Stmt::Return(Some(local("acc"))));
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let big = declare_static(&mut pb, c, "big", vec![], Some(Ty::Int));
+    define(&mut pb, big, vec![], body).expect("big compiles");
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("s".into(), i32c(0)),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(200),
+                vec![Stmt::Assign("s".into(), add(local("s"), call(big, vec![])))],
+            ),
+            Stmt::Return(Some(local("s"))),
+        ],
+    )
+    .expect("main compiles");
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(8 << 10, 2 << 10);
+    cfg.heap.size_bytes = 64 << 10;
+    let vm = HeraJvm::new(program, cfg.with_checkpoint_every(200_000)).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.is_clean(), "traps: {:?}", full.traps);
+    assert!(
+        full.stats.code_cache.bypasses > 0,
+        "expected the oversized method to bypass the code cache: {:?}",
+        full.stats.code_cache
+    );
+    assert!(!full.checkpoints.is_empty(), "run took no checkpoints");
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, "oversized-method restore");
+    }
+}
+
+/// A transfer unit bigger than the whole data cache is accessed in
+/// bypass mode (direct main-memory DMA per access) — live and across a
+/// restore. Arrays are cached in `array_block_bytes` units, so an 8 KiB
+/// block against a 4 KiB cache exercises the `align8(len) > capacity`
+/// bypass on every block.
+#[test]
+fn oversized_array_bypasses_data_cache_live_and_across_restore() {
+    let body = vec![
+        Stmt::Let("a".into(), new_array(ElemTy::Int, i32c(4096))),
+        Stmt::Let("s".into(), i32c(0)),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(4096),
+            vec![Stmt::SetIndex(local("a"), local("i"), local("i"))],
+        ),
+        for_range(
+            "j",
+            i32c(0),
+            i32c(4096),
+            vec![Stmt::Assign(
+                "s".into(),
+                add(local("s"), index(local("a"), local("j"))),
+            )],
+        ),
+        Stmt::Return(Some(local("s"))),
+    ];
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(4 << 10, 8 << 10);
+    cfg.heap.size_bytes = 128 << 10;
+    cfg.array_block_bytes = 8 << 10; // unit > cache capacity → bypass
+    let vm = HeraJvm::new(
+        main_program(Some(Ty::Int), body),
+        cfg.with_checkpoint_every(200_000),
+    )
+    .expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.is_clean(), "traps: {:?}", full.traps);
+    assert_eq!(full.result, Some(Value::I32(4096 * 4095 / 2)));
+    assert!(
+        full.stats.data_cache.bypasses > 0,
+        "expected the oversized array to bypass the data cache: {:?}",
+        full.stats.data_cache
+    );
+    assert!(!full.checkpoints.is_empty(), "run took no checkpoints");
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, "oversized-array restore");
+    }
+}
+
+/// Objects are cached whole, so a single object larger than the data
+/// cache bypasses on every field access.
+#[test]
+fn oversized_object_bypasses_data_cache_live_and_across_restore() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("Main", None);
+    let big = pb.add_class("Big", None);
+    // 700 int fields ≈ 2.8 KiB object against a 2 KiB data cache.
+    let first = pb.add_field(big, "f0", Ty::Int);
+    for k in 1..700 {
+        pb.add_field(big, &format!("f{k}"), Ty::Int);
+    }
+    let main = declare_static(&mut pb, c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Let("p".into(), Expr::New(big)),
+            Stmt::Let("s".into(), i32c(0)),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(50),
+                vec![
+                    Stmt::SetField(local("p"), first, local("i")),
+                    Stmt::Assign("s".into(), add(local("s"), field(local("p"), first))),
+                ],
+            ),
+            Stmt::Return(Some(local("s"))),
+        ],
+    )
+    .expect("main compiles");
+    let program = pb.finish_with_entry("Main", "main").unwrap();
+
+    let mut cfg = VmConfig::pinned_spe(1).with_cache_sizes(2 << 10, 8 << 10);
+    cfg.heap.size_bytes = 64 << 10;
+    let vm = HeraJvm::new(program, cfg.with_checkpoint_every(100_000)).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.is_clean(), "traps: {:?}", full.traps);
+    assert_eq!(full.result, Some(Value::I32((0..50).sum())));
+    assert!(
+        full.stats.data_cache.bypasses > 0,
+        "expected the oversized object to bypass the data cache: {:?}",
+        full.stats.data_cache
+    );
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, "oversized-object restore");
+    }
+}
+
+// --------------------------------------------- OOM semantics + snapshot
+
+/// Allocation pressure with *dead* garbage: the allocator must GC and
+/// retry rather than trap, and the checkpointed run restores to the
+/// same outcome.
+#[test]
+fn gc_then_retry_avoids_oom_and_survives_restore() {
+    let body = vec![
+        Stmt::Let("keep".into(), new_array(ElemTy::Int, i32c(64))),
+        for_range(
+            "i",
+            i32c(0),
+            i32c(3_000),
+            vec![
+                Stmt::Assign("keep".into(), new_array(ElemTy::Int, i32c(64))),
+                Stmt::SetIndex(local("keep"), i32c(0), local("i")),
+            ],
+        ),
+        Stmt::Return(Some(index(local("keep"), i32c(0)))),
+    ];
+    // 3000 × 256+ B ≫ the 64 KiB heap: survival requires GC.
+    let mut cfg = VmConfig::pinned_ppe().with_checkpoint_every(200_000);
+    cfg.heap.size_bytes = 64 << 10;
+    let vm = HeraJvm::new(main_program(Some(Ty::Int), body), cfg).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert!(full.is_clean(), "GC-then-retry failed: {:?}", full.traps);
+    assert_eq!(full.result, Some(Value::I32(2_999)));
+    assert!(full.stats.gc.collections > 0, "GC never ran");
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, "gc-pressure restore");
+    }
+}
+
+/// Build a program where a spawned worker retains every allocation (a
+/// linked list) until the heap is truly exhausted, while `main` does
+/// allocation-free work and returns a constant.
+fn oom_worker_program() -> hera_isa::Program {
+    use hera_core::native::install_runtime;
+    let mut pb = ProgramBuilder::new();
+    let api = install_runtime(&mut pb);
+    let node = pb.add_class("Node", None);
+    let fnext = pb.add_field(node, "next", Ty::Ref(node));
+    let fpay = pb.add_field(node, "pay", Ty::Array(ElemTy::Int));
+    let worker = pb.add_class("Hog", Some(api.thread_class));
+    let run = declare_virtual(&mut pb, worker, "run", vec![], None);
+    define(
+        &mut pb,
+        run,
+        vec![("this", Ty::Ref(worker))],
+        vec![
+            Stmt::Let("head".into(), cast(Ty::Ref(node), Expr::Null)),
+            // Unbounded retained allocation: must eventually trap OOM.
+            for_range(
+                "i",
+                i32c(0),
+                i32c(1_000_000),
+                vec![
+                    Stmt::Let("n".into(), Expr::New(node)),
+                    Stmt::SetField(local("n"), fnext, local("head")),
+                    Stmt::SetField(local("n"), fpay, new_array(ElemTy::Int, i32c(64))),
+                    Stmt::Assign("head".into(), local("n")),
+                ],
+            ),
+        ],
+    )
+    .expect("run compiles");
+    let main_c = pb.add_class("Main", None);
+    let main = declare_static(&mut pb, main_c, "main", vec![], Some(Ty::Int));
+    define(
+        &mut pb,
+        main,
+        vec![],
+        vec![
+            Stmt::Expr(call(api.spawn, vec![Expr::New(worker)])),
+            // Allocation-free spin so main outlives a few GC cycles
+            // without ever needing the heap.
+            Stmt::Let("s".into(), i32c(0)),
+            for_range(
+                "i",
+                i32c(0),
+                i32c(2_000),
+                vec![Stmt::Assign("s".into(), add(local("s"), i32c(3)))],
+            ),
+            Stmt::Return(Some(local("s"))),
+        ],
+    )
+    .expect("main compiles");
+    pb.finish_with_entry("Main", "main").expect("resolves")
+}
+
+/// True exhaustion: GC runs but cannot free (everything is reachable),
+/// the allocating thread traps `OutOfMemory`, and *only* that thread
+/// dies — the entry thread still completes with its result.
+#[test]
+fn oom_trap_kills_only_the_allocating_thread() {
+    let mut cfg = VmConfig::pinned_ppe();
+    cfg.heap.size_bytes = 64 << 10;
+    let vm = HeraJvm::new(oom_worker_program(), cfg).expect("constructs");
+    let out = vm.run().expect("the VM itself must not fail");
+    assert_eq!(
+        out.result,
+        Some(Value::I32(6_000)),
+        "the entry thread must complete despite the worker's OOM"
+    );
+    assert_eq!(
+        out.traps.len(),
+        1,
+        "exactly one thread traps: {:?}",
+        out.traps
+    );
+    assert_eq!(out.traps[0].1, Trap::OutOfMemory);
+    assert!(
+        out.traps[0].0 != hera_core::ThreadId(0),
+        "the trap must land on the worker, not the entry thread"
+    );
+    assert!(
+        out.stats.gc.collections > 0,
+        "OOM must be preceded by at least one full GC attempt"
+    );
+}
+
+/// Checkpoint *before* exhaustion, then restore: the resumed run must
+/// march into the same OOM at the same point with identical stats.
+#[test]
+fn restore_before_exhaustion_replays_the_same_oom() {
+    let mut cfg = VmConfig::pinned_ppe().with_checkpoint_every(150_000);
+    cfg.heap.size_bytes = 64 << 10;
+    let vm = HeraJvm::new(oom_worker_program(), cfg).expect("constructs");
+    let full = vm.run().expect("runs");
+    assert_eq!(full.traps.len(), 1);
+    assert_eq!(full.traps[0].1, Trap::OutOfMemory);
+    assert!(
+        !full.checkpoints.is_empty(),
+        "need at least one checkpoint before exhaustion"
+    );
+    for blob in &full.checkpoints {
+        let restored = vm.restore_bytes(&blob.bytes).expect("restore succeeds");
+        assert_same_outcome(&full, &restored, "pre-OOM restore");
+    }
+}

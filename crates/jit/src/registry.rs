@@ -139,6 +139,21 @@ impl MethodRegistry {
         self.stats
     }
 
+    /// Every `(method, core)` key with compiled code, sorted by method id
+    /// then core kind (PPE first). Snapshot support: a restored run
+    /// recompiles exactly this set eagerly, then overwrites the stats with
+    /// [`MethodRegistry::set_stats`] so compile accounting is not repaid.
+    pub fn compiled_keys(&self) -> Vec<(MethodId, CoreKind)> {
+        let mut keys: Vec<(MethodId, CoreKind)> = self.compiled.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(m, core)| (m.0, core != CoreKind::Ppe));
+        keys
+    }
+
+    /// Overwrite the statistics (snapshot restore only).
+    pub fn set_stats(&mut self, stats: RegistryStats) {
+        self.stats = stats;
+    }
+
     /// Number of distinct (method, core) entries.
     pub fn len(&self) -> usize {
         self.compiled.len()

@@ -297,6 +297,67 @@ impl Heap {
         self.objects.iter().map(|&a| ObjRef(a))
     }
 
+    // ---- snapshot support ----
+
+    /// The entire backing store (snapshot encode).
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// One past the last allocatable byte.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// The free list, `(addr, size)` sorted by address (snapshot encode).
+    pub fn free_spans(&self) -> &[(u32, u32)] {
+        &self.free
+    }
+
+    /// Rebuild a heap from snapshot state. The backing store, free list
+    /// and object set are taken verbatim; basic shape invariants are
+    /// validated so a corrupt snapshot cannot produce an out-of-bounds
+    /// heap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        data: Vec<u8>,
+        objects_base: u32,
+        limit: u32,
+        free: Vec<(u32, u32)>,
+        objects: BTreeSet<u32>,
+        statics_size: u32,
+        stats: AllocStats,
+    ) -> Result<Heap, &'static str> {
+        if limit as usize != data.len() {
+            return Err("heap limit does not match data size");
+        }
+        if objects_base != align8(Self::STATICS_BASE + statics_size) || objects_base > limit {
+            return Err("heap objects_base inconsistent with statics block");
+        }
+        let mut prev_end = objects_base;
+        for &(addr, size) in &free {
+            if addr < prev_end || size == 0 || addr as u64 + size as u64 > limit as u64 {
+                return Err("heap free list out of bounds or unsorted");
+            }
+            prev_end = addr + size;
+        }
+        if objects
+            .iter()
+            .any(|&a| a < objects_base || a.saturating_add(HEADER_BYTES) > limit)
+        {
+            return Err("heap object address out of bounds");
+        }
+        Ok(Heap {
+            data,
+            objects_base,
+            limit,
+            free,
+            objects,
+            statics_size,
+            stats,
+        })
+    }
+
     // ---- raw access ----
 
     /// Borrow `len` bytes starting at `addr` (for DMA source copies).

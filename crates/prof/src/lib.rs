@@ -41,7 +41,7 @@
 //!
 //! [`CycleBreakdown`]: https://docs.rs/hera-cell
 
-use hera_trace::CostVec;
+use hera_trace::{CostClass, CostVec};
 use std::collections::BTreeMap;
 
 mod report;
@@ -186,6 +186,60 @@ impl Profiler {
     /// Freeze into an immutable [`Profile`] for reporting.
     pub fn finish(self) -> Profile {
         Profile { nodes: self.nodes }
+    }
+
+    /// Raw trie state for snapshots: every node in index order as
+    /// `(method, parent, per-kind raw cost lanes)`, plus the per-thread
+    /// cursors sorted by thread id. Children maps are omitted — they are
+    /// re-derived from the parent links on restore.
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(
+        &self,
+    ) -> (
+        Vec<(u32, u32, [[u64; CostClass::COUNT]; KindLane::COUNT])>,
+        Vec<(u32, u32)>,
+    ) {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| (n.method, n.parent, [n.cost[0].0, n.cost[1].0]))
+            .collect();
+        let current = self.current.iter().map(|(&t, &c)| (t, c)).collect();
+        (nodes, current)
+    }
+
+    /// Rebuild a profiler from [`Profiler::export_state`] output. Fails
+    /// on a missing root or dangling links, so a corrupt snapshot cannot
+    /// index out of bounds.
+    #[allow(clippy::type_complexity)]
+    pub fn from_state(
+        nodes: Vec<(u32, u32, [[u64; CostClass::COUNT]; KindLane::COUNT])>,
+        current: Vec<(u32, u32)>,
+    ) -> Result<Profiler, &'static str> {
+        if nodes.is_empty() || nodes[0].0 != RUNTIME_METHOD || nodes[0].1 != 0 {
+            return Err("profiler trie missing runtime root");
+        }
+        let mut built: Vec<Node> = Vec::with_capacity(nodes.len());
+        for (i, &(method, parent, cost)) in nodes.iter().enumerate() {
+            if i > 0 && parent as usize >= i {
+                return Err("profiler trie parent link out of order");
+            }
+            let mut node = Node::new(method, parent);
+            node.cost = [CostVec(cost[0]), CostVec(cost[1])];
+            built.push(node);
+            if i > 0 {
+                built[parent as usize].children.insert(method, i as u32);
+            }
+        }
+        for &(_, cur) in &current {
+            if cur as usize >= built.len() {
+                return Err("profiler cursor out of range");
+            }
+        }
+        Ok(Profiler {
+            nodes: built,
+            current: current.into_iter().collect(),
+        })
     }
 }
 

@@ -1,0 +1,691 @@
+//! hera-snap: the Hera-JVM snapshot container format.
+//!
+//! A snapshot is a small header followed by an opaque payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "HSNAP\0\0\0"
+//! 8       4     format version (little-endian u32)
+//! 12      4     flags (must be zero in version 1)
+//! 16      8     payload length in bytes (little-endian u64)
+//! 24      4     CRC-32 (IEEE) of the payload
+//! 28      n     payload
+//! ```
+//!
+//! Everything inside the payload is written with the little-endian
+//! primitives of [`SnapWriter`] and read back with the bounds-checked
+//! [`SnapReader`]; there is no self-describing structure and no external
+//! serialization dependency. The CRC detects any single-bit flip in the
+//! payload; flips inside the header are caught by the explicit magic,
+//! version, flags, and length checks. Large mostly-zero buffers (the heap,
+//! SPE local stores) go through the zero-run-length codec in
+//! [`rle_encode`]/[`rle_decode`].
+//!
+//! The container is deliberately dumb: interpretation of the payload —
+//! and all semantic validation — lives in `hera-core::snapshot`, which
+//! bumps [`FORMAT_VERSION`] whenever the payload layout changes.
+
+use std::sync::OnceLock;
+
+/// Magic bytes at the start of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"HSNAP\0\0\0";
+/// Current on-disk format version. Bump whenever the payload layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Total header size in bytes (magic + version + flags + length + crc).
+pub const HEADER_LEN: usize = 28;
+
+/// Typed failure modes for snapshot decoding. Corrupted input must always
+/// surface as one of these — never a panic, never a silently wrong resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// Filesystem error while reading or writing a snapshot.
+    Io(String),
+    /// The file does not start with the `HSNAP` magic.
+    BadMagic,
+    /// The format version is not one this build understands.
+    BadVersion { found: u32, expected: u32 },
+    /// Reserved header flags were non-zero.
+    BadFlags(u32),
+    /// The input ended before the declared length.
+    Truncated { wanted: usize, available: usize },
+    /// The header-declared payload length disagrees with the actual bytes.
+    LengthMismatch { declared: u64, actual: u64 },
+    /// The payload CRC does not match the header.
+    ChecksumMismatch { stored: u32, computed: u32 },
+    /// The payload decoded but failed a structural or semantic check.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
+            SnapError::BadMagic => write!(f, "not a hera snapshot (bad magic)"),
+            SnapError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {expected})"
+                )
+            }
+            SnapError::BadFlags(flags) => {
+                write!(f, "unsupported snapshot flags {flags:#010x}")
+            }
+            SnapError::Truncated { wanted, available } => {
+                write!(
+                    f,
+                    "snapshot truncated: wanted {wanted} bytes, {available} available"
+                )
+            }
+            SnapError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "snapshot length mismatch: header says {declared}, got {actual}"
+                )
+            }
+            SnapError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            SnapError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    0xEDB8_8320 ^ (crc >> 1)
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Fast 64-bit content digest (FNV-1a over 8-byte lanes). Not part of the
+/// on-disk format — used for cheap equality checks of large buffers such as
+/// the final heap image or a trace lane.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().unwrap());
+        h = (h ^ v).wrapping_mul(PRIME);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    (h ^ tail).wrapping_mul(PRIME)
+}
+
+/// Wrap a payload in the versioned, checksummed container header.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate the container header and checksum, returning the payload slice.
+pub fn open(bytes: &[u8]) -> Result<&[u8], SnapError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapError::Truncated {
+            wanted: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(SnapError::BadVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if flags != 0 {
+        return Err(SnapError::BadFlags(flags));
+    }
+    let declared = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let actual = (bytes.len() - HEADER_LEN) as u64;
+    if declared != actual {
+        if declared > actual {
+            return Err(SnapError::Truncated {
+                wanted: HEADER_LEN + declared as usize,
+                available: bytes.len(),
+            });
+        }
+        return Err(SnapError::LengthMismatch { declared, actual });
+    }
+    let stored = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Little-endian payload writer. All integers are fixed-width so that two
+/// encodings of structurally equal state have identical lengths.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length prefix. Fixed-width u64 so lengths never change encoding size.
+    pub fn len_prefix(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed byte string.
+    pub fn blob(&mut self, bytes: &[u8]) {
+        self.len_prefix(bytes.len());
+        self.raw(bytes);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.blob(s.as_bytes());
+    }
+
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian payload reader. Every read that would run
+/// past the end of the buffer returns [`SnapError::Truncated`]; length
+/// prefixes are validated against the remaining bytes before any allocation
+/// so corrupt lengths cannot trigger huge allocations.
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless every payload byte has been consumed — trailing garbage
+    /// is treated as corruption, not ignored.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                wanted: self.pos + n,
+                available: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapError::Corrupt(format!("invalid bool byte {v:#04x}"))),
+        }
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length prefix that counts elements of `elem_size` bytes each,
+    /// validating the implied byte count against the remaining payload.
+    pub fn len_prefix(&mut self, elem_size: usize) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        let bytes = n.checked_mul(elem_size.max(1) as u64).ok_or_else(|| {
+            SnapError::Corrupt(format!("length prefix overflow: {n} x {elem_size}"))
+        })?;
+        if bytes > self.remaining() as u64 {
+            return Err(SnapError::Corrupt(format!(
+                "length prefix {n} ({bytes} bytes) exceeds remaining payload {}",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Length-prefixed byte string.
+    pub fn blob(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.len_prefix(1)?;
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let bytes = self.blob()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapError::Corrupt("invalid utf-8 string".into()))
+    }
+
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            v => Err(SnapError::Corrupt(format!("invalid option tag {v:#04x}"))),
+        }
+    }
+
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            v => Err(SnapError::Corrupt(format!("invalid option tag {v:#04x}"))),
+        }
+    }
+}
+
+const RLE_ZERO: u8 = 0;
+const RLE_LITERAL: u8 = 1;
+
+/// Zero-run-length encode `data` into `w`. Large buffers in the machine
+/// (the 32 MB heap, 256 KB local stores) are overwhelmingly zero, so runs
+/// of zeros are stored as a tag + length while everything else is copied
+/// literally. Format: u64 total length, then chunks of
+/// `(u8 tag, u64 len[, len literal bytes])` until the total is covered.
+pub fn rle_encode(w: &mut SnapWriter, data: &[u8]) {
+    w.len_prefix(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        if data[i] == 0 {
+            let start = i;
+            while i < data.len() && data[i] == 0 {
+                i += 1;
+            }
+            w.u8(RLE_ZERO);
+            w.len_prefix(i - start);
+        } else {
+            let start = i;
+            // A literal run ends at the next "worthwhile" zero run: chasing
+            // every isolated zero would bloat the chunk table.
+            while i < data.len() {
+                if data[i] == 0 {
+                    let z = data[i..].iter().take_while(|&&b| b == 0).count();
+                    if z >= 24 {
+                        break;
+                    }
+                    i += z;
+                } else {
+                    i += 1;
+                }
+            }
+            w.u8(RLE_LITERAL);
+            w.len_prefix(i - start);
+            w.raw(&data[start..i]);
+        }
+    }
+}
+
+/// Decode a zero-run-length buffer, requiring its total length to equal
+/// `expected_len` exactly.
+pub fn rle_decode(r: &mut SnapReader<'_>, expected_len: usize) -> Result<Vec<u8>, SnapError> {
+    let total = r.u64()? as usize;
+    if total != expected_len {
+        return Err(SnapError::Corrupt(format!(
+            "rle buffer length {total} does not match expected {expected_len}"
+        )));
+    }
+    let mut out = vec![0u8; total];
+    let mut filled = 0usize;
+    while filled < total {
+        let tag = r.u8()?;
+        let run = r.u64()? as usize;
+        if run == 0 || run > total - filled {
+            return Err(SnapError::Corrupt(format!(
+                "rle run of {run} bytes overflows buffer ({filled}/{total} filled)"
+            )));
+        }
+        match tag {
+            RLE_ZERO => {}
+            RLE_LITERAL => {
+                let bytes = r.take(run)?;
+                out[filled..filled + run].copy_from_slice(bytes);
+            }
+            other => {
+                return Err(SnapError::Corrupt(format!("invalid rle tag {other:#04x}")));
+            }
+        }
+        filled += run;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(0xAB);
+        w.bool(true);
+        w.bool(false);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.i64(-42);
+        w.str("hera");
+        w.blob(&[1, 2, 3]);
+        w.opt_u32(None);
+        w.opt_u32(Some(7));
+        w.opt_u64(Some(u64::MAX));
+
+        let buf = w.into_inner();
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "hera");
+        assert_eq!(r.blob().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.opt_u32().unwrap(), None);
+        assert_eq!(r.opt_u32().unwrap(), Some(7));
+        assert_eq!(r.opt_u64().unwrap(), Some(u64::MAX));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overrun_and_trailing() {
+        let buf = [1u8, 2, 3];
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(r.u64(), Err(SnapError::Truncated { .. })));
+        let mut r = SnapReader::new(&buf);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn length_prefix_caps_allocation() {
+        // A declared length far beyond the payload must be rejected before
+        // any allocation happens.
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX / 2);
+        let buf = w.into_inner();
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(r.len_prefix(8), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let payload = b"the quick brown fox".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(open(&sealed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn open_rejects_bad_header_fields() {
+        let sealed = seal(b"payload");
+
+        let mut bad = sealed.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(open(&bad), Err(SnapError::BadMagic));
+
+        let mut bad = sealed.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            open(&bad),
+            Err(SnapError::BadVersion { found: 99, .. })
+        ));
+
+        let mut bad = sealed.clone();
+        bad[12] = 1;
+        assert!(matches!(open(&bad), Err(SnapError::BadFlags(_))));
+
+        let mut bad = sealed.clone();
+        bad[16] = bad[16].wrapping_add(1);
+        assert!(matches!(
+            open(&bad),
+            Err(SnapError::Truncated { .. }) | Err(SnapError::LengthMismatch { .. })
+        ));
+
+        // Truncation at every possible length must be typed, never a panic.
+        for cut in 0..sealed.len() {
+            assert!(
+                open(&sealed[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+
+        // Extra trailing bytes are a length mismatch.
+        let mut bad = sealed.clone();
+        bad.push(0);
+        assert!(matches!(open(&bad), Err(SnapError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn container_bit_flip_sweep() {
+        // Every single-bit flip anywhere in the sealed container must be
+        // rejected with a typed error.
+        let sealed = seal(b"deterministic bit flip sweep payload \x00\x00\x00\x01\x02");
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut flipped = sealed.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    open(&flipped).is_err(),
+                    "bit flip at byte {byte} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rle_round_trips() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0; 4096],
+            vec![7; 100],
+            {
+                let mut v = vec![0u8; 1000];
+                v[500] = 9;
+                v[999] = 1;
+                v
+            },
+            {
+                // Alternating short zero gaps inside a literal run.
+                let mut v = Vec::new();
+                for i in 0..600u32 {
+                    v.push(if i % 7 == 0 { 0 } else { (i % 251) as u8 + 1 });
+                }
+                v.extend_from_slice(&[0; 512]);
+                v.push(3);
+                v
+            },
+        ];
+        for case in cases {
+            let mut w = SnapWriter::new();
+            rle_encode(&mut w, &case);
+            let buf = w.into_inner();
+            let mut r = SnapReader::new(&buf);
+            let back = rle_decode(&mut r, case.len()).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, case);
+        }
+    }
+
+    #[test]
+    fn rle_rejects_wrong_expected_len_and_overflow_runs() {
+        let data = vec![1u8, 2, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut w = SnapWriter::new();
+        rle_encode(&mut w, &data);
+        let buf = w.into_inner();
+
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(
+            rle_decode(&mut r, data.len() + 1),
+            Err(SnapError::Corrupt(_))
+        ));
+
+        // Hand-built stream whose run overflows the declared total.
+        let mut w = SnapWriter::new();
+        w.len_prefix(4);
+        w.u8(RLE_ZERO);
+        w.len_prefix(8);
+        let buf = w.into_inner();
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(rle_decode(&mut r, 4), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn digest64_distinguishes_and_is_stable() {
+        let a = digest64(b"hello world");
+        let b = digest64(b"hello worle");
+        assert_ne!(a, b);
+        assert_eq!(a, digest64(b"hello world"));
+        assert_ne!(digest64(b""), digest64(b"\0"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        assert_eq!(seal(&payload), seal(&payload));
+    }
+}

@@ -221,6 +221,41 @@ impl CodeCache {
         self.bump = 0;
         self.stats.purges += 1;
     }
+
+    /// Resident contents for a snapshot: bump pointer, resident methods
+    /// and TIBs (both sorted by id for a canonical encoding). Stats are
+    /// public and captured separately.
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(&self) -> (u32, Vec<(MethodId, u32)>, Vec<(ClassId, u32)>) {
+        let mut methods: Vec<(MethodId, u32)> =
+            self.methods.iter().map(|(&m, &b)| (m, b)).collect();
+        methods.sort_unstable_by_key(|&(m, _)| m.0);
+        let mut tibs: Vec<(ClassId, u32)> = self.tibs.iter().map(|(&c, &b)| (c, b)).collect();
+        tibs.sort_unstable_by_key(|&(c, _)| c.0);
+        (self.bump, methods, tibs)
+    }
+
+    /// Restore the contents captured by [`CodeCache::export_state`].
+    /// Fails if the claimed residency cannot fit the configured capacity.
+    pub fn import_state(
+        &mut self,
+        bump: u32,
+        methods: Vec<(MethodId, u32)>,
+        tibs: Vec<(ClassId, u32)>,
+    ) -> Result<(), &'static str> {
+        if bump > self.capacity {
+            return Err("code-cache bump pointer exceeds capacity");
+        }
+        let resident: u64 = methods.iter().map(|&(_, b)| b as u64).sum::<u64>()
+            + tibs.iter().map(|&(_, b)| b as u64).sum::<u64>();
+        if resident > bump as u64 {
+            return Err("code-cache resident bytes exceed bump pointer");
+        }
+        self.bump = bump;
+        self.methods = methods.into_iter().collect();
+        self.tibs = tibs.into_iter().collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

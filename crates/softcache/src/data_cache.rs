@@ -434,6 +434,67 @@ impl DataCache {
         Ok(salvaged)
     }
 
+    /// Full cache state for a snapshot: `(bump, occupied table slots,
+    /// local region bytes)`. Each occupied slot is `(slot index,
+    /// [main_addr, local_off, len, dirty_lo, dirty_hi])`; slots come out
+    /// in index order, so the encoding is deterministic.
+    #[allow(clippy::type_complexity)]
+    pub fn export_state(&self) -> (u32, Vec<(u32, [u32; 5])>, &[u8]) {
+        let slots = self
+            .table
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref().map(|e| {
+                    (
+                        i as u32,
+                        [e.main_addr, e.local_off, e.len, e.dirty_lo, e.dirty_hi],
+                    )
+                })
+            })
+            .collect();
+        (self.bump, slots, &self.local)
+    }
+
+    /// Restore the state captured by [`DataCache::export_state`]. Fails
+    /// if the shape does not match this cache's geometry, so a corrupt
+    /// snapshot cannot produce out-of-bounds local offsets.
+    pub fn import_state(
+        &mut self,
+        bump: u32,
+        slots: Vec<(u32, [u32; 5])>,
+        local: Vec<u8>,
+    ) -> Result<(), &'static str> {
+        if local.len() != self.local.len() {
+            return Err("data-cache region size mismatch");
+        }
+        if bump > self.capacity || slots.len() > self.max_entries {
+            return Err("data-cache allocator state out of range");
+        }
+        let mut table = vec![None; self.table.len()];
+        for &(slot, [main_addr, local_off, len, dirty_lo, dirty_hi]) in &slots {
+            let i = slot as usize;
+            if i >= table.len() || table[i].is_some() {
+                return Err("data-cache table slot invalid");
+            }
+            if local_off as u64 + align8(len) as u64 > bump as u64 {
+                return Err("data-cache unit outside allocated region");
+            }
+            table[i] = Some(Entry {
+                main_addr,
+                local_off,
+                len,
+                dirty_lo,
+                dirty_hi,
+            });
+        }
+        self.bump = bump;
+        self.entries = slots.len();
+        self.table = table;
+        self.local = local;
+        Ok(())
+    }
+
     /// Purge the cache: write dirty data back, then invalidate
     /// everything (acquire barrier / volatile read / cache full / GC).
     pub fn purge(

@@ -216,6 +216,12 @@ pub enum TraceEvent {
     SpeFailed { spe: u32 },
     /// Fail-over drained `threads` resident threads off this dead lane.
     SpeDrained { threads: u32 },
+    /// A whole-VM checkpoint was written at a scheduler safepoint.  `bytes`
+    /// is the size of the machine-state section of the snapshot (the part
+    /// whose write cost is charged as PPE stall time).
+    Checkpoint { seq: u32, bytes: u32 },
+    /// The run was resumed from checkpoint `seq` of an earlier run.
+    Restore { seq: u32 },
 }
 
 /// Export metadata for an event: its category plus the body of a JSON
@@ -260,6 +266,8 @@ impl TraceEvent {
             TraceEvent::WatchdogTimeout { .. } => "fault.watchdog",
             TraceEvent::SpeFailed { .. } => "fault.spe_failed",
             TraceEvent::SpeDrained { .. } => "fault.spe_drained",
+            TraceEvent::Checkpoint { .. } => "snap.checkpoint",
+            TraceEvent::Restore { .. } => "snap.restore",
         }
     }
 
@@ -377,6 +385,10 @@ impl TraceEvent {
             ),
             TraceEvent::SpeFailed { spe } => ("fault", format!("\"spe\":{spe}")),
             TraceEvent::SpeDrained { threads } => ("fault", format!("\"threads\":{threads}")),
+            TraceEvent::Checkpoint { seq, bytes } => {
+                ("snap", format!("\"seq\":{seq},\"bytes\":{bytes}"))
+            }
+            TraceEvent::Restore { seq } => ("snap", format!("\"seq\":{seq}")),
         };
         TraceKindArgs { cat, args }
     }

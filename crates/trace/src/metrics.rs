@@ -146,6 +146,12 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Install a whole histogram under `name`, replacing any existing one.
+    /// Used by snapshot restore to rebuild the registry exactly.
+    pub fn set_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
