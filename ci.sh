@@ -31,3 +31,8 @@ cargo run --release -p hera-bench --bin figures -- chaos mandelbrot --scale 0.25
 # format-version golden in tests/snap.rs separately pins the on-disk
 # encoding against silent drift).
 cargo run --release -p hera-bench --bin figures -- chaos-crash mandelbrot --scale 0.25
+# Cluster smoke: a small fleet (4 machines) with one mid-trace machine
+# crash and one live migration; every recovery and migration must prove
+# bit-identical to the unmigrated run and the whole report must replay
+# byte-identically under the same seed — exit 1 on any divergence.
+cargo run --release -p hera-bench --bin figures -- cluster --requests 300

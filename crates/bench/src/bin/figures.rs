@@ -2,7 +2,7 @@
 //! printing measured values next to the paper's reported ones.
 //!
 //! ```text
-//! figures [EXPERIMENT] [--scale S]
+//! figures EXPERIMENT [--scale S]
 //!
 //! EXPERIMENT: all | fig4a | fig4b | fig5 | fig6 | fig7
 //!           | ablate-data | ablate-jit | adaptive-cache | placement
@@ -17,6 +17,9 @@
 //!                                   BENCH_interp.json; exit 1 if virtual metrics moved)
 //!           | profile [WORKLOAD]       (per-method cost profile + collapsed stacks)
 //!           | profile-diff [WORKLOAD]  (diff the PPE profile against 6 SPEs)
+//!           | cluster [--machines N] [--requests N] [--seed S]
+//!                     (fleet simulation: request trace, load balancing, crash
+//!                      recovery, live migration; replayed twice and compared)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -25,39 +28,112 @@
 
 use hera_bench as xb;
 
+const EXPERIMENTS: &[&str] = &[
+    "all",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablate-data",
+    "ablate-jit",
+    "adaptive-cache",
+    "placement",
+    "cellvm-sync",
+    "trace",
+    "chaos",
+    "chaos-crash",
+    "perf",
+    "perf-gate",
+    "profile",
+    "profile-diff",
+    "cluster",
+];
+
+fn usage_and_exit(problem: &str) -> ! {
+    eprintln!("figures: {problem}");
+    eprintln!(
+        "usage: figures EXPERIMENT [--scale S] [--reps N] [--machines N] [--requests N] [--seed S]"
+    );
+    eprintln!("experiments: {}", EXPERIMENTS.join(" | "));
+    eprintln!("trace/chaos/chaos-crash/profile/profile-diff take an optional WORKLOAD");
+    eprintln!("(compress | mpegaudio | mandelbrot)");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
+    let mut which: Option<String> = None;
     let mut workload = "mandelbrot".to_string();
     let mut scale = xb::DEFAULT_SCALE;
+    let mut scale_set = false;
     let mut reps = 3u32;
+    let mut machines = 4usize;
+    let mut requests = 400u64;
+    let mut seed = 42u64;
     let mut i = 0;
+    let flag = |args: &[String], i: usize, name: &str| -> String {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| usage_and_exit(&format!("{name} needs a value")))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(scale);
+                scale = flag(&args, i, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--scale needs a number"));
+                scale_set = true;
                 i += 1;
             }
             "--reps" => {
-                reps = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(reps);
+                reps = flag(&args, i, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--reps needs an integer"));
                 i += 1;
             }
-            other => {
-                if matches!(
-                    which.as_str(),
-                    "trace" | "chaos" | "chaos-crash" | "profile" | "profile-diff"
-                ) {
-                    workload = other.to_string();
-                } else {
-                    which = other.to_string();
-                }
+            "--machines" => {
+                machines = flag(&args, i, "--machines")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--machines needs an integer"));
+                i += 1;
             }
+            "--requests" => {
+                requests = flag(&args, i, "--requests")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--requests needs an integer"));
+                i += 1;
+            }
+            "--seed" => {
+                seed = flag(&args, i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--seed needs an integer"));
+                i += 1;
+            }
+            "--help" | "-h" => usage_and_exit("help requested"),
+            other => match &which {
+                None => {
+                    if !EXPERIMENTS.contains(&other) {
+                        usage_and_exit(&format!("unknown experiment '{other}'"));
+                    }
+                    which = Some(other.to_string());
+                }
+                Some(w)
+                    if matches!(
+                        w.as_str(),
+                        "trace" | "chaos" | "chaos-crash" | "profile" | "profile-diff"
+                    ) =>
+                {
+                    workload = other.to_string();
+                }
+                Some(_) => usage_and_exit(&format!("unexpected argument '{other}'")),
+            },
         }
         i += 1;
     }
+    let Some(which) = which else {
+        usage_and_exit("no experiment named");
+    };
 
     if which == "trace" {
         trace_workload(&workload, scale);
@@ -85,6 +161,17 @@ fn main() {
     }
     if which == "profile-diff" {
         profile_diff(&workload, scale);
+        return;
+    }
+    if which == "cluster" {
+        // The fleet's default scale is the smallest the workloads support:
+        // cluster cost is requests x machines, not one big run.
+        cluster(
+            machines,
+            requests,
+            seed,
+            if scale_set { scale } else { 0.05 },
+        );
         return;
     }
 
@@ -282,6 +369,53 @@ fn chaos_crash(name: &str, scale: f64) {
             std::process::exit(1);
         }
     }
+}
+
+fn cluster(machines: usize, requests: u64, seed: u64, scale: f64) {
+    use hera_cluster::ClusterConfig;
+    let cfg = ClusterConfig {
+        seed,
+        machines,
+        requests,
+        scale,
+        ..ClusterConfig::default()
+    };
+    header(&format!(
+        "hera-cluster: fleet simulation ({machines} machines, {requests} requests, seed {seed})"
+    ));
+    let first = match hera_cluster::run_experiment(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered = first.render();
+    print!("{rendered}");
+    // The whole experiment is claimed to be a pure function of its
+    // config: replay it and require the byte-identical report.
+    let replay = match hera_cluster::run_experiment(&cfg) {
+        Ok(r) => r.render(),
+        Err(e) => {
+            eprintln!("cluster: replay errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    if replay != rendered {
+        eprintln!("cluster: same-seed replay diverged — determinism broken");
+        std::process::exit(1);
+    }
+    if !first.failures.is_empty() {
+        eprintln!(
+            "cluster: {} bit-identity/bookkeeping failure(s) — see report above",
+            first.failures.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "verified: every migration and recovery bit-identical to the unmigrated runs; \
+         same-seed replay byte-identical"
+    );
 }
 
 fn perf(scale: f64, reps: u32) {

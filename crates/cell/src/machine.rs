@@ -834,6 +834,19 @@ impl CellMachine {
         Ok(())
     }
 
+    /// Replace the machine's fault plan mid-build, rebuilding the
+    /// injector with fresh draw counters.
+    ///
+    /// This is the cross-machine snapshot *adoption* hook: restoring a
+    /// checkpoint on a different machine installs the plan the snapshot
+    /// was taken under (the fault stream travels with the VM), then
+    /// restores the draw counters via [`CellMachine::set_injector_counts`].
+    /// It must only be called before the restored clocks start advancing.
+    pub fn adopt_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
+        self.injector = FaultInjector::new(plan, self.clocks.len());
+    }
+
     /// The fault injector's per-`(core, site)` draw counters.
     pub fn injector_counts(&self) -> &[[u64; NUM_SITES]] {
         self.injector.counts()

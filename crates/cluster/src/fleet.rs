@@ -1,0 +1,921 @@
+//! The deterministic discrete-event fleet simulator.
+//!
+//! ## How virtual time composes
+//!
+//! Each machine is the real single-machine simulator (`HeraJvm` over a
+//! `CellMachine`): a job's service time *is* the wall-cycle makespan of
+//! an actual VM run under that machine's fault plan. Because those runs
+//! are deterministic, a job class only has to be executed once per
+//! machine — the measured [`RunOutcome`] is the *reference* — and the
+//! fleet layer can then replay millions of requests as pure integer
+//! queueing arithmetic in fleet-virtual time. Real VM runs re-enter the
+//! picture exactly where per-run state matters: a machine crash or a
+//! live migration re-executes the affected job for real (doomed run →
+//! checkpoints → adoption on the destination), and every adopted resume
+//! is compared against the unmigrated reference — the bit-identity
+//! proof runs *inside* the experiment, for every recovery and migration.
+//!
+//! ## Event loop invariants
+//!
+//! * Events are ordered by `(time, insertion seq)`; ties are impossible,
+//!   so the schedule is a total order and the whole simulation is a pure
+//!   function of the config.
+//! * Completion events are guarded by a per-machine epoch; a crash or a
+//!   migration bumps the epoch, so stale completions are dropped rather
+//!   than resurrecting a dead machine's work.
+//! * Every job a machine crash catches in flight (running or queued) is
+//!   requeued through the balancing policy exactly once per crash.
+
+use crate::policy::{BalancePolicy, MachineView};
+use crate::traffic::{self, Request};
+use crate::{ClusterConfig, ClusterError};
+use hera_cell::FaultPlan;
+use hera_core::{HeraJvm, RunEnd, RunOutcome, VmConfig};
+use hera_isa::Value;
+use hera_rng::splitmix64;
+use hera_trace::MetricsRegistry;
+use hera_workloads::Workload;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Per-machine-seed salt for transient-fault plans.
+const MACHINE_SEED_SALT: u64 = 0x6d61_6368_696e_6531;
+
+// ------------------------------------------------------------- profiling
+
+/// One job class: a workload built at the experiment's scale.
+struct ClassProfile {
+    workload: Workload,
+    program: hera_isa::Program,
+    checksum: i32,
+}
+
+/// Everything measured once per experiment and shared by every policy.
+struct FleetProfile {
+    classes: Vec<ClassProfile>,
+    /// Per-machine fault plan (all-default when faults are disabled).
+    plans: Vec<FaultPlan>,
+    /// `reference[class][machine]`: the uninterrupted run outcome.
+    reference: Vec<Vec<Rc<RunOutcome>>>,
+    /// Mix-weighted mean service time over classes and machines.
+    mean_service: u64,
+}
+
+/// The VM configuration of machine `plan` in this fleet. Identical
+/// across machines except for the fault plan, so cross-machine snapshot
+/// adoption is legal (the machine digest zeroes the plan).
+fn machine_vm_config(cfg: &ClusterConfig, plan: FaultPlan) -> VmConfig {
+    let mut vm = VmConfig::pinned_spe(cfg.num_spes)
+        .with_checkpoint_every(cfg.checkpoint_every)
+        .with_faults(plan);
+    vm.heap.size_bytes = cfg.heap_bytes;
+    vm
+}
+
+fn vm_err(what: &str, e: impl std::fmt::Debug) -> ClusterError {
+    ClusterError(format!("{what}: {e:?}"))
+}
+
+fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
+    let mut classes = Vec::new();
+    for w in Workload::ALL {
+        let (program, checksum) = w.build(cfg.threads, cfg.scale);
+        classes.push(ClassProfile {
+            workload: w,
+            program,
+            checksum,
+        });
+    }
+    let plans: Vec<FaultPlan> = (0..cfg.machines)
+        .map(|m| match cfg.fault_rates {
+            Some((transfer, timeout, corrupt)) => {
+                FaultPlan::seeded(splitmix64(cfg.seed ^ (MACHINE_SEED_SALT + m as u64)))
+                    .with_mfc_faults(transfer, timeout, corrupt)
+            }
+            None => FaultPlan::default(),
+        })
+        .collect();
+
+    let mut reference: Vec<Vec<Rc<RunOutcome>>> = Vec::new();
+    for class in &classes {
+        let mut per_machine = Vec::new();
+        for &plan in &plans {
+            let vm = HeraJvm::new(class.program.clone(), machine_vm_config(cfg, plan))
+                .map_err(|e| vm_err("reference vm", e))?;
+            let out = vm.run().map_err(|e| vm_err("reference run", e))?;
+            if !out.is_clean() || out.result != Some(Value::I32(class.checksum)) {
+                return Err(ClusterError(format!(
+                    "reference run of {} produced {:?} (traps {:?}), expected checksum {}",
+                    class.workload.name(),
+                    out.result,
+                    out.traps,
+                    class.checksum
+                )));
+            }
+            per_machine.push(Rc::new(out));
+        }
+        reference.push(per_machine);
+    }
+
+    let mut weighted = 0u128;
+    let mut weight = 0u128;
+    for (c, per_machine) in reference.iter().enumerate() {
+        let avg: u64 =
+            per_machine.iter().map(|o| o.stats.wall_cycles).sum::<u64>() / per_machine.len() as u64;
+        let w = cfg.mix[c] as u128;
+        weighted += w * avg as u128;
+        weight += w;
+    }
+    let mean_service = weighted.checked_div(weight).unwrap_or(0) as u64;
+    Ok(FleetProfile {
+        classes,
+        plans,
+        reference,
+        mean_service,
+    })
+}
+
+// ---------------------------------------------------------------- events
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Ev {
+    Arrive(usize),
+    Done { machine: usize, epoch: u64 },
+    Crash { machine: usize },
+    Migrate { machine: usize },
+    Recover { machine: usize },
+}
+
+// ------------------------------------------------------------------ jobs
+
+/// Snapshot state a job carries between machines.
+#[derive(Clone)]
+struct Resume {
+    bytes: Rc<Vec<u8>>,
+    /// VM wall clock the snapshot resumes at.
+    restored_wall: u64,
+}
+
+struct Job {
+    arrival: u64,
+    class: usize,
+    /// Machine the job first started executing on; its fault plan is the
+    /// one the job's whole life replays (snapshots carry it along).
+    origin: Option<usize>,
+    resume: Option<Resume>,
+    /// Times this job was requeued by a machine crash.
+    requeues: u32,
+    /// Pending migration record awaiting its adoption proof.
+    pending_migration: Option<usize>,
+    completed_at: Option<u64>,
+}
+
+struct Running {
+    job: usize,
+    /// Fleet time at which VM cycles start advancing (post dispatch and
+    /// snapshot transfer).
+    exec_start: u64,
+    /// VM wall clock at `exec_start` (0 fresh, `restored_wall` resumed).
+    vm_base: u64,
+}
+
+struct Mach {
+    up: bool,
+    epoch: u64,
+    queue: VecDeque<usize>,
+    /// Sum of cost estimates of queued jobs (backlog for `LeastLoaded`).
+    queued_cycles: u64,
+    running: Option<Running>,
+    /// Fleet time the current run completes (for backlog estimation).
+    completes: u64,
+}
+
+// --------------------------------------------------------------- results
+
+/// One machine crash as the fleet experienced it.
+#[derive(Clone, Debug)]
+pub struct CrashEvent {
+    /// Crashed machine.
+    pub machine: usize,
+    /// Fleet-virtual time of the crash.
+    pub at: u64,
+    /// Jobs caught in flight (running + queued), each requeued once.
+    pub in_flight: u64,
+    /// Whether the running job resumed from a checkpoint (vs restarting).
+    pub resumed_from_checkpoint: bool,
+    /// Virtual cycles of lost (re-executed) work for the running job.
+    pub reexec_cycles: u64,
+}
+
+/// One live migration as the fleet experienced it.
+#[derive(Clone, Debug)]
+pub struct MigrationEvent {
+    /// Source machine.
+    pub src: usize,
+    /// Destination machine chosen by the balancing policy.
+    pub dest: usize,
+    /// Fleet-virtual time the migration was triggered.
+    pub at: u64,
+    /// Sealed snapshot size moved over the (virtual) wire.
+    pub snapshot_bytes: u64,
+    /// Cycles charged for the transfer (latency + bytes / rate).
+    pub transfer_cycles: u64,
+    /// Cycles re-executed on the destination (progress since the last
+    /// checkpoint at capture time).
+    pub reexec_cycles: u64,
+    /// Whether the adopted resume was proven bit-identical to the
+    /// unmigrated reference run.
+    pub verified_identical: bool,
+}
+
+/// Everything one policy's replay of the trace produced.
+pub struct PolicyOutcome {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Latency histograms and fleet counters.
+    pub metrics: MetricsRegistry,
+    /// Requests completed (should equal the trace length).
+    pub completed: u64,
+    /// Every machine crash, in time order.
+    pub crash_events: Vec<CrashEvent>,
+    /// Every live migration, in time order.
+    pub migration_events: Vec<MigrationEvent>,
+    /// Requeue count per job id, for jobs that were ever requeued.
+    pub requeues: BTreeMap<usize, u32>,
+}
+
+/// The full experiment result: one [`PolicyOutcome`] per policy plus any
+/// bit-identity or bookkeeping failures (which make `figures -- cluster`
+/// exit nonzero).
+pub struct ClusterReport {
+    /// The configuration header rendered into the report.
+    pub header: String,
+    /// One outcome per balancing policy, in a fixed order.
+    pub outcomes: Vec<PolicyOutcome>,
+    /// Human-readable proof failures; empty on a healthy run.
+    pub failures: Vec<String>,
+}
+
+impl ClusterReport {
+    /// Deterministic text rendering: same seed ⇒ identical string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header);
+        for o in &self.outcomes {
+            let _ = writeln!(out, "-- policy {} --", o.policy);
+            let _ = writeln!(out, "completed {}", o.completed);
+            if let Some(h) = o.metrics.histogram("cluster.latency") {
+                let _ = writeln!(
+                    out,
+                    "latency cycles: p50={} p95={} p99={} mean={:.0} max={}",
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.mean(),
+                    h.max
+                );
+            }
+            for ev in &o.crash_events {
+                let _ = writeln!(
+                    out,
+                    "crash machine {} at {}: in-flight {} requeued, {} (reexec {} cycles)",
+                    ev.machine,
+                    ev.at,
+                    ev.in_flight,
+                    if ev.resumed_from_checkpoint {
+                        "resumed from checkpoint"
+                    } else {
+                        "restarted"
+                    },
+                    ev.reexec_cycles
+                );
+            }
+            for ev in &o.migration_events {
+                let _ = writeln!(
+                    out,
+                    "migration {} -> {} at {}: {} snapshot bytes, transfer {} cycles, \
+                     reexec {} cycles, bit-identical: {}",
+                    ev.src,
+                    ev.dest,
+                    ev.at,
+                    ev.snapshot_bytes,
+                    ev.transfer_cycles,
+                    ev.reexec_cycles,
+                    ev.verified_identical
+                );
+            }
+            out.push_str(&o.metrics.render());
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "FAILURES ({}):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- simulator
+
+struct Sim<'a> {
+    cfg: &'a ClusterConfig,
+    profile: &'a FleetProfile,
+    policy: Box<dyn BalancePolicy>,
+    jobs: Vec<Job>,
+    machines: Vec<Mach>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    /// Jobs waiting at the front-end because no machine is up.
+    pending: VecDeque<usize>,
+    metrics: MetricsRegistry,
+    crash_events: Vec<CrashEvent>,
+    migration_events: Vec<MigrationEvent>,
+    failures: Vec<String>,
+}
+
+impl<'a> Sim<'a> {
+    fn push(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((time, self.seq, ev)));
+    }
+
+    fn ref_outcome(&self, job: usize, fallback_machine: usize) -> &Rc<RunOutcome> {
+        let j = &self.jobs[job];
+        &self.profile.reference[j.class][j.origin.unwrap_or(fallback_machine)]
+    }
+
+    fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.cfg.transfer_latency_cycles + bytes / self.cfg.transfer_bytes_per_cycle.max(1)
+    }
+
+    /// Estimated cost of `job` if placed on `machine` now: dispatch
+    /// overhead, plus snapshot transfer and remaining cycles when
+    /// resuming, or the full service time when fresh.
+    fn estimate(&self, job: usize, machine: usize) -> u64 {
+        let j = &self.jobs[job];
+        match &j.resume {
+            Some(r) => {
+                let wall = self.ref_outcome(job, machine).stats.wall_cycles;
+                self.cfg.dispatch_cycles
+                    + self.transfer_cycles(r.bytes.len() as u64)
+                    + wall.saturating_sub(r.restored_wall)
+            }
+            None => {
+                self.cfg.dispatch_cycles
+                    + self.profile.reference[j.class][machine].stats.wall_cycles
+            }
+        }
+    }
+
+    fn views(&self, now: u64, exclude: Option<usize>) -> Vec<MachineView> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(m, mach)| mach.up && Some(*m) != exclude)
+            .map(|(m, mach)| MachineView {
+                machine: m,
+                queue_len: mach.queue.len(),
+                running: mach.running.is_some(),
+                backlog_cycles: mach.queued_cycles
+                    + if mach.running.is_some() {
+                        mach.completes.saturating_sub(now)
+                    } else {
+                        0
+                    },
+            })
+            .collect()
+    }
+
+    /// Route `job` through the balancing policy (or hold it at the
+    /// front-end if the whole fleet is down).
+    fn dispatch(&mut self, job: usize, now: u64) -> Result<(), ClusterError> {
+        let views = self.views(now, None);
+        if views.is_empty() {
+            self.pending.push_back(job);
+            self.metrics.add("cluster.frontend.held", 1);
+            return Ok(());
+        }
+        let m = self.policy.pick(&views);
+        self.enqueue(m, job, now)
+    }
+
+    fn enqueue(&mut self, m: usize, job: usize, now: u64) -> Result<(), ClusterError> {
+        let est = self.estimate(job, m);
+        let mach = &mut self.machines[m];
+        mach.queue.push_back(job);
+        mach.queued_cycles += est;
+        self.try_start(m, now)
+    }
+
+    /// Start the next queued job on `m` if it is idle and up. Resumed
+    /// jobs run their adoption proof here: a real `adopt_bytes` run on
+    /// this machine, compared against the unmigrated reference.
+    fn try_start(&mut self, m: usize, now: u64) -> Result<(), ClusterError> {
+        if !self.machines[m].up || self.machines[m].running.is_some() {
+            return Ok(());
+        }
+        let Some(job) = self.machines[m].queue.pop_front() else {
+            return Ok(());
+        };
+        let est = self.estimate(job, m);
+        self.machines[m].queued_cycles = self.machines[m].queued_cycles.saturating_sub(est);
+        if self.jobs[job].origin.is_none() {
+            self.jobs[job].origin = Some(m);
+        }
+
+        let (exec_start, vm_base, exec_cycles) = match self.jobs[job].resume.clone() {
+            Some(r) => {
+                self.prove_adoption(job, m, &r)?;
+                let wall = self.ref_outcome(job, m).stats.wall_cycles;
+                (
+                    now + self.cfg.dispatch_cycles + self.transfer_cycles(r.bytes.len() as u64),
+                    r.restored_wall,
+                    wall.saturating_sub(r.restored_wall),
+                )
+            }
+            None => (
+                now + self.cfg.dispatch_cycles,
+                0,
+                self.ref_outcome(job, m).stats.wall_cycles,
+            ),
+        };
+        let completes = exec_start + exec_cycles;
+        let epoch = self.machines[m].epoch;
+        self.machines[m].running = Some(Running {
+            job,
+            exec_start,
+            vm_base,
+        });
+        self.machines[m].completes = completes;
+        self.push(completes, Ev::Done { machine: m, epoch });
+        Ok(())
+    }
+
+    /// The bit-identity proof: adopt the job's snapshot on machine `m`
+    /// (whose own fault plan may differ from the origin's) and require
+    /// the completed run to match the unmigrated reference exactly.
+    fn prove_adoption(&mut self, job: usize, m: usize, r: &Resume) -> Result<(), ClusterError> {
+        let class = self.jobs[job].class;
+        let reference = Rc::clone(self.ref_outcome(job, m));
+        let vm = HeraJvm::new(
+            self.profile.classes[class].program.clone(),
+            machine_vm_config(self.cfg, self.profile.plans[m]),
+        )
+        .map_err(|e| vm_err("adoption vm", e))?;
+        let out = vm
+            .adopt_bytes(&r.bytes)
+            .map_err(|e| vm_err("adoption run", e))?;
+        let mut ok = true;
+        let mut check = |what: &str, same: bool| {
+            if !same {
+                ok = false;
+                self.failures.push(format!(
+                    "job {job} adopted on machine {m}: {what} diverged from the unmigrated run"
+                ));
+            }
+        };
+        check("result", out.result == reference.result);
+        check("traps", out.traps == reference.traps);
+        check("output", out.output == reference.output);
+        check("final heap image", out.heap_digest == reference.heap_digest);
+        check(
+            "wall cycles",
+            out.stats.wall_cycles == reference.stats.wall_cycles,
+        );
+        if let Some(idx) = self.jobs[job].pending_migration.take() {
+            self.migration_events[idx].verified_identical = ok;
+        }
+        self.metrics.add("cluster.adoption.proofs", 1);
+        Ok(())
+    }
+
+    fn complete(&mut self, job: usize, now: u64) {
+        let j = &mut self.jobs[job];
+        debug_assert!(j.completed_at.is_none(), "job completed twice");
+        j.completed_at = Some(now);
+        let latency = now - j.arrival;
+        let name = self.profile.classes[j.class].workload.name();
+        self.metrics.record("cluster.latency", latency);
+        self.metrics
+            .record(&format!("cluster.latency.{name}"), latency);
+        self.metrics.add("cluster.completed", 1);
+    }
+
+    /// Re-execute the running job for real with a machine crash scheduled
+    /// at absolute VM cycle `abs`: the doomed run yields the checkpoints
+    /// that had streamed out before the machine died.
+    fn doomed_run(&self, job: usize, m: usize, abs: u64) -> Result<RunEnd, ClusterError> {
+        let j = &self.jobs[job];
+        let plan = self.profile.plans[m].with_machine_crash(abs);
+        let vm = HeraJvm::new(
+            self.profile.classes[j.class].program.clone(),
+            machine_vm_config(self.cfg, plan),
+        )
+        .map_err(|e| vm_err("doomed vm", e))?;
+        match &j.resume {
+            None => vm.run_until_crash().map_err(|e| vm_err("doomed run", e)),
+            Some(r) => vm
+                .adopt_until_crash(&r.bytes)
+                .map_err(|e| vm_err("doomed adopted run", e)),
+        }
+    }
+
+    /// Capture the freshest snapshot available for a job interrupted at
+    /// absolute VM cycle `abs`: the last checkpoint of the doomed re-run,
+    /// falling back to the snapshot it was already resuming from.
+    /// Returns the new resume state and the re-executed cycles, or
+    /// `None` if the job has no snapshot at all (full restart).
+    fn capture(
+        &mut self,
+        job: usize,
+        checkpoints: Vec<hera_core::CheckpointBlob>,
+        at_cycle: u64,
+    ) -> Result<(Option<Resume>, u64), ClusterError> {
+        if let Some(last) = checkpoints.into_iter().next_back() {
+            let info = hera_core::snapshot::inspect(&last.bytes)
+                .map_err(|e| vm_err("checkpoint inspect", e))?;
+            let reexec = at_cycle.saturating_sub(info.wall_cycles);
+            return Ok((
+                Some(Resume {
+                    bytes: Rc::new(last.bytes),
+                    restored_wall: info.wall_cycles,
+                }),
+                reexec,
+            ));
+        }
+        if let Some(old) = self.jobs[job].resume.clone() {
+            let reexec = at_cycle.saturating_sub(old.restored_wall);
+            return Ok((Some(old), reexec));
+        }
+        Ok((None, at_cycle))
+    }
+
+    fn handle_crash(&mut self, m: usize, now: u64) -> Result<(), ClusterError> {
+        if !self.machines[m].up {
+            self.metrics.add("cluster.crash.skipped_down", 1);
+            return Ok(());
+        }
+        self.machines[m].up = false;
+        self.machines[m].epoch += 1;
+        let mut requeue = Vec::new();
+        let mut resumed_from_checkpoint = false;
+        let mut reexec_total = 0u64;
+
+        if let Some(run) = self.machines[m].running.take() {
+            let job = run.job;
+            if now <= run.exec_start {
+                // Died during dispatch/transfer: nothing executed yet.
+                requeue.push(job);
+            } else {
+                let abs = run.vm_base + (now - run.exec_start);
+                match self.doomed_run(job, m, abs)? {
+                    RunEnd::Completed(_) => {
+                        // The crash point fell after the run's last
+                        // safepoint: the job finished before the machine
+                        // died. Complete it at the crash instant.
+                        self.metrics.add("cluster.crash.finished_anyway", 1);
+                        self.complete(job, now);
+                    }
+                    RunEnd::Crashed {
+                        at_cycle,
+                        checkpoints,
+                    } => {
+                        let (resume, reexec) = self.capture(job, checkpoints, at_cycle)?;
+                        resumed_from_checkpoint = resume.is_some();
+                        if resume.is_none() {
+                            self.metrics.add("cluster.crash.restarts", 1);
+                        }
+                        self.jobs[job].resume = resume;
+                        reexec_total += reexec;
+                        self.metrics.record("cluster.recovery.reexec", reexec);
+                        requeue.push(job);
+                    }
+                }
+            }
+        }
+        let queued: Vec<usize> = self.machines[m].queue.drain(..).collect();
+        self.machines[m].queued_cycles = 0;
+        requeue.extend(queued);
+
+        let in_flight = requeue.len() as u64;
+        for job in requeue {
+            self.jobs[job].requeues += 1;
+            self.metrics.add("cluster.crash.requeued", 1);
+            self.dispatch(job, now)?;
+        }
+        self.push(now + self.cfg.recovery_cycles, Ev::Recover { machine: m });
+        self.metrics.add("cluster.crashes", 1);
+        self.crash_events.push(CrashEvent {
+            machine: m,
+            at: now,
+            in_flight,
+            resumed_from_checkpoint,
+            reexec_cycles: reexec_total,
+        });
+        Ok(())
+    }
+
+    fn handle_migrate(&mut self, m: usize, now: u64) -> Result<(), ClusterError> {
+        if !self.machines[m].up || self.machines[m].running.is_none() {
+            self.metrics.add("cluster.migration.skipped_idle", 1);
+            return Ok(());
+        }
+        let views = self.views(now, Some(m));
+        if views.is_empty() {
+            self.metrics.add("cluster.migration.skipped_no_dest", 1);
+            return Ok(());
+        }
+        let run = self.machines[m].running.as_ref().expect("checked above");
+        let (job, exec_start, vm_base) = (run.job, run.exec_start, run.vm_base);
+        if now <= exec_start {
+            self.metrics.add("cluster.migration.skipped_not_started", 1);
+            return Ok(());
+        }
+        let abs = vm_base + (now - exec_start);
+        match self.doomed_run(job, m, abs)? {
+            RunEnd::Completed(_) => {
+                // Too close to the finish line to capture a safepoint:
+                // let it complete in place.
+                self.metrics.add("cluster.migration.skipped_late", 1);
+                Ok(())
+            }
+            RunEnd::Crashed {
+                at_cycle,
+                checkpoints,
+            } => {
+                let (resume, reexec) = self.capture(job, checkpoints, at_cycle)?;
+                let Some(resume) = resume else {
+                    self.metrics.add("cluster.migration.skipped_no_snapshot", 1);
+                    return Ok(());
+                };
+                // Detach from the source; its pending Done goes stale.
+                self.machines[m].running = None;
+                self.machines[m].epoch += 1;
+                let dest = self.policy.pick(&views);
+                let bytes = resume.bytes.len() as u64;
+                let transfer = self.transfer_cycles(bytes);
+                self.jobs[job].resume = Some(resume);
+                self.jobs[job].pending_migration = Some(self.migration_events.len());
+                self.migration_events.push(MigrationEvent {
+                    src: m,
+                    dest,
+                    at: now,
+                    snapshot_bytes: bytes,
+                    transfer_cycles: transfer,
+                    reexec_cycles: reexec,
+                    verified_identical: false,
+                });
+                self.metrics.add("cluster.migrations", 1);
+                self.metrics.record("cluster.migration.transfer", transfer);
+                self.metrics.record("cluster.migration.reexec", reexec);
+                self.enqueue(dest, job, now)?;
+                self.try_start(m, now)
+            }
+        }
+    }
+
+    fn run(&mut self, trace: &[Request]) -> Result<(), ClusterError> {
+        if !trace.is_empty() {
+            self.push(trace[0].arrival, Ev::Arrive(0));
+        }
+        while let Some(std::cmp::Reverse((now, _, ev))) = self.heap.pop() {
+            match ev {
+                Ev::Arrive(i) => {
+                    if i + 1 < trace.len() {
+                        self.push(trace[i + 1].arrival, Ev::Arrive(i + 1));
+                    }
+                    self.metrics.add("cluster.requests", 1);
+                    self.dispatch(i, now)?;
+                }
+                Ev::Done { machine, epoch } => {
+                    if !self.machines[machine].up || self.machines[machine].epoch != epoch {
+                        continue; // stale: the machine crashed or migrated the job away
+                    }
+                    let Some(run) = self.machines[machine].running.take() else {
+                        continue;
+                    };
+                    self.complete(run.job, now);
+                    self.try_start(machine, now)?;
+                }
+                Ev::Crash { machine } => self.handle_crash(machine, now)?,
+                Ev::Migrate { machine } => self.handle_migrate(machine, now)?,
+                Ev::Recover { machine } => {
+                    self.machines[machine].up = true;
+                    self.metrics.add("cluster.recoveries", 1);
+                    while let Some(job) = self.pending.pop_front() {
+                        self.dispatch(job, now)?;
+                    }
+                    self.try_start(machine, now)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn run_policy(
+    cfg: &ClusterConfig,
+    profile: &FleetProfile,
+    trace: &[Request],
+    span: u64,
+    policy: Box<dyn BalancePolicy>,
+    failures: &mut Vec<String>,
+) -> Result<PolicyOutcome, ClusterError> {
+    let name = policy.name();
+    let jobs: Vec<Job> = trace
+        .iter()
+        .map(|r| Job {
+            arrival: r.arrival,
+            class: r.class,
+            origin: None,
+            resume: None,
+            requeues: 0,
+            pending_migration: None,
+            completed_at: None,
+        })
+        .collect();
+    let machines: Vec<Mach> = (0..cfg.machines)
+        .map(|_| Mach {
+            up: true,
+            epoch: 0,
+            queue: VecDeque::new(),
+            queued_cycles: 0,
+            running: None,
+            completes: 0,
+        })
+        .collect();
+    let mut sim = Sim {
+        cfg,
+        profile,
+        policy,
+        jobs,
+        machines,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        pending: VecDeque::new(),
+        metrics: MetricsRegistry::default(),
+        crash_events: Vec::new(),
+        migration_events: Vec::new(),
+        failures: Vec::new(),
+    };
+    // Faults and migrations are scheduled as per-mille points of the
+    // trace's arrival span, so configs stay meaningful across scales.
+    for &(machine, permille) in &cfg.crashes {
+        let t = span / 1000 * permille as u64;
+        sim.push(t, Ev::Crash { machine });
+    }
+    for &(machine, permille) in &cfg.migrations {
+        let t = span / 1000 * permille as u64;
+        sim.push(t, Ev::Migrate { machine });
+    }
+    sim.run(trace)?;
+
+    let mut requeues = BTreeMap::new();
+    for (i, j) in sim.jobs.iter().enumerate() {
+        if j.requeues > 0 {
+            requeues.insert(i, j.requeues);
+        }
+        if j.completed_at.is_none() {
+            sim.failures
+                .push(format!("policy {name}: job {i} never completed"));
+        }
+    }
+    if !sim.pending.is_empty() {
+        sim.failures.push(format!(
+            "policy {name}: {} jobs stuck at the front-end",
+            sim.pending.len()
+        ));
+    }
+    failures.append(&mut sim.failures);
+    Ok(PolicyOutcome {
+        policy: name,
+        completed: sim.metrics.counter("cluster.completed"),
+        metrics: sim.metrics,
+        crash_events: sim.crash_events,
+        migration_events: sim.migration_events,
+        requeues,
+    })
+}
+
+/// Run the full experiment: measure the fleet profile, generate the
+/// trace, and replay it once per balancing policy (round-robin,
+/// join-shortest-queue, least-loaded).
+pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError> {
+    if cfg.machines == 0 {
+        return Err(ClusterError("cluster needs at least one machine".into()));
+    }
+    for &(m, _) in cfg.crashes.iter().chain(&cfg.migrations) {
+        if m >= cfg.machines {
+            return Err(ClusterError(format!(
+                "machine {m} out of range for a {}-machine fleet",
+                cfg.machines
+            )));
+        }
+    }
+    let profile = build_profile(cfg)?;
+    let util = cfg.utilization_pct.clamp(1, 100) as u64;
+    let mean_inter = (profile.mean_service * 100 / util / cfg.machines.max(1) as u64).max(1);
+    let trace = traffic::generate(cfg.seed, cfg.requests, mean_inter, cfg.arrival, &cfg.mix);
+    let span = trace.last().map(|r| r.arrival).unwrap_or(0);
+
+    let mut header = String::new();
+    let _ = writeln!(
+        header,
+        "== hera-cluster: {} machines x {} SPEs, {} requests, seed {}, arrival {}, mix {:?} ==",
+        cfg.machines,
+        cfg.num_spes,
+        cfg.requests,
+        cfg.seed,
+        cfg.arrival.label(),
+        cfg.mix
+    );
+    let _ = writeln!(
+        header,
+        "mean service {} cycles, mean inter-arrival {} cycles (target utilization {}%), \
+         trace span {} cycles",
+        profile.mean_service, mean_inter, cfg.utilization_pct, span
+    );
+    for (c, class) in profile.classes.iter().enumerate() {
+        let walls: Vec<u64> = profile.reference[c]
+            .iter()
+            .map(|o| o.stats.wall_cycles)
+            .collect();
+        let _ = writeln!(
+            header,
+            "class {}: service cycles per machine {:?}",
+            class.workload.name(),
+            walls
+        );
+    }
+
+    let policies: Vec<Box<dyn BalancePolicy>> = vec![
+        Box::new(crate::policy::RoundRobin::default()),
+        Box::new(crate::policy::JoinShortestQueue),
+        Box::new(crate::policy::LeastLoaded),
+    ];
+    let mut outcomes = Vec::new();
+    let mut failures = Vec::new();
+    for policy in policies {
+        let mut outcome = run_policy(cfg, &profile, &trace, span, policy, &mut failures)?;
+        outcome
+            .metrics
+            .set("cluster.requeued_jobs", outcome.requeues.len() as u64);
+        outcomes.push(outcome);
+    }
+    Ok(ClusterReport {
+        header,
+        outcomes,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClusterConfig {
+        ClusterConfig {
+            machines: 2,
+            requests: 40,
+            threads: 2,
+            scale: 0.02,
+            num_spes: 2,
+            heap_bytes: 1 << 20,
+            crashes: vec![],
+            migrations: vec![],
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_fleet_completes_every_request() {
+        let report = run_experiment(&tiny()).expect("experiment runs");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.outcomes.len(), 3);
+        for o in &report.outcomes {
+            assert_eq!(o.completed, 40, "policy {}", o.policy);
+            let h = o.metrics.histogram("cluster.latency").expect("latency");
+            assert_eq!(h.count, 40);
+            assert!(h.p50() <= h.p99());
+        }
+    }
+
+    #[test]
+    fn report_is_seed_deterministic() {
+        let a = run_experiment(&tiny()).unwrap().render();
+        let b = run_experiment(&tiny()).unwrap().render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_machines() {
+        let mut cfg = tiny();
+        cfg.machines = 0;
+        assert!(run_experiment(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.crashes = vec![(9, 500)];
+        assert!(run_experiment(&cfg).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! hera-cluster: a simulated fleet of Cell machines behind one front-end.
+//!
+//! Each fleet member is the full single-machine simulator (a PPE plus
+//! `num_spes` SPEs under a per-machine fault plan); the front-end replays
+//! a seeded synthetic request trace onto their run queues through a
+//! pluggable [`BalancePolicy`]. Everything happens in fleet-virtual time
+//! inside a deterministic discrete-event loop, so a whole experiment —
+//! traffic, queueing, machine crashes, checkpoint recovery, and
+//! snapshot-based live migration — is a pure function of its
+//! [`ClusterConfig`] and renders to a byte-identical report on every
+//! platform.
+//!
+//! The headline property is migration correctness: a job moved between
+//! machines mid-flight (checkpoint on the source, virtual transfer
+//! charged by snapshot size, adoption on the destination) is proven
+//! bit-identical to the run that never moved — result, traps, output,
+//! and final heap image — and the proof runs inside the experiment for
+//! every migration and every crash recovery.
+
+pub mod policy;
+pub mod traffic;
+
+mod fleet;
+
+pub use fleet::{run_experiment, ClusterReport, CrashEvent, MigrationEvent, PolicyOutcome};
+pub use policy::{BalancePolicy, JoinShortestQueue, LeastLoaded, MachineView, RoundRobin};
+pub use traffic::{generate, ArrivalShape, Request};
+
+/// An experiment that could not run (bad config, or a VM error that is a
+/// bug rather than a measured outcome). Divergence proofs that *fail*
+/// are reported in [`ClusterReport::failures`], not here.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClusterError(pub String);
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Everything that defines one fleet experiment.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusterConfig {
+    /// Master seed: drives the trace, per-machine fault plans, and
+    /// therefore the entire simulation.
+    pub seed: u64,
+    /// Fleet size.
+    pub machines: usize,
+    /// Requests in the synthetic trace.
+    pub requests: u64,
+    /// Guest threads per job.
+    pub threads: u32,
+    /// Workload scale factor (passed to `Workload::build`).
+    pub scale: f64,
+    /// SPEs per machine.
+    pub num_spes: u8,
+    /// Heap size per machine. Fleet machines run small heaps: snapshot
+    /// capture walks the whole heap image, so this bounds checkpoint and
+    /// migration cost (the defaults hold the cluster workloads with
+    /// plenty of slack).
+    pub heap_bytes: u32,
+    /// Inter-arrival distribution.
+    pub arrival: ArrivalShape,
+    /// Target fleet utilization (1..=100); sets the mean arrival rate
+    /// relative to the measured mean service time.
+    pub utilization_pct: u32,
+    /// Workload-class mix weights (compress, mpegaudio, mandelbrot).
+    pub mix: Vec<u32>,
+    /// Transient-fault rates `(mfc_transfer, eib_timeout, ls_corruption)`
+    /// in ppm, seeded per machine; `None` runs a fault-free fleet.
+    pub fault_rates: Option<(u32, u32, u32)>,
+    /// Checkpoint interval in VM cycles (feeds crash recovery and
+    /// migration; smaller ⇒ less re-execution, more write stalls).
+    pub checkpoint_every: u64,
+    /// Front-end dispatch overhead per placement, in cycles.
+    pub dispatch_cycles: u64,
+    /// Fixed latency of a snapshot transfer between machines.
+    pub transfer_latency_cycles: u64,
+    /// Snapshot bytes moved per virtual cycle during a transfer.
+    pub transfer_bytes_per_cycle: u64,
+    /// Downtime of a crashed machine before it rejoins the fleet.
+    pub recovery_cycles: u64,
+    /// Machine crashes as `(machine, permille)`: the crash fires at that
+    /// per-mille point of the trace's arrival span.
+    pub crashes: Vec<(usize, u32)>,
+    /// Live migrations as `(source machine, permille)`, same timescale.
+    pub migrations: Vec<(usize, u32)>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 42,
+            machines: 4,
+            requests: 2_000,
+            threads: 4,
+            scale: 0.05,
+            num_spes: 6,
+            heap_bytes: 2 << 20,
+            arrival: ArrivalShape::Exponential,
+            utilization_pct: 70,
+            mix: vec![1, 1, 1],
+            fault_rates: None,
+            checkpoint_every: 150_000,
+            dispatch_cycles: 2_000,
+            transfer_latency_cycles: 5_000,
+            transfer_bytes_per_cycle: 16,
+            recovery_cycles: 1_000_000,
+            crashes: vec![(1, 350)],
+            migrations: vec![(0, 600)],
+        }
+    }
+}

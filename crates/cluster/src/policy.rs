@@ -1,0 +1,126 @@
+//! Pluggable load-balancing policies.
+//!
+//! The front-end consults a [`BalancePolicy`] every time a request (or a
+//! requeued/migrated job) needs a machine. Policies see only
+//! [`MachineView`]s of the currently-up machines and must be
+//! deterministic: same view sequence ⇒ same picks.
+
+/// What a policy may observe about one up machine at dispatch time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineView {
+    /// Fleet-wide machine index.
+    pub machine: usize,
+    /// Jobs waiting in the machine's run queue (excluding the running one).
+    pub queue_len: usize,
+    /// Whether a job is executing right now.
+    pub running: bool,
+    /// Estimated virtual cycles of queued + remaining running work.
+    pub backlog_cycles: u64,
+}
+
+/// A deterministic load-balancing policy.
+///
+/// `views` is never empty and is sorted by machine index; the returned
+/// value must be the `machine` field of one of the views.
+pub trait BalancePolicy {
+    /// Stable name used in reports and metrics keys.
+    fn name(&self) -> &'static str;
+    /// Pick the machine to receive the next job.
+    fn pick(&mut self, views: &[MachineView]) -> usize;
+}
+
+/// Cycle through machines in index order, skipping down machines.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl BalancePolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn pick(&mut self, views: &[MachineView]) -> usize {
+        let v = &views[self.next % views.len()];
+        self.next = self.next.wrapping_add(1);
+        v.machine
+    }
+}
+
+/// Join the shortest queue (by waiting-job count, ties to the lowest
+/// machine index). The classic supermarket policy.
+#[derive(Default)]
+pub struct JoinShortestQueue;
+
+impl BalancePolicy for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "join-shortest-queue"
+    }
+    fn pick(&mut self, views: &[MachineView]) -> usize {
+        views
+            .iter()
+            .min_by_key(|v| (v.queue_len + v.running as usize, v.machine))
+            .expect("views is never empty")
+            .machine
+    }
+}
+
+/// Join the machine with the least estimated backlog in virtual cycles
+/// (ties to the lowest machine index). Sees through queue-length
+/// illusions when job classes have very different service times.
+#[derive(Default)]
+pub struct LeastLoaded;
+
+impl BalancePolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+    fn pick(&mut self, views: &[MachineView]) -> usize {
+        views
+            .iter()
+            .min_by_key(|v| (v.backlog_cycles, v.machine))
+            .expect("views is never empty")
+            .machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(machine: usize, queue_len: usize, running: bool, backlog: u64) -> MachineView {
+        MachineView {
+            machine,
+            queue_len,
+            running,
+            backlog_cycles: backlog,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_up_machines() {
+        let mut p = RoundRobin::default();
+        let views = [view(0, 0, false, 0), view(2, 0, false, 0)];
+        assert_eq!(p.pick(&views), 0);
+        assert_eq!(p.pick(&views), 2);
+        assert_eq!(p.pick(&views), 0);
+    }
+
+    #[test]
+    fn jsq_prefers_short_queues_then_low_index() {
+        let mut p = JoinShortestQueue;
+        assert_eq!(p.pick(&[view(0, 3, true, 0), view(1, 1, true, 0)]), 1);
+        // A running job counts as one queue slot.
+        assert_eq!(p.pick(&[view(0, 0, true, 0), view(1, 0, false, 0)]), 1);
+        assert_eq!(p.pick(&[view(0, 2, true, 0), view(1, 2, true, 0)]), 0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_small_backlog() {
+        let mut p = LeastLoaded;
+        assert_eq!(
+            p.pick(&[view(0, 1, true, 900), view(1, 5, true, 100)]),
+            1,
+            "five tiny jobs beat one huge job"
+        );
+    }
+}

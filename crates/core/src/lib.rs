@@ -51,7 +51,7 @@ pub mod world;
 
 pub use native::StdNative;
 pub use policy::PlacementPolicy;
-pub use snapshot::{CheckpointBlob, SnapshotInfo};
+pub use snapshot::{CheckpointBlob, RestoreMode, SnapshotInfo};
 pub use stats::RunStats;
 pub use thread::{ThreadId, ThreadState};
-pub use vm::{HeraJvm, RunOutcome, VmConfig, VmError};
+pub use vm::{HeraJvm, RunEnd, RunOutcome, VmConfig, VmError};

@@ -29,7 +29,7 @@ use crate::thread::{
 };
 use crate::vm::VmConfig;
 use crate::world::World;
-use hera_cell::{CoreId, CoreKind, CycleBreakdown};
+use hera_cell::{CoreId, CoreKind, CycleBreakdown, FaultPlan, SpeDeath};
 use hera_isa::{ClassId, MethodId, ObjRef, Program, Slot, Trap, Value};
 use hera_snap::{digest64, open, rle_decode, rle_encode, seal, SnapError, SnapReader, SnapWriter};
 use hera_trace::{Histogram, MetricsRegistry, MigrationKind};
@@ -62,13 +62,90 @@ pub struct SnapshotInfo {
     pub payload_len: usize,
 }
 
-/// Digest of the run configuration. `machine_crash_at` is zeroed first:
-/// crash-recovery restores a crashed run's checkpoint under the same
-/// config *minus* the crash, and the two must digest identically.
+/// Digest of the *machine* configuration: the run configuration with the
+/// whole fault plan zeroed. The fault plan is carried in the snapshot
+/// explicitly (see [`encode_fault_plan`]) rather than folded into the
+/// digest, so that a checkpoint can be restored on a machine whose own
+/// plan differs — cross-machine migration in a fleet where every machine
+/// has its own fault seed. Strict restores still compare the carried plan
+/// against the destination's; adoption installs the carried plan instead.
 pub fn config_digest(config: &VmConfig) -> u64 {
     let mut cfg = *config;
-    cfg.cell.faults.machine_crash_at = None;
+    cfg.cell.faults = FaultPlan::default();
     digest64(format!("{cfg:?}").as_bytes())
+}
+
+/// Encode `plan` with `machine_crash_at` zeroed. The crash schedule is a
+/// run-local kill switch, not VM state: a checkpoint taken by a doomed
+/// run must be byte-identical to the same-seq checkpoint of the clean
+/// run, so the crash must not appear in the bytes.
+fn encode_fault_plan(w: &mut SnapWriter, plan: &FaultPlan) {
+    w.u64(plan.seed);
+    for rate in [
+        plan.mfc_transfer_ppm,
+        plan.eib_timeout_ppm,
+        plan.ls_corruption_ppm,
+        plan.proxy_timeout_ppm,
+        plan.migration_timeout_ppm,
+        plan.max_retries,
+        plan.backoff_base_cycles,
+        plan.eib_timeout_cycles,
+        plan.checksum_cycles,
+        plan.watchdog_cycles,
+    ] {
+        w.u32(rate);
+    }
+    for slot in &plan.spe_deaths {
+        match slot {
+            Some(d) => {
+                w.u8(1);
+                w.u8(d.spe);
+                w.u64(d.at_cycle);
+            }
+            None => {
+                w.u8(0);
+                w.u8(0);
+                w.u64(0);
+            }
+        }
+    }
+}
+
+/// Decode the plan written by [`encode_fault_plan`]. `machine_crash_at`
+/// is always `None` — the crash schedule never travels with a snapshot.
+fn decode_fault_plan(r: &mut SnapReader<'_>) -> Result<FaultPlan, SnapError> {
+    let mut plan = FaultPlan {
+        seed: r.u64()?,
+        ..FaultPlan::default()
+    };
+    plan.mfc_transfer_ppm = r.u32()?;
+    plan.eib_timeout_ppm = r.u32()?;
+    plan.ls_corruption_ppm = r.u32()?;
+    plan.proxy_timeout_ppm = r.u32()?;
+    plan.migration_timeout_ppm = r.u32()?;
+    plan.max_retries = r.u32()?;
+    plan.backoff_base_cycles = r.u32()?;
+    plan.eib_timeout_cycles = r.u32()?;
+    plan.checksum_cycles = r.u32()?;
+    plan.watchdog_cycles = r.u32()?;
+    for slot in plan.spe_deaths.iter_mut() {
+        let present = r.u8()? != 0;
+        let spe = r.u8()?;
+        let at_cycle = r.u64()?;
+        if present {
+            *slot = Some(SpeDeath { spe, at_cycle });
+        }
+    }
+    Ok(plan)
+}
+
+/// `plan` with the crash schedule removed — the shape that is compared
+/// across a checkpoint/restore pair (the source may have been doomed, the
+/// destination is not, and neither difference is real VM state).
+fn crashless(plan: &FaultPlan) -> FaultPlan {
+    let mut p = *plan;
+    p.machine_crash_at = None;
+    p
 }
 
 /// Digest of the guest program. Digests the Debug rendering of the
@@ -299,6 +376,7 @@ pub(crate) fn encode_core(world: &World<'_>) -> Vec<u8> {
     let mut w = SnapWriter::new();
     w.u64(config_digest(&world.config));
     w.u64(program_digest(world.program));
+    encode_fault_plan(&mut w, &crashless(&world.config.cell.faults));
     w.u32(world.checkpoint_seq);
     let cores = world.machine.cores();
     w.u64(world.machine.makespan(&cores));
@@ -609,6 +687,7 @@ pub fn inspect(bytes: &[u8]) -> Result<SnapshotInfo, SnapError> {
     let mut cr = SnapReader::new(core);
     let _config = cr.u64()?;
     let _program = cr.u64()?;
+    let _plan = decode_fault_plan(&mut cr)?;
     let seq = cr.u32()?;
     let wall_cycles = cr.u64()?;
     Ok(SnapshotInfo {
@@ -623,14 +702,35 @@ fn corrupt(ctx: &str, detail: &'static str) -> SnapError {
     SnapError::Corrupt(format!("{ctx}: {detail}"))
 }
 
+/// How a restore treats the fault plan carried in the snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RestoreMode {
+    /// The destination's fault plan must equal the carried one (ignoring
+    /// crash schedules on either side). This is the single-machine
+    /// resume: the run continues under the exact configuration it was
+    /// checkpointed under.
+    Strict,
+    /// Install the carried fault plan on the destination machine,
+    /// keeping only the destination's own crash schedule. This is
+    /// cross-machine migration: the VM's fault stream travels with it,
+    /// so the resumed run is bit-identical to the uninterrupted run even
+    /// when the destination machine's own plan differs.
+    Adopt,
+}
+
 /// Decode a sealed snapshot into a *fresh* world built from the same
-/// program and configuration. Returns the snapshot's sequence number.
+/// program and (modulo [`RestoreMode`]) the same configuration. Returns
+/// the snapshot's sequence number.
 ///
 /// Every structural invariant is validated on the way in: a corrupted
 /// payload that survives the container CRC (it cannot — but also e.g. a
 /// snapshot from a different program or config) is rejected with a typed
 /// [`SnapError`], never a panic or a silently wrong resume.
-pub fn restore_into(world: &mut World<'_>, bytes: &[u8]) -> Result<u32, SnapError> {
+pub fn restore_into(
+    world: &mut World<'_>,
+    bytes: &[u8],
+    mode: RestoreMode,
+) -> Result<u32, SnapError> {
     let payload = open(bytes)?;
     let mut outer = SnapReader::new(payload);
     let core_len = outer.len_prefix(1)?;
@@ -646,6 +746,22 @@ pub fn restore_into(world: &mut World<'_>, bytes: &[u8]) -> Result<u32, SnapErro
         return Err(SnapError::Corrupt(
             "snapshot was taken of a different guest program".into(),
         ));
+    }
+    let carried = decode_fault_plan(&mut r)?;
+    match mode {
+        RestoreMode::Strict => {
+            if carried != crashless(&world.config.cell.faults) {
+                return Err(SnapError::Corrupt(
+                    "snapshot was taken under a different fault plan".into(),
+                ));
+            }
+        }
+        RestoreMode::Adopt => {
+            let mut plan = carried;
+            plan.machine_crash_at = world.config.cell.faults.machine_crash_at;
+            world.config.cell.faults = plan;
+            world.machine.adopt_fault_plan(plan);
+        }
     }
     let seq = r.u32()?;
     let _wall = r.u64()?;

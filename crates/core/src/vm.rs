@@ -2,7 +2,7 @@
 //! verification), and `run()`.
 
 use crate::policy::PlacementPolicy;
-use crate::snapshot::CheckpointBlob;
+use crate::snapshot::{CheckpointBlob, RestoreMode};
 use crate::stats::{BusSummary, GcSummary, RunStats};
 use crate::thread::{ThreadId, ThreadState};
 use crate::world::World;
@@ -214,6 +214,23 @@ impl RunOutcome {
     }
 }
 
+/// How a crash-surviving run ([`HeraJvm::run_until_crash`] /
+/// [`HeraJvm::adopt_until_crash`]) ended.
+#[derive(Debug)]
+pub enum RunEnd {
+    /// The run finished; no scheduled crash fired (or none was scheduled).
+    Completed(Box<RunOutcome>),
+    /// The scheduled machine crash fired. The in-memory checkpoints taken
+    /// before the crash are preserved — in fleet terms, the blobs that
+    /// had already streamed to the snapshot store when the machine died.
+    Crashed {
+        /// Makespan at the safepoint where the crash fired.
+        at_cycle: u64,
+        /// Checkpoints taken before the crash, in sequence order.
+        checkpoints: Vec<CheckpointBlob>,
+    },
+}
+
 /// The Hera-JVM virtual machine.
 ///
 /// Owns a verified program and a configuration; each [`HeraJvm::run`]
@@ -279,10 +296,51 @@ impl HeraJvm {
         self.run_with(Some(snapshot))
     }
 
+    /// Resume from snapshot bytes taken on a *different* machine:
+    /// [`RestoreMode::Adopt`] installs the fault plan carried in the
+    /// snapshot (minus any crash schedule — this machine keeps its own),
+    /// so the resumed run replays the source machine's fault stream and
+    /// stays bit-identical to the uninterrupted source run. This is the
+    /// receive side of fleet live migration.
+    pub fn adopt_bytes(&self, snapshot: &[u8]) -> Result<RunOutcome, VmError> {
+        match self.run_mode(Some(snapshot), RestoreMode::Adopt, false)? {
+            RunEnd::Completed(o) => Ok(*o),
+            RunEnd::Crashed { .. } => unreachable!("crash surfaces as Err unless surviving"),
+        }
+    }
+
+    /// Run from scratch, but treat a scheduled machine crash as an
+    /// *observation* rather than an error: the crashed run's in-memory
+    /// checkpoints are returned alongside the crash cycle. (In a fleet,
+    /// checkpoints stream to a snapshot store as they are taken; this is
+    /// that store for simulated machines.) Any other failure is still an
+    /// `Err`.
+    pub fn run_until_crash(&self) -> Result<RunEnd, VmError> {
+        self.run_mode(None, RestoreMode::Strict, true)
+    }
+
+    /// [`HeraJvm::adopt_bytes`], but surviving a scheduled machine crash
+    /// like [`HeraJvm::run_until_crash`] — for chained migrations.
+    pub fn adopt_until_crash(&self, snapshot: &[u8]) -> Result<RunEnd, VmError> {
+        self.run_mode(Some(snapshot), RestoreMode::Adopt, true)
+    }
+
     /// Run to completion, either from scratch (`None`) or resuming from
     /// a snapshot. A resumed run's subsequent trace events and per-core
     /// cycle counts are bit-identical to the uninterrupted run's.
     pub fn run_with(&self, snapshot: Option<&[u8]>) -> Result<RunOutcome, VmError> {
+        match self.run_mode(snapshot, RestoreMode::Strict, false)? {
+            RunEnd::Completed(o) => Ok(*o),
+            RunEnd::Crashed { .. } => unreachable!("crash surfaces as Err unless surviving"),
+        }
+    }
+
+    fn run_mode(
+        &self,
+        snapshot: Option<&[u8]>,
+        mode: RestoreMode,
+        survive_crash: bool,
+    ) -> Result<RunEnd, VmError> {
         let entry = self.program.entry.ok_or(VmError::NoEntryPoint)?;
         let mut world = World::new(&self.program, self.config);
         world.checkpoint_dir = self.checkpoint_dir.clone();
@@ -301,8 +359,8 @@ impl HeraJvm {
                 world.spawn_thread(entry, Vec::new(), core, 0);
             }
             Some(bytes) => {
-                let seq =
-                    crate::snapshot::restore_into(&mut world, bytes).map_err(VmError::Snap)?;
+                let seq = crate::snapshot::restore_into(&mut world, bytes, mode)
+                    .map_err(VmError::Snap)?;
                 // Observability only: mark the resumption point in the
                 // trace. Restore charges no virtual cycles.
                 world
@@ -310,7 +368,16 @@ impl HeraJvm {
                     .emit(CoreId::Ppe, hera_trace::TraceEvent::Restore { seq });
             }
         }
-        world.run_to_completion()?;
+        match world.run_to_completion() {
+            Ok(()) => {}
+            Err(VmError::MachineCrash { at_cycle }) if survive_crash => {
+                return Ok(RunEnd::Crashed {
+                    at_cycle,
+                    checkpoints: std::mem::take(&mut world.checkpoints),
+                });
+            }
+            Err(e) => return Err(e),
+        }
 
         // Sweep any cycles charged after the last quantum (final GC,
         // shutdown work) to the runtime root, then close the profile.
@@ -349,7 +416,7 @@ impl HeraJvm {
             }
         }
         let heap_digest = hera_snap::digest64(world.heap.raw());
-        Ok(RunOutcome {
+        Ok(RunEnd::Completed(Box::new(RunOutcome {
             result,
             output: world.output.clone(),
             files: world.files.clone(),
@@ -359,7 +426,7 @@ impl HeraJvm {
             profile,
             heap_digest,
             checkpoints: std::mem::take(&mut world.checkpoints),
-        })
+        })))
     }
 
     fn collect_stats(world: &World<'_>) -> RunStats {

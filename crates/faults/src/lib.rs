@@ -16,30 +16,10 @@
 //! [`FaultInjector::site_active`] and take their unmodified fast path, so a
 //! quiet plan is provably zero-cost in virtual time.
 
-/// The classic splitmix64 mixer: a bijective avalanche over `u64`.
-///
-/// Good enough statistical quality for fault sampling, trivially portable,
-/// and — crucially — stateless: the output depends only on the input word.
-#[inline]
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Derive the draw word for `(seed, core, site, count)`.
-///
-/// Each component passes through the mixer before being combined so that
-/// adjacent cores/sites/counts land in unrelated parts of the stream.
-#[inline]
-pub fn draw_word(seed: u64, core: u64, site: u64, count: u64) -> u64 {
-    let a = splitmix64(seed ^ 0x243f_6a88_85a3_08d3);
-    let b = splitmix64(a ^ core.wrapping_mul(0x1000_0000_01b3));
-    let c = splitmix64(b ^ site.wrapping_mul(0x0100_0000_01b3));
-    splitmix64(c ^ count)
-}
+// The RNG primitives live in `hera-rng` (shared with the cluster trace
+// generator); re-exported here so existing `hera_faults::splitmix64` /
+// `hera_faults::draw_word` callers keep working unchanged.
+pub use hera_rng::{draw_word, splitmix64};
 
 /// Where in the machine a fault can be injected.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

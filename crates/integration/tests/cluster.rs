@@ -1,0 +1,182 @@
+//! Fleet-level integration tests: determinism of the cluster report,
+//! crash-recovery requeue accounting, and the migration bit-identity
+//! proof — including the underlying snapshot-adoption API.
+
+use hera_cell::FaultPlan;
+use hera_cluster::{run_experiment, ArrivalShape, ClusterConfig};
+use hera_core::{HeraJvm, RunEnd, VmConfig};
+use hera_workloads::Workload;
+
+/// A fleet small enough for debug-mode CI but busy enough that crashes
+/// catch jobs in flight: bursty arrivals near saturation.
+fn busy_fleet() -> ClusterConfig {
+    ClusterConfig {
+        seed: 42,
+        machines: 2,
+        requests: 50,
+        threads: 2,
+        scale: 0.02,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        arrival: ArrivalShape::Bursty { burst: 6 },
+        utilization_pct: 98,
+        crashes: vec![(1, 500)],
+        migrations: vec![(0, 700)],
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_reports_are_byte_identical() {
+    let cfg = busy_fleet();
+    let a = run_experiment(&cfg).expect("experiment runs");
+    let b = run_experiment(&cfg).expect("experiment runs");
+    assert_eq!(a.render(), b.render(), "rendered reports diverged");
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        // Histogram equality is stronger than the rendering: every
+        // bucket, not just the printed percentiles.
+        assert_eq!(
+            oa.metrics, ob.metrics,
+            "policy {} metrics diverged",
+            oa.policy
+        );
+    }
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+}
+
+#[test]
+fn different_seeds_produce_different_reports() {
+    let cfg = busy_fleet();
+    let mut other = busy_fleet();
+    other.seed = 43;
+    let a = run_experiment(&cfg).expect("experiment runs");
+    let b = run_experiment(&other).expect("experiment runs");
+    assert_ne!(
+        a.render(),
+        b.render(),
+        "different seeds gave identical reports"
+    );
+}
+
+#[test]
+fn crash_requeues_every_in_flight_job_exactly_once() {
+    let report = run_experiment(&busy_fleet()).expect("experiment runs");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let mut saw_in_flight = false;
+    for o in &report.outcomes {
+        assert_eq!(o.crash_events.len(), 1, "policy {}", o.policy);
+        let crash = &o.crash_events[0];
+        // With a single crash, the per-job requeue ledger must contain
+        // exactly the jobs the crash caught in flight, each once.
+        assert_eq!(
+            o.requeues.len() as u64,
+            crash.in_flight,
+            "policy {}: requeued jobs != in-flight jobs",
+            o.policy
+        );
+        for (&job, &n) in &o.requeues {
+            assert_eq!(n, 1, "policy {}: job {job} requeued {n} times", o.policy);
+        }
+        assert_eq!(
+            o.metrics.counter("cluster.crash.requeued"),
+            crash.in_flight,
+            "policy {}",
+            o.policy
+        );
+        // Every request still completes, through the requeue.
+        assert_eq!(o.completed, 50, "policy {}", o.policy);
+        saw_in_flight |= crash.in_flight > 0;
+    }
+    assert!(
+        saw_in_flight,
+        "crash never caught a job in flight — config not busy enough to test requeueing"
+    );
+}
+
+#[test]
+fn migration_is_bit_identical_under_an_active_fault_plan() {
+    let mut cfg = busy_fleet();
+    // Machines run distinct seeded transient-fault plans; migration must
+    // still reproduce the origin machine's run exactly, because the
+    // snapshot carries its fault plan (stream position included).
+    cfg.fault_rates = Some((400, 250, 150));
+    let report = run_experiment(&cfg).expect("experiment runs");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let mut migrations = 0;
+    for o in &report.outcomes {
+        for ev in &o.migration_events {
+            assert!(
+                ev.verified_identical,
+                "policy {}: migration {} -> {} not proven bit-identical",
+                o.policy, ev.src, ev.dest
+            );
+            assert!(ev.snapshot_bytes > 0);
+            assert!(ev.transfer_cycles > 0);
+            migrations += 1;
+        }
+        assert_eq!(o.completed, 50, "policy {}", o.policy);
+    }
+    assert!(
+        migrations > 0,
+        "no migration ever happened — nothing was proven"
+    );
+}
+
+/// The API the fleet is built on, exercised directly: a checkpoint taken
+/// under one machine's fault plan restores on a machine with a
+/// *different* plan only through adoption (the snapshot's plan wins);
+/// the strict path refuses, and the adopted run is bit-identical to the
+/// uninterrupted origin run.
+#[test]
+fn adoption_restores_across_fault_plans_strict_refuses() {
+    let (program, checksum) = Workload::Compress.build(1, 0.02);
+    let plan_a = FaultPlan::seeded(7).with_mfc_faults(400, 250, 150);
+    let plan_b = FaultPlan::seeded(9).with_mfc_faults(100, 50, 25);
+    let base = |plan: FaultPlan| {
+        let mut cfg = VmConfig::pinned_spe(1)
+            .with_checkpoint_every(400_000)
+            .with_faults(plan);
+        cfg.heap.size_bytes = 1 << 20;
+        cfg
+    };
+
+    let vm_a = HeraJvm::new(program.clone(), base(plan_a)).expect("constructs");
+    let reference = vm_a.run().expect("uninterrupted run");
+    assert!(reference.is_clean(), "traps: {:?}", reference.traps);
+    assert_eq!(
+        reference.result,
+        Some(hera_isa::Value::I32(checksum)),
+        "reference checksum"
+    );
+
+    let crash_at = reference.stats.wall_cycles * 2 / 3;
+    let doomed = HeraJvm::new(program.clone(), base(plan_a.with_machine_crash(crash_at)))
+        .expect("constructs");
+    let RunEnd::Crashed {
+        at_cycle,
+        checkpoints,
+    } = doomed.run_until_crash().expect("doomed run")
+    else {
+        panic!("machine was scheduled to crash mid-run but completed");
+    };
+    assert!(at_cycle >= crash_at);
+    let last = checkpoints
+        .last()
+        .expect("at least one checkpoint survived");
+
+    let vm_b = HeraJvm::new(program, base(plan_b)).expect("constructs");
+    vm_b.restore_bytes(&last.bytes)
+        .expect_err("strict restore must refuse a foreign fault plan");
+    let adopted = vm_b.adopt_bytes(&last.bytes).expect("adoption restores");
+    assert_eq!(adopted.result, reference.result, "result diverged");
+    assert_eq!(adopted.traps, reference.traps, "traps diverged");
+    assert_eq!(adopted.output, reference.output, "output diverged");
+    assert_eq!(
+        adopted.heap_digest, reference.heap_digest,
+        "final heap image diverged"
+    );
+    assert_eq!(
+        adopted.stats.wall_cycles, reference.stats.wall_cycles,
+        "wall clock diverged"
+    );
+}

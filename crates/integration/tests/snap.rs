@@ -383,8 +383,8 @@ fn restore_rejects_config_or_program_mismatch() {
 /// format changed silently.
 #[test]
 fn format_version_golden() {
-    const GOLDEN_VERSION: u32 = 1;
-    const GOLDEN_DIGEST: u64 = 0xff25_dd19_d629_ace4;
+    const GOLDEN_VERSION: u32 = 2;
+    const GOLDEN_DIGEST: u64 = 0xf923_ef3d_142e_ab82;
     assert_eq!(
         hera_snap::FORMAT_VERSION,
         GOLDEN_VERSION,

@@ -30,7 +30,10 @@ use std::sync::OnceLock;
 /// Magic bytes at the start of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"HSNAP\0\0\0";
 /// Current on-disk format version. Bump whenever the payload layout changes.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: the CORE section carries the fault plan explicitly (after the
+/// program digest) and the config digest zeroes the whole plan, enabling
+/// cross-machine snapshot adoption.
+pub const FORMAT_VERSION: u32 = 2;
 /// Total header size in bytes (magic + version + flags + length + crc).
 pub const HEADER_LEN: usize = 28;
 

@@ -90,6 +90,24 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (d, s) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *d += s;
+        }
+    }
+
     pub fn p50(&self) -> u64 {
         self.percentile(0.50)
     }
@@ -171,18 +189,7 @@ impl MetricsRegistry {
             self.add(k, *v);
         }
         for (k, h) in &other.histograms {
-            let dst = self.histograms.entry(k.clone()).or_default();
-            if dst.count == 0 {
-                *dst = h.clone();
-            } else if h.count > 0 {
-                dst.count += h.count;
-                dst.sum += h.sum;
-                dst.min = dst.min.min(h.min);
-                dst.max = dst.max.max(h.max);
-                for (d, s) in dst.buckets.iter_mut().zip(h.buckets.iter()) {
-                    *d += s;
-                }
-            }
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
 
