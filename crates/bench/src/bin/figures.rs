@@ -12,9 +12,17 @@
 //!           | chaos-crash [WORKLOAD]  (kill the whole machine mid-run, restore
 //!                                     from the latest checkpoint, report the
 //!                                     recovery cost in virtual cycles)
-//!           | perf [--reps N]    (host wall-clock bench; write BENCH_interp.json)
-//!           | perf-gate [--reps N]  (compare a fresh perf run to the committed
-//!                                   BENCH_interp.json; exit 1 if virtual metrics moved)
+//!           | perf [--reps N] [--workers W]
+//!                     (host wall-clock bench; write BENCH_interp.json, or
+//!                      BENCH_par.json when W > 1 routes runs through the
+//!                      parallel host engine)
+//!           | perf-gate [--reps N] [--workers W]
+//!                     (compare a fresh perf run to the committed
+//!                      BENCH_interp.json; exit 1 if virtual metrics moved.
+//!                      With W > 1, also gate against BENCH_par.json: virtual
+//!                      metrics must match both snapshots, and on a host with
+//!                      ≥W CPUs the 6-SPE mandelbrot cell must be ≥2x faster
+//!                      than the committed sequential host time)
 //!           | profile [WORKLOAD]       (per-method cost profile + collapsed stacks)
 //!           | profile-diff [WORKLOAD]  (diff the PPE profile against 6 SPEs)
 //!           | cluster [--machines N] [--requests N] [--seed S]
@@ -68,6 +76,7 @@ fn main() {
     let mut scale = xb::DEFAULT_SCALE;
     let mut scale_set = false;
     let mut reps = 3u32;
+    let mut workers = 1u32;
     let mut machines = 4usize;
     let mut requests = 400u64;
     let mut seed = 42u64;
@@ -90,6 +99,15 @@ fn main() {
                 reps = flag(&args, i, "--reps")
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--reps needs an integer"));
+                i += 1;
+            }
+            "--workers" => {
+                workers = flag(&args, i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("--workers needs an integer"));
+                if workers == 0 {
+                    usage_and_exit("--workers must be at least 1");
+                }
                 i += 1;
             }
             "--machines" => {
@@ -148,11 +166,15 @@ fn main() {
         return;
     }
     if which == "perf" {
-        perf(scale, reps);
+        perf(scale, reps, workers);
         return;
     }
     if which == "perf-gate" {
-        perf_gate(scale, reps);
+        if workers > 1 {
+            perf_gate_par(scale, reps, workers);
+        } else {
+            perf_gate(scale, reps);
+        }
         return;
     }
     if which == "profile" {
@@ -418,24 +440,47 @@ fn cluster(machines: usize, requests: u64, seed: u64, scale: f64) {
     );
 }
 
-fn perf(scale: f64, reps: u32) {
-    header(&format!(
-        "engine host performance (best of {reps}; virtual cycles must not move)"
-    ));
+fn perf(scale: f64, reps: u32, workers: u32) {
+    if workers > 1 {
+        header(&format!(
+            "parallel engine host performance ({workers} host workers on {} CPUs, \
+             best of {reps}; virtual cycles must not move)",
+            xb::host_cpus()
+        ));
+    } else {
+        header(&format!(
+            "engine host performance (best of {reps}; virtual cycles must not move)"
+        ));
+    }
     println!(
         "{:<11} {:<5} {:>14} {:>14} {:>12} {:>9} {:>9}",
         "benchmark", "cfg", "host ns", "virt cycles", "guest ops", "ns/op", "speedup"
     );
-    let rows = xb::perf_interp(scale, reps);
+    let seq_baseline: Vec<xb::BaselineRow> = if workers > 1 {
+        // The parallel table's speedup column is vs the committed
+        // sequential snapshot — the number the refactor exists to move.
+        std::fs::read_to_string("BENCH_interp.json")
+            .map(|s| xb::parse_bench_json(&s))
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let rows = xb::perf_par(scale, reps, workers);
     for r in &rows {
         // The recorded baselines are full-scale numbers; comparing a
         // reduced-scale run against them would be meaningless.
-        let speedup = if scale == xb::DEFAULT_SCALE {
+        let speedup = if scale != xb::DEFAULT_SCALE {
+            "-".into()
+        } else if workers > 1 {
+            seq_baseline
+                .iter()
+                .find(|b| b.workload == r.workload.name() && b.config == r.config)
+                .map(|b| format!("{:.2}x", b.host_ns as f64 / r.host_ns.max(1) as f64))
+                .unwrap_or_else(|| "-".into())
+        } else {
             xb::perf_baseline_ns(r.workload.name(), r.config)
                 .map(|base| format!("{:.2}x", base as f64 / r.host_ns as f64))
                 .unwrap_or_else(|| "-".into())
-        } else {
-            "-".into()
         };
         println!(
             "{:<11} {:<5} {:>14} {:>14} {:>12} {:>9.3} {:>9}",
@@ -448,14 +493,21 @@ fn perf(scale: f64, reps: u32) {
             speedup
         );
     }
-    if scale == xb::DEFAULT_SCALE {
+    if scale == xb::DEFAULT_SCALE && workers > 1 {
+        let json = xb::perf_par_json(&rows, workers, &seq_baseline);
+        std::fs::write("BENCH_par.json", &json)
+            .unwrap_or_else(|e| panic!("write BENCH_par.json: {e}"));
+        println!(
+            "(speedup is vs the committed sequential BENCH_interp.json; wrote BENCH_par.json)"
+        );
+    } else if scale == xb::DEFAULT_SCALE {
         let json = xb::perf_json(&rows);
         std::fs::write("BENCH_interp.json", &json)
             .unwrap_or_else(|e| panic!("write BENCH_interp.json: {e}"));
         println!("(speedup is vs the tagged Value-frame engine; wrote BENCH_interp.json)");
     } else {
         println!(
-            "(speedup is vs the tagged Value-frame engine at full scale; \
+            "(speedup columns compare full-scale snapshots; \
              snapshot not written at scale {scale})"
         );
     }
@@ -546,6 +598,61 @@ fn perf_gate(scale: f64, reps: u32) {
         println!(
             "perf gate FAILED ({} mismatches) — if the change is intentional, \
              regenerate the snapshot with `figures -- perf`",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn perf_gate_par(scale: f64, reps: u32, workers: u32) {
+    if scale != xb::DEFAULT_SCALE {
+        eprintln!(
+            "perf-gate compares against committed full-scale snapshots; \
+             refusing to gate at scale {scale}"
+        );
+        std::process::exit(2);
+    }
+    header(&format!(
+        "parallel perf gate ({workers} host workers on {} CPUs, best of {reps} \
+         vs committed BENCH_interp.json + BENCH_par.json)",
+        xb::host_cpus()
+    ));
+    let read = |path: &str| -> Vec<xb::BaselineRow> {
+        let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("read {path}: {e} (run `figures -- perf` to create it)");
+            std::process::exit(2);
+        });
+        let rows = xb::parse_bench_json(&committed);
+        if rows.is_empty() {
+            eprintln!("{path} parsed to zero rows — regenerate with `figures -- perf`");
+            std::process::exit(2);
+        }
+        rows
+    };
+    let seq = read("BENCH_interp.json");
+    let par = read("BENCH_par.json");
+    let rows = xb::perf_par(scale, reps, workers);
+    let report = xb::perf_gate_par(&seq, &par, &rows, workers, 0.25, 2.0);
+    println!(
+        "checked {} cells: wall_cycles and guest_ops exact against both snapshots, \
+         host_ns ±25% advisory, mandelbrot/spe6 speedup ≥2.0x where the host allows",
+        report.checked
+    );
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    for f in &report.failures {
+        println!("FAIL: {f}");
+    }
+    if report.passed() {
+        println!(
+            "parallel perf gate passed — virtual time is worker-count independent \
+             and matches both committed snapshots"
+        );
+    } else {
+        println!(
+            "parallel perf gate FAILED ({} mismatches) — if the change is intentional, \
+             regenerate the snapshot with `figures -- perf --workers {workers}`",
             report.failures.len()
         );
         std::process::exit(1);

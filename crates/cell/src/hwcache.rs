@@ -65,6 +65,7 @@ pub enum HitLevel {
 }
 
 /// One set-associative level with true-LRU replacement.
+#[derive(Clone)]
 struct Level {
     params: LevelParams,
     sets: u32,
@@ -140,6 +141,7 @@ impl HwCacheStats {
 }
 
 /// The PPE's L1+L2 hierarchy.
+#[derive(Clone)]
 pub struct HwCache {
     params: HwCacheParams,
     l1: Level,

@@ -35,9 +35,10 @@ pub use eib::Eib;
 pub use hwcache::{HwCache, HwCacheParams};
 pub use machine::{
     CellConfig, CellMachine, CoreId, CoreKind, FaultStats, MfcFault, ProfScope, ProfScopeAll,
+    SpecEibOp,
 };
 pub use spe::{LocalStore, StorePartition};
 
 // Fault-plan types ride inside `CellConfig`; re-export them so consumers
 // configuring chaos runs don't need a direct `hera-faults` dependency.
-pub use hera_faults::{FaultKind, FaultPlan, FaultSite, SpeDeath};
+pub use hera_faults::{FaultKind, FaultPlan, FaultSite, SpeDeath, NUM_SITES};

@@ -97,23 +97,39 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
         })
         .collect();
 
+    // Every (class, machine) reference run is an independent whole-VM
+    // execution — fan them out on the host worker pool.
+    let cells = classes.len() * plans.len();
+    let pool = hera_core::WorkerPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(cells)
+            .saturating_sub(1),
+    );
+    let outcomes = pool.map(cells, |i| {
+        let class = &classes[i / plans.len()];
+        let plan = plans[i % plans.len()];
+        let vm = HeraJvm::new(class.program.clone(), machine_vm_config(cfg, plan))
+            .map_err(|e| vm_err("reference vm", e))?;
+        let out = vm.run().map_err(|e| vm_err("reference run", e))?;
+        if !out.is_clean() || out.result != Some(Value::I32(class.checksum)) {
+            return Err(ClusterError(format!(
+                "reference run of {} produced {:?} (traps {:?}), expected checksum {}",
+                class.workload.name(),
+                out.result,
+                out.traps,
+                class.checksum
+            )));
+        }
+        Ok(out)
+    });
     let mut reference: Vec<Vec<Rc<RunOutcome>>> = Vec::new();
-    for class in &classes {
+    let mut it = outcomes.into_iter();
+    for _ in &classes {
         let mut per_machine = Vec::new();
-        for &plan in &plans {
-            let vm = HeraJvm::new(class.program.clone(), machine_vm_config(cfg, plan))
-                .map_err(|e| vm_err("reference vm", e))?;
-            let out = vm.run().map_err(|e| vm_err("reference run", e))?;
-            if !out.is_clean() || out.result != Some(Value::I32(class.checksum)) {
-                return Err(ClusterError(format!(
-                    "reference run of {} produced {:?} (traps {:?}), expected checksum {}",
-                    class.workload.name(),
-                    out.result,
-                    out.traps,
-                    class.checksum
-                )));
-            }
-            per_machine.push(Rc::new(out));
+        for _ in &plans {
+            per_machine.push(Rc::new(it.next().expect("one outcome per cell")?));
         }
         reference.push(per_machine);
     }

@@ -42,6 +42,7 @@
 pub mod interp;
 pub mod monitor;
 pub mod native;
+pub mod par;
 pub mod policy;
 pub mod snapshot;
 pub mod stats;
@@ -50,8 +51,9 @@ pub mod vm;
 pub mod world;
 
 pub use native::StdNative;
+pub use par::WorkerPool;
 pub use policy::PlacementPolicy;
 pub use snapshot::{CheckpointBlob, RestoreMode, SnapshotInfo};
 pub use stats::RunStats;
-pub use thread::{ThreadId, ThreadState};
-pub use vm::{HeraJvm, RunEnd, RunOutcome, VmConfig, VmError};
+pub use thread::{BlockReason, ThreadId, ThreadState};
+pub use vm::{HeraJvm, RunEnd, RunOutcome, StuckThread, VmConfig, VmError};

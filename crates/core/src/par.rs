@@ -1,0 +1,554 @@
+//! hera-par: the deterministic parallel host engine.
+//!
+//! `VmConfig::with_host_workers(n)` with `n > 1` routes
+//! [`World::run_to_completion`] here instead of the sequential
+//! scheduler. The engine is an *epoch* loop:
+//!
+//! 1. At a scheduler safepoint (services + SPE-death checks done, no
+//!    thread mid-op) it picks up to `n` candidate quanta — each core's
+//!    queue front, ordered by the same `(virtual start, core index)` key
+//!    the sequential scheduler uses, so candidate 0 is exactly
+//!    `pick_next()`'s choice.
+//! 2. Each candidate runs **speculatively** on a host worker: the worker
+//!    forks the world (copy-on-write heap overlay, frozen foreign
+//!    clocks, private bus/cache copies, empty trace lanes, a profiler op
+//!    log) and runs one quantum against the fork, recording every
+//!    shared-resource interaction — heap read/write ranges, EIB
+//!    grant/retire ops — as virtual-timestamped intents.
+//! 3. Commits happen back on the real world in deterministic candidate
+//!    order, validating each quantum's intents against the state the
+//!    earlier commits produced: start clock unchanged, heap reads
+//!    disjoint from earlier commits' writes, EIB grants replaying
+//!    identically. A quantum whose view diverged re-executes
+//!    sequentially via the *same* `dispatch_quantum` body the
+//!    sequential scheduler uses (`par.reexec`); commits after a
+//!    re-execution or a schedule change are discarded (`par.discarded`).
+//!
+//! Operations that touch shared state the intent log does not model —
+//! allocation (may GC), monitors, natives, migration, thread death,
+//! first-time JIT compilation — abort speculation via
+//! [`VmError::SpecAbort`] guards in the interpreter and fall back to
+//! re-execution. Everything that commits replays *exactly* what the
+//! sequential scheduler would have done at that point, which is why
+//! virtual time, traces, profiles and snapshot bytes are bit-identical
+//! for every worker count (asserted by `crates/integration/tests/par.rs`
+//! over the golden grid).
+
+use crate::thread::{JavaThread, ThreadId};
+use crate::vm::VmError;
+use crate::world::{QuantumOutcome, World};
+use hera_cell::{CoreId, CycleBreakdown, FaultStats, HwCache, OpClass, SpecEibOp, NUM_SITES};
+use hera_isa::MethodId;
+use hera_softcache::{CodeCache, DataCache};
+use hera_trace::{CostVec, TraceSink};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-fork speculation bookkeeping hung off the world (`World::spec`).
+/// Present only on forked worlds; its presence is also the flag the
+/// interpreter's abort guards test.
+#[derive(Default)]
+pub(crate) struct SpecCtx {
+    /// Profiler operations in program order, replayed on the real
+    /// profiler at commit (cost billing is a pure merge, so split
+    /// billing reproduces the sequential profile exactly).
+    pub(crate) prof_ops: Vec<ProfOp>,
+}
+
+/// One logged profiler interaction of a speculative quantum.
+pub(crate) enum ProfOp {
+    /// Drained per-lane costs billed to `tid`'s innermost shadow frame.
+    Bill(ThreadId, usize, CostVec),
+    /// Drained per-lane costs billed to the synthetic `(runtime)` root.
+    BillRuntime(usize, CostVec),
+    /// Shadow-stack push at a method invoke.
+    Enter(ThreadId, MethodId),
+    /// Shadow-stack pop at a method return.
+    Leave(ThreadId),
+}
+
+/// Everything a committed speculative quantum installs into the real
+/// world, plus the observations (`start`, `reads`, `eib_ops`) the commit
+/// validates first.
+pub(crate) struct SpecResult {
+    /// The core's clock at fork time; a mismatch at commit means some
+    /// earlier commit or safepoint service moved this core.
+    start: u64,
+    /// The core's clock after the quantum.
+    clock: u64,
+    /// The core's cycle breakdown after the quantum.
+    breakdown: CycleBreakdown,
+    /// Merged heap ranges the quantum read (must be disjoint from
+    /// earlier same-epoch commits' writes).
+    reads: Vec<(u32, u32)>,
+    /// Materialized heap writes, applied in commit order.
+    writes: Vec<(u32, Vec<u8>)>,
+    /// Bus interactions, replayed against the real bus at commit.
+    eib_ops: Vec<SpecEibOp>,
+    /// Events emitted on the fork's (empty-at-start) trace lanes.
+    trace: TraceSink,
+    /// Profiler op log.
+    prof_ops: Vec<ProfOp>,
+    /// The thread's complete post-quantum state.
+    thread: JavaThread,
+    /// Post-quantum software caches (SPE quanta only).
+    data_cache: Option<DataCache>,
+    code_cache: Option<CodeCache>,
+    /// Post-quantum PPE cache model (PPE quanta only).
+    ppe_cache: Option<HwCache>,
+    /// The core's fault-injector draw counters after the quantum.
+    injector_row: [u64; NUM_SITES],
+    /// Fault counters accrued by the quantum (fork starts from zero).
+    fault_stats: FaultStats,
+}
+
+/// The epoch engine (see the module docs). Entered from
+/// [`World::run_to_completion`] when `host_workers > 1`.
+pub(crate) fn run_parallel(w: &mut World<'_>) -> Result<(), VmError> {
+    let workers = w.config.host_workers.max(2) as usize;
+    let pool = WorkerPool::new(workers - 1);
+    loop {
+        // Exactly one services + death check precedes every dispatched
+        // quantum, mirroring the sequential loop (further checks run
+        // between same-epoch commits below).
+        w.safepoint_services()?;
+        w.check_spe_deaths()?;
+        let cands = pick_candidates(w, workers);
+        if cands.is_empty() {
+            let unfinished = w.threads.iter().filter(|t| !t.is_finished()).count();
+            if unfinished == 0 {
+                return Ok(());
+            }
+            return Err(w.deadlock_error());
+        }
+        if cands.len() == 1 {
+            let (core, tid) = cands[0];
+            w.dispatch_quantum(core, tid)?;
+            continue;
+        }
+
+        w.par.epochs += 1;
+        let n = cands.len();
+        let mut results = run_epoch(&pool, w, &cands);
+        let mut epoch_writes: Vec<(u32, u32)> = Vec::new();
+        for k in 0..n {
+            if k > 0 {
+                w.safepoint_services()?;
+                w.check_spe_deaths()?;
+                // An earlier commit may have produced an earlier-starting
+                // runnable thread (or a death moved queues): the schedule
+                // the epoch assumed no longer holds past this point.
+                if w.pick_next() != Some(cands[k]) {
+                    w.par.discarded += (n - k) as u64;
+                    break;
+                }
+            }
+            let (core, tid) = cands[k];
+            let committed = match results[k].take() {
+                Some(r) => try_commit(w, core, tid, r, &mut epoch_writes),
+                None => false,
+            };
+            if committed {
+                w.par.committed += 1;
+            } else {
+                // Diverged (or aborted): run the real quantum through the
+                // shared dispatch body. Its effects (GC, blocking, heap
+                // writes) are not in the epoch's intent log, so the rest
+                // of the epoch cannot be validated and is discarded.
+                w.par.reexec += 1;
+                w.dispatch_quantum(core, tid)?;
+                w.par.discarded += (n - 1 - k) as u64;
+                break;
+            }
+        }
+    }
+}
+
+/// Queue fronts ordered by the sequential scheduler's `(start, core)`
+/// key, truncated to the worker count. Element 0 equals `pick_next()`.
+fn pick_candidates(w: &World<'_>, max: usize) -> Vec<(CoreId, ThreadId)> {
+    let mut v: Vec<(u64, usize, ThreadId)> = Vec::new();
+    for (idx, q) in w.run_queues.iter().enumerate() {
+        let Some(&tid) = q.front() else { continue };
+        let core = World::index_core(idx);
+        let start = w
+            .machine
+            .now(core)
+            .max(w.threads[tid.0 as usize].available_at);
+        v.push((start, idx, tid));
+    }
+    v.sort_unstable();
+    v.truncate(max);
+    v.into_iter()
+        .map(|(_, idx, tid)| (World::index_core(idx), tid))
+        .collect()
+}
+
+/// Fan the epoch's candidates out over the pool (the calling thread
+/// participates) and collect per-candidate results. `None` = the quantum
+/// aborted speculation and must re-execute sequentially.
+fn run_epoch(
+    pool: &WorkerPool,
+    w: &World<'_>,
+    cands: &[(CoreId, ThreadId)],
+) -> Vec<Option<SpecResult>> {
+    let mut results: Vec<Option<SpecResult>> = Vec::new();
+    results.resize_with(cands.len(), || None);
+    let jobs: Vec<Job<'_>> = results
+        .iter_mut()
+        .zip(cands.iter().copied())
+        .map(|(slot, (core, tid))| {
+            let job: Job<'_> = Box::new(move || {
+                *slot = run_spec_quantum(w, core, tid);
+            });
+            job
+        })
+        .collect();
+    pool.run_batch(jobs);
+    results
+}
+
+/// Fork the world and run one speculative quantum of `tid` on `core`,
+/// mirroring `dispatch_quantum`'s prologue (context-switch charge,
+/// arrival idle, runtime profiler drain) so a committed quantum is
+/// byte-for-byte what the sequential scheduler would have produced.
+fn run_spec_quantum(w: &World<'_>, core: CoreId, tid: ThreadId) -> Option<SpecResult> {
+    let start = w.machine.now(core);
+    let mut sw = w.fork_for_spec(core);
+    let idx = World::core_index(core);
+    let t = tid.0 as usize;
+
+    sw.run_queues[idx].pop_front();
+    if sw.last_on_core[idx] != Some(tid) {
+        if sw.last_on_core[idx].is_some() {
+            sw.machine
+                .advance(core, sw.config.thread_switch_cycles as u64, OpClass::Stack);
+            sw.machine
+                .emit(core, hera_trace::TraceEvent::ThreadSwitch { thread: tid.0 });
+        }
+        sw.last_on_core[idx] = Some(tid);
+    }
+    let avail = sw.threads[t].available_at;
+    sw.machine.idle_until(core, avail);
+    sw.prof_flush_to_runtime();
+
+    match crate::interp::run_quantum(&mut sw, tid) {
+        Ok(QuantumOutcome::Ready) => {}
+        // Blocked/Finished/Migrated outcomes mutate shared scheduler
+        // state, and errors (SpecAbort or real) must surface on the real
+        // world — all fall back to sequential re-execution, which
+        // re-raises any real error deterministically.
+        Ok(_) | Err(_) => return None,
+    }
+    sw.prof_flush_to_thread(tid);
+
+    let (reads, writes) = sw.heap.spec_take_log();
+    let eib_ops = sw.machine.spec_take_eib_ops();
+    let trace = std::mem::take(&mut sw.machine.trace);
+    let prof_ops = std::mem::take(
+        &mut sw
+            .spec
+            .as_deref_mut()
+            .expect("forked world is speculative")
+            .prof_ops,
+    );
+    let (data_cache, code_cache, ppe_cache) = match core {
+        CoreId::Ppe => (None, None, Some(sw.machine.ppe_cache.clone())),
+        CoreId::Spe(n) => {
+            let si = n as usize;
+            (
+                Some(std::mem::replace(
+                    &mut sw.data_caches[si],
+                    DataCache::new(0),
+                )),
+                Some(std::mem::replace(
+                    &mut sw.code_caches[si],
+                    CodeCache::new(0),
+                )),
+                None,
+            )
+        }
+    };
+    Some(SpecResult {
+        start,
+        clock: sw.machine.now(core),
+        breakdown: *sw.machine.breakdown(core),
+        reads,
+        writes,
+        eib_ops,
+        trace,
+        prof_ops,
+        thread: sw.threads[t].clone(),
+        data_cache,
+        code_cache,
+        ppe_cache,
+        injector_row: sw.machine.injector_row(core),
+        fault_stats: sw.machine.fault_stats.clone(),
+    })
+    // `sw` drops here, releasing its heap `Arc` clone before any commit
+    // mutates the real heap (so commit writes never deep-copy it).
+}
+
+/// Whether any read range intersects any write range. Both lists are
+/// merged and short; the quadratic scan is cheaper than sorting.
+fn overlaps(reads: &[(u32, u32)], writes: &[(u32, u32)]) -> bool {
+    reads.iter().any(|&(ra, rl)| {
+        let rend = ra as u64 + rl as u64;
+        writes.iter().any(|&(wa, wl)| {
+            let wend = wa as u64 + wl as u64;
+            (ra as u64) < wend && (wa as u64) < rend
+        })
+    })
+}
+
+/// Validate a speculative quantum against the real world as it stands
+/// after the epoch's earlier commits, and install it if nothing
+/// diverged. Returns `false` (world untouched) when the quantum must
+/// re-execute.
+fn try_commit(
+    w: &mut World<'_>,
+    core: CoreId,
+    tid: ThreadId,
+    r: SpecResult,
+    epoch_writes: &mut Vec<(u32, u32)>,
+) -> bool {
+    // 1. The core must not have moved since the fork (checkpoint writes
+    //    stall the PPE; GC or re-executed quanta move everything).
+    if r.start != w.machine.now(core) {
+        return false;
+    }
+    // 2. Heap reads must not overlap earlier same-epoch commits' writes
+    //    (write/write overlap is fine: commit order == sequential order,
+    //    so the later write wins, exactly as it would have sequentially).
+    if overlaps(&r.reads, epoch_writes) {
+        return false;
+    }
+    // 3. The bus interactions must replay identically against the real
+    //    bus state left by earlier commits.
+    let Some(eib) = w.machine.replay_spec_eib(core, &r.eib_ops) else {
+        return false;
+    };
+
+    // -- Validated: apply, in the same order dispatch_quantum would. --
+    let idx = World::core_index(core);
+    let popped = w.run_queues[idx].pop_front();
+    debug_assert_eq!(popped, Some(tid), "commit pops the candidate it ran");
+    if w.last_on_core[idx] != Some(tid) {
+        if w.last_on_core[idx].is_some() {
+            // The switch's cycles and trace event are already inside the
+            // quantum's clock and lane; only the counter lives out here.
+            w.thread_switches += 1;
+        }
+        w.last_on_core[idx] = Some(tid);
+    }
+    // Residue charged on the real world before this quantum (checkpoint
+    // writes, fail-over salvage) is runtime cost — drain it first, then
+    // replay the quantum's own billing, exactly as dispatch_quantum's
+    // drain points would have.
+    w.prof_flush_to_runtime();
+    if let Some(p) = w.profiler.as_mut() {
+        for op in &r.prof_ops {
+            match op {
+                ProfOp::Bill(t, lane, v) => {
+                    p.bill(t.0, hera_prof::KindLane::from_machine_lane(*lane), v)
+                }
+                ProfOp::BillRuntime(lane, v) => {
+                    p.bill_runtime(hera_prof::KindLane::from_machine_lane(*lane), v)
+                }
+                ProfOp::Enter(t, m) => p.enter(t.0, m.0),
+                ProfOp::Leave(t) => p.leave(t.0),
+            }
+        }
+    }
+    for (addr, bytes) in &r.writes {
+        w.heap
+            .copy_from(*addr, bytes)
+            .expect("committed write range replays in bounds");
+    }
+    w.machine.eib = eib;
+    w.machine.commit_core_clock(core, r.clock, r.breakdown);
+    match core {
+        CoreId::Ppe => {
+            w.machine.ppe_cache = r.ppe_cache.expect("PPE quantum carries the cache model");
+        }
+        CoreId::Spe(n) => {
+            let si = n as usize;
+            w.data_caches[si] = r.data_cache.expect("SPE quantum carries its data cache");
+            w.code_caches[si] = r.code_cache.expect("SPE quantum carries its code cache");
+        }
+    }
+    w.machine.commit_injector_row(core, r.injector_row);
+    w.machine.fault_stats.accumulate(&r.fault_stats);
+    w.machine.trace.absorb(r.trace);
+    w.threads[tid.0 as usize] = r.thread;
+    // QuantumOutcome::Ready re-enqueues on the same core.
+    w.run_queues[idx].push_back(tid);
+    epoch_writes.extend(r.writes.iter().map(|(a, b)| (*a, b.len() as u32)));
+    true
+}
+
+// ---- the host worker pool ----
+
+type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A persistent pool of `extra` OS threads plus the calling thread
+/// (created once per parallel run; quanta are far too short to pay a
+/// thread spawn each epoch). Plain std primitives — no external deps.
+///
+/// Public because the outer layers reuse it for embarrassingly parallel
+/// whole-VM work — per-machine reference runs in the cluster simulator,
+/// workload × configuration grids in golden capture — via
+/// [`WorkerPool::map`].
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job<'static>>,
+    running: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+impl WorkerPool {
+    /// A pool contributing `extra` dedicated threads on top of the
+    /// calling thread (so `new(0)` is a valid, purely sequential pool).
+    pub fn new(extra: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..extra)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hera-par-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn host worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Run every job to completion, on pool threads and the calling
+    /// thread. Blocks until all jobs have finished — which is what makes
+    /// the lifetime erasure below sound: no job outlives this call, so
+    /// the borrows it captures (the world, the result slots) cannot
+    /// dangle.
+    pub(crate) fn run_batch(&self, jobs: Vec<Job<'_>>) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            for job in jobs {
+                // SAFETY: run_batch waits (below) until the queue is
+                // empty and nothing is running before returning, so every
+                // borrow inside the closure outlives its execution.
+                let job: Job<'static> = unsafe { std::mem::transmute(job) };
+                st.jobs.push_back(job);
+            }
+            self.shared.work.notify_all();
+        }
+        loop {
+            let job = {
+                let mut st = self.shared.state.lock().unwrap();
+                match st.jobs.pop_front() {
+                    Some(j) => {
+                        st.running += 1;
+                        j
+                    }
+                    None => break,
+                }
+            };
+            run_one(&self.shared, job);
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 || !st.jobs.is_empty() {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        if st.panicked {
+            st.panicked = false;
+            drop(st);
+            panic!("a host worker panicked while running a speculative quantum");
+        }
+    }
+
+    /// Evaluate `f(0..n)` concurrently on the pool, returning results in
+    /// index order — the helper the outer layers use for embarrassingly
+    /// parallel whole-VM runs (independent `HeraJvm` instances never
+    /// share state, so no speculation is involved).
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let f = &f;
+        let jobs: Vec<Job<'_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = Some(f(i))) as Job<'_>)
+            .collect();
+        self.run_batch(jobs);
+        results
+            .into_iter()
+            .map(|r| r.expect("run_batch completed every job"))
+            .collect()
+    }
+}
+
+/// Execute one job, keeping the accounting correct across a panic (a
+/// panicking quantum is a simulator bug; it is surfaced by `run_batch`
+/// on the main thread rather than wedging the barrier).
+fn run_one(s: &PoolShared, job: Job<'static>) {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    let mut st = s.state.lock().unwrap();
+    st.running -= 1;
+    if res.is_err() {
+        st.panicked = true;
+    }
+    if st.running == 0 && st.jobs.is_empty() {
+        s.done.notify_all();
+    }
+}
+
+fn worker_loop(s: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = s.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(j) = st.jobs.pop_front() {
+                    st.running += 1;
+                    break j;
+                }
+                st = s.work.wait(st).unwrap();
+            }
+        };
+        run_one(s, job);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

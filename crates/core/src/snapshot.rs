@@ -34,7 +34,7 @@ use hera_isa::{ClassId, MethodId, ObjRef, Program, Slot, Trap, Value};
 use hera_snap::{digest64, open, rle_decode, rle_encode, seal, SnapError, SnapReader, SnapWriter};
 use hera_trace::{Histogram, MetricsRegistry, MigrationKind};
 use std::collections::{BTreeSet, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One checkpoint taken during a run: the sealed snapshot bytes plus
 /// where in virtual time it was taken.
@@ -1301,7 +1301,7 @@ fn decode_thread(
         let base = r.u32()?;
         let nlocals = r.u32()?;
         let sp = r.u32()?;
-        let code: Rc<hera_jit::CompiledMethod> = match code_source {
+        let code: Arc<hera_jit::CompiledMethod> = match code_source {
             Some(kind) => {
                 let (code, _) = world
                     .registry
@@ -1312,7 +1312,7 @@ fn decode_thread(
                 code
             }
             None => match frames.last() {
-                Some(below) => Rc::clone(&below.code),
+                Some(below) => Arc::clone(&below.code),
                 None => {
                     return Err(SnapError::Corrupt(
                         "migration marker as bottom frame".into(),

@@ -4,7 +4,7 @@
 use crate::policy::PlacementPolicy;
 use crate::snapshot::{CheckpointBlob, RestoreMode};
 use crate::stats::{BusSummary, GcSummary, RunStats};
-use crate::thread::{ThreadId, ThreadState};
+use crate::thread::{BlockReason, ThreadId, ThreadState};
 use crate::world::World;
 use hera_cell::{CellConfig, CoreId, CoreKind};
 use hera_isa::{Program, Trap, Value, VerifyError};
@@ -15,6 +15,41 @@ use hera_softcache::DataCache;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// One participant in a deadlock: where the thread lives and what it is
+/// waiting for. Cycles read directly off a list of these (thread A waits
+/// for a monitor held by B, B waits to join A, …), which is what makes a
+/// hung parallel-engine run debuggable from the error alone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StuckThread {
+    /// The blocked thread.
+    pub id: ThreadId,
+    /// The core it is parked on.
+    pub core: CoreId,
+    /// The monitor or join target it is waiting for.
+    pub waiting_on: BlockReason,
+}
+
+impl fmt::Display for StuckThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.waiting_on {
+            BlockReason::Monitor(obj) => {
+                write!(
+                    f,
+                    "thread {} on {} waits for monitor @{}",
+                    self.id.0, self.core, obj.0
+                )
+            }
+            BlockReason::Join(t) => {
+                write!(
+                    f,
+                    "thread {} on {} waits to join thread {}",
+                    self.id.0, self.core, t.0
+                )
+            }
+        }
+    }
+}
 
 /// VM construction / run errors (guest traps are *not* errors; they are
 /// reported per-thread in the [`RunOutcome`]).
@@ -30,6 +65,9 @@ pub enum VmError {
     Deadlock {
         /// How many threads were stuck.
         threads: usize,
+        /// Per-thread detail (id, core, blocked-on monitor or join
+        /// target) for every thread parked when the scheduler ran dry.
+        stuck: Vec<StuckThread>,
     },
     /// A snapshot failed to decode (corrupt, truncated, wrong version,
     /// or taken under a different program/configuration).
@@ -43,6 +81,12 @@ pub enum VmError {
     },
     /// Simulator invariant violation (a bug, not a guest error).
     Internal(String),
+    /// Internal control-flow signal: a speculative quantum reached an
+    /// operation that must run on the real world (allocation, monitors,
+    /// natives, migration, thread death, JIT compilation). The parallel
+    /// engine catches this and re-executes the quantum sequentially; it
+    /// never escapes [`HeraJvm::run`].
+    SpecAbort,
 }
 
 impl fmt::Display for VmError {
@@ -51,14 +95,19 @@ impl fmt::Display for VmError {
             VmError::NoEntryPoint => write!(f, "program has no entry point"),
             VmError::Verify(e) => write!(f, "verification failed: {e}"),
             VmError::Compile(e) => write!(f, "compilation failed: {e}"),
-            VmError::Deadlock { threads } => {
-                write!(f, "deadlock: {threads} threads blocked forever")
+            VmError::Deadlock { threads, stuck } => {
+                write!(f, "deadlock: {threads} threads blocked forever")?;
+                for s in stuck {
+                    write!(f, "; {s}")?;
+                }
+                Ok(())
             }
             VmError::Snap(e) => write!(f, "snapshot error: {e}"),
             VmError::MachineCrash { at_cycle } => {
                 write!(f, "whole-machine crash at cycle {at_cycle}")
             }
             VmError::Internal(msg) => write!(f, "internal error: {msg}"),
+            VmError::SpecAbort => write!(f, "speculative quantum aborted (internal signal)"),
         }
     }
 }
@@ -66,7 +115,7 @@ impl fmt::Display for VmError {
 impl std::error::Error for VmError {}
 
 /// VM configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy)]
 pub struct VmConfig {
     /// Machine model configuration (SPE count, cache partition, costs).
     pub cell: CellConfig,
@@ -100,6 +149,38 @@ pub struct VmConfig {
     /// with and without checkpointing have different timings — but a
     /// restored run is bit-identical to the checkpointed run it came from.
     pub checkpoint_every: Option<u64>,
+    /// Host worker threads driving simulated cores (hera-par). `1` (the
+    /// default) is the classic sequential scheduler; `n > 1` runs up to
+    /// `n` quanta concurrently with speculative commit at deterministic
+    /// virtual-time barriers. Purely a host-side execution strategy:
+    /// virtual time, traces, profiles and snapshot bytes are bit-identical
+    /// for every value (it is excluded from the config digest for exactly
+    /// that reason — snapshots move freely between worker counts).
+    pub host_workers: u32,
+}
+
+// Hand-written so `host_workers` stays out of the rendering: the snapshot
+// config digest is `digest64(format!("{config:?}"))`, and a checkpoint
+// taken at workers=4 must restore under workers=1 (and vice versa). The
+// field order and format deliberately match what `#[derive(Debug)]`
+// produced before the field existed, keeping the format-golden digest
+// unchanged.
+impl fmt::Debug for VmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmConfig")
+            .field("cell", &self.cell)
+            .field("heap", &self.heap)
+            .field("policy", &self.policy)
+            .field("quantum_ops", &self.quantum_ops)
+            .field("migration_cycles", &self.migration_cycles)
+            .field("thread_switch_cycles", &self.thread_switch_cycles)
+            .field("max_stack_depth", &self.max_stack_depth)
+            .field("array_block_bytes", &self.array_block_bytes)
+            .field("verify", &self.verify)
+            .field("cellvm_style_sync", &self.cellvm_style_sync)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .finish()
+    }
 }
 
 impl Default for VmConfig {
@@ -116,6 +197,7 @@ impl Default for VmConfig {
             verify: true,
             cellvm_style_sync: false,
             checkpoint_every: None,
+            host_workers: 1,
         }
     }
 }
@@ -177,6 +259,33 @@ impl VmConfig {
         self.checkpoint_every = Some(cycles.max(1));
         self
     }
+
+    /// Run scheduling quanta on up to `n` host worker threads (hera-par).
+    /// `n <= 1` keeps the sequential scheduler. See
+    /// [`VmConfig::host_workers`]; every value produces bit-identical
+    /// virtual time, traces, profiles and snapshots.
+    pub fn with_host_workers(mut self, n: u32) -> VmConfig {
+        self.host_workers = n.max(1);
+        self
+    }
+}
+
+/// Parallel-engine accounting ([`VmConfig::with_host_workers`]). Host-side
+/// observability only: deliberately kept out of [`RunStats`] and the trace
+/// metrics, both of which must stay byte-identical across worker counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Scheduling epochs that dispatched more than one speculative quantum.
+    pub epochs: u64,
+    /// Speculative quanta whose commit validated cleanly.
+    pub committed: u64,
+    /// Speculative quanta that diverged (shared-state conflict, grant
+    /// mismatch, or an abort on a non-speculable operation) and were
+    /// re-executed sequentially.
+    pub reexec: u64,
+    /// Speculative quanta discarded without re-execution because an
+    /// earlier commit in their epoch changed the schedule.
+    pub discarded: u64,
 }
 
 /// The result of one complete run.
@@ -205,6 +314,10 @@ pub struct RunOutcome {
     /// Every checkpoint taken during the run (empty unless the run used
     /// [`VmConfig::with_checkpoint_every`]).
     pub checkpoints: Vec<CheckpointBlob>,
+    /// Parallel-engine accounting (all zero under the sequential
+    /// scheduler). Host-side only — never part of [`RunStats`] or the
+    /// trace, which are bit-identical across worker counts.
+    pub par: ParStats,
 }
 
 impl RunOutcome {
@@ -426,6 +539,7 @@ impl HeraJvm {
             profile,
             heap_digest,
             checkpoints: std::mem::take(&mut world.checkpoints),
+            par: world.par,
         })))
     }
 

@@ -1,0 +1,240 @@
+//! Determinism of the parallel host engine (`VmConfig::with_host_workers`).
+//!
+//! The contract under test is absolute: a run at any worker count is
+//! **byte-identical** to the sequential run — same result, same heap
+//! image, same `RunStats`, same event trace, same profile, same
+//! checkpoint bytes — including under fault injection, SPE death, and
+//! whole-machine crashes. Host workers may only change wall-clock time
+//! and the `RunOutcome::par` accounting, never anything virtual.
+
+use hera_bench::{
+    chaos_death_cycle, chaos_plan, ppe_config, profile_workload, run_workload, spe_config,
+    trace_workload, DEFAULT_SCALE,
+};
+use hera_core::{HeraJvm, RunEnd, RunOutcome, VmConfig};
+use hera_isa::Value;
+use hera_workloads::Workload;
+
+/// Worker counts exercised by the grid; 1 is the sequential reference.
+const WORKERS: &[u32] = &[2, 4, 8];
+
+/// Scale for the wide grid — small enough that 30+ runs stay fast,
+/// large enough that every workload schedules hundreds of quanta.
+const GRID_SCALE: f64 = 0.25;
+
+fn assert_identical(tag: &str, reference: &RunOutcome, out: &RunOutcome) {
+    assert_eq!(out.result, reference.result, "{tag}: result diverged");
+    assert_eq!(out.output, reference.output, "{tag}: guest output diverged");
+    assert_eq!(out.files, reference.files, "{tag}: guest files diverged");
+    assert_eq!(
+        out.heap_digest, reference.heap_digest,
+        "{tag}: final heap image diverged"
+    );
+    assert_eq!(
+        format!("{:?}", out.stats),
+        format!("{:?}", reference.stats),
+        "{tag}: RunStats diverged"
+    );
+    assert!(out.trace == reference.trace, "{tag}: event trace diverged");
+    assert!(
+        out.profile == reference.profile,
+        "{tag}: cost profile diverged"
+    );
+    assert_eq!(
+        out.checkpoints.len(),
+        reference.checkpoints.len(),
+        "{tag}: checkpoint count diverged"
+    );
+    for (a, b) in out.checkpoints.iter().zip(&reference.checkpoints) {
+        assert_eq!(a.seq, b.seq, "{tag}: checkpoint sequence diverged");
+        assert_eq!(
+            a.at_cycle, b.at_cycle,
+            "{tag}: checkpoint trigger cycle diverged"
+        );
+        assert_eq!(a.bytes, b.bytes, "{tag}: checkpoint bytes diverged");
+    }
+}
+
+/// The full workload × configuration grid, traced, at workers 1/2/4/8.
+/// Traces capture every per-core event in virtual-time order, so trace
+/// equality is the strongest cheap fingerprint of the whole run.
+#[test]
+fn traced_grid_is_bit_identical_across_worker_counts() {
+    type ConfigCell = (&'static str, u32, fn() -> VmConfig);
+    let grid: &[ConfigCell] = &[
+        ("ppe", 2, ppe_config),
+        ("spe2", 2, || spe_config(2)),
+        ("spe6", 6, || spe_config(6)),
+    ];
+    for w in Workload::ALL {
+        for &(cfg_name, threads, mk_cfg) in grid {
+            let (reference, _) = trace_workload(w, threads, GRID_SCALE, mk_cfg());
+            for &workers in WORKERS {
+                let cfg = mk_cfg().with_host_workers(workers);
+                let (out, _) = trace_workload(w, threads, GRID_SCALE, cfg);
+                let tag = format!("{}/{cfg_name}/workers={workers}", w.name());
+                assert_identical(&tag, &reference, &out);
+            }
+        }
+    }
+}
+
+/// Profiled runs must agree too: the profiler's per-method cost trie is
+/// rebuilt from the speculative op log at commit time, and any
+/// mis-replay shows up here as a diverged profile.
+#[test]
+fn profiled_run_is_bit_identical_across_worker_counts() {
+    let (reference, _) = profile_workload(Workload::Compress, 6, GRID_SCALE, spe_config(6));
+    for &workers in WORKERS {
+        let cfg = spe_config(6).with_host_workers(workers);
+        let (out, _) = profile_workload(Workload::Compress, 6, GRID_SCALE, cfg);
+        assert_identical(
+            &format!("compress/spe6/workers={workers}"),
+            &reference,
+            &out,
+        );
+        assert!(
+            out.profile.is_some(),
+            "profiled parallel run produced no profile"
+        );
+    }
+}
+
+/// The committed engine goldens (see `engine.rs`) hold unchanged at
+/// workers=4 and full scale: the parallel engine does not merely agree
+/// with today's sequential engine, it agrees with the numbers pinned
+/// when the slot engine landed.
+#[test]
+fn committed_goldens_hold_at_workers_4() {
+    let out = run_workload(
+        Workload::Mandelbrot,
+        6,
+        DEFAULT_SCALE,
+        spe_config(6).with_host_workers(4),
+    );
+    assert_eq!(out.result, Some(Value::I32(477948)));
+    assert_eq!(
+        out.stats.per_core_cycles,
+        &[8441221, 8442299, 8432587, 8258264, 8266429, 8211451, 8280260],
+        "mandelbrot/spe6 golden cycles drifted under parallel execution"
+    );
+    // The run must actually have exercised the speculative engine.
+    assert!(
+        out.par.epochs > 0,
+        "no multi-quantum epochs were dispatched"
+    );
+    assert!(out.par.committed > 0, "no speculative quanta committed");
+}
+
+/// Fault injection (MFC retries, proxy/migration faults, an SPE death
+/// mid-run) is driven by deterministic per-site counters; the parallel
+/// engine replays injector state at commit, so chaos runs must stay
+/// bit-identical across worker counts too.
+#[test]
+fn chaos_run_with_spe_death_is_bit_identical_across_workers() {
+    let scale = 0.5;
+    let plan = chaos_plan(0xC0FFEE, 5, chaos_death_cycle(scale));
+    let run = |workers: u32| -> RunOutcome {
+        let (program, expected) = Workload::Mandelbrot.build(6, scale);
+        let cfg = spe_config(6)
+            .with_tracing()
+            .with_faults(plan)
+            .with_host_workers(workers);
+        let vm = HeraJvm::new(program, cfg).expect("program constructs");
+        let out = vm.run().expect("run survives injected faults");
+        assert!(out.is_clean(), "chaos run trapped: {:?}", out.traps);
+        assert_eq!(out.result, Some(Value::I32(expected)));
+        out
+    };
+    let reference = run(1);
+    assert!(
+        !reference.stats.faults.deaths.is_empty(),
+        "chaos plan was inert — the cell proves nothing"
+    );
+    for &workers in &[2, 4] {
+        assert_identical(
+            &format!("chaos/workers={workers}"),
+            &reference,
+            &run(workers),
+        );
+    }
+}
+
+/// Checkpoint blobs are sealed snapshots of the whole VM; byte equality
+/// across worker counts proves the entire machine state (heap, clocks,
+/// caches, threads, RNG cursors) marches in lockstep.
+#[test]
+fn checkpoint_bytes_are_bit_identical_across_workers() {
+    let run = |workers: u32| -> RunOutcome {
+        let (program, expected) = Workload::Compress.build(6, 0.3);
+        let cfg = spe_config(6)
+            .with_checkpoint_every(2_000_000)
+            .with_host_workers(workers);
+        let vm = HeraJvm::new(program, cfg).expect("program constructs");
+        let out = vm.run().expect("run succeeds");
+        assert_eq!(out.result, Some(Value::I32(expected)));
+        out
+    };
+    let reference = run(1);
+    assert!(
+        !reference.checkpoints.is_empty(),
+        "no checkpoints were taken — the cell proves nothing"
+    );
+    for &workers in &[2, 4] {
+        assert_identical(
+            &format!("checkpoint/workers={workers}"),
+            &reference,
+            &run(workers),
+        );
+    }
+}
+
+/// A scheduled whole-machine crash must fire at the same virtual cycle
+/// with the same checkpoints already on record, regardless of how many
+/// host threads were running quanta when the deadline hit.
+#[test]
+fn machine_crash_fires_identically_across_workers() {
+    let run = |workers: u32| -> (u64, Vec<(u32, u64, Vec<u8>)>) {
+        let (program, _) = Workload::Compress.build(6, 0.3);
+        let plan = hera_cell::FaultPlan::seeded(77).with_machine_crash(4_500_000);
+        let cfg = spe_config(6)
+            .with_checkpoint_every(1_500_000)
+            .with_faults(plan)
+            .with_host_workers(workers);
+        let vm = HeraJvm::new(program, cfg).expect("program constructs");
+        match vm.run_until_crash().expect("crash is survivable") {
+            RunEnd::Crashed {
+                at_cycle,
+                checkpoints,
+            } => (
+                at_cycle,
+                checkpoints
+                    .into_iter()
+                    .map(|c| (c.seq, c.at_cycle, c.bytes))
+                    .collect(),
+            ),
+            RunEnd::Completed(_) => panic!("scheduled crash never fired"),
+        }
+    };
+    let (ref_cycle, ref_blobs) = run(1);
+    assert!(!ref_blobs.is_empty(), "crashed before the first checkpoint");
+    for &workers in &[2, 4] {
+        let (cycle, blobs) = run(workers);
+        assert_eq!(cycle, ref_cycle, "workers={workers}: crash cycle diverged");
+        assert_eq!(blobs, ref_blobs, "workers={workers}: checkpoints diverged");
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_par_stats() {
+    for workers in [2u32, 4, 8] {
+        let out = run_workload(
+            Workload::Mandelbrot,
+            6,
+            DEFAULT_SCALE,
+            spe_config(6).with_host_workers(workers),
+        );
+        eprintln!("workers={workers} par={:?}", out.par);
+    }
+}

@@ -3,7 +3,7 @@
 //! plumbing.
 
 use hera_core::native::install_runtime;
-use hera_core::{HeraJvm, VmConfig, VmError};
+use hera_core::{BlockReason, HeraJvm, VmConfig, VmError};
 use hera_frontend::*;
 use hera_integration::run_program;
 use hera_isa::{ElemTy, ProgramBuilder, Trap, Ty, Value};
@@ -65,10 +65,52 @@ fn classic_lock_order_deadlock_is_detected() {
     .unwrap();
     let program = pb.finish_with_entry("Main", "main").unwrap();
     let vm = HeraJvm::new(program, VmConfig::pinned_spe(2)).unwrap();
-    match vm.run() {
-        Err(VmError::Deadlock { threads }) => assert!(threads >= 2),
+    let err = match vm.run() {
+        Err(e) => e,
         other => panic!("expected deadlock, got {other:?}"),
+    };
+    // The error must diagnose the cycle, not just count heads: both
+    // workers parked on monitors (distinct objects — the textbook A→B,
+    // B→A order inversion), plus main parked joining a worker.
+    let rendered = err.to_string();
+    let (threads, stuck) = match err {
+        VmError::Deadlock { threads, stuck } => (threads, stuck),
+        other => panic!("expected deadlock, got {other:?}"),
+    };
+    assert_eq!(threads, stuck.len(), "count must match the detail list");
+    let monitors: Vec<_> = stuck
+        .iter()
+        .filter_map(|s| match s.waiting_on {
+            BlockReason::Monitor(obj) => Some(obj),
+            BlockReason::Join(_) => None,
+        })
+        .collect();
+    assert_eq!(
+        monitors.len(),
+        2,
+        "both workers wait on monitors: {stuck:?}"
+    );
+    assert_ne!(
+        monitors[0], monitors[1],
+        "a cycle needs two distinct locks: {stuck:?}"
+    );
+    assert!(
+        stuck
+            .iter()
+            .any(|s| matches!(s.waiting_on, BlockReason::Join(_))),
+        "main should be parked joining a worker: {stuck:?}"
+    );
+    // Every participant appears in the rendered error, with its wait
+    // target — the "debuggable from the error alone" contract.
+    for s in &stuck {
+        assert!(
+            rendered.contains(&format!("thread {}", s.id.0)),
+            "{rendered:?} does not name thread {}",
+            s.id.0
+        );
     }
+    assert!(rendered.contains("waits for monitor @"), "{rendered:?}");
+    assert!(rendered.contains("waits to join thread"), "{rendered:?}");
 }
 
 #[test]

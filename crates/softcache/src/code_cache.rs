@@ -42,7 +42,26 @@ pub struct CodeCacheStats {
     pub bypasses: u64,
 }
 
+impl std::ops::AddAssign for CodeCacheStats {
+    fn add_assign(&mut self, rhs: CodeCacheStats) {
+        self.method_hits += rhs.method_hits;
+        self.method_misses += rhs.method_misses;
+        self.tib_hits += rhs.tib_hits;
+        self.tib_misses += rhs.tib_misses;
+        self.purges += rhs.purges;
+        self.bytes_loaded += rhs.bytes_loaded;
+        self.toc_lookups += rhs.toc_lookups;
+        self.bypasses += rhs.bypasses;
+    }
+}
+
 impl CodeCacheStats {
+    /// Fold another cache's counters into this one (the per-SPE → whole
+    /// machine aggregation).
+    pub fn merge(&mut self, other: &CodeCacheStats) {
+        *self += *other;
+    }
+
     /// Method hit rate.
     pub fn method_hit_rate(&self) -> f64 {
         let total = self.method_hits + self.method_misses;
@@ -68,6 +87,7 @@ impl CodeCacheStats {
 }
 
 /// The software code cache for one SPE.
+#[derive(Clone)]
 pub struct CodeCache {
     capacity: u32,
     bump: u32,

@@ -44,7 +44,25 @@ pub struct DataCacheStats {
     pub bypasses: u64,
 }
 
+impl std::ops::AddAssign for DataCacheStats {
+    fn add_assign(&mut self, rhs: DataCacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.purges += rhs.purges;
+        self.writebacks += rhs.writebacks;
+        self.bytes_fetched += rhs.bytes_fetched;
+        self.bytes_written_back += rhs.bytes_written_back;
+        self.bypasses += rhs.bypasses;
+    }
+}
+
 impl DataCacheStats {
+    /// Fold another cache's counters into this one (the per-SPE → whole
+    /// machine aggregation).
+    pub fn merge(&mut self, other: &DataCacheStats) {
+        *self += *other;
+    }
+
     /// Hit rate over cacheable accesses.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -89,6 +107,7 @@ impl Entry {
 const INSERT_CYCLES: u64 = 40;
 
 /// The software data cache for one SPE.
+#[derive(Clone)]
 pub struct DataCache {
     capacity: u32,
     array_block_bytes: u32,
@@ -236,9 +255,8 @@ impl DataCache {
         // Fetch the unit. A fault-exhausted transfer surfaces as a typed
         // `CacheFault` before any cache state is mutated.
         machine.dma_tagged(core, len, DmaTag::DataCacheFill)?;
-        let src = heap.bytes(main_addr, len)?;
         let dst = self.bump as usize;
-        self.local[dst..dst + len as usize].copy_from_slice(src);
+        heap.copy_to(main_addr, &mut self.local[dst..dst + len as usize])?;
         self.stats.bytes_fetched += len as u64;
 
         let Some(slot) = self.free_slot(main_addr) else {
@@ -390,8 +408,10 @@ impl DataCache {
             );
             machine.dma_tagged(core, span, DmaTag::DataCacheWriteBack)?;
             let src_lo = (e.local_off + e.dirty_lo) as usize;
-            let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
-            dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
+            heap.copy_from(
+                e.main_addr + e.dirty_lo,
+                &self.local[src_lo..src_lo + span as usize],
+            )?;
             self.stats.writebacks += 1;
             self.stats.bytes_written_back += span as u64;
             let Some(e) = self.table[slot].as_mut() else {
@@ -421,8 +441,10 @@ impl DataCache {
             debug_assert!(e.dirty_hi <= e.len, "dirty span exceeds unit");
             let span = e.dirty_hi - e.dirty_lo;
             let src_lo = (e.local_off + e.dirty_lo) as usize;
-            let dst = heap.bytes_mut(e.main_addr + e.dirty_lo, span)?;
-            dst.copy_from_slice(&self.local[src_lo..src_lo + span as usize]);
+            heap.copy_from(
+                e.main_addr + e.dirty_lo,
+                &self.local[src_lo..src_lo + span as usize],
+            )?;
             salvaged += span as u64;
             self.stats.writebacks += 1;
             self.stats.bytes_written_back += span as u64;
