@@ -48,3 +48,8 @@ cargo run --release -p hera-bench --bin figures -- chaos-crash mandelbrot --scal
 # bit-identical to the unmigrated run and the whole report must replay
 # byte-identically under the same seed — exit 1 on any divergence.
 cargo run --release -p hera-bench --bin figures -- cluster --requests 300
+# Resilience smoke: the full chaos matrix (straggler + crash storm,
+# every knob combination) must replay byte-identically and hold full
+# resilience's p99 within 2x of the fault-free baseline at >=90%
+# goodput — exit 1 otherwise.
+cargo run --release -p hera-bench --bin figures -- cluster-chaos

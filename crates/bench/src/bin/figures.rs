@@ -28,6 +28,12 @@
 //!           | cluster [--machines N] [--requests N] [--seed S]
 //!                     (fleet simulation: request trace, load balancing, crash
 //!                      recovery, live migration; replayed twice and compared)
+//!           | cluster-chaos [--machines N] [--requests N] [--seed S]
+//!                     (resilience matrix: fault-free baseline plus every
+//!                      ± breakers / ± hedging / ± shedding combination under
+//!                      one 4x straggler and a seeded crash storm; replayed
+//!                      twice, byte-compared, and gated on the E13 acceptance
+//!                      bounds; writes cluster_chaos.txt)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -56,6 +62,7 @@ const EXPERIMENTS: &[&str] = &[
     "profile",
     "profile-diff",
     "cluster",
+    "cluster-chaos",
 ];
 
 fn usage_and_exit(problem: &str) -> ! {
@@ -78,7 +85,9 @@ fn main() {
     let mut reps = 3u32;
     let mut workers = 1u32;
     let mut machines = 4usize;
+    let mut machines_set = false;
     let mut requests = 400u64;
+    let mut requests_set = false;
     let mut seed = 42u64;
     let mut i = 0;
     let flag = |args: &[String], i: usize, name: &str| -> String {
@@ -114,12 +123,14 @@ fn main() {
                 machines = flag(&args, i, "--machines")
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--machines needs an integer"));
+                machines_set = true;
                 i += 1;
             }
             "--requests" => {
                 requests = flag(&args, i, "--requests")
                     .parse()
                     .unwrap_or_else(|_| usage_and_exit("--requests needs an integer"));
+                requests_set = true;
                 i += 1;
             }
             "--seed" => {
@@ -193,6 +204,19 @@ fn main() {
             requests,
             seed,
             if scale_set { scale } else { 0.05 },
+        );
+        return;
+    }
+    if which == "cluster-chaos" {
+        // E13's committed configuration: a 6-machine fleet gives the
+        // resilience stack the redundancy it needs to absorb a straggler
+        // plus a crash storm (with 4 machines the post-crash fleet is
+        // transiently over-committed and no knob can help).
+        cluster_chaos(
+            if machines_set { machines } else { 6 },
+            if requests_set { requests } else { 800 },
+            seed,
+            if scale_set { scale } else { 0.02 },
         );
         return;
     }
@@ -348,6 +372,7 @@ fn chaos_crash(name: &str, scale: f64) {
     // compose with the rest of the chaos machinery, not replace it.
     let plan = hera_cell::FaultPlan::seeded(SEED)
         .with_mfc_faults(400, 250, 150)
+        .expect("valid fault rates")
         .with_proxy_faults(500);
 
     // Probe for the wall clock so the crash lands at a deterministic
@@ -438,6 +463,103 @@ fn cluster(machines: usize, requests: u64, seed: u64, scale: f64) {
         "verified: every migration and recovery bit-identical to the unmigrated runs; \
          same-seed replay byte-identical"
     );
+}
+
+fn cluster_chaos(machines: usize, requests: u64, seed: u64, scale: f64) {
+    use hera_cluster::ClusterConfig;
+    let cfg = ClusterConfig {
+        seed,
+        machines,
+        requests,
+        threads: 2,
+        scale,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        utilization_pct: 60,
+        crashes: hera_cluster::crash_storm(seed, machines, 2, 300, 700),
+        migrations: vec![],
+        slowdowns: vec![(0, 4, 0)],
+        ..ClusterConfig::default()
+    };
+    header(&format!(
+        "hera-resil: chaos matrix ({machines} machines, {requests} requests, seed {seed}, \
+         one 4x straggler + two-crash storm)"
+    ));
+    let first = match hera_cluster::run_chaos_matrix(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster-chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered = first.render();
+    print!("{rendered}");
+    // Determinism is the headline property: replay the whole matrix and
+    // require the byte-identical report.
+    let replay = match hera_cluster::run_chaos_matrix(&cfg) {
+        Ok(r) => r.render(),
+        Err(e) => {
+            eprintln!("cluster-chaos: replay errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    if replay != rendered {
+        eprintln!("cluster-chaos: same-seed replay diverged — determinism broken");
+        std::process::exit(1);
+    }
+    if !first.failures.is_empty() {
+        eprintln!(
+            "cluster-chaos: {} bit-identity/bookkeeping failure(s) — see report above",
+            first.failures.len()
+        );
+        std::process::exit(1);
+    }
+    // E13 acceptance: the full stack must hold the tail and the goodput
+    // under faults, and the unprotected fleet must demonstrably not.
+    let base = first.baseline();
+    let full = first.full_resil();
+    let off = first.no_resil();
+    let mut failed = false;
+    let bound = 2 * base.p99;
+    if full.p99 > bound {
+        eprintln!(
+            "cluster-chaos FAIL: full-resilience p99 {} exceeds 2x the fault-free \
+             baseline ({} vs bound {})",
+            full.p99, base.p99, bound
+        );
+        failed = true;
+    }
+    if full.goodput_permille() < 900 {
+        eprintln!(
+            "cluster-chaos FAIL: full-resilience goodput {}‰ below the 900‰ floor",
+            full.goodput_permille()
+        );
+        failed = true;
+    }
+    if off.p99 <= bound {
+        eprintln!(
+            "cluster-chaos FAIL: the unprotected fleet held p99 {} within the 2x bound \
+             {} — the fault schedule is too gentle to demonstrate anything",
+            off.p99, bound
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    let summary = format!(
+        "verified: same-seed replay byte-identical; full resilience holds p99 to \
+         {:.2}x the fault-free baseline (unprotected: {:.2}x) at {}.{}% goodput\n",
+        full.p99 as f64 / base.p99.max(1) as f64,
+        off.p99 as f64 / base.p99.max(1) as f64,
+        full.goodput_permille() / 10,
+        full.goodput_permille() % 10
+    );
+    print!("{summary}");
+    let artifact = format!("{rendered}{summary}");
+    std::fs::write("cluster_chaos.txt", &artifact)
+        .unwrap_or_else(|e| panic!("write cluster_chaos.txt: {e}"));
+    println!("wrote cluster_chaos.txt ({} bytes)", artifact.len());
 }
 
 fn perf(scale: f64, reps: u32, workers: u32) {

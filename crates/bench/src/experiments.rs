@@ -682,6 +682,7 @@ pub fn sync_scalability(reps: i32) -> Vec<(u8, u64, u64)> {
 pub fn chaos_plan(seed: u64, death_spe: u8, death_at: u64) -> hera_cell::FaultPlan {
     hera_cell::FaultPlan::seeded(seed)
         .with_mfc_faults(400, 250, 150)
+        .expect("valid fault rates")
         .with_proxy_faults(500)
         .with_migration_faults(500)
         .with_spe_death(death_spe, death_at)

@@ -41,4 +41,4 @@ pub use spe::{LocalStore, StorePartition};
 
 // Fault-plan types ride inside `CellConfig`; re-export them so consumers
 // configuring chaos runs don't need a direct `hera-faults` dependency.
-pub use hera_faults::{FaultKind, FaultPlan, FaultSite, SpeDeath, NUM_SITES};
+pub use hera_faults::{FaultKind, FaultPlan, FaultPlanError, FaultSite, SpeDeath, NUM_SITES};

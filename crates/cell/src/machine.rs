@@ -287,6 +287,10 @@ pub struct CellMachine {
     prof_pending: Vec<CostVec>,
     /// `Some` only on a speculative fork (see [`CellMachine::fork_for_spec`]).
     spec_eib: Option<Box<SpecEib>>,
+    /// Cached straggler gate: `Some((from_cycle, factor))` when the fault
+    /// plan stretches this machine (factor ≥ 2), `None` otherwise so the
+    /// healthy path pays a single predictable branch per charge.
+    slowdown: Option<(u64, u64)>,
 }
 
 impl CellMachine {
@@ -316,6 +320,14 @@ impl CellMachine {
             prof_scope: vec![CostClass::Compute; cores],
             prof_pending: vec![CostVec::ZERO; cores],
             spec_eib: None,
+            slowdown: if config.faults.slowdown_active() {
+                Some((
+                    config.faults.slowdown_from_cycle,
+                    config.faults.slowdown_factor as u64,
+                ))
+            } else {
+                None
+            },
             config,
         }
     }
@@ -353,6 +365,7 @@ impl CellMachine {
                 own: own_idx,
                 ops: Vec::new(),
             })),
+            slowdown: self.slowdown,
         }
     }
 
@@ -501,6 +514,8 @@ impl CellMachine {
                 break;
             };
             let backoff = self.injector.backoff_cycles(attempt);
+            let watchdog = self.stretched(i, watchdog);
+            let backoff = self.stretched(i, backoff);
             let cost = watchdog + backoff;
             self.fault_stats.bump(kind);
             self.fault_stats.watchdog_cycles += watchdog;
@@ -681,10 +696,27 @@ impl CellMachine {
         self.clocks[self.idx(core)]
     }
 
+    /// Stretch a *relative* cycle charge for the straggler fault shape:
+    /// once core `i`'s own clock reaches the plan's `from_cycle`, every
+    /// charge is multiplied by the slowdown factor. Absolute-time syncs
+    /// ([`CellMachine::wait_until`], [`CellMachine::idle_until`]) are
+    /// deliberately not stretched — they chase other cores' clocks, and
+    /// those cores are slowed themselves. Applied before the clock add,
+    /// breakdown charge, and profiler note so attribution reconciles
+    /// exactly on a straggler.
+    #[inline]
+    fn stretched(&self, i: usize, cycles: u64) -> u64 {
+        match self.slowdown {
+            Some((from, factor)) if self.clocks[i] >= from => cycles.saturating_mul(factor),
+            _ => cycles,
+        }
+    }
+
     /// Advance a core's clock, charging `class`.
     #[inline]
     pub fn advance(&mut self, core: CoreId, cycles: u64, class: OpClass) {
         let i = self.idx(core);
+        let cycles = self.stretched(i, cycles);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge(class, cycles);
         self.prof_note(i, cycles);
@@ -694,6 +726,7 @@ impl CellMachine {
     #[inline]
     pub fn stall(&mut self, core: CoreId, cycles: u64, class: OpClass) {
         let i = self.idx(core);
+        let cycles = self.stretched(i, cycles);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge_stall(class, cycles);
         self.prof_note(i, cycles);
@@ -820,6 +853,7 @@ impl CellMachine {
                     .record("mfc.retries", attempts_before as u64);
             }
         }
+        let total = self.stretched(i, total);
         self.clocks[i] += total;
         self.breakdowns[i].charge(OpClass::MainMemory, total);
         let class = self.prof_dma_class(i, tag);
@@ -901,6 +935,7 @@ impl CellMachine {
                     .metrics
                     .add(&format!("faults.injected.{}", kind.label()), 1);
             }
+            let wasted = self.stretched(i, wasted);
             self.clocks[i] += wasted;
             self.breakdowns[i].charge_stall(OpClass::MainMemory, wasted);
             self.prof_note_class(i, CostClass::FaultRetry, wasted);
@@ -917,7 +952,7 @@ impl CellMachine {
                 });
             }
             // Back off exponentially in virtual time, then re-queue.
-            let backoff = self.injector.backoff_cycles(attempt);
+            let backoff = self.stretched(i, self.injector.backoff_cycles(attempt));
             attempt += 1;
             self.fault_stats.mfc_retries += 1;
             self.fault_stats.backoff_cycles += backoff;
@@ -945,6 +980,7 @@ impl CellMachine {
         let (cycles, level) = self.ppe_cache.access(addr, len);
         let class = HwCache::class_for(level);
         let i = self.idx(CoreId::Ppe);
+        let cycles = self.stretched(i, cycles);
         self.clocks[i] += cycles;
         self.breakdowns[i].charge(class, cycles);
         self.prof_note(i, cycles);
@@ -1041,6 +1077,14 @@ impl CellMachine {
     /// It must only be called before the restored clocks start advancing.
     pub fn adopt_fault_plan(&mut self, plan: FaultPlan) {
         self.config.faults = plan;
+        // The straggler stretch is cached at construction; refresh it so
+        // an adopted snapshot runs under the carried plan's slowdown, not
+        // the destination machine's.
+        self.slowdown = if plan.slowdown_active() {
+            Some((plan.slowdown_from_cycle, plan.slowdown_factor as u64))
+        } else {
+            None
+        };
         self.injector = FaultInjector::new(plan, self.clocks.len());
     }
 
@@ -1129,7 +1173,9 @@ mod tests {
     #[test]
     fn certain_faults_exhaust_retries_into_mfc_fault() {
         let cfg = CellConfig {
-            faults: FaultPlan::seeded(1).with_mfc_faults(1_000_000, 0, 0),
+            faults: FaultPlan::seeded(1)
+                .with_mfc_faults(1_000_000, 0, 0)
+                .expect("valid"),
             ..CellConfig::default()
         };
         let mut m = CellMachine::new(cfg);
@@ -1148,7 +1194,9 @@ mod tests {
         // A moderate rate recovers within the retry budget virtually
         // always; scan a few transfers and require at least one retry.
         let cfg = CellConfig {
-            faults: FaultPlan::seeded(7).with_mfc_faults(200_000, 100_000, 100_000),
+            faults: FaultPlan::seeded(7)
+                .with_mfc_faults(200_000, 100_000, 100_000)
+                .expect("valid"),
             ..CellConfig::default()
         };
         let mut m = CellMachine::new(cfg);
@@ -1170,7 +1218,9 @@ mod tests {
     fn faulty_dma_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let cfg = CellConfig {
-                faults: FaultPlan::seeded(seed).with_mfc_faults(150_000, 100_000, 80_000),
+                faults: FaultPlan::seeded(seed)
+                    .with_mfc_faults(150_000, 100_000, 80_000)
+                    .expect("valid"),
                 ..CellConfig::default()
             };
             let mut m = CellMachine::new(cfg);
@@ -1182,6 +1232,43 @@ mod tests {
         };
         assert_eq!(run(3), run(3), "same seed must replay identically");
         assert_ne!(run(3).1, run(4).1, "different seeds must diverge");
+    }
+
+    #[test]
+    fn slowdown_stretches_relative_charges_after_onset() {
+        let cfg = CellConfig {
+            faults: FaultPlan::default().with_slowdown(4, 100).expect("valid"),
+            ..CellConfig::default()
+        };
+        let mut slow = CellMachine::new(cfg);
+        let mut clean = machine();
+        // Before the onset cycle charges are nominal.
+        slow.advance(CoreId::Spe(0), 60, OpClass::Integer);
+        clean.advance(CoreId::Spe(0), 60, OpClass::Integer);
+        assert_eq!(slow.now(CoreId::Spe(0)), clean.now(CoreId::Spe(0)));
+        // Crossing the onset: the next charge lands at 60 < 100 so it is
+        // still nominal; once the clock passes 100 every relative charge
+        // is multiplied by the factor.
+        slow.advance(CoreId::Spe(0), 50, OpClass::Integer);
+        clean.advance(CoreId::Spe(0), 50, OpClass::Integer);
+        assert_eq!(slow.now(CoreId::Spe(0)), 110);
+        slow.stall(CoreId::Spe(0), 10, OpClass::Branch);
+        clean.stall(CoreId::Spe(0), 10, OpClass::Branch);
+        assert_eq!(slow.now(CoreId::Spe(0)), 150);
+        assert_eq!(clean.now(CoreId::Spe(0)), 120);
+        // Absolute-time syncs are not stretched: both machines land on
+        // the same target cycle.
+        slow.wait_until(CoreId::Spe(0), 500, OpClass::Branch);
+        assert_eq!(slow.now(CoreId::Spe(0)), 500);
+        // DMA stalls stretch too (4x the clean machine's charge).
+        let clean_dma = clean.dma(CoreId::Spe(1), 1024).expect("clean dma");
+        let slow_pre = slow.dma(CoreId::Spe(1), 1024).expect("slow dma pre-onset");
+        assert_eq!(clean_dma, slow_pre, "SPE1 clock still below onset");
+        // Skip to a fresh EIB window so the second transfer sees a quiet
+        // bus and the only delta is the stretch itself.
+        slow.idle_until(CoreId::Spe(1), 5_000);
+        let slow_dma = slow.dma(CoreId::Spe(1), 1024).expect("slow dma post-onset");
+        assert_eq!(slow_dma, clean_dma * 4);
     }
 
     #[test]
@@ -1375,7 +1462,9 @@ mod tests {
     fn fault_retry_cycles_bypass_open_scopes() {
         let mut m = CellMachine::new(CellConfig {
             profiling: true,
-            faults: FaultPlan::seeded(7).with_mfc_faults(1_000_000, 0, 0),
+            faults: FaultPlan::seeded(7)
+                .with_mfc_faults(1_000_000, 0, 0)
+                .expect("valid"),
             ..CellConfig::default()
         });
         let tok = m.prof_scope_begin(CoreId::Spe(0), CostClass::Migration);

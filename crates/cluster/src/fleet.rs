@@ -27,6 +27,7 @@
 //!   requeued through the balancing policy exactly once per crash.
 
 use crate::policy::{BalancePolicy, MachineView};
+use crate::resil::{self, Breaker, BreakerState, ResilConfig};
 use crate::traffic::{self, Request};
 use crate::{ClusterConfig, ClusterError};
 use hera_cell::FaultPlan;
@@ -87,15 +88,21 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
             checksum,
         });
     }
-    let plans: Vec<FaultPlan> = (0..cfg.machines)
+    let mut plans: Vec<FaultPlan> = (0..cfg.machines)
         .map(|m| match cfg.fault_rates {
             Some((transfer, timeout, corrupt)) => {
                 FaultPlan::seeded(splitmix64(cfg.seed ^ (MACHINE_SEED_SALT + m as u64)))
                     .with_mfc_faults(transfer, timeout, corrupt)
+                    .expect("cluster fault rates validated by run_experiment")
             }
             None => FaultPlan::default(),
         })
         .collect();
+    for &(m, factor, from_cycle) in &cfg.slowdowns {
+        plans[m] = plans[m]
+            .with_slowdown(factor, from_cycle)
+            .expect("cluster slowdowns validated by run_experiment");
+    }
 
     // Every (class, machine) reference run is an independent whole-VM
     // execution — fan them out on the host worker pool.
@@ -157,10 +164,39 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum Ev {
     Arrive(usize),
-    Done { machine: usize, epoch: u64 },
-    Crash { machine: usize },
-    Migrate { machine: usize },
-    Recover { machine: usize },
+    Done {
+        machine: usize,
+        epoch: u64,
+    },
+    Crash {
+        machine: usize,
+    },
+    Migrate {
+        machine: usize,
+    },
+    Recover {
+        machine: usize,
+    },
+    /// Attempt wave `gen` of `job` hit its deadline (resil only).
+    Timeout {
+        job: usize,
+        gen: u32,
+    },
+    /// Backoff elapsed: re-dispatch `job` as wave `gen` (resil only).
+    Retry {
+        job: usize,
+        gen: u32,
+    },
+    /// Wave `gen` of `job` outlived its class's p95: consider a hedge
+    /// (resil only).
+    HedgeCheck {
+        job: usize,
+        gen: u32,
+    },
+    /// An open breaker's seeded probe: move to half-open (resil only).
+    Probe {
+        machine: usize,
+    },
 }
 
 // ------------------------------------------------------------------ jobs
@@ -171,6 +207,18 @@ struct Resume {
     bytes: Rc<Vec<u8>>,
     /// VM wall clock the snapshot resumes at.
     restored_wall: u64,
+}
+
+/// Terminal state of a request. Without resilience only `Pending` and
+/// `Completed` occur (every job eventually completes, however slowly).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Pending,
+    Completed,
+    /// Refused by admission control or queue-cap overflow.
+    Shed,
+    /// Every retry wave hit its deadline.
+    TimedOut,
 }
 
 struct Job {
@@ -185,6 +233,18 @@ struct Job {
     /// Pending migration record awaiting its adoption proof.
     pending_migration: Option<usize>,
     completed_at: Option<u64>,
+    outcome: Outcome,
+    /// Attempt-wave generation: bumped whenever the wave is cancelled
+    /// (deadline, shed, completion), so stale wave events are dropped —
+    /// the job-level analogue of the per-machine epoch.
+    gen: u32,
+    /// Fleet time the current wave was dispatched (hedge/deadline base).
+    wave_start: u64,
+    /// Retry waves consumed so far.
+    retries: u32,
+    /// Machines currently holding an attempt, as `(machine, is_hedge)`.
+    /// At most two entries (primary + one hedge).
+    placements: Vec<(usize, bool)>,
 }
 
 struct Running {
@@ -259,6 +319,11 @@ pub struct PolicyOutcome {
     pub migration_events: Vec<MigrationEvent>,
     /// Requeue count per job id, for jobs that were ever requeued.
     pub requeues: BTreeMap<usize, u32>,
+    /// Exact end-to-end latency of every completed request, sorted
+    /// ascending. The metrics histograms bucket by powers of two — fine
+    /// for in-VM counters, too coarse to judge a 2x tail bound — so the
+    /// resilience matrix computes its percentiles from these.
+    pub latencies: Vec<u64>,
 }
 
 /// The full experiment result: one [`PolicyOutcome`] per policy plus any
@@ -349,6 +414,16 @@ struct Sim<'a> {
     crash_events: Vec<CrashEvent>,
     migration_events: Vec<MigrationEvent>,
     failures: Vec<String>,
+    /// Copy of `cfg.resil`; `None` disables every resilience path.
+    resil: Option<ResilConfig>,
+    /// Per-machine circuit breakers (idle unless `resil.breakers`).
+    breakers: Vec<Breaker>,
+    /// Observed attempt latencies per class (dispatch → completion),
+    /// kept sorted so the hedge trigger reads an *exact* nearest-rank
+    /// p95 — the log2 metrics histograms overestimate by up to 2x,
+    /// which is the difference between a hedge that beats a 4x
+    /// straggler and one dispatched after the primary already finished.
+    class_lat: Vec<Vec<u64>>,
 }
 
 impl<'a> Sim<'a> {
@@ -385,36 +460,187 @@ impl<'a> Sim<'a> {
         }
     }
 
-    fn views(&self, now: u64, exclude: Option<usize>) -> Vec<MachineView> {
+    /// Whether placement should route around machine `m` entirely.
+    fn breaker_open(&self, m: usize) -> bool {
+        matches!(self.resil, Some(r) if r.breakers) && self.breakers[m].is_open()
+    }
+
+    /// Advertised capacity of machine `m` in per-mille of a healthy
+    /// machine. Only computed when health-weighted balancing is on
+    /// (`resil.breakers`); otherwise every machine advertises 1000 and
+    /// the policies behave exactly as before.
+    fn capacity_permille(&self, m: usize) -> u64 {
+        let Some(r) = self.resil else { return 1000 };
+        if !r.breakers {
+            return 1000;
+        }
+        let plan = &self.profile.plans[m];
+        let mut cap = if plan.slowdown_active() {
+            1000 / plan.slowdown_factor as u64
+        } else {
+            1000
+        };
+        if self.breakers[m].state == BreakerState::HalfOpen {
+            // Trial traffic only while probing.
+            cap = cap.min(250);
+        }
+        cap.max(1)
+    }
+
+    fn view_of(&self, m: usize, now: u64) -> MachineView {
+        let mach = &self.machines[m];
+        MachineView {
+            machine: m,
+            queue_len: mach.queue.len(),
+            running: mach.running.is_some(),
+            backlog_cycles: mach.queued_cycles
+                + if mach.running.is_some() {
+                    mach.completes.saturating_sub(now)
+                } else {
+                    0
+                },
+            capacity_permille: self.capacity_permille(m),
+        }
+    }
+
+    fn views(&self, now: u64, exclude: &[usize]) -> Vec<MachineView> {
+        let up = |&(m, mach): &(usize, &Mach)| mach.up && !exclude.contains(&m);
+        let v: Vec<MachineView> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(up)
+            .filter(|&(m, _)| !self.breaker_open(m))
+            .map(|(m, _)| self.view_of(m, now))
+            .collect();
+        if !v.is_empty() {
+            return v;
+        }
+        // Breakers must never black-hole the fleet: when every up
+        // machine is open, degrade to routing among all of them.
         self.machines
             .iter()
             .enumerate()
-            .filter(|(m, mach)| mach.up && Some(*m) != exclude)
-            .map(|(m, mach)| MachineView {
-                machine: m,
-                queue_len: mach.queue.len(),
-                running: mach.running.is_some(),
-                backlog_cycles: mach.queued_cycles
-                    + if mach.running.is_some() {
-                        mach.completes.saturating_sub(now)
-                    } else {
-                        0
-                    },
-            })
+            .filter(up)
+            .map(|(m, _)| self.view_of(m, now))
             .collect()
     }
 
     /// Route `job` through the balancing policy (or hold it at the
     /// front-end if the whole fleet is down).
     fn dispatch(&mut self, job: usize, now: u64) -> Result<(), ClusterError> {
-        let views = self.views(now, None);
+        self.dispatch_ex(job, now, &[], false)
+    }
+
+    /// Dispatch with machine exclusions (`hedge` placements avoid the
+    /// machines already holding an attempt). Hedge dispatches that find
+    /// no eligible machine or a full queue are silently skipped — the
+    /// primary attempt is still live.
+    fn dispatch_ex(
+        &mut self,
+        job: usize,
+        now: u64,
+        exclude: &[usize],
+        hedge: bool,
+    ) -> Result<(), ClusterError> {
+        let views = self.views(now, exclude);
         if views.is_empty() {
+            if hedge {
+                self.metrics.add("resil.hedge.skipped_no_dest", 1);
+                return Ok(());
+            }
             self.pending.push_back(job);
             self.metrics.add("cluster.frontend.held", 1);
             return Ok(());
         }
+        if !hedge {
+            if let Some(r) = self.resil {
+                if r.shedding {
+                    // Admission control: refuse work whose *best-case*
+                    // completion estimate already blows the deadline —
+                    // it would only time out after consuming capacity.
+                    let best = views
+                        .iter()
+                        .map(|v| v.backlog_cycles + self.estimate(job, v.machine))
+                        .min()
+                        .expect("views is non-empty");
+                    if best > r.deadline_cycles {
+                        self.shed(job, "resil.shed.admission");
+                        return Ok(());
+                    }
+                }
+            }
+        }
         let m = self.policy.pick(&views);
+        if self.machines[m].queue.len() >= self.cfg.queue_cap {
+            if hedge {
+                self.metrics.add("resil.hedge.skipped_full", 1);
+                return Ok(());
+            }
+            self.shed(job, "cluster.shed.overflow");
+            return Ok(());
+        }
+        self.jobs[job].placements.push((m, hedge));
+        if hedge {
+            self.metrics.add("resil.hedges", 1);
+        }
         self.enqueue(m, job, now)
+    }
+
+    /// Drop `job` through the shed path: graceful refusal, reported —
+    /// never a silent loss.
+    fn shed(&mut self, job: usize, why: &str) {
+        let j = &mut self.jobs[job];
+        debug_assert!(j.outcome == Outcome::Pending, "shed a resolved job");
+        j.outcome = Outcome::Shed;
+        j.gen += 1; // invalidate the wave's pending events
+        self.metrics.add("cluster.shed", 1);
+        self.metrics.add(why, 1);
+    }
+
+    /// Start a new attempt wave for `job`: arm its deadline and (when
+    /// hedging is on and the class has enough history) its hedge check.
+    fn begin_wave(&mut self, job: usize, now: u64) {
+        let Some(r) = self.resil else { return };
+        let gen = self.jobs[job].gen;
+        self.jobs[job].wave_start = now;
+        self.push(now + r.deadline_cycles, Ev::Timeout { job, gen });
+        if r.hedging {
+            let lat = &self.class_lat[self.jobs[job].class];
+            if lat.len() as u64 >= r.hedge_min_samples {
+                let p95 = nearest_rank(lat, 950);
+                self.push(now + p95.max(1), Ev::HedgeCheck { job, gen });
+            }
+        }
+    }
+
+    /// Remove `job`'s placement on machine `m` from the bookkeeping
+    /// (the attempt itself has already been taken off the machine).
+    fn remove_placement(&mut self, m: usize, job: usize) {
+        self.jobs[job].placements.retain(|&(pm, _)| pm != m);
+    }
+
+    /// Cancel `job`'s attempt on machine `m`: pull it out of the queue,
+    /// or — if it is the running job — bump the machine epoch so the
+    /// pending completion goes stale (the same mechanism that guards
+    /// crashes and migrations) and start the next queued job.
+    fn cancel_attempt(&mut self, m: usize, job: usize, now: u64) -> Result<(), ClusterError> {
+        if let Some(run) = &self.machines[m].running {
+            if run.job == job {
+                let wasted = now.saturating_sub(run.exec_start);
+                self.metrics.record("resil.cancelled_cycles", wasted);
+                self.machines[m].running = None;
+                self.machines[m].epoch += 1;
+                self.machines[m].completes = 0;
+                return self.try_start(m, now);
+            }
+        }
+        if let Some(pos) = self.machines[m].queue.iter().position(|&q| q == job) {
+            self.machines[m].queue.remove(pos);
+            let est = self.estimate(job, m);
+            self.machines[m].queued_cycles = self.machines[m].queued_cycles.saturating_sub(est);
+        }
+        Ok(())
     }
 
     fn enqueue(&mut self, m: usize, job: usize, now: u64) -> Result<(), ClusterError> {
@@ -437,9 +663,6 @@ impl<'a> Sim<'a> {
         };
         let est = self.estimate(job, m);
         self.machines[m].queued_cycles = self.machines[m].queued_cycles.saturating_sub(est);
-        if self.jobs[job].origin.is_none() {
-            self.jobs[job].origin = Some(m);
-        }
 
         let (exec_start, vm_base, exec_cycles) = match self.jobs[job].resume.clone() {
             Some(r) => {
@@ -451,11 +674,21 @@ impl<'a> Sim<'a> {
                     wall.saturating_sub(r.restored_wall),
                 )
             }
-            None => (
-                now + self.cfg.dispatch_cycles,
-                0,
-                self.ref_outcome(job, m).stats.wall_cycles,
-            ),
+            None => {
+                // A fresh start carries no snapshot, so nothing ties it
+                // to a previous machine's fault plan: rebind the origin
+                // to the machine it actually runs on. (Keying the
+                // service time to a stale origin while doomed re-runs
+                // use this machine's plan would diverge — a hedge or a
+                // restart on a healthy machine must not inherit a
+                // straggler's stretch, and vice versa.)
+                self.jobs[job].origin = Some(m);
+                (
+                    now + self.cfg.dispatch_cycles,
+                    0,
+                    self.ref_outcome(job, m).stats.wall_cycles,
+                )
+            }
         };
         let completes = exec_start + exec_cycles;
         let epoch = self.machines[m].epoch;
@@ -507,16 +740,49 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    fn complete(&mut self, job: usize, now: u64) {
+    fn complete(&mut self, job: usize, m: usize, now: u64) -> Result<(), ClusterError> {
+        // First completion wins: cancel any losing attempt elsewhere.
+        let mut was_hedge = false;
+        if let Some(pos) = self.jobs[job]
+            .placements
+            .iter()
+            .position(|&(pm, _)| pm == m)
+        {
+            was_hedge = self.jobs[job].placements.remove(pos).1;
+        }
+        let losers = std::mem::take(&mut self.jobs[job].placements);
+        for (lm, _) in losers {
+            self.cancel_attempt(lm, job, now)?;
+            self.metrics.add("resil.hedge.losers_cancelled", 1);
+        }
         let j = &mut self.jobs[job];
         debug_assert!(j.completed_at.is_none(), "job completed twice");
         j.completed_at = Some(now);
+        j.outcome = Outcome::Completed;
+        j.gen += 1; // invalidate the wave's pending timeout/hedge events
         let latency = now - j.arrival;
-        let name = self.profile.classes[j.class].workload.name();
+        let wave_latency = now.saturating_sub(j.wave_start);
+        let class = j.class;
+        let name = self.profile.classes[class].workload.name();
         self.metrics.record("cluster.latency", latency);
         self.metrics
             .record(&format!("cluster.latency.{name}"), latency);
         self.metrics.add("cluster.completed", 1);
+        if let Some(r) = self.resil {
+            let lat = &mut self.class_lat[class];
+            let at = lat.partition_point(|&v| v <= wave_latency);
+            lat.insert(at, wave_latency);
+            if was_hedge {
+                self.metrics.add("resil.hedge.wins", 1);
+            }
+            if latency <= r.slo_cycles {
+                self.metrics.add("resil.slo_ok", 1);
+            }
+            if r.breakers {
+                self.breakers[m].on_success();
+            }
+        }
+        Ok(())
     }
 
     /// Re-execute the running job for real with a machine crash scheduled
@@ -575,13 +841,26 @@ impl<'a> Sim<'a> {
         }
         self.machines[m].up = false;
         self.machines[m].epoch += 1;
+        if let Some(r) = self.resil {
+            if r.breakers {
+                if let Some(at) = self.breakers[m].on_crash(&r, self.cfg.seed, m, now) {
+                    self.metrics.add("resil.breaker.trips", 1);
+                    self.push(at, Ev::Probe { machine: m });
+                }
+            }
+        }
         let mut requeue = Vec::new();
         let mut resumed_from_checkpoint = false;
         let mut reexec_total = 0u64;
 
         if let Some(run) = self.machines[m].running.take() {
             let job = run.job;
-            if now <= run.exec_start {
+            self.remove_placement(m, job);
+            if !self.jobs[job].placements.is_empty() {
+                // A hedged twin is still live elsewhere: drop this
+                // attempt instead of requeueing a duplicate.
+                self.metrics.add("resil.attempt.dropped_by_crash", 1);
+            } else if now <= run.exec_start {
                 // Died during dispatch/transfer: nothing executed yet.
                 requeue.push(job);
             } else {
@@ -592,7 +871,7 @@ impl<'a> Sim<'a> {
                         // safepoint: the job finished before the machine
                         // died. Complete it at the crash instant.
                         self.metrics.add("cluster.crash.finished_anyway", 1);
-                        self.complete(job, now);
+                        self.complete(job, m, now)?;
                     }
                     RunEnd::Crashed {
                         at_cycle,
@@ -613,7 +892,14 @@ impl<'a> Sim<'a> {
         }
         let queued: Vec<usize> = self.machines[m].queue.drain(..).collect();
         self.machines[m].queued_cycles = 0;
-        requeue.extend(queued);
+        for job in queued {
+            self.remove_placement(m, job);
+            if self.jobs[job].placements.is_empty() {
+                requeue.push(job);
+            } else {
+                self.metrics.add("resil.attempt.dropped_by_crash", 1);
+            }
+        }
 
         let in_flight = requeue.len() as u64;
         for job in requeue {
@@ -638,13 +924,19 @@ impl<'a> Sim<'a> {
             self.metrics.add("cluster.migration.skipped_idle", 1);
             return Ok(());
         }
-        let views = self.views(now, Some(m));
+        let views = self.views(now, &[m]);
         if views.is_empty() {
             self.metrics.add("cluster.migration.skipped_no_dest", 1);
             return Ok(());
         }
         let run = self.machines[m].running.as_ref().expect("checked above");
         let (job, exec_start, vm_base) = (run.job, run.exec_start, run.vm_base);
+        if self.jobs[job].placements.len() > 1 {
+            // A hedged job already runs in two places; moving one of the
+            // twins buys nothing and complicates cancellation.
+            self.metrics.add("cluster.migration.skipped_hedged", 1);
+            return Ok(());
+        }
         if now <= exec_start {
             self.metrics.add("cluster.migration.skipped_not_started", 1);
             return Ok(());
@@ -669,7 +961,9 @@ impl<'a> Sim<'a> {
                 // Detach from the source; its pending Done goes stale.
                 self.machines[m].running = None;
                 self.machines[m].epoch += 1;
+                self.remove_placement(m, job);
                 let dest = self.policy.pick(&views);
+                self.jobs[job].placements.push((dest, false));
                 let bytes = resume.bytes.len() as u64;
                 let transfer = self.transfer_cycles(bytes);
                 self.jobs[job].resume = Some(resume);
@@ -703,6 +997,7 @@ impl<'a> Sim<'a> {
                         self.push(trace[i + 1].arrival, Ev::Arrive(i + 1));
                     }
                     self.metrics.add("cluster.requests", 1);
+                    self.begin_wave(i, now);
                     self.dispatch(i, now)?;
                 }
                 Ev::Done { machine, epoch } => {
@@ -712,7 +1007,7 @@ impl<'a> Sim<'a> {
                     let Some(run) = self.machines[machine].running.take() else {
                         continue;
                     };
-                    self.complete(run.job, now);
+                    self.complete(run.job, machine, now)?;
                     self.try_start(machine, now)?;
                 }
                 Ev::Crash { machine } => self.handle_crash(machine, now)?,
@@ -724,6 +1019,70 @@ impl<'a> Sim<'a> {
                         self.dispatch(job, now)?;
                     }
                     self.try_start(machine, now)?;
+                }
+                Ev::Timeout { job, gen } => {
+                    if self.jobs[job].gen != gen {
+                        continue; // the wave already resolved
+                    }
+                    let r = self
+                        .resil
+                        .expect("timeouts are only scheduled with resil on");
+                    self.metrics.add("resil.timeouts", 1);
+                    self.jobs[job].gen += 1;
+                    let placements = std::mem::take(&mut self.jobs[job].placements);
+                    for &(m, _) in &placements {
+                        self.cancel_attempt(m, job, now)?;
+                        if r.breakers {
+                            if let Some(at) = self.breakers[m].on_timeout(&r, self.cfg.seed, m, now)
+                            {
+                                self.metrics.add("resil.breaker.trips", 1);
+                                self.push(at, Ev::Probe { machine: m });
+                            }
+                        }
+                    }
+                    // A wave held at the front-end has no placements but
+                    // still occupies the pending queue.
+                    self.pending.retain(|&p| p != job);
+                    if self.jobs[job].retries < r.max_retries {
+                        self.jobs[job].retries += 1;
+                        let backoff =
+                            resil::backoff_cycles(&r, self.cfg.seed, job, self.jobs[job].retries);
+                        self.metrics.add("resil.retries", 1);
+                        self.metrics.record("resil.backoff", backoff);
+                        let gen = self.jobs[job].gen;
+                        self.push(now + backoff, Ev::Retry { job, gen });
+                    } else {
+                        self.jobs[job].outcome = Outcome::TimedOut;
+                        self.metrics.add("resil.deadline_failures", 1);
+                    }
+                }
+                Ev::Retry { job, gen } => {
+                    if self.jobs[job].gen != gen {
+                        continue;
+                    }
+                    self.begin_wave(job, now);
+                    self.dispatch(job, now)?;
+                }
+                Ev::HedgeCheck { job, gen } => {
+                    if self.jobs[job].gen != gen {
+                        continue; // completed, shed, or already retried
+                    }
+                    let j = &self.jobs[job];
+                    // Hedge only a fresh single-placement attempt: jobs
+                    // carrying snapshot state resume under their origin
+                    // plan and must stay singular.
+                    if j.placements.len() != 1
+                        || j.resume.is_some()
+                        || j.pending_migration.is_some()
+                    {
+                        continue;
+                    }
+                    let exclude = [j.placements[0].0];
+                    self.dispatch_ex(job, now, &exclude, true)?;
+                }
+                Ev::Probe { machine } => {
+                    self.breakers[machine].on_probe(now);
+                    self.metrics.add("resil.breaker.probes", 1);
                 }
             }
         }
@@ -750,6 +1109,11 @@ fn run_policy(
             requeues: 0,
             pending_migration: None,
             completed_at: None,
+            outcome: Outcome::Pending,
+            gen: 0,
+            wave_start: 0,
+            retries: 0,
+            placements: Vec::new(),
         })
         .collect();
     let machines: Vec<Mach> = (0..cfg.machines)
@@ -775,6 +1139,9 @@ fn run_policy(
         crash_events: Vec::new(),
         migration_events: Vec::new(),
         failures: Vec::new(),
+        resil: cfg.resil,
+        breakers: vec![Breaker::new(); cfg.machines],
+        class_lat: vec![Vec::new(); profile.classes.len()],
     };
     // Faults and migrations are scheduled as per-mille points of the
     // trace's arrival span, so configs stay meaningful across scales.
@@ -793,10 +1160,20 @@ fn run_policy(
         if j.requeues > 0 {
             requeues.insert(i, j.requeues);
         }
-        if j.completed_at.is_none() {
+        // Shed and timed-out jobs are *measured* outcomes (reported in
+        // goodput), not bookkeeping failures; a Pending job at the end
+        // of the event loop is a lost request — always a bug.
+        if j.outcome == Outcome::Pending {
             sim.failures
                 .push(format!("policy {name}: job {i} never completed"));
         }
+    }
+    if cfg.resil.is_some() {
+        let completed = sim.metrics.counter("cluster.completed");
+        sim.metrics.set(
+            "resil.goodput_permille",
+            completed * 1000 / (trace.len() as u64).max(1),
+        );
     }
     if !sim.pending.is_empty() {
         sim.failures.push(format!(
@@ -805,6 +1182,12 @@ fn run_policy(
         ));
     }
     failures.append(&mut sim.failures);
+    let mut latencies: Vec<u64> = sim
+        .jobs
+        .iter()
+        .filter_map(|j| j.completed_at.map(|t| t.saturating_sub(j.arrival)))
+        .collect();
+    latencies.sort_unstable();
     Ok(PolicyOutcome {
         policy: name,
         completed: sim.metrics.counter("cluster.completed"),
@@ -812,15 +1195,30 @@ fn run_policy(
         crash_events: sim.crash_events,
         migration_events: sim.migration_events,
         requeues,
+        latencies,
     })
 }
 
-/// Run the full experiment: measure the fleet profile, generate the
-/// trace, and replay it once per balancing policy (round-robin,
-/// join-shortest-queue, least-loaded).
-pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError> {
+/// Exact nearest-rank percentile (`q` in per-mille) of an ascending
+/// sample set; 0 when empty.
+fn nearest_rank(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (q_permille * n).div_ceil(1000).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Reject configurations the simulator would silently mishandle.
+fn validate(cfg: &ClusterConfig) -> Result<(), ClusterError> {
     if cfg.machines == 0 {
         return Err(ClusterError("cluster needs at least one machine".into()));
+    }
+    if cfg.queue_cap == 0 {
+        return Err(ClusterError(
+            "queue cap must be at least 1 (0 would shed everything)".into(),
+        ));
     }
     for &(m, _) in cfg.crashes.iter().chain(&cfg.migrations) {
         if m >= cfg.machines {
@@ -830,6 +1228,40 @@ pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError
             )));
         }
     }
+    if let Some((a, b, c)) = cfg.fault_rates {
+        for (knob, ppm) in [
+            ("mfc_transfer", a),
+            ("eib_timeout", b),
+            ("ls_corruption", c),
+        ] {
+            if ppm > 1_000_000 {
+                return Err(ClusterError(format!(
+                    "fault rate {knob} = {ppm} ppm exceeds 1_000_000"
+                )));
+            }
+        }
+    }
+    for &(m, factor, _) in &cfg.slowdowns {
+        if m >= cfg.machines {
+            return Err(ClusterError(format!(
+                "slowdown machine {m} out of range for a {}-machine fleet",
+                cfg.machines
+            )));
+        }
+        if factor == 0 {
+            return Err(ClusterError(
+                "slowdown factor 0 is meaningless (1 = no slowdown)".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full experiment: measure the fleet profile, generate the
+/// trace, and replay it once per balancing policy (round-robin,
+/// join-shortest-queue, least-loaded).
+pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError> {
+    validate(cfg)?;
     let profile = build_profile(cfg)?;
     let util = cfg.utilization_pct.clamp(1, 100) as u64;
     let mean_inter = (profile.mean_service * 100 / util / cfg.machines.max(1) as u64).max(1);
@@ -865,6 +1297,20 @@ pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError
             walls
         );
     }
+    if !cfg.slowdowns.is_empty() {
+        let _ = writeln!(
+            header,
+            "stragglers (machine, factor, from_cycle): {:?}",
+            cfg.slowdowns
+        );
+    }
+    if let Some(r) = &cfg.resil {
+        let _ = writeln!(
+            header,
+            "resil: deadline {} retries {} hedging {} breakers {} shedding {}",
+            r.deadline_cycles, r.max_retries, r.hedging, r.breakers, r.shedding
+        );
+    }
 
     let policies: Vec<Box<dyn BalancePolicy>> = vec![
         Box::new(crate::policy::RoundRobin::default()),
@@ -883,6 +1329,291 @@ pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError
     Ok(ClusterReport {
         header,
         outcomes,
+        failures,
+    })
+}
+
+// ------------------------------------------------------ resilience matrix
+
+/// A seeded crash storm: `count` crashes at machines and per-mille
+/// points drawn deterministically from `seed`, inside
+/// `[from_permille, to_permille)` of the trace span. Sorted so the
+/// schedule renders stably in config dumps.
+pub fn crash_storm(
+    seed: u64,
+    machines: usize,
+    count: usize,
+    from_permille: u32,
+    to_permille: u32,
+) -> Vec<(usize, u32)> {
+    let mut rng = hera_rng::SplitMix64::new(seed ^ 0x6372_6173_682d_7374); // "crash-st"
+    let span = to_permille.saturating_sub(from_permille).max(1) as u64;
+    let mut storm: Vec<(usize, u32)> = (0..count)
+        .map(|_| {
+            let m = (rng.next_u64() % machines.max(1) as u64) as usize;
+            let t = from_permille + (rng.next_u64() % span) as u32;
+            (m, t)
+        })
+        .collect();
+    storm.sort_unstable();
+    storm
+}
+
+/// One row of the resilience matrix: a knob combination replayed over
+/// the shared trace with join-shortest-queue.
+#[derive(Clone, Debug)]
+pub struct MatrixRow {
+    pub name: String,
+    /// Exact nearest-rank latency percentiles over completed requests
+    /// (computed from [`PolicyOutcome::latencies`], not the log2
+    /// histogram estimate).
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub requests: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub timeouts: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub breaker_trips: u64,
+    /// Completions within the SLO; `None` when the row ran without
+    /// resilience (no SLO is armed).
+    pub slo_ok: Option<u64>,
+}
+
+impl MatrixRow {
+    /// Requests completed per mille of requests offered.
+    pub fn goodput_permille(&self) -> u64 {
+        self.completed * 1000 / self.requests.max(1)
+    }
+
+    /// Requests completed within the SLO per mille of requests offered.
+    pub fn slo_permille(&self) -> Option<u64> {
+        self.slo_ok.map(|ok| ok * 1000 / self.requests.max(1))
+    }
+}
+
+/// The `figures -- cluster-chaos` result: a fault-free baseline plus
+/// every (± breakers, ± hedging, ± shedding) combination under one
+/// straggler-and-crash-storm fault schedule. Same config ⇒ the rendered
+/// report is byte-identical.
+pub struct ChaosReport {
+    pub header: String,
+    pub rows: Vec<MatrixRow>,
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// The fault-free baseline row.
+    pub fn baseline(&self) -> &MatrixRow {
+        &self.rows[0]
+    }
+
+    /// The all-knobs-on row.
+    pub fn full_resil(&self) -> &MatrixRow {
+        self.rows.last().expect("matrix always has rows")
+    }
+
+    /// The faults-on, resilience-off row.
+    pub fn no_resil(&self) -> &MatrixRow {
+        &self.rows[1]
+    }
+
+    /// Deterministic text rendering: same seed ⇒ identical string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header);
+        let _ =
+            writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>11} {:>11} {:>8} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            "row", "p50", "p95", "p99", "p999", "goodput", "slo", "shed", "t/o", "retry", "hedge",
+            "hwin", "trip"
+        );
+        for r in &self.rows {
+            let slo = match r.slo_permille() {
+                Some(p) => format!("{}.{}%", p / 10, p % 10),
+                None => "-".into(),
+            };
+            let gp = r.goodput_permille();
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>10} {:>11} {:>11} {:>6}.{}% {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                r.name,
+                r.p50,
+                r.p95,
+                r.p99,
+                r.p999,
+                gp / 10,
+                gp % 10,
+                slo,
+                r.shed,
+                r.timeouts,
+                r.retries,
+                r.hedges,
+                r.hedge_wins,
+                r.breaker_trips
+            );
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "FAILURES ({}):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+fn run_row(
+    name: &str,
+    cfg: &ClusterConfig,
+    profile: &FleetProfile,
+    trace: &[Request],
+    span: u64,
+    failures: &mut Vec<String>,
+) -> Result<MatrixRow, ClusterError> {
+    let outcome = run_policy(
+        cfg,
+        profile,
+        trace,
+        span,
+        Box::new(crate::policy::JoinShortestQueue),
+        failures,
+    )?;
+    let m = &outcome.metrics;
+    let lat = &outcome.latencies;
+    Ok(MatrixRow {
+        name: name.to_string(),
+        p50: nearest_rank(lat, 500),
+        p95: nearest_rank(lat, 950),
+        p99: nearest_rank(lat, 990),
+        p999: nearest_rank(lat, 999),
+        requests: trace.len() as u64,
+        completed: outcome.completed,
+        shed: m.counter("cluster.shed"),
+        timeouts: m.counter("resil.timeouts"),
+        retries: m.counter("resil.retries"),
+        hedges: m.counter("resil.hedges"),
+        hedge_wins: m.counter("resil.hedge.wins"),
+        breaker_trips: m.counter("resil.breaker.trips"),
+        slo_ok: cfg.resil.map(|_| m.counter("resil.slo_ok")),
+    })
+}
+
+/// Run the resilience matrix: a fault-free baseline, then the config's
+/// straggler + crash-storm fault schedule under all eight
+/// (± breakers, ± hedging, ± shedding) combinations. Any row with at
+/// least one knob on also arms deadlines + retries; the all-off row is
+/// the unprotected fleet. Every row replays the *same* trace (paced by
+/// the healthy fleet's measured mean service time) through
+/// join-shortest-queue, so the rows differ only in the knobs.
+pub fn run_chaos_matrix(cfg: &ClusterConfig) -> Result<ChaosReport, ClusterError> {
+    validate(cfg)?;
+    let mut base_cfg = cfg.clone();
+    base_cfg.slowdowns.clear();
+    base_cfg.crashes.clear();
+    base_cfg.migrations.clear();
+    base_cfg.fault_rates = None;
+    base_cfg.resil = None;
+    let base_profile = build_profile(&base_cfg)?;
+    let chaos_profile = build_profile(cfg)?;
+
+    let util = cfg.utilization_pct.clamp(1, 100) as u64;
+    let mean_inter = (base_profile.mean_service * 100 / util / cfg.machines.max(1) as u64).max(1);
+    let trace = traffic::generate(cfg.seed, cfg.requests, mean_inter, cfg.arrival, &cfg.mix);
+    let span = trace.last().map(|r| r.arrival).unwrap_or(0);
+
+    // Knobs scale with the measured healthy service time, so the matrix
+    // stays meaningful at any workload scale; an explicit `cfg.resil`
+    // overrides the derivation.
+    let resil_base = cfg.resil.unwrap_or(ResilConfig {
+        deadline_cycles: base_profile.mean_service * 8,
+        slo_cycles: base_profile.mean_service * 12,
+        backoff_base_cycles: (base_profile.mean_service / 8).max(1),
+        probe_base_cycles: base_profile.mean_service * 2,
+        ..ResilConfig::default()
+    });
+
+    let mut header = String::new();
+    let _ = writeln!(
+        header,
+        "== hera-resil chaos matrix: {} machines x {} SPEs, {} requests, seed {}, \
+         stragglers {:?}, crashes {:?} ==",
+        cfg.machines, cfg.num_spes, cfg.requests, cfg.seed, cfg.slowdowns, cfg.crashes
+    );
+    let _ = writeln!(
+        header,
+        "mean service {} cycles (healthy fleet), mean inter-arrival {} cycles \
+         (target utilization {}%), deadline {} cycles, slo {} cycles, max retries {}",
+        base_profile.mean_service,
+        mean_inter,
+        cfg.utilization_pct,
+        resil_base.deadline_cycles,
+        resil_base.slo_cycles,
+        resil_base.max_retries
+    );
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    rows.push(run_row(
+        "fault-free baseline",
+        &base_cfg,
+        &base_profile,
+        &trace,
+        span,
+        &mut failures,
+    )?);
+    for (breakers, hedging, shedding) in [
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, false),
+        (true, false, true),
+        (false, true, true),
+        (true, true, true),
+    ] {
+        let mut row_cfg = cfg.clone();
+        row_cfg.migrations.clear();
+        row_cfg.resil = if breakers || hedging || shedding {
+            Some(ResilConfig {
+                breakers,
+                hedging,
+                shedding,
+                ..resil_base
+            })
+        } else {
+            None
+        };
+        let mut name = String::from("faults");
+        for (on, label) in [
+            (breakers, "+breakers"),
+            (hedging, "+hedging"),
+            (shedding, "+shedding"),
+        ] {
+            if on {
+                name.push_str(label);
+            }
+        }
+        if !(breakers || hedging || shedding) {
+            name.push_str(", resil off");
+        }
+        rows.push(run_row(
+            &name,
+            &row_cfg,
+            &chaos_profile,
+            &trace,
+            span,
+            &mut failures,
+        )?);
+    }
+    Ok(ChaosReport {
+        header,
+        rows,
         failures,
     })
 }
@@ -920,8 +1651,12 @@ mod tests {
 
     #[test]
     fn report_is_seed_deterministic() {
-        let a = run_experiment(&tiny()).unwrap().render();
-        let b = run_experiment(&tiny()).unwrap().render();
+        let a = run_experiment(&tiny())
+            .expect("first run of the tiny determinism experiment")
+            .render();
+        let b = run_experiment(&tiny())
+            .expect("second run of the tiny determinism experiment")
+            .render();
         assert_eq!(a, b);
     }
 

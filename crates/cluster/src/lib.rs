@@ -18,12 +18,17 @@
 //! every migration and every crash recovery.
 
 pub mod policy;
+pub mod resil;
 pub mod traffic;
 
 mod fleet;
 
-pub use fleet::{run_experiment, ClusterReport, CrashEvent, MigrationEvent, PolicyOutcome};
+pub use fleet::{
+    crash_storm, run_chaos_matrix, run_experiment, ChaosReport, ClusterReport, CrashEvent,
+    MatrixRow, MigrationEvent, PolicyOutcome,
+};
 pub use policy::{BalancePolicy, JoinShortestQueue, LeastLoaded, MachineView, RoundRobin};
+pub use resil::{Breaker, BreakerState, ResilConfig};
 pub use traffic::{generate, ArrivalShape, Request};
 
 /// An experiment that could not run (bad config, or a VM error that is a
@@ -87,6 +92,19 @@ pub struct ClusterConfig {
     pub crashes: Vec<(usize, u32)>,
     /// Live migrations as `(source machine, permille)`, same timescale.
     pub migrations: Vec<(usize, u32)>,
+    /// Stragglers as `(machine, slowdown factor, from VM cycle)`: the
+    /// machine's fault plan gains `FaultPlan::with_slowdown`, stretching
+    /// its service times deterministically.
+    pub slowdowns: Vec<(usize, u32, u64)>,
+    /// Per-machine queue-depth cap; arrivals that would exceed it are
+    /// shed (reported, never silently dropped). The default is high
+    /// enough that healthy experiments never touch it — it exists so
+    /// overload degrades into measured shed instead of unbounded queues.
+    pub queue_cap: usize,
+    /// Request-resilience knobs (deadlines, retries, hedging, breakers,
+    /// shedding); `None` — the default — disables the whole stack and
+    /// adds zero virtual-cycle cost.
+    pub resil: Option<resil::ResilConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -110,6 +128,9 @@ impl Default for ClusterConfig {
             recovery_cycles: 1_000_000,
             crashes: vec![(1, 350)],
             migrations: vec![(0, 600)],
+            slowdowns: vec![],
+            queue_cap: 1024,
+            resil: None,
         }
     }
 }

@@ -16,6 +16,11 @@ pub struct MachineView {
     pub running: bool,
     /// Estimated virtual cycles of queued + remaining running work.
     pub backlog_cycles: u64,
+    /// Advertised health-weighted capacity in per-mille of a healthy
+    /// machine: 1000 unless resilience's health weighting is on, where
+    /// stragglers and half-open breakers advertise less so queue-count
+    /// policies route around them.
+    pub capacity_permille: u64,
 }
 
 /// A deterministic load-balancing policy.
@@ -46,8 +51,13 @@ impl BalancePolicy for RoundRobin {
     }
 }
 
-/// Join the shortest queue (by waiting-job count, ties to the lowest
-/// machine index). The classic supermarket policy.
+/// Join the shortest queue, ranked by the joining job's expected drain:
+/// `(queued + running + itself) / capacity` (ties to the lowest machine
+/// index). With every machine at full capacity the scaling cancels and
+/// the ordering is identical to plain queue-count JSQ. A machine
+/// advertising 250‰ capacity drains four times slower, so even an
+/// *idle* straggler only wins a pick when every healthy machine already
+/// has four jobs ahead of the newcomer.
 #[derive(Default)]
 pub struct JoinShortestQueue;
 
@@ -58,7 +68,17 @@ impl BalancePolicy for JoinShortestQueue {
     fn pick(&mut self, views: &[MachineView]) -> usize {
         views
             .iter()
-            .min_by_key(|v| (v.queue_len + v.running as usize, v.machine))
+            .min_by_key(|v| {
+                let jobs = (v.queue_len + v.running as usize) as u64 + 1;
+                (
+                    jobs * 1_000_000 / v.capacity_permille.max(1),
+                    // Equal drain: prefer the healthier machine, then the
+                    // lower index (at uniform capacity both tiebreaks
+                    // collapse to plain low-index, the legacy ordering).
+                    std::cmp::Reverse(v.capacity_permille),
+                    v.machine,
+                )
+            })
             .expect("views is never empty")
             .machine
     }
@@ -67,6 +87,9 @@ impl BalancePolicy for JoinShortestQueue {
 /// Join the machine with the least estimated backlog in virtual cycles
 /// (ties to the lowest machine index). Sees through queue-length
 /// illusions when job classes have very different service times.
+/// Capacity weighting is deliberately not applied: backlog estimates
+/// are built from per-machine reference service times, which already
+/// carry a straggler's stretch.
 #[derive(Default)]
 pub struct LeastLoaded;
 
@@ -93,6 +116,7 @@ mod tests {
             queue_len,
             running,
             backlog_cycles: backlog,
+            capacity_permille: 1000,
         }
     }
 
@@ -111,6 +135,32 @@ mod tests {
         assert_eq!(p.pick(&[view(0, 3, true, 0), view(1, 1, true, 0)]), 1);
         // A running job counts as one queue slot.
         assert_eq!(p.pick(&[view(0, 0, true, 0), view(1, 0, false, 0)]), 1);
+        assert_eq!(p.pick(&[view(0, 2, true, 0), view(1, 2, true, 0)]), 0);
+    }
+
+    #[test]
+    fn jsq_weighs_queues_by_advertised_capacity() {
+        let mut p = JoinShortestQueue;
+        // Machine 0 is a 4x straggler (250 permille): a job joining it
+        // behind one queued job drains like eight, so machine 1 with two
+        // jobs ahead still wins.
+        let slow = MachineView {
+            capacity_permille: 250,
+            ..view(0, 1, false, 0)
+        };
+        assert_eq!(p.pick(&[slow, view(1, 2, false, 0)]), 1);
+        // Even an *idle* straggler loses to a healthy machine with up to
+        // three jobs ahead of the newcomer: drains 4 vs <=4, and the
+        // equal-drain tie breaks toward the healthier machine.
+        let idle_slow = MachineView {
+            capacity_permille: 250,
+            ..view(0, 0, false, 0)
+        };
+        assert_eq!(p.pick(&[idle_slow, view(1, 1, true, 0)]), 1);
+        assert_eq!(p.pick(&[idle_slow, view(1, 2, true, 0)]), 1);
+        // ...but five jobs ahead drain slower than the idle straggler.
+        assert_eq!(p.pick(&[idle_slow, view(1, 4, true, 0)]), 0);
+        // At equal capacity the scaling is a no-op: ties to low index.
         assert_eq!(p.pick(&[view(0, 2, true, 0), view(1, 2, true, 0)]), 0);
     }
 

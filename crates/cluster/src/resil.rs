@@ -1,0 +1,321 @@
+//! hera-resil: deterministic request-level resilience primitives.
+//!
+//! Everything in this module is pure data plus integer arithmetic keyed
+//! by the experiment seed — no wall clocks, no host randomness — so the
+//! whole resilience stack (deadlines, retries, hedging, breakers,
+//! shedding) composes with the fleet simulator without breaking its
+//! headline property: same config ⇒ byte-identical report.
+//!
+//! The moving parts (DESIGN.md §4.14 has the full state machines):
+//!
+//! * **Deadlines + retries.** Every attempt *wave* gets
+//!   [`ResilConfig::deadline_cycles`] of fleet-virtual time; a wave that
+//!   misses it is cancelled everywhere and retried after
+//!   [`backoff_cycles`] — exponential in the retry count with seeded
+//!   jitter, charged in fleet-virtual time exactly like the MFC retry
+//!   backoff inside a single machine.
+//! * **Hedging.** When a wave outlives the p95 of its class's observed
+//!   attempt-latency histogram, a duplicate is dispatched to a second
+//!   machine; first completion wins and the loser is cancelled through
+//!   the existing per-machine epoch guard.
+//! * **Circuit breakers.** Per-machine closed → open → half-open with
+//!   trips on consecutive wave timeouts or a crash, and a seeded probe
+//!   schedule ([`Breaker::probe_delay`]) that backs off with the trip
+//!   count.
+//! * **Shedding.** Admission control refuses a request whose best-case
+//!   completion estimate already blows the deadline; queue caps route
+//!   overflow through the same shed path.
+
+use hera_rng::draw_word;
+
+/// Salt for retry-backoff jitter draws (site-style; pairs with the
+/// per-machine fault-plan salt in `fleet.rs`).
+const BACKOFF_SALT: u64 = 0x7265_7369_6c2d_626f; // "resil-bo"
+/// Salt for breaker probe-schedule jitter draws.
+const PROBE_SALT: u64 = 0x7265_7369_6c2d_7072; // "resil-pr"
+
+/// Request-resilience knobs. `ClusterConfig::resil` is `None` by
+/// default: the fleet behaves exactly as before — no deadlines, no
+/// breakers, zero added virtual cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResilConfig {
+    /// Fleet-virtual cycles an attempt wave may take (dispatch to
+    /// completion) before it is cancelled and retried.
+    pub deadline_cycles: u64,
+    /// Retry waves after the first; a request that times out on its
+    /// last wave ends `TimedOut`.
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff (cycles).
+    pub backoff_base_cycles: u64,
+    /// Jitter added to each backoff, as a per-mille fraction of the
+    /// backoff step, drawn deterministically from the seed.
+    pub jitter_permille: u32,
+    /// End-to-end latency SLO (arrival to completion) used for the
+    /// attainment figure in reports.
+    pub slo_cycles: u64,
+    /// Dispatch a duplicate attempt when a wave outlives its class's
+    /// observed p95 attempt latency.
+    pub hedging: bool,
+    /// Minimum attempt-latency samples for a class before hedging may
+    /// trigger (an empty histogram has no p95 worth trusting).
+    pub hedge_min_samples: u64,
+    /// Per-machine circuit breakers + health-weighted balancing.
+    pub breakers: bool,
+    /// Consecutive wave timeouts on one machine that trip its breaker.
+    pub breaker_trip_timeouts: u32,
+    /// Base delay before an open breaker probes (half-open), doubled
+    /// per consecutive trip, plus seeded jitter.
+    pub probe_base_cycles: u64,
+    /// Admission control: shed a request whose best-case completion
+    /// estimate already exceeds the deadline.
+    pub shedding: bool,
+}
+
+impl Default for ResilConfig {
+    fn default() -> Self {
+        ResilConfig {
+            deadline_cycles: 40_000_000,
+            max_retries: 2,
+            backoff_base_cycles: 100_000,
+            jitter_permille: 250,
+            slo_cycles: 80_000_000,
+            hedging: false,
+            hedge_min_samples: 20,
+            breakers: false,
+            breaker_trip_timeouts: 3,
+            probe_base_cycles: 2_000_000,
+            shedding: false,
+        }
+    }
+}
+
+impl ResilConfig {
+    /// All three headline knobs on (the "full resilience" matrix row).
+    pub fn full(self) -> Self {
+        ResilConfig {
+            hedging: true,
+            breakers: true,
+            shedding: true,
+            ..self
+        }
+    }
+}
+
+/// Backoff before retry wave `retry` (1-based) of `job`: exponential in
+/// the retry count with seeded jitter. Pure function of its arguments,
+/// and strictly monotone in `retry` — jitter is bounded by a fraction
+/// of the step, so a later wave always waits longer than an earlier one.
+pub fn backoff_cycles(cfg: &ResilConfig, seed: u64, job: usize, retry: u32) -> u64 {
+    let step = cfg
+        .backoff_base_cycles
+        .saturating_mul(1u64 << (retry - 1).min(16));
+    let span = step / 1000 * cfg.jitter_permille.min(1000) as u64;
+    let jitter = if span == 0 {
+        0
+    } else {
+        draw_word(seed ^ BACKOFF_SALT, job as u64, retry as u64, 0) % span
+    };
+    step + jitter
+}
+
+/// Circuit-breaker state (one per machine when breakers are enabled).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BreakerState {
+    /// Healthy: requests route normally.
+    Closed,
+    /// Tripped: the machine is excluded from placement until the probe
+    /// at `probe_at` moves it to half-open.
+    Open { probe_at: u64 },
+    /// Probing: the machine takes trial traffic at reduced advertised
+    /// capacity; one success closes, one timeout re-opens.
+    HalfOpen,
+}
+
+/// Per-machine breaker: closed / open / half-open with seeded probes.
+#[derive(Clone, Debug)]
+pub struct Breaker {
+    pub state: BreakerState,
+    /// Wave timeouts since the last success.
+    pub consecutive_timeouts: u32,
+    /// Times this breaker has tripped (drives probe backoff).
+    pub trips: u32,
+}
+
+impl Breaker {
+    pub fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_timeouts: 0,
+            trips: 0,
+        }
+    }
+
+    /// Probe delay for trip number `trips` (1-based) of `machine`:
+    /// exponential in the trip count with seeded jitter. Deterministic,
+    /// so the whole probe schedule replays bit-identically.
+    pub fn probe_delay(cfg: &ResilConfig, seed: u64, machine: usize, trips: u32) -> u64 {
+        let step = cfg
+            .probe_base_cycles
+            .saturating_mul(1u64 << (trips.saturating_sub(1)).min(8));
+        let span = (step / 4).max(1);
+        step + draw_word(seed ^ PROBE_SALT, machine as u64, trips as u64, 0) % span
+    }
+
+    /// A wave timed out on this machine. Returns `Some(probe_at)` when
+    /// this trips (or re-trips) the breaker — the caller schedules the
+    /// probe event at that time.
+    pub fn on_timeout(
+        &mut self,
+        cfg: &ResilConfig,
+        seed: u64,
+        machine: usize,
+        now: u64,
+    ) -> Option<u64> {
+        match self.state {
+            BreakerState::Open { .. } => None,
+            BreakerState::HalfOpen => {
+                // The trial failed: straight back to open, longer wait.
+                self.trips += 1;
+                let at = now + Self::probe_delay(cfg, seed, machine, self.trips);
+                self.state = BreakerState::Open { probe_at: at };
+                Some(at)
+            }
+            BreakerState::Closed => {
+                self.consecutive_timeouts += 1;
+                if self.consecutive_timeouts >= cfg.breaker_trip_timeouts {
+                    self.trips += 1;
+                    let at = now + Self::probe_delay(cfg, seed, machine, self.trips);
+                    self.state = BreakerState::Open { probe_at: at };
+                    Some(at)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The machine crashed: trip immediately regardless of counts.
+    /// Returns `Some(probe_at)` when a probe needs scheduling.
+    pub fn on_crash(
+        &mut self,
+        cfg: &ResilConfig,
+        seed: u64,
+        machine: usize,
+        now: u64,
+    ) -> Option<u64> {
+        if matches!(self.state, BreakerState::Open { .. }) {
+            return None;
+        }
+        self.trips += 1;
+        let at = now + Self::probe_delay(cfg, seed, machine, self.trips);
+        self.state = BreakerState::Open { probe_at: at };
+        Some(at)
+    }
+
+    /// A request completed on this machine: close and reset.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_timeouts = 0;
+    }
+
+    /// The scheduled probe fired: open → half-open (trial traffic).
+    pub fn on_probe(&mut self, now: u64) {
+        if let BreakerState::Open { probe_at } = self.state {
+            if now >= probe_at {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Whether placement should avoid this machine entirely.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_monotone_and_seed_deterministic() {
+        let cfg = ResilConfig::default();
+        for job in [0usize, 7, 191] {
+            let mut prev = 0u64;
+            for retry in 1..=6u32 {
+                let a = backoff_cycles(&cfg, 42, job, retry);
+                let b = backoff_cycles(&cfg, 42, job, retry);
+                assert_eq!(a, b, "same seed must replay identically");
+                assert!(a > prev, "retry {retry} backoff {a} <= previous {prev}");
+                prev = a;
+            }
+        }
+        assert_ne!(
+            backoff_cycles(&cfg, 1, 0, 1),
+            backoff_cycles(&cfg, 2, 0, 1),
+            "different seeds must jitter differently"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_timeouts_and_probes_on_schedule() {
+        let cfg = ResilConfig {
+            breaker_trip_timeouts: 3,
+            ..ResilConfig::default()
+        };
+        let mut b = Breaker::new();
+        assert_eq!(b.on_timeout(&cfg, 9, 0, 100), None);
+        assert_eq!(b.on_timeout(&cfg, 9, 0, 200), None);
+        let at = b.on_timeout(&cfg, 9, 0, 300).expect("third timeout trips");
+        assert!(b.is_open());
+        assert!(at > 300 + cfg.probe_base_cycles - 1);
+        // A success in between resets the count.
+        let mut c = Breaker::new();
+        c.on_timeout(&cfg, 9, 0, 100);
+        c.on_timeout(&cfg, 9, 0, 200);
+        c.on_success();
+        assert_eq!(c.on_timeout(&cfg, 9, 0, 300), None);
+    }
+
+    #[test]
+    fn half_open_success_closes_and_timeout_reopens_longer() {
+        let cfg = ResilConfig::default();
+        let mut b = Breaker::new();
+        let first = b.on_crash(&cfg, 5, 2, 1_000).expect("crash trips");
+        b.on_probe(first);
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        let second = b
+            .on_timeout(&cfg, 5, 2, first)
+            .expect("half-open timeout re-trips");
+        // Trip 2's base delay is twice trip 1's; jitter is bounded by a
+        // quarter step, so the second wait is strictly longer.
+        assert!(second - first > first - 1_000, "probe backoff must grow");
+        b.on_probe(second);
+        b.on_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.consecutive_timeouts, 0);
+    }
+
+    #[test]
+    fn probe_schedule_is_a_pure_function_of_seed_machine_and_trip() {
+        let cfg = ResilConfig::default();
+        for machine in 0..4 {
+            for trip in 1..=5 {
+                assert_eq!(
+                    Breaker::probe_delay(&cfg, 77, machine, trip),
+                    Breaker::probe_delay(&cfg, 77, machine, trip)
+                );
+            }
+        }
+        assert_ne!(
+            Breaker::probe_delay(&cfg, 77, 0, 1),
+            Breaker::probe_delay(&cfg, 78, 0, 1)
+        );
+    }
+}

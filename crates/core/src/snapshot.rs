@@ -95,6 +95,8 @@ fn encode_fault_plan(w: &mut SnapWriter, plan: &FaultPlan) {
     ] {
         w.u32(rate);
     }
+    w.u32(plan.slowdown_factor);
+    w.u64(plan.slowdown_from_cycle);
     for slot in &plan.spe_deaths {
         match slot {
             Some(d) => {
@@ -128,6 +130,8 @@ fn decode_fault_plan(r: &mut SnapReader<'_>) -> Result<FaultPlan, SnapError> {
     plan.eib_timeout_cycles = r.u32()?;
     plan.checksum_cycles = r.u32()?;
     plan.watchdog_cycles = r.u32()?;
+    plan.slowdown_factor = r.u32()?;
+    plan.slowdown_from_cycle = r.u64()?;
     for slot in plan.spe_deaths.iter_mut() {
         let present = r.u8()? != 0;
         let spe = r.u8()?;

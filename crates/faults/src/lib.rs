@@ -78,6 +78,41 @@ impl FaultKind {
     }
 }
 
+/// A plan that cannot be built: the builder rejected a parameter that
+/// would silently misbehave (rates are probabilities, factors multiply).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPlanError {
+    /// A fault rate above 1_000_000 ppm is not a probability; draws would
+    /// saturate at "always fault" while reading as a bigger number.
+    RateAbovePpm {
+        /// Which rate knob was out of range.
+        knob: &'static str,
+        /// The rejected value.
+        ppm: u32,
+    },
+    /// A slowdown factor of zero would freeze the machine's clock (every
+    /// charge multiplied to nothing) rather than slow it down.
+    ZeroSlowdownFactor,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::RateAbovePpm { knob, ppm } => {
+                write!(
+                    f,
+                    "{knob} rate {ppm} ppm exceeds 1_000_000 (not a probability)"
+                )
+            }
+            FaultPlanError::ZeroSlowdownFactor => {
+                f.write_str("slowdown factor 0 would stop the clock; use 1 for no slowdown")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A scheduled hard SPE death at a virtual cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SpeDeath {
@@ -129,6 +164,14 @@ pub struct FaultPlan {
     /// recovery drills — it injects no cost and perturbs nothing before the
     /// crash point, so a crashed run is a prefix of the uninterrupted run.
     pub machine_crash_at: Option<u64>,
+    /// Deterministic machine slowdown ("straggler"): every relative cycle
+    /// charge on every core is multiplied by this factor once the core's
+    /// own clock reaches [`FaultPlan::slowdown_from_cycle`]. `0` and `1`
+    /// both mean "no slowdown" (`0` is only reachable via `default()`;
+    /// the builder rejects it).
+    pub slowdown_factor: u32,
+    /// Core-local virtual cycle at which the slowdown begins.
+    pub slowdown_from_cycle: u64,
 }
 
 impl FaultPlan {
@@ -149,16 +192,46 @@ impl FaultPlan {
     }
 
     /// Set the three MFC-layer fault rates (parts per million per attempt).
+    ///
+    /// Rejects any rate above 1_000_000 ppm: that is not a probability,
+    /// and the draw would silently saturate at "always fault".
     pub fn with_mfc_faults(
         mut self,
         transfer_ppm: u32,
         timeout_ppm: u32,
         corrupt_ppm: u32,
-    ) -> Self {
+    ) -> Result<Self, FaultPlanError> {
+        for (knob, ppm) in [
+            ("mfc-transfer", transfer_ppm),
+            ("eib-timeout", timeout_ppm),
+            ("ls-corruption", corrupt_ppm),
+        ] {
+            if ppm > PPM as u32 {
+                return Err(FaultPlanError::RateAbovePpm { knob, ppm });
+            }
+        }
         self.mfc_transfer_ppm = transfer_ppm;
         self.eib_timeout_ppm = timeout_ppm;
         self.ls_corruption_ppm = corrupt_ppm;
-        self
+        Ok(self)
+    }
+
+    /// Stretch every relative cycle charge by `factor` once a core's own
+    /// clock reaches `from_cycle` — a deterministic straggling machine.
+    /// `factor` 1 is a legal no-op; 0 is rejected (it would stop the
+    /// clock, not slow it).
+    pub fn with_slowdown(mut self, factor: u32, from_cycle: u64) -> Result<Self, FaultPlanError> {
+        if factor == 0 {
+            return Err(FaultPlanError::ZeroSlowdownFactor);
+        }
+        self.slowdown_factor = factor;
+        self.slowdown_from_cycle = from_cycle;
+        Ok(self)
+    }
+
+    /// Whether the plan slows the machine down at some point (factor ≥ 2).
+    pub fn slowdown_active(&self) -> bool {
+        self.slowdown_factor >= 2
     }
 
     /// Set the syscall-proxy watchdog timeout rate.
@@ -369,7 +442,9 @@ mod tests {
 
     #[test]
     fn same_seed_same_draw_sequence() {
-        let plan = FaultPlan::seeded(7).with_mfc_faults(40_000, 30_000, 20_000);
+        let plan = FaultPlan::seeded(7)
+            .with_mfc_faults(40_000, 30_000, 20_000)
+            .expect("valid rates");
         let mut a = FaultInjector::new(plan, 7);
         let mut b = FaultInjector::new(plan, 7);
         for core in 0..7 {
@@ -382,7 +457,9 @@ mod tests {
     #[test]
     fn different_seeds_diverge() {
         let mk = |seed| {
-            let plan = FaultPlan::seeded(seed).with_mfc_faults(40_000, 30_000, 20_000);
+            let plan = FaultPlan::seeded(seed)
+                .with_mfc_faults(40_000, 30_000, 20_000)
+                .expect("valid rates");
             let mut inj = FaultInjector::new(plan, 7);
             (0..2000)
                 .map(|_| inj.draw(1, FaultSite::Mfc))
@@ -393,7 +470,9 @@ mod tests {
 
     #[test]
     fn cores_and_sites_have_independent_streams() {
-        let plan = FaultPlan::seeded(11).with_mfc_faults(100_000, 0, 0);
+        let plan = FaultPlan::seeded(11)
+            .with_mfc_faults(100_000, 0, 0)
+            .expect("valid rates");
         let mut inj = FaultInjector::new(plan, 7);
         let c0: Vec<_> = (0..500).map(|_| inj.draw(1, FaultSite::Mfc)).collect();
         let c1: Vec<_> = (0..500).map(|_| inj.draw(2, FaultSite::Mfc)).collect();
@@ -404,7 +483,9 @@ mod tests {
     fn rates_are_roughly_honoured() {
         // 10% rate over 20k draws should land within a loose band; this is
         // deterministic (fixed seed), so the assertion can be tight-ish.
-        let plan = FaultPlan::seeded(3).with_mfc_faults(100_000, 0, 0);
+        let plan = FaultPlan::seeded(3)
+            .with_mfc_faults(100_000, 0, 0)
+            .expect("valid rates");
         let mut inj = FaultInjector::new(plan, 2);
         let hits = (0..20_000)
             .filter(|_| inj.draw(1, FaultSite::Mfc).is_some())
@@ -414,7 +495,9 @@ mod tests {
 
     #[test]
     fn kind_split_follows_cumulative_weights() {
-        let plan = FaultPlan::seeded(5).with_mfc_faults(50_000, 50_000, 50_000);
+        let plan = FaultPlan::seeded(5)
+            .with_mfc_faults(50_000, 50_000, 50_000)
+            .expect("valid rates");
         let mut inj = FaultInjector::new(plan, 2);
         let mut t = 0;
         let mut e = 0;
@@ -437,6 +520,56 @@ mod tests {
         assert_eq!(inj.backoff_cycles(1), 512);
         assert_eq!(inj.backoff_cycles(3), 2048);
         assert_eq!(inj.backoff_cycles(40), 256 << 16);
+    }
+
+    #[test]
+    fn builder_rejects_rates_above_one_million_ppm() {
+        let err = FaultPlan::seeded(1)
+            .with_mfc_faults(1_000_001, 0, 0)
+            .expect_err("rate above 1e6 ppm must be rejected");
+        assert_eq!(
+            err,
+            FaultPlanError::RateAbovePpm {
+                knob: "mfc-transfer",
+                ppm: 1_000_001
+            }
+        );
+        // Each knob is validated, not just the first.
+        assert!(matches!(
+            FaultPlan::seeded(1).with_mfc_faults(0, 2_000_000, 0),
+            Err(FaultPlanError::RateAbovePpm {
+                knob: "eib-timeout",
+                ..
+            })
+        ));
+        assert!(matches!(
+            FaultPlan::seeded(1).with_mfc_faults(0, 0, u32::MAX),
+            Err(FaultPlanError::RateAbovePpm {
+                knob: "ls-corruption",
+                ..
+            })
+        ));
+        // Exactly 1_000_000 ppm ("always") remains legal.
+        assert!(FaultPlan::seeded(1)
+            .with_mfc_faults(1_000_000, 0, 0)
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_slowdown_factor() {
+        assert_eq!(
+            FaultPlan::seeded(1).with_slowdown(0, 500).unwrap_err(),
+            FaultPlanError::ZeroSlowdownFactor
+        );
+        // Factor 1 is a legal no-op; factor 2+ arms the slowdown.
+        let noop = FaultPlan::seeded(1).with_slowdown(1, 500).expect("legal");
+        assert!(!noop.slowdown_active());
+        let slow = FaultPlan::seeded(1).with_slowdown(4, 500).expect("legal");
+        assert!(slow.slowdown_active());
+        assert_eq!(slow.slowdown_from_cycle, 500);
+        // A slowdown alone injects no faults: the draw paths stay inert.
+        assert!(!slow.is_active());
+        assert!(!slow.mfc_active());
     }
 
     #[test]

@@ -130,8 +130,12 @@ fn migration_is_bit_identical_under_an_active_fault_plan() {
 #[test]
 fn adoption_restores_across_fault_plans_strict_refuses() {
     let (program, checksum) = Workload::Compress.build(1, 0.02);
-    let plan_a = FaultPlan::seeded(7).with_mfc_faults(400, 250, 150);
-    let plan_b = FaultPlan::seeded(9).with_mfc_faults(100, 50, 25);
+    let plan_a = FaultPlan::seeded(7)
+        .with_mfc_faults(400, 250, 150)
+        .expect("valid fault rates");
+    let plan_b = FaultPlan::seeded(9)
+        .with_mfc_faults(100, 50, 25)
+        .expect("valid fault rates");
     let base = |plan: FaultPlan| {
         let mut cfg = VmConfig::pinned_spe(1)
             .with_checkpoint_every(400_000)
@@ -179,4 +183,117 @@ fn adoption_restores_across_fault_plans_strict_refuses() {
         adopted.stats.wall_cycles, reference.stats.wall_cycles,
         "wall clock diverged"
     );
+}
+
+/// A tripped breaker's probe schedule is a pure function of (seed,
+/// machine, trip count): two breakers fed the identical timeout/crash
+/// history produce the identical probe times, and a different seed
+/// produces a different schedule.
+#[test]
+fn tripped_breaker_probe_schedule_is_deterministic() {
+    use hera_cluster::{Breaker, ResilConfig};
+    let cfg = ResilConfig {
+        breaker_trip_timeouts: 2,
+        ..ResilConfig::default()
+    };
+    let drive = |seed: u64| -> Vec<u64> {
+        let mut b = Breaker::new();
+        let mut probes = Vec::new();
+        // Two timeouts trip it; probe, fail the trial, probe again,
+        // recover, then a crash trips it once more.
+        assert!(b.on_timeout(&cfg, seed, 1, 1_000).is_none());
+        let first = b
+            .on_timeout(&cfg, seed, 1, 2_000)
+            .expect("second timeout trips");
+        probes.push(first);
+        b.on_probe(first);
+        let second = b
+            .on_timeout(&cfg, seed, 1, first)
+            .expect("half-open timeout re-trips");
+        probes.push(second);
+        b.on_probe(second);
+        b.on_success();
+        probes.push(
+            b.on_crash(&cfg, seed, 1, second + 500)
+                .expect("crash trips"),
+        );
+        probes
+    };
+    let a = drive(42);
+    assert_eq!(a, drive(42), "same history, same seed: schedule diverged");
+    assert!(
+        a.windows(2).all(|w| w[1] > w[0]),
+        "probe backoff must grow with the trip count: {a:?}"
+    );
+    assert_ne!(a, drive(43), "different seeds must jitter the schedule");
+}
+
+/// The whole resilience matrix — every knob combination over a straggler
+/// plus a crash — replays byte-identically from the same seed, and every
+/// embedded bit-identity proof holds. A deliberately small fleet so the
+/// debug-mode run stays CI-friendly.
+#[test]
+fn chaos_matrix_replays_byte_identically() {
+    let cfg = ClusterConfig {
+        seed: 42,
+        machines: 2,
+        requests: 60,
+        threads: 2,
+        scale: 0.02,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        utilization_pct: 60,
+        crashes: hera_cluster::crash_storm(42, 2, 1, 300, 700),
+        migrations: vec![],
+        slowdowns: vec![(0, 4, 0)],
+        ..ClusterConfig::default()
+    };
+    let a = hera_cluster::run_chaos_matrix(&cfg).expect("matrix runs");
+    let b = hera_cluster::run_chaos_matrix(&cfg).expect("matrix runs");
+    assert_eq!(a.render(), b.render(), "chaos matrix replay diverged");
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+}
+
+/// Overflowing a capped machine queue degrades into *measured* shed:
+/// nothing is silently dropped, and every request is accounted for as
+/// either completed or shed.
+#[test]
+fn queue_cap_overflow_sheds_and_accounts_for_every_request() {
+    let cfg = ClusterConfig {
+        seed: 42,
+        machines: 1,
+        requests: 40,
+        threads: 2,
+        scale: 0.02,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        arrival: ArrivalShape::Bursty { burst: 20 },
+        utilization_pct: 98,
+        crashes: vec![],
+        migrations: vec![],
+        queue_cap: 4,
+        ..ClusterConfig::default()
+    };
+    let report = run_experiment(&cfg).expect("experiment runs");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    for o in &report.outcomes {
+        let overflow = o.metrics.counter("cluster.shed.overflow");
+        let shed = o.metrics.counter("cluster.shed");
+        assert!(
+            overflow > 0,
+            "policy {}: a 20-burst against queue_cap=4 never overflowed",
+            o.policy
+        );
+        assert_eq!(
+            overflow, shed,
+            "policy {}: with resilience off, overflow is the only shed path",
+            o.policy
+        );
+        assert_eq!(
+            o.completed + shed,
+            40,
+            "policy {}: requests neither completed nor shed",
+            o.policy
+        );
+    }
 }

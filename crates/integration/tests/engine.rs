@@ -772,6 +772,7 @@ fn restore_is_bit_identical_under_active_fault_plans() {
     use hera_bench::{ppe_config, spe_config};
     let base_plan = hera_cell::FaultPlan::seeded(0xFEED_FACE)
         .with_mfc_faults(400, 250, 150)
+        .expect("valid fault rates")
         .with_proxy_faults(500)
         .with_migration_faults(500);
     for w in hera_workloads::Workload::ALL {

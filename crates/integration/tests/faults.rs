@@ -170,7 +170,9 @@ fn spe_death_fails_over_on_every_workload() {
 fn transient_mfc_faults_recover_via_retry() {
     // Rates an order of magnitude above the chaos default so compress
     // sees a substantial number of injections even at reduced scale.
-    let plan = FaultPlan::seeded(1234).with_mfc_faults(4_000, 2_500, 1_500);
+    let plan = FaultPlan::seeded(1234)
+        .with_mfc_faults(4_000, 2_500, 1_500)
+        .expect("valid fault rates");
     let out = chaos_workload(Workload::Compress, SCALE, plan);
     let f = &out.stats.faults;
     assert!(f.total_injected() > 10, "expected many injections: {f:?}");
@@ -190,4 +192,50 @@ fn transient_mfc_faults_recover_via_retry() {
         .count() as u64;
     assert_eq!(fault_events, f.total_injected());
     assert_eq!(retry_events, f.mfc_retries);
+}
+
+/// Property-style check of the fleet's retry backoff: for any (seed,
+/// job), the cumulative stall a request pays across its retry waves is
+/// strictly monotone in the retry count, and the whole schedule replays
+/// byte-identically from the same seed (it is a pure function of its
+/// arguments — no hidden state).
+#[test]
+fn retry_backoff_stall_is_monotone_and_replays_identically() {
+    use hera_cluster::resil::backoff_cycles;
+    use hera_cluster::ResilConfig;
+    let cfg = ResilConfig::default();
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        for job in [0usize, 3, 17, 255, 9999] {
+            let schedule: Vec<u64> = (1..=8)
+                .map(|r| backoff_cycles(&cfg, seed, job, r))
+                .collect();
+            let replay: Vec<u64> = (1..=8)
+                .map(|r| backoff_cycles(&cfg, seed, job, r))
+                .collect();
+            assert_eq!(schedule, replay, "seed {seed} job {job}: schedule not pure");
+            let mut total = 0u64;
+            let mut prev_total = 0u64;
+            let mut prev_step = 0u64;
+            for (i, &step) in schedule.iter().enumerate() {
+                assert!(
+                    step > prev_step,
+                    "seed {seed} job {job} retry {}: step {step} <= previous {prev_step}",
+                    i + 1
+                );
+                total += step;
+                assert!(total > prev_total, "total stall must grow with every retry");
+                prev_total = total;
+                prev_step = step;
+            }
+        }
+    }
+    // Different seeds must not share a jitter stream.
+    assert_ne!(
+        (1..=8)
+            .map(|r| backoff_cycles(&ResilConfig::default(), 1, 0, r))
+            .collect::<Vec<_>>(),
+        (1..=8)
+            .map(|r| backoff_cycles(&ResilConfig::default(), 2, 0, r))
+            .collect::<Vec<_>>(),
+    );
 }

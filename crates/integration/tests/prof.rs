@@ -55,6 +55,7 @@ fn profile_reconciles_under_chaos_and_bills_fault_retry() {
     // workload reliably takes retries even at reduced scale.
     let plan = hera_cell::FaultPlan::seeded(0xC0FFEE)
         .with_mfc_faults(5_000, 2_000, 0)
+        .expect("valid fault rates")
         .with_proxy_faults(5_000)
         .with_migration_faults(5_000)
         .with_spe_death(2, chaos_death_cycle(SCALE));

@@ -383,8 +383,8 @@ fn restore_rejects_config_or_program_mismatch() {
 /// format changed silently.
 #[test]
 fn format_version_golden() {
-    const GOLDEN_VERSION: u32 = 2;
-    const GOLDEN_DIGEST: u64 = 0xf923_ef3d_142e_ab82;
+    const GOLDEN_VERSION: u32 = 3;
+    const GOLDEN_DIGEST: u64 = 0xf3d2_34c2_dd7f_f6b4;
     assert_eq!(
         hera_snap::FORMAT_VERSION,
         GOLDEN_VERSION,

@@ -33,7 +33,9 @@ pub const MAGIC: [u8; 8] = *b"HSNAP\0\0\0";
 /// v2: the CORE section carries the fault plan explicitly (after the
 /// program digest) and the config digest zeroes the whole plan, enabling
 /// cross-machine snapshot adoption.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: the carried fault plan gains the straggler shape
+/// (`slowdown_factor`, `slowdown_from_cycle`).
+pub const FORMAT_VERSION: u32 = 3;
 /// Total header size in bytes (magic + version + flags + length + crc).
 pub const HEADER_LEN: usize = 28;
 

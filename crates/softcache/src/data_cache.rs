@@ -780,7 +780,9 @@ mod tests {
     fn exhausted_dma_surfaces_cache_fault_not_panic() {
         let mut f = fx();
         f.machine = CellMachine::new(CellConfig {
-            faults: hera_cell::FaultPlan::seeded(1).with_mfc_faults(1_000_000, 0, 0),
+            faults: hera_cell::FaultPlan::seeded(1)
+                .with_mfc_faults(1_000_000, 0, 0)
+                .expect("valid"),
             ..CellConfig::default()
         });
         let r = f.heap.alloc_object(&f.layout, f.class).unwrap();

@@ -119,6 +119,12 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
     }
+
+    /// Tail-of-the-tail quantile for resilience reporting: hedging and
+    /// breakers are judged by what happens to the slowest 0.1%.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
 }
 
 /// Deterministic registry of named counters and histograms.
