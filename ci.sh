@@ -53,3 +53,8 @@ cargo run --release -p hera-bench --bin figures -- cluster --requests 300
 # resilience's p99 within 2x of the fault-free baseline at >=90%
 # goodput — exit 1 otherwise.
 cargo run --release -p hera-bench --bin figures -- cluster-chaos
+# Observability smoke: the E13 matrix with hera-scope on must reconcile
+# its span ledger exactly against the policy counters, replay the
+# report + Chrome trace + SLO table byte-identically, and write
+# fleet_trace.json / fleet_slo.txt — exit 1 on any divergence.
+cargo run --release -p hera-bench --bin figures -- fleet-trace

@@ -34,6 +34,11 @@
 //!                      one 4x straggler and a seeded crash storm; replayed
 //!                      twice, byte-compared, and gated on the E13 acceptance
 //!                      bounds; writes cluster_chaos.txt)
+//!           | fleet-trace [--machines N] [--requests N] [--seed S]
+//!                     (E13 chaos matrix with hera-scope tracing on: per-request
+//!                      span trees, causal flow arrows, fixed-virtual-interval
+//!                      fleet samplers; replayed twice and byte-compared; writes
+//!                      fleet_trace.json + fleet_slo.txt)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -63,17 +68,29 @@ const EXPERIMENTS: &[&str] = &[
     "profile-diff",
     "cluster",
     "cluster-chaos",
+    "fleet-trace",
 ];
+
+fn usage_lines() -> String {
+    format!(
+        "usage: figures EXPERIMENT [--scale S] [--reps N] [--workers W] \
+         [--machines N] [--requests N] [--seed S]\n\
+         experiments: {}\n\
+         trace/chaos/chaos-crash/profile/profile-diff take an optional WORKLOAD\n\
+         (compress | mpegaudio | mandelbrot)",
+        EXPERIMENTS.join(" | ")
+    )
+}
 
 fn usage_and_exit(problem: &str) -> ! {
     eprintln!("figures: {problem}");
-    eprintln!(
-        "usage: figures EXPERIMENT [--scale S] [--reps N] [--machines N] [--requests N] [--seed S]"
-    );
-    eprintln!("experiments: {}", EXPERIMENTS.join(" | "));
-    eprintln!("trace/chaos/chaos-crash/profile/profile-diff take an optional WORKLOAD");
-    eprintln!("(compress | mpegaudio | mandelbrot)");
+    eprintln!("{}", usage_lines());
     std::process::exit(2);
+}
+
+fn help_and_exit() -> ! {
+    println!("{}", usage_lines());
+    std::process::exit(0);
 }
 
 fn main() {
@@ -139,7 +156,7 @@ fn main() {
                     .unwrap_or_else(|_| usage_and_exit("--seed needs an integer"));
                 i += 1;
             }
-            "--help" | "-h" => usage_and_exit("help requested"),
+            "--help" | "-h" => help_and_exit(),
             other => match &which {
                 None => {
                     if !EXPERIMENTS.contains(&other) {
@@ -213,6 +230,16 @@ fn main() {
         // plus a crash storm (with 4 machines the post-crash fleet is
         // transiently over-committed and no knob can help).
         cluster_chaos(
+            if machines_set { machines } else { 6 },
+            if requests_set { requests } else { 800 },
+            seed,
+            if scale_set { scale } else { 0.02 },
+        );
+        return;
+    }
+    if which == "fleet-trace" {
+        // Same committed E13 configuration, with hera-scope on.
+        fleet_trace(
             if machines_set { machines } else { 6 },
             if requests_set { requests } else { 800 },
             seed,
@@ -560,6 +587,91 @@ fn cluster_chaos(machines: usize, requests: u64, seed: u64, scale: f64) {
     std::fs::write("cluster_chaos.txt", &artifact)
         .unwrap_or_else(|e| panic!("write cluster_chaos.txt: {e}"));
     println!("wrote cluster_chaos.txt ({} bytes)", artifact.len());
+}
+
+fn fleet_trace(machines: usize, requests: u64, seed: u64, scale: f64) {
+    use hera_cluster::ClusterConfig;
+    // The committed E13 configuration with hera-scope switched on: the
+    // all-knobs-on matrix row's span tree, flow arrows, and telemetry
+    // timelines are the artifacts.
+    let cfg = ClusterConfig {
+        seed,
+        machines,
+        requests,
+        threads: 2,
+        scale,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        utilization_pct: 60,
+        crashes: hera_cluster::crash_storm(seed, machines, 2, 300, 700),
+        migrations: vec![],
+        slowdowns: vec![(0, 4, 0)],
+        scope: true,
+        ..ClusterConfig::default()
+    };
+    header(&format!(
+        "hera-scope: fleet trace ({machines} machines, {requests} requests, seed {seed}, \
+         E13 chaos matrix with request tracing on)"
+    ));
+    let run = |what: &str| -> hera_cluster::ChaosReport {
+        match hera_cluster::run_chaos_matrix(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet-trace: {what} errored: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let first = run("run");
+    let scope = first.scope.as_ref().unwrap_or_else(|| {
+        eprintln!("fleet-trace: matrix ran with scope on but produced no ScopeOutcome");
+        std::process::exit(1);
+    });
+    let rendered = first.render();
+    let json = scope.chrome_json();
+    let slo = scope.slo_report();
+    print!("{rendered}");
+    print!("{slo}");
+    println!(
+        "scope: {} spans, {} flow arrows across {} tracks; {} telemetry series",
+        scope.spans.len(),
+        scope.flows.len(),
+        scope.tracks.len(),
+        scope.metrics.series().count()
+    );
+    // Determinism is the artifact's warranty: every byte of the report,
+    // the Chrome trace, and the SLO table must replay identically.
+    let replay = run("replay");
+    let rescope = replay.scope.as_ref().unwrap_or_else(|| {
+        eprintln!("fleet-trace: replay produced no ScopeOutcome");
+        std::process::exit(1);
+    });
+    if replay.render() != rendered || rescope.chrome_json() != json || rescope.slo_report() != slo {
+        eprintln!("fleet-trace: same-seed replay diverged — determinism broken");
+        std::process::exit(1);
+    }
+    if !first.failures.is_empty() {
+        for f in &first.failures {
+            eprintln!("fleet-trace FAIL: {f}");
+        }
+        eprintln!(
+            "fleet-trace: {} reconciliation/bookkeeping failure(s)",
+            first.failures.len()
+        );
+        std::process::exit(1);
+    }
+    std::fs::write("fleet_trace.json", &json)
+        .unwrap_or_else(|e| panic!("write fleet_trace.json: {e}"));
+    std::fs::write("fleet_slo.txt", &slo).unwrap_or_else(|e| panic!("write fleet_slo.txt: {e}"));
+    println!(
+        "wrote fleet_trace.json ({} bytes) — open in chrome://tracing or https://ui.perfetto.dev",
+        json.len()
+    );
+    println!("wrote fleet_slo.txt ({} bytes)", slo.len());
+    println!(
+        "verified: span ledger reconciles exactly against the policy counters; \
+         same-seed replay byte-identical (report, trace, SLO table)"
+    );
 }
 
 fn perf(scale: f64, reps: u32, workers: u32) {

@@ -28,13 +28,14 @@
 
 use crate::policy::{BalancePolicy, MachineView};
 use crate::resil::{self, Breaker, BreakerState, ResilConfig};
+use crate::scope::{Scope, ScopeOutcome};
 use crate::traffic::{self, Request};
 use crate::{ClusterConfig, ClusterError};
 use hera_cell::FaultPlan;
 use hera_core::{HeraJvm, RunEnd, RunOutcome, VmConfig};
 use hera_isa::Value;
 use hera_rng::splitmix64;
-use hera_trace::MetricsRegistry;
+use hera_trace::{nearest_rank, ExactPercentiles, MetricsRegistry};
 use hera_workloads::Workload;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt::Write as _;
@@ -324,6 +325,10 @@ pub struct PolicyOutcome {
     /// for in-VM counters, too coarse to judge a 2x tail bound — so the
     /// resilience matrix computes its percentiles from these.
     pub latencies: Vec<u64>,
+    /// The hera-scope recording (`ClusterConfig::scope`); `None` when
+    /// scope is off. Kept out of `metrics` so scope-on reports render
+    /// byte-identically to scope-off.
+    pub scope: Option<ScopeOutcome>,
 }
 
 /// The full experiment result: one [`PolicyOutcome`] per policy plus any
@@ -346,10 +351,12 @@ impl ClusterReport {
         for o in &self.outcomes {
             let _ = writeln!(out, "-- policy {} --", o.policy);
             let _ = writeln!(out, "completed {}", o.completed);
+            // Log2-bucket estimates are upper bounds on the true
+            // quantile; exact figures come from `latencies` / hera-scope.
             if let Some(h) = o.metrics.histogram("cluster.latency") {
                 let _ = writeln!(
                     out,
-                    "latency cycles: p50={} p95={} p99={} mean={:.0} max={}",
+                    "latency cycles: p50<={} p95<={} p99<={} mean={:.0} max={}",
                     h.p50(),
                     h.p95(),
                     h.p99(),
@@ -419,11 +426,14 @@ struct Sim<'a> {
     /// Per-machine circuit breakers (idle unless `resil.breakers`).
     breakers: Vec<Breaker>,
     /// Observed attempt latencies per class (dispatch → completion),
-    /// kept sorted so the hedge trigger reads an *exact* nearest-rank
-    /// p95 — the log2 metrics histograms overestimate by up to 2x,
-    /// which is the difference between a hedge that beats a 4x
-    /// straggler and one dispatched after the primary already finished.
-    class_lat: Vec<Vec<u64>>,
+    /// kept exact so the hedge trigger reads a nearest-rank p95 — the
+    /// log2 metrics histograms overestimate by up to 2x, which is the
+    /// difference between a hedge that beats a 4x straggler and one
+    /// dispatched after the primary already finished.
+    class_lat: Vec<ExactPercentiles>,
+    /// Request-level tracing (`ClusterConfig::scope`); observation only,
+    /// never charges virtual cycles or touches the event heap.
+    scope: Option<Scope>,
 }
 
 impl<'a> Sim<'a> {
@@ -543,10 +553,26 @@ impl<'a> Sim<'a> {
         exclude: &[usize],
         hedge: bool,
     ) -> Result<(), ClusterError> {
+        if matches!(self.resil, Some(r) if r.breakers) {
+            // Placements routed around an open breaker, counted per
+            // dispatch decision (satellite of the breaker event work:
+            // a tripped machine's exclusion is externally visible).
+            let rejected = (0..self.machines.len())
+                .filter(|&m| {
+                    self.machines[m].up && !exclude.contains(&m) && self.breakers[m].is_open()
+                })
+                .count() as u64;
+            if rejected > 0 {
+                self.metrics.add("resil.breaker.rejections", rejected);
+            }
+        }
         let views = self.views(now, exclude);
         if views.is_empty() {
             if hedge {
                 self.metrics.add("resil.hedge.skipped_no_dest", 1);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.clear_flow(job);
+                }
                 return Ok(());
             }
             self.pending.push_back(job);
@@ -565,7 +591,7 @@ impl<'a> Sim<'a> {
                         .min()
                         .expect("views is non-empty");
                     if best > r.deadline_cycles {
-                        self.shed(job, "resil.shed.admission");
+                        self.shed(job, now, "resil.shed.admission");
                         return Ok(());
                     }
                 }
@@ -575,9 +601,12 @@ impl<'a> Sim<'a> {
         if self.machines[m].queue.len() >= self.cfg.queue_cap {
             if hedge {
                 self.metrics.add("resil.hedge.skipped_full", 1);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.clear_flow(job);
+                }
                 return Ok(());
             }
-            self.shed(job, "cluster.shed.overflow");
+            self.shed(job, now, "cluster.shed.overflow");
             return Ok(());
         }
         self.jobs[job].placements.push((m, hedge));
@@ -589,13 +618,16 @@ impl<'a> Sim<'a> {
 
     /// Drop `job` through the shed path: graceful refusal, reported —
     /// never a silent loss.
-    fn shed(&mut self, job: usize, why: &str) {
+    fn shed(&mut self, job: usize, now: u64, why: &str) {
         let j = &mut self.jobs[job];
         debug_assert!(j.outcome == Outcome::Pending, "shed a resolved job");
         j.outcome = Outcome::Shed;
         j.gen += 1; // invalidate the wave's pending events
         self.metrics.add("cluster.shed", 1);
         self.metrics.add(why, 1);
+        if let Some(sc) = self.scope.as_mut() {
+            sc.on_shed(job, now);
+        }
     }
 
     /// Start a new attempt wave for `job`: arm its deadline and (when
@@ -608,7 +640,7 @@ impl<'a> Sim<'a> {
         if r.hedging {
             let lat = &self.class_lat[self.jobs[job].class];
             if lat.len() as u64 >= r.hedge_min_samples {
-                let p95 = nearest_rank(lat, 950);
+                let p95 = lat.percentile_permille(950);
                 self.push(now + p95.max(1), Ev::HedgeCheck { job, gen });
             }
         }
@@ -625,6 +657,9 @@ impl<'a> Sim<'a> {
     /// pending completion goes stale (the same mechanism that guards
     /// crashes and migrations) and start the next queued job.
     fn cancel_attempt(&mut self, m: usize, job: usize, now: u64) -> Result<(), ClusterError> {
+        if let Some(sc) = self.scope.as_mut() {
+            sc.on_cancel(m, job, now);
+        }
         if let Some(run) = &self.machines[m].running {
             if run.job == job {
                 let wasted = now.saturating_sub(run.exec_start);
@@ -644,6 +679,13 @@ impl<'a> Sim<'a> {
     }
 
     fn enqueue(&mut self, m: usize, job: usize, now: u64) -> Result<(), ClusterError> {
+        if let Some(sc) = self.scope.as_mut() {
+            let hedge = self.jobs[job]
+                .placements
+                .iter()
+                .any(|&(pm, h)| pm == m && h);
+            sc.on_enqueue(m, job, now, hedge);
+        }
         let est = self.estimate(job, m);
         let mach = &mut self.machines[m];
         mach.queue.push_back(job);
@@ -692,6 +734,16 @@ impl<'a> Sim<'a> {
         };
         let completes = exec_start + exec_cycles;
         let epoch = self.machines[m].epoch;
+        if let Some(sc) = self.scope.as_mut() {
+            let hedge = self.jobs[job]
+                .placements
+                .iter()
+                .any(|&(pm, h)| pm == m && h);
+            let transfer = exec_start
+                .saturating_sub(now)
+                .saturating_sub(self.cfg.dispatch_cycles);
+            sc.on_start(m, job, now, exec_start, hedge, transfer);
+        }
         self.machines[m].running = Some(Running {
             job,
             exec_start,
@@ -768,18 +820,22 @@ impl<'a> Sim<'a> {
         self.metrics
             .record(&format!("cluster.latency.{name}"), latency);
         self.metrics.add("cluster.completed", 1);
+        if let Some(sc) = self.scope.as_mut() {
+            sc.on_complete(job, m, now);
+        }
         if let Some(r) = self.resil {
-            let lat = &mut self.class_lat[class];
-            let at = lat.partition_point(|&v| v <= wave_latency);
-            lat.insert(at, wave_latency);
+            self.class_lat[class].record(wave_latency);
             if was_hedge {
                 self.metrics.add("resil.hedge.wins", 1);
             }
             if latency <= r.slo_cycles {
                 self.metrics.add("resil.slo_ok", 1);
             }
-            if r.breakers {
-                self.breakers[m].on_success();
+            if r.breakers && self.breakers[m].on_success() {
+                self.metrics.add("resil.breaker.closes", 1);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_breaker(m, "breaker.closed", now);
+                }
             }
         }
         Ok(())
@@ -841,10 +897,16 @@ impl<'a> Sim<'a> {
         }
         self.machines[m].up = false;
         self.machines[m].epoch += 1;
+        if let Some(sc) = self.scope.as_mut() {
+            sc.on_crash(m, now);
+        }
         if let Some(r) = self.resil {
             if r.breakers {
                 if let Some(at) = self.breakers[m].on_crash(&r, self.cfg.seed, m, now) {
                     self.metrics.add("resil.breaker.trips", 1);
+                    if let Some(sc) = self.scope.as_mut() {
+                        sc.on_breaker(m, "breaker.open", now);
+                    }
                     self.push(at, Ev::Probe { machine: m });
                 }
             }
@@ -860,8 +922,14 @@ impl<'a> Sim<'a> {
                 // A hedged twin is still live elsewhere: drop this
                 // attempt instead of requeueing a duplicate.
                 self.metrics.add("resil.attempt.dropped_by_crash", 1);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_interrupt(m, now);
+                }
             } else if now <= run.exec_start {
                 // Died during dispatch/transfer: nothing executed yet.
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_interrupt(m, now);
+                }
                 requeue.push(job);
             } else {
                 let abs = run.vm_base + (now - run.exec_start);
@@ -877,6 +945,9 @@ impl<'a> Sim<'a> {
                         at_cycle,
                         checkpoints,
                     } => {
+                        if let Some(sc) = self.scope.as_mut() {
+                            sc.on_interrupt(m, now);
+                        }
                         let (resume, reexec) = self.capture(job, checkpoints, at_cycle)?;
                         resumed_from_checkpoint = resume.is_some();
                         if resume.is_none() {
@@ -894,6 +965,9 @@ impl<'a> Sim<'a> {
         self.machines[m].queued_cycles = 0;
         for job in queued {
             self.remove_placement(m, job);
+            if let Some(sc) = self.scope.as_mut() {
+                sc.on_queue_interrupt(m, job, now);
+            }
             if self.jobs[job].placements.is_empty() {
                 requeue.push(job);
             } else {
@@ -905,6 +979,9 @@ impl<'a> Sim<'a> {
         for job in requeue {
             self.jobs[job].requeues += 1;
             self.metrics.add("cluster.crash.requeued", 1);
+            if let Some(sc) = self.scope.as_mut() {
+                sc.on_requeue(job, m, now);
+            }
             self.dispatch(job, now)?;
         }
         self.push(now + self.cfg.recovery_cycles, Ev::Recover { machine: m });
@@ -966,6 +1043,9 @@ impl<'a> Sim<'a> {
                 self.jobs[job].placements.push((dest, false));
                 let bytes = resume.bytes.len() as u64;
                 let transfer = self.transfer_cycles(bytes);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_migrate(m, dest, job, now, (bytes, transfer, reexec));
+                }
                 self.jobs[job].resume = Some(resume);
                 self.jobs[job].pending_migration = Some(self.migration_events.len());
                 self.migration_events.push(MigrationEvent {
@@ -986,17 +1066,52 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Back-fill any sampler ticks due before the event at `now` runs.
+    /// The machine state is read *before* the event mutates anything,
+    /// which is exactly the state at every missed tick (state only
+    /// changes when events are processed).
+    fn scope_sample(&mut self, now: u64) {
+        let Some(sc) = self.scope.as_mut() else {
+            return;
+        };
+        if !sc.sample_due(now) {
+            return;
+        }
+        let views: Vec<(u64, u64, u64)> = self
+            .machines
+            .iter()
+            .zip(&self.breakers)
+            .map(|(mach, b)| {
+                let state = match b.state {
+                    BreakerState::Closed => 0,
+                    BreakerState::HalfOpen => 1,
+                    BreakerState::Open { .. } => 2,
+                };
+                (
+                    mach.queue.len() as u64,
+                    mach.running.is_some() as u64,
+                    state,
+                )
+            })
+            .collect();
+        sc.sample_until(now, &views);
+    }
+
     fn run(&mut self, trace: &[Request]) -> Result<(), ClusterError> {
         if !trace.is_empty() {
             self.push(trace[0].arrival, Ev::Arrive(0));
         }
         while let Some(std::cmp::Reverse((now, _, ev))) = self.heap.pop() {
+            self.scope_sample(now);
             match ev {
                 Ev::Arrive(i) => {
                     if i + 1 < trace.len() {
                         self.push(trace[i + 1].arrival, Ev::Arrive(i + 1));
                     }
                     self.metrics.add("cluster.requests", 1);
+                    if let Some(sc) = self.scope.as_mut() {
+                        sc.on_arrival(i, trace[i].class, now);
+                    }
                     self.begin_wave(i, now);
                     self.dispatch(i, now)?;
                 }
@@ -1015,6 +1130,9 @@ impl<'a> Sim<'a> {
                 Ev::Recover { machine } => {
                     self.machines[machine].up = true;
                     self.metrics.add("cluster.recoveries", 1);
+                    if let Some(sc) = self.scope.as_mut() {
+                        sc.on_recover(machine, now);
+                    }
                     while let Some(job) = self.pending.pop_front() {
                         self.dispatch(job, now)?;
                     }
@@ -1028,14 +1146,26 @@ impl<'a> Sim<'a> {
                         .resil
                         .expect("timeouts are only scheduled with resil on");
                     self.metrics.add("resil.timeouts", 1);
+                    if let Some(sc) = self.scope.as_mut() {
+                        sc.on_wave_timeout(job, now);
+                    }
                     self.jobs[job].gen += 1;
                     let placements = std::mem::take(&mut self.jobs[job].placements);
                     for &(m, _) in &placements {
                         self.cancel_attempt(m, job, now)?;
                         if r.breakers {
+                            let was_half = self.breakers[m].state == BreakerState::HalfOpen;
                             if let Some(at) = self.breakers[m].on_timeout(&r, self.cfg.seed, m, now)
                             {
                                 self.metrics.add("resil.breaker.trips", 1);
+                                if was_half {
+                                    // The half-open trial was rejected:
+                                    // straight back to open.
+                                    self.metrics.add("resil.breaker.halfopen_rejections", 1);
+                                }
+                                if let Some(sc) = self.scope.as_mut() {
+                                    sc.on_breaker(m, "breaker.open", now);
+                                }
                                 self.push(at, Ev::Probe { machine: m });
                             }
                         }
@@ -1054,11 +1184,20 @@ impl<'a> Sim<'a> {
                     } else {
                         self.jobs[job].outcome = Outcome::TimedOut;
                         self.metrics.add("resil.deadline_failures", 1);
+                        if let Some(sc) = self.scope.as_mut() {
+                            sc.on_timed_out(job, now);
+                        }
                     }
                 }
                 Ev::Retry { job, gen } => {
                     if self.jobs[job].gen != gen {
                         continue;
+                    }
+                    if let Some(sc) = self.scope.as_mut() {
+                        // Every scheduled retry fires (nothing can bump
+                        // the gen of an undisputed wave in backoff), so
+                        // counting here reconciles with `resil.retries`.
+                        sc.on_retry_wave(job, now);
                     }
                     self.begin_wave(job, now);
                     self.dispatch(job, now)?;
@@ -1077,12 +1216,21 @@ impl<'a> Sim<'a> {
                     {
                         continue;
                     }
-                    let exclude = [j.placements[0].0];
+                    let primary = j.placements[0].0;
+                    if let Some(sc) = self.scope.as_mut() {
+                        sc.on_hedge_armed(job, primary, now);
+                    }
+                    let exclude = [primary];
                     self.dispatch_ex(job, now, &exclude, true)?;
                 }
                 Ev::Probe { machine } => {
-                    self.breakers[machine].on_probe(now);
                     self.metrics.add("resil.breaker.probes", 1);
+                    if self.breakers[machine].on_probe(now) {
+                        self.metrics.add("resil.breaker.halfopens", 1);
+                        if let Some(sc) = self.scope.as_mut() {
+                            sc.on_breaker(machine, "breaker.half_open", now);
+                        }
+                    }
                 }
             }
         }
@@ -1126,6 +1274,18 @@ fn run_policy(
             completes: 0,
         })
         .collect();
+    let scope = cfg.scope.then(|| {
+        Scope::new(
+            cfg.machines,
+            profile
+                .classes
+                .iter()
+                .map(|c| c.workload.name().to_string())
+                .collect(),
+            span,
+            trace.len(),
+        )
+    });
     let mut sim = Sim {
         cfg,
         profile,
@@ -1141,7 +1301,8 @@ fn run_policy(
         failures: Vec::new(),
         resil: cfg.resil,
         breakers: vec![Breaker::new(); cfg.machines],
-        class_lat: vec![Vec::new(); profile.classes.len()],
+        class_lat: vec![ExactPercentiles::new(); profile.classes.len()],
+        scope,
     };
     // Faults and migrations are scheduled as per-mille points of the
     // trace's arrival span, so configs stay meaningful across scales.
@@ -1181,6 +1342,15 @@ fn run_policy(
             sim.pending.len()
         ));
     }
+    let scope = sim.scope.take().map(|sc| {
+        sc.finish(
+            &sim.metrics,
+            trace.len() as u64,
+            name,
+            cfg.resil.map(|r| r.slo_cycles),
+            &mut sim.failures,
+        )
+    });
     failures.append(&mut sim.failures);
     let mut latencies: Vec<u64> = sim
         .jobs
@@ -1196,18 +1366,8 @@ fn run_policy(
         migration_events: sim.migration_events,
         requeues,
         latencies,
+        scope,
     })
-}
-
-/// Exact nearest-rank percentile (`q` in per-mille) of an ascending
-/// sample set; 0 when empty.
-fn nearest_rank(sorted: &[u64], q_permille: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let n = sorted.len() as u64;
-    let rank = (q_permille * n).div_ceil(1000).clamp(1, n);
-    sorted[(rank - 1) as usize]
 }
 
 /// Reject configurations the simulator would silently mishandle.
@@ -1404,6 +1564,10 @@ pub struct ChaosReport {
     pub header: String,
     pub rows: Vec<MatrixRow>,
     pub failures: Vec<String>,
+    /// hera-scope recording of the last (all-knobs-on) row when
+    /// `ClusterConfig::scope` is set; `None` otherwise. Not rendered —
+    /// the report text is byte-identical with scope on or off.
+    pub scope: Option<ScopeOutcome>,
 }
 
 impl ChaosReport {
@@ -1475,8 +1639,8 @@ fn run_row(
     trace: &[Request],
     span: u64,
     failures: &mut Vec<String>,
-) -> Result<MatrixRow, ClusterError> {
-    let outcome = run_policy(
+) -> Result<(MatrixRow, Option<ScopeOutcome>), ClusterError> {
+    let mut outcome = run_policy(
         cfg,
         profile,
         trace,
@@ -1486,7 +1650,7 @@ fn run_row(
     )?;
     let m = &outcome.metrics;
     let lat = &outcome.latencies;
-    Ok(MatrixRow {
+    let row = MatrixRow {
         name: name.to_string(),
         p50: nearest_rank(lat, 500),
         p95: nearest_rank(lat, 950),
@@ -1501,7 +1665,8 @@ fn run_row(
         hedge_wins: m.counter("resil.hedge.wins"),
         breaker_trips: m.counter("resil.breaker.trips"),
         slo_ok: cfg.resil.map(|_| m.counter("resil.slo_ok")),
-    })
+    };
+    Ok((row, outcome.scope.take()))
 }
 
 /// Run the resilience matrix: a fault-free baseline, then the config's
@@ -1559,14 +1724,16 @@ pub fn run_chaos_matrix(cfg: &ClusterConfig) -> Result<ChaosReport, ClusterError
 
     let mut rows = Vec::new();
     let mut failures = Vec::new();
-    rows.push(run_row(
+    let mut scope = None;
+    let (baseline, _) = run_row(
         "fault-free baseline",
         &base_cfg,
         &base_profile,
         &trace,
         span,
         &mut failures,
-    )?);
+    )?;
+    rows.push(baseline);
     for (breakers, hedging, shedding) in [
         (false, false, false),
         (true, false, false),
@@ -1602,19 +1769,21 @@ pub fn run_chaos_matrix(cfg: &ClusterConfig) -> Result<ChaosReport, ClusterError
         if !(breakers || hedging || shedding) {
             name.push_str(", resil off");
         }
-        rows.push(run_row(
-            &name,
-            &row_cfg,
-            &chaos_profile,
-            &trace,
-            span,
-            &mut failures,
-        )?);
+        let (row, row_scope) =
+            run_row(&name, &row_cfg, &chaos_profile, &trace, span, &mut failures)?;
+        rows.push(row);
+        if let Some(s) = row_scope {
+            // Last row wins: the all-knobs-on replay is the one whose
+            // trace exercises every causal edge (retries, hedges,
+            // requeues, breaker transitions).
+            scope = Some(s);
+        }
     }
     Ok(ChaosReport {
         header,
         rows,
         failures,
+        scope,
     })
 }
 

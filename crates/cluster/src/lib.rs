@@ -22,6 +22,7 @@ pub mod resil;
 pub mod traffic;
 
 mod fleet;
+mod scope;
 
 pub use fleet::{
     crash_storm, run_chaos_matrix, run_experiment, ChaosReport, ClusterReport, CrashEvent,
@@ -29,6 +30,7 @@ pub use fleet::{
 };
 pub use policy::{BalancePolicy, JoinShortestQueue, LeastLoaded, MachineView, RoundRobin};
 pub use resil::{Breaker, BreakerState, ResilConfig};
+pub use scope::ScopeOutcome;
 pub use traffic::{generate, ArrivalShape, Request};
 
 /// An experiment that could not run (bad config, or a VM error that is a
@@ -105,6 +107,11 @@ pub struct ClusterConfig {
     /// shedding); `None` — the default — disables the whole stack and
     /// adds zero virtual-cycle cost.
     pub resil: Option<resil::ResilConfig>,
+    /// hera-scope request tracing: span trees, causal flow arrows, and
+    /// fixed-virtual-interval fleet samplers ([`ScopeOutcome`]). Off by
+    /// default; observation only — it charges zero virtual cycles and
+    /// leaves every rendered report byte-identical.
+    pub scope: bool,
 }
 
 impl Default for ClusterConfig {
@@ -131,6 +138,7 @@ impl Default for ClusterConfig {
             slowdowns: vec![],
             queue_cap: 1024,
             resil: None,
+            scope: false,
         }
     }
 }

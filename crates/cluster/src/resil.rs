@@ -212,19 +212,28 @@ impl Breaker {
         Some(at)
     }
 
-    /// A request completed on this machine: close and reset.
-    pub fn on_success(&mut self) {
+    /// A request completed on this machine: close and reset. Returns
+    /// `true` when this was a state *transition* (the breaker was open
+    /// or half-open), so the caller can emit the close event exactly
+    /// once rather than on every completion.
+    pub fn on_success(&mut self) -> bool {
+        let transitioned = self.state != BreakerState::Closed;
         self.state = BreakerState::Closed;
         self.consecutive_timeouts = 0;
+        transitioned
     }
 
     /// The scheduled probe fired: open → half-open (trial traffic).
-    pub fn on_probe(&mut self, now: u64) {
+    /// Returns `true` when the transition actually happened (a stale
+    /// probe against a breaker that re-tripped later is a no-op).
+    pub fn on_probe(&mut self, now: u64) -> bool {
         if let BreakerState::Open { probe_at } = self.state {
             if now >= probe_at {
                 self.state = BreakerState::HalfOpen;
+                return true;
             }
         }
+        false
     }
 
     /// Whether placement should avoid this machine entirely.

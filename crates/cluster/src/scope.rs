@@ -1,0 +1,639 @@
+//! hera-scope: request-level distributed tracing and fleet telemetry.
+//!
+//! When [`crate::ClusterConfig::scope`] is on, the fleet simulator
+//! threads every request through a deterministic span tree: a root span
+//! per request on the front-end track, queue/dispatch/service children
+//! on machine tracks, and causal [`FlowArrow`]s connecting retries,
+//! hedge duplicates, crash requeues and live migrations across tracks.
+//! A fixed-virtual-interval sampler records per-machine queue depth,
+//! in-flight state, utilization and breaker state plus cumulative
+//! shed/goodput into [`MetricsRegistry`] time series.
+//!
+//! Three properties the integration tests pin down:
+//!
+//! * **Zero virtual-cycle cost.** The scope only observes: it never
+//!   touches the event heap, the `seq` counter, or any virtual
+//!   timestamp, so every report rendered with scope off is byte-for-byte
+//!   identical to the same config with scope on.
+//! * **Deterministic span ids.** Ids are allocated in event-processing
+//!   order, which the event loop already makes a pure function of the
+//!   config — same seed, same trace, same ids.
+//! * **Exact ledger reconciliation.** [`Scope::finish`] cross-checks the
+//!   span ledger against the simulator's own counters: every admitted
+//!   request ends in exactly one terminal span, and retry/hedge/requeue/
+//!   migration counts match the resil bookkeeping exactly. Any mismatch
+//!   is a reported failure, not a warning.
+
+use hera_trace::{
+    fleet_trace_json, ExactPercentiles, FleetSpan, FlowArrow, FlowKind, MetricsRegistry,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Track index of the front-end; machine `m` is track `m + 1`.
+pub const FRONTEND_TRACK: u32 = 0;
+
+fn machine_track(m: usize) -> u32 {
+    m as u32 + 1
+}
+
+/// Samples the fixed-cadence sampler aims for over the trace span.
+const TARGET_SAMPLES: u64 = 64;
+/// Hard cap on sampler ticks: completions run past the last arrival, and
+/// a degenerate span must not turn the lazy sampler into a busy loop.
+const MAX_TICKS: u64 = 256;
+
+struct JobScope {
+    root: u64,
+    arrival: u64,
+    class: usize,
+    /// Terminal kind, set exactly once ("completed" | "shed" | "timedout").
+    terminal: Option<&'static str>,
+    /// Causal arrow armed by a retry/hedge/requeue/migration, consumed by
+    /// the next enqueue of this job (dropped if the attempt never lands).
+    pending_flow: Option<(FlowKind, u32, u64)>,
+}
+
+struct OpenService {
+    job: usize,
+    /// Fleet time the machine was occupied (dispatch begins).
+    started: u64,
+    /// Fleet time VM cycles start advancing (post dispatch + transfer).
+    exec_start: u64,
+    hedge: bool,
+    transfer: u64,
+}
+
+#[derive(Default)]
+struct MachScope {
+    /// Enqueue time per queued job (keys the queue-wait span).
+    queue_since: BTreeMap<usize, u64>,
+    open: Option<OpenService>,
+    /// Busy-interval start, advanced to the last sampler tick so each
+    /// window's utilization counts its own cycles exactly once.
+    busy_from: Option<u64>,
+    busy_accum: u64,
+}
+
+/// The recorder the simulator drives; [`Scope::finish`] turns it into a
+/// [`ScopeOutcome`].
+pub(crate) struct Scope {
+    class_names: Vec<String>,
+    next_id: u64,
+    spans: Vec<FleetSpan>,
+    flows: Vec<FlowArrow>,
+    jobs: Vec<JobScope>,
+    mach: Vec<MachScope>,
+    /// Exact end-to-end latencies per class (completed requests only).
+    class_lat: Vec<ExactPercentiles>,
+    metrics: MetricsRegistry,
+    sample_every: u64,
+    next_sample: u64,
+    ticks: u64,
+    // Span-ledger counters, reconciled against the simulator's metrics.
+    completed: u64,
+    shed: u64,
+    timedout: u64,
+    retry_waves: u64,
+    hedges: u64,
+    requeues: u64,
+    migrations: u64,
+}
+
+impl Scope {
+    pub fn new(machines: usize, class_names: Vec<String>, span: u64, njobs: usize) -> Scope {
+        let sample_every = (span / TARGET_SAMPLES).max(1);
+        let classes = class_names.len();
+        Scope {
+            class_names,
+            next_id: 0,
+            spans: Vec::new(),
+            flows: Vec::new(),
+            jobs: Vec::with_capacity(njobs),
+            mach: (0..machines).map(|_| MachScope::default()).collect(),
+            class_lat: vec![ExactPercentiles::new(); classes],
+            metrics: MetricsRegistry::default(),
+            sample_every,
+            next_sample: sample_every,
+            ticks: 0,
+            completed: 0,
+            shed: 0,
+            timedout: 0,
+            retry_waves: 0,
+            hedges: 0,
+            requeues: 0,
+            migrations: 0,
+        }
+    }
+
+    fn alloc(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn marker(&mut self, track: u32, name: String, cat: &'static str, now: u64, parent: u64) {
+        let id = self.alloc();
+        self.spans.push(FleetSpan {
+            track,
+            name,
+            cat,
+            begin: now,
+            dur: 0,
+            id,
+            parent,
+            args: Vec::new(),
+        });
+    }
+
+    fn terminal(&mut self, job: usize, kind: &'static str, now: u64) {
+        let (root, arrival, class) = {
+            let j = &self.jobs[job];
+            debug_assert!(j.terminal.is_none(), "job {job} terminated twice");
+            (j.root, j.arrival, j.class as u64)
+        };
+        self.jobs[job].terminal = Some(kind);
+        let id = self.alloc();
+        self.spans.push(FleetSpan {
+            track: FRONTEND_TRACK,
+            name: format!("req{job}"),
+            cat: "request",
+            begin: arrival,
+            dur: now.saturating_sub(arrival),
+            id: root,
+            parent: 0,
+            args: vec![("class", class)],
+        });
+        self.spans.push(FleetSpan {
+            track: FRONTEND_TRACK,
+            name: format!("{kind} req{job}"),
+            cat: "terminal",
+            begin: now,
+            dur: 0,
+            id,
+            parent: root,
+            args: Vec::new(),
+        });
+    }
+
+    // ------------------------------------------------------------ hooks
+
+    pub fn on_arrival(&mut self, job: usize, class: usize, now: u64) {
+        debug_assert_eq!(job, self.jobs.len(), "arrivals out of order");
+        let root = self.alloc();
+        self.jobs.push(JobScope {
+            root,
+            arrival: now,
+            class,
+            terminal: None,
+            pending_flow: None,
+        });
+    }
+
+    pub fn on_shed(&mut self, job: usize, now: u64) {
+        self.jobs[job].pending_flow = None;
+        self.shed += 1;
+        self.terminal(job, "shed", now);
+    }
+
+    /// Arm the causal arrow the next enqueue of `job` will consume.
+    pub fn flow_from(&mut self, job: usize, kind: FlowKind, from_track: u32, from_ts: u64) {
+        self.jobs[job].pending_flow = Some((kind, from_track, from_ts));
+    }
+
+    /// Drop an armed arrow whose attempt never landed (skipped hedge).
+    pub fn clear_flow(&mut self, job: usize) {
+        self.jobs[job].pending_flow = None;
+    }
+
+    pub fn on_retry_wave(&mut self, job: usize, now: u64) {
+        self.retry_waves += 1;
+        self.flow_from(job, FlowKind::Retry, FRONTEND_TRACK, now);
+    }
+
+    pub fn on_requeue(&mut self, job: usize, from_machine: usize, now: u64) {
+        self.requeues += 1;
+        self.flow_from(job, FlowKind::Requeue, machine_track(from_machine), now);
+    }
+
+    /// A hedge is about to dispatch: arm the arrow from the primary
+    /// attempt's machine (dropped again if the hedge finds no machine).
+    pub fn on_hedge_armed(&mut self, job: usize, primary: usize, now: u64) {
+        self.flow_from(job, FlowKind::Hedge, machine_track(primary), now);
+    }
+
+    pub fn on_enqueue(&mut self, m: usize, job: usize, now: u64, hedge: bool) {
+        if hedge {
+            self.hedges += 1;
+        }
+        if let Some((kind, from_track, from_ts)) = self.jobs[job].pending_flow.take() {
+            let id = self.alloc();
+            self.flows.push(FlowArrow {
+                kind,
+                id,
+                from_track,
+                from_ts,
+                to_track: machine_track(m),
+                to_ts: now,
+            });
+        }
+        self.mach[m].queue_since.insert(job, now);
+    }
+
+    pub fn on_start(
+        &mut self,
+        m: usize,
+        job: usize,
+        now: u64,
+        exec_start: u64,
+        hedge: bool,
+        transfer: u64,
+    ) {
+        let enq = self.mach[m].queue_since.remove(&job).unwrap_or(now);
+        let root = self.jobs[job].root;
+        let id = self.alloc();
+        self.spans.push(FleetSpan {
+            track: machine_track(m),
+            name: format!("queue req{job}"),
+            cat: "queue",
+            begin: enq,
+            dur: now.saturating_sub(enq),
+            id,
+            parent: root,
+            args: vec![("machine", m as u64)],
+        });
+        self.mach[m].open = Some(OpenService {
+            job,
+            started: now,
+            exec_start,
+            hedge,
+            transfer,
+        });
+        self.mach[m].busy_from = Some(now);
+    }
+
+    /// Close the open attempt on `m`, emitting its dispatch span and —
+    /// when execution had begun — its service span named `outcome`
+    /// ("service", "service.cancelled", "service.interrupted",
+    /// "service.migrated"). Returns the job that was closed.
+    fn close_service(&mut self, m: usize, now: u64, outcome: &'static str) -> Option<usize> {
+        let open = self.mach[m].open.take()?;
+        if let Some(b) = self.mach[m].busy_from.take() {
+            self.mach[m].busy_accum += now.saturating_sub(b);
+        }
+        let root = self.jobs[open.job].root;
+        let track = machine_track(m);
+        let id = self.alloc();
+        self.spans.push(FleetSpan {
+            track,
+            name: format!("dispatch req{}", open.job),
+            cat: "dispatch",
+            begin: open.started,
+            dur: open.exec_start.min(now).saturating_sub(open.started),
+            id,
+            parent: root,
+            args: vec![("transfer", open.transfer)],
+        });
+        if now > open.exec_start {
+            let id = self.alloc();
+            self.spans.push(FleetSpan {
+                track,
+                name: format!("{} req{}", outcome, open.job),
+                cat: "service",
+                begin: open.exec_start,
+                dur: now - open.exec_start,
+                id,
+                parent: root,
+                args: vec![("machine", m as u64), ("hedge", open.hedge as u64)],
+            });
+        }
+        Some(open.job)
+    }
+
+    pub fn on_complete(&mut self, job: usize, m: usize, now: u64) {
+        let closed = self.close_service(m, now, "service");
+        debug_assert_eq!(closed, Some(job), "completion closed a foreign attempt");
+        let (arrival, class) = (self.jobs[job].arrival, self.jobs[job].class);
+        self.class_lat[class].record(now.saturating_sub(arrival));
+        self.completed += 1;
+        self.terminal(job, "completed", now);
+    }
+
+    /// A deadline cancel reached machine `m`: close whichever form the
+    /// attempt is in (running or queued).
+    pub fn on_cancel(&mut self, m: usize, job: usize, now: u64) {
+        if self.mach[m].open.as_ref().is_some_and(|o| o.job == job) {
+            self.close_service(m, now, "service.cancelled");
+        } else if let Some(enq) = self.mach[m].queue_since.remove(&job) {
+            let root = self.jobs[job].root;
+            let id = self.alloc();
+            self.spans.push(FleetSpan {
+                track: machine_track(m),
+                name: format!("queue.cancelled req{job}"),
+                cat: "queue",
+                begin: enq,
+                dur: now.saturating_sub(enq),
+                id,
+                parent: root,
+                args: vec![("machine", m as u64)],
+            });
+        }
+    }
+
+    /// A crash (or migration detach) interrupted the running attempt.
+    pub fn on_interrupt(&mut self, m: usize, now: u64) {
+        self.close_service(m, now, "service.interrupted");
+    }
+
+    /// A crash drained `job` out of machine `m`'s queue.
+    pub fn on_queue_interrupt(&mut self, m: usize, job: usize, now: u64) {
+        if let Some(enq) = self.mach[m].queue_since.remove(&job) {
+            let root = self.jobs[job].root;
+            let id = self.alloc();
+            self.spans.push(FleetSpan {
+                track: machine_track(m),
+                name: format!("queue.interrupted req{job}"),
+                cat: "queue",
+                begin: enq,
+                dur: now.saturating_sub(enq),
+                id,
+                parent: root,
+                args: vec![("machine", m as u64)],
+            });
+        }
+    }
+
+    pub fn on_crash(&mut self, m: usize, now: u64) {
+        self.marker(machine_track(m), String::from("crash"), "fault", now, 0);
+    }
+
+    pub fn on_recover(&mut self, m: usize, now: u64) {
+        self.marker(machine_track(m), String::from("recover"), "fault", now, 0);
+    }
+
+    /// A live migration detached `job` from `m`: close the source
+    /// attempt, record the snapshot-transfer cost (`bytes` moved,
+    /// `transfer` cycles in flight, `reexec` cycles replayed on the
+    /// destination), and arm the arrow the destination enqueue will
+    /// consume.
+    pub fn on_migrate(
+        &mut self,
+        m: usize,
+        dest: usize,
+        job: usize,
+        now: u64,
+        (bytes, transfer, reexec): (u64, u64, u64),
+    ) {
+        self.close_service(m, now, "service.migrated");
+        let root = self.jobs[job].root;
+        let id = self.alloc();
+        self.spans.push(FleetSpan {
+            track: machine_track(m),
+            name: format!("migrate req{job}"),
+            cat: "migration",
+            begin: now,
+            dur: 0,
+            id,
+            parent: root,
+            args: vec![
+                ("dest", dest as u64),
+                ("bytes", bytes),
+                ("transfer", transfer),
+                ("reexec", reexec),
+            ],
+        });
+        self.migrations += 1;
+        self.flow_from(job, FlowKind::Migrate, machine_track(m), now);
+    }
+
+    /// An attempt wave hit its deadline (the wave's cancels follow via
+    /// [`Scope::on_cancel`]).
+    pub fn on_wave_timeout(&mut self, job: usize, now: u64) {
+        let root = self.jobs[job].root;
+        self.marker(
+            FRONTEND_TRACK,
+            format!("wave.timeout req{job}"),
+            "resil",
+            now,
+            root,
+        );
+    }
+
+    /// The last retry wave timed out: the request is dead.
+    pub fn on_timed_out(&mut self, job: usize, now: u64) {
+        self.timedout += 1;
+        self.terminal(job, "timedout", now);
+    }
+
+    /// Breaker state transition on machine `m`; `which` is one of
+    /// "breaker.open", "breaker.half_open", "breaker.closed".
+    pub fn on_breaker(&mut self, m: usize, which: &'static str, now: u64) {
+        self.marker(machine_track(m), String::from(which), "breaker", now, 0);
+    }
+
+    // ---------------------------------------------------------- sampler
+
+    pub fn sample_due(&self, now: u64) -> bool {
+        self.ticks < MAX_TICKS && self.next_sample <= now
+    }
+
+    /// Lazy fixed-cadence sampler: called with the pre-event machine
+    /// state whenever a tick is due, it back-fills every tick up to
+    /// `now`. Between events nothing changes, so the state observed at
+    /// `now` *is* the state at each missed tick — the series is exact
+    /// without ever touching the event heap.
+    ///
+    /// `views` is `(queue_len, in_flight, breaker_state)` per machine,
+    /// breaker state coded 0 = closed, 1 = half-open, 2 = open.
+    pub fn sample_until(&mut self, now: u64, views: &[(u64, u64, u64)]) {
+        while self.ticks < MAX_TICKS && self.next_sample <= now {
+            let t = self.next_sample;
+            for (m, &(qlen, inflight, breaker)) in views.iter().enumerate() {
+                self.metrics.sample(&format!("scope.queue.m{m}"), t, qlen);
+                self.metrics
+                    .sample(&format!("scope.inflight.m{m}"), t, inflight);
+                self.metrics
+                    .sample(&format!("scope.breaker.m{m}"), t, breaker);
+                let ms = &mut self.mach[m];
+                if let Some(b) = ms.busy_from {
+                    ms.busy_accum += t.saturating_sub(b);
+                    ms.busy_from = Some(t);
+                }
+                let util = (ms.busy_accum * 1000 / self.sample_every).min(1000);
+                ms.busy_accum = 0;
+                self.metrics.sample(&format!("scope.util.m{m}"), t, util);
+            }
+            self.metrics.sample("scope.shed", t, self.shed);
+            self.metrics.sample("scope.goodput", t, self.completed);
+            self.next_sample = t + self.sample_every;
+            self.ticks += 1;
+        }
+    }
+
+    // ------------------------------------------------- ledger + outcome
+
+    /// Reconcile the span ledger against the simulator's counters and
+    /// seal the recording. Every mismatch becomes a reported failure.
+    pub fn finish(
+        mut self,
+        sim: &MetricsRegistry,
+        njobs: u64,
+        policy: &'static str,
+        slo_cycles: Option<u64>,
+        failures: &mut Vec<String>,
+    ) -> ScopeOutcome {
+        let mut check = |what: &str, ledger: u64, counter: u64| {
+            if ledger != counter {
+                failures.push(format!(
+                    "policy {policy} scope ledger: {what} spans {ledger} != simulator count {counter}"
+                ));
+            }
+        };
+        check(
+            "completed terminal",
+            self.completed,
+            sim.counter("cluster.completed"),
+        );
+        check("shed terminal", self.shed, sim.counter("cluster.shed"));
+        check(
+            "timedout terminal",
+            self.timedout,
+            sim.counter("resil.deadline_failures"),
+        );
+        check("retry-wave", self.retry_waves, sim.counter("resil.retries"));
+        check("hedge attempt", self.hedges, sim.counter("resil.hedges"));
+        check(
+            "crash-requeue",
+            self.requeues,
+            sim.counter("cluster.crash.requeued"),
+        );
+        check(
+            "migration",
+            self.migrations,
+            sim.counter("cluster.migrations"),
+        );
+        let terminals = self.completed + self.shed + self.timedout;
+        if terminals != njobs {
+            failures.push(format!(
+                "policy {policy} scope ledger: {terminals} terminal spans for {njobs} requests \
+                 (every admitted request must end in exactly one terminal span)"
+            ));
+        }
+        let unterminated = self.jobs.iter().filter(|j| j.terminal.is_none()).count();
+        if unterminated > 0 {
+            failures.push(format!(
+                "policy {policy} scope ledger: {unterminated} requests have no terminal span"
+            ));
+        }
+
+        self.metrics.set("scope.spans", self.spans.len() as u64);
+        self.metrics.set("scope.flows", self.flows.len() as u64);
+        self.metrics.set("scope.terminal.completed", self.completed);
+        self.metrics.set("scope.terminal.shed", self.shed);
+        self.metrics.set("scope.terminal.timedout", self.timedout);
+        self.metrics.set("scope.flow.retries", self.retry_waves);
+        self.metrics.set("scope.flow.hedges", self.hedges);
+        self.metrics.set("scope.flow.requeues", self.requeues);
+        self.metrics.set("scope.flow.migrations", self.migrations);
+
+        let mut tracks = vec![String::from("front-end")];
+        for m in 0..self.mach.len() {
+            tracks.push(format!("machine {m}"));
+        }
+        let class_latencies = self
+            .class_names
+            .iter()
+            .cloned()
+            .zip(self.class_lat)
+            .collect();
+        ScopeOutcome {
+            policy,
+            tracks,
+            spans: self.spans,
+            flows: self.flows,
+            metrics: self.metrics,
+            class_latencies,
+            slo_cycles,
+        }
+    }
+}
+
+/// Everything hera-scope recorded during one policy replay. A pure
+/// function of the [`crate::ClusterConfig`]: same seed, byte-identical
+/// Chrome export and SLO report.
+pub struct ScopeOutcome {
+    /// Policy whose replay was traced.
+    pub policy: &'static str,
+    /// Track names: front-end first, then one per machine.
+    pub tracks: Vec<String>,
+    /// Every span, in allocation (= event-processing) order.
+    pub spans: Vec<FleetSpan>,
+    /// Every causal arrow, in allocation order.
+    pub flows: Vec<FlowArrow>,
+    /// Sampler time series plus `scope.*` ledger counters. Kept separate
+    /// from [`crate::PolicyOutcome::metrics`] so reports rendered with
+    /// scope on stay byte-identical to scope off.
+    pub metrics: MetricsRegistry,
+    /// Exact end-to-end latencies per workload class (completed only).
+    pub class_latencies: Vec<(String, ExactPercentiles)>,
+    /// The SLO armed for the run, if resilience was on.
+    pub slo_cycles: Option<u64>,
+}
+
+impl ScopeOutcome {
+    /// One unified Chrome trace: a track per machine, spans as duration
+    /// events, flow arrows for cross-track causality.
+    pub fn chrome_json(&self) -> String {
+        fleet_trace_json(&self.tracks, &self.spans, &self.flows)
+    }
+
+    /// Exact per-class latency percentiles (nearest-rank over every
+    /// completed request — not the log2 histogram upper bounds), with
+    /// SLO attainment when an SLO was armed.
+    pub fn slo_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== hera-scope SLO report: policy {} ==", self.policy);
+        match self.slo_cycles {
+            Some(slo) => {
+                let _ = writeln!(out, "slo {slo} cycles (exact nearest-rank percentiles)");
+            }
+            None => {
+                let _ = writeln!(out, "no slo armed (exact nearest-rank percentiles)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "class", "n", "p50", "p95", "p99", "p999", "max", "slo"
+        );
+        let mut total = ExactPercentiles::new();
+        for (name, lat) in &self.class_latencies {
+            for &v in lat.as_slice() {
+                total.record(v);
+            }
+            let _ = writeln!(out, "{}", Self::slo_row(name, lat, self.slo_cycles));
+        }
+        let _ = writeln!(out, "{}", Self::slo_row("all", &total, self.slo_cycles));
+        out
+    }
+
+    fn slo_row(name: &str, lat: &ExactPercentiles, slo: Option<u64>) -> String {
+        let attained = match slo {
+            Some(slo) if !lat.is_empty() => {
+                let p = lat.count_at_most(slo) * 1000 / lat.len() as u64;
+                format!("{}.{}%", p / 10, p % 10)
+            }
+            _ => String::from("-"),
+        };
+        format!(
+            "{:<12} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            name,
+            lat.len(),
+            lat.p50(),
+            lat.p95(),
+            lat.p99(),
+            lat.p999(),
+            lat.max(),
+            attained
+        )
+    }
+}

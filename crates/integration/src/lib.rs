@@ -4,6 +4,8 @@
 //! tests spanning the whole stack (frontend → ISA → JIT → runtime →
 //! machine model). The library itself only hosts small shared helpers.
 
+pub mod minijson;
+
 use hera_core::{HeraJvm, RunOutcome, VmConfig};
 use hera_isa::Program;
 

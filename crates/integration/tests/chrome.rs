@@ -1,210 +1,29 @@
 //! Chrome-trace exporter coverage: JSON escaping of hostile method
 //! names, empty-trace validity, and a serde-free round-trip parse of a
-//! real exported trace. The validator below is a minimal
-//! recursive-descent JSON parser written for these tests — the
-//! workspace deliberately has zero external dependencies, so nothing
-//! else checks that the hand-rolled writer emits well-formed JSON.
+//! real exported trace. The parser lives in
+//! [`hera_integration::minijson`] — the workspace deliberately has zero
+//! external dependencies, so these tests are the only thing checking
+//! that the hand-rolled writer emits well-formed JSON.
 
+use hera_integration::minijson::{parse, Value};
 use hera_trace::{chrome_trace_json, chrome_trace_json_with, TraceEvent, TraceSink};
 
-// ------------------------------------------------------- mini JSON parser
-
-struct Json<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-/// What the validator counts while walking a document.
-#[derive(Default, Debug)]
-struct JsonStats {
-    objects: usize,
-    strings: usize,
-}
-
-impl<'a> Json<'a> {
-    fn new(s: &'a str) -> Json<'a> {
-        Json {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn value(&mut self, stats: &mut JsonStats) -> Result<(), String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(stats),
-            Some(b'[') => self.array(stats),
-            Some(b'"') => self.string(stats).map(|_| ()),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self, stats: &mut JsonStats) -> Result<(), String> {
-        self.expect(b'{')?;
-        stats.objects += 1;
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.skip_ws();
-            self.string(stats)?;
-            self.expect(b':')?;
-            self.value(stats)?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("bad object separator {other:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self, stats: &mut JsonStats) -> Result<(), String> {
-        self.expect(b'[')?;
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.value(stats)?;
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("bad array separator {other:?}")),
-            }
-        }
-    }
-
-    /// Parse a string literal, returning its *decoded* value.
-    fn string(&mut self, stats: &mut JsonStats) -> Result<String, String> {
-        self.expect(b'"')?;
-        stats.strings += 1;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through unescaped; consume
-                    // whole characters, not bytes.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
-                    let c = rest.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
-                        return Err(format!("unescaped control char {:?}", c));
-                    }
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
-        ) {
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        s.parse::<f64>().map(|_| ()).map_err(|e| e.to_string())
-    }
-
-    fn literal(&mut self, word: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
+/// Objects anywhere in the subtree (the old validator's record count).
+fn count_objects(v: &Value) -> usize {
+    match v {
+        Value::Obj(fields) => 1 + fields.iter().map(|(_, v)| count_objects(v)).sum::<usize>(),
+        Value::Arr(items) => items.iter().map(count_objects).sum(),
+        _ => 0,
     }
 }
 
-/// Parse a complete document, failing on trailing garbage.
-fn parse(s: &str) -> Result<JsonStats, String> {
-    let mut p = Json::new(s);
-    let mut stats = JsonStats::default();
-    p.value(&mut stats)?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(stats)
+/// The `traceEvents` records of a parsed export.
+fn records(doc: &Value) -> &[Value] {
+    doc.get("traceEvents")
+        .expect("export has a traceEvents field")
+        .as_arr()
+        .expect("traceEvents is an array")
 }
-
-// ------------------------------------------------------------------ tests
 
 #[test]
 fn mini_parser_rejects_malformed_documents() {
@@ -220,15 +39,22 @@ fn mini_parser_rejects_malformed_documents() {
 fn empty_trace_exports_a_valid_document() {
     let sink = TraceSink::disabled();
     let json = chrome_trace_json(&sink);
-    let stats = parse(&json).expect("empty export must be valid JSON");
-    assert_eq!(stats.objects, 1, "just the top-level shell");
+    let doc = parse(&json).expect("empty export must be valid JSON");
+    assert_eq!(count_objects(&doc), 1, "just the top-level shell");
+    assert!(records(&doc).is_empty());
 
     // Lanes with no events still get their metadata records.
     let named = TraceSink::with_lanes(["ppe", "spe0"]);
     let json = chrome_trace_json(&named);
-    let stats = parse(&json).expect("lane-only export must be valid JSON");
-    assert!(json.contains("\"thread_name\""));
-    assert!(stats.objects > 2, "metadata records present");
+    let doc = parse(&json).expect("lane-only export must be valid JSON");
+    let meta: Vec<_> = records(&doc)
+        .iter()
+        .filter(|r| r.get("ph").and_then(Value::as_str) == Some("M"))
+        .collect();
+    assert_eq!(meta.len(), 2, "one thread_name record per lane");
+    assert!(meta
+        .iter()
+        .all(|r| r.get("name").and_then(Value::as_str) == Some("thread_name")));
 }
 
 #[test]
@@ -246,37 +72,15 @@ fn hostile_method_names_are_escaped_and_round_trip() {
         "unicode-méthode-λ·メソッド",
     ];
     let json = chrome_trace_json_with(&sink, &|m| names[m as usize].to_string());
-    parse(&json).expect("hostile names must still produce valid JSON");
+    let doc = parse(&json).expect("hostile names must still produce valid JSON");
     // The decoded strings survive the writer's escaping intact.
-    let mut p = Json::new(&json);
-    let mut found_evil = false;
-    let mut found_slash = false;
-    let mut found_unicode = false;
-    // Re-walk the document collecting every string value.
-    fn collect(p: &mut Json<'_>, out: &mut Vec<String>) {
-        // Cheap scan: repeatedly parse strings wherever quotes appear.
-        while let Some(b) = p.peek() {
-            if b == b'"' {
-                let mut stats = JsonStats::default();
-                match p.string(&mut stats) {
-                    Ok(s) => out.push(s),
-                    Err(_) => p.pos += 1,
-                }
-            } else {
-                p.pos += 1;
-            }
-        }
+    let strings = doc.strings();
+    for want in &names {
+        assert!(
+            strings.iter().any(|s| s == want),
+            "name {want:?} did not round-trip: {strings:?}"
+        );
     }
-    let mut strings = Vec::new();
-    collect(&mut p, &mut strings);
-    for s in &strings {
-        found_evil |= s == names[0];
-        found_slash |= s == names[1];
-        found_unicode |= s == names[2];
-    }
-    assert!(found_evil, "quoted name did not round-trip: {strings:?}");
-    assert!(found_slash, "backslash name did not round-trip");
-    assert!(found_unicode, "non-ASCII name did not round-trip");
     assert!(
         json.contains("\\\"") && json.contains("\\\\") && json.contains("\\n"),
         "expected escape sequences in the raw output"
@@ -294,17 +98,20 @@ fn real_workload_trace_round_trips() {
             .cloned()
             .unwrap_or_else(|| format!("m{m}"))
     });
-    let stats = parse(&json).expect("workload export must be valid JSON");
+    let doc = parse(&json).expect("workload export must be valid JSON");
     // Shell + one metadata record per lane + at least one record per event
     // is a loose lower bound (B/E pairs mean some events emit two).
     assert!(
-        stats.objects > out.trace.lanes().len(),
-        "suspiciously few records: {stats:?}"
+        records(&doc).len() > out.trace.lanes().len(),
+        "suspiciously few records: {}",
+        records(&doc).len()
     );
     // Balanced duration events.
-    assert_eq!(
-        json.matches("\"ph\":\"B\"").count(),
-        json.matches("\"ph\":\"E\"").count(),
-        "unbalanced B/E stream"
-    );
+    let count_ph = |ph: &str| {
+        records(&doc)
+            .iter()
+            .filter(|r| r.get("ph").and_then(Value::as_str) == Some(ph))
+            .count()
+    };
+    assert_eq!(count_ph("B"), count_ph("E"), "unbalanced B/E stream");
 }

@@ -12,6 +12,7 @@
 
 use crate::event::{TraceEvent, TraceKindArgs};
 use crate::sink::TraceSink;
+use crate::span::{FleetSpan, FlowArrow};
 use std::fmt::Write as _;
 
 /// Export `sink` with methods named `m<id>`.
@@ -154,6 +155,89 @@ pub fn chrome_trace_json_with(sink: &TraceSink, method_name: &dyn Fn(u32) -> Str
     out
 }
 
+/// Export a fleet trace: one named track per entry of `tracks`, spans as
+/// `X` complete events, and causal arrows as `s`/`f` flow-event pairs
+/// (the `f` carries `bp:"e"` so the arrow binds to the enclosing slice).
+///
+/// Events are emitted grouped by track, each track in non-decreasing
+/// timestamp order with ties broken by input order — so the export is a
+/// pure function of its arguments and per-track timestamps are monotone,
+/// which the integration tests assert. Timestamps are fleet-virtual
+/// cycles written as microseconds, same convention as the VM exporter.
+pub fn fleet_trace_json(tracks: &[String], spans: &[FleetSpan], flows: &[FlowArrow]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(ev);
+    };
+
+    for (tid, name) in tracks.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                tid,
+                json_string(name)
+            ),
+        );
+    }
+
+    // Bucket every event onto its track, then sort each track by
+    // (timestamp, arrival order). `seq` makes the sort total.
+    let mut lanes: Vec<Vec<(u64, u64, String)>> = vec![Vec::new(); tracks.len()];
+    let mut seq = 0u64;
+    for s in spans {
+        let mut args = format!("\"span\":{},\"parent\":{}", s.id, s.parent);
+        for (k, v) in &s.args {
+            let _ = write!(args, ",\"{k}\":{v}");
+        }
+        let body = format!(
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            json_string(&s.name),
+            s.cat,
+            s.track,
+            s.begin,
+            s.dur
+        );
+        lanes[s.track as usize].push((s.begin, seq, body));
+        seq += 1;
+    }
+    for f in flows {
+        let begin = format!(
+            "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            f.kind.name(),
+            f.id,
+            f.from_track,
+            f.from_ts
+        );
+        lanes[f.from_track as usize].push((f.from_ts, seq, begin));
+        seq += 1;
+        let end = format!(
+            "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            f.kind.name(),
+            f.id,
+            f.to_track,
+            f.to_ts
+        );
+        lanes[f.to_track as usize].push((f.to_ts, seq, end));
+        seq += 1;
+    }
+    for lane in &mut lanes {
+        lane.sort_by_key(|&(ts, seq, _)| (ts, seq));
+        for (_, _, body) in lane.iter() {
+            push(&mut out, &mut first, body);
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
 /// Escape `s` as a JSON string literal (including the quotes).
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -205,6 +289,64 @@ mod tests {
         let e = j.matches("\"ph\":\"E\"").count();
         assert_eq!(b, e, "B/E must balance: {j}");
         assert!(j.contains("\"ph\":\"i\""), "orphan return becomes instant");
+    }
+
+    #[test]
+    fn fleet_export_orders_each_track_by_timestamp() {
+        use crate::span::FlowKind;
+        let tracks = vec![String::from("front-end"), String::from("m0")];
+        // Spans deliberately out of time order on track 1.
+        let spans = vec![
+            FleetSpan {
+                track: 1,
+                name: String::from("service req0"),
+                cat: "service",
+                begin: 500,
+                dur: 100,
+                id: 2,
+                parent: 1,
+                args: vec![("machine", 0)],
+            },
+            FleetSpan {
+                track: 1,
+                name: String::from("queue req0"),
+                cat: "queue",
+                begin: 300,
+                dur: 200,
+                id: 3,
+                parent: 1,
+                args: vec![],
+            },
+            FleetSpan {
+                track: 0,
+                name: String::from("req0"),
+                cat: "request",
+                begin: 100,
+                dur: 500,
+                id: 1,
+                parent: 0,
+                args: vec![("class", 2)],
+            },
+        ];
+        let flows = vec![FlowArrow {
+            kind: FlowKind::Hedge,
+            id: 7,
+            from_track: 0,
+            from_ts: 400,
+            to_track: 1,
+            to_ts: 450,
+        }];
+        let j = fleet_trace_json(&tracks, &spans, &flows);
+        assert_eq!(j.matches("\"ph\":\"M\"").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 3);
+        assert_eq!(j.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(j.matches("\"ph\":\"f\"").count(), 1);
+        assert!(j.contains("\"bp\":\"e\""), "flow end must bind enclosing");
+        let queue = j.find("queue req0").unwrap();
+        let service = j.find("service req0").unwrap();
+        assert!(queue < service, "track 1 must be sorted by ts: {j}");
+        assert!(j.contains("\"span\":2,\"parent\":1,\"machine\":0"));
+        assert_eq!(fleet_trace_json(&tracks, &spans, &flows), j);
     }
 
     #[test]

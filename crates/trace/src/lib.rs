@@ -25,13 +25,15 @@ pub mod cost;
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod summary;
 
-pub use chrome::{chrome_trace_json, chrome_trace_json_with};
+pub use chrome::{chrome_trace_json, chrome_trace_json_with, fleet_trace_json};
 pub use cost::{CostClass, CostVec};
 pub use event::{
     BarrierKind, DmaTag, GcPhase, InjectedFault, MigrationKind, TraceEvent, TraceKindArgs,
 };
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{nearest_rank, ExactPercentiles, Histogram, MetricsRegistry, TimeSeries};
 pub use sink::{Lane, TimedEvent, TraceSink};
+pub use span::{FleetSpan, FlowArrow, FlowKind};
 pub use summary::text_summary;

@@ -127,11 +127,125 @@ impl Histogram {
     }
 }
 
-/// Deterministic registry of named counters and histograms.
+/// Exact nearest-rank percentile of an ascending sample slice; `q` is in
+/// per-mille (950 = p95). Returns 0 for an empty slice.
+pub fn nearest_rank(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (q_permille * n).div_ceil(1000).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Exact percentiles over a retained sample set.
+///
+/// The log2-bucketed [`Histogram`] answers percentile queries only to
+/// within a factor of two — its estimates are *upper bounds* on the true
+/// quantile, which is too coarse to judge a "p99 within 2x of baseline"
+/// SLO bound. `ExactPercentiles` keeps every sample, sorted, and answers
+/// nearest-rank queries exactly. Memory is linear in the sample count,
+/// so it fits request-level populations (thousands), not per-cycle ones.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExactPercentiles {
+    sorted: Vec<u64>,
+}
+
+impl ExactPercentiles {
+    pub fn new() -> ExactPercentiles {
+        ExactPercentiles::default()
+    }
+
+    /// Insert `v`, keeping the sample set sorted.
+    pub fn record(&mut self, v: u64) {
+        let at = self.sorted.partition_point(|&x| x <= v);
+        self.sorted.insert(at, v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The samples, ascending.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.sorted
+    }
+
+    /// Exact nearest-rank percentile; `q` in per-mille (990 = p99).
+    pub fn percentile_permille(&self, q: u64) -> u64 {
+        nearest_rank(&self.sorted, q)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile_permille(500)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile_permille(950)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile_permille(990)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.percentile_permille(999)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+
+    /// How many samples are `<= bound` (SLO attainment numerator).
+    pub fn count_at_most(&self, bound: u64) -> u64 {
+        self.sorted.partition_point(|&x| x <= bound) as u64
+    }
+}
+
+/// A sampled time series: `(virtual time, value)` points appended in
+/// non-decreasing time order by a fixed-cadence sampler.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TimeSeries {
+    pub points: Vec<(u64, u64)>,
+}
+
+impl TimeSeries {
+    pub fn push(&mut self, t: u64, v: u64) {
+        debug_assert!(self.points.last().is_none_or(|&(pt, _)| pt <= t));
+        self.points.push((t, v));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn min(&self) -> u64 {
+        self.points.iter().map(|&(_, v)| v).min().unwrap_or(0)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.points.iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    pub fn last(&self) -> u64 {
+        self.points.last().map(|&(_, v)| v).unwrap_or(0)
+    }
+}
+
+/// Deterministic registry of named counters, histograms and time series.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
 }
 
 impl MetricsRegistry {
@@ -184,12 +298,33 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Append one `(virtual time, value)` point to the series `name`.
+    pub fn sample(&mut self, name: &str, t: u64, v: u64) {
+        match self.series.get_mut(name) {
+            Some(s) => s.push(t, v),
+            None => {
+                let mut s = TimeSeries::default();
+                s.push(t, v);
+                self.series.insert(name.to_string(), s);
+            }
+        }
+    }
+
+    pub fn time_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    pub fn series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.series.is_empty()
     }
 
     /// Fold another registry into this one (counters add, histogram samples
-    /// merge).
+    /// merge, series points interleave by time — stable, so equal-time
+    /// points keep self-before-other order).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             self.add(k, *v);
@@ -197,9 +332,17 @@ impl MetricsRegistry {
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
+        for (k, s) in &other.series {
+            let dst = self.series.entry(k.clone()).or_default();
+            dst.points.extend_from_slice(&s.points);
+            dst.points.sort_by_key(|&(t, _)| t);
+        }
     }
 
-    /// Human-readable sorted dump.
+    /// Human-readable sorted dump. Histogram percentiles come from log2
+    /// buckets and overestimate the true quantile by up to the bucket
+    /// width (a factor of two), so they are printed as upper bounds
+    /// (`p50<=`); exact figures need [`ExactPercentiles`].
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
@@ -208,7 +351,7 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{:<40} n={} sum={} min={} mean={:.1} p50={} p95={} p99={} max={}",
+                "{:<40} n={} sum={} min={} mean={:.1} p50<={} p95<={} p99<={} max={}",
                 name,
                 h.count,
                 h.sum,
@@ -218,6 +361,23 @@ impl MetricsRegistry {
                 h.p95(),
                 h.p99(),
                 h.max
+            );
+        }
+        for (name, s) in &self.series {
+            let (t0, tn) = match (s.points.first(), s.points.last()) {
+                (Some(&(t0, _)), Some(&(tn, _))) => (t0, tn),
+                _ => (0, 0),
+            };
+            let _ = writeln!(
+                out,
+                "{:<40} series n={} span={}..{} min={} max={} last={}",
+                name,
+                s.len(),
+                t0,
+                tn,
+                s.min(),
+                s.max(),
+                s.last()
             );
         }
         out
@@ -312,11 +472,75 @@ mod tests {
     }
 
     #[test]
-    fn render_includes_percentiles() {
+    fn render_flags_histogram_percentiles_as_upper_bounds() {
         let mut m = MetricsRegistry::default();
         m.record("lat", 8);
-        assert!(m.render().contains("p50="));
-        assert!(m.render().contains("p99="));
+        assert!(m.render().contains("p50<="));
+        assert!(m.render().contains("p99<="));
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_on_small_sets() {
+        assert_eq!(nearest_rank(&[], 500), 0);
+        assert_eq!(nearest_rank(&[7], 500), 7);
+        assert_eq!(nearest_rank(&[7], 999), 7);
+        let v = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(nearest_rank(&v, 500), 5);
+        assert_eq!(nearest_rank(&v, 950), 10);
+        assert_eq!(nearest_rank(&v, 900), 9);
+        assert_eq!(nearest_rank(&v, 100), 1);
+    }
+
+    #[test]
+    fn exact_percentiles_match_nearest_rank_regardless_of_insert_order() {
+        let mut e = ExactPercentiles::new();
+        for v in [90, 10, 50, 70, 30, 20, 80, 40, 100, 60] {
+            e.record(v);
+        }
+        assert_eq!(e.as_slice(), &[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(e.p50(), 50);
+        assert_eq!(e.p95(), 100);
+        assert_eq!(e.p99(), 100);
+        assert_eq!(e.max(), 100);
+        assert_eq!(e.count_at_most(55), 5);
+        assert_eq!(e.count_at_most(5), 0);
+    }
+
+    #[test]
+    fn exact_percentiles_are_exact_where_the_histogram_is_an_upper_bound() {
+        // 99 fast samples and one straggler: the log2 histogram places
+        // p50 somewhere in the [64, 128) bucket, the exact answer is 100.
+        let mut h = Histogram::default();
+        let mut e = ExactPercentiles::new();
+        for _ in 0..99 {
+            h.record(100);
+            e.record(100);
+        }
+        h.record(1 << 20);
+        e.record(1 << 20);
+        assert_eq!(e.p50(), 100);
+        assert!(h.p50() >= e.p50(), "histogram p50 is an upper bound");
+    }
+
+    #[test]
+    fn series_render_and_merge_are_deterministic() {
+        let mut m = MetricsRegistry::default();
+        m.sample("fleet.q", 100, 3);
+        m.sample("fleet.q", 200, 5);
+        let mut o = MetricsRegistry::default();
+        o.sample("fleet.q", 150, 4);
+        m.merge(&o);
+        let s = m.time_series("fleet.q").unwrap();
+        assert_eq!(s.points, vec![(100, 3), (150, 4), (200, 5)]);
+        assert_eq!(s.min(), 3);
+        assert_eq!(s.max(), 5);
+        assert_eq!(s.last(), 5);
+        let r = m.render();
+        assert!(
+            r.contains("series n=3 span=100..200 min=3 max=5 last=5"),
+            "{r}"
+        );
+        assert!(!m.is_empty());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Fleet-level span and flow-arrow vocabulary for hera-scope.
+//!
+//! The fleet simulator (hera-cluster) records one span tree per request:
+//! a root span on the front-end track, queue/dispatch/service children on
+//! machine tracks, and causal arrows (retry, hedge, crash requeue, live
+//! migration) connecting attempts across tracks. This crate only defines
+//! the data model and the Chrome export ([`crate::fleet_trace_json`]);
+//! tracks are opaque indices, span ids are whatever the producer picked —
+//! determinism is the producer's job (the fleet allocates ids in event
+//! order, which is itself deterministic).
+
+/// One span on a fleet track, in fleet-virtual time.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FleetSpan {
+    /// Track index (the exporter names tracks from a parallel list).
+    pub track: u32,
+    /// Display name, e.g. `"service req42"`.
+    pub name: String,
+    /// Chrome category, e.g. `"request"`, `"queue"`, `"service"`.
+    pub cat: &'static str,
+    /// Begin timestamp (fleet-virtual cycles).
+    pub begin: u64,
+    /// Duration in fleet-virtual cycles (0 renders as an instant-like
+    /// sliver, used for marker spans such as sheds and breaker trips).
+    pub dur: u64,
+    /// Producer-assigned span id, unique within one trace.
+    pub id: u64,
+    /// Parent span id; 0 marks a root span.
+    pub parent: u64,
+    /// Numeric key/value pairs exported into the Chrome `args` object.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// What kind of causality a [`FlowArrow`] records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowKind {
+    /// A timed-out wave scheduling its retry wave.
+    Retry,
+    /// A slow wave dispatching a hedged duplicate attempt.
+    Hedge,
+    /// A crash throwing an in-flight job back to the front-end.
+    Requeue,
+    /// A live migration carrying a running job to another machine.
+    Migrate,
+}
+
+impl FlowKind {
+    /// Display name used for both Chrome flow events and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowKind::Retry => "retry",
+            FlowKind::Hedge => "hedge",
+            FlowKind::Requeue => "requeue",
+            FlowKind::Migrate => "migrate",
+        }
+    }
+}
+
+/// A causal arrow between two points on (possibly different) tracks,
+/// exported as a Chrome `s`/`f` flow-event pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowArrow {
+    pub kind: FlowKind,
+    /// Flow id, unique within one trace (shared by the s/f pair).
+    pub id: u64,
+    pub from_track: u32,
+    pub from_ts: u64,
+    pub to_track: u32,
+    pub to_ts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_kind_names_are_distinct() {
+        let names = [
+            FlowKind::Retry.name(),
+            FlowKind::Hedge.name(),
+            FlowKind::Requeue.name(),
+            FlowKind::Migrate.name(),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}
