@@ -58,3 +58,9 @@ cargo run --release -p hera-bench --bin figures -- cluster-chaos
 # report + Chrome trace + SLO table byte-identically, and write
 # fleet_trace.json / fleet_slo.txt — exit 1 on any divergence.
 cargo run --release -p hera-bench --bin figures -- fleet-trace
+# Proactive-degradation smoke: the E15 matrix (heterogeneous 2/4/6-SPE
+# fleet, breaker/slowdown drains, seeded rebalancer) must replay
+# byte-identically, prove every cross-shape adoption by replay
+# determinism, reconcile the drain ledger, and hold proactive p99 <=
+# reactive p99 at >= reactive goodput — exit 1 otherwise.
+cargo run --release -p hera-bench --bin figures -- cluster-rebal

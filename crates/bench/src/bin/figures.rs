@@ -39,6 +39,13 @@
 //!                      span trees, causal flow arrows, fixed-virtual-interval
 //!                      fleet samplers; replayed twice and byte-compared; writes
 //!                      fleet_trace.json + fleet_slo.txt)
+//!           | cluster-rebal [--machines N] [--requests N] [--seed S]
+//!                     (E15 proactive-degradation matrix: heterogeneous
+//!                      2/4/6-SPE fleet under a straggler + crash storm;
+//!                      reactive resilience vs breaker/slowdown-triggered
+//!                      drains vs drains + auto-rebalancer; replayed twice,
+//!                      byte-compared, gated on p99/goodput and cross-shape
+//!                      adoption proofs; writes cluster_rebal.txt)
 //! ```
 //!
 //! Absolute cycle counts are simulator cycles (calibrated cost model,
@@ -69,6 +76,7 @@ const EXPERIMENTS: &[&str] = &[
     "cluster",
     "cluster-chaos",
     "fleet-trace",
+    "cluster-rebal",
 ];
 
 fn usage_lines() -> String {
@@ -242,6 +250,18 @@ fn main() {
         fleet_trace(
             if machines_set { machines } else { 6 },
             if requests_set { requests } else { 800 },
+            seed,
+            if scale_set { scale } else { 0.02 },
+        );
+        return;
+    }
+    if which == "cluster-rebal" {
+        // E15's committed configuration: six machines of mixed shape so
+        // crash recovery and drains land snapshots on machines with
+        // fewer SPEs than the source.
+        cluster_rebal(
+            if machines_set { machines } else { 6 },
+            if requests_set { requests } else { 600 },
             seed,
             if scale_set { scale } else { 0.02 },
         );
@@ -587,6 +607,131 @@ fn cluster_chaos(machines: usize, requests: u64, seed: u64, scale: f64) {
     std::fs::write("cluster_chaos.txt", &artifact)
         .unwrap_or_else(|e| panic!("write cluster_chaos.txt: {e}"));
     println!("wrote cluster_chaos.txt ({} bytes)", artifact.len());
+}
+
+fn cluster_rebal(machines: usize, requests: u64, seed: u64, scale: f64) {
+    use hera_cluster::{ClusterConfig, MachineShape};
+    // E15: a heterogeneous fleet — machine 0 is the big straggler, and
+    // the 2/4-SPE machines force crash recoveries and drains through the
+    // cross-shape adoption path (snapshot from a 6-SPE machine adopted
+    // on a smaller one, dropped SPEs drained to the PPE).
+    let spes: Vec<u8> = (0..machines)
+        .map(|m| match m % 6 {
+            0 | 5 => 6,
+            1 | 3 => 2,
+            _ => 4,
+        })
+        .collect();
+    let cfg = ClusterConfig {
+        seed,
+        machines,
+        requests,
+        threads: 2,
+        scale,
+        num_spes: 6,
+        heap_bytes: 1 << 20,
+        // Hot enough that join-shortest-queue must sometimes queue work
+        // on the capacity-penalized straggler — that backlog is what the
+        // proactive layer exists to move.
+        utilization_pct: 75,
+        shapes: spes
+            .iter()
+            .map(|&s| MachineShape { spe_count: s })
+            .collect(),
+        crashes: hera_cluster::crash_storm(seed, machines, 2, 300, 700),
+        migrations: vec![(0, 450), (5, 550)],
+        slowdowns: vec![(0, 4, 0)],
+        scope: true,
+        ..ClusterConfig::default()
+    };
+    header(&format!(
+        "hera-rebal: proactive degradation ({machines} machines, shapes {spes:?}, \
+         {requests} requests, seed {seed}, one 4x straggler + two-crash storm)"
+    ));
+    let first = match hera_cluster::run_rebal_matrix(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster-rebal: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered = first.render();
+    print!("{rendered}");
+    // Determinism first: proactive decisions (drain triggers, rebalance
+    // moves) must be pure functions of the config, so the whole matrix
+    // replays byte-identically.
+    let replay = match hera_cluster::run_rebal_matrix(&cfg) {
+        Ok(r) => r.render(),
+        Err(e) => {
+            eprintln!("cluster-rebal: replay errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    if replay != rendered {
+        eprintln!("cluster-rebal: same-seed replay diverged — determinism broken");
+        std::process::exit(1);
+    }
+    if !first.failures.is_empty() {
+        eprintln!(
+            "cluster-rebal: {} adoption-proof/ledger failure(s) — see report above",
+            first.failures.len()
+        );
+        std::process::exit(1);
+    }
+    // E15 acceptance: acting on health signals *before* requests fail
+    // must not be worse than waiting for them to fail, and the
+    // heterogeneous fleet must actually exercise cross-shape adoption.
+    let reactive = first.reactive();
+    let proactive = first.proactive();
+    let pstats = first.proactive_stats();
+    let mut failed = false;
+    if proactive.p99 > reactive.p99 {
+        eprintln!(
+            "cluster-rebal FAIL: proactive p99 {} worse than reactive-only {}",
+            proactive.p99, reactive.p99
+        );
+        failed = true;
+    }
+    if proactive.goodput_permille() < reactive.goodput_permille() {
+        eprintln!(
+            "cluster-rebal FAIL: proactive goodput {}‰ below reactive-only {}‰",
+            proactive.goodput_permille(),
+            reactive.goodput_permille()
+        );
+        failed = true;
+    }
+    if pstats.cross_shape == 0 {
+        eprintln!(
+            "cluster-rebal FAIL: no cross-shape adoption was exercised — the fleet \
+             shapes or the fault schedule are too gentle to prove anything"
+        );
+        failed = true;
+    }
+    if pstats.drains == 0 {
+        eprintln!("cluster-rebal FAIL: the proactive row never drained anything");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    let summary = format!(
+        "verified: same-seed replay byte-identical; proactive p99 {:.2}x reactive \
+         ({} vs {}) at {}.{}% goodput; {} drains, {} rebalance moves, {} cross-shape \
+         adoptions proven by replay determinism\n",
+        proactive.p99 as f64 / reactive.p99.max(1) as f64,
+        proactive.p99,
+        reactive.p99,
+        proactive.goodput_permille() / 10,
+        proactive.goodput_permille() % 10,
+        pstats.drains,
+        pstats.moves,
+        pstats.cross_shape
+    );
+    print!("{summary}");
+    let artifact = format!("{rendered}{summary}");
+    std::fs::write("cluster_rebal.txt", &artifact)
+        .unwrap_or_else(|e| panic!("write cluster_rebal.txt: {e}"));
+    println!("wrote cluster_rebal.txt ({} bytes)", artifact.len());
 }
 
 fn fleet_trace(machines: usize, requests: u64, seed: u64, scale: f64) {

@@ -30,7 +30,7 @@ use crate::policy::{BalancePolicy, MachineView};
 use crate::resil::{self, Breaker, BreakerState, ResilConfig};
 use crate::scope::{Scope, ScopeOutcome};
 use crate::traffic::{self, Request};
-use crate::{ClusterConfig, ClusterError};
+use crate::{ClusterConfig, ClusterError, RebalConfig};
 use hera_cell::FaultPlan;
 use hera_core::{HeraJvm, RunEnd, RunOutcome, VmConfig};
 use hera_isa::Value;
@@ -43,6 +43,8 @@ use std::rc::Rc;
 
 /// Per-machine-seed salt for transient-fault plans.
 const MACHINE_SEED_SALT: u64 = 0x6d61_6368_696e_6531;
+/// Salt for rebalance-tick jitter draws.
+const REBAL_SALT: u64 = 0x7265_6261_6c2d_7469; // "rebal-ti"
 
 // ------------------------------------------------------------- profiling
 
@@ -58,17 +60,28 @@ struct FleetProfile {
     classes: Vec<ClassProfile>,
     /// Per-machine fault plan (all-default when faults are disabled).
     plans: Vec<FaultPlan>,
-    /// `reference[class][machine]`: the uninterrupted run outcome.
+    /// Per-machine SPE count (`ClusterConfig::shape_of`, resolved).
+    shapes: Vec<u8>,
+    /// `reference[class][machine]`: the uninterrupted run outcome under
+    /// that machine's shape and fault plan. Machines sharing both hold
+    /// `Rc` clones of one run.
     reference: Vec<Vec<Rc<RunOutcome>>>,
+    /// `best_same_shape[class][machine]`: the best reference wall among
+    /// machines of the same shape — the baseline the sustained-slowdown
+    /// drain signal compares against (a 2-SPE machine is slower than a
+    /// 6-SPE one by shape, not by sickness).
+    best_same_shape: Vec<Vec<u64>>,
     /// Mix-weighted mean service time over classes and machines.
     mean_service: u64,
 }
 
-/// The VM configuration of machine `plan` in this fleet. Identical
-/// across machines except for the fault plan, so cross-machine snapshot
-/// adoption is legal (the machine digest zeroes the plan).
-fn machine_vm_config(cfg: &ClusterConfig, plan: FaultPlan) -> VmConfig {
-    let mut vm = VmConfig::pinned_spe(cfg.num_spes)
+/// The VM configuration of a machine with `spes` SPEs running under
+/// `plan`. Identical across same-shape machines except for the fault
+/// plan, so cross-machine snapshot adoption is legal (the machine digest
+/// zeroes the plan); cross-*shape* adoption goes through the reshaping
+/// restore path in `hera-core` instead.
+fn machine_vm_config(cfg: &ClusterConfig, plan: FaultPlan, spes: u8) -> VmConfig {
+    let mut vm = VmConfig::pinned_spe(spes)
         .with_checkpoint_every(cfg.checkpoint_every)
         .with_faults(plan);
     vm.heap.size_bytes = cfg.heap_bytes;
@@ -76,7 +89,7 @@ fn machine_vm_config(cfg: &ClusterConfig, plan: FaultPlan) -> VmConfig {
 }
 
 fn vm_err(what: &str, e: impl std::fmt::Debug) -> ClusterError {
-    ClusterError(format!("{what}: {e:?}"))
+    ClusterError::msg(format!("{what}: {e:?}"))
 }
 
 fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
@@ -105,9 +118,23 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
             .expect("cluster slowdowns validated by run_experiment");
     }
 
-    // Every (class, machine) reference run is an independent whole-VM
-    // execution — fan them out on the host worker pool.
-    let cells = classes.len() * plans.len();
+    // Reference runs are keyed by (class, shape, fault plan): machines
+    // sharing a shape and a plan replay bit-identically, so one VM run
+    // serves them all — a uniform fleet costs exactly what it did before
+    // shapes existed. Each unique cell is an independent whole-VM
+    // execution, fanned out on the host worker pool.
+    let shapes: Vec<u8> = (0..cfg.machines).map(|m| cfg.shape_of(m)).collect();
+    let mut uniq: Vec<(u8, FaultPlan)> = Vec::new();
+    let mut cell_of: Vec<usize> = Vec::with_capacity(plans.len());
+    for m in 0..plans.len() {
+        let key = (shapes[m], plans[m]);
+        let idx = uniq.iter().position(|&k| k == key).unwrap_or_else(|| {
+            uniq.push(key);
+            uniq.len() - 1
+        });
+        cell_of.push(idx);
+    }
+    let cells = classes.len() * uniq.len();
     let pool = hera_core::WorkerPool::new(
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -116,13 +143,13 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
             .saturating_sub(1),
     );
     let outcomes = pool.map(cells, |i| {
-        let class = &classes[i / plans.len()];
-        let plan = plans[i % plans.len()];
-        let vm = HeraJvm::new(class.program.clone(), machine_vm_config(cfg, plan))
+        let class = &classes[i / uniq.len()];
+        let (spes, plan) = uniq[i % uniq.len()];
+        let vm = HeraJvm::new(class.program.clone(), machine_vm_config(cfg, plan, spes))
             .map_err(|e| vm_err("reference vm", e))?;
         let out = vm.run().map_err(|e| vm_err("reference run", e))?;
         if !out.is_clean() || out.result != Some(Value::I32(class.checksum)) {
-            return Err(ClusterError(format!(
+            return Err(ClusterError::msg(format!(
                 "reference run of {} produced {:?} (traps {:?}), expected checksum {}",
                 class.workload.name(),
                 out.result,
@@ -135,12 +162,27 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
     let mut reference: Vec<Vec<Rc<RunOutcome>>> = Vec::new();
     let mut it = outcomes.into_iter();
     for _ in &classes {
-        let mut per_machine = Vec::new();
-        for _ in &plans {
-            per_machine.push(Rc::new(it.next().expect("one outcome per cell")?));
+        let mut per_cell = Vec::new();
+        for _ in &uniq {
+            per_cell.push(Rc::new(it.next().expect("one outcome per cell")?));
         }
+        let per_machine = cell_of.iter().map(|&c| Rc::clone(&per_cell[c])).collect();
         reference.push(per_machine);
     }
+    let best_same_shape: Vec<Vec<u64>> = reference
+        .iter()
+        .map(|per_machine| {
+            (0..plans.len())
+                .map(|m| {
+                    (0..plans.len())
+                        .filter(|&p| shapes[p] == shapes[m])
+                        .map(|p| per_machine[p].stats.wall_cycles)
+                        .min()
+                        .unwrap_or(0)
+                })
+                .collect()
+        })
+        .collect();
 
     let mut weighted = 0u128;
     let mut weight = 0u128;
@@ -155,7 +197,9 @@ fn build_profile(cfg: &ClusterConfig) -> Result<FleetProfile, ClusterError> {
     Ok(FleetProfile {
         classes,
         plans,
+        shapes,
         reference,
+        best_same_shape,
         mean_service,
     })
 }
@@ -198,6 +242,9 @@ enum Ev {
     Probe {
         machine: usize,
     },
+    /// Periodic seeded rebalance tick (rebal only): compare expected
+    /// drain times across machines and move queued work off the worst.
+    Rebalance,
 }
 
 // ------------------------------------------------------------------ jobs
@@ -208,6 +255,10 @@ struct Resume {
     bytes: Rc<Vec<u8>>,
     /// VM wall clock the snapshot resumes at.
     restored_wall: u64,
+    /// SPE count of the machine whose run captured the snapshot; an
+    /// adoption on a different shape goes through the reshaping restore
+    /// path and is proven by replay determinism, not origin bit-identity.
+    shape: u8,
 }
 
 /// Terminal state of a request. Without resilience only `Pending` and
@@ -246,6 +297,11 @@ struct Job {
     /// Machines currently holding an attempt, as `(machine, is_hedge)`.
     /// At most two entries (primary + one hedge).
     placements: Vec<(usize, bool)>,
+    /// The job has been adopted across shapes at least once: its run was
+    /// reshaped mid-flight, so it can never again claim bit-identity to
+    /// the origin-shape reference — every later adoption is proven by
+    /// replay determinism instead.
+    cross_shape: bool,
 }
 
 struct Running {
@@ -434,6 +490,19 @@ struct Sim<'a> {
     /// Request-level tracing (`ClusterConfig::scope`); observation only,
     /// never charges virtual cycles or touches the event heap.
     scope: Option<Scope>,
+    /// Copy of `cfg.rebal`; `None` disables the whole proactive layer.
+    rebal: Option<RebalConfig>,
+    /// Machines currently drained (reset when the breaker closes or the
+    /// machine recovers from a crash) — structural once-per-episode
+    /// hysteresis for the drain triggers.
+    draining: Vec<bool>,
+    /// Consecutive slow completions per machine (sustained-slowdown
+    /// drain signal).
+    slow_streak: Vec<u32>,
+    /// Per-machine rebalance cooldown deadline (fleet-virtual time).
+    rebal_quiet_until: Vec<u64>,
+    /// Post-move cooldown in cycles (`cooldown_permille` of the span).
+    rebal_cooldown: u64,
 }
 
 impl<'a> Sim<'a> {
@@ -485,16 +554,15 @@ impl<'a> Sim<'a> {
             return 1000;
         }
         let plan = &self.profile.plans[m];
-        let mut cap = if plan.slowdown_active() {
-            1000 / plan.slowdown_factor as u64
+        let factor = if plan.slowdown_active() {
+            plan.slowdown_factor
         } else {
-            1000
+            1
         };
-        if self.breakers[m].state == BreakerState::HalfOpen {
-            // Trial traffic only while probing.
-            cap = cap.min(250);
-        }
-        cap.max(1)
+        resil::advertised_capacity_permille(
+            factor,
+            self.breakers[m].state == BreakerState::HalfOpen,
+        )
     }
 
     fn view_of(&self, m: usize, now: u64) -> MachineView {
@@ -708,8 +776,7 @@ impl<'a> Sim<'a> {
 
         let (exec_start, vm_base, exec_cycles) = match self.jobs[job].resume.clone() {
             Some(r) => {
-                self.prove_adoption(job, m, &r)?;
-                let wall = self.ref_outcome(job, m).stats.wall_cycles;
+                let wall = self.prove_adoption(job, m, &r)?;
                 (
                     now + self.cfg.dispatch_cycles + self.transfer_cycles(r.bytes.len() as u64),
                     r.restored_wall,
@@ -754,42 +821,85 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    /// The bit-identity proof: adopt the job's snapshot on machine `m`
-    /// (whose own fault plan may differ from the origin's) and require
-    /// the completed run to match the unmigrated reference exactly.
-    fn prove_adoption(&mut self, job: usize, m: usize, r: &Resume) -> Result<(), ClusterError> {
+    /// The adoption proof: adopt the job's snapshot on machine `m`
+    /// (whose own fault plan may differ from the origin's) and prove the
+    /// run correct. Same-shape adoptions must match the unmigrated
+    /// reference bit-for-bit. A cross-shape adoption legitimately
+    /// diverges — threads homed on SPEs the destination lacks drain to
+    /// the PPE, changing the wall clock and heap layout — so its proof
+    /// is replay determinism instead: the snapshot is adopted *twice*
+    /// and the two runs must agree exactly, and the result must still be
+    /// the class checksum with no traps. Returns the proven run's wall
+    /// cycles (the reference wall for same-shape, the reshaped run's own
+    /// wall for cross-shape), which prices the job's remaining service.
+    fn prove_adoption(&mut self, job: usize, m: usize, r: &Resume) -> Result<u64, ClusterError> {
         let class = self.jobs[job].class;
-        let reference = Rc::clone(self.ref_outcome(job, m));
-        let vm = HeraJvm::new(
-            self.profile.classes[class].program.clone(),
-            machine_vm_config(self.cfg, self.profile.plans[m]),
-        )
-        .map_err(|e| vm_err("adoption vm", e))?;
+        let cross = r.shape != self.profile.shapes[m] || self.jobs[job].cross_shape;
+        let program = self.profile.classes[class].program.clone();
+        let vm_cfg = machine_vm_config(self.cfg, self.profile.plans[m], self.profile.shapes[m]);
+        let vm = HeraJvm::new(program.clone(), vm_cfg).map_err(|e| vm_err("adoption vm", e))?;
         let out = vm
             .adopt_bytes(&r.bytes)
             .map_err(|e| vm_err("adoption run", e))?;
+        let wall = out.stats.wall_cycles;
         let mut ok = true;
-        let mut check = |what: &str, same: bool| {
-            if !same {
+        if cross {
+            let vm2 = HeraJvm::new(program, vm_cfg).map_err(|e| vm_err("adoption vm", e))?;
+            let out2 = vm2
+                .adopt_bytes(&r.bytes)
+                .map_err(|e| vm_err("adoption replay", e))?;
+            let mut check = |what: &str, same: bool| {
+                if !same {
+                    ok = false;
+                    self.failures.push(format!(
+                        "job {job} cross-shape adopted on machine {m}: {what} diverged between \
+                         two replays of the same snapshot"
+                    ));
+                }
+            };
+            check("result", out.result == out2.result);
+            check("traps", out.traps == out2.traps);
+            check("output", out.output == out2.output);
+            check("final heap image", out.heap_digest == out2.heap_digest);
+            check(
+                "wall cycles",
+                out.stats.wall_cycles == out2.stats.wall_cycles,
+            );
+            let checksum = self.profile.classes[class].checksum;
+            if !out.is_clean() || out.result != Some(Value::I32(checksum)) {
                 ok = false;
                 self.failures.push(format!(
-                    "job {job} adopted on machine {m}: {what} diverged from the unmigrated run"
+                    "job {job} cross-shape adopted on machine {m}: produced {:?} (traps {:?}), \
+                     expected checksum {checksum}",
+                    out.result, out.traps
                 ));
             }
-        };
-        check("result", out.result == reference.result);
-        check("traps", out.traps == reference.traps);
-        check("output", out.output == reference.output);
-        check("final heap image", out.heap_digest == reference.heap_digest);
-        check(
-            "wall cycles",
-            out.stats.wall_cycles == reference.stats.wall_cycles,
-        );
+            self.jobs[job].cross_shape = true;
+            self.metrics.add("cluster.adoption.cross_shape", 1);
+        } else {
+            let reference = Rc::clone(self.ref_outcome(job, m));
+            let mut check = |what: &str, same: bool| {
+                if !same {
+                    ok = false;
+                    self.failures.push(format!(
+                        "job {job} adopted on machine {m}: {what} diverged from the unmigrated run"
+                    ));
+                }
+            };
+            check("result", out.result == reference.result);
+            check("traps", out.traps == reference.traps);
+            check("output", out.output == reference.output);
+            check("final heap image", out.heap_digest == reference.heap_digest);
+            check(
+                "wall cycles",
+                out.stats.wall_cycles == reference.stats.wall_cycles,
+            );
+        }
         if let Some(idx) = self.jobs[job].pending_migration.take() {
             self.migration_events[idx].verified_identical = ok;
         }
         self.metrics.add("cluster.adoption.proofs", 1);
-        Ok(())
+        Ok(wall)
     }
 
     fn complete(&mut self, job: usize, m: usize, now: u64) -> Result<(), ClusterError> {
@@ -836,7 +946,37 @@ impl<'a> Sim<'a> {
                 if let Some(sc) = self.scope.as_mut() {
                     sc.on_breaker(m, "breaker.closed", now);
                 }
+                // A closed breaker ends the drain episode: the machine
+                // may be drained again if it sickens again.
+                self.draining[m] = false;
+                self.slow_streak[m] = 0;
             }
+        }
+        self.observe_slowness(class, m, now)?;
+        Ok(())
+    }
+
+    /// Sustained-slowdown health signal: a completion on `m` counts as
+    /// "slow" when the machine's reference wall for the class is at
+    /// least `slow_factor_permille` of the best same-shape peer's (shape
+    /// differences are expected, sickness is not). `slow_after`
+    /// consecutive slow completions trigger a proactive drain.
+    fn observe_slowness(&mut self, class: usize, m: usize, now: u64) -> Result<(), ClusterError> {
+        let Some(rb) = self.rebal else { return Ok(()) };
+        if !rb.drain_on_slow || self.draining[m] {
+            return Ok(());
+        }
+        let mine = self.profile.reference[class][m].stats.wall_cycles;
+        let best = self.profile.best_same_shape[class][m];
+        if mine.saturating_mul(1000) >= best.saturating_mul(rb.slow_factor_permille.max(1)) {
+            self.slow_streak[m] += 1;
+            if self.slow_streak[m] >= rb.slow_after.max(1) {
+                self.slow_streak[m] = 0;
+                self.metrics.add("rebal.drain.slow_triggers", 1);
+                self.proactive_drain(m, now)?;
+            }
+        } else {
+            self.slow_streak[m] = 0;
         }
         Ok(())
     }
@@ -849,7 +989,7 @@ impl<'a> Sim<'a> {
         let plan = self.profile.plans[m].with_machine_crash(abs);
         let vm = HeraJvm::new(
             self.profile.classes[j.class].program.clone(),
-            machine_vm_config(self.cfg, plan),
+            machine_vm_config(self.cfg, plan, self.profile.shapes[m]),
         )
         .map_err(|e| vm_err("doomed vm", e))?;
         match &j.resume {
@@ -861,7 +1001,8 @@ impl<'a> Sim<'a> {
     }
 
     /// Capture the freshest snapshot available for a job interrupted at
-    /// absolute VM cycle `abs`: the last checkpoint of the doomed re-run,
+    /// absolute VM cycle `abs`: the last checkpoint of the doomed re-run
+    /// (captured under shape `shape`, the interrupting machine's),
     /// falling back to the snapshot it was already resuming from.
     /// Returns the new resume state and the re-executed cycles, or
     /// `None` if the job has no snapshot at all (full restart).
@@ -870,6 +1011,7 @@ impl<'a> Sim<'a> {
         job: usize,
         checkpoints: Vec<hera_core::CheckpointBlob>,
         at_cycle: u64,
+        shape: u8,
     ) -> Result<(Option<Resume>, u64), ClusterError> {
         if let Some(last) = checkpoints.into_iter().next_back() {
             let info = hera_core::snapshot::inspect(&last.bytes)
@@ -879,6 +1021,7 @@ impl<'a> Sim<'a> {
                 Some(Resume {
                     bytes: Rc::new(last.bytes),
                     restored_wall: info.wall_cycles,
+                    shape,
                 }),
                 reexec,
             ));
@@ -948,7 +1091,8 @@ impl<'a> Sim<'a> {
                         if let Some(sc) = self.scope.as_mut() {
                             sc.on_interrupt(m, now);
                         }
-                        let (resume, reexec) = self.capture(job, checkpoints, at_cycle)?;
+                        let shape = self.profile.shapes[m];
+                        let (resume, reexec) = self.capture(job, checkpoints, at_cycle, shape)?;
                         resumed_from_checkpoint = resume.is_some();
                         if resume.is_none() {
                             self.metrics.add("cluster.crash.restarts", 1);
@@ -997,43 +1141,62 @@ impl<'a> Sim<'a> {
     }
 
     fn handle_migrate(&mut self, m: usize, now: u64) -> Result<(), ClusterError> {
+        self.migrate_off(m, now, false).map(|_| ())
+    }
+
+    /// Live-migrate the job running on `m` to a policy-chosen peer.
+    /// `drain` marks a proactive-drain migration: the causality is
+    /// recorded as a drain (skip counters under `rebal.drain.*`, a
+    /// [`hera_trace::FlowKind::Drain`] arrow, `rebal.drains` counted)
+    /// while the virtual-time charges stay exactly those of a scheduled
+    /// migration. Returns whether a migration was actually started.
+    fn migrate_off(&mut self, m: usize, now: u64, drain: bool) -> Result<bool, ClusterError> {
+        let skip = |s: &mut Self, what: &str| {
+            let pre = if drain {
+                "rebal.drain"
+            } else {
+                "cluster.migration"
+            };
+            s.metrics.add(&format!("{pre}.{what}"), 1);
+        };
         if !self.machines[m].up || self.machines[m].running.is_none() {
-            self.metrics.add("cluster.migration.skipped_idle", 1);
-            return Ok(());
+            skip(self, "skipped_idle");
+            return Ok(false);
         }
         let views = self.views(now, &[m]);
         if views.is_empty() {
-            self.metrics.add("cluster.migration.skipped_no_dest", 1);
-            return Ok(());
+            skip(self, "skipped_no_dest");
+            return Ok(false);
         }
         let run = self.machines[m].running.as_ref().expect("checked above");
         let (job, exec_start, vm_base) = (run.job, run.exec_start, run.vm_base);
         if self.jobs[job].placements.len() > 1 {
             // A hedged job already runs in two places; moving one of the
             // twins buys nothing and complicates cancellation.
-            self.metrics.add("cluster.migration.skipped_hedged", 1);
-            return Ok(());
+            skip(self, "skipped_hedged");
+            return Ok(false);
         }
         if now <= exec_start {
-            self.metrics.add("cluster.migration.skipped_not_started", 1);
-            return Ok(());
+            skip(self, "skipped_not_started");
+            return Ok(false);
         }
         let abs = vm_base + (now - exec_start);
         match self.doomed_run(job, m, abs)? {
             RunEnd::Completed(_) => {
                 // Too close to the finish line to capture a safepoint:
                 // let it complete in place.
-                self.metrics.add("cluster.migration.skipped_late", 1);
-                Ok(())
+                skip(self, "skipped_late");
+                Ok(false)
             }
             RunEnd::Crashed {
                 at_cycle,
                 checkpoints,
             } => {
-                let (resume, reexec) = self.capture(job, checkpoints, at_cycle)?;
+                let shape = self.profile.shapes[m];
+                let (resume, reexec) = self.capture(job, checkpoints, at_cycle, shape)?;
                 let Some(resume) = resume else {
-                    self.metrics.add("cluster.migration.skipped_no_snapshot", 1);
-                    return Ok(());
+                    skip(self, "skipped_no_snapshot");
+                    return Ok(false);
                 };
                 // Detach from the source; its pending Done goes stale.
                 self.machines[m].running = None;
@@ -1044,7 +1207,7 @@ impl<'a> Sim<'a> {
                 let bytes = resume.bytes.len() as u64;
                 let transfer = self.transfer_cycles(bytes);
                 if let Some(sc) = self.scope.as_mut() {
-                    sc.on_migrate(m, dest, job, now, (bytes, transfer, reexec));
+                    sc.on_migrate(m, dest, job, now, (bytes, transfer, reexec), drain);
                 }
                 self.jobs[job].resume = Some(resume);
                 self.jobs[job].pending_migration = Some(self.migration_events.len());
@@ -1060,10 +1223,138 @@ impl<'a> Sim<'a> {
                 self.metrics.add("cluster.migrations", 1);
                 self.metrics.record("cluster.migration.transfer", transfer);
                 self.metrics.record("cluster.migration.reexec", reexec);
+                if drain {
+                    self.metrics.add("rebal.drains", 1);
+                    self.metrics.add("rebal.drain.migrations", 1);
+                }
                 self.enqueue(dest, job, now)?;
-                self.try_start(m, now)
+                self.try_start(m, now)?;
+                Ok(true)
             }
         }
+    }
+
+    /// Proactively drain machine `m`: requeue its queued jobs onto the
+    /// healthiest peers immediately and live-migrate the in-flight job,
+    /// instead of letting every resident request discover the sickness
+    /// one timeout at a time. Bounded by `max_concurrent_drains`; a
+    /// machine drains at most once per episode (the flag resets when its
+    /// breaker closes or it recovers from a crash), so drain storms are
+    /// structurally impossible.
+    fn proactive_drain(&mut self, m: usize, now: u64) -> Result<(), ClusterError> {
+        let Some(rb) = self.rebal else { return Ok(()) };
+        if self.draining[m] || !self.machines[m].up {
+            return Ok(());
+        }
+        if self.draining.iter().filter(|&&d| d).count() >= rb.max_concurrent_drains.max(1) {
+            self.metrics.add("rebal.drain.skipped_concurrent", 1);
+            return Ok(());
+        }
+        self.draining[m] = true;
+        self.metrics.add("rebal.drain.events", 1);
+        // Queued jobs first: requeue them through the policy (which sees
+        // breaker state and advertised capacity, so they land on the
+        // healthiest peers). Hedged twins just drop this attempt.
+        let queued: Vec<usize> = self.machines[m].queue.drain(..).collect();
+        self.machines[m].queued_cycles = 0;
+        let mut moved = 0u64;
+        for job in queued {
+            self.remove_placement(m, job);
+            if self.jobs[job].placements.is_empty() {
+                self.metrics.add("rebal.drains", 1);
+                moved += 1;
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_drain(m, job, now);
+                }
+                self.dispatch_ex(job, now, &[m], false)?;
+            } else {
+                self.metrics.add("rebal.drain.dropped_hedged", 1);
+                if let Some(sc) = self.scope.as_mut() {
+                    sc.on_queue_interrupt(m, job, now);
+                }
+            }
+        }
+        // The in-flight job live-migrates through the standard
+        // machinery, paying the usual transfer + re-execution charges.
+        let migrated = self.migrate_off(m, now, true)?;
+        if moved == 0 && !migrated {
+            // The episode moved nothing (the machine was idle, or every
+            // resident was a hedged twin): release the latch so a later
+            // trigger can catch a real queue. Re-arming still costs
+            // `slow_after` further slow completions, so this cannot
+            // thrash.
+            self.draining[m] = false;
+            self.metrics.add("rebal.drain.empty_episodes", 1);
+        }
+        Ok(())
+    }
+
+    /// One periodic rebalance tick: compare expected drain times
+    /// `(queued + running) / capacity` across up machines and move
+    /// queued jobs from the worst to the best while the skew exceeds the
+    /// threshold. Movers and receivers then sit out `rebal_cooldown`
+    /// cycles, so a job can never ping-pong between two machines.
+    fn handle_rebalance(&mut self, now: u64) -> Result<(), ClusterError> {
+        let Some(rb) = self.rebal else { return Ok(()) };
+        self.metrics.add("rebal.ticks", 1);
+        for _ in 0..rb.max_moves_per_event.max(1) {
+            let mut worst: Option<(usize, u64)> = None;
+            let mut best: Option<(usize, u64)> = None;
+            for m in 0..self.machines.len() {
+                if !self.machines[m].up || now < self.rebal_quiet_until[m] {
+                    continue;
+                }
+                let mach = &self.machines[m];
+                let backlog = mach.queued_cycles
+                    + if mach.running.is_some() {
+                        mach.completes.saturating_sub(now)
+                    } else {
+                        0
+                    };
+                let e = backlog.saturating_mul(1000) / self.capacity_permille(m);
+                // A source needs a movable queued job; ties keep the
+                // lowest machine index on both sides (determinism).
+                let movable = mach.queue.iter().any(|&j| {
+                    self.jobs[j].placements.len() == 1 && self.jobs[j].pending_migration.is_none()
+                });
+                if movable && worst.is_none_or(|(_, we)| e > we) {
+                    worst = Some((m, e));
+                }
+                if !self.breaker_open(m) && best.is_none_or(|(_, be)| e < be) {
+                    best = Some((m, e));
+                }
+            }
+            let (Some((src, src_e)), Some((dst, dst_e))) = (worst, best) else {
+                break;
+            };
+            if src == dst || src_e <= dst_e.saturating_mul(rb.skew_threshold_permille.max(1)) / 1000
+            {
+                break;
+            }
+            // Move the most recently queued movable job: the head of the
+            // queue is about to run here anyway.
+            let pos = self.machines[src]
+                .queue
+                .iter()
+                .rposition(|&j| {
+                    self.jobs[j].placements.len() == 1 && self.jobs[j].pending_migration.is_none()
+                })
+                .expect("source had a movable job");
+            let job = self.machines[src].queue.remove(pos).expect("valid index");
+            let est = self.estimate(job, src);
+            self.machines[src].queued_cycles = self.machines[src].queued_cycles.saturating_sub(est);
+            self.remove_placement(src, job);
+            self.metrics.add("rebal.moves", 1);
+            self.metrics.add("rebal.drains", 1);
+            if let Some(sc) = self.scope.as_mut() {
+                sc.on_drain(src, job, now);
+            }
+            self.jobs[job].placements.push((dst, false));
+            self.enqueue(dst, job, now)?;
+            self.rebal_quiet_until[src] = now + self.rebal_cooldown;
+            self.rebal_quiet_until[dst] = now + self.rebal_cooldown;
+        }
+        Ok(())
     }
 
     /// Back-fill any sampler ticks due before the event at `now` runs.
@@ -1129,6 +1420,9 @@ impl<'a> Sim<'a> {
                 Ev::Migrate { machine } => self.handle_migrate(machine, now)?,
                 Ev::Recover { machine } => {
                     self.machines[machine].up = true;
+                    // A recovered machine starts a fresh drain episode.
+                    self.draining[machine] = false;
+                    self.slow_streak[machine] = 0;
                     self.metrics.add("cluster.recoveries", 1);
                     if let Some(sc) = self.scope.as_mut() {
                         sc.on_recover(machine, now);
@@ -1167,6 +1461,12 @@ impl<'a> Sim<'a> {
                                     sc.on_breaker(m, "breaker.open", now);
                                 }
                                 self.push(at, Ev::Probe { machine: m });
+                                // Proactive degradation: don't wait for
+                                // every resident request to time out —
+                                // drain the machine now.
+                                if self.rebal.is_some_and(|rb| rb.drain_on_break) {
+                                    self.proactive_drain(m, now)?;
+                                }
                             }
                         }
                     }
@@ -1232,6 +1532,7 @@ impl<'a> Sim<'a> {
                         }
                     }
                 }
+                Ev::Rebalance => self.handle_rebalance(now)?,
             }
         }
         Ok(())
@@ -1262,6 +1563,7 @@ fn run_policy(
             wave_start: 0,
             retries: 0,
             placements: Vec::new(),
+            cross_shape: false,
         })
         .collect();
     let machines: Vec<Mach> = (0..cfg.machines)
@@ -1303,6 +1605,13 @@ fn run_policy(
         breakers: vec![Breaker::new(); cfg.machines],
         class_lat: vec![ExactPercentiles::new(); profile.classes.len()],
         scope,
+        rebal: cfg.rebal,
+        draining: vec![false; cfg.machines],
+        slow_streak: vec![0; cfg.machines],
+        rebal_quiet_until: vec![0; cfg.machines],
+        rebal_cooldown: cfg
+            .rebal
+            .map_or(0, |rb| span / 1000 * rb.cooldown_permille as u64),
     };
     // Faults and migrations are scheduled as per-mille points of the
     // trace's arrival span, so configs stay meaningful across scales.
@@ -1313,6 +1622,21 @@ fn run_policy(
     for &(machine, permille) in &cfg.migrations {
         let t = span / 1000 * permille as u64;
         sim.push(t, Ev::Migrate { machine });
+    }
+    // Rebalance ticks are laid out up front with seeded jitter so the
+    // whole schedule is a pure function of the config.
+    if let Some(rb) = cfg.rebal {
+        if rb.rebalance_every_permille > 0 && span > 0 {
+            let period = (span / 1000 * rb.rebalance_every_permille as u64).max(1);
+            let mut k = 1u64;
+            let mut t = period;
+            while t <= span {
+                let jitter = splitmix64(cfg.seed ^ REBAL_SALT.wrapping_add(k)) % (period / 8 + 1);
+                sim.push(t + jitter, Ev::Rebalance);
+                k += 1;
+                t += period;
+            }
+        }
     }
     sim.run(trace)?;
 
@@ -1373,18 +1697,36 @@ fn run_policy(
 /// Reject configurations the simulator would silently mishandle.
 fn validate(cfg: &ClusterConfig) -> Result<(), ClusterError> {
     if cfg.machines == 0 {
-        return Err(ClusterError("cluster needs at least one machine".into()));
+        return Err(ClusterError::msg("cluster needs at least one machine"));
     }
     if cfg.queue_cap == 0 {
-        return Err(ClusterError(
-            "queue cap must be at least 1 (0 would shed everything)".into(),
+        return Err(ClusterError::msg(
+            "queue cap must be at least 1 (0 would shed everything)",
         ));
     }
-    for &(m, _) in cfg.crashes.iter().chain(&cfg.migrations) {
+    for &(m, _) in &cfg.crashes {
         if m >= cfg.machines {
-            return Err(ClusterError(format!(
+            return Err(ClusterError::msg(format!(
                 "machine {m} out of range for a {}-machine fleet",
                 cfg.machines
+            )));
+        }
+    }
+    for (index, &(machine, permille)) in cfg.migrations.iter().enumerate() {
+        if machine >= cfg.machines || permille > 1000 {
+            return Err(ClusterError::InvalidMigration {
+                index,
+                machine,
+                permille,
+                machines: cfg.machines,
+            });
+        }
+    }
+    for (m, shape) in cfg.shapes.iter().enumerate() {
+        if shape.spe_count == 0 || shape.spe_count > 8 {
+            return Err(ClusterError::msg(format!(
+                "machine {m} shape has {} SPEs (must be 1..=8)",
+                shape.spe_count
             )));
         }
     }
@@ -1395,7 +1737,7 @@ fn validate(cfg: &ClusterConfig) -> Result<(), ClusterError> {
             ("ls_corruption", c),
         ] {
             if ppm > 1_000_000 {
-                return Err(ClusterError(format!(
+                return Err(ClusterError::msg(format!(
                     "fault rate {knob} = {ppm} ppm exceeds 1_000_000"
                 )));
             }
@@ -1403,14 +1745,14 @@ fn validate(cfg: &ClusterConfig) -> Result<(), ClusterError> {
     }
     for &(m, factor, _) in &cfg.slowdowns {
         if m >= cfg.machines {
-            return Err(ClusterError(format!(
+            return Err(ClusterError::msg(format!(
                 "slowdown machine {m} out of range for a {}-machine fleet",
                 cfg.machines
             )));
         }
         if factor == 0 {
-            return Err(ClusterError(
-                "slowdown factor 0 is meaningless (1 = no slowdown)".into(),
+            return Err(ClusterError::msg(
+                "slowdown factor 0 is meaningless (1 = no slowdown)",
             ));
         }
     }
@@ -1457,11 +1799,24 @@ pub fn run_experiment(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError
             walls
         );
     }
+    if !cfg.shapes.is_empty() {
+        let spes: Vec<u8> = (0..cfg.machines).map(|m| cfg.shape_of(m)).collect();
+        let _ = writeln!(header, "shapes (SPEs per machine): {spes:?}");
+    }
     if !cfg.slowdowns.is_empty() {
         let _ = writeln!(
             header,
             "stragglers (machine, factor, from_cycle): {:?}",
             cfg.slowdowns
+        );
+    }
+    if let Some(rb) = &cfg.rebal {
+        let _ =
+            writeln!(
+            header,
+            "rebal: drain_on_break {} drain_on_slow {} rebalance_every {}permille skew {}permille",
+            rb.drain_on_break, rb.drain_on_slow, rb.rebalance_every_permille,
+            rb.skew_threshold_permille
         );
     }
     if let Some(r) = &cfg.resil {
@@ -1639,8 +1994,8 @@ fn run_row(
     trace: &[Request],
     span: u64,
     failures: &mut Vec<String>,
-) -> Result<(MatrixRow, Option<ScopeOutcome>), ClusterError> {
-    let mut outcome = run_policy(
+) -> Result<(MatrixRow, PolicyOutcome), ClusterError> {
+    let outcome = run_policy(
         cfg,
         profile,
         trace,
@@ -1666,7 +2021,7 @@ fn run_row(
         breaker_trips: m.counter("resil.breaker.trips"),
         slo_ok: cfg.resil.map(|_| m.counter("resil.slo_ok")),
     };
-    Ok((row, outcome.scope.take()))
+    Ok((row, outcome))
 }
 
 /// Run the resilience matrix: a fault-free baseline, then the config's
@@ -1769,10 +2124,10 @@ pub fn run_chaos_matrix(cfg: &ClusterConfig) -> Result<ChaosReport, ClusterError
         if !(breakers || hedging || shedding) {
             name.push_str(", resil off");
         }
-        let (row, row_scope) =
+        let (row, mut outcome) =
             run_row(&name, &row_cfg, &chaos_profile, &trace, span, &mut failures)?;
         rows.push(row);
-        if let Some(s) = row_scope {
+        if let Some(s) = outcome.scope.take() {
             // Last row wins: the all-knobs-on replay is the one whose
             // trace exercises every causal edge (retries, hedges,
             // requeues, breaker transitions).
@@ -1782,6 +2137,243 @@ pub fn run_chaos_matrix(cfg: &ClusterConfig) -> Result<ChaosReport, ClusterError
     Ok(ChaosReport {
         header,
         rows,
+        failures,
+        scope,
+    })
+}
+
+// --------------------------------------------------------- rebal matrix
+
+/// Per-row proactive-degradation counters surfaced in the E15 report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RebalStats {
+    /// Jobs moved off a machine by the proactive layer (queued drains +
+    /// drain live-migrations + rebalance moves). Reconciles exactly with
+    /// the hera-scope `Drain` flow ledger.
+    pub drains: u64,
+    /// Drain episodes triggered (breaker trips + sustained slowdowns).
+    pub drain_events: u64,
+    /// Queued jobs moved by the periodic rebalancer.
+    pub moves: u64,
+    /// Live migrations (scheduled + drain-triggered).
+    pub migrations: u64,
+    /// Adoption proofs run (every resume start).
+    pub adoption_proofs: u64,
+    /// Cross-shape adoptions proven by replay determinism.
+    pub cross_shape: u64,
+    /// Migration events whose adoption proof came back green.
+    pub migrations_verified: u64,
+}
+
+/// The `figures -- cluster-rebal` result (E15): a heterogeneous fleet
+/// under the straggler + crash-storm schedule, replayed with reactive
+/// resilience only and then with the proactive-degradation layer on.
+/// Same config ⇒ the rendered report is byte-identical.
+pub struct RebalReport {
+    pub header: String,
+    pub rows: Vec<MatrixRow>,
+    /// Per-row proactive counters, parallel to `rows`.
+    pub stats: Vec<RebalStats>,
+    pub failures: Vec<String>,
+    /// hera-scope recording of the last (drains + rebalancer) row when
+    /// `ClusterConfig::scope` is set; `None` otherwise. Not rendered.
+    pub scope: Option<ScopeOutcome>,
+}
+
+impl RebalReport {
+    /// The fault-free baseline row.
+    pub fn baseline(&self) -> &MatrixRow {
+        &self.rows[0]
+    }
+
+    /// The faults-on, reactive-resilience-only row (rebal off).
+    pub fn reactive(&self) -> &MatrixRow {
+        &self.rows[1]
+    }
+
+    /// The all-on row: proactive drains plus the periodic rebalancer.
+    pub fn proactive(&self) -> &MatrixRow {
+        self.rows.last().expect("matrix always has rows")
+    }
+
+    /// Stats of the all-on row.
+    pub fn proactive_stats(&self) -> &RebalStats {
+        self.stats.last().expect("matrix always has rows")
+    }
+
+    /// Deterministic text rendering: same seed ⇒ identical string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>11} {:>11} {:>8} {:>6} {:>5} {:>5} {:>5}",
+            "row", "p50", "p95", "p99", "p999", "goodput", "slo", "shed", "t/o", "trip"
+        );
+        for r in &self.rows {
+            let slo = match r.slo_permille() {
+                Some(p) => format!("{}.{}%", p / 10, p % 10),
+                None => "-".into(),
+            };
+            let gp = r.goodput_permille();
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>10} {:>11} {:>11} {:>6}.{}% {:>6} {:>5} {:>5} {:>5}",
+                r.name,
+                r.p50,
+                r.p95,
+                r.p99,
+                r.p999,
+                gp / 10,
+                gp % 10,
+                slo,
+                r.shed,
+                r.timeouts,
+                r.breaker_trips
+            );
+        }
+        for (r, s) in self.rows.iter().zip(&self.stats) {
+            let _ = writeln!(
+                out,
+                "{:<28} drains {} (episodes {}, moves {}), migrations {} ({} verified), \
+                 adoption proofs {} ({} cross-shape)",
+                r.name,
+                s.drains,
+                s.drain_events,
+                s.moves,
+                s.migrations,
+                s.migrations_verified,
+                s.adoption_proofs,
+                s.cross_shape
+            );
+        }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "FAILURES ({}):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+/// Run the proactive-degradation matrix (E15): a fault-free baseline,
+/// the straggler + crash-storm schedule under reactive (full hera-resil)
+/// protection, the same with breaker/slowdown-triggered proactive
+/// drains, and finally drains plus the periodic rebalancer. Every row
+/// replays the *same* trace through join-shortest-queue; heterogeneous
+/// shapes make crash recoveries and drains exercise the cross-shape
+/// adoption path for real.
+pub fn run_rebal_matrix(cfg: &ClusterConfig) -> Result<RebalReport, ClusterError> {
+    validate(cfg)?;
+    let mut base_cfg = cfg.clone();
+    base_cfg.slowdowns.clear();
+    base_cfg.crashes.clear();
+    base_cfg.migrations.clear();
+    base_cfg.fault_rates = None;
+    base_cfg.resil = None;
+    base_cfg.rebal = None;
+    let base_profile = build_profile(&base_cfg)?;
+    let chaos_profile = build_profile(cfg)?;
+
+    let util = cfg.utilization_pct.clamp(1, 100) as u64;
+    let mean_inter = (base_profile.mean_service * 100 / util / cfg.machines.max(1) as u64).max(1);
+    let trace = traffic::generate(cfg.seed, cfg.requests, mean_inter, cfg.arrival, &cfg.mix);
+    let span = trace.last().map(|r| r.arrival).unwrap_or(0);
+
+    let resil_full = cfg
+        .resil
+        .unwrap_or(ResilConfig {
+            deadline_cycles: base_profile.mean_service * 8,
+            slo_cycles: base_profile.mean_service * 12,
+            backoff_base_cycles: (base_profile.mean_service / 8).max(1),
+            probe_base_cycles: base_profile.mean_service * 2,
+            ..ResilConfig::default()
+        })
+        .full();
+    let rebal = cfg.rebal.unwrap_or_default();
+
+    let shapes: Vec<u8> = (0..cfg.machines).map(|m| cfg.shape_of(m)).collect();
+    let mut header = String::new();
+    let _ = writeln!(
+        header,
+        "== hera-rebal matrix: {} machines, shapes {:?}, {} requests, seed {}, \
+         stragglers {:?}, crashes {:?}, migrations {:?} ==",
+        cfg.machines, shapes, cfg.requests, cfg.seed, cfg.slowdowns, cfg.crashes, cfg.migrations
+    );
+    let _ = writeln!(
+        header,
+        "mean service {} cycles (healthy fleet), mean inter-arrival {} cycles \
+         (target utilization {}%), deadline {} cycles, slo {} cycles",
+        base_profile.mean_service,
+        mean_inter,
+        cfg.utilization_pct,
+        resil_full.deadline_cycles,
+        resil_full.slo_cycles
+    );
+    let _ = writeln!(
+        header,
+        "rebal: slow_after {} slow_factor {}permille max_drains {} \
+         rebalance_every {}permille skew {}permille cooldown {}permille",
+        rebal.slow_after,
+        rebal.slow_factor_permille,
+        rebal.max_concurrent_drains,
+        rebal.rebalance_every_permille,
+        rebal.skew_threshold_permille,
+        rebal.cooldown_permille
+    );
+
+    let mut rows = Vec::new();
+    let mut stats = Vec::new();
+    let mut failures = Vec::new();
+    let mut scope = None;
+    let row_specs: [(&str, bool, Option<RebalConfig>); 4] = [
+        ("fault-free baseline", false, None),
+        ("faults, reactive resil", true, None),
+        ("faults +drains", true, Some(RebalConfig::drains_only())),
+        ("faults +drains+rebalance", true, Some(rebal)),
+    ];
+    for (name, faulty, row_rebal) in row_specs {
+        let mut row_cfg = if faulty {
+            cfg.clone()
+        } else {
+            base_cfg.clone()
+        };
+        if faulty {
+            row_cfg.resil = Some(resil_full);
+        }
+        row_cfg.rebal = row_rebal;
+        let profile = if faulty {
+            &chaos_profile
+        } else {
+            &base_profile
+        };
+        let (row, mut outcome) = run_row(name, &row_cfg, profile, &trace, span, &mut failures)?;
+        let m = &outcome.metrics;
+        stats.push(RebalStats {
+            drains: m.counter("rebal.drains"),
+            drain_events: m.counter("rebal.drain.events"),
+            moves: m.counter("rebal.moves"),
+            migrations: m.counter("cluster.migrations"),
+            adoption_proofs: m.counter("cluster.adoption.proofs"),
+            cross_shape: m.counter("cluster.adoption.cross_shape"),
+            migrations_verified: outcome
+                .migration_events
+                .iter()
+                .filter(|e| e.verified_identical)
+                .count() as u64,
+        });
+        rows.push(row);
+        if let Some(s) = outcome.scope.take() {
+            // Last row wins: the all-on replay exercises every causal
+            // edge, drains included.
+            scope = Some(s);
+        }
+    }
+    Ok(RebalReport {
+        header,
+        rows,
+        stats,
         failures,
         scope,
     })
@@ -1836,6 +2428,65 @@ mod tests {
         assert!(run_experiment(&cfg).is_err());
         let mut cfg = tiny();
         cfg.crashes = vec![(9, 500)];
+        assert!(run_experiment(&cfg).is_err());
+    }
+
+    #[test]
+    fn migration_validation_is_typed_and_checks_both_fields() {
+        // Machine index out of range.
+        let mut cfg = tiny();
+        cfg.migrations = vec![(0, 100), (7, 500)];
+        match run_experiment(&cfg) {
+            Err(ClusterError::InvalidMigration {
+                index,
+                machine,
+                permille,
+                machines,
+            }) => {
+                assert_eq!((index, machine, permille, machines), (1, 7, 500, 2));
+            }
+            Err(e) => panic!("expected InvalidMigration, got {e:?}"),
+            Ok(_) => panic!("expected InvalidMigration, got a report"),
+        }
+        // Per-mille beyond the trace span.
+        let mut cfg = tiny();
+        cfg.migrations = vec![(1, 1001)];
+        match run_experiment(&cfg) {
+            Err(ClusterError::InvalidMigration {
+                index,
+                machine,
+                permille,
+                ..
+            }) => {
+                assert_eq!((index, machine, permille), (0, 1, 1001));
+            }
+            Err(e) => panic!("expected InvalidMigration, got {e:?}"),
+            Ok(_) => panic!("expected InvalidMigration, got a report"),
+        }
+        // The display form names the entry precisely.
+        let err = ClusterError::InvalidMigration {
+            index: 3,
+            machine: 9,
+            permille: 2000,
+            machines: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("migrations[3]"), "{text}");
+        assert!(text.contains("machine 9"), "{text}");
+        // An in-range schedule still validates.
+        let mut cfg = tiny();
+        cfg.migrations = vec![(1, 1000)];
+        cfg.requests = 10;
+        assert!(run_experiment(&cfg).is_ok());
+    }
+
+    #[test]
+    fn shape_validation_rejects_zero_and_oversized_spe_counts() {
+        let mut cfg = tiny();
+        cfg.shapes = vec![crate::MachineShape { spe_count: 0 }];
+        assert!(run_experiment(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.shapes = vec![crate::MachineShape { spe_count: 9 }];
         assert!(run_experiment(&cfg).is_err());
     }
 }

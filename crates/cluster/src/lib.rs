@@ -18,6 +18,7 @@
 //! every migration and every crash recovery.
 
 pub mod policy;
+pub mod rebal;
 pub mod resil;
 pub mod traffic;
 
@@ -25,10 +26,11 @@ mod fleet;
 mod scope;
 
 pub use fleet::{
-    crash_storm, run_chaos_matrix, run_experiment, ChaosReport, ClusterReport, CrashEvent,
-    MatrixRow, MigrationEvent, PolicyOutcome,
+    crash_storm, run_chaos_matrix, run_experiment, run_rebal_matrix, ChaosReport, ClusterReport,
+    CrashEvent, MatrixRow, MigrationEvent, PolicyOutcome, RebalReport, RebalStats,
 };
 pub use policy::{BalancePolicy, JoinShortestQueue, LeastLoaded, MachineView, RoundRobin};
+pub use rebal::RebalConfig;
 pub use resil::{Breaker, BreakerState, ResilConfig};
 pub use scope::ScopeOutcome;
 pub use traffic::{generate, ArrivalShape, Request};
@@ -37,15 +39,63 @@ pub use traffic::{generate, ArrivalShape, Request};
 /// bug rather than a measured outcome). Divergence proofs that *fail*
 /// are reported in [`ClusterReport::failures`], not here.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ClusterError(pub String);
+pub enum ClusterError {
+    /// A `ClusterConfig::migrations` entry the event scheduler would
+    /// silently mishandle: the machine index is out of range, or the
+    /// per-mille point lies beyond the trace span (the migration would
+    /// be scheduled after every arrival and look like a silent no-op).
+    InvalidMigration {
+        /// Index of the offending entry in `ClusterConfig::migrations`.
+        index: usize,
+        /// The source machine the entry names.
+        machine: usize,
+        /// The per-mille point the entry names.
+        permille: u32,
+        /// Fleet size the entry was validated against.
+        machines: usize,
+    },
+    /// Any other invalid configuration, or a VM-level error that is a
+    /// bug rather than a measured outcome.
+    Config(String),
+}
+
+impl ClusterError {
+    /// Catch-all constructor for config/VM errors without a typed shape.
+    pub(crate) fn msg(s: impl Into<String>) -> Self {
+        ClusterError::Config(s.into())
+    }
+}
 
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            ClusterError::InvalidMigration {
+                index,
+                machine,
+                permille,
+                machines,
+            } => write!(
+                f,
+                "migrations[{index}] = (machine {machine}, {permille}‰) is invalid for a \
+                 {machines}-machine fleet (machine must be < {machines}, permille <= 1000)"
+            ),
+            ClusterError::Config(s) => f.write_str(s),
+        }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+/// The hardware shape of one fleet member: how many SPEs it has. All
+/// other machine parameters (heap, partition, checkpoint cadence) are
+/// fleet-wide, so shape is the single axis of heterogeneity — exactly
+/// the axis snapshot adoption can bridge (missing SPEs are treated as
+/// dead-at-adopt and drained to the PPE).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineShape {
+    /// SPEs on this machine (1..=8).
+    pub spe_count: u8,
+}
 
 /// Everything that defines one fleet experiment.
 #[derive(Clone, PartialEq, Debug)]
@@ -112,6 +162,22 @@ pub struct ClusterConfig {
     /// default; observation only — it charges zero virtual cycles and
     /// leaves every rendered report byte-identical.
     pub scope: bool,
+    /// Per-machine hardware shapes. Machines beyond the end of this list
+    /// (and the whole fleet when it is empty — the default) use
+    /// [`ClusterConfig::num_spes`], so existing configs are untouched.
+    pub shapes: Vec<MachineShape>,
+    /// Proactive-degradation knobs (breaker-triggered drain, sustained
+    /// slowdown drain, periodic rebalancing); `None` — the default —
+    /// disables the whole layer and adds zero virtual-cycle cost.
+    pub rebal: Option<rebal::RebalConfig>,
+}
+
+impl ClusterConfig {
+    /// SPE count of machine `m`: its [`MachineShape`] when one is
+    /// configured, the fleet-wide `num_spes` otherwise.
+    pub fn shape_of(&self, m: usize) -> u8 {
+        self.shapes.get(m).map_or(self.num_spes, |s| s.spe_count)
+    }
 }
 
 impl Default for ClusterConfig {
@@ -139,6 +205,8 @@ impl Default for ClusterConfig {
             queue_cap: 1024,
             resil: None,
             scope: false,
+            shapes: vec![],
+            rebal: None,
         }
     }
 }

@@ -1,0 +1,86 @@
+//! Proactive-degradation knobs: breaker-triggered drain, sustained
+//! slowdown detection, and the periodic auto-rebalancer.
+//!
+//! hera-resil is *reactive* — it waits for a deadline to blow or a
+//! machine to crash before routing around it, and every request resident
+//! on a sick machine pays the timeout first. This layer acts on the same
+//! health signals *before* the requests fail: when a breaker opens (or a
+//! machine's reference service time is persistently worse than its
+//! same-shape peers), the fleet drains it — queued jobs requeue to the
+//! healthiest peers immediately and the in-flight job live-migrates
+//! through the standard snapshot machinery, paying the usual transfer
+//! and re-execution charges. Independently, a periodic seeded rebalance
+//! event compares expected drain times `(queued + running) /
+//! capacity_permille` across machines and moves queued work when the
+//! skew exceeds a threshold.
+//!
+//! Determinism discipline: every decision is a pure function of fleet
+//! state at a virtual instant, rebalance ticks are scheduled up front
+//! from the seed, and hysteresis is structural — a machine drains at
+//! most once per breaker episode, concurrent drains are bounded, and a
+//! post-move cooldown keeps the rebalancer from ping-ponging a job
+//! between two machines. With `ClusterConfig::rebal` at its default
+//! (`None`) none of this code runs and every golden report is
+//! byte-identical to the previous release.
+
+/// Knobs for the proactive-degradation layer. All thresholds are in
+/// per-mille of fleet-relative quantities so they stay meaningful across
+/// workload scales.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RebalConfig {
+    /// Drain a machine the moment its breaker opens, instead of letting
+    /// resident requests discover the sickness one timeout at a time.
+    pub drain_on_break: bool,
+    /// Drain a machine when its completions are persistently slower
+    /// than the best same-shape peer (see `slow_factor_permille`).
+    pub drain_on_slow: bool,
+    /// Consecutive slow completions before a sustained-slowdown drain
+    /// fires (clamped to at least 1).
+    pub slow_after: u32,
+    /// A completion counts as "slow" when the machine's reference wall
+    /// for the class is at least `best_same_shape_wall * this / 1000`.
+    pub slow_factor_permille: u64,
+    /// Upper bound on machines draining at once (clamped to at least 1);
+    /// further drain triggers are counted and skipped.
+    pub max_concurrent_drains: usize,
+    /// Rebalance-tick period as a per-mille fraction of the trace's
+    /// arrival span; 0 disables the periodic rebalancer (drains still
+    /// fire).
+    pub rebalance_every_permille: u32,
+    /// A queued job moves only when the worst machine's expected drain
+    /// time exceeds `best * this / 1000`.
+    pub skew_threshold_permille: u64,
+    /// After a rebalance move, both participants sit out further moves
+    /// for this per-mille fraction of the span (hysteresis).
+    pub cooldown_permille: u32,
+    /// Most queued jobs one rebalance tick may move (clamped to at
+    /// least 1).
+    pub max_moves_per_event: usize,
+}
+
+impl Default for RebalConfig {
+    fn default() -> Self {
+        RebalConfig {
+            drain_on_break: true,
+            drain_on_slow: true,
+            slow_after: 2,
+            slow_factor_permille: 2_000,
+            max_concurrent_drains: 2,
+            rebalance_every_permille: 50,
+            skew_threshold_permille: 2_000,
+            cooldown_permille: 100,
+            max_moves_per_event: 2,
+        }
+    }
+}
+
+impl RebalConfig {
+    /// Drain-only preset: breaker and slowdown drains on, periodic
+    /// rebalancer off. Isolates the proactive-drain effect in matrices.
+    pub fn drains_only() -> Self {
+        RebalConfig {
+            rebalance_every_permille: 0,
+            ..RebalConfig::default()
+        }
+    }
+}

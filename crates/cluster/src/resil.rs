@@ -101,6 +101,26 @@ impl ResilConfig {
     }
 }
 
+/// Advertised capacity of a machine in per-mille of its healthy self,
+/// as fed to health-weighted balancing ([`crate::MachineView`]): a
+/// straggler running at `slowdown_factor`× advertises `1000 / factor`,
+/// a half-open breaker caps the advertisement at 250 so probe traffic
+/// stays a trickle, and the floor of 1 keeps capacity-weighted
+/// arithmetic divide-safe. Pure integer function of its inputs — the
+/// property tests in `tests/cluster.rs` pin the 1..=1000 bounds and
+/// monotonicity in health.
+pub fn advertised_capacity_permille(slowdown_factor: u32, half_open: bool) -> u64 {
+    let mut cap = if slowdown_factor >= 2 {
+        1000 / slowdown_factor as u64
+    } else {
+        1000
+    };
+    if half_open {
+        cap = cap.min(250);
+    }
+    cap.max(1)
+}
+
 /// Backoff before retry wave `retry` (1-based) of `job`: exponential in
 /// the retry count with seeded jitter. Pure function of its arguments,
 /// and strictly monotone in `retry` — jitter is bounded by a fraction

@@ -98,6 +98,7 @@ pub(crate) struct Scope {
     hedges: u64,
     requeues: u64,
     migrations: u64,
+    drains: u64,
 }
 
 impl Scope {
@@ -123,6 +124,7 @@ impl Scope {
             hedges: 0,
             requeues: 0,
             migrations: 0,
+            drains: 0,
         }
     }
 
@@ -362,6 +364,28 @@ impl Scope {
         }
     }
 
+    /// A proactive drain pulled queued `job` out of machine `m`: close
+    /// its queue span and arm the [`FlowKind::Drain`] arrow the next
+    /// enqueue will consume.
+    pub fn on_drain(&mut self, m: usize, job: usize, now: u64) {
+        if let Some(enq) = self.mach[m].queue_since.remove(&job) {
+            let root = self.jobs[job].root;
+            let id = self.alloc();
+            self.spans.push(FleetSpan {
+                track: machine_track(m),
+                name: format!("queue.drained req{job}"),
+                cat: "queue",
+                begin: enq,
+                dur: now.saturating_sub(enq),
+                id,
+                parent: root,
+                args: vec![("machine", m as u64)],
+            });
+        }
+        self.drains += 1;
+        self.flow_from(job, FlowKind::Drain, machine_track(m), now);
+    }
+
     pub fn on_crash(&mut self, m: usize, now: u64) {
         self.marker(machine_track(m), String::from("crash"), "fault", now, 0);
     }
@@ -374,7 +398,9 @@ impl Scope {
     /// attempt, record the snapshot-transfer cost (`bytes` moved,
     /// `transfer` cycles in flight, `reexec` cycles replayed on the
     /// destination), and arm the arrow the destination enqueue will
-    /// consume.
+    /// consume. `drain` marks a proactive-drain migration: the span and
+    /// arrow are labelled as a drain and the drain ledger counts it too
+    /// (it is still a migration — the simulator charges it identically).
     pub fn on_migrate(
         &mut self,
         m: usize,
@@ -382,13 +408,15 @@ impl Scope {
         job: usize,
         now: u64,
         (bytes, transfer, reexec): (u64, u64, u64),
+        drain: bool,
     ) {
         self.close_service(m, now, "service.migrated");
         let root = self.jobs[job].root;
         let id = self.alloc();
+        let verb = if drain { "drain" } else { "migrate" };
         self.spans.push(FleetSpan {
             track: machine_track(m),
-            name: format!("migrate req{job}"),
+            name: format!("{verb} req{job}"),
             cat: "migration",
             begin: now,
             dur: 0,
@@ -402,7 +430,13 @@ impl Scope {
             ],
         });
         self.migrations += 1;
-        self.flow_from(job, FlowKind::Migrate, machine_track(m), now);
+        let kind = if drain {
+            self.drains += 1;
+            FlowKind::Drain
+        } else {
+            FlowKind::Migrate
+        };
+        self.flow_from(job, kind, machine_track(m), now);
     }
 
     /// An attempt wave hit its deadline (the wave's cancels follow via
@@ -511,6 +545,7 @@ impl Scope {
             self.migrations,
             sim.counter("cluster.migrations"),
         );
+        check("drain", self.drains, sim.counter("rebal.drains"));
         let terminals = self.completed + self.shed + self.timedout;
         if terminals != njobs {
             failures.push(format!(
@@ -534,6 +569,7 @@ impl Scope {
         self.metrics.set("scope.flow.hedges", self.hedges);
         self.metrics.set("scope.flow.requeues", self.requeues);
         self.metrics.set("scope.flow.migrations", self.migrations);
+        self.metrics.set("scope.flow.drains", self.drains);
 
         let mut tracks = vec![String::from("front-end")];
         for m in 0..self.mach.len() {

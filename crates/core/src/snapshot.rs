@@ -29,7 +29,7 @@ use crate::thread::{
 };
 use crate::vm::VmConfig;
 use crate::world::World;
-use hera_cell::{CoreId, CoreKind, CycleBreakdown, FaultPlan, SpeDeath};
+use hera_cell::{CoreId, CoreKind, CycleBreakdown, FaultPlan, OpClass, SpeDeath};
 use hera_isa::{ClassId, MethodId, ObjRef, Program, Slot, Trap, Value};
 use hera_snap::{digest64, open, rle_decode, rle_encode, seal, SnapError, SnapReader, SnapWriter};
 use hera_trace::{Histogram, MetricsRegistry, MigrationKind};
@@ -741,11 +741,12 @@ pub fn restore_into(
     let core = outer.take(core_len)?;
     let mut r = SnapReader::new(core);
 
-    if r.u64()? != config_digest(&world.config) {
-        return Err(SnapError::Corrupt(
-            "snapshot was taken under a different VM configuration".into(),
-        ));
-    }
+    // The config digest folds in the core count, so it cannot be checked
+    // until the snapshot's own core count is known: a cross-shape adoption
+    // (6-SPE snapshot onto a 2-SPE machine) is legitimate as long as the
+    // configurations agree on everything *except* `num_spes`. Hold the
+    // claimed digest and settle it right after the core count below.
+    let claimed_config = r.u64()?;
     if r.u64()? != program_digest(world.program) {
         return Err(SnapError::Corrupt(
             "snapshot was taken of a different guest program".into(),
@@ -771,21 +772,62 @@ pub fn restore_into(
     let _wall = r.u64()?;
     let cores = world.machine.cores();
     let ncores = cores.len();
-    if r.u32()? as usize != ncores {
-        return Err(SnapError::Corrupt("core count mismatch".into()));
+    let src_ncores = r.u32()? as usize;
+    if src_ncores == ncores {
+        if claimed_config != config_digest(&world.config) {
+            return Err(SnapError::Corrupt(
+                "snapshot was taken under a different VM configuration".into(),
+            ));
+        }
+    } else {
+        // Cross-shape restore: only adoption may reshape, and the source
+        // configuration must match the destination's in every respect
+        // other than its SPE count.
+        if mode != RestoreMode::Adopt {
+            return Err(SnapError::Corrupt("core count mismatch".into()));
+        }
+        if src_ncores < 2 || src_ncores > 1 + u8::MAX as usize {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot core count {src_ncores} out of range"
+            )));
+        }
+        let mut src_cfg = world.config;
+        src_cfg.cell.num_spes = (src_ncores - 1) as u8;
+        if claimed_config != config_digest(&src_cfg) {
+            return Err(SnapError::Corrupt(
+                "snapshot was taken under a different VM configuration".into(),
+            ));
+        }
+    }
+    let src_spes = (src_ncores - 1) as u8;
+    let dst_spes = world.config.cell.num_spes;
+    if src_spes > 0 && dst_spes == 0 {
+        return Err(SnapError::Corrupt(
+            "cannot adopt SPE state onto a machine with no SPEs".into(),
+        ));
     }
 
     // ---- machine ----
+    // Per-core rows decode at the *source* shape. Rows for SPEs the
+    // destination does not have are folded away (their threads drain to
+    // the PPE below); rows for SPEs the source did not have start fresh.
     let mut clocks = vec![0u64; ncores];
-    for c in clocks.iter_mut() {
+    for c in clocks.iter_mut().take(src_ncores) {
         *c = r.u64()?;
+    }
+    for _ in ncores..src_ncores {
+        let _ = r.u64()?; // dropped cores: clock dies with the core
     }
     world
         .machine
         .set_clocks(&clocks)
         .map_err(|e| corrupt("machine clocks", e))?;
     let mut breakdowns = Vec::with_capacity(ncores);
-    for _ in 0..ncores {
+    for i in 0..src_ncores.max(ncores) {
+        if i >= src_ncores {
+            breakdowns.push(CycleBreakdown::from_raw([0; 6], [0; 6]));
+            continue;
+        }
         let mut cycles = [0u64; 6];
         let mut ops = [0u64; 6];
         for v in cycles.iter_mut() {
@@ -794,15 +836,20 @@ pub fn restore_into(
         for v in ops.iter_mut() {
             *v = r.u64()?;
         }
-        breakdowns.push(CycleBreakdown::from_raw(cycles, ops));
+        if i < ncores {
+            breakdowns.push(CycleBreakdown::from_raw(cycles, ops));
+        }
     }
     world
         .machine
         .set_breakdowns(&breakdowns)
         .map_err(|e| corrupt("machine breakdowns", e))?;
     let mut failed = vec![false; ncores];
-    for f in failed.iter_mut() {
+    for f in failed.iter_mut().take(src_ncores) {
         *f = r.bool()?;
+    }
+    for _ in ncores..src_ncores {
+        let _ = r.bool()?;
     }
     world
         .machine
@@ -867,20 +914,33 @@ pub fn restore_into(
     world.machine.ppe_cache.stats.l1_hits = r.u64()?;
     world.machine.ppe_cache.stats.l2_hits = r.u64()?;
     world.machine.ppe_cache.stats.memory_accesses = r.u64()?;
-    let num_spes = world.config.cell.num_spes;
-    for spe in 0..num_spes {
-        let expected = world.machine.local_store(spe).raw().len();
+    for spe in 0..src_spes {
+        // All local stores share one partition geometry (the configs
+        // agree on everything but the SPE count), so a dropped SPE's
+        // store decodes at the same expected length and is discarded —
+        // anything that mattered lives in its data cache, salvaged below.
+        let expected = world.machine.local_store(spe.min(dst_spes - 1)).raw().len();
         let store = rle_decode(&mut r, expected)?;
-        world
-            .machine
-            .local_store_mut(spe)
-            .restore_raw(&store)
-            .map_err(|e| corrupt("local store", e))?;
+        if spe < dst_spes {
+            world
+                .machine
+                .local_store_mut(spe)
+                .restore_raw(&store)
+                .map_err(|e| corrupt("local store", e))?;
+        }
     }
     let ninj = r.len_prefix(24)?;
-    let mut inj = Vec::with_capacity(ninj);
-    for _ in 0..ninj {
-        inj.push([r.u64()?, r.u64()?, r.u64()?]);
+    if ninj != src_ncores {
+        return Err(SnapError::Corrupt(
+            "fault-injector row count mismatch".into(),
+        ));
+    }
+    let mut inj = vec![[0u64; 3]; ncores];
+    for row in inj.iter_mut().take(src_ncores) {
+        *row = [r.u64()?, r.u64()?, r.u64()?];
+    }
+    for _ in ncores..src_ncores {
+        let _ = [r.u64()?, r.u64()?, r.u64()?];
     }
     world
         .machine
@@ -921,10 +981,24 @@ pub fn restore_into(
     .map_err(|e| corrupt("heap", e))?;
 
     // ---- software caches ----
-    if r.len_prefix(4)? != world.data_caches.len() {
+    if r.len_prefix(4)? != src_spes as usize {
         return Err(SnapError::Corrupt("data-cache count mismatch".into()));
     }
-    for dc in world.data_caches.iter_mut() {
+    for spe in 0..src_spes {
+        // A dropped SPE is dead-at-adopt: decode its cache into a scratch
+        // copy and salvage the dirty lines straight into main memory,
+        // exactly as `fail_spe` rescues a core that died mid-run. The
+        // rescue DMA is charged to the PPE under the migration cost class.
+        let mut scratch;
+        let dc = if spe < dst_spes {
+            &mut world.data_caches[spe as usize]
+        } else {
+            scratch = hera_softcache::DataCache::with_block_size(
+                world.config.cell.partition.data_cache_bytes,
+                world.config.array_block_bytes,
+            );
+            &mut scratch
+        };
         let bump = r.u32()?;
         let nslots = r.len_prefix(24)?;
         let mut slots = Vec::with_capacity(nslots);
@@ -941,11 +1015,26 @@ pub fn restore_into(
         dc.stats.bytes_fetched = r.u64()?;
         dc.stats.bytes_written_back = r.u64()?;
         dc.stats.bypasses = r.u64()?;
+        if spe >= dst_spes {
+            let salvaged = dc.salvage(&mut world.heap).map_err(|e| {
+                SnapError::Corrupt(format!("adopt-drain salvage of SPE {spe}: {e}"))
+            })?;
+            world.machine.fault_stats.salvaged_bytes += salvaged;
+            let scope = world
+                .machine
+                .prof_scope_begin(CoreId::Ppe, hera_trace::CostClass::Migration);
+            world
+                .machine
+                .stall(CoreId::Ppe, 200 + salvaged / 16, OpClass::MainMemory);
+            world.machine.prof_scope_end(CoreId::Ppe, scope);
+        }
     }
-    if r.len_prefix(4)? != world.code_caches.len() {
+    if r.len_prefix(4)? != src_spes as usize {
         return Err(SnapError::Corrupt("code-cache count mismatch".into()));
     }
-    for cc in world.code_caches.iter_mut() {
+    for spe in 0..src_spes {
+        // Dropped SPEs' code caches are clean (code is re-fetchable) and
+        // simply discarded.
         let bump = r.u32()?;
         let nmethods = r.len_prefix(8)?;
         let mut methods = Vec::with_capacity(nmethods);
@@ -957,16 +1046,23 @@ pub fn restore_into(
         for _ in 0..ntibs {
             tibs.push((ClassId(r.u16()?), r.u32()?));
         }
-        cc.import_state(bump, methods, tibs)
-            .map_err(|e| corrupt("code cache", e))?;
-        cc.stats.method_hits = r.u64()?;
-        cc.stats.method_misses = r.u64()?;
-        cc.stats.tib_hits = r.u64()?;
-        cc.stats.tib_misses = r.u64()?;
-        cc.stats.purges = r.u64()?;
-        cc.stats.bytes_loaded = r.u64()?;
-        cc.stats.toc_lookups = r.u64()?;
-        cc.stats.bypasses = r.u64()?;
+        if spe < dst_spes {
+            let cc = &mut world.code_caches[spe as usize];
+            cc.import_state(bump, methods, tibs)
+                .map_err(|e| corrupt("code cache", e))?;
+            cc.stats.method_hits = r.u64()?;
+            cc.stats.method_misses = r.u64()?;
+            cc.stats.tib_hits = r.u64()?;
+            cc.stats.tib_misses = r.u64()?;
+            cc.stats.purges = r.u64()?;
+            cc.stats.bytes_loaded = r.u64()?;
+            cc.stats.toc_lookups = r.u64()?;
+            cc.stats.bypasses = r.u64()?;
+        } else {
+            for _ in 0..8 {
+                r.u64()?;
+            }
+        }
     }
 
     // ---- JIT registry ----
@@ -1011,11 +1107,55 @@ pub fn restore_into(
     };
     let mut threads = Vec::with_capacity(nthreads);
     for i in 0..nthreads {
-        let t = decode_thread(&mut r, world, i as u32, nthreads, num_spes)?;
+        let t = decode_thread(&mut r, world, i as u32, nthreads, src_spes)?;
         threads.push(t);
     }
     world.threads = threads;
     world.registry.set_stats(registry_stats);
+
+    // ---- dead-at-adopt drain ----
+    // Threads homed on SPEs the destination does not have are drained to
+    // the PPE through the same motions as `fail_spe`: migration markers
+    // that would return a thread to a missing core are rewritten, and
+    // every unfinished resident thread re-homes to the PPE paying one
+    // migration charge. Finished threads re-home too (no charge) so the
+    // next checkpoint encodes only cores this machine actually has.
+    if src_spes > dst_spes {
+        let ppe_now = world.machine.now(CoreId::Ppe);
+        let migration = world.config.migration_cycles as u64;
+        let dropped = |c: CoreId| matches!(c, CoreId::Spe(n) if n >= dst_spes);
+        let mut drained = 0u64;
+        for t in world.threads.iter_mut() {
+            for f in &mut t.frames {
+                if let FrameKind::MigrationMarker { origin } = &mut f.kind {
+                    if dropped(*origin) {
+                        *origin = CoreId::Ppe;
+                    }
+                }
+            }
+            if let Some(pc) = &mut t.pending_call {
+                if let Some(origin) = &mut pc.marker_origin {
+                    if dropped(*origin) {
+                        *origin = CoreId::Ppe;
+                    }
+                }
+            }
+            if let Some((origin, _)) = &mut t.pending_migrate_in {
+                if dropped(*origin) {
+                    *origin = CoreId::Ppe;
+                }
+            }
+            if dropped(t.core) {
+                t.core = CoreId::Ppe;
+                if !t.is_finished() {
+                    t.available_at = t.available_at.max(ppe_now) + migration;
+                    t.migrations += 1;
+                    drained += 1;
+                }
+            }
+        }
+        world.machine.fault_stats.drained_threads += drained;
+    }
 
     // ---- monitors / scheduler ----
     let nmon = r.len_prefix(8)?;
@@ -1037,22 +1177,37 @@ pub fn restore_into(
     world.monitors.import_state(rows);
     world.monitors.contended_acquires = r.u64()?;
     world.monitors.acquisitions = r.u64()?;
-    if r.len_prefix(8)? != ncores {
+    if r.len_prefix(8)? != src_ncores {
         return Err(SnapError::Corrupt("run queue count mismatch".into()));
     }
-    for q in world.run_queues.iter_mut() {
+    let mut queues: Vec<VecDeque<ThreadId>> = Vec::with_capacity(src_ncores);
+    for _ in 0..src_ncores {
         let n = r.len_prefix(4)?;
         let mut queue = VecDeque::with_capacity(n);
         for _ in 0..n {
             queue.push_back(check_tid(r.u32()?)?);
         }
-        *q = queue;
+        queues.push(queue);
     }
-    for slot in world.last_on_core.iter_mut() {
-        *slot = match r.opt_u32()? {
+    // Dropped cores' queues fold into the PPE's in core order — the same
+    // motion as `fail_spe` merging a dead core's queue.
+    let extra: Vec<ThreadId> = queues
+        .split_off(src_ncores.min(ncores))
+        .into_iter()
+        .flatten()
+        .collect();
+    for (q, src) in world.run_queues.iter_mut().zip(queues) {
+        *q = src;
+    }
+    world.run_queues[0].extend(extra);
+    for i in 0..src_ncores {
+        let slot = match r.opt_u32()? {
             None => None,
             Some(t) => Some(check_tid(t)?),
         };
+        if i < ncores {
+            world.last_on_core[i] = slot;
+        }
     }
     world.thread_switches = r.u64()?;
     let njoins = r.len_prefix(12)?;

@@ -297,3 +297,175 @@ fn queue_cap_overflow_sheds_and_accounts_for_every_request() {
         );
     }
 }
+
+// ------------------------------------------------- heterogeneous shapes
+
+/// A checkpoint taken on a 2-SPE machine lands on a 1-SPE machine only
+/// through adoption: the strict path refuses the shape change outright,
+/// and because the surviving cores replay a *different* interleaving
+/// than the source shape would have, the adoption's warranty is replay
+/// determinism — two adoptions of the same snapshot must agree on every
+/// observable — plus the workload checksum, not bit-identity to the
+/// source-shape run.
+#[test]
+fn cross_shape_adoption_is_replay_deterministic_strict_refuses() {
+    let (program, checksum) = Workload::Compress.build(2, 0.02);
+    let base = |spes: u8| {
+        let mut cfg = VmConfig::pinned_spe(spes).with_checkpoint_every(400_000);
+        cfg.heap.size_bytes = 1 << 20;
+        cfg
+    };
+
+    let vm_src = HeraJvm::new(program.clone(), base(2)).expect("constructs");
+    let reference = vm_src.run().expect("uninterrupted source-shape run");
+    assert!(reference.is_clean(), "traps: {:?}", reference.traps);
+
+    let crash_at = reference.stats.wall_cycles * 2 / 3;
+    let doomed = HeraJvm::new(
+        program.clone(),
+        base(2).with_faults(FaultPlan::default().with_machine_crash(crash_at)),
+    )
+    .expect("constructs");
+    let RunEnd::Crashed { checkpoints, .. } = doomed.run_until_crash().expect("doomed run") else {
+        panic!("machine was scheduled to crash mid-run but completed");
+    };
+    let last = checkpoints.last().expect("a checkpoint survived");
+
+    let vm_small = HeraJvm::new(program.clone(), base(1)).expect("constructs");
+    vm_small
+        .restore_bytes(&last.bytes)
+        .expect_err("strict restore must refuse a snapshot from another shape");
+
+    let a = vm_small.adopt_bytes(&last.bytes).expect("first adoption");
+    let vm_small2 = HeraJvm::new(program, base(1)).expect("constructs");
+    let b = vm_small2.adopt_bytes(&last.bytes).expect("second adoption");
+    assert!(a.is_clean(), "adopted run trapped: {:?}", a.traps);
+    assert_eq!(
+        a.result,
+        Some(hera_isa::Value::I32(checksum)),
+        "adopted run lost the workload checksum"
+    );
+    assert_eq!(a.result, b.result, "result diverged between replays");
+    assert_eq!(a.traps, b.traps, "traps diverged between replays");
+    assert_eq!(a.output, b.output, "output diverged between replays");
+    assert_eq!(
+        a.heap_digest, b.heap_digest,
+        "heap image diverged between replays"
+    );
+    assert_eq!(
+        a.stats.wall_cycles, b.stats.wall_cycles,
+        "wall clock diverged between replays"
+    );
+    // The dropped SPE's threads drained to the PPE: the adoption pays
+    // migrations the source-shape run never had.
+    assert!(
+        a.stats.migrations > reference.stats.migrations,
+        "adopting on a smaller shape must drain threads to the PPE \
+         ({} vs {} migrations)",
+        a.stats.migrations,
+        reference.stats.migrations
+    );
+}
+
+/// The whole proactive-degradation matrix (E15 at CI scale) — a
+/// heterogeneous fleet under a straggler plus a crash, with drains and
+/// the rebalancer on — replays byte-identically, and every embedded
+/// proof and ledger reconciliation holds.
+#[test]
+fn rebal_matrix_replays_byte_identically_on_a_heterogeneous_fleet() {
+    let cfg = ClusterConfig {
+        seed: 42,
+        machines: 3,
+        requests: 60,
+        threads: 2,
+        scale: 0.02,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        utilization_pct: 75,
+        shapes: [2u8, 1, 2]
+            .iter()
+            .map(|&s| hera_cluster::MachineShape { spe_count: s })
+            .collect(),
+        crashes: hera_cluster::crash_storm(42, 3, 1, 300, 700),
+        migrations: vec![],
+        slowdowns: vec![(0, 4, 0)],
+        scope: true,
+        ..ClusterConfig::default()
+    };
+    let a = hera_cluster::run_rebal_matrix(&cfg).expect("matrix runs");
+    let b = hera_cluster::run_rebal_matrix(&cfg).expect("matrix runs");
+    assert_eq!(a.render(), b.render(), "rebal matrix replay diverged");
+    assert!(a.failures.is_empty(), "{:?}", a.failures);
+    assert_eq!(a.rows.len(), 4, "baseline + reactive + drains + rebalance");
+    assert_eq!(a.stats.len(), a.rows.len());
+    // The proactive layer is off in the first two rows by construction.
+    assert_eq!(a.stats[0].drains, 0);
+    assert_eq!(a.stats[1].drains, 0);
+}
+
+/// `advertised_capacity_permille` is the pure function behind
+/// health-weighted JSQ: always in 1..=1000, monotone non-increasing in
+/// the slowdown factor, and a half-open breaker never advertises more
+/// than the same machine closed.
+#[test]
+fn advertised_capacity_is_bounded_and_monotone() {
+    use hera_cluster::resil::advertised_capacity_permille;
+    let mut prev = u64::MAX;
+    for factor in 0..=4096u32 {
+        for half_open in [false, true] {
+            let cap = advertised_capacity_permille(factor, half_open);
+            assert!((1..=1000).contains(&cap), "factor {factor}: cap {cap}");
+        }
+        let closed = advertised_capacity_permille(factor, false);
+        assert!(
+            closed <= prev,
+            "capacity must not grow with the slowdown factor \
+             ({prev} then {closed} at factor {factor})"
+        );
+        assert!(
+            advertised_capacity_permille(factor, true) <= closed,
+            "half-open must never advertise more than closed (factor {factor})"
+        );
+        prev = closed;
+    }
+    assert_eq!(advertised_capacity_permille(1, false), 1000);
+    assert_eq!(advertised_capacity_permille(4, false), 250);
+}
+
+/// With every machine advertising full capacity, health-weighted JSQ
+/// must collapse to the legacy ordering: fewest (queued + running)
+/// jobs, ties to the lowest machine index.
+#[test]
+fn jsq_at_uniform_capacity_collapses_to_legacy_order() {
+    use hera_cluster::{BalancePolicy, JoinShortestQueue, MachineView};
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut policy = JoinShortestQueue;
+    for _ in 0..500 {
+        let n = (next() % 6 + 1) as usize;
+        let views: Vec<MachineView> = (0..n)
+            .map(|m| MachineView {
+                machine: m,
+                queue_len: (next() % 5) as usize,
+                running: next() % 2 == 0,
+                backlog_cycles: next() % 1_000_000,
+                capacity_permille: 1000,
+            })
+            .collect();
+        let legacy = views
+            .iter()
+            .min_by_key(|v| (v.queue_len + v.running as usize, v.machine))
+            .expect("views is non-empty")
+            .machine;
+        assert_eq!(
+            policy.pick(&views),
+            legacy,
+            "uniform-capacity JSQ diverged from legacy order on {views:?}"
+        );
+    }
+}

@@ -4,6 +4,7 @@
 
 use hera_bench::{chaos_death_cycle, chaos_plan, chaos_workload, run_workload, spe_config};
 use hera_cell::FaultPlan;
+use hera_core::{HeraJvm, RunEnd};
 use hera_trace::{MigrationKind, TraceEvent};
 use hera_workloads::Workload;
 
@@ -237,5 +238,96 @@ fn retry_backoff_stall_is_monotone_and_replays_identically() {
         (1..=8)
             .map(|r| backoff_cycles(&ResilConfig::default(), 2, 0, r))
             .collect::<Vec<_>>(),
+    );
+}
+
+// ------------------------------------------------- slowdown x crash
+
+/// A slowdown and a machine crash pinned on the same machine interact
+/// the way the fleet depends on: the crash fires at its scheduled
+/// *absolute* cycle even though every relative charge is stretched by
+/// the slowdown (so fewer instructions retire before death), and the
+/// combination replays byte-identically.
+#[test]
+fn slowdown_and_crash_on_the_same_machine_are_deterministic() {
+    let (program, checksum) = Workload::Compress.build(2, 0.02);
+    let mut base = spe_config(2).with_checkpoint_every(400_000);
+    base.heap.size_bytes = 1 << 20;
+
+    let fast = HeraJvm::new(program.clone(), base)
+        .expect("constructs")
+        .run()
+        .expect("unslowed run");
+    assert!(fast.is_clean(), "traps: {:?}", fast.traps);
+    assert_eq!(fast.result, Some(hera_isa::Value::I32(checksum)));
+
+    let slow_plan = FaultPlan::default()
+        .with_slowdown(4, 0)
+        .expect("legal slowdown");
+    let slow = HeraJvm::new(program.clone(), base.with_faults(slow_plan))
+        .expect("constructs")
+        .run()
+        .expect("slowed run");
+    assert!(slow.is_clean(), "traps: {:?}", slow.traps);
+    assert_eq!(slow.result, fast.result, "slowdown changed the answer");
+    assert!(
+        slow.stats.wall_cycles >= fast.stats.wall_cycles * 3,
+        "a 4x slowdown should visibly stretch the wall clock \
+         ({} vs {})",
+        slow.stats.wall_cycles,
+        fast.stats.wall_cycles
+    );
+
+    // Crash at an absolute cycle that the *unslowed* run sails past
+    // early: under the slowdown the same wall-clock instant arrives
+    // mid-run, with stretched charges still accruing.
+    let crash_at = fast.stats.wall_cycles / 2;
+    let doomed_plan = slow_plan.with_machine_crash(crash_at);
+    let run = |p: FaultPlan| {
+        let vm = HeraJvm::new(program.clone(), base.with_faults(p)).expect("constructs");
+        vm.run_until_crash().expect("doomed run")
+    };
+    let (
+        RunEnd::Crashed {
+            at_cycle: a,
+            checkpoints: ca,
+        },
+        RunEnd::Crashed {
+            at_cycle: b,
+            checkpoints: cb,
+        },
+    ) = (run(doomed_plan), run(doomed_plan))
+    else {
+        panic!("machine scheduled to crash mid-run completed instead");
+    };
+    assert!(
+        a >= crash_at,
+        "crash fired before its scheduled absolute cycle ({a} < {crash_at})"
+    );
+    assert_eq!(a, b, "crash instant drifted between identical runs");
+    assert_eq!(
+        ca.len(),
+        cb.len(),
+        "surviving checkpoint count drifted between identical runs"
+    );
+    for (x, y) in ca.iter().zip(&cb) {
+        assert_eq!(x.bytes, y.bytes, "checkpoint bytes drifted");
+    }
+    // The stretched run dies earlier in *work* terms: it survived to
+    // the same wall-clock instant but streamed out fewer checkpoints
+    // than an unslowed machine crashing at the same cycle would.
+    let unslowed_doomed = FaultPlan::default().with_machine_crash(crash_at);
+    let RunEnd::Crashed {
+        checkpoints: cu, ..
+    } = run(unslowed_doomed)
+    else {
+        panic!("unslowed machine scheduled to crash mid-run completed instead");
+    };
+    assert!(
+        ca.len() <= cu.len(),
+        "a 4x-slowed machine cannot have checkpointed more work than an \
+         unslowed one by the same absolute cycle ({} vs {})",
+        ca.len(),
+        cu.len()
     );
 }

@@ -122,7 +122,7 @@ fn fleet_chrome_export_is_well_formed_and_causally_ordered() {
             assert_eq!(field_str(r, "cat"), "flow");
             let name = field_str(r, "name");
             assert!(
-                matches!(name, "retry" | "hedge" | "requeue" | "migrate"),
+                matches!(name, "retry" | "hedge" | "requeue" | "migrate" | "drain"),
                 "unknown flow kind {name:?}"
             );
             let id = field_u64(r, "id");
@@ -254,4 +254,50 @@ fn scope_replay_is_byte_identical() {
     let (sa, sb) = (a.scope.expect("scope"), b.scope.expect("scope"));
     assert_eq!(sa.chrome_json(), sb.chrome_json(), "trace replay diverged");
     assert_eq!(sa.slo_report(), sb.slo_report(), "SLO replay diverged");
+}
+
+/// Under the proactive-degradation matrix the new `Drain` causal edge
+/// joins the ledger: the scope's drain-flow count must reconcile
+/// exactly against the simulator's `rebal.drains` counter (Scope::finish
+/// pushes a failure on any mismatch), and drain arrows are real flows
+/// in the kept recording.
+#[test]
+fn drain_ledger_reconciles_under_the_rebal_matrix() {
+    let cfg = ClusterConfig {
+        seed: 42,
+        machines: 3,
+        requests: 60,
+        threads: 2,
+        scale: 0.02,
+        num_spes: 2,
+        heap_bytes: 1 << 20,
+        utilization_pct: 75,
+        shapes: [2u8, 1, 2]
+            .iter()
+            .map(|&s| hera_cluster::MachineShape { spe_count: s })
+            .collect(),
+        crashes: hera_cluster::crash_storm(42, 3, 1, 300, 700),
+        migrations: vec![],
+        slowdowns: vec![(0, 4, 0)],
+        scope: true,
+        ..ClusterConfig::default()
+    };
+    let report = hera_cluster::run_rebal_matrix(&cfg).expect("matrix runs");
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let scope = report.scope.as_ref().expect("scope on => matrix keeps one");
+    let stats = report.proactive_stats();
+    assert_eq!(
+        scope.metrics.counter("scope.flow.drains"),
+        stats.drains,
+        "scope drain ledger out of step with the simulator's counter"
+    );
+    let drain_flows = scope
+        .flows
+        .iter()
+        .filter(|f| f.kind == FlowKind::Drain)
+        .count() as u64;
+    assert_eq!(
+        drain_flows, stats.drains,
+        "every accounted drain must leave exactly one Drain arrow"
+    );
 }

@@ -42,6 +42,9 @@ pub enum FlowKind {
     Requeue,
     /// A live migration carrying a running job to another machine.
     Migrate,
+    /// A proactive drain moving work off a sick (but still alive)
+    /// machine before its resident requests time out.
+    Drain,
 }
 
 impl FlowKind {
@@ -52,6 +55,7 @@ impl FlowKind {
             FlowKind::Hedge => "hedge",
             FlowKind::Requeue => "requeue",
             FlowKind::Migrate => "migrate",
+            FlowKind::Drain => "drain",
         }
     }
 }
@@ -80,6 +84,7 @@ mod tests {
             FlowKind::Hedge.name(),
             FlowKind::Requeue.name(),
             FlowKind::Migrate.name(),
+            FlowKind::Drain.name(),
         ];
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {
